@@ -1,0 +1,20 @@
+# Greedy by Choice — developer targets
+
+.PHONY: install test bench bench-tables examples docs-check all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-tables:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done; echo "all examples OK"
+
+all: test bench examples

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every module regenerates one experiment from DESIGN.md's index (the
+paper's Section 6 complexity analyses and the semantics-level claims).
+Shape assertions use generous brackets: the point is who wins and how the
+curves bend, not absolute numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Tables print with ``-s``; without it they are captured but the shape
+assertions still run.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import SweepResult
+
+
+def print_experiment(
+    title: str,
+    claim: str,
+    headers,
+    rows,
+) -> None:
+    """Emit one paper-style experiment block."""
+    print()
+    print(f"== {title}")
+    print(f"   paper claim: {claim}")
+    print(format_table(headers, rows))
+
+
+def shape_rows(result: SweepResult, normalizer, norm_label: str):
+    """Rows: size, time, time/normalizer — flat last column means the
+    normaliser matches the complexity."""
+    rows = []
+    for point in result.points:
+        rows.append(
+            [point.size, point.seconds, point.seconds / normalizer(point.size)]
+        )
+    return ["size", "seconds", f"seconds / {norm_label}"], rows
+
+
+def nlogn(n: int) -> float:
+    return n * math.log2(max(n, 2))

@@ -1,0 +1,52 @@
+"""E10 — Example 6: Huffman trees.
+
+The paper gives no complexity analysis for Huffman, but the program is
+its most intricate stage-stratified example (function symbols, a
+computed stage, two choice FDs).  The experiment checks optimality (the
+weighted path length equals the procedural heap Huffman's) across a
+sweep of alphabet sizes and records the declarative/procedural gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_experiment
+from repro.baselines import huffman_tree as procedural_huffman
+from repro.bench.runner import sweep
+from repro.core.compiler import compile_program
+from repro.programs import texts
+from repro.workloads import random_frequency_table
+
+SIZES = [8, 12, 18, 26]  # alphabet sizes (feasible pairs grow ~k^2)
+
+_COMPILED = compile_program(texts.HUFFMAN)
+
+
+def _declarative(freqs):
+    db = _COMPILED.run(facts={"letter": freqs}, seed=0)
+    return sum(f[1] for f in db.facts("h", 3) if f[2] > 0)
+
+
+def test_e10_huffman_optimality(benchmark):
+    make = lambda k: random_frequency_table(k, seed=k)
+    declarative = sweep("huffman/rql", SIZES, make, _declarative, repeats=1)
+    rows = []
+    for point, k in zip(declarative.points, SIZES):
+        freqs = dict(make(k))
+        _, optimal = procedural_huffman(freqs)
+        assert point.payload == optimal, "suboptimal Huffman tree"
+        rows.append([k, point.seconds, point.payload])
+    print_experiment(
+        "E10  Huffman (Example 6)",
+        "declarative tree attains the optimal weighted path length",
+        ["symbols", "seconds", "weighted path length"],
+        rows,
+    )
+    freqs = make(max(SIZES))
+    benchmark(lambda: _declarative(freqs))
+
+
+def test_e10_huffman_procedural_baseline(benchmark):
+    freqs = dict(random_frequency_table(max(SIZES), seed=max(SIZES)))
+    benchmark(lambda: procedural_huffman(freqs))

@@ -1,0 +1,67 @@
+"""E11 — extension: declarative Dijkstra.
+
+Not in the paper, but exactly the family its conclusion invites: the
+frontier relation plays Prim's ``new_g``, the r-congruence per target
+vertex acts as a declarative decrease-key, and ``choice(Y, I)`` settles
+each vertex once.  We check distances against the heap baseline and that
+the runtime is near-linear in the edge count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import nlogn, print_experiment, shape_rows
+from repro.baselines import dijkstra_distances as procedural_dijkstra
+from repro.bench.runner import sweep
+from repro.core.compiler import compile_program
+from repro.programs import texts
+from repro.programs._run import symmetric_edges
+from repro.workloads import random_connected_graph
+
+SIZES = [50, 100, 200, 400]
+EDGE_FACTOR = 3
+
+_COMPILED = compile_program(texts.DIJKSTRA)
+
+
+def _workload(n: int):
+    nodes, edges = random_connected_graph(n, extra_edges=(EDGE_FACTOR - 1) * n, seed=n)
+    return nodes, edges, symmetric_edges(edges)
+
+
+def _declarative(payload):
+    nodes, _, arcs = payload
+    db = _COMPILED.run(facts={"g": arcs, "source": [(nodes[0],)]}, seed=0)
+    return dict((f[0], f[1]) for f in db.facts("dist", 3))
+
+
+def test_e11_dijkstra_shape(benchmark):
+    declarative = sweep("dijkstra/rql", SIZES, _workload, _declarative, repeats=2)
+    procedural = sweep(
+        "dijkstra/heap",
+        SIZES,
+        _workload,
+        lambda p: procedural_dijkstra(p[1], p[0][0]),
+        repeats=2,
+    )
+    for d, p in zip(declarative.points, procedural.points):
+        assert d.payload == p.payload, "distance maps differ"
+    headers, rows = shape_rows(declarative, lambda n: nlogn(EDGE_FACTOR * n), "e log e")
+    for row, p in zip(rows, procedural.points):
+        row.append(p.seconds)
+        row.append(row[1] / max(p.seconds, 1e-9))
+    print_experiment(
+        "E11  Dijkstra (extension)",
+        "same frontier congruence as Prim: ~e log e, constant-factor gap",
+        headers + ["procedural s", "decl/proc"],
+        rows,
+    )
+    assert declarative.exponent() < 1.7
+    payload = _workload(max(SIZES))
+    benchmark(lambda: _declarative(payload))
+
+
+def test_e11_dijkstra_procedural_baseline(benchmark):
+    payload = _workload(max(SIZES))
+    benchmark(lambda: procedural_dijkstra(payload[1], payload[0][0]))

@@ -1,0 +1,65 @@
+"""E2 — Section 6, "Sorting: Complexity of Example 5".
+
+Paper claim: ``O(n log n)`` — "although the program expresses an
+'insertion sort' like algorithm, the fixpoint algorithm implements a
+'heap-sort'".  We sweep the relation size, check the output is sorted,
+and compare against the procedural heap-sort baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import nlogn, print_experiment, shape_rows
+from repro.baselines import heapsort
+from repro.bench.runner import sweep
+from repro.core.compiler import compile_program
+from repro.programs import texts
+from repro.workloads import random_costed_relation
+
+SIZES = [250, 500, 1000, 2000]
+
+_COMPILED = compile_program(texts.SORTING)
+
+
+def _declarative(items):
+    db = _COMPILED.run(facts={"p": items}, seed=0)
+    rows = sorted((f for f in db.facts("sp", 3) if f[2] > 0), key=lambda f: f[2])
+    return [f[1] for f in rows]
+
+
+def test_e2_sorting_shape(benchmark):
+    declarative = sweep(
+        "sort/rql",
+        SIZES,
+        lambda n: random_costed_relation(n, seed=n),
+        _declarative,
+        repeats=2,
+    )
+    procedural = sweep(
+        "sort/heap",
+        SIZES,
+        lambda n: [c for _, c in random_costed_relation(n, seed=n)],
+        heapsort,
+        repeats=2,
+    )
+    for d, p in zip(declarative.points, procedural.points):
+        assert d.payload == p.payload, "declarative sort output differs from heapsort"
+    headers, rows = shape_rows(declarative, nlogn, "n log n")
+    for row, p in zip(rows, procedural.points):
+        row.append(p.seconds)
+        row.append(row[1] / max(p.seconds, 1e-9))
+    print_experiment(
+        "E2  Sorting (Example 5)",
+        "O(n log n): the fixpoint implements a heap-sort",
+        headers + ["procedural s", "decl/proc"],
+        rows,
+    )
+    assert declarative.exponent() < 1.6  # n log n-ish, not quadratic
+    items = random_costed_relation(max(SIZES), seed=0)
+    benchmark(lambda: _declarative(items))
+
+
+def test_e2_sorting_procedural_baseline(benchmark):
+    values = [c for _, c in random_costed_relation(max(SIZES), seed=0)]
+    benchmark(lambda: heapsort(values))

@@ -1,0 +1,72 @@
+"""E4 — Example 8's complexity discussion.
+
+Paper claim: the declarative Kruskal costs ``O(e × n)`` against the
+classical ``O(e log e)`` — "the difference is due to the fact that the
+classical algorithm 'merges' the smallest component into the 'largest'",
+while the declarative ``comp`` relation relabels a whole component per
+merge.  The reproduction should show the declarative/procedural gap
+*growing* with n (not a constant factor, unlike E1–E3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_experiment
+from repro.baselines import kruskal_mst as procedural_kruskal
+from repro.bench.runner import fitted_exponent, sweep
+from repro.core.compiler import compile_program
+from repro.programs import texts
+from repro.programs._run import symmetric_edges
+from repro.workloads import random_connected_graph
+
+SIZES = [12, 18, 27, 40]
+
+_COMPILED = compile_program(texts.KRUSKAL)
+
+
+def _workload(n: int):
+    nodes, edges = random_connected_graph(n, extra_edges=n, seed=n)
+    return nodes, edges, symmetric_edges(edges)
+
+
+def _declarative(payload):
+    nodes, _, arcs = payload
+    db = _COMPILED.run(
+        facts={"g": arcs, "node": [(x,) for x in nodes]}, seed=0
+    )
+    return sum(f[2] for f in db.facts("kruskal", 4))
+
+
+def _procedural(payload):
+    _, edges, _ = payload
+    return procedural_kruskal(edges)[1]
+
+
+def test_e4_kruskal_shape(benchmark):
+    declarative = sweep("kruskal/decl", SIZES, _workload, _declarative, repeats=1)
+    procedural = sweep("kruskal/uf", SIZES, _workload, _procedural, repeats=1)
+    rows = []
+    ratios = []
+    for d, p in zip(declarative.points, procedural.points):
+        assert d.payload == p.payload, "MST costs differ"
+        ratio = d.seconds / max(p.seconds, 1e-9)
+        ratios.append(ratio)
+        rows.append([d.size, d.seconds, p.seconds, ratio])
+    print_experiment(
+        "E4  Kruskal (Example 8)",
+        "declarative O(e·n) vs procedural O(e log e): gap grows with n",
+        ["n", "declarative s", "procedural s", "decl/proc"],
+        rows,
+    )
+    # The gap must GROW with n (superlinear declarative vs ~linear proc).
+    assert ratios[-1] > ratios[0]
+    # Declarative Kruskal is clearly superlinear (component relabelling).
+    assert declarative.exponent() > 1.4
+    payload = _workload(SIZES[-1])
+    benchmark(lambda: _declarative(payload))
+
+
+def test_e4_kruskal_procedural_baseline(benchmark):
+    payload = _workload(SIZES[-1])
+    benchmark(lambda: _procedural(payload))

@@ -1,0 +1,54 @@
+"""E5 — Lemma 2 / Theorem 2: polynomial data complexity of the Choice
+Fixpoint.
+
+"The data complexity of computing a stable model for P is polynomial
+time" (while computing stable models in general is NP-hard).  We sweep
+the ``takes`` relation of Example 1 and fit the exponent: it must be a
+small polynomial, not exponential growth.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_experiment
+from repro.bench.runner import sweep
+from repro.core.compiler import compile_program
+from repro.programs import texts
+from repro.workloads import random_takes
+
+SIZES = [8, 16, 32, 64]  # students (and courses)
+
+_COMPILED = compile_program(texts.EXAMPLE1_ASSIGNMENT, engine="choice")
+
+
+def _workload(n: int):
+    return [(s, c) for s, c, _ in random_takes(n, n, 4, seed=n)]
+
+
+def _solve(takes):
+    db = _COMPILED.run(facts={"takes": takes}, seed=0)
+    return len(db.relation("a_st", 2))
+
+
+def test_e5_choice_fixpoint_polynomial(benchmark):
+    result = sweep("choice-fixpoint", SIZES, _workload, _solve, repeats=2)
+    rows = [
+        [p.size, 4 * p.size, p.seconds, p.payload] for p in result.points
+    ]
+    print_experiment(
+        "E5  Choice Fixpoint (Lemma 2)",
+        "polynomial data complexity for computing one stable model",
+        ["students", "takes facts", "seconds", "assigned"],
+        rows,
+    )
+    exponent = result.exponent()
+    assert exponent < 3.5, f"super-polynomial-looking growth: {exponent:.2f}"
+    # Doubling input must not explode: consecutive ratios bounded.
+    times = result.times
+    for a, b in zip(times, times[1:]):
+        assert b / max(a, 1e-9) < 16
+    takes = _workload(SIZES[-1])
+    benchmark(lambda: _solve(takes))

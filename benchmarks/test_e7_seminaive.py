@@ -1,0 +1,69 @@
+"""E7 — seminaive vs naive fixpoint (the "seminaive refinements" the
+Section 6 bounds presuppose).
+
+On a path graph of length n, transitive closure derives Θ(n²) facts;
+naive evaluation re-derives all of them on each of Θ(n) passes (Θ(n³)
+work), while the seminaive deltas touch each derivation once (Θ(n²)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_experiment
+from repro.bench.runner import sweep
+from repro.datalog.naive import NaiveEngine
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import SeminaiveEngine
+from repro.storage.database import Database
+
+TC = parse_program(
+    """
+    path(X, Y) <- edge(X, Y).
+    path(X, Y) <- path(X, Z), edge(Z, Y).
+    """
+)
+
+SIZES = [20, 40, 80]
+
+
+def _chain(n: int):
+    return [(i, i + 1) for i in range(n)]
+
+
+def _run(engine_cls):
+    def op(edges):
+        db = Database()
+        db.assert_all("edge", edges)
+        engine = engine_cls(TC)
+        engine.run(db)
+        return len(db.relation("path", 2))
+
+    return op
+
+
+def test_e7_seminaive_vs_naive(benchmark):
+    semi = sweep("tc/seminaive", SIZES, _chain, _run(SeminaiveEngine), repeats=2)
+    naive = sweep("tc/naive", SIZES, _chain, _run(NaiveEngine), repeats=2)
+    rows = []
+    speedups = []
+    for s, n in zip(semi.points, naive.points):
+        assert s.payload == n.payload
+        speedup = n.seconds / max(s.seconds, 1e-9)
+        speedups.append(speedup)
+        rows.append([s.size, s.seconds, n.seconds, speedup])
+    print_experiment(
+        "E7  Seminaive refinement (transitive closure on a path)",
+        "naive Θ(n^3) vs seminaive Θ(n^2); speedup grows with n",
+        ["chain length", "seminaive s", "naive s", "naive/seminaive"],
+        rows,
+    )
+    assert naive.exponent() > semi.exponent() + 0.4
+    assert speedups[-1] > speedups[0]
+    edges = _chain(max(SIZES))
+    benchmark(lambda: _run(SeminaiveEngine)(edges))
+
+
+def test_e7_naive_baseline(benchmark):
+    edges = _chain(max(SIZES))
+    benchmark(lambda: _run(NaiveEngine)(edges))

@@ -1,0 +1,60 @@
+"""E8 — Section 5, "Computation of Sub-Optimals": the greedy TSP chain.
+
+The paper's point is a fast declarative approximation to an NP-hard
+problem: the chain must (a) be produced in low-polynomial time over
+complete graphs (e = n(n-1)), (b) be Hamiltonian, (c) match the
+procedural nearest-neighbour comparator.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from benchmarks.conftest import print_experiment
+from repro.baselines import nearest_neighbor_chain
+from repro.bench.runner import sweep
+from repro.core.compiler import compile_program
+from repro.programs import texts
+
+SIZES = [8, 12, 16, 24]  # vertices; arcs = n(n-1)
+
+_COMPILED = compile_program(texts.TSP_GREEDY)
+
+
+def _workload(n: int):
+    rng = random.Random(n)
+    nodes = [f"n{i}" for i in range(n)]
+    costs = rng.sample(range(1, 10 * n * n), n * (n - 1))
+    return [(a, b, costs.pop()) for a, b in itertools.permutations(nodes, 2)]
+
+
+def _declarative(arcs):
+    db = _COMPILED.run(facts={"g": arcs}, seed=0)
+    chain = [f for f in db.facts("tsp_chain", 4)]
+    return len(chain), sum(f[2] for f in chain)
+
+
+def test_e8_tsp_chain(benchmark):
+    declarative = sweep("tsp/rql", SIZES, _workload, _declarative, repeats=1)
+    rows = []
+    for point, n in zip(declarative.points, SIZES):
+        arcs = _workload(n)
+        length, cost = point.payload
+        _, procedural_cost = nearest_neighbor_chain(arcs)
+        assert length == n - 1, "not a Hamiltonian path"
+        assert cost == procedural_cost
+        rows.append([n, n * (n - 1), point.seconds, cost])
+    print_experiment(
+        "E8  Greedy TSP chain (Section 5)",
+        "fast sub-optimal Hamiltonian path; equals nearest-neighbour",
+        ["n", "arcs", "seconds", "chain cost"],
+        rows,
+    )
+    # Low-polynomial in the arc count (e = n^2): exponent over n stays
+    # well below cubic-in-n.
+    assert declarative.exponent() < 3.0
+    arcs = _workload(max(SIZES))
+    benchmark(lambda: _declarative(arcs))

@@ -1,0 +1,87 @@
+"""E9 — Section 7: matroid greedy exactness.
+
+The conclusion connects the greedy programs to matroid theory ("the
+program above corresponds to a partition matroid, while Kruskal's
+algorithm ... is a graphic matroid").  This experiment checks greedy =
+brute-force optimum on random partition and graphic matroids, and times
+the greedy (linear scans over an independence oracle) against the
+exponential brute force.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from benchmarks.conftest import print_experiment
+from repro.bench.runner import sweep
+from repro.matroids import (
+    GraphicMatroid,
+    PartitionMatroid,
+    greedy_max_weight,
+)
+
+SIZES = [8, 10, 12, 14]  # ground-set sizes (brute force is 2^n)
+
+
+def _instance(n: int):
+    rng = random.Random(n)
+    elements = [f"e{i}" for i in range(n)]
+    blocks = {e: f"b{rng.randrange(max(2, n // 3))}" for e in elements}
+    weights = {e: rng.randrange(1, 1000) for e in elements}
+    return PartitionMatroid(blocks, capacities=1), weights
+
+
+def _greedy(payload):
+    matroid, weights = payload
+    return sum(weights[e] for e in greedy_max_weight(matroid, weights))
+
+
+def _brute(payload):
+    matroid, weights = payload
+    elements = sorted(matroid.ground_set)
+    best = 0
+    for r in range(len(elements) + 1):
+        for subset in itertools.combinations(elements, r):
+            if matroid.is_independent(set(subset)):
+                best = max(best, sum(weights[e] for e in subset))
+    return best
+
+
+def test_e9_matroid_greedy_exactness(benchmark):
+    greedy = sweep("matroid/greedy", SIZES, _instance, _greedy, repeats=2)
+    brute = sweep("matroid/brute", SIZES, _instance, _brute, repeats=1)
+    rows = []
+    for g, b in zip(greedy.points, brute.points):
+        assert g.payload == b.payload, "greedy missed the matroid optimum"
+        rows.append([g.size, g.seconds, b.seconds, b.seconds / max(g.seconds, 1e-9)])
+    print_experiment(
+        "E9  Matroid greedy (Section 7)",
+        "greedy = optimum on matroids; brute force blows up exponentially",
+        ["ground set", "greedy s", "brute-force s", "brute/greedy"],
+        rows,
+    )
+    assert brute.exponent() > greedy.exponent()
+    payload = _instance(max(SIZES))
+    benchmark(lambda: _greedy(payload))
+
+
+def test_e9_graphic_matroid_is_kruskal(benchmark):
+    """Greedy min-weight basis of the graphic matroid = Kruskal's MST."""
+    from repro.baselines import kruskal_mst
+    from repro.workloads import random_connected_graph
+
+    _, edges = random_connected_graph(10, extra_edges=10, seed=3)
+    weights = {(u, v): c for u, v, c in edges}
+    matroid = GraphicMatroid(weights.keys())
+
+    def run():
+        from repro.matroids import greedy_min_weight
+
+        basis = greedy_min_weight(matroid, weights)
+        return sum(weights[e] for e in basis)
+
+    assert run() == kruskal_mst(edges)[1]
+    benchmark(run)

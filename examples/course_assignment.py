@@ -1,0 +1,63 @@
+"""The paper's Section 2 running example, end to end: enrolments,
+choice-based assignment, extrema queries, and the stable-model semantics
+behind them.
+
+Run with::
+
+    python examples/course_assignment.py
+"""
+
+from repro import enumerate_choice_models, parse_program, verify_engine_output
+from repro.core.rewriting import rewrite_program
+from repro.programs import (
+    assign_students,
+    bi_injective_bottom_pairs,
+    bottom_students,
+)
+from repro.programs import texts
+
+TAKES = [
+    ("andy", "engl", 4),
+    ("mark", "engl", 2),
+    ("ann", "math", 3),
+    ("mark", "math", 2),
+]
+PAIRS = [(student, course) for student, course, _ in TAKES]
+
+# -- Example 1: one student per course, one course per student --------------
+
+print("Example 1 — choice(Crs, St), choice(St, Crs):")
+for seed in (0, 1, 2):
+    print(f"    seed {seed}:", assign_students(PAIRS, seed=seed))
+
+models = enumerate_choice_models(texts.EXAMPLE1_ASSIGNMENT, facts={"takes": PAIRS})
+print(f"    the program has exactly {len(models)} choice models (the paper's M1-M3)")
+
+# -- Extrema: least grade above 1, per course --------------------------------
+
+print("\nbttm_st — least(G, Crs) over grades > 1:")
+for row in bottom_students(TAKES):
+    print("   ", row)
+
+# -- choice + least combined -------------------------------------------------
+
+print("\nbi_st_c — bi-injective pairs among the bottom grades:")
+seen = set()
+for seed in range(12):
+    seen.add(tuple(bi_injective_bottom_pairs(TAKES, seed=seed)))
+for model in sorted(seen):
+    print("   ", list(model))
+print("    (exactly the paper's two stable models)")
+
+# -- Under the hood: the first-order rewriting --------------------------------
+
+print("\nthe choice rule rewritten into negation (Example 2):")
+rewritten = rewrite_program(parse_program(texts.EXAMPLE1_ASSIGNMENT))
+for rule in rewritten.rules:
+    print("   ", rule)
+
+program = parse_program(texts.EXAMPLE1_ASSIGNMENT)
+print(
+    "\nevery enumerated model passes the Gelfond-Lifschitz check:",
+    all(verify_engine_output(program, m) for m in models),
+)

@@ -1,0 +1,67 @@
+"""A small logistics scenario combining three greedy programs:
+
+1. route costs from the depot by declarative Dijkstra;
+2. a delivery tour approximated by the greedy TSP chain (Section 5);
+3. a driver shift packed by activity selection.
+
+Run with::
+
+    python examples/logistics_planning.py
+"""
+
+import itertools
+
+from repro.programs import (
+    dijkstra_distances,
+    greedy_tsp_chain,
+    select_activities,
+)
+
+# Road network: (from, to, minutes), undirected.
+ROADS = [
+    ("depot", "north", 12),
+    ("depot", "river", 7),
+    ("river", "north", 4),
+    ("river", "market", 9),
+    ("market", "north", 15),
+    ("market", "east", 6),
+    ("east", "north", 20),
+    ("depot", "east", 18),
+]
+
+# -- 1. How far is every district from the depot? ---------------------------
+
+distances = dijkstra_distances(ROADS, "depot", seed=0)
+print("travel minutes from the depot (declarative Dijkstra):")
+for place, minutes in sorted(distances.items(), key=lambda kv: kv[1]):
+    print(f"    {place:8s} {minutes:3d}")
+
+# -- 2. A delivery tour over the complete distance matrix -------------------
+
+stops = sorted(distances)
+matrix = []
+for a, b in itertools.permutations(stops, 2):
+    # Straight-line tour costs derived from the shortest-path metric.
+    matrix.append((a, b, abs(distances[a] - distances[b]) + 5))
+tour = greedy_tsp_chain(matrix, seed=0)
+print("\ngreedy delivery chain (Section 5 sub-optimal TSP):")
+print("    " + " -> ".join(tour.path()))
+print(f"    total cost {tour.total_cost}, visits all stops:",
+      tour.is_hamiltonian_path(len(stops)))
+
+# -- 3. Pack the driver's shift with deliveries ------------------------------
+
+REQUESTS = [
+    ("bakery", 8, 9),
+    ("florist", 8, 11),
+    ("pharmacy", 9, 10),
+    ("grocer", 10, 12),
+    ("bookshop", 11, 13),
+    ("butcher", 12, 14),
+    ("cafe", 13, 14),
+]
+selected = select_activities(REQUESTS, seed=0)
+print("\nshift plan (earliest-finish-first activity selection):")
+for job in selected:
+    print(f"    {job.name:9s} {job.start:2d}:00 - {job.finish:2d}:00")
+print(f"    {len(selected)} of {len(REQUESTS)} requests served")

@@ -1,0 +1,80 @@
+"""Greedy by Choice — a reproduction of Greco, Zaniolo & Ganguly,
+"Greedy by Choice", PODS 1992.
+
+A Datalog dialect with the paper's non-monotonic meta-constructs —
+``choice`` (non-deterministic functional dependencies), ``least``/``most``
+(extrema) and ``next`` (stage variables) — together with:
+
+* compile-time recognition of **stage-stratified programs** (Section 4);
+* the **Choice Fixpoint** and **Alternating Stage-Choice Fixpoint**
+  procedures computing stable models;
+* the **(R, Q, L)** priority-queue storage structure (Section 6) that
+  gives the declarative greedy programs procedural-grade asymptotics;
+* the paper's greedy program library (Prim, Kruskal, sorting, Huffman,
+  matching, greedy TSP, ...) plus procedural baselines, matroid theory,
+  stable-model verification and choice-model enumeration.
+
+Quick start::
+
+    from repro import solve_program
+
+    db = solve_program('''
+        sp(nil, 0, 0).
+        sp(X, C, I) <- next(I), p(X, C), least(C, I).
+    ''', facts={"p": [("a", 3), ("b", 1), ("c", 2)]}, seed=0)
+    sorted(db.facts("sp", 3))
+
+or, at the algorithm level::
+
+    from repro.programs import prim_mst
+    prim_mst([("a", "b", 4), ("a", "c", 1), ("b", "c", 2)], source="a")
+"""
+
+from repro.core.compiler import CompiledProgram, compile_program, query, solve_program
+from repro.core.choice_fixpoint import ChoiceFixpointEngine
+from repro.core.greedy_engine import GreedyStageEngine
+from repro.core.stage_analysis import StageAnalysis, analyze_stages
+from repro.core.stage_engine import BasicStageEngine
+from repro.datalog.parser import parse_program, parse_query, parse_term
+from repro.datalog.program import Program
+from repro.errors import (
+    EvaluationError,
+    ParseError,
+    ReproError,
+    RewriteError,
+    SafetyError,
+    StageAnalysisError,
+    StratificationError,
+)
+from repro.semantics.choice_models import enumerate_choice_models
+from repro.semantics.stable import verify_engine_output
+from repro.storage.database import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicStageEngine",
+    "ChoiceFixpointEngine",
+    "CompiledProgram",
+    "Database",
+    "EvaluationError",
+    "GreedyStageEngine",
+    "ParseError",
+    "Program",
+    "ReproError",
+    "RewriteError",
+    "SafetyError",
+    "StageAnalysis",
+    "StageAnalysisError",
+    "StratificationError",
+    "analyze_stages",
+    "compile_program",
+    "enumerate_choice_models",
+    "parse_program",
+    "parse_query",
+    "parse_term",
+    "query",
+    "solve_program",
+    "verify_engine_output",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Classical procedural implementations of the paper's algorithms.
+
+Section 6 compares the declarative fixpoint implementation against "the
+classical complexity" of each algorithm; these are those classical
+comparators, written directly against the same storage substrate
+(:class:`repro.storage.heap.PriorityQueue`,
+:class:`repro.storage.unionfind.UnionFind`) so that benchmark differences
+measure the evaluation paradigm, not the container implementation.
+"""
+
+from repro.baselines.convex_hull import convex_hull
+from repro.baselines.graphs import kruskal_mst, prim_mst
+from repro.baselines.huffman import huffman_tree
+from repro.baselines.knapsack import greedy_knapsack
+from repro.baselines.matching import greedy_matching
+from repro.baselines.scheduling import select_activities
+from repro.baselines.sequencing import sequence_jobs
+from repro.baselines.shortest_path import dijkstra_distances
+from repro.baselines.sorting import heapsort
+from repro.baselines.tsp import nearest_neighbor_chain
+
+__all__ = [
+    "convex_hull",
+    "dijkstra_distances",
+    "greedy_knapsack",
+    "greedy_matching",
+    "heapsort",
+    "huffman_tree",
+    "kruskal_mst",
+    "nearest_neighbor_chain",
+    "prim_mst",
+    "select_activities",
+    "sequence_jobs",
+]

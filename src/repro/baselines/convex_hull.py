@@ -1,0 +1,33 @@
+"""Procedural convex hull — Andrew's monotone chain, the ``O(n log n)``
+comparator for the gift-wrapping program."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+__all__ = ["convex_hull"]
+
+Point = Tuple[Any, Any]
+
+
+def _cross(o: Point, a: Point, b: Point):
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def convex_hull(points: Sequence[Point]) -> List[Point]:
+    """The strict convex hull (collinear boundary points excluded),
+    counterclockwise, by Andrew's monotone chain."""
+    unique = sorted(set(points))
+    if len(unique) < 3:
+        return list(unique)
+    lower: List[Point] = []
+    for p in unique:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: List[Point] = []
+    for p in reversed(unique):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    return lower[:-1] + upper[:-1]

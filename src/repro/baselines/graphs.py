@@ -1,0 +1,69 @@
+"""Procedural Prim (binary heap) and Kruskal (union-find)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Tuple
+
+from repro.datalog.builtins import order_key
+from repro.storage.heap import PriorityQueue
+from repro.storage.unionfind import UnionFind
+
+__all__ = ["prim_mst", "kruskal_mst"]
+
+Edge = Tuple[Hashable, Hashable, Any]
+
+
+def _adjacency(edges: Iterable[Edge]) -> Dict[Hashable, List[Tuple[Hashable, Any]]]:
+    adj: Dict[Hashable, List[Tuple[Hashable, Any]]] = {}
+    for u, v, c in edges:
+        adj.setdefault(u, []).append((v, c))
+        adj.setdefault(v, []).append((u, c))
+    return adj
+
+
+def prim_mst(edges: Iterable[Edge], source: Hashable) -> Tuple[List[Edge], Any]:
+    """Classical Prim: ``O(e log n)`` with a binary heap.
+
+    Returns ``(tree edges in selection order, total cost)``; only the
+    component containing *source* is spanned.
+    """
+    adj = _adjacency(edges)
+    visited = {source}
+    queue: PriorityQueue = PriorityQueue()
+    for v, c in adj.get(source, ()):
+        queue.insert(order_key(c), (source, v, c))
+    tree: List[Edge] = []
+    total: Any = 0
+    while queue:
+        _, (u, v, c) = queue.pop_least()
+        if v in visited:
+            continue
+        visited.add(v)
+        tree.append((u, v, c))
+        total = total + c
+        for w, cost in adj.get(v, ()):
+            if w not in visited:
+                queue.insert(order_key(cost), (v, w, cost))
+    return tree, total
+
+
+def kruskal_mst(edges: Iterable[Edge]) -> Tuple[List[Edge], Any]:
+    """Classical Kruskal: sort by cost, union-find with union by size —
+    the ``O(e log e)`` comparator for Example 8.
+
+    Returns ``(tree edges in selection order, total cost)``.
+    """
+    queue: PriorityQueue = PriorityQueue()
+    uf = UnionFind()
+    for u, v, c in edges:
+        queue.insert(order_key(c), (u, v, c))
+        uf.add(u)
+        uf.add(v)
+    tree: List[Edge] = []
+    total: Any = 0
+    while queue:
+        _, (u, v, c) = queue.pop_least()
+        if uf.union(u, v):
+            tree.append((u, v, c))
+            total = total + c
+    return tree, total

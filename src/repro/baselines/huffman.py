@@ -1,0 +1,34 @@
+"""Procedural Huffman coding — the heap-based comparator for Example 6."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping, Tuple
+
+from repro.datalog.builtins import order_key
+from repro.storage.heap import PriorityQueue
+
+__all__ = ["huffman_tree"]
+
+
+def huffman_tree(frequencies: Mapping[Hashable, Any]) -> Tuple[Any, Any]:
+    """Classical Huffman: repeatedly merge the two cheapest trees.
+
+    Returns ``(root, weighted_path_length)`` with trees in the same ground
+    representation as the declarative program (leaves, or
+    ``("t", left, right)``), so results are directly comparable.
+    """
+    if len(frequencies) < 2:
+        raise ValueError("huffman_tree needs at least two symbols")
+    queue: PriorityQueue = PriorityQueue()
+    for symbol, weight in frequencies.items():
+        queue.insert(order_key(weight), (weight, symbol))
+    weighted_path_length: Any = 0
+    while len(queue) > 1:
+        _, (w1, t1) = queue.pop_least()
+        _, (w2, t2) = queue.pop_least()
+        merged = ("t", t1, t2)
+        weight = w1 + w2
+        weighted_path_length = weighted_path_length + weight
+        queue.insert(order_key(weight), (weight, merged))
+    _, (_, root) = queue.pop_least()
+    return root, weighted_path_length

@@ -1,0 +1,26 @@
+"""Procedural greedy knapsack — ratio heuristic comparator."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, List, Tuple
+
+__all__ = ["greedy_knapsack"]
+
+Item = Tuple[Hashable, Any, Any]
+
+
+def greedy_knapsack(items: Iterable[Item], capacity: Any) -> Tuple[List[Item], Any, Any]:
+    """Take items in decreasing value/weight ratio while they fit.
+
+    Returns ``(selected items in take order, total weight, total value)``.
+    """
+    ordered = sorted(items, key=lambda it: (-(it[2] / it[1]), repr(it[0])))
+    selected: List[Item] = []
+    weight: Any = 0
+    value: Any = 0
+    for name, w, v in ordered:
+        if weight + w <= capacity:
+            selected.append((name, w, v))
+            weight += w
+            value += v
+    return selected, weight, value

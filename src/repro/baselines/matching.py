@@ -1,0 +1,36 @@
+"""Procedural greedy matching — the heap comparator for Example 7."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, List, Set, Tuple
+
+from repro.datalog.builtins import order_key
+from repro.storage.heap import PriorityQueue
+
+__all__ = ["greedy_matching"]
+
+Arc = Tuple[Hashable, Hashable, Any]
+
+
+def greedy_matching(arcs: Iterable[Arc]) -> Tuple[List[Arc], Any]:
+    """Cheapest-arc-first maximal matching: pop arcs in cost order, keep
+    those whose endpoints are both unused — ``O(e log e)``.
+
+    Returns ``(selected arcs in order, total cost)``.
+    """
+    queue: PriorityQueue = PriorityQueue()
+    for arc in arcs:
+        queue.insert(order_key(arc[2]), arc)
+    used_sources: Set[Hashable] = set()
+    used_targets: Set[Hashable] = set()
+    selected: List[Arc] = []
+    total: Any = 0
+    while queue:
+        _, (x, y, c) = queue.pop_least()
+        if x in used_sources or y in used_targets:
+            continue
+        used_sources.add(x)
+        used_targets.add(y)
+        selected.append((x, y, c))
+        total = total + c
+    return selected, total

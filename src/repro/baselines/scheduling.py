@@ -1,0 +1,23 @@
+"""Procedural activity selection — comparator for the scheduling program."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, List, Tuple
+
+from repro.datalog.builtins import order_key
+
+__all__ = ["select_activities"]
+
+Job = Tuple[Hashable, Any, Any]
+
+
+def select_activities(jobs: Iterable[Job]) -> List[Job]:
+    """Earliest-finishing-time-first selection over ``(name, start,
+    finish)`` triples — the optimal greedy for interval scheduling."""
+    selected: List[Job] = []
+    last_finish: Any = None
+    for job in sorted(jobs, key=lambda j: (order_key(j[2]), order_key(j[1]), order_key(j[0]))):
+        if last_finish is None or order_key(job[1]) >= order_key(last_finish):
+            selected.append(job)
+            last_finish = job[2]
+    return selected

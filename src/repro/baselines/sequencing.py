@@ -1,0 +1,27 @@
+"""Procedural job sequencing with deadlines — the classic greedy."""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, List, Tuple
+
+__all__ = ["sequence_jobs"]
+
+Job = Tuple[Hashable, Any, int]
+
+
+def sequence_jobs(jobs: Iterable[Job]) -> List[Tuple[Hashable, Any, int]]:
+    """Take jobs in decreasing profit; place each in the latest free unit
+    slot at or before its deadline, skipping jobs with no free slot.
+
+    Returns ``(name, profit, slot)`` triples in selection order.
+    """
+    job_list = sorted(jobs, key=lambda j: (-j[1], repr(j[0])))
+    used: set = set()
+    scheduled: List[Tuple[Hashable, Any, int]] = []
+    for name, profit, deadline in job_list:
+        for slot in range(deadline, 0, -1):
+            if slot not in used:
+                used.add(slot)
+                scheduled.append((name, profit, slot))
+                break
+    return scheduled

@@ -1,0 +1,38 @@
+"""Procedural Dijkstra — comparator for the extension program."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Tuple
+
+from repro.datalog.builtins import order_key
+from repro.storage.heap import PriorityQueue
+
+__all__ = ["dijkstra_distances"]
+
+Edge = Tuple[Hashable, Hashable, Any]
+
+
+def dijkstra_distances(
+    edges: Iterable[Edge], source: Hashable, directed: bool = False
+) -> Dict[Hashable, Any]:
+    """Binary-heap Dijkstra over non-negative edge costs.
+
+    Returns ``vertex -> distance`` for every reachable vertex.
+    """
+    adjacency: Dict[Hashable, list] = {}
+    for u, v, c in edges:
+        adjacency.setdefault(u, []).append((v, c))
+        if not directed:
+            adjacency.setdefault(v, []).append((u, c))
+    distances: Dict[Hashable, Any] = {}
+    queue: PriorityQueue = PriorityQueue()
+    queue.insert(order_key(0), (0, source))
+    while queue:
+        _, (d, u) = queue.pop_least()
+        if u in distances:
+            continue
+        distances[u] = d
+        for v, c in adjacency.get(u, ()):
+            if v not in distances:
+                queue.insert(order_key(d + c), (d + c, v))
+    return distances

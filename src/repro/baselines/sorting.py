@@ -1,0 +1,26 @@
+"""Procedural heap-sort — the ``O(n log n)`` comparator for Example 5."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List
+
+from repro.datalog.builtins import order_key
+from repro.storage.heap import PriorityQueue
+
+__all__ = ["heapsort"]
+
+
+def heapsort(values: Iterable[Any]) -> List[Any]:
+    """Sort *values* ascending with the library's binary heap.
+
+    Uses the same total order (:func:`repro.datalog.builtins.order_key`)
+    as the declarative engines, so mixed-type inputs sort identically.
+    """
+    queue: PriorityQueue = PriorityQueue()
+    for value in values:
+        queue.insert(order_key(value), value)
+    result: List[Any] = []
+    while queue:
+        _, value = queue.pop_least()
+        result.append(value)
+    return result

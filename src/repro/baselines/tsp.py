@@ -1,0 +1,44 @@
+"""Procedural nearest-neighbour TSP chain — comparator for the Section 5
+sub-optimal program."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.datalog.builtins import order_key
+
+__all__ = ["nearest_neighbor_chain"]
+
+Arc = Tuple[Hashable, Hashable, Any]
+
+
+def nearest_neighbor_chain(arcs: Iterable[Arc]) -> Tuple[List[Arc], Any]:
+    """Start from the globally cheapest arc, then repeatedly extend the
+    tail with the cheapest arc to an unvisited node.
+
+    Returns ``(chain arcs in order, total cost)``.  Mirrors the
+    declarative ``tsp_chain`` program, including its tie-breaking by the
+    total order on vertices.
+    """
+    adjacency: Dict[Hashable, List[Tuple[Hashable, Any]]] = {}
+    arc_list = list(arcs)
+    for x, y, c in arc_list:
+        adjacency.setdefault(x, []).append((y, c))
+    if not arc_list:
+        return [], 0
+    first = min(arc_list, key=lambda a: (order_key(a[2]), order_key(a[0]), order_key(a[1])))
+    chain: List[Arc] = [first]
+    visited: Set[Hashable] = {first[0], first[1]}
+    total: Any = first[2]
+    tail = first[1]
+    while True:
+        candidates = [
+            (y, c) for y, c in adjacency.get(tail, ()) if y not in visited
+        ]
+        if not candidates:
+            return chain, total
+        y, c = min(candidates, key=lambda p: (order_key(p[1]), order_key(p[0])))
+        chain.append((tail, y, c))
+        visited.add(y)
+        total = total + c
+        tail = y

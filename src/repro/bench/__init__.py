@@ -1,0 +1,7 @@
+"""Benchmark harness utilities: timing sweeps, log–log slope fitting and
+paper-style reporting."""
+
+from repro.bench.runner import SweepPoint, SweepResult, fitted_exponent, sweep
+from repro.bench.reporting import format_table
+
+__all__ = ["SweepPoint", "SweepResult", "fitted_exponent", "format_table", "sweep"]

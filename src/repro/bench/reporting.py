@@ -1,0 +1,27 @@
+"""Plain-text tables for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned monospace table (markdown-ish, no dependency)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.4f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)

@@ -1,0 +1,184 @@
+"""Command-line interface: run, analyse and verify programs.
+
+::
+
+    python -m repro program.dl --facts g=edges.csv --seed 0 --query 'prm(X, Y, C, I)'
+    python -m repro program.dl --analyze
+    python -m repro program.dl --facts p=items.csv --verify --trace
+
+Facts files are headerless CSV; each cell is parsed as an integer, then a
+float, then kept as a string.  Without ``--query``, every derived (IDB)
+relation is printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import random
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compiler import ENGINES, compile_program
+from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.terms import format_value
+from repro.datalog.unify import match_args
+from repro.errors import ReproError
+from repro.semantics.stable import verify_engine_output
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Greedy by Choice: evaluate Datalog programs with choice, "
+            "least/most and next (PODS 1992)."
+        ),
+    )
+    parser.add_argument("program", help="path to the program file")
+    parser.add_argument(
+        "--facts",
+        action="append",
+        default=[],
+        metavar="PRED=FILE.csv",
+        help="load a predicate's facts from a headerless CSV (repeatable)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="rql",
+        help="evaluation engine (default: rql)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="rng seed for γ draws")
+    parser.add_argument(
+        "--query",
+        metavar="ATOM",
+        help="print only facts matching this atom, e.g. 'prm(X, Y, C, I)'",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="print the Section 4 stage analysis and exit without evaluating",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check the computed model with the Gelfond-Lifschitz transform",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the engine's γ decisions (choose/retire events)",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="FILE",
+        help="also write the full computed database to FILE as fact clauses",
+    )
+    return parser
+
+
+def _parse_cell(cell: str) -> Any:
+    cell = cell.strip()
+    for caster in (int, float):
+        try:
+            return caster(cell)
+        except ValueError:
+            continue
+    return cell
+
+
+def _load_facts(specs: Sequence[str]) -> Dict[str, List[Tuple[Any, ...]]]:
+    facts: Dict[str, List[Tuple[Any, ...]]] = {}
+    for spec in specs:
+        if "=" not in spec:
+            raise ReproError(f"--facts expects PRED=FILE.csv, got {spec!r}")
+        name, _, path = spec.partition("=")
+        rows: List[Tuple[Any, ...]] = []
+        with open(path, newline="") as handle:
+            for row in csv.reader(handle):
+                if row:
+                    rows.append(tuple(_parse_cell(cell) for cell in row))
+        facts.setdefault(name, []).extend(rows)
+    return facts
+
+
+def _print_analysis(compiled, out) -> None:
+    analysis = compiled.analysis
+    print(f"stage-stratified program: {analysis.is_stage_stratified_program}", file=out)
+    for report in analysis.reports:
+        preds = ", ".join(f"{n}/{a}" for n, a in sorted(report.clique.predicates))
+        print(f"\nclique [{preds}] — kind: {report.kind}", file=out)
+        if report.kind == "stage":
+            print(f"  stage clique:      {report.is_stage_clique}", file=out)
+            print(f"  stage-stratified:  {report.is_stage_stratified}", file=out)
+            for key, pos in sorted(report.stage_positions.items()):
+                print(f"  stage argument:    {key[0]}/{key[1]} position {pos}", file=out)
+            for violation in report.violations:
+                print(f"  violation:         {violation}", file=out)
+
+
+def _print_facts(db, program, query: Optional[str], out) -> None:
+    if query:
+        atom = parse_query(query)
+        facts = sorted(db.facts(atom.pred, atom.arity), key=repr)
+        for fact in facts:
+            if match_args(atom.args, fact, {}) is not None:
+                values = ", ".join(format_value(v) for v in fact)
+                print(f"{atom.pred}({values}).", file=out)
+        return
+    for key in sorted(program.idb_predicates()):
+        for fact in sorted(db.facts(*key), key=repr):
+            values = ", ".join(format_value(v) for v in fact)
+            print(f"{key[0]}({values}).", file=out)
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        source = Path(args.program).read_text()
+        compiled = compile_program(source, engine=args.engine)
+        if args.analyze:
+            _print_analysis(compiled, out)
+            return 0
+        facts = _load_facts(args.facts)
+        rng = random.Random(args.seed) if args.seed is not None else None
+        from repro.core.compiler import _make_engine
+
+        engine = _make_engine(args.engine, compiled.program, rng)
+        if args.trace and hasattr(engine, "record_trace"):
+            engine.record_trace = True
+        from repro.core.compiler import _as_database
+
+        db = _as_database(facts)
+        engine.run(db)
+        _print_facts(db, compiled.program, args.query, out)
+        if args.save:
+            from repro.storage.io import save_facts
+
+            save_facts(db, args.save)
+        if args.trace and getattr(engine, "trace", None) is not None:
+            print("\n% trace:", file=out)
+            for event in engine.trace:
+                values = ", ".join(format_value(v) for v in event.fact)
+                name = event.predicate[0]
+                print(f"%   {event.kind} {name}({values})", file=out)
+        if args.verify:
+            ok = verify_engine_output(compiled.program, db)
+            print(f"\n% stable model: {ok}", file=out)
+            if not ok:
+                return 2
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The paper's primary contribution: meta-constructs with first-order
+semantics and their efficient fixpoint implementation.
+
+Modules:
+
+* :mod:`repro.core.rewriting` — ``next`` macro-expansion, ``choice`` →
+  ``chosen``/``diffChoice`` negative rules, ``least``/``most`` → double
+  negation (Sections 2–3);
+* :mod:`repro.core.stage_analysis` — compile-time recognition of stage
+  predicates, stage cliques and stage-stratified programs (Section 4);
+* :mod:`repro.core.choice_fixpoint` — the Choice Fixpoint procedure
+  (Section 2, Lemmas 1–2);
+* :mod:`repro.core.stage_engine` — the Alternating Stage-Choice Fixpoint
+  (Section 4, Theorem 3), candidate recomputation per stage;
+* :mod:`repro.core.rql` — the (R, Q, L) storage structure and r-congruence
+  (Section 6);
+* :mod:`repro.core.greedy_engine` — the alternating fixpoint backed by
+  (R, Q, L), achieving the paper's asymptotic bounds;
+* :mod:`repro.core.compiler` — front door: analyse a program and run it on
+  the right engine.
+"""
+
+from repro.core.choice_fixpoint import ChoiceFixpointEngine
+from repro.core.compiler import CompiledProgram, compile_program, solve_program
+from repro.core.greedy_engine import GreedyStageEngine
+from repro.core.matroid_check import (
+    GreedyCertificate,
+    certify_greedy_exactness,
+    push_least,
+)
+from repro.core.rewriting import (
+    expand_next,
+    rewrite_choice,
+    rewrite_extrema,
+    rewrite_program,
+)
+from repro.core.rql import RQLStructure
+from repro.core.stage_analysis import StageAnalysis, analyze_stages
+from repro.core.stage_engine import BasicStageEngine
+
+__all__ = [
+    "BasicStageEngine",
+    "ChoiceFixpointEngine",
+    "CompiledProgram",
+    "GreedyCertificate",
+    "GreedyStageEngine",
+    "RQLStructure",
+    "StageAnalysis",
+    "analyze_stages",
+    "certify_greedy_exactness",
+    "compile_program",
+    "expand_next",
+    "rewrite_choice",
+    "rewrite_extrema",
+    "push_least",
+    "rewrite_program",
+    "solve_program",
+]

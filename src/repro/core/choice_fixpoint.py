@@ -1,0 +1,76 @@
+"""The Choice Fixpoint procedure (Section 2, Lemmas 1–2).
+
+::
+
+    begin  S' := ∅;
+           repeat  S := S';  S' := Q∞(γ(S));  until S' = S
+    end.
+
+γ is the non-deterministic one-consequence operator: it computes all the
+new ``chosen`` facts implied by the current interpretation and arbitrarily
+selects one; Q∞ saturates the remaining rules.  Each run computes one
+stable model of the program; the draw is driven by the engine's ``rng``,
+and every stable model is reachable for a suitable instantiation of γ
+(non-deterministic completeness — exercised by
+:mod:`repro.semantics.choice_models`, which enumerates the models by
+branching over γ).
+
+This engine accepts programs whose rules contain ``choice`` goals (plus
+plain rules and stratified extrema); programs with ``next`` goals belong
+to the stage engines of :mod:`repro.core.stage_engine` and
+:mod:`repro.core.greedy_engine`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.engine_base import BaseEngine
+from repro.core.stage_analysis import CliqueReport
+from repro.datalog.program import Program
+from repro.errors import EvaluationError
+from repro.storage.database import Database
+
+__all__ = ["ChoiceFixpointEngine"]
+
+
+class ChoiceFixpointEngine(BaseEngine):
+    """Compute a stable model of a choice program by the Choice Fixpoint.
+
+    Example::
+
+        program = parse_program('''
+            a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs).
+        ''')
+        db = Database()
+        db.assert_all("takes", [("andy", "engl"), ("mark", "engl")])
+        ChoiceFixpointEngine(program, rng=random.Random(7)).run(db)
+
+    Raises:
+        EvaluationError: at construction, if the program contains ``next``
+            goals (use :class:`~repro.core.stage_engine.BasicStageEngine`
+            or :class:`~repro.core.greedy_engine.GreedyStageEngine`).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        rng: random.Random | None = None,
+        check_safety: bool = True,
+        record_trace: bool = False,
+    ):
+        for rule in program.proper_rules():
+            if rule.next_goals:
+                raise EvaluationError(
+                    "ChoiceFixpointEngine does not evaluate next goals; "
+                    f"use a stage engine for: {rule}"
+                )
+        super().__init__(
+            program, rng=rng, check_safety=check_safety, record_trace=record_trace
+        )
+
+    def _run_stage_clique(self, report: CliqueReport, db: Database) -> None:
+        raise EvaluationError(
+            "program contains a stage clique; use BasicStageEngine or "
+            "GreedyStageEngine"
+        )  # pragma: no cover - construction already rejects next goals

@@ -1,0 +1,209 @@
+"""Shared clique-level evaluation helpers for the core engines.
+
+Three operations cover everything the engines need:
+
+* :func:`evaluate_rule_once` — evaluate one rule (extrema-aware) against
+  the database, returning the facts that were new;
+* :func:`saturate` — seminaive fixpoint of a set of meta-goal-free rules
+  (negation allowed when the caller vouches for local stratification, as
+  the alternating stage fixpoint does);
+* :func:`extrema_filter` — the group-by min/max selection shared by every
+  construct that evaluates ``least``/``most`` over a candidate set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.atoms import (
+    Atom,
+    ChoiceGoal,
+    LeastGoal,
+    Literal,
+    MostGoal,
+    NextGoal,
+)
+from repro.datalog.builtins import eval_expr, order_key
+from repro.datalog.evaluation import plan_body, solve
+from repro.datalog.rules import Rule
+from repro.datalog.unify import Subst, ground_term
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+__all__ = ["evaluate_rule_once", "saturate", "extrema_filter", "body_solutions"]
+
+Fact = Tuple[Any, ...]
+PredicateKey = Tuple[str, int]
+
+
+def extrema_filter(
+    solutions: Sequence[Subst], goals: Sequence[LeastGoal | MostGoal]
+) -> List[Subst]:
+    """Filter *solutions* through the extrema goals, applied in order.
+
+    Each goal groups the surviving solutions by the ground values of its
+    group terms and keeps, per group, those whose cost value attains the
+    extremum.  Ties survive together (the caller — typically the
+    non-deterministic ``γ`` operator — breaks them).
+    """
+    survivors = list(solutions)
+    for goal in goals:
+        best: Dict[Tuple[Any, ...], Any] = {}
+        keyed: List[Tuple[Tuple[Any, ...], Any, Subst]] = []
+        for subst in survivors:
+            group = tuple(ground_term(term, subst) for term in goal.group)
+            cost = eval_expr(goal.cost, subst)
+            keyed.append((group, cost, subst))
+            current = best.get(group, _MISSING)
+            if current is _MISSING or goal.better(order_key(cost), order_key(current)):
+                best[group] = cost
+        survivors = [
+            subst
+            for group, cost, subst in keyed
+            if order_key(cost) == order_key(best[group])
+        ]
+    return survivors
+
+
+def body_solutions(
+    rule: Rule,
+    db: Database,
+    initial: Subst | None = None,
+    drop: Tuple[type, ...] = (ChoiceGoal, LeastGoal, MostGoal, NextGoal),
+) -> List[Subst]:
+    """All substitutions satisfying the rule body with meta-goals dropped.
+
+    Args:
+        rule: the rule whose body to evaluate.
+        db: the fact database.
+        initial: pre-established bindings (e.g. the stage variable).
+        drop: literal classes to strip from the body before evaluation.
+    """
+    initial = initial or {}
+    literals = [
+        (literal, index)
+        for index, literal in enumerate(rule.body)
+        if not isinstance(literal, drop)
+    ]
+    plan = plan_body(literals, initially_bound=set(initial))
+    return list(solve(plan, db, dict(initial)))
+
+
+def evaluate_rule_once(
+    rule: Rule, db: Database, initial: Subst | None = None
+) -> List[Fact]:
+    """Evaluate *rule* once (with extrema applied) and insert the results.
+
+    Choice and next goals must have been handled by the caller; extrema
+    goals are applied as a group-by filter over the body solutions.
+
+    Returns the facts that were actually new.
+    """
+    solutions = body_solutions(rule, db, initial, drop=(LeastGoal, MostGoal))
+    extrema = rule.extrema_goals
+    if extrema:
+        solutions = extrema_filter(solutions, extrema)
+    relation = db.relation(rule.head.pred, rule.head.arity)
+    new_facts: List[Fact] = []
+    for subst in solutions:
+        fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+        if relation.add(fact):
+            new_facts.append(fact)
+    return new_facts
+
+
+def saturate(
+    rules: Sequence[Rule],
+    clique_predicates: Iterable[PredicateKey],
+    db: Database,
+    seed_deltas: Dict[PredicateKey, List[Fact]] | None = None,
+) -> Dict[PredicateKey, List[Fact]]:
+    """Seminaive fixpoint of *rules* over *db*.
+
+    Rules must be free of choice/next/extrema goals (plain negation and
+    negated conjunctions are allowed — the stage engines call this inside
+    a locally stratified alternation, where reading the current database
+    is sound).
+
+    Args:
+        rules: the flat rules of the clique.
+        clique_predicates: predicates whose occurrences in rule bodies are
+            differentiated (delta-driven).
+        seed_deltas: externally produced new facts (e.g. the fact a ``γ``
+            step just asserted) that should drive the first differential
+            round.  When ``None``, every rule is evaluated in full once to
+            seed the deltas.
+
+    Returns:
+        Every new fact derived, keyed by predicate.
+    """
+    predicates = set(clique_predicates)
+    produced: Dict[PredicateKey, List[Fact]] = {}
+
+    def record(key: PredicateKey, facts: List[Fact]) -> None:
+        if facts:
+            produced.setdefault(key, []).extend(facts)
+
+    deltas: Dict[PredicateKey, List[Fact]] = {}
+    if seed_deltas is None:
+        for rule in rules:
+            new_facts = evaluate_rule_once(rule, db)
+            record(rule.head.key, new_facts)
+            if rule.head.key in predicates:
+                deltas.setdefault(rule.head.key, []).extend(new_facts)
+    else:
+        for key, facts in seed_deltas.items():
+            if facts:
+                deltas.setdefault(key, []).extend(facts)
+
+    variants = _delta_variants(rules, predicates)
+    while deltas:
+        delta_relations = {
+            key: _as_relation(key, facts) for key, facts in deltas.items()
+        }
+        next_deltas: Dict[PredicateKey, List[Fact]] = {}
+        for rule, index, key in variants:
+            delta_rel = delta_relations.get(key)
+            if delta_rel is None:
+                continue
+            solutions = _delta_solutions(rule, db, index, delta_rel)
+            relation = db.relation(rule.head.pred, rule.head.arity)
+            fresh: List[Fact] = []
+            for subst in solutions:
+                fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+                if relation.add(fact):
+                    fresh.append(fact)
+            record(rule.head.key, fresh)
+            if rule.head.key in predicates and fresh:
+                next_deltas.setdefault(rule.head.key, []).extend(fresh)
+        deltas = next_deltas
+    return produced
+
+
+def _delta_variants(
+    rules: Sequence[Rule], predicates: Set[PredicateKey]
+) -> List[Tuple[Rule, int, PredicateKey]]:
+    variants: List[Tuple[Rule, int, PredicateKey]] = []
+    for rule in rules:
+        for index, literal in enumerate(rule.body):
+            if isinstance(literal, Atom) and literal.key in predicates:
+                variants.append((rule, index, literal.key))
+    return variants
+
+
+def _delta_solutions(
+    rule: Rule, db: Database, delta_index: int, delta_relation: Relation
+) -> List[Subst]:
+    literals = [(literal, index) for index, literal in enumerate(rule.body)]
+    plan = plan_body(literals)
+    return list(solve(plan, db, {}, delta_index, delta_relation))
+
+
+def _as_relation(key: PredicateKey, facts: List[Fact]) -> Relation:
+    relation = Relation(f"Δ{key[0]}", key[1])
+    for fact in facts:
+        relation.add(fact)
+    return relation
+
+
+_MISSING = object()

@@ -1,0 +1,163 @@
+"""Front door: compile a program (text or AST) and run it.
+
+``compile_program`` parses, safety-checks and stage-analyses a program and
+selects an engine; ``CompiledProgram.run`` executes it over a database.
+This is the API the examples and the :mod:`repro.programs` library use::
+
+    compiled = compile_program('''
+        sp(nil, 0, 0).
+        sp(X, C, I) <- next(I), p(X, C), least(C, I).
+    ''')
+    db = compiled.run(facts={"p": [("a", 3), ("b", 1)]}, seed=0)
+    sorted(db.facts("sp", 3))
+
+Engine names:
+
+* ``"rql"`` (default) — :class:`~repro.core.greedy_engine.GreedyStageEngine`,
+  the Section 6 implementation; cliques that do not fit the canonical
+  shape fall back to basic evaluation automatically;
+* ``"basic"`` — :class:`~repro.core.stage_engine.BasicStageEngine`,
+  candidate recomputation per stage (the E6 ablation baseline);
+* ``"choice"`` — :class:`~repro.core.choice_fixpoint.ChoiceFixpointEngine`,
+  for programs without ``next``;
+* ``"naive"`` / ``"seminaive"`` — the plain Datalog engines, for programs
+  without any meta-construct.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.choice_fixpoint import ChoiceFixpointEngine
+from repro.core.greedy_engine import GreedyStageEngine
+from repro.core.stage_analysis import StageAnalysis, analyze_stages
+from repro.core.stage_engine import BasicStageEngine
+from repro.datalog.naive import NaiveEngine
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.datalog.seminaive import SeminaiveEngine
+from repro.errors import EvaluationError
+from repro.storage.database import Database
+
+__all__ = ["CompiledProgram", "compile_program", "solve_program", "query", "ENGINES"]
+
+Fact = Tuple[Any, ...]
+FactsInput = Union[Database, Mapping[str, Iterable[Fact]], None]
+
+ENGINES = ("rql", "basic", "choice", "naive", "seminaive")
+
+
+@dataclass
+class CompiledProgram:
+    """A parsed, analysed program bound to an engine choice."""
+
+    program: Program
+    analysis: StageAnalysis
+    engine: str = "rql"
+    #: The engine instance used by the most recent :meth:`run` (exposes
+    #: stats, RQL structures, fallbacks...).
+    last_engine: Any = field(default=None, repr=False)
+
+    @property
+    def is_stage_stratified(self) -> bool:
+        """Whether the whole program passed the Section 4 check."""
+        return self.analysis.is_stage_stratified_program
+
+    def run(
+        self,
+        facts: FactsInput = None,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        engine: str | None = None,
+    ) -> Database:
+        """Evaluate the program and return the resulting database.
+
+        Args:
+            facts: extensional input — a :class:`Database` (mutated in
+                place) or a mapping ``{predicate: [tuples]}``.
+            seed: convenience for ``rng=random.Random(seed)``.
+            rng: source of the non-deterministic γ draws.
+            engine: override the engine chosen at compile time.
+        """
+        db = _as_database(facts)
+        if rng is None and seed is not None:
+            rng = random.Random(seed)
+        name = engine or self.engine
+        engine_instance = _make_engine(name, self.program, rng)
+        self.last_engine = engine_instance
+        return engine_instance.run(db)
+
+
+def query(db: Database, atom_text: str) -> List[Dict[str, Any]]:
+    """Match a query atom against a database.
+
+    Returns one binding dict per matching fact, e.g.::
+
+        query(db, "prm(X, Y, C, I)")  ->  [{"X": "a", "Y": "c", ...}, ...]
+
+    Constants in the atom filter; wildcards (``_``) match anything.
+    """
+    from repro.datalog.parser import parse_query
+    from repro.datalog.unify import match_args
+
+    atom = parse_query(atom_text)
+    results: List[Dict[str, Any]] = []
+    for fact in db.facts(atom.pred, atom.arity):
+        subst = match_args(atom.args, fact, {})
+        if subst is not None:
+            results.append(subst)
+    return results
+
+
+def _as_database(facts: FactsInput) -> Database:
+    if facts is None:
+        return Database()
+    if isinstance(facts, Database):
+        return facts
+    db = Database()
+    for name, tuples in facts.items():
+        db.assert_all(name, [tuple(t) for t in tuples])
+    return db
+
+
+def _make_engine(name: str, program: Program, rng: random.Random | None):
+    if name == "rql":
+        return GreedyStageEngine(program, rng=rng, check_safety=False)
+    if name == "basic":
+        return BasicStageEngine(program, rng=rng, check_safety=False)
+    if name == "choice":
+        return ChoiceFixpointEngine(program, rng=rng, check_safety=False)
+    if name == "naive":
+        return NaiveEngine(program, check_safety=False)
+    if name == "seminaive":
+        return SeminaiveEngine(program, check_safety=False)
+    raise EvaluationError(f"unknown engine {name!r}; expected one of {ENGINES}")
+
+
+def compile_program(source: Union[str, Program], engine: str = "rql") -> CompiledProgram:
+    """Parse (if needed), safety-check and stage-analyse *source*.
+
+    Raises:
+        ParseError: on bad syntax.
+        SafetyError: on unsafe rules.
+        EvaluationError: on an unknown engine name.
+    """
+    if engine not in ENGINES:
+        raise EvaluationError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    program = parse_program(source) if isinstance(source, str) else source
+    program.check_safety()
+    analysis = analyze_stages(program)
+    return CompiledProgram(program, analysis, engine)
+
+
+def solve_program(
+    source: Union[str, Program],
+    facts: FactsInput = None,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+    engine: str = "rql",
+) -> Database:
+    """One-shot convenience: compile and run in a single call."""
+    return compile_program(source, engine=engine).run(facts, seed=seed, rng=rng)

@@ -1,0 +1,356 @@
+"""Shared orchestration for the whole-program engines.
+
+An engine walks the recursive cliques of the program in dependency
+(callees-first) order and dispatches each to a kind-specific runner:
+
+* ``plain`` cliques — ordinary (semi)naive evaluation; extrema allowed in
+  non-recursive rules only;
+* ``choice`` cliques — the γ / Q∞ alternation of the Choice Fixpoint;
+* ``stage`` cliques — subclass-specific (the Choice Fixpoint engine
+  rejects them; the stage engines run the alternating fixpoint).
+
+All engines take an optional ``rng`` (:class:`random.Random`) driving the
+non-deterministic one-consequence operator γ; omitted, a fresh unseeded
+generator is used, so different runs may produce different choice models —
+which is the intended semantics.  Candidate lists are sorted by a
+deterministic key before the draw, so a seeded rng makes a run fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.clique_eval import (
+    body_solutions,
+    evaluate_rule_once,
+    extrema_filter,
+    saturate,
+)
+from repro.core.stage_analysis import CliqueReport, StageAnalysis, analyze_stages
+from repro.datalog.atoms import Atom, ChoiceGoal, Negation
+from repro.datalog.builtins import order_key
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.unify import Subst, ground_term, match_args
+from repro.errors import EvaluationError, StratificationError
+from repro.storage.database import Database
+
+__all__ = ["BaseEngine", "ChoiceMemo", "EngineRunStats", "TraceEvent"]
+
+Fact = Tuple[Any, ...]
+PredicateKey = Tuple[str, int]
+
+
+@dataclass
+class EngineRunStats:
+    """Counters shared by the core engines."""
+
+    gamma_firings: int = 0
+    gamma_candidates_examined: int = 0
+    saturation_facts: int = 0
+    stages: int = 0
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded engine decision (``record_trace=True``).
+
+    Attributes:
+        kind: ``"choose"`` — a γ firing asserted *fact*; ``"retire"`` — a
+            popped (R, Q, L) candidate failed admissibility and moved to R.
+        predicate: the ``(name, arity)`` the event concerns.
+        fact: the asserted head fact, or the retired candidate fact.
+        stage: the stage counter after the event (-1 for stage-less
+            choice cliques).
+    """
+
+    kind: str
+    predicate: PredicateKey
+    fact: Fact
+    stage: int = -1
+
+
+class ChoiceMemo:
+    """Memoized ``chosen`` state for one rule with choice goals.
+
+    Keeps, per functional dependency, the mapping ``left -> right``
+    established by earlier γ firings, plus the set of control tuples
+    already chosen.  This is the "memorization of the chosen predicates"
+    the paper prescribes; ``diffChoice`` is implicitly checked by
+    :meth:`admits`, i.e. generated on the fly.
+    """
+
+    def __init__(self, rule: Rule):
+        self.rule = rule
+        self.goals: Tuple[ChoiceGoal, ...] = rule.choice_goals
+        self._maps: List[Dict[Tuple[Any, ...], Tuple[Any, ...]]] = [
+            {} for _ in self.goals
+        ]
+        self._chosen: Set[Tuple[Any, ...]] = set()
+
+    def _sides(self, goal: ChoiceGoal, subst: Subst) -> Tuple[Tuple[Any, ...], Tuple[Any, ...]]:
+        left = tuple(ground_term(term, subst) for term in goal.left)
+        right = tuple(ground_term(term, subst) for term in goal.right)
+        return left, right
+
+    def control_tuple(self, subst: Subst) -> Tuple[Any, ...]:
+        """The ground values of every variable governed by the goals."""
+        values: List[Any] = []
+        seen: Set[str] = set()
+        for goal in self.goals:
+            for term in goal.left + goal.right:
+                for var in term.variables():
+                    if var.name not in seen and not var.name.startswith("_"):
+                        seen.add(var.name)
+                        values.append(subst[var.name])
+        return tuple(values)
+
+    def admits(self, subst: Subst, check_new: bool = True) -> bool:
+        """Whether the candidate *subst* is FD-consistent — and, with
+        ``check_new`` (the γ criterion for stage-less choice rules), not
+        already chosen.  ``next`` rules pass ``check_new=False`` because
+        their newness is governed by the implicit ``W -> I`` dependency
+        (the engines' W-memo)."""
+        if check_new and self.control_tuple(subst) in self._chosen:
+            return False
+        for goal, mapping in zip(self.goals, self._maps):
+            left, right = self._sides(goal, subst)
+            established = mapping.get(left)
+            if established is not None and established != right:
+                return False
+        return True
+
+    def commit(self, subst: Subst) -> None:
+        """Record the FDs established by firing the candidate *subst*."""
+        self._chosen.add(self.control_tuple(subst))
+        for goal, mapping in zip(self.goals, self._maps):
+            left, right = self._sides(goal, subst)
+            mapping[left] = right
+
+    def absorb_head_fact(self, fact: Fact) -> bool:
+        """Ingest a fact of the rule's head predicate that was produced by
+        *another* rule (an exit fact, or a sibling rule's firing).
+
+        The paper reads ``choice(X, Y)`` as "the FD ``X -> Y`` must hold
+        in the model" for the head predicate as a whole — so Prim's exit
+        fact ``prm(nil, a, 0, 0)`` must block the root ``a`` from being
+        re-entered by the recursive rule.  When the fact matches the head
+        pattern and binds every choice variable, its FDs are committed.
+
+        Returns ``True`` if the fact was absorbed.
+        """
+        subst = match_args(self.rule.head.args, fact, {})
+        if subst is None:
+            return False
+        needed = {
+            var.name
+            for goal in self.goals
+            for term in goal.left + goal.right
+            for var in term.variables()
+            if not var.name.startswith("_")
+        }
+        if not needed <= set(subst):
+            return False
+        self.commit(subst)
+        return True
+
+    def clone(self) -> "ChoiceMemo":
+        """An independent copy (used by the model enumerator's DFS)."""
+        twin = ChoiceMemo(self.rule)
+        twin._maps = [dict(m) for m in self._maps]
+        twin._chosen = set(self._chosen)
+        return twin
+
+    @property
+    def chosen_count(self) -> int:
+        return len(self._chosen)
+
+
+class BaseEngine:
+    """Clique-walking skeleton shared by the core engines."""
+
+    def __init__(
+        self,
+        program: Program,
+        rng: random.Random | None = None,
+        check_safety: bool = True,
+        record_trace: bool = False,
+    ):
+        if check_safety:
+            program.check_safety()
+        self.program = program
+        self.rng = rng if rng is not None else random.Random()
+        self.analysis: StageAnalysis = analyze_stages(program)
+        self.stats = EngineRunStats()
+        self.record_trace = record_trace
+        #: γ decisions in order, populated when ``record_trace`` is set.
+        self.trace: List[TraceEvent] = []
+
+    def _note(self, kind: str, predicate: PredicateKey, fact: Fact, stage: int = -1) -> None:
+        if self.record_trace:
+            self.trace.append(TraceEvent(kind, predicate, fact, stage))
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, db: Database | None = None) -> Database:
+        """Evaluate the program over *db* (created empty when omitted).
+
+        Program facts are loaded first; cliques run callees-first.  The
+        database is mutated and returned: on completion it holds one
+        choice model (stable model) of the program.
+        """
+        if db is None:
+            db = Database()
+        for name, facts in self.program.ground_facts().items():
+            db.assert_all(name, facts)
+        for report in self.analysis.reports:
+            self._run_clique(report, db)
+        return db
+
+    # -- clique dispatch -----------------------------------------------------------
+
+    def _run_clique(self, report: CliqueReport, db: Database) -> None:
+        if report.kind == "plain":
+            self._run_plain_clique(report, db)
+        elif report.kind == "choice":
+            self._run_choice_clique(report, db)
+        elif report.kind == "stage":
+            self._run_stage_clique(report, db)
+        else:  # pragma: no cover - defensive
+            raise EvaluationError(f"unknown clique kind {report.kind!r}")
+
+    def _run_stage_clique(self, report: CliqueReport, db: Database) -> None:
+        raise NotImplementedError
+
+    # -- plain cliques ----------------------------------------------------------------
+
+    def _run_plain_clique(self, report: CliqueReport, db: Database) -> None:
+        clique = report.clique
+        if not clique.is_recursive:
+            for rule in clique.rules:
+                self.stats.saturation_facts += len(evaluate_rule_once(rule, db))
+            return
+        # Recursive plain clique: negation or extrema through recursion is
+        # not allowed here (that is exactly what stage cliques are for).
+        for rule in clique.rules:
+            if rule.extrema_goals:
+                raise StratificationError(
+                    f"extrema through recursion outside a stage clique: {rule}"
+                )
+            for literal in rule.body:
+                if isinstance(literal, Negation) and literal.atom.key in clique.predicates:
+                    raise StratificationError(
+                        f"negation through recursion outside a stage clique: {rule}"
+                    )
+        produced = saturate(clique.rules, clique.predicates, db)
+        self.stats.saturation_facts += sum(len(v) for v in produced.values())
+
+    # -- choice cliques (γ / Q∞) ---------------------------------------------------------
+
+    def _run_choice_clique(self, report: CliqueReport, db: Database) -> None:
+        """The Choice Fixpoint restricted to one clique:
+        ``repeat S := Q∞(γ(S)) until fixpoint``."""
+        clique = report.clique
+        choice_rules = [r for r in clique.rules if r.choice_goals]
+        flat_rules = [r for r in clique.rules if not r.choice_goals]
+        for rule in flat_rules:
+            if rule.extrema_goals and _references(rule, clique.predicates):
+                raise StratificationError(
+                    f"extrema through recursion in a choice clique: {rule}"
+                )
+        memos = {id(rule): ChoiceMemo(rule) for rule in choice_rules}
+
+        produced = saturate(
+            [r for r in flat_rules if not r.extrema_goals], clique.predicates, db
+        )
+        self.stats.saturation_facts += sum(len(v) for v in produced.values())
+        for rule in flat_rules:
+            if rule.extrema_goals:
+                self.stats.saturation_facts += len(evaluate_rule_once(rule, db))
+        # The FDs must hold over the whole head predicate, so pre-existing
+        # facts (exit facts, lower-clique derivations) seed the memos.
+        for rule in choice_rules:
+            memo = memos[id(rule)]
+            for fact in db.facts(*rule.head.key):
+                memo.absorb_head_fact(fact)
+
+        while True:
+            fired = self._gamma_step(choice_rules, memos, db)
+            if fired is None:
+                break
+            key, fact = fired
+            for rule in choice_rules:
+                if rule.head.key == key:
+                    memos[id(rule)].absorb_head_fact(fact)
+            produced = saturate(
+                [r for r in flat_rules if not r.extrema_goals],
+                clique.predicates,
+                db,
+                seed_deltas={key: [fact]},
+            )
+            self.stats.saturation_facts += sum(len(v) for v in produced.values())
+            for rule in choice_rules:
+                for new_fact in produced.get(rule.head.key, ()):
+                    memos[id(rule)].absorb_head_fact(new_fact)
+
+    def _eligible_choice_candidates(
+        self, rule: Rule, memo: ChoiceMemo, db: Database
+    ) -> List[Subst]:
+        """The eligible γ candidates of one choice rule: body solutions
+        that are FD-consistent and new, with ``least``/``most`` applied,
+        sorted by a deterministic key.
+
+        The extremum ranks candidates against every FD-consistent
+        *witness*, including the already-chosen ones: in the rewriting the
+        negated cheaper-instantiation copy only requires ¬diffChoice, and
+        a chosen tuple satisfies its own FDs.  This is what gives the
+        paper's ``bi_st_c`` example exactly two one-fact stable models —
+        once the bottom pair is chosen, every remaining candidate loses
+        the ``least`` comparison against it and γ goes empty."""
+        solutions = body_solutions(rule, db)
+        self.stats.gamma_candidates_examined += len(solutions)
+        if rule.extrema_goals:
+            witnesses = [s for s in solutions if memo.admits(s, check_new=False)]
+            minimal = extrema_filter(witnesses, rule.extrema_goals)
+            eligible = [s for s in minimal if memo.admits(s)]
+        else:
+            eligible = [s for s in solutions if memo.admits(s)]
+        eligible.sort(key=lambda s: order_key(memo.control_tuple(s)))
+        return eligible
+
+    def _gamma_step(
+        self,
+        choice_rules: Sequence[Rule],
+        memos: Dict[int, ChoiceMemo],
+        db: Database,
+    ) -> Optional[Tuple[PredicateKey, Fact]]:
+        """One application of the one-consequence operator γ: compute the
+        eligible candidates of every choice rule, pick one arbitrarily
+        (via the engine rng), fire it, and memoize its FDs.
+
+        Returns ``(head predicate, fact)`` or ``None`` when γ is empty.
+        """
+        rules = list(choice_rules)
+        self.rng.shuffle(rules)
+        for rule in rules:
+            memo = memos[id(rule)]
+            eligible = self._eligible_choice_candidates(rule, memo, db)
+            if not eligible:
+                continue
+            subst = self.rng.choice(eligible)
+            memo.commit(subst)
+            fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+            db.relation(rule.head.pred, rule.head.arity).add(fact)
+            self.stats.gamma_firings += 1
+            self._note("choose", rule.head.key, fact)
+            return rule.head.key, fact
+        return None
+
+
+def _references(rule: Rule, predicates: Set[PredicateKey]) -> bool:
+    return any(
+        isinstance(literal, Atom) and literal.key in predicates for literal in rule.body
+    )

@@ -1,0 +1,193 @@
+"""Sufficient conditions for pushing ``least`` into choice programs.
+
+The paper's conclusion leaves open "the problem of deriving simple
+sufficient conditions for the propagation of least into stage stratified
+programs based on Matroid Theory".  This module implements the two
+syntactic certificates its own examples suggest, plus the transformation
+they license:
+
+* **free / partition matroid** — the ``next`` rule has no choice goal, or
+  exactly one whose left side is a single candidate attribute.  The
+  selectable sets then form a partition matroid (capacity one per block),
+  so by Rado–Edmonds greedy-by-cost optimises any additive objective:
+  pushing ``least(C, I)`` (or ``most``) into the rule is *exact* — the
+  greedy model attains the post-condition optimum over all choice models.
+* **matroid intersection** — two or more choice FDs over distinct keys
+  (Example 7's ``choice(Y, X), choice(X, Y)``).  The selectable sets are
+  an intersection of partition matroids: greedy is still maximal, but the
+  certificate is refused because exactness can fail
+  (``tests/semantics/test_optimize.py`` exhibits the failure).
+
+:func:`certify_greedy_exactness` reports the certificate per stage
+clique; :func:`push_least` applies the transformation to the certified
+rules, turning a naive "enumerate and post-select" specification into
+the greedy program the paper compiles by hand.
+
+This is deliberately *sufficient, not complete*: graphic-matroid
+structure (Kruskal) is not recognised syntactically — deciding it needs
+the semantics of the flat rules — which is exactly why the paper calls
+the general problem open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.core.stage_analysis import StageAnalysis, analyze_stages
+from repro.datalog.atoms import Atom, LeastGoal, Literal, MostGoal
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Var
+
+__all__ = ["GreedyCertificate", "certify_greedy_exactness", "push_least"]
+
+
+@dataclass(frozen=True)
+class GreedyCertificate:
+    """The verdict for one ``next`` rule.
+
+    Attributes:
+        rule: the rule examined.
+        verdict: ``"free"`` (no constraint — any additive objective is
+            optimised by taking everything in cost order), ``"partition"``
+            (one single-attribute FD — greedy exact), or
+            ``"intersection"`` (greedy maximal, exactness not guaranteed).
+        cost_candidates: candidate-atom variables usable as the pushed
+            cost (appear as a direct argument of the unique candidate
+            atom and in the rule head).
+        reason: human-readable explanation.
+    """
+
+    rule: Rule
+    verdict: str
+    cost_candidates: Tuple[str, ...]
+    reason: str
+
+    @property
+    def is_exact(self) -> bool:
+        return self.verdict in ("free", "partition")
+
+
+def certify_greedy_exactness(
+    source: Union[str, Program]
+) -> List[GreedyCertificate]:
+    """Certify every ``next`` rule of *source* (see module docstring)."""
+    program = parse_program(source) if isinstance(source, str) else source
+    analysis = analyze_stages(program)
+    certificates: List[GreedyCertificate] = []
+    for report in analysis.reports:
+        for rule in report.next_rules:
+            certificates.append(_certify_rule(rule))
+    return certificates
+
+
+def _certify_rule(rule: Rule) -> GreedyCertificate:
+    positives = [l for l in rule.body if isinstance(l, Atom)]
+    candidate_vars: Tuple[str, ...] = ()
+    if len(positives) == 1:
+        head_names = {
+            v.name for v in rule.head.variables() if not v.name.startswith("_")
+        }
+        candidate_vars = tuple(
+            arg.name
+            for arg in positives[0].args
+            if isinstance(arg, Var) and arg.name in head_names
+        )
+    goals = rule.choice_goals
+    if not goals:
+        return GreedyCertificate(
+            rule,
+            "free",
+            candidate_vars,
+            "no choice constraint: the free matroid — any cost order is exact",
+        )
+    single_key_goals = [
+        goal
+        for goal in goals
+        if len(goal.left) == 1 and isinstance(goal.left[0], Var)
+    ]
+    if len(goals) == 1 and len(single_key_goals) == 1:
+        key = single_key_goals[0].left[0].name
+        return GreedyCertificate(
+            rule,
+            "partition",
+            candidate_vars,
+            f"single FD {goals[0]}: partition matroid on {key} (capacity 1) "
+            "— greedy-by-cost is exact for additive objectives "
+            "(Rado-Edmonds)",
+        )
+    return GreedyCertificate(
+        rule,
+        "intersection",
+        candidate_vars,
+        f"{len(goals)} choice constraints: a matroid intersection — greedy "
+        "stays maximal but may miss the optimum; least is not pushed",
+    )
+
+
+def push_least(
+    source: Union[str, Program],
+    cost_var: str,
+    minimize: bool = True,
+    require_certificate: bool = True,
+) -> Program:
+    """Push ``least(cost_var, I)`` (or ``most``) into every certified
+    ``next`` rule of *source*.
+
+    This is the compilation step the paper performs by hand from the
+    Section 7 naive matching program to Example 7's greedy: the returned
+    program computes, in one greedy run, a model attaining the
+    post-condition optimum — *provided* the certificate holds.
+
+    Args:
+        source: program text or AST.
+        cost_var: name of the cost variable in the next rule(s).
+        minimize: ``True`` pushes ``least``, ``False`` pushes ``most``.
+        require_certificate: with ``True`` (default), rules whose
+            certificate verdict is not exact are left untouched; with
+            ``False`` the extremum is pushed regardless (the greedy is
+            then heuristic, as in Example 7 itself).
+
+    Raises:
+        ValueError: if no next rule mentions *cost_var*, or an extremum
+            is already present.
+    """
+    program = parse_program(source) if isinstance(source, str) else source
+    analysis = analyze_stages(program)
+    stage_rules = {
+        id(rule): report
+        for report in analysis.reports
+        for rule in report.next_rules
+    }
+    rewritten: List[Rule] = []
+    pushed = 0
+    for rule in program.rules:
+        report = stage_rules.get(id(rule))
+        if report is None:
+            rewritten.append(rule)
+            continue
+        names = {v.name for v in rule.body_vars()}
+        if cost_var not in names:
+            rewritten.append(rule)
+            continue
+        if rule.extrema_goals:
+            raise ValueError(f"rule already has an extremum: {rule}")
+        certificate = _certify_rule(rule)
+        if require_certificate and not certificate.is_exact:
+            rewritten.append(rule)
+            continue
+        stage_var = rule.next_goals[0].var
+        goal: Literal = (
+            LeastGoal(Var(cost_var), (stage_var,))
+            if minimize
+            else MostGoal(Var(cost_var), (stage_var,))
+        )
+        rewritten.append(Rule(rule.head, rule.body + (goal,)))
+        pushed += 1
+    if not pushed:
+        raise ValueError(
+            f"no next rule mentioning {cost_var!r} was eligible for the push"
+        )
+    return Program(tuple(rewritten))

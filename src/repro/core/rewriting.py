@@ -1,0 +1,381 @@
+"""Rewriting of the meta-constructs into negation.
+
+The paper gives every construct a first-order semantics by macro-expansion
+(Sections 2–3):
+
+* ``next(I)`` in ``p(W, I) <- next(I), rest`` expands to::
+
+      p(W, I) <- rest, p(_, ..., I1), I = I1 + 1,
+                 choice(I, W), choice(W, I).
+
+  where ``W`` are the non-stage head arguments (:func:`expand_next`);
+
+* a rule with ``choice`` goals is a shorthand for a pair of rules over a
+  fresh ``chosen_i`` predicate guarded by ``not diffChoice_i``, plus one
+  ``diffChoice_i`` rule per functional dependency (:func:`rewrite_choice`);
+
+* ``least(C, G)`` becomes the negation of a renamed copy of the body with
+  a strictly smaller cost and the group variables shared
+  (:func:`rewrite_extrema`, the paper's footnote 2).
+
+:func:`rewrite_program` chains the three in the paper's order — next,
+then choice, then extrema — producing a plain negative program whose
+stable models define the meaning of the original.  The resulting program
+is what :mod:`repro.semantics.stable` checks engine outputs against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.datalog.atoms import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    LeastGoal,
+    Literal,
+    MostGoal,
+    NegatedConjunction,
+    Negation,
+    NextGoal,
+)
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Const, Struct, Term, Var, fresh_var
+from repro.errors import RewriteError
+
+__all__ = [
+    "expand_next",
+    "rewrite_choice",
+    "rewrite_extrema",
+    "rewrite_program",
+    "CHOSEN_PREFIX",
+    "DIFFCHOICE_PREFIX",
+]
+
+#: Name prefixes for the predicates introduced by the choice rewriting.
+CHOSEN_PREFIX = "chosen$"
+DIFFCHOICE_PREFIX = "diffChoice$"
+
+
+# ---------------------------------------------------------------------------
+# next(I) expansion
+# ---------------------------------------------------------------------------
+
+
+def expand_next(program: Program) -> Program:
+    """Expand every ``next(I)`` goal per the Section 3 macro.
+
+    The head's stage argument must be exactly the ``next`` variable; the
+    remaining head arguments form the tuple ``W`` of the expansion.
+
+    Raises:
+        RewriteError: if a rule has more than one ``next`` goal, or its
+            ``next`` variable does not appear in the head.
+    """
+    rewritten: List[Rule] = []
+    for rule in program.rules:
+        next_goals = rule.next_goals
+        if not next_goals:
+            rewritten.append(rule)
+            continue
+        if len(next_goals) > 1:
+            raise RewriteError(f"rule has multiple next goals: {rule}")
+        stage_var = next_goals[0].var
+        head_args = rule.head.args
+        stage_positions = [
+            i for i, arg in enumerate(head_args) if isinstance(arg, Var) and arg == stage_var
+        ]
+        if not stage_positions:
+            raise RewriteError(
+                f"next variable {stage_var} does not appear in the head of: {rule}"
+            )
+        w_terms: Tuple[Term, ...] = tuple(
+            arg for i, arg in enumerate(head_args) if i != stage_positions[0]
+        )
+        prev_stage = fresh_var("I_prev")
+        recursive_atom = Atom(
+            rule.head.pred,
+            tuple(
+                prev_stage if i == stage_positions[0] else fresh_var("_any")
+                for i in range(len(head_args))
+            ),
+        )
+        expansion: List[Literal] = [
+            literal for literal in rule.body if not isinstance(literal, NextGoal)
+        ]
+        expansion.append(recursive_atom)
+        expansion.append(Comparison("=", stage_var, Struct("+", (prev_stage, Const(1)))))
+        expansion.append(ChoiceGoal((stage_var,), w_terms))
+        expansion.append(ChoiceGoal(w_terms, (stage_var,)))
+        rewritten.append(Rule(rule.head, tuple(expansion)))
+    return Program(tuple(rewritten))
+
+
+# ---------------------------------------------------------------------------
+# choice rewriting
+# ---------------------------------------------------------------------------
+
+
+def _choice_vars(goals: Sequence[ChoiceGoal]) -> List[Var]:
+    """The variables governed by *goals*, in first-occurrence order."""
+    seen: List[Var] = []
+    for goal in goals:
+        for term in goal.left + goal.right:
+            for var in term.variables():
+                if not var.name.startswith("_") and var not in seen:
+                    seen.append(var)
+    return seen
+
+
+def _rename_term(term: Term, mapping: Dict[str, Var]) -> Term:
+    """Apply a variable renaming to a single term."""
+    if isinstance(term, Var):
+        return mapping.get(term.name, term)
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(_rename_term(a, mapping) for a in term.args))
+    return term
+
+
+def _rename_literals(
+    literals: Sequence[Literal], mapping: Dict[str, Var]
+) -> Tuple[Literal, ...]:
+    """Apply a variable renaming to a sequence of literals."""
+
+    def rename_term(term: Term) -> Term:
+        return _rename_term(term, mapping)
+
+    def rename(literal: Literal) -> Literal:
+        if isinstance(literal, Atom):
+            return Atom(literal.pred, tuple(rename_term(a) for a in literal.args))
+        if isinstance(literal, Negation):
+            return Negation(rename(literal.atom))  # type: ignore[arg-type]
+        if isinstance(literal, Comparison):
+            return Comparison(literal.op, rename_term(literal.left), rename_term(literal.right))
+        if isinstance(literal, ChoiceGoal):
+            return ChoiceGoal(
+                tuple(rename_term(t) for t in literal.left),
+                tuple(rename_term(t) for t in literal.right),
+            )
+        if isinstance(literal, LeastGoal):
+            return LeastGoal(
+                rename_term(literal.cost), tuple(rename_term(t) for t in literal.group)
+            )
+        if isinstance(literal, MostGoal):
+            return MostGoal(
+                rename_term(literal.cost), tuple(rename_term(t) for t in literal.group)
+            )
+        if isinstance(literal, NextGoal):
+            renamed = rename_term(literal.var)
+            if not isinstance(renamed, Var):  # pragma: no cover - defensive
+                raise RewriteError("next variable renamed to a non-variable")
+            return NextGoal(renamed)
+        if isinstance(literal, NegatedConjunction):
+            return NegatedConjunction(tuple(rename(l) for l in literal.literals))
+        raise TypeError(f"unknown literal {literal!r}")  # pragma: no cover
+
+    return tuple(rename(l) for l in literals)
+
+
+def rewrite_choice(program: Program, predicate_wide_fd: bool = True) -> Program:
+    """Rewrite every rule with ``choice`` goals into negation (Section 2).
+
+    For the *i*-th choice rule ``h <- body, choice(L1,R1), ...`` produce::
+
+        h            <- body', chosen$i(V).
+        chosen$i(V)  <- body, not diffChoice$i(V).
+        diffChoice$i(V) <- body, chosen$i(V_j'), L_j = L_j', R_j != R_j'.
+                           (one rule per choice goal j)
+
+    where ``V`` are the variables governed by the choice goals and
+    ``body'`` is the original body minus choice *and* extrema goals (the
+    paper notes the extrema goal in the top rule "only recomputes the one
+    in the lower rule" and can be eliminated).  ``diffChoice$i`` bodies
+    include the original (positive) body so the rewritten program is safe;
+    restricted to candidate tuples this is equivalent to the paper's
+    on-the-fly definition.
+
+    Extrema goals migrate into the ``chosen$i`` rule, to be rewritten by a
+    subsequent :func:`rewrite_extrema` pass — the paper's prescribed order
+    ("applying the rewriting for choice before the rewriting for least").
+
+    With ``predicate_wide_fd`` (the default, and what the engines
+    implement), one extra rule ::
+
+        chosen$i(V) <- h.
+
+    makes the functional dependencies range over the whole head predicate
+    rather than over rule *i*'s firings alone.  This matches the paper's
+    informal reading ("the ``a_st`` predicate symbol must associate
+    exactly one student to each course") and is what makes Example 4
+    compute a real spanning tree: the exit fact ``prm(nil, a, 0, 0)``
+    blocks the recursive rule from re-entering the root.  Set it to
+    ``False`` for the literal per-rule rewriting of [Saccà-Zaniolo 1990].
+    """
+    rewritten: List[Rule] = []
+    counter = 0
+    for rule in program.rules:
+        choice_goals = rule.choice_goals
+        if not choice_goals:
+            rewritten.append(rule)
+            continue
+        if rule.next_goals:
+            raise RewriteError(
+                f"expand_next must run before rewrite_choice; offending rule: {rule}"
+            )
+        counter += 1
+        chosen_pred = f"{CHOSEN_PREFIX}{counter}"
+        diff_pred = f"{DIFFCHOICE_PREFIX}{counter}"
+        control_vars = _choice_vars(choice_goals)
+        control_args: Tuple[Term, ...] = tuple(control_vars)
+        plain_body = tuple(
+            l
+            for l in rule.body
+            if not isinstance(l, (ChoiceGoal, LeastGoal, MostGoal))
+        )
+        extrema = rule.extrema_goals
+
+        # Top rule: original head, body without choice/extrema, plus chosen.
+        rewritten.append(
+            Rule(rule.head, plain_body + (Atom(chosen_pred, control_args),))
+        )
+        if predicate_wide_fd:
+            control_names = {v.name for v in control_vars}
+            head_names = {
+                v.name for v in rule.head.variables() if not v.name.startswith("_")
+            }
+            if control_names <= head_names:
+                # Every head fact of the predicate claims its FD rows.
+                rewritten.append(Rule(Atom(chosen_pred, control_args), (rule.head,)))
+        # Chosen rule: body (with extrema, to be rewritten later) plus
+        # not diffChoice.
+        rewritten.append(
+            Rule(
+                Atom(chosen_pred, control_args),
+                plain_body
+                + tuple(extrema)
+                + (Negation(Atom(diff_pred, control_args)),),
+            )
+        )
+        # One diffChoice rule per FD: same left side, different right side.
+        # Every control variable outside the FD's left side is existential
+        # in the witness chosen$i atom and must be renamed — including
+        # control variables belonging to *other* choice goals of the rule.
+        for goal in choice_goals:
+            left_names = {
+                var.name
+                for term in goal.left
+                for var in term.variables()
+                if not var.name.startswith("_")
+            }
+            right_names = {
+                var.name
+                for term in goal.right
+                for var in term.variables()
+                if not var.name.startswith("_")
+            }
+            if not right_names - left_names:
+                # FD with a ground/empty right side can never differ.
+                continue
+            renaming: Dict[str, Var] = {
+                var.name: fresh_var(var.name)
+                for var in control_vars
+                if var.name not in left_names
+            }
+            renamed_chosen_args = tuple(
+                renaming.get(v.name, v) if isinstance(v, Var) else v for v in control_args
+            )
+            left_tuple = Struct("", goal.left)
+            right_tuple = Struct("", goal.right)
+            renamed_right = Struct(
+                "", tuple(_rename_term(t, renaming) for t in goal.right)
+            )
+            body: List[Literal] = list(plain_body)
+            body.append(Atom(chosen_pred, renamed_chosen_args))
+            if goal.left:
+                # The shared left side is enforced by reusing the same
+                # variables in the renamed chosen atom (left vars are not
+                # renamed), so no explicit equality is needed.
+                pass
+            body.append(Comparison("!=", right_tuple, renamed_right))
+            rewritten.append(Rule(Atom(diff_pred, control_args), tuple(body)))
+    return Program(tuple(rewritten))
+
+
+# ---------------------------------------------------------------------------
+# extrema rewriting
+# ---------------------------------------------------------------------------
+
+
+def rewrite_extrema(program: Program) -> Program:
+    """Rewrite ``least``/``most`` goals into negated conjunctions.
+
+    ``h <- body, least(C, G)`` becomes::
+
+        h <- body, not (body', C' < C).
+
+    where ``body'`` is a copy of ``body`` with every variable renamed
+    *except* those occurring in the group terms ``G``, and ``C'`` is the
+    renamed cost variable (paper, Section 2 and footnote 2).  ``most``
+    uses ``C' > C``.
+
+    Rules with several extrema goals get one negated conjunction per goal,
+    each copying the body without any extrema.
+    """
+    rewritten: List[Rule] = []
+    for rule in program.rules:
+        extrema = rule.extrema_goals
+        if not extrema:
+            rewritten.append(rule)
+            continue
+        if rule.choice_goals or rule.next_goals:
+            raise RewriteError(
+                "rewrite_extrema expects choice/next to be rewritten first: " f"{rule}"
+            )
+        base_body = tuple(
+            l for l in rule.body if not isinstance(l, (LeastGoal, MostGoal))
+        )
+        new_body: List[Literal] = list(base_body)
+        for goal in extrema:
+            shared: Set[str] = set()
+            for term in goal.group:
+                shared.update(
+                    v.name for v in term.variables() if not v.name.startswith("_")
+                )
+            body_vars: Set[str] = set()
+            for literal in base_body:
+                body_vars.update(
+                    v.name for v in literal.variables() if not v.name.startswith("_")
+                )
+            cost_vars = {
+                v.name for v in goal.cost.variables() if not v.name.startswith("_")
+            }
+            renaming = {
+                name: fresh_var(name)
+                for name in (body_vars | cost_vars) - shared
+            }
+            renamed_body = _rename_literals(base_body, renaming)
+            renamed_cost = _rename_term(goal.cost, renaming)
+            op = "<" if isinstance(goal, LeastGoal) else ">"
+            inner = renamed_body + (Comparison(op, renamed_cost, goal.cost),)
+            new_body.append(NegatedConjunction(inner))
+        rewritten.append(Rule(rule.head, tuple(new_body)))
+    return Program(tuple(rewritten))
+
+
+# ---------------------------------------------------------------------------
+# full pipeline
+# ---------------------------------------------------------------------------
+
+
+def rewrite_program(program: Program, predicate_wide_fd: bool = True) -> Program:
+    """Apply the full rewriting pipeline in the paper's order:
+    ``next`` expansion, then ``choice``, then ``least``/``most``.
+
+    The result is a plain negative program (atoms, negations, comparisons,
+    negated conjunctions) whose stable models are the *choice models* of
+    the input.  See :func:`rewrite_choice` for ``predicate_wide_fd``.
+    """
+    return rewrite_extrema(
+        rewrite_choice(expand_next(program), predicate_wide_fd=predicate_wide_fd)
+    )

@@ -1,0 +1,59 @@
+"""A bottom-up Datalog engine with function symbols.
+
+This subpackage is the substrate the paper's constructs are built on:
+
+* :mod:`repro.datalog.terms` / :mod:`repro.datalog.atoms` /
+  :mod:`repro.datalog.rules` — the rule AST, including the meta-goals
+  ``choice``, ``least``, ``most`` and ``next`` as first-class literals;
+* :mod:`repro.datalog.parser` — a text syntax for the dialect;
+* :mod:`repro.datalog.unify` — matching of AST terms against ground values;
+* :mod:`repro.datalog.builtins` — evaluable comparisons and arithmetic;
+* :mod:`repro.datalog.dependency` — dependency graph, recursive cliques
+  (SCCs) and the stratified-negation check;
+* :mod:`repro.datalog.naive` / :mod:`repro.datalog.seminaive` — bottom-up
+  fixpoint evaluation for (stratified) programs without meta-goals.
+
+Ground values are plain Python objects; a ground compound term
+``t(a, b)`` is represented as the nested tuple ``("t", "a", "b")`` and a
+bare tuple term ``(a, b)`` as ``("a", "b")``.
+"""
+
+from repro.datalog.atoms import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    LeastGoal,
+    Literal,
+    MostGoal,
+    NegatedConjunction,
+    Negation,
+    NextGoal,
+)
+from repro.datalog.explain import Derivation, explain
+from repro.datalog.parser import parse_program, parse_query, parse_term
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Const, Struct, Term, Var
+
+__all__ = [
+    "Atom",
+    "ChoiceGoal",
+    "Comparison",
+    "Const",
+    "Derivation",
+    "explain",
+    "LeastGoal",
+    "Literal",
+    "MostGoal",
+    "NegatedConjunction",
+    "Negation",
+    "NextGoal",
+    "Program",
+    "Rule",
+    "Struct",
+    "Term",
+    "Var",
+    "parse_program",
+    "parse_query",
+    "parse_term",
+]

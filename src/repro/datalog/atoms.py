@@ -1,0 +1,248 @@
+"""Atoms and body literals, including the paper's meta-goals.
+
+A rule body is a sequence of :data:`Literal` values:
+
+* :class:`Atom` — a positive goal ``p(t1, ..., tn)``;
+* :class:`Negation` — a negated goal ``not p(...)``;
+* :class:`Comparison` — an evaluable goal ``E1 op E2`` over arithmetic
+  expressions (expressions are :class:`~repro.datalog.terms.Struct` terms
+  with operator functors, evaluated by :mod:`repro.datalog.builtins`);
+* :class:`ChoiceGoal` — ``choice(L, R)``, the functional dependency
+  ``L -> R`` (Section 2 of the paper);
+* :class:`LeastGoal` / :class:`MostGoal` — extrema meta-predicates
+  ``least(C, G)`` / ``most(C, G)`` (Section 2);
+* :class:`NextGoal` — ``next(I)``, the stage-variable macro (Section 3);
+* :class:`NegatedConjunction` — the negation of a conjunction, produced by
+  the rewriting of ``least``/``most`` into negation (footnote 2 of the
+  paper); it never comes out of the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+from repro.datalog.terms import Term, Var
+
+__all__ = [
+    "Atom",
+    "Negation",
+    "Comparison",
+    "ChoiceGoal",
+    "LeastGoal",
+    "MostGoal",
+    "NextGoal",
+    "NegatedConjunction",
+    "Literal",
+    "COMPARISON_OPS",
+]
+
+#: Comparison operators accepted in rule bodies.  ``=`` doubles as an
+#: arithmetic assignment when its left side is an unbound variable.
+COMPARISON_OPS = ("<", "<=", ">", ">=", "=", "==", "!=")
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A predicate applied to terms: ``pred(args...)``."""
+
+    pred: str
+    args: Tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        """The ``(name, arity)`` predicate key this atom refers to."""
+        return (self.pred, len(self.args))
+
+    def variables(self) -> Iterator[Var]:
+        for arg in self.args:
+            yield from arg.variables()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.pred
+        return f"{self.pred}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True, slots=True)
+class Negation:
+    """A negated goal ``not atom`` (negation as failure / stable negation)."""
+
+    atom: Atom
+
+    def variables(self) -> Iterator[Var]:
+        return self.atom.variables()
+
+    def __str__(self) -> str:
+        return f"not {self.atom}"
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """An evaluable goal ``left op right``.
+
+    ``left`` and ``right`` are arithmetic expressions: constants,
+    variables, or ``Struct`` terms whose functors are operators (``+``,
+    ``-``, ``*``, ``/``, ``mod``, ``max``, ``min``, ``abs``).
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def variables(self) -> Iterator[Var]:
+        yield from self.left.variables()
+        yield from self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class ChoiceGoal:
+    """``choice((L1,...,Lm), (R1,...,Rn))`` — the FD ``L -> R`` must hold.
+
+    Both sides are stored as tuples of terms; the parser flattens bare
+    tuple terms, so ``choice(Y, (X, C))`` has ``left == (Y,)`` and
+    ``right == (X, C)``.  An empty left side (``choice((), (X, Y))``)
+    expresses a single global selection.
+    """
+
+    left: Tuple[Term, ...]
+    right: Tuple[Term, ...]
+
+    def variables(self) -> Iterator[Var]:
+        for term in self.left + self.right:
+            yield from term.variables()
+
+    def __str__(self) -> str:
+        def side(ts: Tuple[Term, ...]) -> str:
+            if len(ts) == 1:
+                return str(ts[0])
+            return f"({', '.join(str(t) for t in ts)})"
+
+        return f"choice({side(self.left)}, {side(self.right)})"
+
+
+@dataclass(frozen=True, slots=True)
+class LeastGoal:
+    """``least(C, G)`` — among the body instantiations sharing the value of
+    the group terms ``G``, keep those with the minimum value of ``C``.
+
+    ``group`` is empty for the global forms ``least(C)`` / ``least(C, ())``.
+    """
+
+    cost: Term
+    group: Tuple[Term, ...] = ()
+
+    def variables(self) -> Iterator[Var]:
+        yield from self.cost.variables()
+        for term in self.group:
+            yield from term.variables()
+
+    @property
+    def name(self) -> str:
+        return "least"
+
+    def better(self, a, b) -> bool:
+        """Whether cost value *a* beats *b* for this extremum (a < b)."""
+        return a < b
+
+    def __str__(self) -> str:
+        if not self.group:
+            return f"least({self.cost})"
+        inner = ", ".join(str(t) for t in self.group)
+        if len(self.group) > 1:
+            inner = f"({inner})"
+        return f"least({self.cost}, {inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class MostGoal:
+    """``most(C, G)`` — the dual of :class:`LeastGoal` (maximum)."""
+
+    cost: Term
+    group: Tuple[Term, ...] = ()
+
+    def variables(self) -> Iterator[Var]:
+        yield from self.cost.variables()
+        for term in self.group:
+            yield from term.variables()
+
+    @property
+    def name(self) -> str:
+        return "most"
+
+    def better(self, a, b) -> bool:
+        """Whether cost value *a* beats *b* for this extremum (a > b)."""
+        return a > b
+
+    def __str__(self) -> str:
+        if not self.group:
+            return f"most({self.cost})"
+        inner = ", ".join(str(t) for t in self.group)
+        if len(self.group) > 1:
+            inner = f"({inner})"
+        return f"most({self.cost}, {inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class NextGoal:
+    """``next(I)`` — the stage-variable macro of Section 3.
+
+    Macro-expands (see :mod:`repro.core.rewriting`) into::
+
+        p(W, I) <- rest_of_body, p(_, I1), I = I1 + 1,
+                   choice(I, W), choice(W, I).
+    """
+
+    var: Var
+
+    def variables(self) -> Iterator[Var]:
+        yield self.var
+
+    def __str__(self) -> str:
+        return f"next({self.var})"
+
+
+@dataclass(frozen=True, slots=True)
+class NegatedConjunction:
+    """``not (g1, ..., gn)`` — negation of a conjunction.
+
+    Produced only by the rewriting of extrema into negation; the inner
+    literals may be atoms, negations or comparisons.  Variables appearing
+    only inside the conjunction are implicitly existentially quantified.
+    """
+
+    literals: Tuple["Literal", ...]
+
+    def variables(self) -> Iterator[Var]:
+        for literal in self.literals:
+            yield from literal.variables()
+
+    def __str__(self) -> str:
+        return f"not ({', '.join(str(l) for l in self.literals)})"
+
+
+Literal = Union[
+    Atom,
+    Negation,
+    Comparison,
+    ChoiceGoal,
+    LeastGoal,
+    MostGoal,
+    NextGoal,
+    NegatedConjunction,
+]
+
+#: Literal classes that are meta-goals in the paper's sense (handled by the
+#: compiler/engines, not by plain fixpoint evaluation).
+META_GOAL_TYPES = (ChoiceGoal, LeastGoal, MostGoal, NextGoal)

@@ -1,0 +1,227 @@
+"""Predicate dependency graph, recursive cliques and stratification.
+
+The paper's compile-time analysis is built on the usual notions:
+
+* the *dependency graph* has one node per predicate ``(name, arity)`` and
+  an edge ``q -> p`` whenever ``p`` appears (positively or negatively) in
+  the body of a rule with head ``q``;
+* a *recursive clique* ("a maximal set of mutually recursive predicates",
+  Section 4) is a strongly connected component of that graph;
+* a program with negation is *stratified* when no negative edge lies
+  inside a component; strata are then computed so every predicate sits
+  above everything it depends on negatively.
+
+Strongly connected components are computed with an iterative Tarjan
+algorithm (no recursion limit issues on deep programs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.datalog.atoms import Atom, NegatedConjunction, Negation
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.errors import StratificationError
+
+__all__ = ["DependencyGraph", "Clique", "strongly_connected_components"]
+
+PredicateKey = Tuple[str, int]
+
+
+def strongly_connected_components(
+    nodes: Sequence[PredicateKey], edges: Dict[PredicateKey, Set[PredicateKey]]
+) -> List[FrozenSet[PredicateKey]]:
+    """Tarjan's SCC algorithm, iterative, returning components in reverse
+    topological order (every component precedes the ones that depend on it
+    ... i.e. callees first)."""
+    index_of: Dict[PredicateKey, int] = {}
+    lowlink: Dict[PredicateKey, int] = {}
+    on_stack: Set[PredicateKey] = set()
+    stack: List[PredicateKey] = []
+    components: List[FrozenSet[PredicateKey]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: List[Tuple[PredicateKey, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            successors = sorted(edges.get(node, ()))
+            recursed = False
+            for i in range(child_index, len(successors)):
+                succ = successors[i]
+                if succ not in index_of:
+                    work.append((node, i + 1))
+                    work.append((succ, 0))
+                    recursed = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if recursed:
+                continue
+            if lowlink[node] == index_of[node]:
+                component: List[PredicateKey] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+@dataclass(frozen=True)
+class Clique:
+    """A recursive clique: one SCC of the dependency graph together with
+    the rules defining its predicates."""
+
+    predicates: FrozenSet[PredicateKey]
+    rules: Tuple[Rule, ...]
+
+    @property
+    def is_recursive(self) -> bool:
+        """True for proper cliques: more than one predicate, or a predicate
+        depending on itself."""
+        if len(self.predicates) > 1:
+            return True
+        (pred,) = self.predicates
+        for rule in self.rules:
+            for atom in _body_atoms(rule):
+                if atom.key == pred:
+                    return True
+        return False
+
+
+def _body_atoms(rule: Rule, include_negated: bool = True):
+    for literal in rule.body:
+        if isinstance(literal, Atom):
+            yield literal
+        elif include_negated and isinstance(literal, Negation):
+            yield literal.atom
+        elif include_negated and isinstance(literal, NegatedConjunction):
+            for inner in literal.literals:
+                if isinstance(inner, Atom):
+                    yield inner
+                elif isinstance(inner, Negation):
+                    yield inner.atom
+
+
+class DependencyGraph:
+    """Dependency analysis of a :class:`~repro.datalog.program.Program`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._nodes: List[PredicateKey] = sorted(program.predicates())
+        self._positive_edges: Dict[PredicateKey, Set[PredicateKey]] = {}
+        self._negative_edges: Dict[PredicateKey, Set[PredicateKey]] = {}
+        self._all_edges: Dict[PredicateKey, Set[PredicateKey]] = {}
+        for rule in program.proper_rules():
+            head = rule.head.key
+            for literal in rule.body:
+                if isinstance(literal, Atom):
+                    self._positive_edges.setdefault(head, set()).add(literal.key)
+                    self._all_edges.setdefault(head, set()).add(literal.key)
+                elif isinstance(literal, Negation):
+                    self._negative_edges.setdefault(head, set()).add(literal.atom.key)
+                    self._all_edges.setdefault(head, set()).add(literal.atom.key)
+                elif isinstance(literal, NegatedConjunction):
+                    for atom in _body_atoms(Rule(rule.head, literal.literals)):
+                        self._negative_edges.setdefault(head, set()).add(atom.key)
+                        self._all_edges.setdefault(head, set()).add(atom.key)
+        self._components = strongly_connected_components(self._nodes, self._all_edges)
+        self._component_of: Dict[PredicateKey, FrozenSet[PredicateKey]] = {}
+        for component in self._components:
+            for key in component:
+                self._component_of[key] = component
+
+    # -- cliques --------------------------------------------------------------
+
+    def components(self) -> List[FrozenSet[PredicateKey]]:
+        """All SCCs, callees first (reverse topological order)."""
+        return list(self._components)
+
+    def component_of(self, key: PredicateKey) -> FrozenSet[PredicateKey]:
+        return self._component_of.get(key, frozenset({key}))
+
+    def cliques(self) -> List[Clique]:
+        """All cliques with their defining rules, callees first."""
+        result: List[Clique] = []
+        for component in self._components:
+            rules = tuple(
+                rule
+                for rule in self.program.proper_rules()
+                if rule.head.key in component
+            )
+            result.append(Clique(component, rules))
+        return result
+
+    def recursive_cliques(self) -> List[Clique]:
+        """Only the properly recursive cliques."""
+        return [c for c in self.cliques() if c.is_recursive]
+
+    def depends_negatively_inside_component(self) -> List[Tuple[PredicateKey, PredicateKey]]:
+        """Negative edges whose endpoints share a component (the
+        obstruction to stratification)."""
+        violations: List[Tuple[PredicateKey, PredicateKey]] = []
+        for head, targets in self._negative_edges.items():
+            for target in targets:
+                if self._component_of.get(target) is self._component_of.get(head):
+                    violations.append((head, target))
+        return violations
+
+    @property
+    def is_stratified(self) -> bool:
+        """Whether negation never crosses into its own component."""
+        return not self.depends_negatively_inside_component()
+
+    def strata(self) -> Dict[PredicateKey, int]:
+        """Assign a stratum number to every predicate.
+
+        A predicate's stratum is >= the strata of its positive dependencies
+        and > the strata of its negative dependencies.
+
+        Raises:
+            StratificationError: if the program is not stratified.
+        """
+        violations = self.depends_negatively_inside_component()
+        if violations:
+            head, target = violations[0]
+            raise StratificationError(
+                f"negation through recursion: {head[0]}/{head[1]} depends "
+                f"negatively on {target[0]}/{target[1]} inside the same clique"
+            )
+        stratum: Dict[PredicateKey, int] = {}
+        for component in self._components:  # callees first
+            level = 0
+            for key in component:
+                for dep in self._positive_edges.get(key, ()):
+                    if dep not in component:
+                        level = max(level, stratum.get(dep, 0))
+                for dep in self._negative_edges.get(key, ()):
+                    level = max(level, stratum.get(dep, 0) + 1)
+            for key in component:
+                stratum[key] = level
+        return stratum
+
+    def evaluation_order(self) -> List[List[Clique]]:
+        """Cliques grouped by stratum, each group in dependency order."""
+        strata = self.strata()
+        cliques = self.cliques()
+        highest = max(strata.values(), default=0)
+        groups: List[List[Clique]] = [[] for _ in range(highest + 1)]
+        for clique in cliques:
+            level = max((strata.get(key, 0) for key in clique.predicates), default=0)
+            groups[level].append(clique)
+        return groups

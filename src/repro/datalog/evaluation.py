@@ -1,0 +1,283 @@
+"""Body planning and tuple-at-a-time rule evaluation.
+
+This module turns a rule body into an ordered *plan* (a join order chosen
+by a bound-first greedy heuristic) and evaluates it against a
+:class:`~repro.storage.database.Database` by backtracking over indexed
+lookups.  It is shared by the naive, seminaive and stage engines.
+
+Meta-goals (``choice``/``least``/``most``/``next``) are *not* evaluated
+here: the engines strip them from the body and realise their semantics at
+a higher level, exactly as the paper's compilation scheme does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.atoms import (
+    Atom,
+    Comparison,
+    Literal,
+    NegatedConjunction,
+    Negation,
+)
+from repro.datalog.builtins import eval_comparison
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term, Var
+from repro.datalog.unify import Subst, ground_term, is_bound, match_term
+from repro.errors import EvaluationError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+__all__ = ["plan_body", "solve", "rule_consequences", "PlanStep"]
+
+Fact = Tuple[Any, ...]
+
+#: A plan step: the literal plus its index in the original rule body (used
+#: by the seminaive engine to target the delta occurrence).
+PlanStep = Tuple[Literal, int]
+
+
+def _literal_var_names(literal: Literal) -> Set[str]:
+    return {v.name for v in literal.variables() if not v.name.startswith("_")}
+
+
+def plan_body(
+    literals: Sequence[Tuple[Literal, int]], initially_bound: Set[str] = frozenset()
+) -> List[PlanStep]:
+    """Order *literals* for left-to-right evaluation.
+
+    Strategy: at each step prefer (1) a ready comparison — a pure filter;
+    (2) a ready negated goal; (3) the positive atom with the most bound
+    argument variables.  "Ready" means all required variables are bound.
+
+    Args:
+        literals: ``(literal, original_body_index)`` pairs.
+        initially_bound: variable names bound before the body runs (e.g. a
+            stage variable supplied by the engine).
+
+    Raises:
+        EvaluationError: if no progress can be made (e.g. a body with only
+            unready negations — an unsafe rule that slipped past checks).
+    """
+    remaining = list(literals)
+    bound: Set[str] = set(initially_bound)
+    plan: List[PlanStep] = []
+
+    def comparison_ready(comp: Comparison) -> bool:
+        left = _term_var_names(comp.left)
+        right = _term_var_names(comp.right)
+        if comp.op == "=":
+            left_bound = left <= bound
+            right_bound = right <= bound
+            if left_bound and right_bound:
+                return True
+            # One side must be computable and the other invertible: a
+            # variable or a constructor pattern.  An arithmetic expression
+            # with unbound variables cannot be solved for, so the
+            # assignment must wait until its inputs are bound.
+            if right_bound:
+                return not _unbound_arithmetic(comp.left, bound)
+            if left_bound:
+                return not _unbound_arithmetic(comp.right, bound)
+            return False
+        return left | right <= bound
+
+    while remaining:
+        chosen: Optional[int] = None
+        for i, (literal, _) in enumerate(remaining):
+            if isinstance(literal, Comparison) and comparison_ready(literal):
+                chosen = i
+                break
+        if chosen is None:
+            for i, (literal, _) in enumerate(remaining):
+                if isinstance(literal, (Negation, NegatedConjunction)):
+                    outer = _outer_vars(literal, remaining, i)
+                    if outer <= bound:
+                        chosen = i
+                        break
+        if chosen is None:
+            best_score = -1
+            for i, (literal, _) in enumerate(remaining):
+                if isinstance(literal, Atom):
+                    score = sum(
+                        1 for v in _literal_var_names(literal) if v in bound
+                    )
+                    if score > best_score:
+                        best_score = score
+                        chosen = i
+        if chosen is None:
+            # Only unready comparisons/negations left: if the rule is safe
+            # this cannot happen, but give a precise error if it does.
+            pending = ", ".join(str(l) for l, _ in remaining)
+            raise EvaluationError(f"cannot order body goals: {pending}")
+        literal, index = remaining.pop(chosen)
+        plan.append((literal, index))
+        bound |= _literal_var_names(literal)
+    return plan
+
+
+def _term_var_names(term: Term) -> Set[str]:
+    return {v.name for v in term.variables() if not v.name.startswith("_")}
+
+
+def _unbound_arithmetic(term: Term, bound: Set[str]) -> bool:
+    """Whether *term* contains an arithmetic operator over unbound
+    variables (and therefore cannot be matched against a value)."""
+    from repro.datalog.builtins import ARITHMETIC_FUNCTORS
+    from repro.datalog.terms import Struct
+
+    if isinstance(term, Struct):
+        if term.functor in ARITHMETIC_FUNCTORS:
+            return not _term_var_names(term) <= bound
+        return any(_unbound_arithmetic(arg, bound) for arg in term.args)
+    return False
+
+
+def _outer_vars(
+    literal: Literal, remaining: Sequence[Tuple[Literal, int]], position: int
+) -> Set[str]:
+    """For a negated (conjunction) goal, the variables that must be bound
+    before it may run: those it shares with the rest of the rule are
+    handled by the caller's bound set; purely local variables are
+    existential.  For plain negation every variable must be bound."""
+    if isinstance(literal, Negation):
+        return _literal_var_names(literal)
+    mine = _literal_var_names(literal)
+    others: Set[str] = set()
+    for j, (other, _) in enumerate(remaining):
+        if j != position:
+            others |= _literal_var_names(other)
+    return mine & others
+
+
+def solve(
+    plan: Sequence[PlanStep],
+    db: Database,
+    subst: Subst,
+    delta_index: int | None = None,
+    delta_relation: Relation | None = None,
+    neg_db: Database | None = None,
+) -> Iterator[Subst]:
+    """Yield every substitution satisfying *plan* against *db*.
+
+    Args:
+        plan: ordered steps from :func:`plan_body`.
+        db: the fact database.
+        subst: initial bindings (not mutated).
+        delta_index: original-body index of the positive literal that must
+            read from *delta_relation* instead of the database (seminaive).
+        delta_relation: the delta relation for that literal.
+        neg_db: database used for negated goals and negated conjunctions
+            (defaults to *db*).  The Gelfond-Lifschitz stability check
+            evaluates negation against the candidate model while positives
+            grow a separate fixpoint.
+    """
+    return _solve_from(plan, 0, db, subst, delta_index, delta_relation, neg_db or db)
+
+
+def _solve_from(
+    plan: Sequence[PlanStep],
+    step: int,
+    db: Database,
+    subst: Subst,
+    delta_index: int | None,
+    delta_relation: Relation | None,
+    neg_db: Database | None = None,
+) -> Iterator[Subst]:
+    if step == len(plan):
+        yield subst
+        return
+    literal, original_index = plan[step]
+    if isinstance(literal, Atom):
+        if delta_index is not None and original_index == delta_index:
+            relation: Relation | None = delta_relation
+        else:
+            relation = db.get(literal.pred, literal.arity)
+        if relation is None or not len(relation):
+            return
+        positions: List[int] = []
+        values: List[Any] = []
+        free: List[Tuple[int, Term]] = []
+        for pos, arg in enumerate(literal.args):
+            if is_bound(arg, subst):
+                positions.append(pos)
+                values.append(ground_term(arg, subst))
+            else:
+                free.append((pos, arg))
+        for fact in relation.lookup(tuple(positions), tuple(values)):
+            extended: Optional[Subst] = subst
+            for pos, arg in free:
+                extended = match_term(arg, fact[pos], extended)
+                if extended is None:
+                    break
+            if extended is not None:
+                yield from _solve_from(plan, step + 1, db, extended, delta_index, delta_relation, neg_db)
+    elif isinstance(literal, Comparison):
+        extended = eval_comparison(literal, subst)
+        if extended is not None:
+            yield from _solve_from(plan, step + 1, db, extended, delta_index, delta_relation, neg_db)
+    elif isinstance(literal, Negation):
+        atom = literal.atom
+        relation = (neg_db or db).get(atom.pred, atom.arity)
+        if relation is None or not _negated_match_exists(atom, relation, subst):
+            yield from _solve_from(plan, step + 1, db, subst, delta_index, delta_relation, neg_db)
+    elif isinstance(literal, NegatedConjunction):
+        inner_plan = plan_body(
+            [(inner, -1) for inner in literal.literals],
+            initially_bound=set(subst.keys()),
+        )
+        inner_db = neg_db or db
+        witness = next(_solve_from(inner_plan, 0, inner_db, subst, None, None, inner_db), None)
+        if witness is None:
+            yield from _solve_from(plan, step + 1, db, subst, delta_index, delta_relation, neg_db)
+    else:
+        raise EvaluationError(
+            f"meta-goal {literal} reached the plain evaluator; "
+            "compile the program with repro.core first"
+        )
+
+
+def _negated_match_exists(atom: Atom, relation: Relation, subst: Subst) -> bool:
+    """Whether any fact of *relation* matches *atom* under *subst*.
+
+    Named variables of a negated goal are bound by safety; wildcard
+    variables make this an existence test over the matching bucket.
+    """
+    positions: List[int] = []
+    values: List[Any] = []
+    free: List[Tuple[int, Term]] = []
+    for pos, arg in enumerate(atom.args):
+        if is_bound(arg, subst):
+            positions.append(pos)
+            values.append(ground_term(arg, subst))
+        else:
+            free.append((pos, arg))
+    for fact in relation.lookup(tuple(positions), tuple(values)):
+        extended: Optional[Subst] = subst
+        for pos, arg in free:
+            extended = match_term(arg, fact[pos], extended)
+            if extended is None:
+                break
+        if extended is not None:
+            return True
+    return False
+
+
+def rule_consequences(
+    rule: Rule,
+    db: Database,
+    delta_index: int | None = None,
+    delta_relation: Relation | None = None,
+    neg_db: Database | None = None,
+) -> Iterator[Fact]:
+    """Yield every head fact derivable from *rule* against *db*.
+
+    The rule must be meta-goal-free.  *neg_db*, when given, is used for
+    negated goals (see :func:`solve`).
+    """
+    if rule.has_meta_goals:
+        raise EvaluationError(f"rule has meta-goals, use the core engines: {rule}")
+    plan = plan_body(list(zip(rule.body, range(len(rule.body)))))
+    for subst in solve(plan, db, {}, delta_index, delta_relation, neg_db):
+        yield tuple(ground_term(arg, subst) for arg in rule.head.args)

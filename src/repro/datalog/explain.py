@@ -1,0 +1,143 @@
+"""Derivation explanations for meta-goal-free programs.
+
+``explain`` reconstructs one proof tree for a derived fact against a
+*saturated* database: it finds a rule instance whose head grounds to the
+fact and whose positive subgoals are in the database (negated goals are
+checked against the database, as in stratified evaluation), then recurses
+on the subgoals.  Facts of extensional predicates — and facts asserted
+directly — are leaves.
+
+For programs with meta-goals the engines' ``record_trace`` facility is
+the right tool (the γ decisions *are* the explanation); this module
+covers the plain-Datalog substrate, e.g. for debugging flat rules.
+
+Cycles (mutually derivable facts, as in transitive closure over a
+cyclic graph) are handled by excluding facts already on the current
+proof path; a fact with no acyclic derivation under that policy reports
+as unexplained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Set, Tuple
+
+from repro.datalog.evaluation import plan_body, solve
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.unify import ground_term, match_args
+from repro.errors import EvaluationError
+from repro.storage.database import Database
+
+__all__ = ["explain", "Derivation"]
+
+Fact = Tuple[Any, ...]
+PredicateKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One node of a proof tree.
+
+    Attributes:
+        predicate: the ``(name, arity)`` of the derived fact.
+        fact: the fact itself.
+        rule: the rule whose instance derived it (``None`` for leaves —
+            extensional facts or program facts).
+        premises: derivations of the positive subgoals, in body order.
+    """
+
+    predicate: PredicateKey
+    fact: Fact
+    rule: Optional[Rule] = None
+    premises: Tuple["Derivation", ...] = ()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.rule is None or not self.rule.body
+
+    def pretty(self, indent: int = 0) -> str:
+        """A human-readable rendering of the proof tree."""
+        from repro.datalog.terms import format_value
+
+        values = ", ".join(format_value(v) for v in self.fact)
+        head = f"{'  ' * indent}{self.predicate[0]}({values})"
+        if self.is_leaf:
+            return head + ("." if self.rule is None else "  [fact]")
+        lines = [head + f"   <- {self.rule}"]
+        for premise in self.premises:
+            lines.append(premise.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+def explain(
+    program: Program, db: Database, pred: str, fact: Fact
+) -> Optional[Derivation]:
+    """One proof tree for ``pred(fact)`` against the saturated *db*.
+
+    Returns ``None`` if the fact is not in the database or has no
+    acyclic derivation.
+
+    Raises:
+        EvaluationError: if the program contains meta-goals.
+    """
+    for rule in program.proper_rules():
+        if rule.has_meta_goals:
+            raise EvaluationError(
+                "explain only supports meta-goal-free programs; use the "
+                f"engines' record_trace for: {rule}"
+            )
+    key = (pred, len(fact))
+    if fact not in db.relation(*key):
+        return None
+    return _explain(program, db, key, fact, path=set())
+
+
+def _explain(
+    program: Program,
+    db: Database,
+    key: PredicateKey,
+    fact: Fact,
+    path: Set[Tuple[PredicateKey, Fact]],
+) -> Optional[Derivation]:
+    node = (key, fact)
+    if node in path:
+        return None
+    # Leaf cases: extensional predicate or a fact of the program text.
+    defined_by_rules = any(
+        rule.head.key == key and not rule.is_fact for rule in program.rules
+    )
+    program_facts = program.ground_facts().get(key[0], [])
+    if fact in program_facts:
+        fact_rule = next(
+            r
+            for r in program.rules
+            if r.is_fact and r.head.key == key
+        )
+        return Derivation(key, fact, rule=fact_rule)
+    if not defined_by_rules:
+        return Derivation(key, fact)
+
+    path = path | {node}
+    for rule in program.rules_for(key):
+        head_subst = match_args(rule.head.args, fact, {})
+        if head_subst is None:
+            continue
+        literals = [(literal, index) for index, literal in enumerate(rule.body)]
+        try:
+            plan = plan_body(literals, initially_bound=set(head_subst))
+        except EvaluationError:
+            continue
+        for subst in solve(plan, db, dict(head_subst)):
+            premises: List[Derivation] = []
+            viable = True
+            for atom in rule.positive:
+                sub_fact = tuple(ground_term(arg, subst) for arg in atom.args)
+                premise = _explain(program, db, atom.key, sub_fact, path)
+                if premise is None:
+                    viable = False
+                    break
+                premises.append(premise)
+            if viable:
+                return Derivation(key, fact, rule=rule, premises=tuple(premises))
+    return None

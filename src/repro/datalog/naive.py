@@ -1,0 +1,84 @@
+"""Naive bottom-up fixpoint evaluation for stratified programs.
+
+This is the reference (slow) evaluator: at every iteration every rule is
+re-evaluated in full until nothing new is derived.  It exists both as a
+correctness oracle for the seminaive engine and as the baseline for the
+seminaive ablation benchmark (experiment E7 of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.datalog.dependency import DependencyGraph
+from repro.datalog.evaluation import rule_consequences
+from repro.datalog.program import Program
+from repro.errors import EvaluationError
+from repro.storage.database import Database
+
+__all__ = ["NaiveEngine", "EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Counters exposed by the fixpoint engines (for tests and benches)."""
+
+    iterations: int = 0
+    rule_firings: int = 0
+    facts_derived: int = 0
+
+
+class NaiveEngine:
+    """Evaluate a meta-goal-free stratified program by naive iteration.
+
+    Usage::
+
+        engine = NaiveEngine(program)
+        db = engine.run(db)           # db is mutated and returned
+        engine.stats.iterations       # how many full passes were needed
+    """
+
+    def __init__(self, program: Program, check_safety: bool = True):
+        for rule in program.proper_rules():
+            if rule.has_meta_goals:
+                raise EvaluationError(
+                    f"NaiveEngine cannot evaluate meta-goals; offending rule: {rule}"
+                )
+        if check_safety:
+            program.check_safety()
+        self.program = program
+        self.graph = DependencyGraph(program)
+        self.stats = EngineStats()
+
+    def run(self, db: Database | None = None) -> Database:
+        """Compute the perfect model of the program over *db*.
+
+        Facts embedded in the program text are loaded first.  Evaluation
+        proceeds stratum by stratum; within a stratum all rules iterate to
+        fixpoint together.
+
+        Returns the (mutated) database.
+        """
+        if db is None:
+            db = Database()
+        for name, facts in self.program.ground_facts().items():
+            db.assert_all(name, facts)
+        for group in self.graph.evaluation_order():
+            rules = [rule for clique in group for rule in clique.rules]
+            self._saturate(rules, db)
+        return db
+
+    def _saturate(self, rules: List, db: Database) -> None:
+        changed = True
+        while changed:
+            changed = False
+            self.stats.iterations += 1
+            for rule in rules:
+                self.stats.rule_firings += 1
+                new_facts = list(rule_consequences(rule, db))
+                relation = db.relation(rule.head.pred, rule.head.arity)
+                for fact in new_facts:
+                    if relation.add(fact):
+                        self.stats.facts_derived += 1
+                        changed = True

@@ -1,0 +1,382 @@
+"""Parser for the Datalog dialect with ``choice``, ``least``, ``most`` and
+``next``.
+
+Syntax (close to the paper's, ASCII-fied)::
+
+    % comment
+    st(nil, a, 0, 0).
+    st(X, Y, C, I) <- next(I), g(X, Y, C), choice(Y, (X, C)).
+    prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I,
+                       least(C, I), choice(Y, X).
+    bttm(S, C, G)  <- takes(S, C, G), G > 1, least(G, C).
+    p(X) <- q(X), not r(X).
+    h(t(X, Y), C, I) <- next(I), feasible(t(X, Y), C, J), J < I,
+                        least(C), choice(X, I), choice(Y, I).
+
+* ``<-`` and ``:-`` both introduce a body; clauses end with ``.``.
+* Variables start with an uppercase letter or ``_``; a bare ``_`` is an
+  anonymous (wildcard) variable, fresh at each occurrence.
+* Constants: lowercase identifiers (symbols), integers, floats, and
+  single-quoted strings.  ``nil`` is just the symbol ``nil``.
+* Compound terms ``t(X, Y)`` and bare tuples ``(X, C)`` are allowed; the
+  empty tuple is ``()``.
+* Negation: ``not goal`` or ``~goal``.
+* Comparisons: ``< <= > >= = == != <>`` over arithmetic expressions with
+  ``+ - * / mod`` and the binary functions ``max(A, B)``, ``min(A, B)``.
+* ``choice(L, R)``, ``least(C)``, ``least(C, G)``, ``most(C)``,
+  ``most(C, G)`` and ``next(I)`` are recognised as meta-goals.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.datalog.atoms import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    LeastGoal,
+    Literal,
+    MostGoal,
+    NegatedConjunction,
+    Negation,
+    NextGoal,
+)
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Const, Struct, Term, Var, fresh_var
+from repro.errors import ParseError
+
+__all__ = ["parse_program", "parse_query", "parse_term", "parse_rule"]
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>%[^\n]*)
+  | (?P<NUMBER>\d+\.\d+|\d+)
+  | (?P<STRING>'(?:[^'\\]|\\.)*')
+  | (?P<NAME>[a-z][A-Za-z0-9_]*)
+  | (?P<VARNAME>[A-Z_][A-Za-z0-9_]*)
+  | (?P<ARROW><-|:-)
+  | (?P<OP><=|>=|==|!=|<>|<|>|=)
+  | (?P<PUNCT>[(),.~])
+  | (?P<ARITH>\+|-|\*|//|/)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(f"unexpected character {text[pos]!r}", line, column)
+        kind = match.lastgroup or ""
+        token_text = match.group()
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(_Token(kind, token_text, line, pos - line_start + 1))
+        newlines = token_text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + token_text.rfind("\n") + 1
+        pos = match.end()
+    tokens.append(_Token("EOF", "", line, pos - line_start + 1))
+    return tokens
+
+
+_META_PREDICATES = ("choice", "least", "most", "next")
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str):
+        self._tokens = _tokenize(text)
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> _Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            expected = text if text is not None else kind
+            raise ParseError(
+                f"expected {expected!r}, found {token.text or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, text: str | None = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    # -- grammar ------------------------------------------------------------------
+
+    def program(self) -> Program:
+        rules: List[Rule] = []
+        while self._peek().kind != "EOF":
+            rules.append(self.rule())
+        return Program(tuple(rules))
+
+    def rule(self) -> Rule:
+        head = self._head_atom()
+        body: Tuple[Literal, ...] = ()
+        if self._accept("ARROW"):
+            body = tuple(self._body())
+        self._expect("PUNCT", ".")
+        return Rule(head, body)
+
+    def _head_atom(self) -> Atom:
+        token = self._expect("NAME")
+        args: Tuple[Term, ...] = ()
+        if self._accept("PUNCT", "("):
+            args = tuple(self._term_list())
+            self._expect("PUNCT", ")")
+        return Atom(token.text, args)
+
+    def _body(self) -> Iterator[Literal]:
+        yield self._literal()
+        while self._accept("PUNCT", ","):
+            yield self._literal()
+
+    def _literal(self) -> Literal:
+        if self._accept("NAME", "not") or self._accept("PUNCT", "~"):
+            if self._peek().text == "(":
+                self._advance()
+                literals = [self._literal()]
+                while self._accept("PUNCT", ","):
+                    literals.append(self._literal())
+                self._expect("PUNCT", ")")
+                return NegatedConjunction(tuple(literals))
+            atom = self._plain_atom()
+            return Negation(atom)
+        token = self._peek()
+        if token.kind == "NAME" and token.text in _META_PREDICATES and self._peek(1).text == "(":
+            return self._meta_goal()
+        # Otherwise: either a positive atom or a comparison between
+        # expressions.  Parse an expression first and decide by lookahead.
+        expr = self._expression()
+        op_token = self._peek()
+        if op_token.kind == "OP":
+            self._advance()
+            right = self._expression()
+            op = "!=" if op_token.text == "<>" else op_token.text
+            return Comparison(op, expr, right)
+        atom = self._expr_to_atom(expr, token)
+        return atom
+
+    def _plain_atom(self) -> Atom:
+        token = self._expect("NAME")
+        args: Tuple[Term, ...] = ()
+        if self._accept("PUNCT", "("):
+            args = tuple(self._term_list())
+            self._expect("PUNCT", ")")
+        return Atom(token.text, args)
+
+    def _expr_to_atom(self, expr: Term, token: _Token) -> Atom:
+        if isinstance(expr, Struct) and not expr.is_tuple:
+            return Atom(expr.functor, expr.args)
+        if isinstance(expr, Const) and isinstance(expr.value, str):
+            return Atom(expr.value, ())
+        raise ParseError(
+            f"expected a goal, found bare expression {expr}", token.line, token.column
+        )
+
+    def _meta_goal(self) -> Literal:
+        name_token = self._expect("NAME")
+        self._expect("PUNCT", "(")
+        name = name_token.text
+        if name == "next":
+            var_token = self._expect("VARNAME")
+            self._expect("PUNCT", ")")
+            return NextGoal(Var(var_token.text))
+        if name == "choice":
+            left = self._choice_side()
+            self._expect("PUNCT", ",")
+            right = self._choice_side()
+            self._expect("PUNCT", ")")
+            return ChoiceGoal(left, right)
+        # least / most
+        cost = self._term()
+        group: Tuple[Term, ...] = ()
+        if self._accept("PUNCT", ","):
+            group_term = self._term()
+            group = self._flatten_group(group_term)
+        self._expect("PUNCT", ")")
+        if name == "least":
+            return LeastGoal(cost, group)
+        return MostGoal(cost, group)
+
+    def _choice_side(self) -> Tuple[Term, ...]:
+        term = self._term()
+        return self._flatten_group(term)
+
+    @staticmethod
+    def _flatten_group(term: Term) -> Tuple[Term, ...]:
+        if isinstance(term, Struct) and term.is_tuple:
+            return term.args
+        if isinstance(term, Var) and term.name == "_":
+            return ()
+        return (term,)
+
+    # -- terms and expressions ----------------------------------------------------
+
+    def _term_list(self) -> Iterator[Term]:
+        if self._peek().text == ")":
+            return
+        yield self._term()
+        while self._accept("PUNCT", ","):
+            yield self._term()
+
+    def _term(self) -> Term:
+        """Terms in argument positions may embed arithmetic (rare but used
+        for readability in examples), so parse a full expression."""
+        return self._expression()
+
+    def _expression(self) -> Term:
+        left = self._mul_expr()
+        while True:
+            token = self._peek()
+            if token.kind == "ARITH" and token.text in ("+", "-"):
+                self._advance()
+                right = self._mul_expr()
+                left = Struct(token.text, (left, right))
+            else:
+                return left
+
+    def _mul_expr(self) -> Term:
+        left = self._unary_expr()
+        while True:
+            token = self._peek()
+            if token.kind == "ARITH" and token.text in ("*", "/", "//"):
+                self._advance()
+                right = self._unary_expr()
+                left = Struct(token.text, (left, right))
+            elif token.kind == "NAME" and token.text == "mod":
+                self._advance()
+                right = self._unary_expr()
+                left = Struct("mod", (left, right))
+            else:
+                return left
+
+    def _unary_expr(self) -> Term:
+        token = self._peek()
+        if token.kind == "ARITH" and token.text == "-":
+            self._advance()
+            inner = self._unary_expr()
+            if isinstance(inner, Const) and isinstance(inner.value, (int, float)):
+                return Const(-inner.value)
+            return Struct("neg", (inner,))
+        return self._primary()
+
+    def _primary(self) -> Term:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Const(value)
+        if token.kind == "STRING":
+            self._advance()
+            raw = token.text[1:-1]
+            return Const(raw.replace("\\'", "'").replace("\\\\", "\\"))
+        if token.kind == "VARNAME":
+            self._advance()
+            if token.text == "_":
+                return fresh_var("_anon")
+            return Var(token.text)
+        if token.kind == "NAME":
+            self._advance()
+            if self._accept("PUNCT", "("):
+                args = tuple(self._term_list())
+                self._expect("PUNCT", ")")
+                return Struct(token.text, args)
+            return Const(token.text)
+        if token.text == "(":
+            self._advance()
+            if self._accept("PUNCT", ")"):
+                return Struct("", ())
+            first = self._expression()
+            if self._accept("PUNCT", ","):
+                parts = [first, self._expression()]
+                while self._accept("PUNCT", ","):
+                    parts.append(self._expression())
+                self._expect("PUNCT", ")")
+                return Struct("", tuple(parts))
+            self._expect("PUNCT", ")")
+            return first
+        raise ParseError(
+            f"expected a term, found {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+
+def parse_program(text: str) -> Program:
+    """Parse a program (sequence of clauses) from *text*.
+
+    Raises:
+        ParseError: on any lexical or syntactic error.
+    """
+    return _Parser(text).program()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single clause (with trailing ``.``)."""
+    parser = _Parser(text)
+    rule = parser.rule()
+    trailing = parser._peek()
+    if trailing.kind != "EOF":
+        raise ParseError(
+            f"unexpected input after clause: {trailing.text!r}", trailing.line, trailing.column
+        )
+    return rule
+
+
+def parse_query(text: str) -> Atom:
+    """Parse a query atom such as ``prm(X, Y, C, I)`` (no trailing dot)."""
+    parser = _Parser(text)
+    atom = parser._plain_atom()
+    trailing = parser._peek()
+    if trailing.kind != "EOF":
+        raise ParseError(
+            f"unexpected input after query: {trailing.text!r}", trailing.line, trailing.column
+        )
+    return atom
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term, e.g. ``t(a, t(b, c))``."""
+    parser = _Parser(text)
+    term = parser._term()
+    trailing = parser._peek()
+    if trailing.kind != "EOF":
+        raise ParseError(
+            f"unexpected input after term: {trailing.text!r}", trailing.line, trailing.column
+        )
+    return term

@@ -1,0 +1,103 @@
+"""Program container: a list of rules plus derived predicate metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.datalog.atoms import Atom, Negation
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Const
+
+__all__ = ["Program"]
+
+PredicateKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable sequence of rules.
+
+    Facts (empty-body rules with ground heads) and proper rules may be
+    mixed; :meth:`ground_facts` extracts the former as plain tuples for
+    loading into a :class:`~repro.storage.database.Database`.
+    """
+
+    rules: Tuple[Rule, ...]
+
+    @classmethod
+    def of(cls, rules: Iterable[Rule]) -> "Program":
+        return cls(tuple(rules))
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __add__(self, other: "Program") -> "Program":
+        return Program(self.rules + other.rules)
+
+    # -- predicate metadata -----------------------------------------------------
+
+    def idb_predicates(self) -> set[PredicateKey]:
+        """Predicates defined by at least one proper (non-fact) rule."""
+        return {rule.head.key for rule in self.rules if not rule.is_fact}
+
+    def fact_predicates(self) -> set[PredicateKey]:
+        """Predicates defined by at least one fact in the program text."""
+        return {rule.head.key for rule in self.rules if rule.is_fact}
+
+    def edb_predicates(self) -> set[PredicateKey]:
+        """Predicates that occur in bodies but are never the head of a
+        proper rule (extensional predicates, supplied by the database)."""
+        idb = self.idb_predicates()
+        referenced: set[PredicateKey] = set()
+        for rule in self.rules:
+            for literal in rule.body:
+                if isinstance(literal, Atom):
+                    referenced.add(literal.key)
+                elif isinstance(literal, Negation):
+                    referenced.add(literal.atom.key)
+        return referenced - idb
+
+    def predicates(self) -> set[PredicateKey]:
+        """Every predicate mentioned anywhere in the program."""
+        keys = {rule.head.key for rule in self.rules}
+        keys |= self.edb_predicates()
+        return keys
+
+    def rules_for(self, key: PredicateKey) -> Tuple[Rule, ...]:
+        """The proper rules whose head predicate is *key*."""
+        return tuple(r for r in self.rules if r.head.key == key and not r.is_fact)
+
+    def proper_rules(self) -> Tuple[Rule, ...]:
+        return tuple(r for r in self.rules if not r.is_fact)
+
+    # -- facts --------------------------------------------------------------------
+
+    def ground_facts(self) -> Dict[str, List[tuple]]:
+        """The program's facts as ``{predicate name: [value tuples]}``.
+
+        Raises:
+            EvaluationError: if a fact head is not ground.
+        """
+        from repro.datalog.unify import ground_term
+
+        facts: Dict[str, List[tuple]] = {}
+        for rule in self.rules:
+            if not rule.is_fact:
+                continue
+            values = tuple(ground_term(arg, {}) for arg in rule.head.args)
+            facts.setdefault(rule.head.pred, []).append(values)
+        return facts
+
+    # -- validation ------------------------------------------------------------------
+
+    def check_safety(self) -> None:
+        """Check every rule for safety (see :meth:`Rule.check_safety`)."""
+        for rule in self.rules:
+            rule.check_safety()
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

@@ -1,0 +1,195 @@
+"""Rules and safety checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from repro.datalog.atoms import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    LeastGoal,
+    Literal,
+    MostGoal,
+    NegatedConjunction,
+    Negation,
+    NextGoal,
+)
+from repro.datalog.terms import Struct, Term, Var
+from repro.errors import SafetyError
+
+__all__ = ["Rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A rule ``head <- body``.  A fact is a rule with an empty body.
+
+    The body keeps the literals in source order; the helper properties
+    partition them by kind.  Meta-goals (``choice``, ``least``, ``most``,
+    ``next``) stay in the body as first-class literals until the compiler
+    either rewrites them away (semantics path) or lifts them into an
+    execution plan (engine path).
+    """
+
+    head: Atom
+    body: Tuple[Literal, ...] = ()
+
+    # -- partitions -----------------------------------------------------------
+
+    @property
+    def positive(self) -> Tuple[Atom, ...]:
+        """Positive relational goals, in source order."""
+        return tuple(l for l in self.body if isinstance(l, Atom))
+
+    @property
+    def negative(self) -> Tuple[Negation, ...]:
+        return tuple(l for l in self.body if isinstance(l, Negation))
+
+    @property
+    def comparisons(self) -> Tuple[Comparison, ...]:
+        return tuple(l for l in self.body if isinstance(l, Comparison))
+
+    @property
+    def choice_goals(self) -> Tuple[ChoiceGoal, ...]:
+        return tuple(l for l in self.body if isinstance(l, ChoiceGoal))
+
+    @property
+    def extrema_goals(self) -> Tuple[LeastGoal | MostGoal, ...]:
+        return tuple(l for l in self.body if isinstance(l, (LeastGoal, MostGoal)))
+
+    @property
+    def next_goals(self) -> Tuple[NextGoal, ...]:
+        return tuple(l for l in self.body if isinstance(l, NextGoal))
+
+    @property
+    def negated_conjunctions(self) -> Tuple[NegatedConjunction, ...]:
+        return tuple(l for l in self.body if isinstance(l, NegatedConjunction))
+
+    @property
+    def has_meta_goals(self) -> bool:
+        """Whether the rule uses any of the paper's meta-constructs."""
+        return any(
+            isinstance(l, (ChoiceGoal, LeastGoal, MostGoal, NextGoal)) for l in self.body
+        )
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    @property
+    def is_next_rule(self) -> bool:
+        """Whether this is a *next rule* in the paper's terminology
+        (contains a ``next(I)`` goal)."""
+        return any(isinstance(l, NextGoal) for l in self.body)
+
+    # -- variables -------------------------------------------------------------
+
+    def head_vars(self) -> set[Var]:
+        return set(self.head.variables())
+
+    def body_vars(self) -> set[Var]:
+        found: set[Var] = set()
+        for literal in self.body:
+            found.update(literal.variables())
+        return found
+
+    def variables(self) -> set[Var]:
+        return self.head_vars() | self.body_vars()
+
+    # -- safety ---------------------------------------------------------------
+
+    def check_safety(self) -> None:
+        """Raise :class:`~repro.errors.SafetyError` if the rule is unsafe.
+
+        Bound variables are those occurring in a positive goal, introduced
+        by a ``next`` goal (the engine supplies the stage value), or
+        assigned by an ``=`` comparison whose right side is already bound.
+        Every variable in the head, in a negated goal, in a non-assignment
+        comparison, and in a meta-goal must be bound.
+        """
+        bound: set[Var] = set()
+        for atom in self.positive:
+            bound.update(atom.variables())
+        for goal in self.next_goals:
+            bound.add(goal.var)
+        # Stage-parameterized views (e.g. Kruskal's last_comp) have a head
+        # stage variable that only occurs in comparisons and an extrema
+        # group; the stage engine supplies its value, so group variables
+        # count as bound here.
+        for goal in self.extrema_goals:
+            for term in goal.group:
+                bound.update(term.variables())
+
+        # Fixpoint over `=` assignments: X = expr binds X once expr is bound.
+        assignments = [c for c in self.comparisons if c.op == "="]
+        changed = True
+        while changed:
+            changed = False
+            for comp in assignments:
+                left_vars = set(comp.left.variables())
+                right_vars = set(comp.right.variables())
+                if right_vars <= bound and not left_vars <= bound:
+                    bound.update(left_vars)
+                    changed = True
+                elif left_vars <= bound and isinstance(comp.right, Var) and comp.right not in bound:
+                    bound.add(comp.right)
+                    changed = True
+
+        def require(vars_: set[Var], where: str) -> None:
+            unbound = {v for v in vars_ if v not in bound and not v.name.startswith("_")}
+            if unbound:
+                names = ", ".join(sorted(v.name for v in unbound))
+                raise SafetyError(
+                    f"unsafe rule: variable(s) {names} in {where} are not bound "
+                    f"by a positive goal in {self}"
+                )
+
+        require(self.head_vars(), "the head")
+        for neg in self.negative:
+            require(set(neg.variables()), f"negated goal {neg}")
+        for conj in self.negated_conjunctions:
+            # Variables shared with the rest of the rule must be bound
+            # outside; purely local variables are existential and must be
+            # bound by the conjunction's own positive goals.
+            outside: set[Var] = self.head_vars()
+            for literal in self.body:
+                if literal is not conj:
+                    outside.update(literal.variables())
+            shared = set(conj.variables()) & outside
+            require(shared, f"negated conjunction {conj}")
+            inner_bound = set(shared) | bound
+            for literal in conj.literals:
+                if isinstance(literal, Atom):
+                    inner_bound.update(literal.variables())
+            for literal in conj.literals:
+                if isinstance(literal, Negation) or (
+                    isinstance(literal, Comparison) and literal.op != "="
+                ):
+                    unbound_inner = {
+                        v
+                        for v in literal.variables()
+                        if v not in inner_bound and not v.name.startswith("_")
+                    }
+                    if unbound_inner:
+                        names = ", ".join(sorted(v.name for v in unbound_inner))
+                        raise SafetyError(
+                            f"unsafe negated conjunction: variable(s) {names} "
+                            f"in {literal} are not bound in {self}"
+                        )
+        for comp in self.comparisons:
+            if comp.op != "=":
+                require(set(comp.variables()), f"comparison {comp}")
+        for goal in self.choice_goals:
+            require(set(goal.variables()), f"choice goal {goal}")
+        for goal in self.extrema_goals:
+            require(set(goal.variables()), f"extrema goal {goal}")
+
+    # -- presentation ------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        body = ", ".join(str(l) for l in self.body)
+        return f"{self.head} <- {body}."

@@ -1,0 +1,129 @@
+"""Seminaive bottom-up evaluation with delta relations.
+
+The paper's complexity results (Section 6) presuppose "seminaive
+refinements": a recursive rule must only re-fire on the *new* facts of the
+previous iteration, not re-derive everything.  This engine implements the
+classical differential scheme:
+
+* cliques (SCCs) are evaluated in dependency order, stratum by stratum;
+* a non-recursive clique is evaluated in a single pass;
+* a recursive clique keeps, for every predicate ``p`` in it, a delta
+  relation ``Δp``; each recursive rule is instantiated once per occurrence
+  of a clique predicate in its body, with that occurrence reading ``Δp``.
+
+Negation and negated conjunctions may only refer to lower strata (checked
+by :class:`~repro.datalog.dependency.DependencyGraph`), so they read the
+stable database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.dependency import Clique, DependencyGraph
+from repro.datalog.evaluation import rule_consequences
+from repro.datalog.naive import EngineStats
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.errors import EvaluationError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+__all__ = ["SeminaiveEngine"]
+
+PredicateKey = Tuple[str, int]
+
+
+class SeminaiveEngine:
+    """Evaluate a meta-goal-free stratified program with delta relations.
+
+    The public interface matches :class:`~repro.datalog.naive.NaiveEngine`
+    (and the two are cross-checked in the test suite)::
+
+        db = SeminaiveEngine(program).run(db)
+    """
+
+    def __init__(self, program: Program, check_safety: bool = True):
+        for rule in program.proper_rules():
+            if rule.has_meta_goals:
+                raise EvaluationError(
+                    f"SeminaiveEngine cannot evaluate meta-goals; offending rule: {rule}"
+                )
+        if check_safety:
+            program.check_safety()
+        self.program = program
+        self.graph = DependencyGraph(program)
+        self.stats = EngineStats()
+
+    def run(self, db: Database | None = None) -> Database:
+        """Compute the perfect model of the program over *db* (mutated)."""
+        if db is None:
+            db = Database()
+        for name, facts in self.program.ground_facts().items():
+            db.assert_all(name, facts)
+        for group in self.graph.evaluation_order():
+            for clique in group:
+                if clique.is_recursive:
+                    self._evaluate_recursive(clique, db)
+                else:
+                    self._evaluate_once(clique.rules, db)
+        return db
+
+    # -- non-recursive cliques ---------------------------------------------------
+
+    def _evaluate_once(self, rules: Tuple[Rule, ...], db: Database) -> None:
+        self.stats.iterations += 1
+        for rule in rules:
+            self.stats.rule_firings += 1
+            relation = db.relation(rule.head.pred, rule.head.arity)
+            for fact in list(rule_consequences(rule, db)):
+                if relation.add(fact):
+                    self.stats.facts_derived += 1
+
+    # -- recursive cliques ----------------------------------------------------------
+
+    def _evaluate_recursive(self, clique: Clique, db: Database) -> None:
+        predicates = clique.predicates
+        # Initial round: full evaluation of every rule seeds the deltas.
+        deltas: Dict[PredicateKey, Relation] = {
+            key: Relation(f"Δ{key[0]}", key[1]) for key in predicates
+        }
+        self.stats.iterations += 1
+        for rule in clique.rules:
+            self.stats.rule_firings += 1
+            relation = db.relation(rule.head.pred, rule.head.arity)
+            for fact in list(rule_consequences(rule, db)):
+                if relation.add(fact):
+                    self.stats.facts_derived += 1
+                    deltas[rule.head.key].add(fact)
+
+        # Differential rounds.
+        variants = self._delta_variants(clique)
+        while any(len(delta) for delta in deltas.values()):
+            self.stats.iterations += 1
+            new_deltas: Dict[PredicateKey, Relation] = {
+                key: Relation(f"Δ{key[0]}", key[1]) for key in predicates
+            }
+            for rule, delta_index, delta_key in variants:
+                delta = deltas[delta_key]
+                if not len(delta):
+                    continue
+                self.stats.rule_firings += 1
+                relation = db.relation(rule.head.pred, rule.head.arity)
+                for fact in list(rule_consequences(rule, db, delta_index, delta)):
+                    if relation.add(fact):
+                        self.stats.facts_derived += 1
+                        new_deltas[rule.head.key].add(fact)
+            deltas = new_deltas
+
+    def _delta_variants(self, clique: Clique) -> List[Tuple[Rule, int, PredicateKey]]:
+        """One ``(rule, body-index, predicate)`` triple per occurrence of a
+        clique predicate in a rule body."""
+        variants: List[Tuple[Rule, int, PredicateKey]] = []
+        for rule in clique.rules:
+            for index, literal in enumerate(rule.body):
+                if isinstance(literal, Atom) and literal.key in clique.predicates:
+                    variants.append((rule, index, literal.key))
+        return variants

@@ -1,0 +1,140 @@
+"""Terms of the rule language.
+
+A :class:`Term` appears in rule heads and bodies.  Ground *values* — what
+relations actually store — are ordinary Python objects:
+
+* a constant ``a`` or ``42`` is stored as ``"a"`` / ``42``;
+* a compound term ``t(x, y)`` is stored as the tuple ``("t", x, y)``
+  (functor first, as in :func:`Struct.ground_value`);
+* a bare tuple term ``(x, y)`` — used to group arguments of ``choice`` —
+  is stored as the plain tuple ``(x, y)``;
+* the empty tuple ``()`` is stored as ``()``.
+
+This split keeps the hot evaluation path (joins over relations) working on
+hashable native values while the AST stays symbolic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, Tuple
+
+__all__ = ["Term", "Var", "Const", "Struct", "TUPLE_FUNCTOR", "fresh_var", "term_vars"]
+
+#: Functor name reserved for bare tuple terms such as ``(X, C)``.
+TUPLE_FUNCTOR = ""
+
+
+class Term:
+    """Abstract base class for AST terms."""
+
+    __slots__ = ()
+
+    def variables(self) -> Iterator["Var"]:
+        """Yield every variable occurring in this term (with repeats)."""
+        raise NotImplementedError
+
+    def is_ground(self) -> bool:
+        """Whether the term contains no variables."""
+        return next(self.variables(), None) is None
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Term):
+    """A logical variable, identified by name.
+
+    By convention (enforced by the parser) variable names start with an
+    uppercase letter or an underscore.
+    """
+
+    name: str
+
+    def variables(self) -> Iterator["Var"]:
+        yield self
+
+    def __str__(self) -> str:
+        # Parser-generated anonymous variables print back as the wildcard
+        # they came from, so printed rules re-parse.
+        if self.name.startswith("_anon"):
+            return "_"
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Term):
+    """A constant wrapping a ground Python value (symbol, number, tuple)."""
+
+    value: Any
+
+    def variables(self) -> Iterator[Var]:
+        return iter(())
+
+    def __str__(self) -> str:
+        return format_value(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Struct(Term):
+    """A compound term ``functor(arg1, ..., argN)``.
+
+    The reserved functor :data:`TUPLE_FUNCTOR` (the empty string) denotes a
+    bare tuple term ``(arg1, ..., argN)`` whose ground value is a plain
+    tuple rather than a functor-tagged one.
+    """
+
+    functor: str
+    args: Tuple[Term, ...]
+
+    def variables(self) -> Iterator[Var]:
+        for arg in self.args:
+            yield from arg.variables()
+
+    @property
+    def is_tuple(self) -> bool:
+        """Whether this is a bare tuple term."""
+        return self.functor == TUPLE_FUNCTOR
+
+    def __str__(self) -> str:
+        if self.functor in ("+", "-", "*", "/", "//", "mod") and len(self.args) == 2:
+            return f"({self.args[0]} {self.functor} {self.args[1]})"
+        if self.functor == "neg" and len(self.args) == 1:
+            return f"(-{self.args[0]})"
+        inner = ", ".join(str(a) for a in self.args)
+        if self.is_tuple:
+            return f"({inner})"
+        return f"{self.functor}({inner})"
+
+
+_fresh_counter = itertools.count()
+
+
+def fresh_var(prefix: str = "V") -> Var:
+    """A variable guaranteed not to clash with parsed ones.
+
+    Parsed variable names never contain ``#``, so embedding the counter
+    after a ``#`` makes collisions impossible.
+    """
+    return Var(f"{prefix}#{next(_fresh_counter)}")
+
+
+def term_vars(*terms: Term) -> set[Var]:
+    """The set of variables occurring in any of *terms*."""
+    found: set[Var] = set()
+    for term in terms:
+        found.update(term.variables())
+    return found
+
+
+def format_value(value: Any) -> str:
+    """Render a ground value in source syntax (inverse of the parser)."""
+    if isinstance(value, tuple):
+        if value and isinstance(value[0], str) and value[0]:
+            # Heuristic for functor-tagged tuples produced by Struct terms.
+            head, *rest = value
+            if rest:
+                return f"{head}({', '.join(format_value(v) for v in rest)})"
+        return f"({', '.join(format_value(v) for v in value)})"
+    if isinstance(value, str):
+        return value
+    return repr(value)

@@ -1,0 +1,118 @@
+"""Matching of AST terms against ground values, and grounding.
+
+Because evaluation is bottom-up, full unification (variables on both
+sides) is never needed: the engine only ever *matches* a rule term against
+a ground value from a relation, extending a substitution, or *grounds* a
+term under a complete substitution.
+
+A substitution is a plain ``dict`` mapping variable names to ground
+values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.datalog.terms import Const, Struct, Term, Var
+from repro.errors import EvaluationError
+
+__all__ = ["match_term", "match_args", "ground_term", "substitute_term", "Subst"]
+
+Subst = Dict[str, Any]
+
+
+def match_term(term: Term, value: Any, subst: Subst) -> Optional[Subst]:
+    """Match *term* against ground *value*, extending *subst*.
+
+    Returns the (possibly extended) substitution on success, or ``None`` on
+    mismatch.  The input substitution is never mutated; a copy is made only
+    when a new binding is actually added.
+
+    Variables whose name starts with ``_`` are wildcards: they match
+    anything and produce no binding.
+    """
+    if isinstance(term, Var):
+        if term.name.startswith("_"):
+            return subst
+        bound = subst.get(term.name, _MISSING)
+        if bound is _MISSING:
+            new = dict(subst)
+            new[term.name] = value
+            return new
+        return subst if bound == value else None
+    if isinstance(term, Const):
+        return subst if term.value == value else None
+    if isinstance(term, Struct):
+        if not isinstance(value, tuple):
+            return None
+        if term.is_tuple:
+            parts = value
+        else:
+            if len(value) != len(term.args) + 1 or value[0] != term.functor:
+                return None
+            parts = value[1:]
+        if len(parts) != len(term.args):
+            return None
+        current: Optional[Subst] = subst
+        for sub_term, sub_value in zip(term.args, parts):
+            current = match_term(sub_term, sub_value, current)
+            if current is None:
+                return None
+        return current
+    raise TypeError(f"cannot match non-term {term!r}")
+
+
+def match_args(args: tuple[Term, ...], values: tuple[Any, ...], subst: Subst) -> Optional[Subst]:
+    """Match an argument list against a fact tuple (same length assumed)."""
+    current: Optional[Subst] = subst
+    for term, value in zip(args, values):
+        current = match_term(term, value, current)
+        if current is None:
+            return None
+    return current
+
+
+def ground_term(term: Term, subst: Subst) -> Any:
+    """The ground value of *term* under *subst*.
+
+    Raises:
+        EvaluationError: if the term contains a variable unbound in *subst*.
+    """
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, Var):
+        try:
+            return subst[term.name]
+        except KeyError:
+            raise EvaluationError(f"variable {term.name} is unbound") from None
+    if isinstance(term, Struct):
+        parts = tuple(ground_term(arg, subst) for arg in term.args)
+        if term.is_tuple:
+            return parts
+        return (term.functor, *parts)
+    raise TypeError(f"cannot ground non-term {term!r}")
+
+
+def is_bound(term: Term, subst: Subst) -> bool:
+    """Whether *term* grounds completely under *subst*.
+
+    Wildcard variables (``_``-prefixed) never ground: a term containing one
+    must be matched against a fact value, not evaluated.
+    """
+    return all(
+        not v.name.startswith("_") and v.name in subst for v in term.variables()
+    )
+
+
+def substitute_term(term: Term, subst: Subst) -> Term:
+    """Replace bound variables in *term* by constants (partial grounding)."""
+    if isinstance(term, Var):
+        if term.name in subst:
+            return Const(subst[term.name])
+        return term
+    if isinstance(term, Struct):
+        return Struct(term.functor, tuple(substitute_term(a, subst) for a in term.args))
+    return term
+
+
+_MISSING = object()

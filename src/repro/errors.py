@@ -1,0 +1,71 @@
+"""Exception hierarchy for the Greedy-by-Choice reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses mirror the stages of
+the pipeline: parsing, safety/semantic analysis, stratification analysis,
+and evaluation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "SafetyError",
+    "StratificationError",
+    "StageAnalysisError",
+    "EvaluationError",
+    "RewriteError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ParseError(ReproError):
+    """Raised when the Datalog text cannot be parsed.
+
+    Attributes:
+        line: 1-based line number of the offending token, if known.
+        column: 1-based column number, if known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SafetyError(ReproError):
+    """Raised when a rule violates range-restriction/safety conditions.
+
+    A rule is safe when every variable in its head, in a negated goal, or in
+    a built-in comparison is bound by a positive body goal (or by an
+    arithmetic assignment whose inputs are bound).
+    """
+
+
+class StratificationError(ReproError):
+    """Raised when a program uses negation through recursion unstratifiably."""
+
+
+class StageAnalysisError(ReproError):
+    """Raised when a clique fails the stage-stratification conditions of
+    Section 4 of the paper (e.g. mixed next/flat rules for one predicate, or
+    a stage argument that does not strictly increase)."""
+
+
+class RewriteError(ReproError):
+    """Raised when a meta-construct cannot be rewritten into negation
+    (e.g. ``next`` in a rule without a stage argument in the head)."""
+
+
+class EvaluationError(ReproError):
+    """Raised when fixpoint evaluation cannot proceed (unbound built-in
+    arguments, unsafe negation at runtime, exhausted non-determinism)."""

@@ -1,0 +1,36 @@
+"""Matroid theory — the Section 7 connection.
+
+The paper's conclusion observes that the greedy programs correspond to
+matroid optimisation (the matching program to a *partition matroid*,
+Kruskal to the *graphic matroid*) and leaves open "simple sufficient
+conditions for the propagation of least into stage stratified programs
+based on Matroid Theory".  This subpackage supplies the machinery to
+explore that: independence systems with oracle-checked axioms, the
+standard matroid constructions, the generic greedy algorithm, and the
+exactness theorem (greedy is optimal on every matroid, and only on
+matroids) exercised by the test suite and benchmark E9.
+"""
+
+from repro.matroids.greedy import greedy_basis, greedy_max_weight, greedy_min_weight
+from repro.matroids.matroid import IndependenceSystem, Matroid, is_matroid
+from repro.matroids.standard import (
+    DualMatroid,
+    GraphicMatroid,
+    PartitionMatroid,
+    TransversalLikeSystem,
+    UniformMatroid,
+)
+
+__all__ = [
+    "DualMatroid",
+    "GraphicMatroid",
+    "IndependenceSystem",
+    "Matroid",
+    "PartitionMatroid",
+    "TransversalLikeSystem",
+    "UniformMatroid",
+    "greedy_basis",
+    "greedy_max_weight",
+    "greedy_min_weight",
+    "is_matroid",
+]

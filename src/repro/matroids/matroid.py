@@ -1,0 +1,94 @@
+"""Independence systems and matroids with oracle-checked axioms."""
+
+from __future__ import annotations
+
+import itertools
+from typing import AbstractSet, FrozenSet, Hashable, Iterable, Set
+
+__all__ = ["IndependenceSystem", "Matroid", "is_matroid"]
+
+
+class IndependenceSystem:
+    """A finite ground set with a downward-closed family of independent
+    sets, given by an oracle.
+
+    Subclasses implement :meth:`is_independent`; everything else (rank,
+    bases, circuits) is derived.  All derived enumeration is exponential —
+    it exists for validation on small instances, not for optimisation
+    (use :mod:`repro.matroids.greedy` for that).
+    """
+
+    def __init__(self, ground_set: Iterable[Hashable]):
+        self._ground: FrozenSet[Hashable] = frozenset(ground_set)
+
+    @property
+    def ground_set(self) -> FrozenSet[Hashable]:
+        return self._ground
+
+    def is_independent(self, subset: AbstractSet[Hashable]) -> bool:
+        """Oracle: whether *subset* is independent."""
+        raise NotImplementedError
+
+    # -- derived notions -----------------------------------------------------
+
+    def rank(self) -> int:
+        """Size of a maximum independent set (via greedy extension — valid
+        for matroids; for general independence systems it is the size of a
+        *maximal* set found greedily)."""
+        current: Set[Hashable] = set()
+        for element in sorted(self._ground, key=repr):
+            if self.is_independent(current | {element}):
+                current.add(element)
+        return len(current)
+
+    def bases(self) -> Set[FrozenSet[Hashable]]:
+        """All maximal independent sets (exponential; small instances)."""
+        independents = self.independent_sets()
+        maximal: Set[FrozenSet[Hashable]] = set()
+        for s in independents:
+            if not any(s < t for t in independents):
+                maximal.add(s)
+        return maximal
+
+    def independent_sets(self) -> Set[FrozenSet[Hashable]]:
+        """All independent sets (exponential; small instances)."""
+        out: Set[FrozenSet[Hashable]] = set()
+        elements = sorted(self._ground, key=repr)
+        for r in range(len(elements) + 1):
+            for combo in itertools.combinations(elements, r):
+                if self.is_independent(set(combo)):
+                    out.add(frozenset(combo))
+        return out
+
+
+class Matroid(IndependenceSystem):
+    """Marker base class for systems claimed to satisfy the matroid
+    axioms; :func:`is_matroid` verifies the claim on small instances."""
+
+
+def is_matroid(system: IndependenceSystem) -> bool:
+    """Brute-force check of the matroid axioms.
+
+    1. The empty set is independent.
+    2. Downward closure: subsets of independent sets are independent.
+    3. Exchange: if ``|A| < |B|`` are independent, some ``b ∈ B - A``
+       keeps ``A + b`` independent.
+
+    Exponential in the ground set — intended for ground sets of at most a
+    dozen elements (tests, benchmark E9 validation).
+    """
+    if not system.is_independent(set()):
+        return False
+    independents = system.independent_sets()
+    for s in independents:
+        for element in s:
+            if frozenset(s - {element}) not in independents:
+                return False
+    for a in independents:
+        for b in independents:
+            if len(a) < len(b):
+                if not any(
+                    frozenset(a | {x}) in independents for x in b - a
+                ):
+                    return False
+    return True

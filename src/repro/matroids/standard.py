@@ -1,0 +1,145 @@
+"""Standard matroid constructions, plus the non-matroid system that makes
+bipartite matching greedy inexact."""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Hashable, Iterable, Mapping, Tuple
+
+from repro.matroids.matroid import IndependenceSystem, Matroid
+from repro.storage.unionfind import UnionFind
+
+__all__ = [
+    "UniformMatroid",
+    "PartitionMatroid",
+    "GraphicMatroid",
+    "TransversalLikeSystem",
+    "DualMatroid",
+]
+
+
+class UniformMatroid(Matroid):
+    """``U(n, k)``: independent = at most *k* elements."""
+
+    def __init__(self, ground_set: Iterable[Hashable], k: int):
+        super().__init__(ground_set)
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+
+    def is_independent(self, subset: AbstractSet[Hashable]) -> bool:
+        return len(subset) <= self.k and subset <= self.ground_set
+
+
+class PartitionMatroid(Matroid):
+    """Independent = at most ``capacity[block]`` elements per block.
+
+    The paper (Section 7) notes that the matching program "corresponds to
+    a partition matroid": arcs partitioned by source (capacity 1) form
+    one; by target, another.  The matching constraint is their
+    intersection — see :class:`TransversalLikeSystem`.
+    """
+
+    def __init__(
+        self,
+        blocks: Mapping[Hashable, Hashable],
+        capacities: Mapping[Hashable, int] | int = 1,
+    ):
+        super().__init__(blocks.keys())
+        self._block_of: Dict[Hashable, Hashable] = dict(blocks)
+        if isinstance(capacities, int):
+            self._capacity = {b: capacities for b in set(blocks.values())}
+        else:
+            self._capacity = dict(capacities)
+
+    def is_independent(self, subset: AbstractSet[Hashable]) -> bool:
+        counts: Dict[Hashable, int] = {}
+        for element in subset:
+            block = self._block_of.get(element)
+            if block is None:
+                return False
+            counts[block] = counts.get(block, 0) + 1
+            if counts[block] > self._capacity.get(block, 0):
+                return False
+        return True
+
+
+class GraphicMatroid(Matroid):
+    """Ground set = edges; independent = acyclic (forests).
+
+    Kruskal's algorithm is exactly matroid greedy on this matroid, which
+    is why Example 8's greedy is optimal.
+    """
+
+    def __init__(self, edges: Iterable[Tuple[Hashable, Hashable]]):
+        self._edges: Dict[Hashable, Tuple[Hashable, Hashable]] = {}
+        for edge in edges:
+            u, v = edge
+            self._edges[(u, v)] = (u, v)
+        super().__init__(self._edges.keys())
+
+    def is_independent(self, subset: AbstractSet) -> bool:
+        uf = UnionFind()
+        for edge in subset:
+            if edge not in self._edges:
+                return False
+            u, v = self._edges[edge]
+            if not uf.union(u, v):
+                return False
+        return True
+
+
+class TransversalLikeSystem(IndependenceSystem):
+    """The *intersection* of two partition matroids: arc sets using each
+    source at most once and each target at most once (matchings).
+
+    This is an independence system but **not** a matroid in general —
+    exactly why greedy matching (Example 7) is maximal but not always
+    minimum-cost, while greedy on the single partition matroid is exact.
+    :func:`repro.matroids.matroid.is_matroid` demonstrates the failure on
+    small instances in the test suite.
+    """
+
+    def __init__(self, arcs: Iterable[Tuple[Hashable, Hashable]]):
+        self._arcs = {(x, y): (x, y) for x, y in arcs}
+        super().__init__(self._arcs.keys())
+
+    def is_independent(self, subset: AbstractSet) -> bool:
+        sources = set()
+        targets = set()
+        for arc in subset:
+            if arc not in self._arcs:
+                return False
+            x, y = self._arcs[arc]
+            if x in sources or y in targets:
+                return False
+            sources.add(x)
+            targets.add(y)
+        return True
+
+
+class DualMatroid(Matroid):
+    """The dual of a matroid: independent = contained in the complement
+    of some basis of the primal.
+
+    Implemented via the primal's rank oracle (exponential ``bases`` is
+    avoided): ``S`` is independent in ``M*`` iff the primal rank of the
+    complement of ``S`` equals the primal rank — removing ``S`` must not
+    disconnect any basis.
+    """
+
+    def __init__(self, primal: Matroid):
+        super().__init__(primal.ground_set)
+        self.primal = primal
+        self._primal_rank = self._rank_of(primal.ground_set)
+
+    def _rank_of(self, subset) -> int:
+        current: set = set()
+        for element in sorted(subset, key=repr):
+            if self.primal.is_independent(current | {element}):
+                current.add(element)
+        return len(current)
+
+    def is_independent(self, subset: AbstractSet) -> bool:
+        if not subset <= self.ground_set:
+            return False
+        return self._rank_of(self.ground_set - set(subset)) == self._primal_rank

@@ -1,0 +1,63 @@
+"""The paper's example programs (Sections 2, 3, 5, 7) as a typed API.
+
+Every function in this subpackage runs a declarative ``choice``/``least``/
+``next`` program through the engines of :mod:`repro.core` and converts the
+resulting choice model into plain Python values.  The raw program texts
+live in :mod:`repro.programs.texts` and are exactly the programs analysed
+in the paper (deviations are documented per program — see
+``texts.DEVIATIONS``).
+
+Functions accept ``engine=`` (``"rql"`` — the Section 6 implementation —
+or ``"basic"``) and ``seed=``/``rng=`` for the non-deterministic draws.
+"""
+
+from repro.programs.assignment import (
+    assign_students,
+    bottom_students,
+    bi_injective_bottom_pairs,
+)
+from repro.programs.coins import ChangeResult, greedy_change
+from repro.programs.convex_hull import convex_hull
+from repro.programs.graphs import (
+    MSTResult,
+    kruskal_mst,
+    prim_mst,
+    spanning_tree,
+)
+from repro.programs.huffman import HuffmanResult, huffman_codes, huffman_tree
+from repro.programs.knapsack import KnapsackResult, greedy_knapsack
+from repro.programs.matching import MatchingResult, max_weight_matching, min_cost_matching
+from repro.programs.scheduling import ScheduledJob, select_activities
+from repro.programs.sequencing import SequencedJob, sequence_jobs
+from repro.programs.shortest_path import dijkstra_distances
+from repro.programs.sorting import datalog_sort
+from repro.programs.tsp import TSPResult, greedy_tsp_chain
+
+__all__ = [
+    "ChangeResult",
+    "HuffmanResult",
+    "KnapsackResult",
+    "MSTResult",
+    "MatchingResult",
+    "ScheduledJob",
+    "SequencedJob",
+    "TSPResult",
+    "assign_students",
+    "bi_injective_bottom_pairs",
+    "bottom_students",
+    "convex_hull",
+    "datalog_sort",
+    "dijkstra_distances",
+    "greedy_change",
+    "greedy_knapsack",
+    "greedy_tsp_chain",
+    "huffman_codes",
+    "huffman_tree",
+    "kruskal_mst",
+    "max_weight_matching",
+    "min_cost_matching",
+    "prim_mst",
+    "select_activities",
+    "sequence_jobs",
+    "spanning_tree",
+]

@@ -1,0 +1,39 @@
+"""Shared plumbing for the typed program wrappers."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.compiler import solve_program
+from repro.storage.database import Database
+
+__all__ = ["run", "symmetric_edges", "EngineOptions"]
+
+Fact = Tuple[Any, ...]
+
+
+def run(
+    source: str,
+    facts: Dict[str, Iterable[Fact]],
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> Database:
+    """Compile and evaluate *source* over *facts* (wrapper convenience)."""
+    return solve_program(source, facts=facts, seed=seed, rng=rng, engine=engine)
+
+
+def symmetric_edges(
+    edges: Iterable[Tuple[Any, Any, Any]]
+) -> List[Tuple[Any, Any, Any]]:
+    """Both orientations of an undirected edge list (the paper stores an
+    undirected graph "as pairs of edges g(Y,X,C), g(X,Y,C)")."""
+    out: List[Tuple[Any, Any, Any]] = []
+    seen = set()
+    for u, v, c in edges:
+        for a, b in ((u, v), (v, u)):
+            if (a, b, c) not in seen:
+                seen.add((a, b, c))
+                out.append((a, b, c))
+    return out

@@ -1,0 +1,63 @@
+"""Section 2's running examples: student/course assignment with ``choice``
+and extrema."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Hashable, Iterable, List, Tuple
+
+from repro.programs import texts
+from repro.programs._run import run
+
+__all__ = ["assign_students", "bottom_students", "bi_injective_bottom_pairs"]
+
+
+def assign_students(
+    takes: Iterable[Tuple[Hashable, Hashable]],
+    engine: str = "choice",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> List[Tuple[Hashable, Hashable]]:
+    """Example 1: a maximal assignment of one student per course and one
+    course per student.
+
+    Different seeds reach the different choice models (the paper's
+    ``M1``, ``M2``, ``M3`` for its four ``takes`` facts).
+    """
+    db = run(
+        texts.EXAMPLE1_ASSIGNMENT, {"takes": list(takes)}, engine=engine, seed=seed, rng=rng
+    )
+    return sorted(db.facts("a_st", 2))
+
+
+def bottom_students(
+    takes: Iterable[Tuple[Hashable, Hashable, Any]],
+    engine: str = "rql",
+    seed: int | None = None,
+) -> List[Tuple[Hashable, Hashable, Any]]:
+    """Section 2: per course, the students with the least grade above 1.
+
+    Deterministic (a stratified extrema query, no choice): all minimal
+    students of each course are returned.
+    """
+    db = run(texts.BOTTOM_STUDENTS, {"takes": list(takes)}, engine=engine, seed=seed)
+    return sorted(db.facts("bttm_st", 3))
+
+
+def bi_injective_bottom_pairs(
+    takes: Iterable[Tuple[Hashable, Hashable, Any]],
+    engine: str = "choice",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> List[Tuple[Hashable, Hashable, Any]]:
+    """Section 2: bi-injective student/course pairs among those with the
+    lowest grade above 1 (``least`` applied before ``choice`` commits).
+
+    The paper's example admits exactly two stable models over its
+    ``takes`` facts; enumeration lives in
+    :func:`repro.semantics.enumerate_choice_models`.
+    """
+    db = run(
+        texts.BI_INJECTIVE_BOTTOM, {"takes": list(takes)}, engine=engine, seed=seed, rng=rng
+    )
+    return sorted(db.facts("bi_st_c", 3))

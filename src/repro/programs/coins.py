@@ -1,0 +1,57 @@
+"""Extension — greedy coin change.
+
+Notable less for the algorithm than for what it shows about the engines:
+the rule's head carries a running remainder bound by a *non-candidate*
+goal, so one coin fact legitimately fires at many stages.  That is
+outside the (R, Q, L) canonical shape, and
+:class:`~repro.core.greedy_engine.GreedyStageEngine` detects it and falls
+back to basic evaluation (``engine.fallbacks`` explains why).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Tuple
+
+from repro.programs import texts
+from repro.programs._run import run
+
+__all__ = ["ChangeResult", "greedy_change"]
+
+
+@dataclass(frozen=True)
+class ChangeResult:
+    """The coins handed out, largest-first."""
+
+    coins: Tuple[Any, ...]
+    total: Any
+    remainder: Any
+
+
+def greedy_change(
+    amount: Any,
+    denominations: Iterable[Any],
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> ChangeResult:
+    """Make change for *amount* greedily (largest coin first).
+
+    Optimal for canonical coin systems (e.g. 1/5/10/25); the usual greedy
+    shortfall on non-canonical systems is demonstrated in the tests.
+    """
+    coins = sorted(set(denominations))
+    if any(c <= 0 for c in coins):
+        raise ValueError("denominations must be positive")
+    db = run(
+        texts.COIN_CHANGE,
+        {"coin": [(c,) for c in coins], "amount": [(amount,)]},
+        engine=engine,
+        seed=seed,
+        rng=rng,
+    )
+    rows = sorted((f for f in db.facts("change", 3) if f[2] > 0), key=lambda f: f[2])
+    handed = tuple(f[0] for f in rows)
+    total = sum(handed)
+    return ChangeResult(handed, total, amount - total)

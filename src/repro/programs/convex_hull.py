@@ -1,0 +1,54 @@
+"""Convex hull by gift wrapping, as a stage-stratified program.
+
+Section 5 lists "the convex hull problem" among the greedy algorithms
+expressed as stage programs in the companion report; this module provides
+the program (Jarvis march) and a typed wrapper over plain coordinate
+pairs.  Points are assumed in *general position* (no three collinear) —
+the workload generator :func:`repro.workloads.random_points` guarantees
+it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from repro.programs import texts
+from repro.programs._run import run
+
+__all__ = ["convex_hull"]
+
+Point = Tuple[Any, Any]
+
+
+def convex_hull(
+    points: Sequence[Point],
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> List[Point]:
+    """The convex hull of *points*, counterclockwise starting from the
+    bottom-most (then leftmost) point.
+
+    Args:
+        points: ``(x, y)`` pairs in general position (no three collinear);
+            at least three points.
+
+    Returns:
+        The hull vertices in counterclockwise order.
+
+    Raises:
+        ValueError: on fewer than three points or duplicate points.
+    """
+    unique = list(dict.fromkeys(points))
+    if len(unique) != len(points):
+        raise ValueError("duplicate points in convex_hull input")
+    if len(unique) < 3:
+        raise ValueError("convex_hull needs at least three points")
+    facts = {"pt": [(f"p{i}", x, y) for i, (x, y) in enumerate(unique)]}
+    db = run(texts.CONVEX_HULL, facts, engine=engine, seed=seed, rng=rng)
+    arcs = sorted(
+        (f for f in db.facts("hull", 3) if f[0] != "nil"), key=lambda f: f[2]
+    )
+    by_id = {f"p{i}": (x, y) for i, (x, y) in enumerate(unique)}
+    return [by_id[p] for p, _, _ in arcs]

@@ -1,0 +1,133 @@
+"""Spanning trees: Example 3 (arbitrary), Example 4 (Prim) and Example 8
+(Kruskal) as library functions over plain edge lists."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.programs import texts
+from repro.programs._run import run, symmetric_edges
+
+__all__ = ["MSTResult", "spanning_tree", "prim_mst", "kruskal_mst"]
+
+Edge = Tuple[Hashable, Hashable, Any]
+
+
+@dataclass(frozen=True)
+class MSTResult:
+    """A spanning tree produced by one of the declarative programs.
+
+    Attributes:
+        edges: tree arcs ``(parent, child, cost)`` in selection order.
+        total_cost: sum of the arc costs.
+    """
+
+    edges: Tuple[Edge, ...]
+    total_cost: Any
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def vertices(self) -> set:
+        found = set()
+        for u, v, _ in self.edges:
+            found.add(u)
+            found.add(v)
+        return found
+
+
+def _tree_from(db, pred: str, stage_pos: int = 3) -> MSTResult:
+    rows = sorted(
+        (f for f in db.facts(pred, 4) if f[stage_pos] > 0 or f[0] != "nil"),
+        key=lambda f: f[stage_pos],
+    )
+    rows = [f for f in rows if f[0] != "nil"]
+    edges = tuple((f[0], f[1], f[2]) for f in rows)
+    total = sum(f[2] for f in rows)
+    return MSTResult(edges, total)
+
+
+def spanning_tree(
+    edges: Iterable[Edge],
+    source: Hashable,
+    directed: bool = False,
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> MSTResult:
+    """Example 3: *some* spanning tree of the graph, rooted at *source*.
+
+    Non-deterministic: different seeds may yield different trees; every
+    returned tree is a choice model of the program.
+    """
+    g = list(edges) if directed else symmetric_edges(edges)
+    db = run(
+        texts.SPANNING_TREE,
+        {"g": g, "source": [(source,)]},
+        engine=engine,
+        seed=seed,
+        rng=rng,
+    )
+    return _tree_from(db, "st")
+
+
+def prim_mst(
+    edges: Iterable[Edge],
+    source: Hashable,
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> MSTResult:
+    """Example 4: a minimum spanning tree by Prim's algorithm.
+
+    The input is an undirected edge list; both orientations are loaded as
+    the paper prescribes.  With distinct edge costs the result is the
+    unique MST; ties are broken non-deterministically.
+    """
+    db = run(
+        texts.PRIM,
+        {"g": symmetric_edges(edges), "source": [(source,)]},
+        engine=engine,
+        seed=seed,
+        rng=rng,
+    )
+    return _tree_from(db, "prm")
+
+
+def kruskal_mst(
+    edges: Iterable[Edge],
+    nodes: Optional[Iterable[Hashable]] = None,
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> MSTResult:
+    """Example 8: a minimum spanning tree by Kruskal's algorithm, with the
+    declarative component relabelling (``comp``/``last_comp``).
+
+    Args:
+        edges: undirected edge list.
+        nodes: vertex set; inferred from the edges when omitted.
+    """
+    edge_list = list(edges)
+    if nodes is None:
+        node_set = {u for u, _, _ in edge_list} | {v for _, v, _ in edge_list}
+    else:
+        node_set = set(nodes)
+    db = run(
+        texts.KRUSKAL,
+        {
+            "g": symmetric_edges(edge_list),
+            "node": [(n,) for n in sorted(node_set, key=repr)],
+        },
+        engine=engine,
+        seed=seed,
+        rng=rng,
+    )
+    rows = sorted(
+        (f for f in db.facts("kruskal", 4) if f[3] > 0), key=lambda f: f[3]
+    )
+    return MSTResult(
+        tuple((f[0], f[1], f[2]) for f in rows), sum(f[2] for f in rows)
+    )

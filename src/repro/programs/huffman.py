@@ -1,0 +1,110 @@
+"""Example 6 — Huffman trees and prefix codes.
+
+The program builds the tree bottom-up with the ``t/2`` constructor; this
+module additionally walks the resulting ground term to extract the prefix
+codes and offers encode/decode helpers, so the example is usable as a
+real (toy) compressor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Tuple
+
+from repro.programs import texts
+from repro.programs._run import run
+
+__all__ = ["HuffmanResult", "huffman_tree", "huffman_codes", "encode", "decode"]
+
+#: A ground Huffman tree: either a leaf symbol or ``("t", left, right)``.
+Tree = Any
+
+
+@dataclass(frozen=True)
+class HuffmanResult:
+    """Output of the Huffman program.
+
+    Attributes:
+        tree: the root as a ground term — a leaf or ``("t", left, right)``.
+        cost: total frequency at the root.
+        weighted_path_length: sum of internal-node costs — the expected
+            code length times the total frequency (the quantity Huffman
+            trees minimise).
+        merges: the ``(tree, cost, stage)`` facts in merge order.
+    """
+
+    tree: Tree
+    cost: Any
+    weighted_path_length: Any
+    merges: Tuple[Tuple[Tree, Any, int], ...]
+
+
+def huffman_tree(
+    frequencies: Mapping[Hashable, Any],
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> HuffmanResult:
+    """Build a Huffman tree for a symbol-frequency table (Example 6).
+
+    Requires at least two symbols.  With tied frequencies several optimal
+    trees exist; any returned one is a choice model and all share the
+    minimal weighted path length.
+    """
+    items = list(frequencies.items())
+    if len(items) < 2:
+        raise ValueError("huffman_tree needs at least two symbols")
+    db = run(texts.HUFFMAN, {"letter": items}, engine=engine, seed=seed, rng=rng)
+    merges = sorted(
+        (f for f in db.facts("h", 3) if f[2] > 0), key=lambda f: f[2]
+    )
+    if not merges:
+        raise ValueError("no merges produced — check the frequency table")
+    root, cost, _ = merges[-1]
+    wpl = sum(f[1] for f in merges)
+    return HuffmanResult(root, cost, wpl, tuple(merges))
+
+
+def huffman_codes(
+    frequencies: Mapping[Hashable, Any],
+    engine: str = "rql",
+    seed: int | None = None,
+) -> Dict[Hashable, str]:
+    """The prefix codes read off the Huffman tree (left = ``0``)."""
+    result = huffman_tree(frequencies, engine=engine, seed=seed)
+    codes: Dict[Hashable, str] = {}
+    _walk(result.tree, "", codes)
+    return codes
+
+
+def _walk(tree: Tree, prefix: str, codes: Dict[Hashable, str]) -> None:
+    if isinstance(tree, tuple) and len(tree) == 3 and tree[0] == "t":
+        _walk(tree[1], prefix + "0", codes)
+        _walk(tree[2], prefix + "1", codes)
+    else:
+        codes[tree] = prefix or "0"
+
+
+def encode(text: Iterable[Hashable], codes: Mapping[Hashable, str]) -> str:
+    """Encode a symbol sequence with a code table from :func:`huffman_codes`."""
+    return "".join(codes[symbol] for symbol in text)
+
+
+def decode(bits: str, codes: Mapping[Hashable, str]) -> List[Hashable]:
+    """Decode a bit string (inverse of :func:`encode`).
+
+    Raises:
+        ValueError: if the bit string is not a concatenation of codes.
+    """
+    inverse = {code: symbol for symbol, code in codes.items()}
+    symbols: List[Hashable] = []
+    current = ""
+    for bit in bits:
+        current += bit
+        if current in inverse:
+            symbols.append(inverse[current])
+            current = ""
+    if current:
+        raise ValueError(f"dangling bits {current!r} do not form a code")
+    return symbols

@@ -1,0 +1,63 @@
+"""Extension — greedy 0/1 knapsack by value/weight ratio.
+
+The classical heuristic (optimal for the fractional relaxation, an
+approximation for 0/1): repeatedly take the highest-ratio item that still
+fits, threading the remaining capacity through a stage relation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, List, Tuple
+
+from repro.programs import texts
+from repro.programs._run import run
+
+__all__ = ["KnapsackResult", "greedy_knapsack"]
+
+
+@dataclass(frozen=True)
+class KnapsackResult:
+    """Selected items in take order.
+
+    Attributes:
+        items: ``(name, weight, value)`` triples.
+        total_weight: sum of weights (≤ capacity).
+        total_value: sum of values.
+    """
+
+    items: Tuple[Tuple[Hashable, Any, Any], ...]
+    total_weight: Any
+    total_value: Any
+
+
+def greedy_knapsack(
+    items: Iterable[Tuple[Hashable, Any, Any]],
+    capacity: Any,
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> KnapsackResult:
+    """Greedy-by-ratio 0/1 knapsack over ``(name, weight, value)``.
+
+    Weights must be positive.  Ties in ratio break non-deterministically
+    (or by insertion order on the RQL engine).
+    """
+    item_list = list(items)
+    if any(w <= 0 for _, w, _ in item_list):
+        raise ValueError("item weights must be positive")
+    db = run(
+        texts.GREEDY_KNAPSACK,
+        {"item": item_list, "capacity": [(capacity,)]},
+        engine=engine,
+        seed=seed,
+        rng=rng,
+    )
+    rows = sorted((f for f in db.facts("take", 4) if f[3] > 0), key=lambda f: f[3])
+    selected = tuple((f[0], f[1], f[2]) for f in rows)
+    return KnapsackResult(
+        selected,
+        sum(f[1] for f in rows),
+        sum(f[2] for f in rows),
+    )

@@ -1,0 +1,47 @@
+"""Extension — activity selection (interval scheduling).
+
+One of the "several scheduling algorithms" the paper's companion report
+expresses as stage-stratified programs: repeatedly pick, among the jobs
+starting after the last selected finish, the one finishing earliest.
+This greedy is optimal (maximises the number of compatible activities).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, List, Tuple
+
+from repro.programs import texts
+from repro.programs._run import run
+
+__all__ = ["ScheduledJob", "select_activities"]
+
+
+@dataclass(frozen=True)
+class ScheduledJob:
+    """A selected activity."""
+
+    name: Hashable
+    start: Any
+    finish: Any
+
+
+def select_activities(
+    jobs: Iterable[Tuple[Hashable, Any, Any]],
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> List[ScheduledJob]:
+    """Greedy activity selection over ``(name, start, finish)`` triples.
+
+    Returns a maximum-cardinality set of pairwise-compatible activities in
+    schedule order.
+    """
+    db = run(
+        texts.ACTIVITY_SELECTION, {"job": list(jobs)}, engine=engine, seed=seed, rng=rng
+    )
+    rows = sorted(
+        (f for f in db.facts("sched", 4) if f[3] > 0), key=lambda f: f[3]
+    )
+    return [ScheduledJob(f[0], f[1], f[2]) for f in rows]

@@ -1,0 +1,43 @@
+"""Extension — Dijkstra's single-source shortest paths.
+
+Not in the paper, but exactly the class of algorithm Section 7 invites:
+the frontier relation ``cand`` plays ``new_g``'s role from Prim, the
+r-congruence collapses the frontier to one entry per vertex (keep the
+cheapest tentative distance — a declarative decrease-key), and
+``choice(Y, I)`` settles each vertex exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Hashable, Iterable, Tuple
+
+from repro.programs import texts
+from repro.programs._run import run, symmetric_edges
+
+__all__ = ["dijkstra_distances"]
+
+Edge = Tuple[Hashable, Hashable, Any]
+
+
+def dijkstra_distances(
+    edges: Iterable[Edge],
+    source: Hashable,
+    directed: bool = False,
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> Dict[Hashable, Any]:
+    """Shortest-path distances from *source* (non-negative costs).
+
+    Returns a mapping ``vertex -> distance`` for every reachable vertex.
+    """
+    g = list(edges) if directed else symmetric_edges(edges)
+    db = run(
+        texts.DIJKSTRA,
+        {"g": g, "source": [(source,)]},
+        engine=engine,
+        seed=seed,
+        rng=rng,
+    )
+    return {f[0]: f[1] for f in db.facts("dist", 3)}

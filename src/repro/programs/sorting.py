@@ -1,0 +1,50 @@
+"""Example 5 — sorting a relation by a declarative stage program.
+
+The paper's observation: the program *reads* like insertion sort ("at
+each step the smallest tuple from the remaining set of tuples is selected
+and inserted"), but the (R, Q, L)-backed fixpoint *implements* heap-sort,
+at ``O(n log n)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.programs import texts
+from repro.programs._run import run
+
+__all__ = ["datalog_sort", "sort_values"]
+
+
+def datalog_sort(
+    items: Iterable[Tuple[Hashable, Any]],
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> List[Tuple[Hashable, Any]]:
+    """Sort ``(name, cost)`` pairs by cost via the Example 5 program.
+
+    Returns the pairs in ascending cost order (the order of the stage
+    variable in the computed choice model).  Ties are broken
+    non-deterministically — any returned order is a choice model.
+
+    Note: the program sorts a *relation*, so exact duplicate pairs
+    collapse (sets, not bags).
+    """
+    db = run(texts.SORTING, {"p": list(items)}, engine=engine, seed=seed, rng=rng)
+    rows = sorted(
+        (f for f in db.facts("sp", 3) if f[2] > 0), key=lambda f: f[2]
+    )
+    return [(f[0], f[1]) for f in rows]
+
+
+def sort_values(
+    values: Sequence[Any],
+    engine: str = "rql",
+    seed: int | None = None,
+) -> List[Any]:
+    """Sort a plain sequence of values (tagged by position to keep
+    duplicates distinct in the relation)."""
+    tagged = [(index, value) for index, value in enumerate(values)]
+    return [value for _, value in datalog_sort(tagged, engine=engine, seed=seed)]

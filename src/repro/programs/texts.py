@@ -1,0 +1,258 @@
+"""The paper's programs, verbatim where possible.
+
+Each constant is a program in the dialect of
+:mod:`repro.datalog.parser`.  Where the library deviates from the paper's
+literal text, the deviation and its reason are recorded in
+:data:`DEVIATIONS` (and discussed in ``DESIGN.md``).
+
+Graph programs take the source vertex through a ``source/1`` fact rather
+than a hard-coded constant ``a``, so callers can use arbitrary vertex
+values.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EXAMPLE1_ASSIGNMENT",
+    "BOTTOM_STUDENTS",
+    "BI_INJECTIVE_BOTTOM",
+    "SPANNING_TREE",
+    "PRIM",
+    "SORTING",
+    "HUFFMAN",
+    "MATCHING",
+    "TSP_GREEDY",
+    "KRUSKAL",
+    "DIJKSTRA",
+    "ACTIVITY_SELECTION",
+    "COIN_CHANGE",
+    "CONVEX_HULL",
+    "MAX_MATCHING",
+    "GREEDY_KNAPSACK",
+    "JOB_SEQUENCING",
+    "NAIVE_MATCHING",
+    "PARTITION_MATCHING",
+    "DEVIATIONS",
+]
+
+#: Example 1 — one student per course and one course per student.
+EXAMPLE1_ASSIGNMENT = """
+a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs).
+"""
+
+#: Section 2 — students with the least grade above 1, per course.
+BOTTOM_STUDENTS = """
+bttm_st(St, Crs, G) <- takes(St, Crs, G), G > 1, least(G, Crs).
+"""
+
+#: Section 2 — bi-injective student/course pairs with the lowest grades
+#: above 1 (mixing ``choice`` and ``least``).
+BI_INJECTIVE_BOTTOM = """
+bi_st_c(St, Crs, G) <- takes(St, Crs, G), G > 1, least(G),
+                       choice(St, Crs), choice(Crs, St).
+"""
+
+#: Example 3 — a (not necessarily minimum) spanning tree from the source.
+SPANNING_TREE = """
+st(nil, S, 0, 0) <- source(S).
+st(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, choice(Y, (X, C)).
+new_g(X, Y, C, J) <- st(_, X, _, J), g(X, Y, C).
+"""
+
+#: Example 4 — Prim's algorithm.
+PRIM = """
+prm(nil, S, 0, 0) <- source(S).
+prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C, I), choice(Y, X).
+new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+"""
+
+#: Example 5 — sorting a relation ``p(X, C)`` by cost.
+SORTING = """
+sp(nil, 0, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+#: Example 6 — Huffman trees over ``letter(X, C)`` frequency facts.
+HUFFMAN = """
+h(X, C, 0) <- letter(X, C).
+h(t(X, Y), C, I) <- next(I), feasible(t(X, Y), C, J), J < I, least(C, I),
+                    not (subtree(X, L1), L1 < I),
+                    not (subtree(Y, L2), L2 < I),
+                    choice(X, I), choice(Y, I).
+feasible(t(X, Y), C, I) <- h(X, C1, J), h(Y, C2, K), X != Y,
+                           I = max(J, K), C = C1 + C2.
+subtree(X, I) <- h(t(X, _), _, I).
+subtree(X, I) <- h(t(_, X), _, I).
+"""
+
+#: Example 7 — minimum-cost maximal matching in a directed graph.
+MATCHING = """
+matching(nil, nil, 0, 0).
+matching(X, Y, C, I) <- next(I), g(X, Y, C), least(C, I),
+                        choice(Y, X), choice(X, Y).
+"""
+
+#: Section 5 — greedy (nearest-neighbour) TSP chain.
+TSP_GREEDY = """
+tsp_chain(X, Y, C, 1) <- least_arcs(X, Y, C), choice((), (X, Y)).
+tsp_chain(X, Y, C, I) <- next(I), new_g(X, Y, C, J), I = J + 1, least(C, I),
+                         not (sourced(Y, L), L < I), choice(Y, X).
+new_g(X, Y, C, J) <- tsp_chain(_, X, _, J), g(X, Y, C).
+sourced(X, I) <- tsp_chain(X, _, _, I).
+least_arcs(X, Y, C) <- g(X, Y, C), least(C).
+"""
+
+#: Example 8 — Kruskal's algorithm with explicit component relabelling.
+KRUSKAL = """
+kruskal(nil, nil, 0, 0).
+comp0(nil, 0).
+comp0(X, K) <- next(K), node(X).
+comp(X, K, 0) <- comp0(X, K), node(X).
+comp(X, K, I) <- kruskal(A, B, C, I), I > 0, I1 = I - 1,
+                 last_comp(A, J, I1), last_comp(B, K, I1),
+                 last_comp(X, J, I1).
+last_comp(X, K, I) <- comp(X, K, I1), I1 <= I, most(I1, (X, I)).
+kruskal(X, Y, C, I) <- next(I), g(X, Y, C), I1 = I - 1,
+                       last_comp(X, J, I1), last_comp(Y, K, I1),
+                       J != K, least(C, I).
+"""
+
+#: Extension — Dijkstra's single-source shortest paths (the conclusion
+#: invites more greedy algorithms; this one exercises the same frontier
+#: congruence as Prim).
+DIJKSTRA = """
+dist(S, 0, 0) <- source(S).
+dist(Y, D, I) <- next(I), cand(Y, D, J), J < I, least(D, I), choice(Y, I).
+cand(Y, D, J) <- dist(X, DX, J), g(X, Y, C), D = DX + C.
+"""
+
+#: Extension — activity selection (interval scheduling by earliest
+#: finishing time), one of the "several scheduling algorithms" of [2].
+ACTIVITY_SELECTION = """
+sched(nil, 0, 0, 0).
+sched(J, S, F, I) <- next(I), job(J, S, F), I1 = I - 1,
+                     sched(_, _, F0, I1), S >= F0, least(F, I).
+"""
+
+#: Section 5 mentions "the convex hull problem" among the greedy
+#: algorithms expressed in the companion report [2]; this is gift
+#: wrapping (Jarvis march) as a stage program.  ``pt(P, X, Y)`` are the
+#: input points (general position assumed); ``hull(P, Q, I)`` wraps the
+#: hull counterclockwise, one edge per stage, starting from the
+#: bottom-most point.  The successor test is pure arithmetic: Q follows P
+#: when no point lies clockwise of the ray P -> Q.
+CONVEX_HULL = """
+start_pt(P) <- pt(P, X, Y), least((Y, X)).
+hull(nil, P, 0) <- start_pt(P).
+hull(P, Q, I) <- next(I), cand(P, Q, J), I = J + 1,
+                 not cw_witness(P, Q), choice(P, Q).
+cand(P, Q, J) <- hull(_, P, J), pt(Q, _, _), Q != P.
+cw_witness(P, Q) <- pt(P, X1, Y1), pt(Q, X2, Y2), pt(R, X3, Y3),
+                    R != P, R != Q,
+                    (X2 - X1) * (Y3 - Y1) - (Y2 - Y1) * (X3 - X1) < 0.
+"""
+
+#: A ``most`` variant of Example 7: heaviest-arc-first maximal matching
+#: (exercises the maximisation path of the (R, Q, L) queue).
+MAX_MATCHING = """
+matching(nil, nil, 0, 0).
+matching(X, Y, C, I) <- next(I), g(X, Y, C), most(C, I),
+                        choice(Y, X), choice(X, Y).
+"""
+
+#: Section 7's *naive* matching specification: every maximal matching is
+#: a choice model (no ``least`` — selection order is unconstrained); the
+#: minimum-cost one is a post-condition over the model set.  The open
+#: problem the paper closes on is compiling this into Example 7's greedy
+#: program; :mod:`repro.semantics.optimize` implements this
+#: specification side by enumeration.
+NAIVE_MATCHING = """
+matching(nil, nil, 0, 0).
+matching(X, Y, C, I) <- next(I), g(X, Y, C), choice(Y, X), choice(X, Y).
+"""
+
+#: Single-FD variant (a partition matroid on the arc sources): here the
+#: greedy of Example 7 is exact — the Section 7 matroid claim.
+PARTITION_MATCHING = """
+matching(nil, nil, 0, 0).
+matching(X, Y, C, I) <- next(I), g(X, Y, C), least(C, I), choice(X, Y).
+"""
+
+#: Extension — 0/1 knapsack by the greedy value/weight-ratio heuristic.
+#: ``item(X, W, V)`` are items; ``capacity(C0)`` the budget.  At each
+#: stage the highest-ratio item that still fits is taken and the
+#: remaining capacity is threaded through the ``remaining`` relation.
+#: (The classic approximation; optimal for the fractional relaxation.)
+GREEDY_KNAPSACK = """
+remaining(C0, 0) <- capacity(C0).
+take(X, W, V, I) <- next(I), weighted(X, W, V, RT), I1 = I - 1,
+                    remaining(R, I1), W <= R, most(RT, I).
+remaining(R1, I) <- take(X, W, V, I), I1 = I - 1, remaining(R, I1),
+                    R1 = R - W.
+weighted(X, W, V, RT) <- item(X, W, V), RT = V / W.
+"""
+
+#: Extension — job sequencing with deadlines (unit-time jobs, one slot
+#: each): the classic transversal-matroid greedy.  Jobs are taken in
+#: decreasing profit; among a job's feasible slots the latest is used
+#: (two extrema goals applied in sequence — the same device the paper's
+#: Kruskal uses with most and least in one clique, here in one rule).
+JOB_SEQUENCING = """
+seq(nil, 0, 0, 0).
+seq(J, P, S, I) <- next(I), cand(J, P, S), most(P, I), most(S, I),
+                   choice(S, J), choice(J, S).
+cand(J, P, S) <- job(J, P, D), slot(S), S <= D.
+"""
+
+#: Extension — greedy coin change: take the largest coin not exceeding
+#: the remaining amount, threading the remainder through stages.  Each
+#: coin value may be selected many times (its head carries the remainder,
+#: which comes from another goal), so the rule is *outside* the (R, Q, L)
+#: canonical shape — the greedy engine detects this and falls back to
+#: basic evaluation, preserving correctness over speed.
+COIN_CHANGE = """
+change(nil, A0, 0) <- amount(A0).
+change(C, R1, I) <- next(I), coin(C), I1 = I - 1, change(_, R, I1),
+                    C <= R, most(C, I), R1 = R - C.
+"""
+
+#: Documented deviations from the paper's literal program texts.
+DEVIATIONS: dict[str, str] = {
+    "HUFFMAN": (
+        "The paper places the ¬subtree guards inside the `feasible` rule, "
+        "where they are evaluated at the pair's formation stage (I = "
+        "max(J, K)) and therefore never fire for stage-0 pairs; a subtree "
+        "could then be reused through the opposite child position (the "
+        "choice FDs X->I and Y->I do not forbid using a tree once as a "
+        "left child and once as a right child).  Moving the guards into "
+        "the next rule evaluates them at the selection stage, which is "
+        "the intended greedy and keeps the rule strictly stage-stratified."
+    ),
+    "TSP_GREEDY": (
+        "The paper's rule has only choice(Y, X); its prose, however, "
+        "demands that the chain not return to a node that already has an "
+        "outgoing arc ('provided that an arc with starting node Y has not "
+        "been previously selected').  The ¬sourced guard implements that "
+        "condition; the paper's I = J + 1 (extend from the tail only) is "
+        "kept as written."
+    ),
+    "KRUSKAL": (
+        "The paper's last_comp uses most(J, X), maximising the component "
+        "identifier; since merged components keep the *target's* (not a "
+        "fresh) identifier, the latest assignment is the one with the "
+        "greatest stage, so the library maximises the stage instead: "
+        "most(I1, (X, I)).  The comp recursion is also made explicit "
+        "about reading the previous stage's view (I1 = I - 1) and a seed "
+        "fact kruskal(nil, nil, 0, 0) anchors the stage counter, mirroring "
+        "the other examples' exit facts."
+    ),
+    "SPANNING_TREE": (
+        "The paper's simplified next-version of Example 3 keeps only "
+        "g(X, Y, C) in the body, losing the st(_, X, _) connectivity goal "
+        "of its first formulation — without it the choice FD admits "
+        "components not attached to the root.  The library version keeps "
+        "the frontier (new_g), exactly as Example 4 does.  The exit rule "
+        "also takes the source from a source/1 fact instead of the "
+        "hard-coded constant a (likewise PRIM and DIJKSTRA)."
+    ),
+}

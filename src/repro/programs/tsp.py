@@ -1,0 +1,63 @@
+"""Section 5 — greedy sub-optimal TSP chains (nearest-neighbour)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, List, Tuple
+
+from repro.programs import texts
+from repro.programs._run import run, symmetric_edges
+
+__all__ = ["TSPResult", "greedy_tsp_chain"]
+
+Arc = Tuple[Hashable, Hashable, Any]
+
+
+@dataclass(frozen=True)
+class TSPResult:
+    """A greedy chain through the graph.
+
+    Attributes:
+        arcs: selected arcs in order; consecutive arcs share a node.
+        total_cost: chain cost.
+    """
+
+    arcs: Tuple[Arc, ...]
+    total_cost: Any
+
+    def path(self) -> List[Hashable]:
+        """The visited vertices in order."""
+        if not self.arcs:
+            return []
+        vertices = [self.arcs[0][0]]
+        vertices.extend(arc[1] for arc in self.arcs)
+        return vertices
+
+    def is_hamiltonian_path(self, n_vertices: int) -> bool:
+        """Whether the chain visits every vertex exactly once."""
+        path = self.path()
+        return len(path) == n_vertices and len(set(path)) == n_vertices
+
+
+def greedy_tsp_chain(
+    edges: Iterable[Arc],
+    directed: bool = True,
+    engine: str = "rql",
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> TSPResult:
+    """The paper's greedy approximation: start from the globally cheapest
+    arc, then repeatedly extend the chain tail with the cheapest arc to a
+    node the chain has not yet left.
+
+    On a complete graph the result is a Hamiltonian path; the cost is the
+    usual greedy sub-optimum (the paper's point is expressiveness and
+    complexity, not solution quality).
+    """
+    g = list(edges) if directed else symmetric_edges(edges)
+    db = run(texts.TSP_GREEDY, {"g": g}, engine=engine, seed=seed, rng=rng)
+    rows = sorted(db.facts("tsp_chain", 4), key=lambda f: f[3])
+    return TSPResult(
+        tuple((f[0], f[1], f[2]) for f in rows), sum(f[2] for f in rows)
+    )

@@ -1,0 +1,30 @@
+"""Model-theoretic machinery: stable models, choice-model enumeration and
+the well-founded semantics.
+
+This subpackage is the validation layer of the reproduction: the engines
+in :mod:`repro.core` *compute* one choice model; the functions here
+*verify* (Gelfond–Lifschitz) and *enumerate* them, mechanising Theorem 1
+("every set of facts produced by the Choice Fixpoint is a stable model")
+and the completeness statements of Lemmas 1–2 on concrete programs.
+"""
+
+from repro.semantics.choice_models import enumerate_choice_models
+from repro.semantics.optimize import model_objective, optimal_choice_models
+from repro.semantics.stable import (
+    complete_model,
+    is_stable_model,
+    least_model,
+    verify_engine_output,
+)
+from repro.semantics.wellfounded import well_founded_model
+
+__all__ = [
+    "complete_model",
+    "enumerate_choice_models",
+    "model_objective",
+    "optimal_choice_models",
+    "is_stable_model",
+    "least_model",
+    "verify_engine_output",
+    "well_founded_model",
+]

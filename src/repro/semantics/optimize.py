@@ -1,0 +1,96 @@
+"""Specification-level optimisation over choice models.
+
+Section 7 poses the conclusion's central question with the *naive*
+matching program: the minimum-cost maximal matching is specified as a
+post-condition (``opt_matching(C) <- a_matching(C), least(C)``) over all
+choice models, and the open problem is when that specification can be
+compiled into the greedy program of Example 7 ("propagation of extrema
+predicates into recursion", matroid theory as the likely tool).
+
+This module implements the *specification side* exactly: enumerate the
+choice models (via :func:`repro.semantics.choice_models.enumerate_choice_models`)
+and return the ones optimising an objective over a designated predicate.
+Exponential, but it is the ground truth the greedy engines can be
+measured against — the test suite uses it to exhibit both directions of
+the matroid story:
+
+* on a partition matroid (one choice FD), the greedy model *is* a
+  specification optimum;
+* on the matroid intersection (Example 7's two FDs), greedy can miss it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple, Union
+
+from repro.core.compiler import FactsInput
+from repro.datalog.program import Program
+from repro.semantics.choice_models import enumerate_choice_models
+from repro.storage.database import Database
+
+__all__ = ["optimal_choice_models", "model_objective"]
+
+Objective = Callable[[Database], Any]
+
+
+def model_objective(
+    predicate: str, arity: int, cost_position: int, skip_stage_zero: bool = True
+) -> Objective:
+    """Objective: sum of one column of a predicate over the model.
+
+    Args:
+        predicate: relation to aggregate.
+        arity: its arity.
+        cost_position: index of the summed argument.
+        skip_stage_zero: ignore facts whose *last* argument is 0 (the
+            conventional exit facts of stage programs).
+    """
+
+    def objective(db: Database) -> Any:
+        total = 0
+        for fact in db.facts(predicate, arity):
+            if skip_stage_zero and isinstance(fact[-1], int) and fact[-1] == 0:
+                continue
+            total += fact[cost_position]
+        return total
+
+    return objective
+
+
+def optimal_choice_models(
+    source: Union[str, Program],
+    facts: FactsInput = None,
+    objective: Objective | None = None,
+    maximize: bool = False,
+    max_steps: int = 100_000,
+) -> Tuple[Any, List[Database]]:
+    """All choice models attaining the optimal objective value.
+
+    This is the paper's post-condition semantics, computed by brute
+    force: ``least(C)`` over ``a_matching(C)`` is
+    ``optimal_choice_models(matching_program, facts, objective)`` with
+    the cost-sum objective.
+
+    Returns:
+        ``(best_value, models)`` — every enumerated model whose objective
+        equals the optimum.  ``(None, [])`` when the program has no model
+        (cannot happen for choice programs, by Lemma 3).
+
+    Raises:
+        EvaluationError: if enumeration exceeds *max_steps*.
+    """
+    if objective is None:
+        raise ValueError("an objective is required")
+    models = enumerate_choice_models(source, facts=facts, max_steps=max_steps)
+    best: Optional[Any] = None
+    chosen: List[Database] = []
+    for model in models:
+        value = objective(model)
+        key = -value if maximize else value
+        best_key = None if best is None else (-best if maximize else best)
+        if best_key is None or key < best_key:
+            best = value
+            chosen = [model]
+        elif key == best_key:
+            chosen.append(model)
+    return best, chosen

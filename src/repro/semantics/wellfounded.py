@@ -1,0 +1,78 @@
+"""Well-founded semantics via the alternating fixpoint.
+
+The paper contrasts choice programs with the well-founded semantics of
+[Van Gelder–Ross–Schlipf]: a choice program typically has *no total*
+well-founded model — the mutual negation between ``chosen`` and
+``diffChoice`` leaves those atoms undefined — which is precisely why
+stable models (several of them) are the right semantics for ``choice``.
+This module implements the classical alternating fixpoint so the test
+suite can exhibit that contrast:
+
+* ``K`` (true facts) — least model with negation evaluated against the
+  current overestimate;
+* ``U`` (possible facts) — least model with negation evaluated against
+  the current underestimate;
+
+iterated from ``U0`` = "all negations succeed" until both stabilise.
+Facts in ``U - K`` are *undefined*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.datalog.program import Program
+from repro.semantics.stable import least_model
+from repro.storage.database import Database
+
+__all__ = ["WellFoundedModel", "well_founded_model"]
+
+PredicateKey = Tuple[str, int]
+
+
+@dataclass
+class WellFoundedModel:
+    """Result of the alternating fixpoint.
+
+    Attributes:
+        true: the well-founded true facts (including the extensional ones).
+        possible: the overestimate; facts in ``possible`` but not ``true``
+            are undefined.
+    """
+
+    true: Database
+    possible: Database
+
+    @property
+    def is_total(self) -> bool:
+        """Whether no fact is undefined (two-valued well-founded model)."""
+        return self.true == self.possible
+
+    def undefined_facts(self) -> Dict[PredicateKey, FrozenSet]:
+        """The undefined facts, keyed by predicate."""
+        result: Dict[PredicateKey, FrozenSet] = {}
+        for key in self.possible.predicates():
+            true_facts = frozenset(self.true.facts(*key))
+            possible_facts = frozenset(self.possible.facts(*key))
+            undefined = possible_facts - true_facts
+            if undefined:
+                result[key] = undefined
+        return result
+
+
+def well_founded_model(program: Program, edb: Database) -> WellFoundedModel:
+    """Compute the well-founded model of a meta-goal-free program.
+
+    The program may use negation arbitrarily (no stratification needed);
+    extrema/choice/next must have been rewritten away first
+    (:func:`repro.core.rewriting.rewrite_program`).
+    """
+    empty = Database()
+    over = least_model(program, edb, neg_db=empty)
+    while True:
+        under = least_model(program, edb, neg_db=over)
+        new_over = least_model(program, edb, neg_db=under)
+        if new_over == over:
+            return WellFoundedModel(true=under, possible=over)
+        over = new_over

@@ -1,0 +1,26 @@
+"""Storage structures used by the fixpoint engines.
+
+This subpackage implements, from scratch, the data structures that
+Section 6 of the paper assumes: a binary-heap priority queue with lazy
+deletion (:mod:`repro.storage.heap`), hash-indexed in-memory relations
+(:mod:`repro.storage.relation`), a fact database grouping relations by
+predicate (:mod:`repro.storage.database`), and a union-find structure used
+by the procedural Kruskal baseline (:mod:`repro.storage.unionfind`).
+"""
+
+from repro.storage.database import Database
+from repro.storage.heap import PriorityQueue
+from repro.storage.io import dumps_facts, load_facts, loads_facts, save_facts
+from repro.storage.relation import Relation
+from repro.storage.unionfind import UnionFind
+
+__all__ = [
+    "Database",
+    "PriorityQueue",
+    "Relation",
+    "UnionFind",
+    "dumps_facts",
+    "load_facts",
+    "loads_facts",
+    "save_facts",
+]

@@ -1,0 +1,101 @@
+"""Saving and loading fact databases as program text.
+
+A database serialises to the same syntax the parser reads — one fact
+clause per line — so dumps round-trip through :func:`repro.datalog.parser
+.parse_program` and double as loadable program files for the CLI::
+
+    g(a, b, 4).
+    g(a, c, 1).
+    prm(nil, a, 0, 0).
+
+Strings that are not plain lowercase identifiers are quoted; numbers and
+nested tuples print in source syntax.  Facts load back with exactly the
+original Python values.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Iterable, Tuple, Union
+
+from repro.storage.database import Database
+
+__all__ = ["save_facts", "load_facts", "dumps_facts", "loads_facts"]
+
+_PLAIN_SYMBOL = re.compile(r"[a-z][A-Za-z0-9_]*\Z")
+_RESERVED = {"not", "choice", "least", "most", "next", "mod"}
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        raise ValueError("boolean values are not part of the fact syntax")
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float):
+        rendered = repr(value)
+        if any(c in rendered for c in "einf"):
+            raise ValueError(
+                f"float {value!r} has no fact-syntax rendering (exponent/"
+                "inf/nan); store it as a string or rescale"
+            )
+        return rendered
+    if isinstance(value, str):
+        if _PLAIN_SYMBOL.match(value) and value not in _RESERVED:
+            return value
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(value, tuple):
+        if (
+            value
+            and isinstance(value[0], str)
+            and _PLAIN_SYMBOL.match(value[0])
+            and len(value) > 1
+        ):
+            # Functor-tagged tuple: t(a, b).
+            inner = ", ".join(_render_value(v) for v in value[1:])
+            return f"{value[0]}({inner})"
+        inner = ", ".join(_render_value(v) for v in value)
+        return f"({inner})"
+    raise ValueError(f"cannot serialise value {value!r}")
+
+
+def dumps_facts(db: Database, predicates: Iterable[Tuple[str, int]] | None = None) -> str:
+    """The database (or a predicate subset) as fact clauses, sorted."""
+    keys = sorted(predicates) if predicates is not None else sorted(db.predicates())
+    lines = []
+    for name, arity in keys:
+        for fact in sorted(db.facts(name, arity), key=repr):
+            rendered = ", ".join(_render_value(v) for v in fact)
+            lines.append(f"{name}({rendered}).")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def loads_facts(text: str) -> Database:
+    """Parse fact clauses back into a fresh database.
+
+    Raises:
+        ParseError: on malformed clauses.
+        EvaluationError: if a clause is not ground.
+    """
+    from repro.datalog.parser import parse_program
+
+    program = parse_program(text)
+    db = Database()
+    for name, facts in program.ground_facts().items():
+        db.assert_all(name, facts)
+    return db
+
+
+def save_facts(
+    db: Database,
+    path: Union[str, Path],
+    predicates: Iterable[Tuple[str, int]] | None = None,
+) -> None:
+    """Write the database to *path* as fact clauses."""
+    Path(path).write_text(dumps_facts(db, predicates))
+
+
+def load_facts(path: Union[str, Path]) -> Database:
+    """Read fact clauses from *path* into a fresh database."""
+    return loads_facts(Path(path).read_text())

@@ -1,0 +1,149 @@
+"""Hash-indexed in-memory relations.
+
+The complexity analysis in Section 6 of the paper is stated "assuming
+availability of indices": looking up the tuples of a predicate that match a
+partially bound argument pattern must cost time proportional to the number
+of matches, not to the size of the relation.  :class:`Relation` provides
+exactly that — a set of ground tuples plus hash indices, built lazily per
+binding pattern and maintained incrementally on insertion.
+
+Ground values are plain hashable Python objects (``int``, ``float``,
+``str``, ``None`` and nested tuples for function terms), so a fact is just
+a ``tuple``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Set, Tuple
+
+__all__ = ["Relation"]
+
+Fact = Tuple[Any, ...]
+
+
+class Relation:
+    """A set of same-arity ground tuples with lazy hash indices.
+
+    Args:
+        name: predicate name (used in error messages and printing).
+        arity: number of arguments; checked on every insertion.
+
+    Example:
+        >>> g = Relation("g", 3)
+        >>> _ = g.add(("a", "b", 1))
+        >>> _ = g.add(("a", "c", 2))
+        >>> sorted(g.lookup((0,), ("a",)))
+        [('a', 'b', 1), ('a', 'c', 2)]
+    """
+
+    def __init__(self, name: str, arity: int):
+        if arity < 0:
+            raise ValueError(f"negative arity for relation {name!r}")
+        self.name = name
+        self.arity = arity
+        self._facts: Set[Fact] = set()
+        # positions-tuple -> {key-values-tuple -> set of facts}
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Any, ...], Set[Fact]]] = {}
+
+    # -- basic container protocol -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name}/{self.arity}, {len(self)} facts)"
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, fact: Fact) -> bool:
+        """Insert *fact*; return ``True`` iff it was new.
+
+        Raises:
+            ValueError: if the fact has the wrong arity.
+        """
+        if len(fact) != self.arity:
+            raise ValueError(
+                f"arity mismatch for {self.name}: expected {self.arity}, "
+                f"got {len(fact)}-tuple {fact!r}"
+            )
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        for positions, index in self._indexes.items():
+            key = tuple(fact[p] for p in positions)
+            index.setdefault(key, set()).add(fact)
+        return True
+
+    def add_all(self, facts: Iterable[Fact]) -> int:
+        """Insert every fact in *facts*; return how many were new."""
+        return sum(1 for fact in facts if self.add(fact))
+
+    def discard(self, fact: Fact) -> bool:
+        """Remove *fact* if present; return ``True`` iff it was present."""
+        if fact not in self._facts:
+            return False
+        self._facts.remove(fact)
+        for positions, index in self._indexes.items():
+            key = tuple(fact[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(fact)
+                if not bucket:
+                    del index[key]
+        return True
+
+    def clear(self) -> None:
+        self._facts.clear()
+        self._indexes.clear()
+
+    # -- queries ---------------------------------------------------------------
+
+    def lookup(self, positions: Tuple[int, ...], values: Tuple[Any, ...]) -> Iterable[Fact]:
+        """All facts whose arguments at *positions* equal *values*.
+
+        An index on *positions* is built on first use and maintained by
+        subsequent :meth:`add` calls, so repeated lookups with the same
+        binding pattern cost ``O(matches)``.
+
+        With empty *positions*, returns every fact.
+        """
+        if not positions:
+            return self._facts
+        index = self._indexes.get(positions)
+        if index is None:
+            index = self._build_index(positions)
+        return index.get(values, _EMPTY_SET)
+
+    def first(self, positions: Tuple[int, ...], values: Tuple[Any, ...]) -> Fact | None:
+        """An arbitrary matching fact, or ``None``."""
+        for fact in self.lookup(positions, values):
+            return fact
+        return None
+
+    def copy(self) -> "Relation":
+        """An independent copy (indices are not copied; they rebuild lazily)."""
+        clone = Relation(self.name, self.arity)
+        clone._facts = set(self._facts)
+        return clone
+
+    def _build_index(self, positions: Tuple[int, ...]) -> Dict[Tuple[Any, ...], Set[Fact]]:
+        for p in positions:
+            if not 0 <= p < self.arity:
+                raise IndexError(
+                    f"index position {p} out of range for {self.name}/{self.arity}"
+                )
+        index: Dict[Tuple[Any, ...], Set[Fact]] = {}
+        for fact in self._facts:
+            key = tuple(fact[p] for p in positions)
+            index.setdefault(key, set()).add(fact)
+        self._indexes[positions] = index
+        return index
+
+
+_EMPTY_SET: Set[Fact] = frozenset()  # type: ignore[assignment]

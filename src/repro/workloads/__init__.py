@@ -1,0 +1,27 @@
+"""Workload generators for the experiments of DESIGN.md."""
+
+from repro.workloads.graphs import (
+    complete_graph,
+    grid_graph,
+    random_bipartite_arcs,
+    random_connected_graph,
+)
+from repro.workloads.relations import (
+    random_costed_relation,
+    random_frequency_table,
+    random_jobs,
+    random_points,
+    random_takes,
+)
+
+__all__ = [
+    "complete_graph",
+    "grid_graph",
+    "random_bipartite_arcs",
+    "random_connected_graph",
+    "random_costed_relation",
+    "random_frequency_table",
+    "random_jobs",
+    "random_points",
+    "random_takes",
+]

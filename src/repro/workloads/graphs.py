@@ -1,0 +1,116 @@
+"""Random graph generators with controlled size and distinct costs.
+
+Costs are drawn distinct by default so that minimum spanning trees are
+unique — which lets the benchmarks and tests compare the declarative and
+procedural implementations fact-for-fact instead of only by total cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Tuple
+
+__all__ = [
+    "random_connected_graph",
+    "complete_graph",
+    "grid_graph",
+    "random_bipartite_arcs",
+]
+
+Edge = Tuple[str, str, Any]
+
+
+def _nodes(n: int) -> List[str]:
+    return [f"v{i}" for i in range(n)]
+
+
+def _costs(count: int, rng: random.Random, distinct: bool) -> List[int]:
+    if distinct:
+        population = range(1, count * 10 + 1)
+        return rng.sample(population, count)
+    return [rng.randint(1, count * 2 + 1) for _ in range(count)]
+
+
+def random_connected_graph(
+    n: int,
+    extra_edges: int = 0,
+    seed: int = 0,
+    distinct_costs: bool = True,
+) -> Tuple[List[str], List[Edge]]:
+    """A connected undirected graph: a random spanning tree plus
+    *extra_edges* random chords.
+
+    Returns ``(nodes, edges)`` with each undirected edge listed once.
+    """
+    if n < 1:
+        raise ValueError("need at least one vertex")
+    rng = random.Random(seed)
+    nodes = _nodes(n)
+    pairs: List[Tuple[str, str]] = []
+    seen = set()
+    for i in range(1, n):
+        j = rng.randrange(i)
+        pairs.append((nodes[j], nodes[i]))
+        seen.add((j, i))
+    attempts = 0
+    while len(pairs) < n - 1 + extra_edges and attempts < extra_edges * 20 + 100:
+        attempts += 1
+        i, j = rng.randrange(n), rng.randrange(n)
+        if i == j:
+            continue
+        key = (min(i, j), max(i, j))
+        if key in seen:
+            continue
+        seen.add(key)
+        pairs.append((nodes[key[0]], nodes[key[1]]))
+    costs = _costs(len(pairs), rng, distinct_costs)
+    return nodes, [(u, v, c) for (u, v), c in zip(pairs, costs)]
+
+
+def complete_graph(
+    n: int, seed: int = 0, distinct_costs: bool = True
+) -> Tuple[List[str], List[Edge]]:
+    """The complete undirected graph on *n* vertices (each edge once)."""
+    rng = random.Random(seed)
+    nodes = _nodes(n)
+    pairs = [
+        (nodes[i], nodes[j]) for i in range(n) for j in range(i + 1, n)
+    ]
+    costs = _costs(len(pairs), rng, distinct_costs)
+    return nodes, [(u, v, c) for (u, v), c in zip(pairs, costs)]
+
+
+def grid_graph(
+    rows: int, cols: int, seed: int = 0, distinct_costs: bool = True
+) -> Tuple[List[str], List[Edge]]:
+    """A rows×cols grid — sparse, regular, with long shortest paths."""
+    rng = random.Random(seed)
+    nodes = [f"g{r}_{c}" for r in range(rows) for c in range(cols)]
+    pairs: List[Tuple[str, str]] = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                pairs.append((f"g{r}_{c}", f"g{r}_{c + 1}"))
+            if r + 1 < rows:
+                pairs.append((f"g{r}_{c}", f"g{r + 1}_{c}"))
+    costs = _costs(len(pairs), rng, distinct_costs)
+    return nodes, [(u, v, c) for (u, v), c in zip(pairs, costs)]
+
+
+def random_bipartite_arcs(
+    n_left: int,
+    n_right: int,
+    arcs_per_left: int,
+    seed: int = 0,
+    distinct_costs: bool = True,
+) -> List[Edge]:
+    """Directed arcs from ``l{i}`` to ``r{j}`` vertices — the matching
+    workload (Example 7)."""
+    rng = random.Random(seed)
+    pairs: List[Tuple[str, str]] = []
+    for i in range(n_left):
+        rights = rng.sample(range(n_right), min(arcs_per_left, n_right))
+        for j in rights:
+            pairs.append((f"l{i}", f"r{j}"))
+    costs = _costs(len(pairs), rng, distinct_costs)
+    return [(u, v, c) for (u, v), c in zip(pairs, costs)]

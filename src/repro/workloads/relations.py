@@ -1,0 +1,98 @@
+"""Random relational workloads: sortable relations, frequency tables,
+student/course enrolments and job sets."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+__all__ = [
+    "random_costed_relation",
+    "random_frequency_table",
+    "random_takes",
+    "random_jobs",
+    "random_points",
+]
+
+
+def random_costed_relation(
+    n: int, seed: int = 0, distinct_costs: bool = True
+) -> List[Tuple[str, int]]:
+    """``p(X, C)`` facts for the Example 5 sorting workload."""
+    rng = random.Random(seed)
+    if distinct_costs:
+        costs = rng.sample(range(1, n * 10 + 1), n)
+    else:
+        costs = [rng.randint(1, n) for _ in range(n)]
+    return [(f"x{i}", c) for i, c in enumerate(costs)]
+
+
+def random_frequency_table(n_symbols: int, seed: int = 0) -> List[Tuple[str, int]]:
+    """``letter(X, C)`` facts for the Huffman workload; skewed
+    frequencies (Zipf-like) as in text corpora."""
+    rng = random.Random(seed)
+    return [
+        (f"s{i}", max(1, int(1000 / (i + 1)) + rng.randint(0, 5)))
+        for i in range(n_symbols)
+    ]
+
+
+def random_takes(
+    n_students: int, n_courses: int, enrolments_per_student: int, seed: int = 0
+) -> List[Tuple[str, str, int]]:
+    """``takes(St, Crs, G)`` facts for the Section 2 examples and the
+    choice-fixpoint scaling experiment (E5)."""
+    rng = random.Random(seed)
+    out: List[Tuple[str, str, int]] = []
+    for i in range(n_students):
+        courses = rng.sample(range(n_courses), min(enrolments_per_student, n_courses))
+        for j in courses:
+            out.append((f"st{i}", f"crs{j}", rng.randint(0, 10)))
+    return out
+
+
+def random_jobs(n: int, horizon: int = 1000, seed: int = 0) -> List[Tuple[str, int, int]]:
+    """``job(J, S, F)`` facts for the activity-selection workload."""
+    rng = random.Random(seed)
+    jobs: List[Tuple[str, int, int]] = []
+    for i in range(n):
+        start = rng.randint(0, horizon - 2)
+        finish = rng.randint(start + 1, min(horizon, start + max(2, horizon // 10)))
+        jobs.append((f"j{i}", start, finish))
+    return jobs
+
+
+def random_points(
+    n: int, span: int = 10_000, seed: int = 0
+) -> List[Tuple[int, int]]:
+    """*n* integer points in general position (no duplicates, no three
+    collinear) for the convex-hull workload.
+
+    Rejection-sampled, so keep ``n`` modest (the collinearity check is
+    quadratic per accepted point).
+    """
+    rng = random.Random(seed)
+    points: List[Tuple[int, int]] = []
+    attempts = 0
+    while len(points) < n:
+        attempts += 1
+        if attempts > 100 * n + 1000:
+            raise ValueError("could not place points in general position")
+        candidate = (rng.randint(-span, span), rng.randint(-span, span))
+        if candidate in points:
+            continue
+        collinear = False
+        for i in range(len(points)):
+            for j in range(i + 1, len(points)):
+                a, b = points[i], points[j]
+                cross = (b[0] - a[0]) * (candidate[1] - a[1]) - (
+                    b[1] - a[1]
+                ) * (candidate[0] - a[0])
+                if cross == 0:
+                    collinear = True
+                    break
+            if collinear:
+                break
+        if not collinear:
+            points.append(candidate)
+    return points

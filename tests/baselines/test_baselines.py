@@ -1,0 +1,150 @@
+"""Tests for the procedural comparators (they are the ground truth for
+the declarative engines, so they must be right)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    dijkstra_distances,
+    greedy_matching,
+    heapsort,
+    huffman_tree,
+    kruskal_mst,
+    nearest_neighbor_chain,
+    prim_mst,
+    select_activities,
+)
+from repro.workloads import complete_graph, random_connected_graph
+
+
+class TestMSTBaselines:
+    def test_prim_and_kruskal_agree_with_networkx(self):
+        for seed in range(5):
+            nodes, edges = random_connected_graph(15, extra_edges=25, seed=seed)
+            graph = nx.Graph()
+            for u, v, c in edges:
+                graph.add_edge(u, v, weight=c)
+            expected = sum(
+                d["weight"]
+                for _, _, d in nx.minimum_spanning_tree(graph).edges(data=True)
+            )
+            assert prim_mst(edges, nodes[0])[1] == expected
+            assert kruskal_mst(edges)[1] == expected
+
+    def test_prim_tree_size(self):
+        nodes, edges = random_connected_graph(10, seed=1)
+        tree, _ = prim_mst(edges, nodes[0])
+        assert len(tree) == 9
+
+    def test_kruskal_on_disconnected_graph_gives_forest(self):
+        edges = [("a", "b", 1), ("c", "d", 2)]
+        tree, cost = kruskal_mst(edges)
+        assert len(tree) == 2
+        assert cost == 3
+
+
+class TestHeapsort:
+    @given(st.lists(st.integers(-1000, 1000), max_size=300))
+    def test_matches_sorted(self, values):
+        assert heapsort(values) == sorted(values)
+
+    def test_mixed_types_use_total_order(self):
+        assert heapsort(["b", 1, "a", 2]) == [1, 2, "a", "b"]
+
+
+class TestHuffmanBaseline:
+    def test_clrs_wpl(self, clrs_frequencies):
+        _, wpl = huffman_tree(clrs_frequencies)
+        assert wpl == 224
+
+    def test_wpl_is_minimal_vs_brute_force(self):
+        """Compare against exhaustive search over all binary merge orders
+        on a tiny alphabet."""
+        freqs = {"a": 3, "b": 5, "c": 7, "d": 11}
+
+        def brute(weights):
+            if len(weights) == 1:
+                return 0
+            best = None
+            for i, j in itertools.combinations(range(len(weights)), 2):
+                merged = weights[i] + weights[j]
+                rest = [w for k, w in enumerate(weights) if k not in (i, j)]
+                total = merged + brute(rest + [merged])
+                best = total if best is None else min(best, total)
+            return best
+
+        _, wpl = huffman_tree(freqs)
+        assert wpl == brute(list(freqs.values()))
+
+    def test_rejects_single_symbol(self):
+        with pytest.raises(ValueError):
+            huffman_tree({"a": 1})
+
+
+class TestMatchingBaseline:
+    def test_greedy_order(self):
+        arcs = [("a", "x", 3), ("b", "y", 1), ("a", "y", 2)]
+        selected, cost = greedy_matching(arcs)
+        assert selected == [("b", "y", 1), ("a", "x", 3)]
+        assert cost == 4
+
+    def test_no_shared_endpoints(self):
+        rng = random.Random(0)
+        arcs = [
+            (f"l{rng.randrange(6)}", f"r{rng.randrange(6)}", rng.randrange(100))
+            for _ in range(30)
+        ]
+        selected, _ = greedy_matching(arcs)
+        sources = [x for x, _, _ in selected]
+        targets = [y for _, y, _ in selected]
+        assert len(set(sources)) == len(sources)
+        assert len(set(targets)) == len(targets)
+
+
+class TestTSPBaseline:
+    def test_empty(self):
+        assert nearest_neighbor_chain([]) == ([], 0)
+
+    def test_visits_all_on_complete_graph(self):
+        _, edges = complete_graph(6, seed=0)
+        arcs = []
+        for u, v, c in edges:
+            arcs += [(u, v, c), (v, u, c)]
+        chain, _ = nearest_neighbor_chain(arcs)
+        visited = {chain[0][0]} | {arc[1] for arc in chain}
+        assert len(visited) == 6
+
+
+class TestDijkstraBaseline:
+    def test_matches_networkx(self):
+        for seed in range(3):
+            nodes, edges = random_connected_graph(12, extra_edges=15, seed=seed)
+            graph = nx.Graph()
+            for u, v, c in edges:
+                graph.add_edge(u, v, weight=c)
+            expected = nx.single_source_dijkstra_path_length(
+                graph, nodes[0], weight="weight"
+            )
+            assert dijkstra_distances(edges, nodes[0]) == dict(expected)
+
+    def test_directed_mode(self):
+        edges = [("a", "b", 1), ("b", "c", 1)]
+        distances = dijkstra_distances(edges, "c", directed=True)
+        assert distances == {"c": 0}
+
+
+class TestSchedulingBaseline:
+    def test_earliest_finish_first(self):
+        jobs = [("long", 0, 10), ("first", 0, 2), ("second", 2, 4)]
+        selected = select_activities(jobs)
+        assert [j[0] for j in selected] == ["first", "second"]
+
+    def test_empty(self):
+        assert select_activities([]) == []

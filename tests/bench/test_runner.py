@@ -1,0 +1,73 @@
+"""Tests for the benchmark harness utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import SweepResult, SweepPoint, fitted_exponent, sweep
+
+
+class TestFittedExponent:
+    def test_linear_data_has_slope_one(self):
+        sizes = [100, 200, 400, 800]
+        times = [s * 1e-6 for s in sizes]
+        assert fitted_exponent(sizes, times) == pytest.approx(1.0, abs=0.01)
+
+    def test_quadratic_data_has_slope_two(self):
+        sizes = [10, 20, 40, 80]
+        times = [s * s * 1e-6 for s in sizes]
+        assert fitted_exponent(sizes, times) == pytest.approx(2.0, abs=0.01)
+
+    def test_nlogn_data_fits_between_one_and_two(self):
+        sizes = [2 ** k for k in range(6, 14)]
+        times = [s * math.log(s) * 1e-7 for s in sizes]
+        slope = fitted_exponent(sizes, times)
+        assert 1.0 < slope < 1.5
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            fitted_exponent([10], [0.1])
+
+    def test_identical_sizes_raise(self):
+        with pytest.raises(ValueError):
+            fitted_exponent([5, 5], [0.1, 0.2])
+
+
+class TestSweep:
+    def test_sweep_runs_operation_per_size(self):
+        calls = []
+        result = sweep(
+            "demo",
+            sizes=[1, 2, 3],
+            make_input=lambda n: n,
+            operation=lambda n: calls.append(n),
+            repeats=2,
+        )
+        assert result.sizes == [1, 2, 3]
+        assert len(calls) == 6  # 3 sizes x 2 repeats
+        assert all(p.seconds >= 0 for p in result.points)
+
+    def test_scaled_by_normaliser(self):
+        result = SweepResult("demo", [SweepPoint(10, 1.0), SweepPoint(20, 2.0)])
+        scaled = result.scaled_by(lambda n: n)
+        assert scaled == [0.1, 0.1]
+
+    def test_exponent_accessor(self):
+        result = SweepResult("demo", [SweepPoint(10, 0.1), SweepPoint(100, 1.0)])
+        assert result.exponent() == pytest.approx(1.0, abs=0.01)
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        table = format_table(["n", "time"], [[10, 0.5], [1000, 12.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("n")
+        assert "----" in lines[1]
+
+    def test_small_floats_in_scientific_notation(self):
+        table = format_table(["x"], [[0.000123]])
+        assert "e-" in table

@@ -1,0 +1,57 @@
+"""Shared fixtures: the paper's running examples as reusable data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs import texts
+
+
+@pytest.fixture
+def takes_pairs():
+    """Example 1's enrolment facts (student, course)."""
+    return [
+        ("andy", "engl"),
+        ("mark", "engl"),
+        ("ann", "math"),
+        ("mark", "math"),
+    ]
+
+
+@pytest.fixture
+def takes_grades():
+    """Section 2's graded enrolment facts (student, course, grade)."""
+    return [
+        ("andy", "engl", 4),
+        ("mark", "engl", 2),
+        ("ann", "math", 3),
+        ("mark", "math", 2),
+    ]
+
+
+@pytest.fixture
+def diamond_graph():
+    """A 4-vertex graph with unique MST {a-c:1, b-c:2, b-d:5} (cost 8)."""
+    return [
+        ("a", "b", 4),
+        ("a", "c", 1),
+        ("b", "c", 2),
+        ("b", "d", 5),
+        ("c", "d", 8),
+    ]
+
+
+@pytest.fixture
+def clrs_frequencies():
+    """The classic CLRS Huffman example; optimal WPL = 224."""
+    return {"a": 45, "b": 13, "c": 12, "d": 16, "e": 9, "f": 5}
+
+
+@pytest.fixture
+def prim_text():
+    return texts.PRIM
+
+
+@pytest.fixture
+def sorting_text():
+    return texts.SORTING

@@ -1,0 +1,125 @@
+"""Tests for the Choice Fixpoint procedure (Section 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.choice_fixpoint import ChoiceFixpointEngine
+from repro.datalog.parser import parse_program
+from repro.errors import EvaluationError, StratificationError
+from repro.programs import texts
+from repro.storage.database import Database
+
+
+def _run(source, rng=None, **facts):
+    db = Database()
+    for name, rows in facts.items():
+        db.assert_all(name, rows)
+    engine = ChoiceFixpointEngine(parse_program(source), rng=rng)
+    engine.run(db)
+    return db, engine
+
+
+class TestExample1:
+    def test_output_is_a_maximal_fd_consistent_assignment(self, takes_pairs):
+        db, _ = _run(texts.EXAMPLE1_ASSIGNMENT, rng=random.Random(0), takes=takes_pairs)
+        assignment = set(db.facts("a_st", 2))
+        students = [s for s, _ in assignment]
+        courses = [c for _, c in assignment]
+        assert len(set(students)) == len(students)
+        assert len(set(courses)) == len(courses)
+        # Maximality: both courses must be assigned (a student exists for each).
+        assert len(assignment) == 2
+
+    def test_all_three_paper_models_reachable(self, takes_pairs):
+        models = set()
+        for seed in range(30):
+            db, _ = _run(
+                texts.EXAMPLE1_ASSIGNMENT, rng=random.Random(seed), takes=takes_pairs
+            )
+            models.add(frozenset(db.facts("a_st", 2)))
+        expected = {
+            frozenset({("andy", "engl"), ("ann", "math")}),
+            frozenset({("andy", "engl"), ("mark", "math")}),
+            frozenset({("mark", "engl"), ("ann", "math")}),
+        }
+        assert models == expected
+
+    def test_seeded_runs_are_reproducible(self, takes_pairs):
+        a, _ = _run(texts.EXAMPLE1_ASSIGNMENT, rng=random.Random(7), takes=takes_pairs)
+        b, _ = _run(texts.EXAMPLE1_ASSIGNMENT, rng=random.Random(7), takes=takes_pairs)
+        assert a == b
+
+    def test_gamma_firings_counted(self, takes_pairs):
+        _, engine = _run(
+            texts.EXAMPLE1_ASSIGNMENT, rng=random.Random(0), takes=takes_pairs
+        )
+        assert engine.stats.gamma_firings == 2
+
+
+class TestMixedChoiceAndLeast:
+    def test_bi_injective_bottom_pairs(self, takes_grades):
+        """Section 2: exactly the two one-fact models M1, M2."""
+        models = set()
+        for seed in range(20):
+            db, _ = _run(
+                texts.BI_INJECTIVE_BOTTOM, rng=random.Random(seed), takes=takes_grades
+            )
+            models.add(frozenset(db.facts("bi_st_c", 3)))
+        assert models == {
+            frozenset({("mark", "engl", 2)}),
+            frozenset({("mark", "math", 2)}),
+        }
+
+
+class TestRecursiveChoice:
+    def test_recursive_spanning_tree_without_next(self):
+        """Example 3's first formulation: recursion through choice."""
+        source = """
+        st(nil, a, 0).
+        st(X, Y, C) <- st(_, X, _), g(X, Y, C), choice(Y, (X, C)).
+        """
+        edges = []
+        for u, v, c in [("a", "b", 1), ("b", "c", 2), ("a", "c", 3)]:
+            edges += [(u, v, c), (v, u, c)]
+        db, _ = _run(source, rng=random.Random(1), g=edges)
+        tree = [f for f in db.facts("st", 3) if f[0] != "nil"]
+        # Spanning: every vertex entered exactly once.
+        entered = [y for _, y, _ in tree]
+        assert sorted(entered) == ["b", "c"]
+
+
+class TestPlainAndStratifiedParts:
+    def test_extrema_in_lower_stratum(self):
+        source = """
+        cheapest(X, C) <- g(X, C), least(C).
+        pick(X) <- cheapest(X, C), choice((), X).
+        """
+        db, _ = _run(source, rng=random.Random(0), g=[("a", 3), ("b", 1), ("c", 1)])
+        picks = set(db.facts("pick", 1))
+        assert len(picks) == 1
+        assert picks <= {("b",), ("c",)}
+
+    def test_plain_recursion_still_works(self):
+        source = """
+        path(X, Y) <- edge(X, Y).
+        path(X, Y) <- path(X, Z), edge(Z, Y).
+        """
+        db, _ = _run(source, edge=[(1, 2), (2, 3)])
+        assert (1, 3) in db.relation("path", 2)
+
+
+class TestRejections:
+    def test_next_goals_rejected(self):
+        with pytest.raises(EvaluationError):
+            ChoiceFixpointEngine(parse_program("p(X, I) <- next(I), q(X)."))
+
+    def test_extrema_through_recursion_rejected(self):
+        source = """
+        p(X, C) <- q(X, C).
+        p(X, C) <- p(X, D), r(D, C), least(C).
+        """
+        with pytest.raises(StratificationError):
+            _run(source, q=[("a", 1)], r=[(1, 2)])

@@ -1,0 +1,86 @@
+"""Tests for the compile/run front door."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import compile_program, solve_program
+from repro.errors import EvaluationError, ParseError, SafetyError
+from repro.programs import texts
+from repro.storage.database import Database
+
+
+class TestCompile:
+    def test_compile_from_text(self):
+        compiled = compile_program(texts.SORTING)
+        assert compiled.is_stage_stratified
+        assert compiled.engine == "rql"
+
+    def test_compile_from_program(self):
+        from repro.datalog.parser import parse_program
+
+        compiled = compile_program(parse_program(texts.PRIM))
+        assert compiled.is_stage_stratified
+
+    def test_parse_error_propagates(self):
+        with pytest.raises(ParseError):
+            compile_program("p(a")
+
+    def test_safety_error_propagates(self):
+        with pytest.raises(SafetyError):
+            compile_program("p(X, Y) <- q(X).")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(EvaluationError):
+            compile_program(texts.SORTING, engine="warp")
+        with pytest.raises(EvaluationError):
+            compile_program(texts.SORTING).run(engine="warp")
+
+
+class TestRun:
+    def test_facts_from_mapping(self):
+        db = solve_program(texts.SORTING, facts={"p": [("a", 2), ("b", 1)]}, seed=0)
+        assert len(db.relation("sp", 3)) == 3
+
+    def test_facts_from_database_mutated_in_place(self):
+        db = Database()
+        db.assert_all("p", [("a", 2)])
+        out = solve_program(texts.SORTING, facts=db, seed=0)
+        assert out is db
+        assert len(db.relation("sp", 3)) == 2
+
+    def test_no_facts_runs_on_program_facts_alone(self):
+        db = solve_program("p(1). q(X) <- p(X).")
+        assert (1,) in db.relation("q", 1)
+
+    def test_engine_override_at_run_time(self):
+        compiled = compile_program(texts.SORTING)
+        basic = compiled.run(facts={"p": [("a", 1), ("b", 2)]}, seed=0, engine="basic")
+        rql = compiled.run(facts={"p": [("a", 1), ("b", 2)]}, seed=0, engine="rql")
+        assert basic == rql
+
+    def test_last_engine_exposed(self):
+        compiled = compile_program(texts.SORTING)
+        compiled.run(facts={"p": [("a", 1)]}, seed=0)
+        assert compiled.last_engine is not None
+        assert compiled.last_engine.stats.gamma_firings == 1
+
+    def test_seed_reproducibility(self, takes_pairs):
+        runs = {
+            frozenset(
+                solve_program(
+                    texts.EXAMPLE1_ASSIGNMENT,
+                    facts={"takes": takes_pairs},
+                    seed=5,
+                    engine="choice",
+                ).facts("a_st", 2)
+            )
+            for _ in range(3)
+        }
+        assert len(runs) == 1
+
+    def test_plain_engines_for_plain_programs(self):
+        text = "path(X, Y) <- edge(X, Y). path(X, Y) <- path(X, Z), edge(Z, Y)."
+        for engine in ("naive", "seminaive", "basic", "rql"):
+            db = solve_program(text, facts={"edge": [(1, 2), (2, 3)]}, engine=engine)
+            assert len(db.relation("path", 2)) == 3

@@ -1,0 +1,108 @@
+"""Error-path tests for the engines: programs outside the supported
+classes must be rejected with precise exceptions, never mis-evaluated."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.choice_fixpoint import ChoiceFixpointEngine
+from repro.core.compiler import solve_program
+from repro.core.greedy_engine import GreedyStageEngine
+from repro.core.stage_engine import BasicStageEngine
+from repro.datalog.parser import parse_program
+from repro.errors import (
+    EvaluationError,
+    StageAnalysisError,
+    StratificationError,
+)
+from repro.storage.database import Database
+
+
+class TestUnsupportedPrograms:
+    def test_unstratified_negation_rejected_by_all_engines(self):
+        win = "win(X) <- move(X, Y), not win(Y)."
+        facts = {"move": [(1, 2), (2, 3)]}
+        for engine in ("rql", "basic", "choice"):
+            with pytest.raises(StratificationError):
+                solve_program(win, facts=facts, engine=engine)
+
+    def test_extrema_through_plain_recursion_rejected(self):
+        source = """
+        short(X, Y, C) <- g(X, Y, C).
+        short(X, Z, C) <- short(X, Y, C1), g(Y, Z, C2), C = C1 + C2, least(C, (X, Z)).
+        """
+        with pytest.raises(StratificationError):
+            solve_program(source, facts={"g": [("a", "b", 1)]})
+
+    def test_stage_clique_with_two_stage_arguments_rejected(self):
+        # The next variable lands in two head positions: the predicate
+        # accumulates two stage arguments and must be refused rather than
+        # silently mis-run.
+        program = parse_program(
+            """
+            p(nil, 0, 0).
+            p(X, I, I) <- next(I), q(X).
+            """
+        )
+        engine = BasicStageEngine(program)
+        db = Database()
+        db.assert_all("q", [("a",)])
+        with pytest.raises(StageAnalysisError):
+            engine.run(db)
+
+    def test_choice_engine_refuses_next(self):
+        with pytest.raises(EvaluationError):
+            ChoiceFixpointEngine(parse_program("p(X, I) <- next(I), q(X)."))
+
+
+class TestEngineStateIsolation:
+    def test_each_run_gets_fresh_memos(self):
+        """Running the same engine class twice must not leak chosen state
+        between runs (compile once, run many)."""
+        from repro.core.compiler import compile_program
+        from repro.programs import texts
+
+        compiled = compile_program(texts.EXAMPLE1_ASSIGNMENT, engine="choice")
+        takes = [("s1", "c1"), ("s2", "c1")]
+        first = compiled.run(facts={"takes": takes}, seed=0)
+        second = compiled.run(facts={"takes": takes}, seed=0)
+        assert first == second
+        assert len(first.relation("a_st", 2)) == 1
+
+    def test_database_reuse_accumulates(self):
+        """Evaluating into a pre-populated database keeps prior facts."""
+        db = solve_program("p(1).")
+        solve_program("q(X) <- p(X).", facts=db)
+        assert (1,) in db.relation("q", 1)
+
+
+class TestFallbackTransparency:
+    def test_fallback_reason_is_reported(self):
+        source = """
+        p(nil, 0).
+        p(X, I) <- next(I), q(X), r(X).
+        """
+        program = parse_program(source)
+        engine = GreedyStageEngine(program)
+        db = Database()
+        db.assert_all("q", [("a",)])
+        db.assert_all("r", [("a",)])
+        engine.run(db)
+        (reason,) = engine.fallbacks.values()
+        assert "positive goal" in reason
+
+    def test_multiple_next_rules_fall_back(self):
+        source = """
+        p(nil, 0).
+        p(X, I) <- next(I), q(X).
+        p(X, I) <- next(I), r(X).
+        """
+        program = parse_program(source)
+        engine = GreedyStageEngine(program)
+        db = Database()
+        db.assert_all("q", [("a",)])
+        db.assert_all("r", [("b",)])
+        engine.run(db)
+        assert any("next rules" in reason for reason in engine.fallbacks.values())
+        derived = {f[0] for f in db.facts("p", 2)}
+        assert derived == {"nil", "a", "b"}

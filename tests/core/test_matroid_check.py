@@ -1,0 +1,94 @@
+"""Tests for the least-propagation certificates — the implemented slice
+of the paper's Section 7 open problem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import solve_program
+from repro.core.matroid_check import certify_greedy_exactness, push_least
+from repro.programs import texts
+from repro.semantics.optimize import model_objective, optimal_choice_models
+
+MATCH_OBJECTIVE = model_objective("matching", 4, 2)
+
+SINGLE_FD_NAIVE = """
+matching(nil, nil, 0, 0).
+matching(X, Y, C, I) <- next(I), g(X, Y, C), choice(X, Y).
+"""
+
+
+class TestCertificates:
+    def test_sorting_is_free(self):
+        (certificate,) = certify_greedy_exactness(texts.SORTING)
+        assert certificate.verdict == "free"
+        assert certificate.is_exact
+
+    def test_single_fd_is_partition(self):
+        (certificate,) = certify_greedy_exactness(SINGLE_FD_NAIVE)
+        assert certificate.verdict == "partition"
+        assert certificate.is_exact
+        assert "Rado-Edmonds" in certificate.reason
+
+    def test_two_fds_are_intersection(self):
+        (certificate,) = certify_greedy_exactness(texts.NAIVE_MATCHING)
+        assert certificate.verdict == "intersection"
+        assert not certificate.is_exact
+
+    def test_prim_is_partition_on_targets(self):
+        certificates = certify_greedy_exactness(texts.PRIM)
+        (certificate,) = certificates
+        assert certificate.verdict == "partition"
+
+    def test_cost_candidates_listed(self):
+        (certificate,) = certify_greedy_exactness(SINGLE_FD_NAIVE)
+        assert "C" in certificate.cost_candidates
+
+
+class TestPushLeast:
+    def test_pushed_program_has_the_extremum(self):
+        program = push_least(SINGLE_FD_NAIVE, "C")
+        next_rules = [r for r in program.rules if r.is_next_rule]
+        assert len(next_rules) == 1
+        assert next_rules[0].extrema_goals
+
+    def test_pushed_greedy_attains_the_specification_optimum(self):
+        """The compiled greedy equals the enumerate-then-select optimum —
+        the transformation the paper performs by hand."""
+        arcs = [("a", "x", 4), ("a", "y", 1), ("b", "x", 2), ("b", "z", 7)]
+        best, _ = optimal_choice_models(
+            SINGLE_FD_NAIVE, facts={"g": arcs}, objective=MATCH_OBJECTIVE
+        )
+        compiled = push_least(SINGLE_FD_NAIVE, "C")
+        db = solve_program(compiled, facts={"g": arcs}, seed=0)
+        greedy = sum(f[2] for f in db.facts("matching", 4) if f[3] > 0)
+        assert greedy == best
+
+    def test_intersection_rules_left_untouched_by_default(self):
+        with pytest.raises(ValueError, match="eligible"):
+            push_least(texts.NAIVE_MATCHING, "C")
+
+    def test_force_push_reproduces_example7(self):
+        """Forcing the push onto the two-FD naive program yields exactly
+        Example 7's greedy (heuristic, not exact) — the paper's own
+        compilation."""
+        program = push_least(texts.NAIVE_MATCHING, "C", require_certificate=False)
+        arcs = [("a", "x", 3), ("a", "y", 1), ("b", "x", 2), ("b", "y", 4)]
+        forced = solve_program(program, facts={"g": arcs}, seed=0)
+        reference = solve_program(texts.MATCHING, facts={"g": arcs}, seed=0)
+        assert set(forced.facts("matching", 4)) == set(reference.facts("matching", 4))
+
+    def test_unknown_cost_var_rejected(self):
+        with pytest.raises(ValueError):
+            push_least(SINGLE_FD_NAIVE, "Z")
+
+    def test_existing_extremum_rejected(self):
+        with pytest.raises(ValueError, match="already"):
+            push_least(texts.MATCHING, "C", require_certificate=False)
+
+    def test_most_direction(self):
+        program = push_least(SINGLE_FD_NAIVE, "C", minimize=False)
+        arcs = [("a", "x", 1), ("a", "y", 9)]
+        db = solve_program(program, facts={"g": arcs}, seed=0)
+        picked = [f for f in db.facts("matching", 4) if f[3] > 0]
+        assert picked[0][2] == 9

@@ -1,0 +1,103 @@
+"""Tests for online (incremental) greedy evaluation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.greedy_engine import GreedyStageEngine
+from repro.datalog.parser import parse_program
+from repro.errors import EvaluationError
+from repro.programs import texts
+from repro.programs._run import symmetric_edges
+from repro.storage.database import Database
+
+
+def _prim_engine():
+    return GreedyStageEngine(parse_program(texts.PRIM), rng=random.Random(0))
+
+
+class TestExtend:
+    def test_new_vertex_joins_the_tree(self):
+        engine = _prim_engine()
+        db = Database()
+        db.assert_all("g", symmetric_edges([("a", "b", 4), ("a", "c", 1), ("b", "c", 2)]))
+        db.assert_fact("source", ("a",))
+        engine.run(db)
+        assert len([f for f in db.facts("prm", 4) if f[0] != "nil"]) == 2
+        engine.extend({"g": symmetric_edges([("c", "d", 7), ("b", "d", 5)])})
+        tree = [f for f in db.facts("prm", 4) if f[0] != "nil"]
+        assert len(tree) == 3
+        # The cheaper of the two arriving edges into d was selected.
+        assert ("b", "d", 5, 3) in tree
+
+    def test_earlier_selections_are_never_revisited(self):
+        """Online semantics: a cheaper edge arriving late does not replace
+        an already-selected one (unlike a fresh run)."""
+        engine = _prim_engine()
+        db = Database()
+        db.assert_all("g", symmetric_edges([("a", "b", 10)]))
+        db.assert_fact("source", ("a",))
+        engine.run(db)
+        engine.extend({"g": symmetric_edges([("a", "b", 1)])})
+        tree = [f for f in db.facts("prm", 4) if f[0] != "nil"]
+        assert tree == [("a", "b", 10, 1)]
+
+    def test_online_sort_appends_at_later_stages(self):
+        engine = GreedyStageEngine(parse_program(texts.SORTING), rng=random.Random(0))
+        db = Database()
+        db.assert_all("p", [("a", 5), ("b", 2)])
+        engine.run(db)
+        engine.extend({"p": [("c", 1)]})
+        rows = sorted(db.facts("sp", 3), key=lambda f: f[2])
+        assert [f[0] for f in rows] == ["nil", "b", "a", "c"]
+
+    def test_multiple_extensions_accumulate(self):
+        engine = GreedyStageEngine(parse_program(texts.SORTING), rng=random.Random(0))
+        db = Database()
+        db.assert_all("p", [("a", 1)])
+        engine.run(db)
+        engine.extend({"p": [("b", 2)]})
+        engine.extend({"p": [("c", 3)]})
+        assert len(db.relation("sp", 3)) == 4
+
+    def test_duplicate_facts_are_ignored(self):
+        engine = GreedyStageEngine(parse_program(texts.SORTING), rng=random.Random(0))
+        db = Database()
+        db.assert_all("p", [("a", 1)])
+        engine.run(db)
+        engine.extend({"p": [("a", 1)]})
+        assert len(db.relation("sp", 3)) == 2  # exit + one selection
+
+    def test_extend_without_run_rejected(self):
+        engine = _prim_engine()
+        with pytest.raises(EvaluationError, match="prior run"):
+            engine.extend({"g": []})
+
+    def test_extend_with_fallback_clique_rejected(self):
+        source = """
+        p(nil, 0).
+        p(X, I) <- next(I), q(X), r(X).
+        """
+        engine = GreedyStageEngine(parse_program(source), rng=random.Random(0))
+        db = Database()
+        db.assert_all("q", [("a",)])
+        db.assert_all("r", [("a",)])
+        engine.run(db)
+        with pytest.raises(EvaluationError, match="RQL mode"):
+            engine.extend({"q": [("b",)]})
+
+    def test_extended_matching_stays_a_matching(self):
+        engine = GreedyStageEngine(parse_program(texts.MATCHING), rng=random.Random(0))
+        db = Database()
+        db.assert_all("g", [("a", "x", 3), ("b", "y", 1)])
+        engine.run(db)
+        engine.extend({"g": [("a", "z", 1), ("c", "x", 2), ("c", "w", 9)]})
+        selected = [f for f in db.facts("matching", 4) if f[3] > 0]
+        sources = [f[0] for f in selected]
+        targets = [f[1] for f in selected]
+        assert len(set(sources)) == len(sources)
+        assert len(set(targets)) == len(targets)
+        # a and x were already matched; only the fresh pair (c, w) fits.
+        assert ("c", "w", 9, 3) in selected

@@ -1,0 +1,106 @@
+"""Direct tests for the ordering-inference engine behind the
+stage-stratification check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stage_analysis import _OrderProver
+from repro.datalog.atoms import Comparison
+from repro.datalog.terms import Const, Struct, Var
+
+
+def _comp(text_op, left, right):
+    return Comparison(text_op, left, right)
+
+
+class TestDirectEdges:
+    def test_strict_less(self):
+        p = _OrderProver()
+        p.ingest(_comp("<", Var("J"), Var("I")))
+        assert p.proves_lt("J", "I")
+        assert not p.proves_lt("I", "J")
+
+    def test_non_strict(self):
+        p = _OrderProver()
+        p.ingest(_comp("<=", Var("J"), Var("I")))
+        assert p.proves_le("J", "I")
+        assert not p.proves_lt("J", "I")
+
+    def test_greater_reverses(self):
+        p = _OrderProver()
+        p.ingest(_comp(">", Var("I"), Var("J")))
+        assert p.proves_lt("J", "I")
+
+    def test_reflexive_le(self):
+        assert _OrderProver().proves_le("X", "X")
+
+
+class TestArithmetic:
+    def test_increment_gives_strict(self):
+        p = _OrderProver()
+        p.ingest(_comp("=", Var("I"), Struct("+", (Var("I1"), Const(1)))))
+        assert p.proves_lt("I1", "I")
+
+    def test_constant_first_in_sum(self):
+        p = _OrderProver()
+        p.ingest(_comp("=", Var("I"), Struct("+", (Const(2), Var("I1")))))
+        assert p.proves_lt("I1", "I")
+
+    def test_zero_increment_gives_equality(self):
+        p = _OrderProver()
+        p.ingest(_comp("=", Var("I"), Struct("+", (Var("J"), Const(0)))))
+        assert p.proves_le("I", "J")
+        assert p.proves_le("J", "I")
+        assert not p.proves_lt("J", "I")
+
+    def test_decrement(self):
+        p = _OrderProver()
+        p.ingest(_comp("=", Var("I1"), Struct("-", (Var("I"), Const(1)))))
+        assert p.proves_lt("I1", "I")
+
+    def test_max_bounds_both_arguments(self):
+        p = _OrderProver()
+        p.ingest(_comp("=", Var("I"), Struct("max", (Var("J"), Var("K")))))
+        assert p.proves_le("J", "I")
+        assert p.proves_le("K", "I")
+        assert not p.proves_lt("J", "I")
+
+    def test_min_bounds_result(self):
+        p = _OrderProver()
+        p.ingest(_comp("=", Var("I"), Struct("min", (Var("J"), Var("K")))))
+        assert p.proves_le("I", "J")
+        assert p.proves_le("I", "K")
+
+    def test_variable_equality(self):
+        p = _OrderProver()
+        p.ingest(_comp("=", Var("A"), Var("B")))
+        p.ingest(_comp("<", Var("B"), Var("C")))
+        assert p.proves_lt("A", "C")
+
+
+class TestTransitivity:
+    def test_chain_of_le_stays_non_strict(self):
+        p = _OrderProver()
+        p.ingest(_comp("<=", Var("A"), Var("B")))
+        p.ingest(_comp("<=", Var("B"), Var("C")))
+        assert p.proves_le("A", "C")
+        assert not p.proves_lt("A", "C")
+
+    def test_one_strict_edge_makes_path_strict(self):
+        p = _OrderProver()
+        p.ingest(_comp("<=", Var("A"), Var("B")))
+        p.ingest(_comp("<", Var("B"), Var("C")))
+        p.ingest(_comp("<=", Var("C"), Var("D")))
+        assert p.proves_lt("A", "D")
+
+    def test_unrelated_variables_prove_nothing(self):
+        p = _OrderProver()
+        p.ingest(_comp("<", Var("A"), Var("B")))
+        assert not p.proves_le("A", "Z")
+        assert not p.proves_lt("Z", "B")
+
+    def test_non_variable_comparisons_ignored(self):
+        p = _OrderProver()
+        p.ingest(_comp("<", Const(1), Var("I")))  # no var-var edge
+        assert not p.proves_lt("1", "I")

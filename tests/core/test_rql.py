@@ -1,0 +1,154 @@
+"""Tests for the (R, Q, L) storage structure and r-congruence (Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rql import CongruenceSpec, RQLStructure
+
+
+def prim_spec():
+    """new_g(X, Y, C, J): signature = (Y,), cost at 2, stage at 3."""
+    return CongruenceSpec(arity=4, signature_positions=(1,), cost_position=2)
+
+
+def matching_spec():
+    """g(X, Y, C): signature = (X, Y), cost at 2."""
+    return CongruenceSpec(arity=3, signature_positions=(0, 1), cost_position=2)
+
+
+class TestInsertion:
+    def test_plain_insert_and_pop(self):
+        d = RQLStructure(matching_spec())
+        d.insert(("a", "x", 5))
+        d.insert(("b", "y", 2))
+        assert d.pop() == ("b", "y", 2)
+        assert d.pop() == ("a", "x", 5)
+        assert d.pop() is None
+
+    def test_congruent_cheaper_fact_replaces(self):
+        d = RQLStructure(prim_spec())
+        d.insert(("a", "y", 9, 0))
+        d.insert(("b", "y", 3, 1))  # congruent (same Y), cheaper
+        assert len(d) == 1
+        assert d.pop() == ("b", "y", 3, 1)
+        assert d.stats.replaced == 1
+
+    def test_congruent_costlier_fact_is_redundant(self):
+        d = RQLStructure(prim_spec())
+        d.insert(("a", "y", 3, 0))
+        d.insert(("b", "y", 9, 1))
+        assert len(d) == 1
+        assert d.pop() == ("a", "y", 3, 0)
+        assert d.stats.redundant == 1
+
+    def test_equal_cost_keeps_first(self):
+        d = RQLStructure(prim_spec())
+        d.insert(("a", "y", 3, 0))
+        d.insert(("b", "y", 3, 1))
+        assert d.pop() == ("a", "y", 3, 0)
+
+    def test_fact_congruent_to_used_goes_to_r(self):
+        d = RQLStructure(prim_spec())
+        d.insert(("a", "y", 3, 0))
+        fact = d.pop()
+        d.mark_used(fact)
+        d.insert(("b", "y", 1, 2))  # cheaper, but y already used
+        assert len(d) == 0
+        assert d.stats.redundant == 1
+
+    def test_duplicate_fact_ignored(self):
+        d = RQLStructure(prim_spec())
+        assert d.insert(("a", "y", 3, 0)) is True
+        assert d.insert(("a", "y", 3, 0)) is False
+        assert len(d) == 1
+
+    def test_distinct_signatures_coexist(self):
+        d = RQLStructure(matching_spec())
+        d.insert(("a", "x", 3))
+        d.insert(("a", "y", 1))
+        assert len(d) == 2
+
+
+class TestRetrieval:
+    def test_pop_skips_used_signatures(self):
+        d = RQLStructure(prim_spec())
+        d.insert(("a", "y", 1, 0))
+        d.insert(("a", "z", 2, 0))
+        first = d.pop()
+        d.mark_used(first)
+        # A congruent fact slipped in before mark_used would be skipped.
+        d.insert(("b", "z", 5, 1))
+        second = d.pop()
+        assert second[1] == "z"
+        assert d.pop() == ("b", "z", 5, 1) or d.pop() is None
+
+    def test_mark_redundant_counts(self):
+        d = RQLStructure(matching_spec())
+        d.insert(("a", "x", 1))
+        fact = d.pop()
+        d.mark_redundant(fact)
+        assert d.stats.rejected_at_retrieval == 1
+
+    def test_fifo_when_no_cost(self):
+        spec = CongruenceSpec(arity=2, signature_positions=(0, 1), cost_position=None)
+        d = RQLStructure(spec)
+        d.insert(("b", 1))
+        d.insert(("a", 2))
+        assert d.pop() == ("b", 1)
+
+    def test_most_mode_pops_greatest(self):
+        spec = CongruenceSpec(
+            arity=2, signature_positions=(0,), cost_position=1, maximize=True
+        )
+        d = RQLStructure(spec)
+        d.insert(("a", 1))
+        d.insert(("b", 9))
+        d.insert(("c", 5))
+        assert d.pop() == ("b", 9)
+
+    def test_most_mode_replacement_keeps_greater(self):
+        spec = CongruenceSpec(
+            arity=2, signature_positions=(0,), cost_position=1, maximize=True
+        )
+        d = RQLStructure(spec)
+        d.insert(("a", 1))
+        d.insert(("a", 9))
+        assert d.pop() == ("a", 9)
+
+    def test_keep_redundant_retains_facts(self):
+        d = RQLStructure(prim_spec(), keep_redundant=True)
+        d.insert(("a", "y", 1, 0))
+        d.insert(("b", "y", 9, 1))
+        assert d.redundant_facts == [("b", "y", 9, 1)]
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8), st.integers(0, 100)),
+            max_size=150,
+        )
+    )
+    def test_queue_holds_cheapest_per_signature(self, facts):
+        """Invariant: after any insertion sequence, popping drains exactly
+        the per-signature minima, in global cost order."""
+        d = RQLStructure(matching_spec())
+        best = {}
+        for i, (x, y, c) in enumerate(facts):
+            fact = (f"x{x}", f"y{y}", (c, i))  # distinct costs via tiebreak
+            d.insert(fact)
+            key = (fact[0], fact[1])
+            if key not in best or fact[2] < best[key][2]:
+                best[key] = fact
+        popped = []
+        while True:
+            fact = d.pop()
+            if fact is None:
+                break
+            popped.append(fact)
+        assert sorted(popped) == sorted(best.values())
+        costs = [f[2] for f in popped]
+        assert costs == sorted(costs)

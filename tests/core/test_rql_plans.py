@@ -1,0 +1,101 @@
+"""Regression tests pinning the derived (R, Q, L) plan of every paper
+program: candidate atom, cost position, congruence signature and
+maximisation mode.  Each of these encodes a soundness argument spelled
+out in docs/semantics.md — a change here needs a matching argument."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.greedy_engine import GreedyStageEngine, RQLPlan
+from repro.datalog.parser import parse_program
+from repro.programs import texts
+
+
+def _plan_for(source: str, pred: str, arity: int) -> RQLPlan:
+    engine = GreedyStageEngine(parse_program(source), rng=random.Random(0))
+    report = engine.analysis.report_for(pred, arity)
+    plan = engine._rql_plan(report)
+    assert isinstance(plan, RQLPlan), f"unexpected fallback: {plan}"
+    return plan
+
+
+class TestPlanShapes:
+    def test_prim_frontier_collapses_per_target(self):
+        plan = _plan_for(texts.PRIM, "prm", 4)
+        assert plan.candidate_atom.pred == "new_g"
+        assert plan.spec.cost_position == 2
+        assert plan.spec.signature_positions == (1,)  # Y only
+        assert not plan.spec.maximize
+
+    def test_sorting_keeps_every_tuple(self):
+        plan = _plan_for(texts.SORTING, "sp", 3)
+        assert plan.candidate_atom.pred == "p"
+        # No choice FD licenses collapse: cost stays in the signature.
+        assert plan.spec.signature_positions == (0, 1)
+
+    def test_matching_keeps_one_entry_per_arc(self):
+        plan = _plan_for(texts.MATCHING, "matching", 4)
+        assert plan.candidate_atom.pred == "g"
+        assert plan.spec.signature_positions == (0, 1)
+        assert plan.spec.cost_position == 2
+
+    def test_max_matching_maximises(self):
+        plan = _plan_for(texts.MAX_MATCHING, "matching", 4)
+        assert plan.spec.maximize
+
+    def test_huffman_candidate_is_feasible(self):
+        plan = _plan_for(texts.HUFFMAN, "h", 3)
+        assert plan.candidate_atom.pred == "feasible"
+        assert plan.spec.cost_position == 1
+        # The pair term stays; feasible's stage argument is dropped.
+        assert plan.spec.signature_positions == (0,)
+
+    def test_tsp_keeps_stage_in_signature(self):
+        """I = J + 1 is stage-selective, so J must distinguish entries."""
+        plan = _plan_for(texts.TSP_GREEDY, "tsp_chain", 4)
+        assert plan.candidate_atom.pred == "new_g"
+        assert 3 in plan.spec.signature_positions  # J kept
+        assert 1 in plan.spec.signature_positions  # Y kept
+
+    def test_dijkstra_decrease_key(self):
+        plan = _plan_for(texts.DIJKSTRA, "dist", 3)
+        assert plan.candidate_atom.pred == "cand"
+        assert plan.spec.signature_positions == (0,)  # per-vertex frontier
+
+    def test_kruskal_candidate_is_the_edge_relation(self):
+        plan = _plan_for(texts.KRUSKAL, "kruskal", 4)
+        assert plan.candidate_atom.pred == "g"
+        # No choice goals: cost joins the signature (no collapse).
+        assert plan.spec.signature_positions == (0, 1, 2)
+
+    def test_convex_hull_keeps_determined_var_used_in_guard(self):
+        plan = _plan_for(texts.CONVEX_HULL, "hull", 3)
+        assert plan.candidate_atom.pred == "cand"
+        # Q is choice-determined but consulted by the cw_witness guard.
+        assert 1 in plan.spec.signature_positions
+
+    def test_knapsack_candidate_carries_the_ratio(self):
+        plan = _plan_for(texts.GREEDY_KNAPSACK, "take", 4)
+        assert plan.candidate_atom.pred == "weighted"
+        assert plan.spec.cost_position == 3
+        assert plan.spec.maximize
+
+
+class TestPlanRejections:
+    def _fallback_reason(self, source: str, pred: str, arity: int) -> str:
+        engine = GreedyStageEngine(parse_program(source), rng=random.Random(0))
+        report = engine.analysis.report_for(pred, arity)
+        plan = engine._rql_plan(report)
+        assert isinstance(plan, str)
+        return plan
+
+    def test_job_sequencing_two_extrema(self):
+        reason = self._fallback_reason(texts.JOB_SEQUENCING, "seq", 4)
+        assert "extrema" in reason
+
+    def test_coin_change_head_not_from_candidate(self):
+        reason = self._fallback_reason(texts.COIN_CHANGE, "change", 3)
+        assert "one-fact-one-firing" in reason

@@ -1,0 +1,152 @@
+"""Tests for the Section 4 compile-time analysis: stage predicates,
+stage cliques and stage-stratification — including the paper's own
+positive and negative examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stage_analysis import analyze_stages, infer_stage_positions
+from repro.datalog.parser import parse_program
+from repro.programs import texts
+
+
+def _report_for(analysis, name, arity):
+    report = analysis.report_for(name, arity)
+    assert report is not None, f"no clique containing {name}/{arity}"
+    return report
+
+
+class TestStagePositionInference:
+    def test_next_seeds_head_position(self):
+        program = parse_program("sp(X, C, I) <- next(I), p(X, C).")
+        positions = infer_stage_positions(program)
+        assert positions[("sp", 3)] == {2}
+
+    def test_propagation_through_flat_rule(self):
+        program = parse_program(texts.PRIM)
+        positions = infer_stage_positions(program)
+        assert positions[("prm", 4)] == {3}
+        assert positions[("new_g", 4)] == {3}
+
+    def test_propagation_through_arithmetic(self):
+        program = parse_program(texts.HUFFMAN)
+        positions = infer_stage_positions(program)
+        assert positions[("h", 3)] == {2}
+        assert positions[("feasible", 3)] == {2}  # via I = max(J, K)
+        assert positions[("subtree", 2)] == {1}
+
+    def test_propagation_through_order_comparison(self):
+        program = parse_program(texts.KRUSKAL)
+        positions = infer_stage_positions(program)
+        assert positions[("last_comp", 3)] == {2}  # via I1 <= I
+        assert positions[("comp", 3)] == {2}
+        assert positions[("kruskal", 4)] == {3}
+
+    def test_cross_clique_stage_values_do_not_pollute(self):
+        """Kruskal's component ids are comp0 stages used as data; comp
+        must not acquire a second stage argument."""
+        program = parse_program(texts.KRUSKAL)
+        positions = infer_stage_positions(program)
+        assert positions[("comp0", 2)] == {1}
+        assert positions[("comp", 3)] == {2}  # not {1, 2}
+
+
+class TestPaperPrograms:
+    @pytest.mark.parametrize(
+        "source,pred",
+        [
+            (texts.PRIM, "prm"),
+            (texts.SORTING, "sp"),
+            (texts.MATCHING, "matching"),
+            (texts.HUFFMAN, "h"),
+            (texts.DIJKSTRA, "dist"),
+            (texts.ACTIVITY_SELECTION, "sched"),
+        ],
+    )
+    def test_recognised_as_stage_stratified(self, source, pred):
+        analysis = analyze_stages(parse_program(source))
+        assert analysis.is_stage_stratified_program
+        report = analysis.report_for(pred, None or _arity(source, pred))
+        assert report.kind == "stage"
+        assert report.is_stage_clique
+        assert report.is_stage_stratified
+
+    def test_spanning_tree_is_a_stage_clique(self):
+        analysis = analyze_stages(parse_program(texts.SPANNING_TREE))
+        report = _report_for(analysis, "st", 4)
+        assert report.kind == "stage"
+        assert report.is_stage_clique
+
+    def test_tsp_clique_contains_exit_choice_rule(self):
+        analysis = analyze_stages(parse_program(texts.TSP_GREEDY))
+        report = _report_for(analysis, "tsp_chain", 4)
+        assert report.kind == "stage"
+        assert len(report.exit_choice_rules) == 1
+        assert len(report.next_rules) == 1
+
+    def test_kruskal_is_stage_clique_but_not_strictly_stratified(self):
+        """The paper: 'Although the negation in flat rules are not strictly
+        stratified, the stable model of this program gives a minimum
+        spanning tree' — the analysis must flag exactly that."""
+        analysis = analyze_stages(parse_program(texts.KRUSKAL))
+        report = _report_for(analysis, "kruskal", 4)
+        assert report.kind == "stage"
+        assert report.is_stage_clique
+        assert not report.is_stage_stratified
+        assert any("last_comp" in v for v in report.violations)
+
+    def test_example1_is_choice_clique(self):
+        analysis = analyze_stages(parse_program(texts.EXAMPLE1_ASSIGNMENT))
+        report = _report_for(analysis, "a_st", 2)
+        assert report.kind == "choice"
+
+    def test_plain_program(self):
+        analysis = analyze_stages(parse_program("p(X) <- q(X)."))
+        assert all(r.kind == "plain" for r in analysis.reports)
+
+
+class TestNegativeExamples:
+    def test_least_without_stage_group_loses_stratification(self):
+        """The paper's explicit remark: replacing least(C, I) by least(C, _)
+        in Prim loses stage-stratification."""
+        source = """
+        prm(nil, a, 0, 0).
+        prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C), choice(Y, X).
+        new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+        """
+        analysis = analyze_stages(parse_program(source))
+        report = _report_for(analysis, "prm", 4)
+        assert report.is_stage_clique
+        assert not report.is_stage_stratified
+
+    def test_unconstrained_body_stage_fails(self):
+        source = """
+        p(nil, 0).
+        p(X, I) <- next(I), q(X, J), least(J, I).
+        q(X, J) <- p(X, J).
+        """
+        # q's stage J is not constrained below I in the next rule.
+        analysis = analyze_stages(parse_program(source))
+        report = _report_for(analysis, "p", 2)
+        assert not report.is_stage_stratified
+
+    def test_mixed_next_and_flat_rules_for_one_predicate(self):
+        source = """
+        p(nil, 0).
+        p(X, I) <- next(I), q(X, J), J < I.
+        p(X, I) <- p(X, J), r(X), I = J + 1, q(X, I).
+        q(X, J) <- p(X, J).
+        """
+        analysis = analyze_stages(parse_program(source))
+        report = _report_for(analysis, "p", 2)
+        assert not report.is_stage_clique
+        assert any("mixes" in v for v in report.violations)
+
+
+def _arity(source: str, pred: str) -> int:
+    program = parse_program(source)
+    for rule in program.rules:
+        if rule.head.pred == pred:
+            return rule.head.arity
+    raise AssertionError(f"{pred} not in program")

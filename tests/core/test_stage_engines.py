@@ -1,0 +1,304 @@
+"""Tests for the Alternating Stage-Choice Fixpoint — basic and (R,Q,L)
+modes — on every stage program of the paper."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines import (
+    greedy_matching,
+    heapsort,
+    huffman_tree as baseline_huffman,
+    kruskal_mst as baseline_kruskal,
+    nearest_neighbor_chain,
+    prim_mst as baseline_prim,
+)
+from repro.core.compiler import solve_program
+from repro.core.greedy_engine import GreedyStageEngine
+from repro.core.stage_engine import BasicStageEngine
+from repro.datalog.parser import parse_program
+from repro.errors import StageAnalysisError
+from repro.programs import texts
+from repro.programs._run import symmetric_edges
+from repro.storage.database import Database
+from repro.workloads import complete_graph, random_connected_graph
+
+ENGINES = ("basic", "rql")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestSorting:
+    def test_matches_heapsort(self, engine):
+        items = [("a", 7), ("b", 1), ("c", 4), ("d", 2), ("e", 9)]
+        db = solve_program(texts.SORTING, facts={"p": items}, seed=0, engine=engine)
+        rows = sorted((f for f in db.facts("sp", 3) if f[2] > 0), key=lambda f: f[2])
+        assert [f[1] for f in rows] == heapsort([c for _, c in items])
+
+    def test_stage_values_are_consecutive(self, engine):
+        items = [(f"x{i}", i * 3 % 7) for i in range(7)]
+        db = solve_program(texts.SORTING, facts={"p": items}, seed=0, engine=engine)
+        stages = sorted(f[2] for f in db.facts("sp", 3))
+        assert stages == list(range(len(items) + 1))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestPrim:
+    def test_unique_mst_is_found(self, engine, diamond_graph):
+        db = solve_program(
+            texts.PRIM,
+            facts={"g": symmetric_edges(diamond_graph), "source": [("a",)]},
+            seed=3,
+            engine=engine,
+        )
+        tree = [f for f in db.facts("prm", 4) if f[0] != "nil"]
+        assert sum(f[2] for f in tree) == 8
+        assert {(f[0], f[1]) for f in tree} == {("a", "c"), ("c", "b"), ("b", "d")}
+
+    def test_matches_procedural_prim_on_random_graphs(self, engine):
+        for seed in range(3):
+            nodes, edges = random_connected_graph(12, extra_edges=15, seed=seed)
+            db = solve_program(
+                texts.PRIM,
+                facts={"g": symmetric_edges(edges), "source": [(nodes[0],)]},
+                seed=seed,
+                engine=engine,
+            )
+            declarative = sum(f[2] for f in db.facts("prm", 4))
+            _, procedural = baseline_prim(edges, nodes[0])
+            assert declarative == procedural
+
+    def test_root_is_never_reentered(self, engine, diamond_graph):
+        db = solve_program(
+            texts.PRIM,
+            facts={"g": symmetric_edges(diamond_graph), "source": [("a",)]},
+            seed=0,
+            engine=engine,
+        )
+        targets = [f[1] for f in db.facts("prm", 4) if f[0] != "nil"]
+        assert "a" not in targets
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestMatching:
+    def test_is_a_matching_and_maximal(self, engine):
+        arcs = [
+            ("a", "x", 3),
+            ("a", "y", 1),
+            ("b", "x", 2),
+            ("b", "y", 4),
+            ("c", "z", 9),
+        ]
+        db = solve_program(texts.MATCHING, facts={"g": arcs}, seed=0, engine=engine)
+        selected = [f for f in db.facts("matching", 4) if f[3] > 0]
+        sources = [f[0] for f in selected]
+        targets = [f[1] for f in selected]
+        assert len(set(sources)) == len(sources)
+        assert len(set(targets)) == len(targets)
+        # Maximality: no remaining arc has both endpoints free.
+        for x, y, _ in arcs:
+            assert x in sources or y in targets
+
+    def test_matches_procedural_greedy(self, engine):
+        arcs = [
+            (f"l{i}", f"r{j}", (i * 7 + j * 13) % 19 + 1)
+            for i in range(5)
+            for j in range(5)
+        ]
+        db = solve_program(texts.MATCHING, facts={"g": arcs}, seed=0, engine=engine)
+        declarative = sum(f[2] for f in db.facts("matching", 4))
+        _, procedural = greedy_matching(arcs)
+        assert declarative == procedural
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestHuffman:
+    def test_clrs_example_is_optimal(self, engine, clrs_frequencies):
+        db = solve_program(
+            texts.HUFFMAN,
+            facts={"letter": list(clrs_frequencies.items())},
+            seed=0,
+            engine=engine,
+        )
+        merges = [f for f in db.facts("h", 3) if f[2] > 0]
+        assert len(merges) == len(clrs_frequencies) - 1
+        _, optimal_wpl = baseline_huffman(clrs_frequencies)
+        assert sum(f[1] for f in merges) == optimal_wpl
+
+    def test_each_subtree_used_once(self, engine):
+        freqs = {"a": 5, "b": 5, "c": 5, "d": 5}
+        db = solve_program(
+            texts.HUFFMAN, facts={"letter": list(freqs.items())}, seed=1, engine=engine
+        )
+        used = []
+        for tree, _, stage in db.facts("h", 3):
+            if stage > 0:
+                used.append(tree[1])
+                used.append(tree[2])
+        assert len(used) == len(set(map(repr, used)))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestTSP:
+    def test_hamiltonian_on_complete_graph(self, engine):
+        _, edges = complete_graph(7, seed=5)
+        arcs = symmetric_edges(edges)
+        db = solve_program(texts.TSP_GREEDY, facts={"g": arcs}, seed=0, engine=engine)
+        chain = sorted(db.facts("tsp_chain", 4), key=lambda f: f[3])
+        assert len(chain) == 6  # n - 1 arcs
+        visited = [chain[0][0]] + [f[1] for f in chain]
+        assert len(set(visited)) == 7
+
+    def test_matches_nearest_neighbor(self, engine):
+        # Directed arcs with pairwise-distinct costs: no ties, so the
+        # declarative chain and the procedural one must coincide exactly.
+        rng = random.Random(11)
+        nodes = [f"n{i}" for i in range(6)]
+        costs = rng.sample(range(1, 200), len(nodes) * (len(nodes) - 1))
+        arcs = [
+            (a, b, costs.pop())
+            for a, b in itertools.permutations(nodes, 2)
+        ]
+        db = solve_program(texts.TSP_GREEDY, facts={"g": arcs}, seed=0, engine=engine)
+        declarative = sum(f[2] for f in db.facts("tsp_chain", 4))
+        _, procedural = nearest_neighbor_chain(arcs)
+        assert declarative == procedural
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestKruskal:
+    def test_mst_cost_matches_union_find_kruskal(self, engine, diamond_graph):
+        nodes = sorted({u for u, _, _ in diamond_graph} | {v for _, v, _ in diamond_graph})
+        db = solve_program(
+            texts.KRUSKAL,
+            facts={"g": symmetric_edges(diamond_graph), "node": [(n,) for n in nodes]},
+            seed=0,
+            engine=engine,
+        )
+        tree = [f for f in db.facts("kruskal", 4) if f[3] > 0]
+        _, expected = baseline_kruskal(diamond_graph)
+        assert sum(f[2] for f in tree) == expected
+        assert len(tree) == len(nodes) - 1
+
+    def test_random_graph(self, engine):
+        nodes, edges = random_connected_graph(8, extra_edges=8, seed=4)
+        db = solve_program(
+            texts.KRUSKAL,
+            facts={"g": symmetric_edges(edges), "node": [(n,) for n in nodes]},
+            seed=0,
+            engine=engine,
+        )
+        tree = [f for f in db.facts("kruskal", 4) if f[3] > 0]
+        _, expected = baseline_kruskal(edges)
+        assert sum(f[2] for f in tree) == expected
+
+
+class TestEngineSpecifics:
+    def test_rql_engine_uses_structure_for_prim(self, diamond_graph):
+        program = parse_program(texts.PRIM)
+        engine = GreedyStageEngine(program, rng=random.Random(0))
+        db = Database()
+        db.assert_all("g", symmetric_edges(diamond_graph))
+        db.assert_fact("source", ("a",))
+        engine.run(db)
+        assert ("prm", 4) in engine.rql_structures
+        structure = engine.rql_structures[("prm", 4)]
+        assert structure.stats.retrieved >= 3
+        assert not engine.fallbacks
+
+    def test_rql_falls_back_on_nonconforming_shape(self):
+        # Two positive goals carry no extremum: no unique candidate atom.
+        source = """
+        p(nil, nil, 0).
+        p(X, Y, I) <- next(I), q(X), r(Y).
+        """
+        engine = GreedyStageEngine(parse_program(source), rng=random.Random(0))
+        db = Database()
+        db.assert_all("q", [("a",)])
+        db.assert_all("r", [("b",)])
+        engine.run(db)
+        assert engine.fallbacks
+        assert len([f for f in db.facts("p", 3) if f[2] > 0]) == 1
+
+    def test_strict_mode_rejects_kruskal(self):
+        program = parse_program(texts.KRUSKAL)
+        engine = BasicStageEngine(program, allow_extended=False)
+        db = Database()
+        db.assert_all("g", [("a", "b", 1), ("b", "a", 1)])
+        db.assert_all("node", [("a",), ("b",)])
+        with pytest.raises(StageAnalysisError):
+            engine.run(db)
+
+    def test_prim_congruence_collapses_frontier(self, diamond_graph):
+        """The paper's r-congruence for Prim: one queue entry per target
+        vertex, so the queue never exceeds n."""
+        program = parse_program(texts.PRIM)
+        engine = GreedyStageEngine(program, rng=random.Random(0))
+        db = Database()
+        db.assert_all("g", symmetric_edges(diamond_graph))
+        db.assert_fact("source", ("a",))
+        engine.run(db)
+        structure = engine.rql_structures[("prm", 4)]
+        assert structure.spec.signature_positions == (1,)
+
+    def test_matching_congruence_keeps_arcs(self):
+        program = parse_program(texts.MATCHING)
+        engine = GreedyStageEngine(program, rng=random.Random(0))
+        db = Database()
+        db.assert_all("g", [("a", "x", 1), ("b", "y", 2)])
+        engine.run(db)
+        structure = engine.rql_structures[("matching", 4)]
+        assert structure.spec.signature_positions == (0, 1)
+
+
+class TestMaxStages:
+    def test_basic_engine_aborts_on_runaway_program(self):
+        """The paper's literal Huffman (guards evaluated at formation
+        stage) never terminates: subtrees get reused through the opposite
+        child position and merging continues forever.  The safety valve
+        turns the divergence into an error — and documents why the
+        library's HUFFMAN text moves the guards (texts.DEVIATIONS)."""
+        literal_huffman = parse_program(
+            """
+            h(X, C, 0) <- letter(X, C).
+            h(t(X, Y), C, I) <- next(I), feasible(t(X, Y), C, J), J < I,
+                                least(C, I), choice(X, I), choice(Y, I).
+            feasible(t(X, Y), C, I) <- h(X, C1, J), h(Y, C2, K), X != Y,
+                                       not (subtree(X, L1), L1 < I),
+                                       not (subtree(Y, L2), L2 < I),
+                                       I = max(J, K), C = C1 + C2.
+            subtree(X, I) <- h(t(X, _), _, I).
+            subtree(X, I) <- h(t(_, X), _, I).
+            """
+        )
+        from repro.errors import EvaluationError
+
+        engine = BasicStageEngine(
+            literal_huffman, rng=random.Random(0), max_stages=15
+        )
+        db = Database()
+        db.assert_all("letter", [("a", 5), ("b", 2), ("c", 1)])
+        with pytest.raises(EvaluationError, match="max_stages"):
+            engine.run(db)
+
+    def test_terminating_program_unaffected_by_generous_limit(self):
+        items = [("a", 3), ("b", 1), ("c", 2)]
+        program = parse_program(texts.SORTING)
+        engine = GreedyStageEngine(program, rng=random.Random(0), max_stages=100)
+        db = Database()
+        db.assert_all("p", items)
+        engine.run(db)
+        assert len(db.relation("sp", 3)) == 4
+
+    def test_greedy_engine_enforces_limit(self):
+        items = [(f"x{i}", i) for i in range(10)]
+        program = parse_program(texts.SORTING)
+        from repro.errors import EvaluationError
+
+        engine = GreedyStageEngine(program, rng=random.Random(0), max_stages=3)
+        db = Database()
+        db.assert_all("p", items)
+        with pytest.raises(EvaluationError, match="max_stages"):
+            engine.run(db)

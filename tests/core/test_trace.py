@@ -1,0 +1,66 @@
+"""Tests for the engine trace facility."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.greedy_engine import GreedyStageEngine
+from repro.core.stage_engine import BasicStageEngine
+from repro.core.choice_fixpoint import ChoiceFixpointEngine
+from repro.datalog.parser import parse_program
+from repro.programs import texts
+from repro.programs._run import symmetric_edges
+from repro.storage.database import Database
+
+
+def _prim_db(diamond_graph):
+    db = Database()
+    db.assert_all("g", symmetric_edges(diamond_graph))
+    db.assert_fact("source", ("a",))
+    return db
+
+
+class TestTrace:
+    def test_disabled_by_default(self, diamond_graph):
+        engine = GreedyStageEngine(parse_program(texts.PRIM), rng=random.Random(0))
+        engine.run(_prim_db(diamond_graph))
+        assert engine.trace == []
+
+    def test_choose_events_match_selected_tree(self, diamond_graph):
+        engine = GreedyStageEngine(
+            parse_program(texts.PRIM), rng=random.Random(0), record_trace=True
+        )
+        db = engine.run(_prim_db(diamond_graph))
+        chosen = [e for e in engine.trace if e.kind == "choose"]
+        assert [e.fact for e in chosen] == sorted(
+            (f for f in db.facts("prm", 4) if f[0] != "nil"), key=lambda f: f[3]
+        )
+        assert [e.stage for e in chosen] == [1, 2, 3]
+
+    def test_retire_events_record_rejections(self, diamond_graph):
+        engine = GreedyStageEngine(
+            parse_program(texts.PRIM), rng=random.Random(0), record_trace=True
+        )
+        engine.run(_prim_db(diamond_graph))
+        retired = [e for e in engine.trace if e.kind == "retire"]
+        # At least the reverse edges into already-settled vertices retire.
+        assert retired
+        assert all(e.predicate == ("new_g", 4) for e in retired)
+
+    def test_basic_engine_traces_too(self, diamond_graph):
+        engine = BasicStageEngine(
+            parse_program(texts.PRIM), rng=random.Random(0), record_trace=True
+        )
+        engine.run(_prim_db(diamond_graph))
+        assert [e.kind for e in engine.trace] == ["choose"] * 3
+
+    def test_choice_fixpoint_traces(self, takes_pairs):
+        engine = ChoiceFixpointEngine(
+            parse_program(texts.EXAMPLE1_ASSIGNMENT),
+            rng=random.Random(0),
+            record_trace=True,
+        )
+        db = Database()
+        db.assert_all("takes", takes_pairs)
+        engine.run(db)
+        assert len([e for e in engine.trace if e.kind == "choose"]) == 2

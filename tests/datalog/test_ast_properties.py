@@ -1,0 +1,106 @@
+"""Property-based round-trip tests: generated rule ASTs must print to
+source text that re-parses to the identical AST.
+
+This pins down the parser and the pretty-printer against each other over
+a much larger space than the hand-written parser tests.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    LeastGoal,
+    MostGoal,
+    Negation,
+    NextGoal,
+)
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Const, Struct, Var
+
+# -- strategies ---------------------------------------------------------------
+
+lower_names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in ("not", "choice", "least", "most", "next", "mod")
+)
+var_names = st.from_regex(r"[A-Z][A-Za-z0-9_]{0,5}", fullmatch=True)
+
+variables = st.builds(Var, var_names)
+constants = st.one_of(
+    st.builds(Const, lower_names),
+    st.builds(Const, st.integers(0, 10_000)),
+)
+
+terms = st.recursive(
+    st.one_of(variables, constants),
+    lambda children: st.builds(
+        Struct,
+        lower_names,
+        st.tuples(children) | st.tuples(children, children),
+    ),
+    max_leaves=4,
+)
+
+atoms = st.builds(
+    Atom,
+    lower_names,
+    st.lists(terms, min_size=1, max_size=4).map(tuple),
+)
+
+comparisons = st.builds(
+    Comparison,
+    st.sampled_from(["<", "<=", ">", ">=", "!=", "="]),
+    variables,
+    st.one_of(variables, st.builds(Const, st.integers(0, 99))),
+)
+
+choice_goals = st.builds(
+    ChoiceGoal,
+    st.lists(variables, min_size=1, max_size=2, unique=True).map(tuple),
+    st.lists(variables, min_size=1, max_size=2, unique=True).map(tuple),
+)
+
+extrema = st.one_of(
+    st.builds(LeastGoal, variables, st.lists(variables, max_size=2, unique=True).map(tuple)),
+    st.builds(MostGoal, variables, st.lists(variables, max_size=2, unique=True).map(tuple)),
+)
+
+literals = st.one_of(
+    atoms,
+    st.builds(Negation, atoms),
+    comparisons,
+    choice_goals,
+    extrema,
+    st.builds(NextGoal, variables),
+)
+
+rules = st.builds(
+    Rule,
+    atoms,
+    st.lists(literals, min_size=1, max_size=5).map(tuple),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(rules)
+    def test_print_then_parse_is_identity(self, rule):
+        assert parse_rule(str(rule)) == rule
+
+    @settings(max_examples=100, deadline=None)
+    @given(atoms)
+    def test_fact_round_trip(self, head):
+        fact = Rule(head, ())
+        assert parse_rule(str(fact)) == fact
+
+    @settings(max_examples=100, deadline=None)
+    @given(terms)
+    def test_term_round_trip(self, term):
+        from repro.datalog.parser import parse_term
+
+        assert parse_term(str(term)) == term

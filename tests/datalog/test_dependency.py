@@ -1,0 +1,102 @@
+"""Tests for the dependency graph, SCCs and stratification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.dependency import DependencyGraph, strongly_connected_components
+from repro.datalog.parser import parse_program
+from repro.errors import StratificationError
+
+
+class TestSCC:
+    def test_chain_has_singleton_components(self):
+        nodes = [("a", 0), ("b", 0), ("c", 0)]
+        edges = {("a", 0): {("b", 0)}, ("b", 0): {("c", 0)}}
+        comps = strongly_connected_components(nodes, edges)
+        assert all(len(c) == 1 for c in comps)
+        # callees first: c before b before a
+        order = [next(iter(c)) for c in comps]
+        assert order.index(("c", 0)) < order.index(("b", 0)) < order.index(("a", 0))
+
+    def test_cycle_is_one_component(self):
+        nodes = [("a", 0), ("b", 0)]
+        edges = {("a", 0): {("b", 0)}, ("b", 0): {("a", 0)}}
+        comps = strongly_connected_components(nodes, edges)
+        assert comps == [frozenset({("a", 0), ("b", 0)})]
+
+    def test_deep_chain_no_recursion_limit(self):
+        n = 5000
+        nodes = [(f"p{i}", 0) for i in range(n)]
+        edges = {(f"p{i}", 0): {(f"p{i+1}", 0)} for i in range(n - 1)}
+        comps = strongly_connected_components(nodes, edges)
+        assert len(comps) == n
+
+
+class TestCliques:
+    def test_mutual_recursion_is_one_clique(self):
+        program = parse_program(
+            """
+            even(X) <- zero(X).
+            even(X) <- succ(Y, X), odd(Y).
+            odd(X) <- succ(Y, X), even(X).
+            """
+        )
+        graph = DependencyGraph(program)
+        recursive = graph.recursive_cliques()
+        assert len(recursive) == 1
+        assert recursive[0].predicates == frozenset({("even", 1), ("odd", 1)})
+
+    def test_self_loop_is_recursive(self):
+        program = parse_program("p(X) <- p(X).")
+        graph = DependencyGraph(program)
+        assert graph.recursive_cliques()
+
+    def test_nonrecursive_program_has_no_recursive_cliques(self):
+        program = parse_program("p(X) <- q(X). r(X) <- p(X).")
+        graph = DependencyGraph(program)
+        assert graph.recursive_cliques() == []
+
+
+class TestStratification:
+    def test_stratified_program(self):
+        program = parse_program(
+            """
+            path(X, Y) <- edge(X, Y).
+            path(X, Y) <- path(X, Z), edge(Z, Y).
+            unreach(X, Y) <- node(X), node(Y), not path(X, Y).
+            """
+        )
+        graph = DependencyGraph(program)
+        assert graph.is_stratified
+        strata = graph.strata()
+        assert strata[("unreach", 2)] > strata[("path", 2)]
+
+    def test_negation_in_cycle_is_rejected(self):
+        program = parse_program(
+            """
+            win(X) <- move(X, Y), not win(Y).
+            """
+        )
+        graph = DependencyGraph(program)
+        assert not graph.is_stratified
+        with pytest.raises(StratificationError):
+            graph.strata()
+
+    def test_negated_conjunction_counts_as_negative_edge(self):
+        program = parse_program("p(X) <- q(X), not (p(Y), Y < X).")
+        graph = DependencyGraph(program)
+        assert not graph.is_stratified
+
+    def test_evaluation_order_respects_strata(self):
+        program = parse_program(
+            """
+            a(X) <- base(X).
+            b(X) <- a(X), not c(X).
+            c(X) <- base(X), not a(X).
+            """
+        )
+        graph = DependencyGraph(program)
+        order = graph.evaluation_order()
+        flat = [pred for group in order for clique in group for pred in clique.predicates]
+        assert flat.index(("a", 1)) < flat.index(("c", 1)) < flat.index(("b", 1))

@@ -1,0 +1,128 @@
+"""Tests for the naive and seminaive fixpoint engines, including their
+cross-equivalence on random programs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.naive import NaiveEngine
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import SeminaiveEngine
+from repro.errors import EvaluationError
+from repro.storage.database import Database
+
+TC = """
+path(X, Y) <- edge(X, Y).
+path(X, Y) <- path(X, Z), edge(Z, Y).
+"""
+
+SAME_GENERATION = """
+sg(X, X) <- person(X).
+sg(X, Y) <- parent(XP, X), sg(XP, YP), parent(YP, Y).
+"""
+
+
+def _run(engine_cls, text, **facts):
+    db = Database()
+    for name, rows in facts.items():
+        db.assert_all(name, rows)
+    engine = engine_cls(parse_program(text))
+    engine.run(db)
+    return db, engine
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        edges = [(i, i + 1) for i in range(5)]
+        db, _ = _run(SeminaiveEngine, TC, edge=edges)
+        assert len(db.relation("path", 2)) == 5 * 6 // 2
+
+    def test_cycle(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        db, _ = _run(NaiveEngine, TC, edge=edges)
+        assert len(db.relation("path", 2)) == 9
+
+    def test_engines_agree(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 1), (0, 4)]
+        naive_db, _ = _run(NaiveEngine, TC, edge=edges)
+        semi_db, _ = _run(SeminaiveEngine, TC, edge=edges)
+        assert naive_db == semi_db
+
+    def test_seminaive_fires_fewer_rules_on_long_chains(self):
+        edges = [(i, i + 1) for i in range(30)]
+        _, naive = _run(NaiveEngine, TC, edge=edges)
+        _, semi = _run(SeminaiveEngine, TC, edge=edges)
+        assert semi.stats.facts_derived == naive.stats.facts_derived
+        # The derived facts are identical; the evaluation work is not —
+        # naive re-evaluates every rule in full on every pass, seminaive
+        # fires each delta variant once per round.
+        assert naive.stats.rule_firings > semi.stats.rule_firings
+
+
+class TestStratifiedNegation:
+    def test_unreachable_pairs(self):
+        text = TC + """
+        node(X) <- edge(X, _).
+        node(Y) <- edge(_, Y).
+        unreach(X, Y) <- node(X), node(Y), not path(X, Y).
+        """
+        db, _ = _run(SeminaiveEngine, text, edge=[(0, 1), (2, 3)])
+        unreach = set(db.relation("unreach", 2))
+        assert (0, 2) in unreach
+        assert (0, 1) not in unreach
+
+    def test_same_generation(self):
+        facts = {
+            "person": [("root",), ("ann",), ("bob",), ("cal",), ("dot",)],
+            "parent": [
+                ("root", "ann"),
+                ("root", "bob"),
+                ("ann", "cal"),
+                ("bob", "dot"),
+            ],
+        }
+        naive_db, _ = _run(NaiveEngine, SAME_GENERATION, **facts)
+        semi_db, _ = _run(SeminaiveEngine, SAME_GENERATION, **facts)
+        assert naive_db == semi_db
+        assert ("cal", "dot") in naive_db.relation("sg", 2)
+
+
+class TestRejections:
+    def test_meta_goals_rejected(self):
+        program = parse_program("p(X, I) <- next(I), q(X).")
+        with pytest.raises(EvaluationError):
+            NaiveEngine(program)
+        with pytest.raises(EvaluationError):
+            SeminaiveEngine(program)
+
+    def test_program_facts_loaded(self):
+        db, _ = _run(SeminaiveEngine, "edge(a, b). " + TC)
+        assert ("a", "b") in db.relation("path", 2)
+
+
+class TestEquivalenceProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=25
+        )
+    )
+    def test_naive_equals_seminaive_on_random_graphs(self, edges):
+        naive_db, _ = _run(NaiveEngine, TC, edge=sorted(edges))
+        semi_db, _ = _run(SeminaiveEngine, TC, edge=sorted(edges))
+        assert naive_db == semi_db
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=15)
+    )
+    def test_closure_is_actually_transitive(self, edges):
+        db, _ = _run(SeminaiveEngine, TC, edge=sorted(edges))
+        path = set(db.relation("path", 2))
+        assert set(edges) <= path
+        for a, b in path:
+            for c, d in path:
+                if b == c:
+                    assert (a, d) in path

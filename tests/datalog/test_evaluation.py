@@ -1,0 +1,107 @@
+"""Tests for body planning and the tuple-at-a-time solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.atoms import Atom, Comparison, NegatedConjunction
+from repro.datalog.evaluation import plan_body, rule_consequences, solve
+from repro.datalog.parser import parse_rule
+from repro.errors import EvaluationError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+def _db(**relations):
+    db = Database()
+    for name, facts in relations.items():
+        db.assert_all(name, facts)
+    return db
+
+
+def _plan(rule):
+    return plan_body(list(zip(rule.body, range(len(rule.body)))))
+
+
+class TestPlanning:
+    def test_comparison_deferred_until_ready(self):
+        rule = parse_rule("p(X) <- q(X, Y), X < Y.")
+        plan = _plan(rule)
+        assert isinstance(plan[0][0], Atom)
+        assert isinstance(plan[1][0], Comparison)
+
+    def test_assignment_waits_for_arithmetic_inputs(self):
+        # I = I_prev + 1 cannot run before I_prev is bound, even if I is.
+        rule = parse_rule("p(X, I) <- c(I), I = J + 1, r(J), q(X).")
+        plan = _plan(rule)
+        positions = {str(lit): i for i, (lit, _) in enumerate(plan)}
+        assert positions["I = (J + 1)"] > positions["r(J)"]
+
+    def test_negation_runs_after_binding(self):
+        rule = parse_rule("p(X) <- not r(X), q(X).")
+        plan = _plan(rule)
+        assert isinstance(plan[0][0], Atom)
+
+    def test_bound_first_join_order(self):
+        # After q binds X, the atom sharing X should be preferred.
+        rule = parse_rule("p(X, Z) <- q(X), r(X, Y), s(Z), t(Y, Z).")
+        plan = _plan(rule)
+        names = [lit.pred for lit, _ in plan if isinstance(lit, Atom)]
+        assert names[0] == "q"
+        assert names[1] == "r"
+
+
+class TestSolve:
+    def test_simple_join(self):
+        rule = parse_rule("p(X, Z) <- q(X, Y), r(Y, Z).")
+        db = _db(q=[("a", 1), ("b", 2)], r=[(1, "u"), (2, "v"), (3, "w")])
+        assert set(rule_consequences(rule, db)) == {("a", "u"), ("b", "v")}
+
+    def test_negation_filters(self):
+        rule = parse_rule("p(X) <- q(X), not bad(X).")
+        db = _db(q=[("a",), ("b",)], bad=[("b",)])
+        assert set(rule_consequences(rule, db)) == {("a",)}
+
+    def test_negation_with_wildcard_is_existence_check(self):
+        rule = parse_rule("p(X) <- q(X), not r(X, _).")
+        db = _db(q=[("a",), ("b",)], r=[("b", 1)])
+        assert set(rule_consequences(rule, db)) == {("a",)}
+
+    def test_negated_conjunction(self):
+        rule = parse_rule("p(X) <- q(X, C), not (q(Y, D), D < C).")
+        db = _db(q=[("a", 1), ("b", 2)])
+        assert set(rule_consequences(rule, db)) == {("a",)}
+
+    def test_comparisons_and_arithmetic(self):
+        rule = parse_rule("p(X, K) <- q(X, J), K = J * 2, K > 3.")
+        db = _db(q=[("a", 1), ("b", 2), ("c", 5)])
+        assert set(rule_consequences(rule, db)) == {("b", 4), ("c", 10)}
+
+    def test_compound_term_matching(self):
+        rule = parse_rule("child(X) <- h(t(X, _)).")
+        db = _db(h=[(("t", "a", "b"),), (("u", "c", "d"),)])
+        assert set(rule_consequences(rule, db)) == {("a",)}
+
+    def test_missing_relation_yields_nothing(self):
+        rule = parse_rule("p(X) <- nothing(X).")
+        assert list(rule_consequences(rule, Database())) == []
+
+    def test_delta_restriction(self):
+        rule = parse_rule("p(X, Z) <- q(X, Y), q(Y, Z).")
+        db = _db(q=[("a", "b"), ("b", "c"), ("c", "d")])
+        delta = Relation("Δq", 2)
+        delta.add(("b", "c"))
+        # Restrict the SECOND occurrence (body index 1) to the delta.
+        facts = set(rule_consequences(rule, db, delta_index=1, delta_relation=delta))
+        assert facts == {("a", "c")}
+
+    def test_neg_db_separates_negation(self):
+        rule = parse_rule("p(X) <- q(X), not r(X).")
+        db = _db(q=[("a",), ("b",)])
+        neg = _db(r=[("a",)])
+        assert set(rule_consequences(rule, db, neg_db=neg)) == {("b",)}
+
+    def test_meta_goal_rejected(self):
+        rule = parse_rule("p(X, I) <- next(I), q(X).")
+        with pytest.raises(EvaluationError):
+            list(rule_consequences(rule, Database()))

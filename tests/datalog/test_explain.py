@@ -1,0 +1,88 @@
+"""Tests for the derivation explainer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.explain import explain
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import SeminaiveEngine
+from repro.errors import EvaluationError
+from repro.storage.database import Database
+
+TC = parse_program(
+    """
+    path(X, Y) <- edge(X, Y).
+    path(X, Y) <- path(X, Z), edge(Z, Y).
+    """
+)
+
+
+def _saturated(program, **facts):
+    db = Database()
+    for name, rows in facts.items():
+        db.assert_all(name, rows)
+    SeminaiveEngine(program).run(db)
+    return db
+
+
+class TestExplain:
+    def test_base_case_derivation(self):
+        db = _saturated(TC, edge=[(1, 2)])
+        derivation = explain(TC, db, "path", (1, 2))
+        assert derivation is not None
+        assert derivation.rule is TC.rules[0]
+        assert derivation.premises[0].predicate == ("edge", 2)
+        assert derivation.premises[0].is_leaf
+
+    def test_recursive_derivation_bottoms_out(self):
+        db = _saturated(TC, edge=[(1, 2), (2, 3), (3, 4)])
+        derivation = explain(TC, db, "path", (1, 4))
+        assert derivation is not None
+        # Walk the left spine: all premises must be leaves or path facts.
+        seen = []
+        stack = [derivation]
+        while stack:
+            node = stack.pop()
+            seen.append(node.predicate)
+            stack.extend(node.premises)
+        assert ("edge", 2) in seen
+
+    def test_underivable_fact_returns_none(self):
+        db = _saturated(TC, edge=[(1, 2)])
+        assert explain(TC, db, "path", (2, 1)) is None
+
+    def test_cyclic_graph_still_explains(self):
+        db = _saturated(TC, edge=[(1, 2), (2, 1)])
+        derivation = explain(TC, db, "path", (1, 1))
+        assert derivation is not None
+
+    def test_program_fact_is_leaf(self):
+        program = parse_program("edge(a, b). path(X, Y) <- edge(X, Y).")
+        db = _saturated(program)
+        derivation = explain(program, db, "path", ("a", "b"))
+        assert derivation is not None
+        leaf = derivation.premises[0]
+        assert leaf.rule is not None and leaf.rule.is_fact
+
+    def test_negation_checked_against_db(self):
+        program = parse_program(
+            """
+            ok(X) <- item(X), not bad(X).
+            """
+        )
+        db = _saturated(program, item=[("a",), ("b",)], bad=[("b",)])
+        assert explain(program, db, "ok", ("a",)) is not None
+        assert explain(program, db, "ok", ("b",)) is None
+
+    def test_meta_goals_rejected(self):
+        program = parse_program("p(X, I) <- next(I), q(X).")
+        with pytest.raises(EvaluationError):
+            explain(program, Database(), "p", ("a", 1))
+
+    def test_pretty_renders_tree(self):
+        db = _saturated(TC, edge=[(1, 2), (2, 3)])
+        derivation = explain(TC, db, "path", (1, 3))
+        text = derivation.pretty()
+        assert "path(1, 3)" in text
+        assert "edge(" in text

@@ -1,0 +1,55 @@
+"""Tests for ground-value rendering (the inverse of parsing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.parser import parse_term
+from repro.datalog.terms import Const, Struct, Var, format_value
+from repro.datalog.unify import ground_term
+
+
+class TestFormatValue:
+    def test_scalars(self):
+        assert format_value("abc") == "abc"
+        assert format_value(42) == "42"
+        assert format_value(2.5) == "2.5"
+
+    def test_functor_tagged_tuple(self):
+        assert format_value(("t", "a", "b")) == "t(a, b)"
+
+    def test_nested_functor(self):
+        value = ("t", ("t", "a", "b"), "c")
+        assert format_value(value) == "t(t(a, b), c)"
+
+    def test_bare_tuple(self):
+        assert format_value((1, 2)) == "(1, 2)"
+        assert format_value(()) == "()"
+
+    def test_matches_ground_term_of_parsed_struct(self):
+        term = parse_term("t(a, (1, 2))")
+        value = ground_term(term, {})
+        assert format_value(value) == "t(a, (1, 2))"
+
+
+class TestTermPrinting:
+    def test_arithmetic_prints_infix(self):
+        term = Struct("+", (Var("J"), Const(1)))
+        assert str(term) == "(J + 1)"
+
+    def test_nested_arithmetic(self):
+        term = Struct("-", (Struct("*", (Var("A"), Var("B"))), Const(3)))
+        assert str(term) == "((A * B) - 3)"
+
+    def test_neg_prints_parenthesised(self):
+        assert str(Struct("neg", (Var("X"),))) == "(-X)"
+
+    def test_max_prints_as_call(self):
+        term = Struct("max", (Var("J"), Var("K")))
+        assert str(term) == "max(J, K)"
+        assert parse_term(str(term)) == term
+
+    def test_wildcards_print_as_underscore(self):
+        from repro.datalog.terms import fresh_var
+
+        assert str(fresh_var("_anon")) == "_"

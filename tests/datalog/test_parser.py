@@ -1,0 +1,205 @@
+"""Parser tests: syntax coverage and error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.atoms import (
+    Atom,
+    ChoiceGoal,
+    Comparison,
+    LeastGoal,
+    MostGoal,
+    NegatedConjunction,
+    Negation,
+    NextGoal,
+)
+from repro.datalog.parser import parse_program, parse_query, parse_rule, parse_term
+from repro.datalog.terms import Const, Struct, Var
+from repro.errors import ParseError
+
+
+class TestFactsAndRules:
+    def test_plain_fact(self):
+        program = parse_program("edge(a, b).")
+        assert len(program) == 1
+        rule = program.rules[0]
+        assert rule.is_fact
+        assert rule.head == Atom("edge", (Const("a"), Const("b")))
+
+    def test_zero_arity_fact(self):
+        rule = parse_rule("go.")
+        assert rule.head == Atom("go", ())
+
+    def test_rule_with_both_arrows(self):
+        for arrow in ("<-", ":-"):
+            rule = parse_rule(f"p(X) {arrow} q(X).")
+            assert rule.head.pred == "p"
+            assert rule.positive[0].pred == "q"
+
+    def test_numbers(self):
+        rule = parse_rule("p(3, 2.5, -4).")
+        assert [a.value for a in rule.head.args] == [3, 2.5, -4]
+
+    def test_quoted_strings(self):
+        rule = parse_rule("p('hello world').")
+        assert rule.head.args[0] == Const("hello world")
+
+    def test_comments_are_skipped(self):
+        program = parse_program("% a comment\np(a). % trailing\n% another\n")
+        assert len(program) == 1
+
+    def test_compound_terms(self):
+        rule = parse_rule("h(t(X, t(Y, Z)), C).")
+        tree = rule.head.args[0]
+        assert isinstance(tree, Struct) and tree.functor == "t"
+        inner = tree.args[1]
+        assert isinstance(inner, Struct) and inner.args == (Var("Y"), Var("Z"))
+
+    def test_multiple_clauses(self):
+        program = parse_program("a(1). b(2). c(X) <- a(X).")
+        assert len(program) == 3
+
+
+class TestBodyLiterals:
+    def test_negation_with_not_and_tilde(self):
+        for neg in ("not q(X)", "~q(X)"):
+            rule = parse_rule(f"p(X) <- r(X), {neg}.")
+            assert isinstance(rule.body[1], Negation)
+
+    def test_negated_conjunction(self):
+        rule = parse_rule("p(X) <- r(X), not (q(X, L), L < 3).")
+        conj = rule.body[1]
+        assert isinstance(conj, NegatedConjunction)
+        assert isinstance(conj.literals[0], Atom)
+        assert isinstance(conj.literals[1], Comparison)
+
+    def test_comparisons(self):
+        rule = parse_rule("p(X) <- q(X, Y), X < Y, X != Y, Y >= 2.")
+        ops = [l.op for l in rule.comparisons]
+        assert ops == ["<", "!=", ">="]
+
+    def test_diamond_inequality_alias(self):
+        rule = parse_rule("p(X) <- q(X, Y), X <> Y.")
+        assert rule.comparisons[0].op == "!="
+
+    def test_arithmetic_assignment(self):
+        rule = parse_rule("p(I) <- q(J), I = J + 1.")
+        comp = rule.comparisons[0]
+        assert comp.op == "="
+        assert isinstance(comp.right, Struct) and comp.right.functor == "+"
+
+    def test_arithmetic_precedence(self):
+        rule = parse_rule("p(X) <- q(A, B, C), X = A + B * C.")
+        expr = rule.comparisons[0].right
+        assert expr.functor == "+"
+        assert expr.args[1].functor == "*"
+
+    def test_max_function(self):
+        rule = parse_rule("p(I) <- q(J, K), I = max(J, K).")
+        assert rule.comparisons[0].right.functor == "max"
+
+    def test_anonymous_variables_are_fresh(self):
+        rule = parse_rule("p(X) <- q(_, X, _).")
+        args = rule.positive[0].args
+        assert args[0] != args[2]
+        assert args[0].name.startswith("_")
+
+
+class TestMetaGoals:
+    def test_choice_with_plain_sides(self):
+        rule = parse_rule("p(X, Y) <- q(X, Y), choice(X, Y).")
+        goal = rule.choice_goals[0]
+        assert goal.left == (Var("X"),)
+        assert goal.right == (Var("Y"),)
+
+    def test_choice_with_tuple_sides(self):
+        rule = parse_rule("p(X, Y, C) <- q(X, Y, C), choice(Y, (X, C)).")
+        goal = rule.choice_goals[0]
+        assert goal.left == (Var("Y"),)
+        assert goal.right == (Var("X"), Var("C"))
+
+    def test_choice_with_empty_side(self):
+        rule = parse_rule("p(X, Y) <- q(X, Y), choice((), (X, Y)).")
+        goal = rule.choice_goals[0]
+        assert goal.left == ()
+
+    def test_least_forms(self):
+        rule = parse_rule("p(C) <- q(C), least(C).")
+        assert rule.extrema_goals[0] == LeastGoal(Var("C"), ())
+        rule = parse_rule("p(C, G) <- q(C, G), least(C, G).")
+        assert rule.extrema_goals[0].group == (Var("G"),)
+        rule = parse_rule("p(C, A, B) <- q(C, A, B), least(C, (A, B)).")
+        assert rule.extrema_goals[0].group == (Var("A"), Var("B"))
+
+    def test_most(self):
+        rule = parse_rule("p(C) <- q(C), most(C).")
+        assert isinstance(rule.extrema_goals[0], MostGoal)
+
+    def test_next(self):
+        rule = parse_rule("p(X, I) <- next(I), q(X).")
+        assert rule.next_goals[0] == NextGoal(Var("I"))
+        assert rule.is_next_rule
+
+    def test_meta_names_as_ordinary_terms_in_args(self):
+        # 'choice' etc. only trigger as goals, not inside argument lists.
+        rule = parse_rule("p(least) <- q(least).")
+        assert rule.head.args[0] == Const("least")
+
+
+class TestQueriesAndTerms:
+    def test_parse_query(self):
+        atom = parse_query("prm(X, Y, C, I)")
+        assert atom.pred == "prm" and atom.arity == 4
+
+    def test_parse_term_nested(self):
+        term = parse_term("t(a, t(b, c))")
+        assert term == Struct(
+            "t", (Const("a"), Struct("t", (Const("b"), Const("c"))))
+        )
+
+    def test_parse_term_empty_tuple(self):
+        assert parse_term("()") == Struct("", ())
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "p(a)",  # missing dot
+            "p(a,).",  # dangling comma
+            "p(a) <- .",  # empty body
+            "<- q(a).",  # missing head
+            "p(a) <- 3.",  # bare number as goal
+            "p(a]).",  # stray character
+        ],
+    )
+    def test_bad_syntax_raises(self, bad):
+        with pytest.raises(ParseError):
+            parse_program(bad)
+
+    def test_error_carries_location(self):
+        try:
+            parse_program("p(a).\nq(b) <- r(.\n")
+        except ParseError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected ParseError")
+
+    def test_trailing_garbage_after_query(self):
+        with pytest.raises(ParseError):
+            parse_query("p(X) extra")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C, I), choice(Y, X).",
+            "h(t(X, Y), C, I) <- next(I), feasible(t(X, Y), C, J), least(C, I), choice(X, I), choice(Y, I).",
+            "p(X) <- q(X), not r(X).",
+        ],
+    )
+    def test_str_reparses_to_same_rule(self, text):
+        rule = parse_rule(text)
+        assert parse_rule(str(rule)) == rule

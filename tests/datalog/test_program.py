@@ -1,0 +1,54 @@
+"""Tests for the Program container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.errors import EvaluationError
+
+
+class TestPredicateMetadata:
+    def test_idb_edb_split(self):
+        program = parse_program(
+            """
+            path(X, Y) <- edge(X, Y).
+            path(X, Y) <- path(X, Z), edge(Z, Y).
+            """
+        )
+        assert program.idb_predicates() == {("path", 2)}
+        assert program.edb_predicates() == {("edge", 2)}
+        assert program.predicates() == {("path", 2), ("edge", 2)}
+
+    def test_fact_predicates_not_edb(self):
+        program = parse_program("edge(a, b). path(X, Y) <- edge(X, Y).")
+        assert program.fact_predicates() == {("edge", 2)}
+        assert program.edb_predicates() == {("edge", 2)}
+
+    def test_negated_predicates_are_referenced(self):
+        program = parse_program("p(X) <- q(X), not r(X).")
+        assert ("r", 1) in program.edb_predicates()
+
+    def test_rules_for(self):
+        program = parse_program("p(X) <- q(X). p(X) <- r(X). q(a).")
+        assert len(program.rules_for(("p", 1))) == 2
+        assert program.rules_for(("q", 1)) == ()
+
+
+class TestGroundFacts:
+    def test_facts_extracted_as_values(self):
+        program = parse_program("g(a, b, 3). g(a, c, 1.5). h(t(a, b)).")
+        facts = program.ground_facts()
+        assert ("a", "b", 3) in facts["g"]
+        assert ("a", "c", 1.5) in facts["g"]
+        assert facts["h"] == [("t", "a", "b")] or facts["h"] == [(("t", "a", "b"),)]
+
+    def test_non_ground_fact_raises(self):
+        program = parse_program("g(X, b).")
+        with pytest.raises(EvaluationError):
+            program.ground_facts()
+
+    def test_concatenation(self):
+        a = parse_program("p(1).")
+        b = parse_program("q(2).")
+        assert len(a + b) == 2

@@ -1,0 +1,88 @@
+"""Tests for rule partitions and the safety checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.parser import parse_rule
+from repro.errors import SafetyError
+
+
+class TestPartitions:
+    def test_body_partitions(self):
+        rule = parse_rule(
+            "p(X, I) <- next(I), q(X, C), C < 3, not r(X), least(C, I), choice(X, I)."
+        )
+        assert len(rule.positive) == 1
+        assert len(rule.negative) == 1
+        assert len(rule.comparisons) == 1
+        assert len(rule.extrema_goals) == 1
+        assert len(rule.choice_goals) == 1
+        assert len(rule.next_goals) == 1
+        assert rule.has_meta_goals
+        assert rule.is_next_rule
+
+    def test_plain_rule_has_no_meta(self):
+        rule = parse_rule("p(X) <- q(X).")
+        assert not rule.has_meta_goals
+        assert not rule.is_next_rule
+
+    def test_fact(self):
+        rule = parse_rule("p(a).")
+        assert rule.is_fact
+
+
+class TestSafety:
+    def test_safe_rule_passes(self):
+        parse_rule("p(X, Y) <- q(X), r(X, Y), not s(Y).").check_safety()
+
+    def test_unbound_head_var_fails(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X, Y) <- q(X).").check_safety()
+
+    def test_unbound_negation_fails(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X) <- q(X), not r(Y).").check_safety()
+
+    def test_unbound_comparison_fails(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X) <- q(X), X < Y.").check_safety()
+
+    def test_assignment_chain_binds(self):
+        parse_rule("p(X, K) <- q(X, J), I = J + 1, K = I * 2.").check_safety()
+
+    def test_assignment_with_unbound_inputs_fails(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X, K) <- q(X), K = J + 1.").check_safety()
+
+    def test_next_var_counts_as_bound(self):
+        parse_rule("p(X, I) <- next(I), q(X).").check_safety()
+
+    def test_extrema_group_var_counts_as_bound(self):
+        # Kruskal's stage-parameterized last_comp pattern.
+        parse_rule(
+            "last_comp(X, K, I) <- comp(X, K, I1), I1 <= I, most(I1, (X, I))."
+        ).check_safety()
+
+    def test_choice_over_unbound_var_fails(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X) <- q(X), choice(X, Y).").check_safety()
+
+    def test_wildcards_are_exempt(self):
+        parse_rule("p(X) <- q(X, _).").check_safety()
+
+    def test_negated_conjunction_shared_vars_must_be_bound(self):
+        # Z is shared between the conjunction and the outer comparison but
+        # bound by no positive goal.
+        with pytest.raises(SafetyError):
+            parse_rule("p(X) <- q(X), not (r(Z)), Z < 5.").check_safety()
+
+    def test_negated_conjunction_vars_bound_by_later_positive_are_fine(self):
+        parse_rule("p(X) <- q(X), not (r(Y), Y < Z), s(Z).").check_safety()
+
+    def test_negated_conjunction_local_vars_are_existential(self):
+        parse_rule("p(X) <- q(X), not (r(X, L), L < 5).").check_safety()
+
+    def test_negated_conjunction_inner_comparison_unbound_fails(self):
+        with pytest.raises(SafetyError):
+            parse_rule("p(X) <- q(X), not (r(X), L < 5).").check_safety()

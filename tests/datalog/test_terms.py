@@ -1,0 +1,41 @@
+"""Tests for the term AST."""
+
+from __future__ import annotations
+
+from repro.datalog.terms import Const, Struct, Var, fresh_var, term_vars
+
+
+class TestVariables:
+    def test_var_yields_itself(self):
+        assert list(Var("X").variables()) == [Var("X")]
+
+    def test_const_has_no_variables(self):
+        assert list(Const(3).variables()) == []
+        assert Const("a").is_ground()
+
+    def test_struct_collects_nested_variables(self):
+        term = Struct("t", (Var("X"), Struct("t", (Var("Y"), Const(1)))))
+        assert term_vars(term) == {Var("X"), Var("Y")}
+        assert not term.is_ground()
+
+    def test_fresh_vars_are_distinct(self):
+        a, b = fresh_var(), fresh_var()
+        assert a != b
+
+    def test_fresh_vars_cannot_collide_with_parsed_names(self):
+        assert "#" in fresh_var("X").name
+
+
+class TestPresentation:
+    def test_tuple_struct_renders_parenthesised(self):
+        term = Struct("", (Var("X"), Const(2)))
+        assert str(term) == "(X, 2)"
+        assert term.is_tuple
+
+    def test_functor_struct_renders_with_name(self):
+        term = Struct("t", (Const("a"), Const("b")))
+        assert str(term) == "t(a, b)"
+
+    def test_const_renders_source_syntax(self):
+        assert str(Const("abc")) == "abc"
+        assert str(Const(42)) == "42"

@@ -1,0 +1,89 @@
+"""Tests for matching and grounding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.terms import Const, Struct, Var
+from repro.datalog.unify import (
+    ground_term,
+    is_bound,
+    match_args,
+    match_term,
+    substitute_term,
+)
+from repro.errors import EvaluationError
+
+
+class TestMatchTerm:
+    def test_unbound_var_binds(self):
+        assert match_term(Var("X"), 5, {}) == {"X": 5}
+
+    def test_bound_var_must_agree(self):
+        assert match_term(Var("X"), 5, {"X": 5}) == {"X": 5}
+        assert match_term(Var("X"), 6, {"X": 5}) is None
+
+    def test_input_substitution_not_mutated(self):
+        subst = {}
+        match_term(Var("X"), 1, subst)
+        assert subst == {}
+
+    def test_wildcard_matches_without_binding(self):
+        assert match_term(Var("_anon"), 99, {}) == {}
+
+    def test_const_matches_equal_value(self):
+        assert match_term(Const("a"), "a", {}) == {}
+        assert match_term(Const("a"), "b", {}) is None
+
+    def test_functor_struct_matches_tagged_tuple(self):
+        term = Struct("t", (Var("X"), Var("Y")))
+        assert match_term(term, ("t", 1, 2), {}) == {"X": 1, "Y": 2}
+        assert match_term(term, ("u", 1, 2), {}) is None
+        assert match_term(term, ("t", 1), {}) is None
+        assert match_term(term, 42, {}) is None
+
+    def test_tuple_struct_matches_plain_tuple(self):
+        term = Struct("", (Var("X"), Const(2)))
+        assert match_term(term, (7, 2), {}) == {"X": 7}
+        assert match_term(term, (7, 3), {}) is None
+
+    def test_nested_struct_matching(self):
+        term = Struct("t", (Struct("t", (Var("A"), Var("B"))), Var("C")))
+        value = ("t", ("t", "x", "y"), "z")
+        assert match_term(term, value, {}) == {"A": "x", "B": "y", "C": "z"}
+
+    def test_repeated_variable_enforces_equality(self):
+        term = Struct("", (Var("X"), Var("X")))
+        assert match_term(term, (1, 1), {}) == {"X": 1}
+        assert match_term(term, (1, 2), {}) is None
+
+    def test_match_args(self):
+        args = (Var("X"), Const("b"))
+        assert match_args(args, ("a", "b"), {}) == {"X": "a"}
+        assert match_args(args, ("a", "c"), {}) is None
+
+
+class TestGrounding:
+    def test_ground_const_and_var(self):
+        assert ground_term(Const(3), {}) == 3
+        assert ground_term(Var("X"), {"X": "v"}) == "v"
+
+    def test_unbound_raises(self):
+        with pytest.raises(EvaluationError):
+            ground_term(Var("X"), {})
+
+    def test_ground_structs(self):
+        term = Struct("t", (Var("X"), Const(1)))
+        assert ground_term(term, {"X": "a"}) == ("t", "a", 1)
+        tup = Struct("", (Var("X"), Const(1)))
+        assert ground_term(tup, {"X": "a"}) == ("a", 1)
+
+    def test_is_bound_ignores_nothing(self):
+        assert is_bound(Var("X"), {"X": 1})
+        assert not is_bound(Var("X"), {})
+        assert not is_bound(Var("_w"), {})  # wildcards never ground
+
+    def test_substitute_partial(self):
+        term = Struct("t", (Var("X"), Var("Y")))
+        out = substitute_term(term, {"X": 1})
+        assert out == Struct("t", (Const(1), Var("Y")))

@@ -1,0 +1,139 @@
+"""Differential fuzzing.
+
+Two generators drive the engines over program *spaces* rather than
+hand-picked examples:
+
+* random safe positive programs (heads built from body variables), where
+  naive and seminaive evaluation must agree exactly;
+* random single-rule choice programs over random relations, where every
+  run must satisfy the declared functional dependencies, be maximal, and
+  pass the Gelfond–Lifschitz check.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.choice_fixpoint import ChoiceFixpointEngine
+from repro.datalog.atoms import Atom, ChoiceGoal
+from repro.datalog.naive import NaiveEngine
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.seminaive import SeminaiveEngine
+from repro.datalog.terms import Var
+from repro.semantics.stable import verify_engine_output
+from repro.storage.database import Database
+
+# ---------------------------------------------------------------------------
+# random positive programs
+# ---------------------------------------------------------------------------
+
+EDB_PREDS = [("e1", 2), ("e2", 2)]
+IDB_PREDS = [("p", 2), ("q", 2), ("r", 1)]
+VARS = [Var(n) for n in ("X", "Y", "Z")]
+
+
+@st.composite
+def positive_rules(draw):
+    head_pred, head_arity = draw(st.sampled_from(IDB_PREDS))
+    body_size = draw(st.integers(1, 3))
+    body = []
+    for _ in range(body_size):
+        pred, arity = draw(st.sampled_from(EDB_PREDS + IDB_PREDS))
+        args = tuple(draw(st.sampled_from(VARS)) for _ in range(arity))
+        body.append(Atom(pred, args))
+    bound = [v for atom in body for v in atom.args]
+    head_args = tuple(draw(st.sampled_from(bound)) for _ in range(head_arity))
+    return Rule(Atom(head_pred, head_args), tuple(body))
+
+
+@st.composite
+def positive_programs(draw):
+    rules = draw(st.lists(positive_rules(), min_size=1, max_size=4))
+    return Program(tuple(rules))
+
+
+edb_strategy = st.fixed_dictionaries(
+    {
+        "e1": st.sets(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=6
+        ),
+        "e2": st.sets(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=6
+        ),
+    }
+)
+
+
+class TestPositiveProgramFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(positive_programs(), edb_strategy)
+    def test_naive_equals_seminaive(self, program, edb):
+        naive_db = Database()
+        semi_db = Database()
+        for name, facts in edb.items():
+            naive_db.assert_all(name, sorted(facts))
+            semi_db.assert_all(name, sorted(facts))
+        NaiveEngine(program, check_safety=False).run(naive_db)
+        SeminaiveEngine(program, check_safety=False).run(semi_db)
+        assert naive_db == semi_db
+
+
+# ---------------------------------------------------------------------------
+# random choice programs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def choice_programs(draw):
+    """One rule ``pick(X, Y) <- base(X, Y), [choice goals]`` with one or
+    two FDs drawn over the two columns."""
+    n_goals = draw(st.integers(1, 2))
+    goals = []
+    directions = draw(
+        st.lists(st.booleans(), min_size=n_goals, max_size=n_goals, unique=False)
+    )
+    for forward in directions:
+        left, right = (VARS[0], VARS[1]) if forward else (VARS[1], VARS[0])
+        goals.append(ChoiceGoal((left,), (right,)))
+    body = (Atom("base", (VARS[0], VARS[1])),) + tuple(goals)
+    rule = Rule(Atom("pick", (VARS[0], VARS[1])), body)
+    return Program((rule,))
+
+
+class TestChoiceProgramFuzz:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        choice_programs(),
+        st.sets(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8),
+        st.integers(0, 5),
+    )
+    def test_runs_satisfy_fds_maximality_and_stability(self, program, base, seed):
+        db = Database()
+        db.assert_all("base", sorted(base))
+        engine = ChoiceFixpointEngine(program, rng=random.Random(seed))
+        engine.run(db)
+        picks = set(db.facts("pick", 2))
+        assert picks <= set(base)
+        (rule,) = program.rules
+        for goal in rule.choice_goals:
+            forward = goal.left == (VARS[0],)
+            keys = [p[0] if forward else p[1] for p in picks]
+            assert len(set(keys)) == len(keys), "FD violated"
+        # Maximality: every unpicked base tuple must violate some FD
+        # against an existing pick (same key, different tuple).
+        for candidate in set(base) - picks:
+            conflicts = any(
+                any(
+                    p != candidate
+                    and p[0 if goal.left == (VARS[0],) else 1]
+                    == candidate[0 if goal.left == (VARS[0],) else 1]
+                    for p in picks
+                )
+                for goal in rule.choice_goals
+            )
+            assert conflicts, f"{candidate} could have been added"
+        assert verify_engine_output(program, db)

@@ -1,0 +1,93 @@
+"""Property-based semantics tests: random workloads through the full
+pipeline, with the Gelfond–Lifschitz verifier as the oracle.
+
+These are the heaviest-duty correctness checks in the suite: for random
+inputs and seeds, every engine output must be a stable model of the
+rewritten program, and the two stage engines must produce equally good
+greedy solutions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import solve_program
+from repro.datalog.parser import parse_program
+from repro.programs import texts
+from repro.programs._run import symmetric_edges
+from repro.semantics.stable import verify_engine_output
+from repro.workloads import random_bipartite_arcs, random_connected_graph
+
+MATCHING_PROGRAM = parse_program(texts.MATCHING)
+SORTING_PROGRAM = parse_program(texts.SORTING)
+PRIM_PROGRAM = parse_program(texts.PRIM)
+
+
+class TestStabilityUnderRandomInputs:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 3))
+    def test_matching_outputs_are_stable(self, workload_seed, engine_seed):
+        arcs = random_bipartite_arcs(3, 3, 2, seed=workload_seed)
+        db = solve_program(
+            texts.MATCHING, facts={"g": arcs}, seed=engine_seed, engine="rql"
+        )
+        assert verify_engine_output(MATCHING_PROGRAM, db)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcdef"), st.integers(0, 9)),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    def test_sorting_outputs_are_stable_even_with_ties(self, items):
+        db = solve_program(texts.SORTING, facts={"p": items}, seed=0)
+        assert verify_engine_output(SORTING_PROGRAM, db)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_prim_outputs_are_stable(self, seed):
+        nodes, edges = random_connected_graph(5, extra_edges=3, seed=seed)
+        db = solve_program(
+            texts.PRIM,
+            facts={"g": symmetric_edges(edges), "source": [(nodes[0],)]},
+            seed=0,
+        )
+        assert verify_engine_output(PRIM_PROGRAM, db)
+
+
+class TestEngineAgreementUnderRandomInputs:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_prim_engines_agree_on_cost(self, seed):
+        nodes, edges = random_connected_graph(8, extra_edges=6, seed=seed)
+        facts = {"g": symmetric_edges(edges), "source": [(nodes[0],)]}
+        basic = solve_program(texts.PRIM, facts=dict(facts), seed=0, engine="basic")
+        rql = solve_program(texts.PRIM, facts=dict(facts), seed=0, engine="rql")
+        assert sum(f[2] for f in basic.facts("prm", 4)) == sum(
+            f[2] for f in rql.facts("prm", 4)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matching_engines_agree_on_cost(self, seed):
+        arcs = random_bipartite_arcs(4, 4, 2, seed=seed)
+        basic = solve_program(texts.MATCHING, facts={"g": arcs}, seed=0, engine="basic")
+        rql = solve_program(texts.MATCHING, facts={"g": arcs}, seed=0, engine="rql")
+        assert sum(f[2] for f in basic.facts("matching", 4)) == sum(
+            f[2] for f in rql.facts("matching", 4)
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_dijkstra_engines_agree_exactly(self, seed):
+        nodes, edges = random_connected_graph(7, extra_edges=5, seed=seed)
+        facts = {"g": symmetric_edges(edges), "source": [(nodes[0],)]}
+        basic = solve_program(texts.DIJKSTRA, facts=dict(facts), seed=0, engine="basic")
+        rql = solve_program(texts.DIJKSTRA, facts=dict(facts), seed=0, engine="rql")
+        basic_map = {f[0]: f[1] for f in basic.facts("dist", 3)}
+        rql_map = {f[0]: f[1] for f in rql.facts("dist", 3)}
+        assert basic_map == rql_map

@@ -1,0 +1,158 @@
+"""Minimal repros of bugs found (and fixed) while building this
+reproduction.  Each test failed against the implementation that preceded
+its fix; together they form the project's changelog-in-executable-form.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.compiler import solve_program
+from repro.datalog.evaluation import plan_body
+from repro.datalog.parser import parse_program, parse_rule
+from repro.programs import texts
+from repro.programs._run import symmetric_edges
+from repro.semantics.stable import verify_engine_output
+from repro.storage.database import Database
+
+
+class TestPlannerArithmeticInversion:
+    """An `=` assignment whose expression side had unbound variables was
+    scheduled too early and matched `+(J, 1)` structurally against an
+    integer — silently failing the join."""
+
+    def test_assignment_defers_until_expression_inputs_bound(self):
+        rule = parse_rule("p(X, I) <- c(I), I = J + 1, r(J), q(X).")
+        plan = plan_body(list(zip(rule.body, range(len(rule.body)))))
+        order = [str(lit) for lit, _ in plan]
+        assert order.index("I = (J + 1)") > order.index("r(J)")
+
+    def test_reduct_derives_through_stage_arithmetic(self):
+        """Symptom: Prim's engine output failed the Gelfond–Lifschitz
+        check because the reduct never derived stage-1 facts."""
+        db = solve_program(
+            texts.PRIM,
+            facts={
+                "g": symmetric_edges([("a", "b", 2), ("b", "c", 1)]),
+                "source": [("a",)],
+            },
+            seed=0,
+        )
+        assert verify_engine_output(parse_program(texts.PRIM), db)
+
+
+class TestPredicateWideFDs:
+    """Without absorbing exit facts into the choice memos, Prim re-entered
+    the root through a back-edge (a '5-edge spanning tree' on 4 nodes)."""
+
+    def test_root_is_not_reentered(self):
+        edges = [("a", "b", 4), ("a", "c", 1), ("b", "c", 2), ("b", "d", 5)]
+        db = solve_program(
+            texts.PRIM,
+            facts={"g": symmetric_edges(edges), "source": [("a",)]},
+            seed=1,
+        )
+        tree = [f for f in db.facts("prm", 4) if f[0] != "nil"]
+        assert len(tree) == 3
+        assert all(f[1] != "a" for f in tree)
+
+
+class TestWitnessRankedExtrema:
+    """`least` in a stage-less choice rule must rank candidates against
+    already-chosen witnesses; ranking only the *new* candidates made
+    `bi_st_c` grow past the paper's one-fact models."""
+
+    def test_bi_injective_model_has_exactly_one_fact(self, takes_grades):
+        for seed in range(6):
+            db = solve_program(
+                texts.BI_INJECTIVE_BOTTOM,
+                facts={"takes": takes_grades},
+                seed=seed,
+                engine="choice",
+            )
+            assert len(db.relation("bi_st_c", 3)) == 1
+
+
+class TestCongruenceSoundness:
+    """Three refinements of the r-congruence signature, each with the
+    input that broke the naive version."""
+
+    def test_sorting_shared_names_with_distinct_costs(self):
+        # Cost must join the signature without a licensing FD: both
+        # ('a', 0) and ('a', 1) are selected.
+        db = solve_program(texts.SORTING, facts={"p": [("a", 0), ("a", 1)]}, seed=0)
+        assert len(db.relation("sp", 3)) == 3
+        assert verify_engine_output(parse_program(texts.SORTING), db)
+
+    def test_tsp_stale_frontier_entries_must_not_shadow(self):
+        # With I = J + 1, a cheap arc from an old tail must not replace
+        # the current tail's arc to the same target: the chain must stay
+        # Hamiltonian.
+        import itertools
+
+        rng = random.Random(3)
+        nodes = [f"n{i}" for i in range(6)]
+        costs = rng.sample(range(1, 100), len(nodes) * (len(nodes) - 1))
+        arcs = [(a, b, costs.pop()) for a, b in itertools.permutations(nodes, 2)]
+        db = solve_program(texts.TSP_GREEDY, facts={"g": arcs}, seed=0)
+        chain = sorted(db.facts("tsp_chain", 4), key=lambda f: f[3])
+        visited = [chain[0][0]] + [f[1] for f in chain]
+        assert len(visited) == len(set(visited)) == 6
+
+    def test_determined_variable_used_by_a_guard_stays_in_signature(self):
+        # Convex hull: Q is choice-determined but consulted by the
+        # cw_witness guard; collapsing per (P, J) kept an arbitrary Q and
+        # broke the wrap.
+        from repro.programs import convex_hull
+
+        points = [(0, 0), (10, 0), (10, 10), (0, 10), (5, 5)]
+        hull = convex_hull(points, seed=0)
+        assert set(hull) == {(0, 0), (10, 0), (10, 10), (0, 10)}
+
+
+class TestOneFactOneFiring:
+    """A head variable bound by a non-candidate goal means one candidate
+    fact can fire at many stages — the RQL plan must refuse (coin change
+    is the canonical case)."""
+
+    def test_coin_change_is_correct_on_the_default_engine(self):
+        db = solve_program(
+            texts.COIN_CHANGE,
+            facts={"coin": [(1,), (5,), (10,), (25,)], "amount": [(68,)]},
+            seed=0,
+        )
+        coins = [f[0] for f in db.facts("change", 3) if f[2] > 0]
+        assert sorted(coins, reverse=True) == [25, 25, 10, 5, 1, 1, 1]
+
+
+class TestLiteralProgramAdjustments:
+    """Places where the paper's literal rules mis-execute; the library
+    programs adjust them and DEVIATIONS documents why."""
+
+    def test_spanning_tree_needs_the_connectivity_goal(self):
+        # The library program keeps the new_g frontier: every tree, under
+        # every seed, is connected to the source.
+        edges = [("a", "b", 1), ("b", "c", 1), ("c", "d", 1), ("d", "a", 1)]
+        for seed in range(5):
+            db = solve_program(
+                texts.SPANNING_TREE,
+                facts={"g": symmetric_edges(edges), "source": [("a",)]},
+                seed=seed,
+                engine="basic",
+            )
+            tree = [f for f in db.facts("st", 4) if f[0] != "nil"]
+            reached = {"a"}
+            for _ in tree:
+                for u, v, _c, _i in tree:
+                    if u in reached:
+                        reached.add(v)
+            assert reached == {"a", "b", "c", "d"}
+
+    def test_huffman_guards_at_selection_stage_terminate(self, clrs_frequencies):
+        db = solve_program(
+            texts.HUFFMAN, facts={"letter": list(clrs_frequencies.items())}, seed=0
+        )
+        merges = [f for f in db.facts("h", 3) if f[2] > 0]
+        assert len(merges) == len(clrs_frequencies) - 1

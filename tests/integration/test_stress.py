@@ -1,0 +1,68 @@
+"""Stress tests: deep recursions and long stage runs must not hit
+Python recursion limits or pathological slowdowns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import compile_program, solve_program
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import SeminaiveEngine
+from repro.programs import texts
+from repro.programs._run import symmetric_edges
+from repro.storage.database import Database
+from repro.workloads import random_costed_relation
+
+
+class TestDeepRecursion:
+    def test_long_chain_transitive_closure(self):
+        """1500-link chain: SCC detection and evaluation are iterative."""
+        program = parse_program(
+            "reach(X) <- start(X). reach(Y) <- reach(X), edge(X, Y)."
+        )
+        db = Database()
+        db.assert_fact("start", (0,))
+        db.assert_all("edge", [(i, i + 1) for i in range(1500)])
+        SeminaiveEngine(program).run(db)
+        assert len(db.relation("reach", 1)) == 1501
+
+    def test_thousand_stage_sort(self):
+        items = random_costed_relation(1000, seed=9)
+        db = solve_program(texts.SORTING, facts={"p": items}, seed=0)
+        stages = [f[2] for f in db.facts("sp", 3)]
+        assert max(stages) == 1000
+
+    def test_path_graph_prim(self):
+        """A 400-vertex path: the frontier is always one vertex wide, the
+        stage count is maximal relative to the edge count."""
+        edges = [(f"v{i}", f"v{i+1}", i + 1) for i in range(399)]
+        db = solve_program(
+            texts.PRIM,
+            facts={"g": symmetric_edges(edges), "source": [("v0",)]},
+            seed=0,
+        )
+        tree = [f for f in db.facts("prm", 4) if f[0] != "nil"]
+        assert len(tree) == 399
+        assert sum(f[2] for f in tree) == sum(c for _, _, c in edges)
+
+    def test_wide_fanout_dijkstra(self):
+        """A star graph: every vertex lands in the frontier at once."""
+        edges = [("hub", f"leaf{i}", i + 1) for i in range(300)]
+        db = solve_program(
+            texts.DIJKSTRA,
+            facts={"g": symmetric_edges(edges), "source": [("hub",)]},
+            seed=0,
+        )
+        assert len(db.relation("dist", 3)) == 301
+
+
+class TestCompileTimeScaling:
+    def test_many_rule_program_compiles(self):
+        """Analysis over hundreds of rules stays well-behaved."""
+        rules = ["base0(0)."]
+        for i in range(300):
+            rules.append(f"p{i}(X) <- base{i}(X).")
+            rules.append(f"base{i+1}(X) <- p{i}(X).")
+        compiled = compile_program("\n".join(rules))
+        db = compiled.run()
+        assert (0,) in db.relation("p299", 1)

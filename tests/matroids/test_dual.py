@@ -1,0 +1,59 @@
+"""Tests for matroid duality."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matroids import (
+    DualMatroid,
+    GraphicMatroid,
+    PartitionMatroid,
+    UniformMatroid,
+    is_matroid,
+)
+
+
+class TestDualMatroid:
+    def test_dual_of_uniform_is_uniform(self):
+        # U(n, k)* = U(n, n - k)
+        dual = DualMatroid(UniformMatroid("abcde", 2))
+        assert is_matroid(dual)
+        assert dual.rank() == 3
+        reference = UniformMatroid("abcde", 3)
+        assert dual.independent_sets() == reference.independent_sets()
+
+    def test_double_dual_is_primal(self):
+        primal = GraphicMatroid([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        double = DualMatroid(DualMatroid(primal))
+        assert double.independent_sets() == primal.independent_sets()
+
+    def test_cographic_rank(self):
+        # Triangle: graphic rank 2, dual (cographic) rank e - r = 1.
+        primal = GraphicMatroid([("a", "b"), ("b", "c"), ("a", "c")])
+        dual = DualMatroid(primal)
+        assert dual.rank() == 1
+        assert is_matroid(dual)
+
+    def test_dual_of_partition_matroid_is_matroid(self):
+        blocks = {"e1": "b1", "e2": "b1", "e3": "b2"}
+        dual = DualMatroid(PartitionMatroid(blocks, capacities=1))
+        assert is_matroid(dual)
+
+    def test_dual_bases_are_complements_of_primal_bases(self):
+        primal = UniformMatroid("abcd", 1)
+        dual = DualMatroid(primal)
+        primal_bases = primal.bases()
+        dual_bases = dual.bases()
+        ground = primal.ground_set
+        assert {frozenset(ground - b) for b in primal_bases} == dual_bases
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 4), st.integers(3, 5))
+    def test_rank_identity(self, k, n):
+        """r(M*) = |E| - r(M) for every uniform matroid."""
+        ground = [f"e{i}" for i in range(n)]
+        primal = UniformMatroid(ground, min(k, n))
+        dual = DualMatroid(primal)
+        assert dual.rank() == n - primal.rank()

@@ -1,0 +1,114 @@
+"""Tests for the matroid module (the Section 7 connection)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matroids import (
+    GraphicMatroid,
+    PartitionMatroid,
+    TransversalLikeSystem,
+    UniformMatroid,
+    greedy_max_weight,
+    greedy_min_weight,
+    is_matroid,
+)
+
+
+class TestAxioms:
+    def test_uniform_is_matroid(self):
+        assert is_matroid(UniformMatroid("abcde", 2))
+
+    def test_partition_is_matroid(self):
+        blocks = {"e1": "b1", "e2": "b1", "e3": "b2", "e4": "b2"}
+        assert is_matroid(PartitionMatroid(blocks, capacities=1))
+
+    def test_graphic_is_matroid(self):
+        edges = [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+        assert is_matroid(GraphicMatroid(edges))
+
+    def test_matching_system_is_not_a_matroid(self):
+        """The paper's implicit point: the matching constraint (two
+        partition matroids intersected) breaks the exchange axiom, which
+        is why greedy matching is maximal but not optimal."""
+        system = TransversalLikeSystem([("a", "x"), ("a", "y"), ("b", "x")])
+        assert not is_matroid(system)
+
+    def test_uniform_zero_is_trivial_matroid(self):
+        m = UniformMatroid("ab", 0)
+        assert is_matroid(m)
+        assert m.rank() == 0
+
+
+class TestDerivedNotions:
+    def test_rank_of_uniform(self):
+        assert UniformMatroid("abcde", 3).rank() == 3
+
+    def test_graphic_rank_is_spanning_forest_size(self):
+        edges = [("a", "b"), ("b", "c"), ("a", "c")]
+        assert GraphicMatroid(edges).rank() == 2
+
+    def test_bases_of_triangle(self):
+        edges = [("a", "b"), ("b", "c"), ("a", "c")]
+        bases = GraphicMatroid(edges).bases()
+        assert len(bases) == 3
+        assert all(len(b) == 2 for b in bases)
+
+    def test_independent_sets_downward_closed(self):
+        m = UniformMatroid("abc", 2)
+        independents = m.independent_sets()
+        for s in independents:
+            for element in s:
+                assert frozenset(s - {element}) in independents
+
+
+class TestGreedyOptimality:
+    def test_kruskal_is_graphic_matroid_greedy(self, diamond_graph):
+        edges = [(u, v) for u, v, _ in diamond_graph]
+        weights = {(u, v): c for u, v, c in diamond_graph}
+        matroid = GraphicMatroid(edges)
+        basis = greedy_min_weight(matroid, weights)
+        assert sum(weights[e] for e in basis) == 8
+
+    def test_max_weight_greedy_on_uniform(self):
+        weights = {"a": 5, "b": 9, "c": 1, "d": 7}
+        basis = greedy_max_weight(UniformMatroid("abcd", 2), weights)
+        assert set(basis) == {"b", "d"}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_greedy_equals_brute_force_on_matroids(self, seed):
+        """Rado–Edmonds, positive direction: greedy is optimal on a
+        random partition matroid for random weights."""
+        rng = random.Random(seed)
+        elements = [f"e{i}" for i in range(6)]
+        blocks = {e: f"b{rng.randrange(3)}" for e in elements}
+        weights = {e: rng.randrange(1, 100) for e in elements}
+        matroid = PartitionMatroid(blocks, capacities=1)
+        greedy_value = sum(weights[e] for e in greedy_max_weight(matroid, weights))
+        best = max(
+            sum(weights[e] for e in subset)
+            for r in range(len(elements) + 1)
+            for subset in itertools.combinations(elements, r)
+            if matroid.is_independent(set(subset))
+        )
+        assert greedy_value == best
+
+    def test_greedy_can_fail_on_non_matroid(self):
+        """Rado–Edmonds, negative direction: on the matching system a
+        weight function exists where greedy is suboptimal."""
+        system = TransversalLikeSystem([("a", "x"), ("a", "y"), ("b", "x")])
+        weights = {("a", "x"): 10, ("a", "y"): 9, ("b", "x"): 9}
+        greedy_value = sum(weights[e] for e in greedy_max_weight(system, weights))
+        best = max(
+            sum(weights[e] for e in subset)
+            for r in range(4)
+            for subset in itertools.combinations(system.ground_set, r)
+            if system.is_independent(set(subset))
+        )
+        assert greedy_value < best

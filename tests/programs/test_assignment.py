@@ -1,0 +1,63 @@
+"""Tests for the Section 2 student/course examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs.assignment import (
+    assign_students,
+    bi_injective_bottom_pairs,
+    bottom_students,
+)
+
+
+class TestAssignStudents:
+    def test_result_is_bi_injective(self, takes_pairs):
+        assignment = assign_students(takes_pairs, seed=0)
+        students = [s for s, _ in assignment]
+        courses = [c for _, c in assignment]
+        assert len(set(students)) == len(students)
+        assert len(set(courses)) == len(courses)
+
+    def test_assignments_come_from_takes(self, takes_pairs):
+        assignment = assign_students(takes_pairs, seed=1)
+        assert set(assignment) <= set(takes_pairs)
+
+    def test_multiple_models_reachable(self, takes_pairs):
+        seen = {tuple(assign_students(takes_pairs, seed=s)) for s in range(25)}
+        assert len(seen) == 3  # the paper's M1, M2, M3
+
+
+class TestBottomStudents:
+    def test_paper_example(self, takes_grades):
+        assert bottom_students(takes_grades) == [
+            ("mark", "engl", 2),
+            ("mark", "math", 2),
+        ]
+
+    def test_grades_of_one_or_less_excluded(self):
+        takes = [("a", "crs", 1), ("b", "crs", 0), ("c", "crs", 5)]
+        assert bottom_students(takes) == [("c", "crs", 5)]
+
+    def test_ties_all_returned(self):
+        takes = [("a", "crs", 2), ("b", "crs", 2), ("c", "crs", 7)]
+        assert bottom_students(takes) == [("a", "crs", 2), ("b", "crs", 2)]
+
+    def test_deterministic(self, takes_grades):
+        assert bottom_students(takes_grades) == bottom_students(takes_grades)
+
+
+class TestBiInjectiveBottom:
+    def test_always_one_of_the_two_paper_models(self, takes_grades):
+        for seed in range(10):
+            result = bi_injective_bottom_pairs(takes_grades, seed=seed)
+            assert result in (
+                [("mark", "engl", 2)],
+                [("mark", "math", 2)],
+            )
+
+    def test_both_models_reachable(self, takes_grades):
+        seen = {
+            tuple(bi_injective_bottom_pairs(takes_grades, seed=s)) for s in range(25)
+        }
+        assert len(seen) == 2

@@ -1,0 +1,73 @@
+"""Tests for greedy coin change — and for the engine-soundness guard it
+motivated."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.greedy_engine import GreedyStageEngine
+from repro.datalog.parser import parse_program
+from repro.programs import texts
+from repro.programs.coins import greedy_change
+from repro.storage.database import Database
+
+US_COINS = [1, 5, 10, 25]
+
+
+class TestGreedyChange:
+    def test_canonical_system_is_exact(self):
+        result = greedy_change(68, US_COINS, seed=0)
+        assert result.coins == (25, 25, 10, 5, 1, 1, 1)
+        assert result.total == 68
+        assert result.remainder == 0
+
+    def test_zero_amount(self):
+        result = greedy_change(0, US_COINS, seed=0)
+        assert result.coins == ()
+        assert result.remainder == 0
+
+    def test_amount_smaller_than_every_coin(self):
+        result = greedy_change(3, [5, 10], seed=0)
+        assert result.coins == ()
+        assert result.remainder == 3
+
+    def test_engines_agree(self):
+        basic = greedy_change(99, US_COINS, seed=0, engine="basic")
+        rql = greedy_change(99, US_COINS, seed=0, engine="rql")
+        assert basic == rql
+
+    def test_noncanonical_system_shows_greedy_shortfall(self):
+        # 6 = 4+1+1 greedily but 3+3 optimally: the classic example.
+        result = greedy_change(6, [1, 3, 4], seed=0)
+        assert result.coins == (4, 1, 1)
+
+    def test_nonpositive_denomination_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_change(5, [0, 1])
+
+
+class TestOneFactOneFiringGuard:
+    def test_rql_engine_falls_back_with_reason(self):
+        engine = GreedyStageEngine(
+            parse_program(texts.COIN_CHANGE), rng=random.Random(0)
+        )
+        db = Database()
+        db.assert_all("coin", [(1,), (5,)])
+        db.assert_fact("amount", (7,))
+        engine.run(db)
+        assert engine.fallbacks
+        (reason,) = set(engine.fallbacks.values())
+        assert "one-fact-one-firing" in reason
+
+    def test_fallback_result_is_still_correct(self):
+        engine = GreedyStageEngine(
+            parse_program(texts.COIN_CHANGE), rng=random.Random(0)
+        )
+        db = Database()
+        db.assert_all("coin", [(1,), (5,)])
+        db.assert_fact("amount", (7,))
+        engine.run(db)
+        coins = [f[0] for f in db.facts("change", 3) if f[2] > 0]
+        assert sorted(coins, reverse=True) == [5, 1, 1]

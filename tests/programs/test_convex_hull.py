@@ -1,0 +1,79 @@
+"""Tests for the gift-wrapping convex hull program."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import convex_hull as baseline_hull
+from repro.programs import convex_hull
+from repro.workloads import random_points
+
+
+def _is_ccw(hull):
+    n = len(hull)
+    for i in range(n):
+        o, a, b = hull[i], hull[(i + 1) % n], hull[(i + 2) % n]
+        cross = (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+        if cross <= 0:
+            return False
+    return True
+
+
+class TestConvexHull:
+    def test_triangle(self):
+        points = [(0, 0), (4, 0), (2, 3)]
+        hull = convex_hull(points, seed=0)
+        assert set(hull) == set(points)
+
+    def test_interior_points_excluded(self):
+        points = [(0, 0), (10, 0), (10, 10), (0, 10), (5, 5), (3, 7)]
+        # perturb to avoid the collinear square edges? square corners are
+        # fine: no three of the six points are collinear.
+        hull = convex_hull(points, seed=0)
+        assert set(hull) == {(0, 0), (10, 0), (10, 10), (0, 10)}
+
+    def test_starts_at_bottom_most_point(self):
+        points = random_points(8, span=50, seed=3)
+        hull = convex_hull(points, seed=0)
+        bottom = min(points, key=lambda p: (p[1], p[0]))
+        assert hull[0] == bottom
+
+    def test_hull_is_counterclockwise(self):
+        points = random_points(9, span=100, seed=4)
+        hull = convex_hull(points, seed=0)
+        assert _is_ccw(hull)
+
+    def test_matches_monotone_chain(self):
+        for seed in range(4):
+            points = random_points(10, span=200, seed=seed)
+            hull = convex_hull(points, seed=0)
+            assert set(hull) == set(baseline_hull(points))
+
+    def test_engines_agree(self):
+        points = random_points(8, span=100, seed=7)
+        basic = convex_hull(points, seed=0, engine="basic")
+        rql = convex_hull(points, seed=0, engine="rql")
+        assert basic == rql
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            convex_hull([(0, 0), (1, 1)])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            convex_hull([(0, 0), (1, 1), (0, 0), (2, 0)])
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_every_input_point_inside_or_on_hull(self, seed):
+        points = random_points(8, span=500, seed=seed)
+        hull = convex_hull(points, seed=0)
+        # A point is inside the ccw hull iff it is left of (or on) every
+        # directed hull edge.
+        for p in points:
+            for i in range(len(hull)):
+                a, b = hull[i], hull[(i + 1) % len(hull)]
+                cross = (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0])
+                assert cross >= 0

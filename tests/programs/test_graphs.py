@@ -1,0 +1,111 @@
+"""Tests for the spanning-tree program APIs (Examples 3, 4, 8)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import kruskal_mst as baseline_kruskal
+from repro.programs.graphs import kruskal_mst, prim_mst, spanning_tree
+from repro.workloads import random_connected_graph
+
+
+def _nx_mst_cost(edges):
+    graph = nx.Graph()
+    for u, v, c in edges:
+        graph.add_edge(u, v, weight=c)
+    tree = nx.minimum_spanning_tree(graph)
+    return sum(d["weight"] for _, _, d in tree.edges(data=True))
+
+
+class TestSpanningTree:
+    def test_spans_all_reachable_vertices(self, diamond_graph):
+        result = spanning_tree(diamond_graph, "a", seed=0)
+        assert len(result) == 3  # n - 1 edges
+        assert result.vertices() == {"a", "b", "c", "d"}
+
+    def test_each_vertex_entered_once(self, diamond_graph):
+        result = spanning_tree(diamond_graph, "a", seed=1)
+        entered = [v for _, v, _ in result.edges]
+        assert len(entered) == len(set(entered))
+        assert "a" not in entered
+
+    def test_different_seeds_can_give_different_trees(self, diamond_graph):
+        # The RQL engine resolves "retrieve any" deterministically by
+        # insertion order; the basic engine draws from the rng, so the
+        # non-determinism of Example 3 shows there.
+        trees = {
+            frozenset(
+                (u, v)
+                for u, v, _ in spanning_tree(
+                    diamond_graph, "a", seed=s, engine="basic"
+                ).edges
+            )
+            for s in range(10)
+        }
+        assert len(trees) >= 2  # genuinely non-deterministic
+
+
+class TestPrim:
+    def test_unique_mst(self, diamond_graph):
+        result = prim_mst(diamond_graph, "a", seed=0)
+        assert result.total_cost == 8
+        assert {(u, v) for u, v, _ in result.edges} == {
+            ("a", "c"),
+            ("c", "b"),
+            ("b", "d"),
+        }
+
+    def test_matches_networkx_on_random_graphs(self):
+        for seed in range(4):
+            nodes, edges = random_connected_graph(10, extra_edges=12, seed=seed)
+            result = prim_mst(edges, nodes[0], seed=seed)
+            assert result.total_cost == _nx_mst_cost(edges)
+
+    def test_selection_order_is_prims_order(self, diamond_graph):
+        """Each selected edge must connect the current tree to a new
+        vertex — Prim's invariant."""
+        result = prim_mst(diamond_graph, "a", seed=0)
+        in_tree = {"a"}
+        for u, v, _ in result.edges:
+            assert u in in_tree
+            assert v not in in_tree
+            in_tree.add(v)
+
+    def test_two_vertex_graph(self):
+        result = prim_mst([("a", "b", 7)], "a")
+        assert result.total_cost == 7
+
+
+class TestKruskal:
+    def test_unique_mst(self, diamond_graph):
+        result = kruskal_mst(diamond_graph, seed=0)
+        assert result.total_cost == 8
+
+    def test_matches_baseline_on_random_graphs(self):
+        for seed in range(3):
+            nodes, edges = random_connected_graph(7, extra_edges=7, seed=seed)
+            result = kruskal_mst(edges, nodes, seed=seed)
+            _, expected = baseline_kruskal(edges)
+            assert result.total_cost == expected
+
+    def test_edges_selected_in_cost_order(self, diamond_graph):
+        result = kruskal_mst(diamond_graph, seed=0)
+        costs = [c for _, _, c in result.edges]
+        assert costs == sorted(costs)
+
+    def test_nodes_inferred_from_edges(self, diamond_graph):
+        result = kruskal_mst(diamond_graph)
+        assert len(result) == 3
+
+
+class TestAgreementProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_prim_equals_kruskal_equals_networkx(self, seed):
+        nodes, edges = random_connected_graph(8, extra_edges=6, seed=seed)
+        expected = _nx_mst_cost(edges)
+        assert prim_mst(edges, nodes[0], seed=seed).total_cost == expected
+        assert kruskal_mst(edges, nodes, seed=seed).total_cost == expected

@@ -1,0 +1,97 @@
+"""Tests for the Example 6 Huffman API."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import huffman_tree as baseline_huffman
+from repro.programs.huffman import (
+    decode,
+    encode,
+    huffman_codes,
+    huffman_tree,
+)
+
+
+class TestHuffmanTree:
+    def test_clrs_example_weighted_path_length(self, clrs_frequencies):
+        result = huffman_tree(clrs_frequencies, seed=0)
+        assert result.weighted_path_length == 224
+        assert result.cost == sum(clrs_frequencies.values())
+
+    def test_matches_baseline_optimum(self):
+        freqs = {"a": 10, "b": 15, "c": 30, "d": 16, "e": 29}
+        result = huffman_tree(freqs, seed=0)
+        _, optimal = baseline_huffman(freqs)
+        assert result.weighted_path_length == optimal
+
+    def test_number_of_merges(self, clrs_frequencies):
+        result = huffman_tree(clrs_frequencies, seed=0)
+        assert len(result.merges) == len(clrs_frequencies) - 1
+
+    def test_two_symbols(self):
+        result = huffman_tree({"a": 1, "b": 2}, seed=0)
+        assert result.tree in (("t", "a", "b"), ("t", "b", "a"))
+
+    def test_single_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_tree({"a": 1})
+
+    def test_tied_frequencies_still_optimal(self):
+        freqs = {"a": 5, "b": 5, "c": 5, "d": 5}
+        for seed in range(5):
+            result = huffman_tree(freqs, seed=seed)
+            assert result.weighted_path_length == 40  # balanced tree
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcdefgh"),
+            st.integers(1, 100),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_always_matches_procedural_optimum(self, freqs):
+        result = huffman_tree(freqs, seed=0)
+        _, optimal = baseline_huffman(freqs)
+        assert result.weighted_path_length == optimal
+
+
+class TestCodes:
+    def test_codes_are_prefix_free(self, clrs_frequencies):
+        codes = huffman_codes(clrs_frequencies, seed=0)
+        values = list(codes.values())
+        for i, a in enumerate(values):
+            for j, b in enumerate(values):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_frequent_symbols_get_short_codes(self, clrs_frequencies):
+        codes = huffman_codes(clrs_frequencies, seed=0)
+        assert len(codes["a"]) < len(codes["f"])  # 45 vs 5 occurrences
+
+    def test_encode_decode_roundtrip(self, clrs_frequencies):
+        codes = huffman_codes(clrs_frequencies, seed=0)
+        message = list("abacafdeedcbab")
+        assert decode(encode(message, codes), codes) == message
+
+    def test_decode_rejects_dangling_bits(self, clrs_frequencies):
+        codes = huffman_codes(clrs_frequencies, seed=0)
+        # Append a strict prefix of some multi-bit code: undecodable tail.
+        dangling = next(code for code in codes.values() if len(code) > 1)[:-1]
+        bits = encode(["a", "b"], codes) + dangling
+        with pytest.raises(ValueError):
+            decode(bits, codes)
+
+    def test_compression_beats_fixed_width(self, clrs_frequencies):
+        codes = huffman_codes(clrs_frequencies, seed=0)
+        # A skewed corpus matching the frequencies.
+        corpus = []
+        for symbol, freq in clrs_frequencies.items():
+            corpus.extend([symbol] * freq)
+        encoded = encode(corpus, codes)
+        fixed_width = len(corpus) * 3  # 6 symbols need 3 bits each
+        assert len(encoded) < fixed_width

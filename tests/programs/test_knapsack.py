@@ -1,0 +1,67 @@
+"""Tests for the greedy knapsack program."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import greedy_knapsack as baseline_knapsack
+from repro.programs import greedy_knapsack
+
+
+class TestGreedyKnapsack:
+    def test_textbook_instance(self):
+        items = [("gold", 10, 60), ("silver", 20, 100), ("bronze", 30, 120)]
+        result = greedy_knapsack(items, 50, seed=0)
+        assert result.total_value == 160
+        assert result.total_weight == 30
+
+    def test_capacity_respected(self):
+        items = [(f"i{k}", k + 1, (k + 1) * 2) for k in range(8)]
+        result = greedy_knapsack(items, 10, seed=0)
+        assert result.total_weight <= 10
+
+    def test_takes_in_ratio_order(self):
+        items = [("a", 2, 10), ("b", 4, 10), ("c", 1, 10)]
+        result = greedy_knapsack(items, 100, seed=0)
+        ratios = [v / w for _, w, v in result.items]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_item_skipped_when_too_heavy_then_smaller_taken(self):
+        items = [("big", 10, 100), ("small", 3, 20)]
+        result = greedy_knapsack(items, 5, seed=0)
+        assert [name for name, _, _ in result.items] == ["small"]
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_knapsack([("zero", 0, 5)], 10)
+
+    def test_empty_items(self):
+        result = greedy_knapsack([], 10, seed=0)
+        assert result.items == ()
+        assert result.total_value == 0
+
+    def test_engines_agree(self):
+        items = [(f"i{k}", k + 1, (3 * k + 2) % 11 + 1) for k in range(6)]
+        basic = greedy_knapsack(items, 12, seed=0, engine="basic")
+        rql = greedy_knapsack(items, 12, seed=0, engine="rql")
+        assert basic.total_value == rql.total_value
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_procedural_greedy(self, seed):
+        rng = random.Random(seed)
+        items = [
+            (f"i{k}", rng.randint(1, 9), rng.randint(1, 50)) for k in range(6)
+        ]
+        # Distinct ratios so tie-breaking cannot diverge.
+        if len({v / w for _, w, v in items}) != len(items):
+            return
+        capacity = rng.randint(5, 25)
+        declarative = greedy_knapsack(items, capacity, seed=0)
+        _, _, value = baseline_knapsack(items, capacity)
+        assert declarative.total_value == value

@@ -1,0 +1,65 @@
+"""Tests for the Example 7 matching API."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import greedy_matching
+from repro.programs.matching import min_cost_matching
+from repro.workloads import random_bipartite_arcs
+
+
+class TestMatching:
+    def test_simple_instance(self):
+        arcs = [("a", "x", 3), ("a", "y", 1), ("b", "x", 2), ("b", "y", 4)]
+        result = min_cost_matching(arcs, seed=0)
+        assert result.is_matching()
+        assert set(result.arcs) == {("a", "y", 1), ("b", "x", 2)}
+        assert result.total_cost == 3
+
+    def test_greedy_selects_in_cost_order(self):
+        arcs = [("a", "x", 5), ("b", "y", 1), ("c", "z", 3)]
+        result = min_cost_matching(arcs, seed=0)
+        costs = [c for _, _, c in result.arcs]
+        assert costs == sorted(costs)
+
+    def test_empty_graph(self):
+        result = min_cost_matching([], seed=0)
+        assert len(result) == 0
+        assert result.total_cost == 0
+
+    def test_maximality(self):
+        arcs = [("a", "x", 1), ("b", "y", 2), ("c", "x", 3), ("c", "z", 9)]
+        result = min_cost_matching(arcs, seed=0)
+        sources = {x for x, _, _ in result.arcs}
+        targets = {y for _, y, _ in result.arcs}
+        for x, y, _ in arcs:
+            assert x in sources or y in targets
+
+    def test_greedy_is_suboptimal_on_adversarial_instance(self):
+        """Greedy is maximal but not minimum-cost overall — the paper's
+        Section 7 point about matroid intersections."""
+        arcs = [("a", "x", 1), ("a", "y", 2), ("b", "x", 3)]
+        result = min_cost_matching(arcs, seed=0)
+        # Greedy takes (a,x,1) then (nothing for b with x gone) -> cost 1,
+        # size 1; the optimum matching {(a,y),(b,x)} has size 2.
+        assert result.total_cost == 1
+        assert len(result) == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_procedural_greedy(self, seed):
+        arcs = random_bipartite_arcs(4, 4, 3, seed=seed)
+        result = min_cost_matching(arcs, seed=0)
+        procedural, cost = greedy_matching(arcs)
+        assert result.total_cost == cost
+        assert len(result) == len(procedural)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matching_property_holds(self, seed):
+        arcs = random_bipartite_arcs(5, 3, 2, seed=seed)
+        result = min_cost_matching(arcs, seed=0)
+        assert result.is_matching()

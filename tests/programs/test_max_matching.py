@@ -1,0 +1,57 @@
+"""Tests for the ``most`` dual of Example 7 (heaviest-arc matching)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.programs import max_weight_matching, min_cost_matching
+from repro.workloads import random_bipartite_arcs
+
+
+class TestMaxWeightMatching:
+    def test_selects_heaviest_first(self):
+        arcs = [("a", "x", 3), ("a", "y", 1), ("b", "x", 2), ("b", "y", 4)]
+        result = max_weight_matching(arcs, seed=0)
+        assert result.arcs[0] == ("b", "y", 4)
+        assert result.total_cost == 7
+
+    def test_weights_selected_in_descending_order(self):
+        arcs = random_bipartite_arcs(5, 5, 3, seed=1)
+        result = max_weight_matching(arcs, seed=0)
+        weights = [c for _, _, c in result.arcs]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_is_a_matching(self):
+        arcs = random_bipartite_arcs(6, 4, 3, seed=2)
+        result = max_weight_matching(arcs, seed=0)
+        assert result.is_matching()
+
+    def test_engines_agree(self):
+        arcs = random_bipartite_arcs(4, 4, 2, seed=3)
+        basic = max_weight_matching(arcs, seed=0, engine="basic")
+        rql = max_weight_matching(arcs, seed=0, engine="rql")
+        assert basic.total_cost == rql.total_cost
+
+    def test_half_approximation_guarantee(self):
+        """Greedy-by-weight is a 1/2-approximation of the maximum-weight
+        matching; verify against brute force on small instances."""
+        for seed in range(3):
+            arcs = random_bipartite_arcs(4, 4, 3, seed=seed)
+            greedy = max_weight_matching(arcs, seed=0).total_cost
+            best = 0
+            for r in range(len(arcs) + 1):
+                for subset in itertools.combinations(arcs, r):
+                    xs = [x for x, _, _ in subset]
+                    ys = [y for _, y, _ in subset]
+                    if len(set(xs)) == len(xs) and len(set(ys)) == len(ys):
+                        best = max(best, sum(c for _, _, c in subset))
+                if r > 4:
+                    break
+            assert greedy * 2 >= best
+
+    def test_dual_of_min_cost(self):
+        arcs = [("a", "x", 1), ("b", "y", 9)]
+        assert max_weight_matching(arcs, seed=0).total_cost == 10
+        assert min_cost_matching(arcs, seed=0).total_cost == 10  # both maximal

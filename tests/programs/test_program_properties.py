@@ -1,0 +1,122 @@
+"""Cross-cutting property tests over the program library: greedy
+invariants that must hold for *every* input, not just the curated ones."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import greedy_knapsack as baseline_knapsack
+from repro.programs import (
+    greedy_change,
+    greedy_knapsack,
+    huffman_tree,
+    select_activities,
+    sequence_jobs,
+)
+from repro.workloads import random_jobs
+
+
+class TestKnapsackProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_never_exceeds_capacity(self, seed):
+        rng = random.Random(seed)
+        items = [(f"i{k}", rng.randint(1, 8), rng.randint(1, 40)) for k in range(7)]
+        capacity = rng.randint(1, 30)
+        result = greedy_knapsack(items, capacity, seed=0)
+        assert result.total_weight <= capacity
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_maximal_no_remaining_item_fits(self, seed):
+        rng = random.Random(seed)
+        items = [(f"i{k}", rng.randint(1, 8), rng.randint(1, 40)) for k in range(6)]
+        capacity = rng.randint(1, 25)
+        result = greedy_knapsack(items, capacity, seed=0)
+        taken = {name for name, _, _ in result.items}
+        slack = capacity - result.total_weight
+        for name, weight, _ in items:
+            if name not in taken:
+                assert weight > slack, f"{name} still fits"
+
+
+class TestChangeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 500), st.sets(st.integers(1, 50), min_size=1, max_size=5))
+    def test_total_plus_remainder_is_amount(self, amount, coins):
+        result = greedy_change(amount, coins, seed=0)
+        assert result.total + result.remainder == amount
+        assert 0 <= result.remainder < min(coins) or not result.coins
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 300), st.sets(st.integers(1, 30), min_size=1, max_size=4))
+    def test_coins_handed_largest_first(self, amount, coins):
+        result = greedy_change(amount, coins, seed=0)
+        handed = list(result.coins)
+        assert handed == sorted(handed, reverse=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 500))
+    def test_unit_coin_always_completes(self, amount):
+        result = greedy_change(amount, [1, 7, 13], seed=0)
+        assert result.remainder == 0
+
+
+class TestSchedulingProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_selected_activities_pairwise_compatible(self, seed):
+        jobs = random_jobs(12, horizon=50, seed=seed)
+        selected = select_activities(jobs, seed=0)
+        for first, second in zip(selected, selected[1:]):
+            assert second.start >= first.finish
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_sequencing_respects_deadlines_and_slots(self, seed):
+        rng = random.Random(seed)
+        jobs = [
+            (f"j{k}", rng.randint(1, 50), rng.randint(1, 4)) for k in range(6)
+        ]
+        scheduled = sequence_jobs(jobs, seed=0)
+        slots = [job.slot for job in scheduled]
+        assert len(set(slots)) == len(slots)
+        deadlines = {name: d for name, _, d in jobs}
+        for job in scheduled:
+            assert 1 <= job.slot <= deadlines[job.name]
+
+
+class TestHuffmanProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcdefg"), st.integers(1, 60), min_size=2, max_size=5
+        )
+    )
+    def test_root_weight_is_total_frequency(self, freqs):
+        result = huffman_tree(freqs, seed=0)
+        assert result.cost == sum(freqs.values())
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from("abcdefg"), st.integers(1, 60), min_size=2, max_size=5
+        )
+    )
+    def test_every_symbol_is_a_leaf(self, freqs):
+        result = huffman_tree(freqs, seed=0)
+        leaves = set()
+
+        def walk(node):
+            if isinstance(node, tuple) and len(node) == 3 and node[0] == "t":
+                walk(node[1])
+                walk(node[2])
+            else:
+                leaves.add(node)
+
+        walk(result.tree)
+        assert leaves == set(freqs)

@@ -1,0 +1,69 @@
+"""Tests for the activity-selection program."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import select_activities as baseline_select
+from repro.programs.scheduling import select_activities
+from repro.workloads import random_jobs
+
+CLRS_JOBS = [
+    ("j1", 1, 4),
+    ("j2", 3, 5),
+    ("j3", 0, 6),
+    ("j4", 5, 7),
+    ("j5", 3, 9),
+    ("j6", 5, 9),
+    ("j7", 6, 10),
+    ("j8", 8, 11),
+    ("j9", 8, 12),
+    ("j10", 2, 14),
+    ("j11", 12, 16),
+]
+
+
+class TestActivitySelection:
+    def test_clrs_instance(self):
+        selected = select_activities(CLRS_JOBS, seed=0)
+        assert [j.name for j in selected] == ["j1", "j4", "j8", "j11"]
+
+    def test_selected_jobs_are_compatible(self):
+        selected = select_activities(CLRS_JOBS, seed=0)
+        for first, second in zip(selected, selected[1:]):
+            assert second.start >= first.finish
+
+    def test_count_matches_optimal_greedy(self):
+        for seed in range(3):
+            jobs = random_jobs(15, horizon=60, seed=seed)
+            declarative = select_activities(jobs, seed=0)
+            procedural = baseline_select(jobs)
+            assert len(declarative) == len(procedural)
+
+    def test_empty_jobs(self):
+        assert select_activities([], seed=0) == []
+
+    def test_single_job(self):
+        selected = select_activities([("only", 2, 5)], seed=0)
+        assert [j.name for j in selected] == ["only"]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_cardinality_is_maximum(self, seed):
+        """Earliest-finish greedy is provably optimal; cross-check the
+        cardinality against an interval-scheduling DP."""
+        jobs = random_jobs(10, horizon=40, seed=seed)
+        declarative = select_activities(jobs, seed=0)
+
+        ordered = sorted(jobs, key=lambda j: j[2])
+        best = [0] * (len(ordered) + 1)
+        for i, (_, start, finish) in enumerate(ordered):
+            take = 1
+            for k in range(i - 1, -1, -1):
+                if ordered[k][2] <= start:
+                    take = best[k + 1] + 1
+                    break
+            best[i + 1] = max(best[i], take)
+        assert len(declarative) == best[len(ordered)]

@@ -1,0 +1,62 @@
+"""Tests for job sequencing with deadlines."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.baselines import sequence_jobs as baseline_sequence
+from repro.programs import sequence_jobs
+
+TEXTBOOK = [("a", 100, 2), ("b", 19, 1), ("c", 27, 2), ("d", 25, 1), ("e", 15, 3)]
+
+
+class TestJobSequencing:
+    def test_textbook_instance(self):
+        scheduled = sequence_jobs(TEXTBOOK, seed=0)
+        assert [j.name for j in scheduled] == ["a", "c", "e"]
+        assert sum(j.profit for j in scheduled) == 142
+
+    def test_latest_slot_policy(self):
+        # The highest-profit job must take the latest slot <= its deadline,
+        # leaving earlier slots for tighter jobs.
+        scheduled = sequence_jobs([("rich", 50, 2), ("tight", 40, 1)], seed=0)
+        by_name = {j.name: j.slot for j in scheduled}
+        assert by_name == {"rich": 2, "tight": 1}
+
+    def test_slots_unique_and_within_deadline(self):
+        scheduled = sequence_jobs(TEXTBOOK, seed=0)
+        slots = [j.slot for j in scheduled]
+        assert len(set(slots)) == len(slots)
+        deadlines = {name: d for name, _, d in TEXTBOOK}
+        for job in scheduled:
+            assert job.slot <= deadlines[job.name]
+
+    def test_profit_is_optimal_vs_brute_force(self):
+        """Matroid structure: greedy profit equals the brute-force optimum
+        over all schedulable subsets."""
+        jobs = TEXTBOOK
+        best = 0
+        names = [j[0] for j in jobs]
+        lookup = {name: (p, d) for name, p, d in jobs}
+        for r in range(len(jobs) + 1):
+            for subset in itertools.combinations(names, r):
+                # Schedulable iff sorting by deadline fits slot i <= d_i.
+                deadlines = sorted(lookup[n][1] for n in subset)
+                if all(slot + 1 <= d for slot, d in enumerate(deadlines)):
+                    best = max(best, sum(lookup[n][0] for n in subset))
+        scheduled = sequence_jobs(jobs, seed=0)
+        assert sum(j.profit for j in scheduled) == best
+
+    def test_matches_procedural_greedy(self):
+        scheduled = sequence_jobs(TEXTBOOK, seed=0)
+        expected = baseline_sequence(TEXTBOOK)
+        assert [(j.name, j.profit, j.slot) for j in scheduled] == expected
+
+    def test_empty(self):
+        assert sequence_jobs([], seed=0) == []
+
+    def test_single_job(self):
+        scheduled = sequence_jobs([("only", 7, 3)], seed=0)
+        assert [(j.name, j.slot) for j in scheduled] == [("only", 3)]

@@ -1,0 +1,53 @@
+"""Tests for the Dijkstra extension program."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import dijkstra_distances as baseline_dijkstra
+from repro.programs.shortest_path import dijkstra_distances
+from repro.workloads import grid_graph, random_connected_graph
+
+
+class TestDijkstra:
+    def test_simple_graph(self, diamond_graph):
+        distances = dijkstra_distances(diamond_graph, "a", seed=0)
+        assert distances == {"a": 0, "c": 1, "b": 3, "d": 8}
+
+    def test_unreachable_vertices_absent(self):
+        edges = [("a", "b", 1), ("c", "d", 1)]
+        distances = dijkstra_distances(edges, "a", seed=0)
+        assert set(distances) == {"a", "b"}
+
+    def test_matches_procedural_dijkstra_on_random_graphs(self):
+        for seed in range(3):
+            nodes, edges = random_connected_graph(10, extra_edges=14, seed=seed)
+            declarative = dijkstra_distances(edges, nodes[0], seed=0)
+            procedural = baseline_dijkstra(edges, nodes[0])
+            assert declarative == procedural
+
+    def test_grid_graph(self):
+        nodes, edges = grid_graph(3, 4, seed=1)
+        declarative = dijkstra_distances(edges, nodes[0], seed=0)
+        procedural = baseline_dijkstra(edges, nodes[0])
+        assert declarative == procedural
+
+    def test_engines_agree(self, diamond_graph):
+        basic = dijkstra_distances(diamond_graph, "a", engine="basic", seed=0)
+        rql = dijkstra_distances(diamond_graph, "a", engine="rql", seed=0)
+        assert basic == rql
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_triangle_inequality_on_settled_distances(self, seed):
+        nodes, edges = random_connected_graph(8, extra_edges=8, seed=seed)
+        distances = dijkstra_distances(edges, nodes[0], seed=0)
+        lookup = {}
+        for u, v, c in edges:
+            lookup.setdefault(u, []).append((v, c))
+            lookup.setdefault(v, []).append((u, c))
+        for u, d in distances.items():
+            for v, c in lookup.get(u, ()):
+                assert distances[v] <= d + c

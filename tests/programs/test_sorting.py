@@ -1,0 +1,46 @@
+"""Tests for the Example 5 sorting API."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.programs.sorting import datalog_sort, sort_values
+
+
+class TestDatalogSort:
+    def test_basic_order(self):
+        out = datalog_sort([("a", 5), ("b", 2), ("c", 9), ("d", 1)])
+        assert out == [("d", 1), ("b", 2), ("a", 5), ("c", 9)]
+
+    def test_empty_relation(self):
+        assert datalog_sort([]) == []
+
+    def test_single_item(self):
+        assert datalog_sort([("only", 42)]) == [("only", 42)]
+
+    def test_ties_produce_some_valid_order(self):
+        out = datalog_sort([("a", 1), ("b", 1), ("c", 0)])
+        assert out[0] == ("c", 0)
+        assert {out[1], out[2]} == {("a", 1), ("b", 1)}
+
+    def test_duplicate_pairs_collapse(self):
+        # Relations are sets: an exact duplicate is one tuple.
+        out = datalog_sort([("a", 1), ("a", 1)])
+        assert out == [("a", 1)]
+
+    def test_engines_agree(self):
+        items = [(f"x{i}", (i * 37) % 11) for i in range(9)]
+        basic = datalog_sort(items, engine="basic", seed=0)
+        rql = datalog_sort(items, engine="rql", seed=0)
+        assert [c for _, c in basic] == [c for _, c in rql]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(-100, 100), max_size=15))
+    def test_sort_values_matches_sorted(self, values):
+        assert sort_values(values) == sorted(values)
+
+    def test_mixed_types_follow_total_order(self):
+        out = sort_values(["b", 2, "a", 1])
+        assert out == [1, 2, "a", "b"]

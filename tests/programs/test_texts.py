@@ -1,0 +1,71 @@
+"""Sanity tests over the program-text library as a whole."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.core.stage_analysis import analyze_stages
+from repro.datalog.parser import parse_program
+from repro.programs import texts
+
+ALL_TEXTS = {
+    name: getattr(texts, name)
+    for name in texts.__all__
+    if name != "DEVIATIONS"
+}
+
+
+class TestAllPrograms:
+    @pytest.mark.parametrize("name", sorted(ALL_TEXTS))
+    def test_parses_and_is_safe(self, name):
+        compiled = compile_program(ALL_TEXTS[name])
+        assert len(compiled.program) >= 1
+
+    @pytest.mark.parametrize("name", sorted(ALL_TEXTS))
+    def test_prints_and_reparses(self, name):
+        program = parse_program(ALL_TEXTS[name])
+        reparsed = parse_program(str(program))
+        assert _normalize(reparsed) == _normalize(program)
+
+    def test_expected_stage_classification(self):
+        expectations = {
+            "PRIM": True,
+            "SORTING": True,
+            "MATCHING": True,
+            "MAX_MATCHING": True,
+            "HUFFMAN": True,
+            "TSP_GREEDY": True,
+            "DIJKSTRA": True,
+            "ACTIVITY_SELECTION": True,
+            "CONVEX_HULL": True,
+            "SPANNING_TREE": True,
+            "NAIVE_MATCHING": True,
+            "PARTITION_MATCHING": True,
+            "KRUSKAL": False,  # the paper's extended class
+        }
+        for name, expected in expectations.items():
+            analysis = analyze_stages(parse_program(ALL_TEXTS[name]))
+            assert analysis.is_stage_stratified_program is expected, name
+
+    def test_deviations_reference_real_programs(self):
+        for name in texts.DEVIATIONS:
+            assert hasattr(texts, name), f"DEVIATIONS names unknown program {name}"
+
+    def test_choice_only_examples_have_no_stage_cliques(self):
+        for name in ("EXAMPLE1_ASSIGNMENT", "BI_INJECTIVE_BOTTOM"):
+            analysis = analyze_stages(parse_program(ALL_TEXTS[name]))
+            assert all(r.kind != "stage" for r in analysis.reports), name
+
+    def test_bottom_students_is_plain(self):
+        analysis = analyze_stages(parse_program(texts.BOTTOM_STUDENTS))
+        assert all(r.kind == "plain" for r in analysis.reports)
+
+
+def _normalize(program):
+    """Program text with anonymous variables renamed by occurrence, so
+    two parses of equivalent sources compare equal."""
+    import re
+
+    counter = iter(range(10_000))
+    return re.sub(r"_anon#\d+|\b_\b", lambda m: f"_w{next(counter)}", str(program))

@@ -1,0 +1,64 @@
+"""Tests for the greedy TSP chain API (Section 5)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines import nearest_neighbor_chain
+from repro.programs.tsp import greedy_tsp_chain
+from repro.programs._run import symmetric_edges
+from repro.workloads import complete_graph
+
+
+def _distinct_arcs(n, seed):
+    rng = random.Random(seed)
+    nodes = [f"n{i}" for i in range(n)]
+    costs = rng.sample(range(1, 10 * n * n), n * (n - 1))
+    return [(a, b, costs.pop()) for a, b in itertools.permutations(nodes, 2)]
+
+
+class TestGreedyTSP:
+    def test_hamiltonian_path_on_complete_graph(self):
+        arcs = _distinct_arcs(6, seed=0)
+        result = greedy_tsp_chain(arcs, seed=0)
+        assert result.is_hamiltonian_path(6)
+
+    def test_chain_is_connected(self):
+        arcs = _distinct_arcs(5, seed=1)
+        result = greedy_tsp_chain(arcs, seed=0)
+        for first, second in zip(result.arcs, result.arcs[1:]):
+            assert first[1] == second[0]
+
+    def test_starts_from_cheapest_arc(self):
+        arcs = _distinct_arcs(5, seed=2)
+        result = greedy_tsp_chain(arcs, seed=0)
+        assert result.arcs[0][2] == min(c for _, _, c in arcs)
+
+    def test_matches_procedural_nearest_neighbor(self):
+        for seed in range(3):
+            arcs = _distinct_arcs(6, seed=seed)
+            result = greedy_tsp_chain(arcs, seed=0)
+            _, cost = nearest_neighbor_chain(arcs)
+            assert result.total_cost == cost
+
+    def test_undirected_input_symmetrised(self):
+        _, edges = complete_graph(5, seed=3)
+        result = greedy_tsp_chain(edges, directed=False, seed=0)
+        assert result.is_hamiltonian_path(5)
+
+    def test_suboptimality_vs_brute_force(self):
+        """Greedy gives a valid but possibly suboptimal Hamiltonian path —
+        within reach of the exact optimum computed by brute force."""
+        arcs = _distinct_arcs(5, seed=7)
+        cost_of = {(a, b): c for a, b, c in arcs}
+        nodes = sorted({a for a, _, _ in arcs})
+        best = min(
+            sum(cost_of[(p[i], p[i + 1])] for i in range(len(p) - 1))
+            for p in itertools.permutations(nodes)
+        )
+        result = greedy_tsp_chain(arcs, seed=0)
+        assert result.total_cost >= best
+        assert result.total_cost <= best * 5  # loose sanity bracket

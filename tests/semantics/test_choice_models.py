@@ -1,0 +1,91 @@
+"""Choice-model enumeration: the non-deterministic completeness of the
+fixpoint procedures (Lemmas 1–2, Theorem 2) on concrete programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.errors import EvaluationError
+from repro.programs import texts
+from repro.programs._run import symmetric_edges
+from repro.semantics.choice_models import enumerate_choice_models
+from repro.semantics.stable import verify_engine_output
+
+
+class TestExample1:
+    def test_exactly_the_three_paper_models(self, takes_pairs):
+        models = enumerate_choice_models(
+            texts.EXAMPLE1_ASSIGNMENT, facts={"takes": takes_pairs}
+        )
+        assignments = {frozenset(m.facts("a_st", 2)) for m in models}
+        assert assignments == {
+            frozenset({("andy", "engl"), ("ann", "math")}),
+            frozenset({("andy", "engl"), ("mark", "math")}),
+            frozenset({("mark", "engl"), ("ann", "math")}),
+        }
+
+    def test_every_enumerated_model_is_stable(self, takes_pairs):
+        program = parse_program(texts.EXAMPLE1_ASSIGNMENT)
+        models = enumerate_choice_models(program, facts={"takes": takes_pairs})
+        assert all(verify_engine_output(program, m) for m in models)
+
+    def test_limit_short_circuits(self, takes_pairs):
+        models = enumerate_choice_models(
+            texts.EXAMPLE1_ASSIGNMENT, facts={"takes": takes_pairs}, limit=1
+        )
+        assert len(models) == 1
+
+
+class TestBiInjective:
+    def test_exactly_the_two_paper_models(self, takes_grades):
+        models = enumerate_choice_models(
+            texts.BI_INJECTIVE_BOTTOM, facts={"takes": takes_grades}
+        )
+        results = {frozenset(m.facts("bi_st_c", 3)) for m in models}
+        assert results == {
+            frozenset({("mark", "engl", 2)}),
+            frozenset({("mark", "math", 2)}),
+        }
+
+
+class TestStagePrograms:
+    def test_sorting_with_distinct_costs_has_one_model(self):
+        models = enumerate_choice_models(
+            texts.SORTING, facts={"p": [("a", 3), ("b", 1), ("c", 2)]}
+        )
+        assert len(models) == 1
+
+    def test_sorting_with_ties_has_multiple_models(self):
+        models = enumerate_choice_models(
+            texts.SORTING, facts={"p": [("a", 1), ("b", 1)]}
+        )
+        # Two interleavings of the tied tuples.
+        assert len(models) == 2
+
+    def test_prim_with_distinct_costs_has_unique_tree(self, diamond_graph):
+        models = enumerate_choice_models(
+            texts.PRIM,
+            facts={"g": symmetric_edges(diamond_graph), "source": [("a",)]},
+        )
+        trees = {
+            frozenset((f[0], f[1]) for f in m.facts("prm", 4) if f[0] != "nil")
+            for m in models
+        }
+        assert trees == {frozenset({("a", "c"), ("c", "b"), ("b", "d")})}
+
+    def test_matching_models_are_all_stable(self):
+        arcs = [("a", "x", 1), ("b", "x", 1), ("a", "y", 1)]
+        program = parse_program(texts.MATCHING)
+        models = enumerate_choice_models(program, facts={"g": arcs})
+        assert len(models) >= 2
+        assert all(verify_engine_output(program, m) for m in models)
+
+
+class TestSafetyValve:
+    def test_max_steps_exhaustion_raises(self):
+        takes = [(f"s{i}", f"c{j}") for i in range(4) for j in range(4)]
+        with pytest.raises(EvaluationError):
+            enumerate_choice_models(
+                texts.EXAMPLE1_ASSIGNMENT, facts={"takes": takes}, max_steps=5
+            )

@@ -1,0 +1,100 @@
+"""Tests for the specification-level optimiser — the Section 7 story.
+
+The paper's conclusion contrasts the *naive* matching specification (the
+optimum as a post-condition over all choice models) with the greedy
+program of Example 7, and attributes greedy's exactness or failure to
+matroid structure.  These tests mechanise both directions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import solve_program
+from repro.programs import texts
+from repro.semantics.optimize import model_objective, optimal_choice_models
+
+MATCH_OBJECTIVE = model_objective("matching", 4, 2)
+
+
+def _greedy_cost(source, arcs, engine="rql"):
+    db = solve_program(source, facts={"g": arcs}, seed=0, engine=engine)
+    return sum(f[2] for f in db.facts("matching", 4) if f[3] > 0)
+
+
+class TestObjective:
+    def test_sums_cost_column_skipping_exit_facts(self):
+        db = solve_program(
+            texts.MATCHING, facts={"g": [("a", "x", 5)]}, seed=0
+        )
+        assert MATCH_OBJECTIVE(db) == 5  # exit fact (nil,nil,0,0) skipped
+
+    def test_objective_required(self):
+        with pytest.raises(ValueError):
+            optimal_choice_models(texts.NAIVE_MATCHING, facts={"g": []})
+
+
+class TestPartitionMatroidGreedyIsExact:
+    """One FD (sources used once) = partition matroid: Example 7's greedy
+    attains the specification optimum."""
+
+    def test_greedy_matches_enumerated_optimum(self):
+        arcs = [("a", "x", 4), ("a", "y", 1), ("b", "x", 2), ("b", "z", 7)]
+        naive = """
+        matching(nil, nil, 0, 0).
+        matching(X, Y, C, I) <- next(I), g(X, Y, C), choice(X, Y).
+        """
+        best, models = optimal_choice_models(
+            naive, facts={"g": arcs}, objective=MATCH_OBJECTIVE
+        )
+        greedy = _greedy_cost(texts.PARTITION_MATCHING, arcs)
+        assert greedy == best == 3  # a->y (1) + b->x (2)
+
+    def test_maximize_direction(self):
+        arcs = [("a", "x", 4), ("a", "y", 1)]
+        naive = """
+        matching(nil, nil, 0, 0).
+        matching(X, Y, C, I) <- next(I), g(X, Y, C), choice(X, Y).
+        """
+        best, _ = optimal_choice_models(
+            naive, facts={"g": arcs}, objective=MATCH_OBJECTIVE, maximize=True
+        )
+        assert best == 4
+
+
+class TestMatroidIntersectionGreedyCanFail:
+    """Two FDs (Example 7 proper) = matroid intersection, not a matroid:
+    the greedy model need not be a specification optimum."""
+
+    def test_greedy_misses_the_optimum(self):
+        # Greedy takes (a,x,1), blocking both endpoints; the optimum
+        # pairs (a,y,2)+(b,x,3) = 5... but greedy's matching has cost 1
+        # and is maximal yet SMALLER; with a maximization objective over
+        # total weight the gap shows directly.
+        arcs = [("a", "x", 10), ("a", "y", 9), ("b", "x", 9)]
+        best, _ = optimal_choice_models(
+            texts.NAIVE_MATCHING,
+            facts={"g": arcs},
+            objective=MATCH_OBJECTIVE,
+            maximize=True,
+        )
+        assert best == 18  # (a,y) + (b,x)
+        greedy_db = solve_program(
+            texts.MAX_MATCHING, facts={"g": arcs}, seed=0
+        )
+        greedy = sum(f[2] for f in greedy_db.facts("matching", 4) if f[3] > 0)
+        assert greedy == 10  # heaviest-first takes (a,x) and gets stuck
+        assert greedy < best
+
+    def test_every_optimum_is_a_choice_model(self):
+        arcs = [("a", "x", 10), ("a", "y", 9), ("b", "x", 9)]
+        _, models = optimal_choice_models(
+            texts.NAIVE_MATCHING,
+            facts={"g": arcs},
+            objective=MATCH_OBJECTIVE,
+            maximize=True,
+        )
+        assert models
+        for model in models:
+            pairs = {(f[0], f[1]) for f in model.facts("matching", 4) if f[3] > 0}
+            assert pairs == {("a", "y"), ("b", "x")}

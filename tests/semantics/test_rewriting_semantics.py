@@ -1,0 +1,75 @@
+"""Contrast tests between the literal per-rule choice rewriting and the
+predicate-wide reading the engines implement.
+
+The paper's formal rewriting ([Saccà-Zaniolo 1990]) scopes each
+functional dependency to one rule's firings; its narrative — and its
+claim that Example 4 computes a spanning tree — needs the dependency to
+range over the whole head predicate.  These tests pin the difference
+down so the design decision stays visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewriting import (
+    CHOSEN_PREFIX,
+    rewrite_choice,
+    rewrite_program,
+)
+from repro.datalog.parser import parse_program
+from repro.programs import texts
+
+
+class TestRewritingVariants:
+    def test_completion_rule_present_by_default(self):
+        program = parse_program(texts.EXAMPLE1_ASSIGNMENT)
+        rewritten = rewrite_choice(program)
+        completions = [
+            r
+            for r in rewritten.rules
+            if r.head.pred.startswith(CHOSEN_PREFIX) and not r.negative
+        ]
+        assert len(completions) == 1
+        # Its body is exactly the head predicate.
+        assert completions[0].positive[0].pred == "a_st"
+
+    def test_literal_mode_has_no_completion_rule(self):
+        program = parse_program(texts.EXAMPLE1_ASSIGNMENT)
+        rewritten = rewrite_choice(program, predicate_wide_fd=False)
+        completions = [
+            r
+            for r in rewritten.rules
+            if r.head.pred.startswith(CHOSEN_PREFIX) and not r.negative
+        ]
+        assert completions == []
+
+    def test_both_variants_agree_on_single_rule_programs(self):
+        """With a single choice rule and no exit facts of the same
+        predicate, the two readings coincide: same rule count minus the
+        completion rule, and the guarded rules are identical."""
+        program = parse_program(texts.EXAMPLE1_ASSIGNMENT)
+        wide = rewrite_choice(program)
+        literal = rewrite_choice(program, predicate_wide_fd=False)
+        assert len(wide) == len(literal) + 1
+        wide_guarded = {str(r) for r in wide.rules if r.negative}
+        literal_guarded = {str(r) for r in literal.rules if r.negative}
+        assert wide_guarded == literal_guarded
+
+    def test_completion_skipped_when_choice_vars_not_in_head(self):
+        """The completion rule is only emitted when the head determines
+        every choice variable; otherwise the literal rewriting is kept."""
+        program = parse_program("p(X) <- q(X, Y), choice(X, Y).")
+        rewritten = rewrite_choice(program)
+        completions = [
+            r
+            for r in rewritten.rules
+            if r.head.pred.startswith(CHOSEN_PREFIX) and not r.negative
+        ]
+        assert completions == []
+
+    def test_prim_rewritings_differ_in_exactly_the_completion(self):
+        program = parse_program(texts.PRIM)
+        wide = rewrite_program(program)
+        literal = rewrite_program(program, predicate_wide_fd=False)
+        assert len(wide) == len(literal) + 1

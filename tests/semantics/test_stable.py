@@ -1,0 +1,194 @@
+"""Gelfond–Lifschitz stability tests: Theorem 1 mechanised."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import solve_program
+from repro.datalog.parser import parse_program
+from repro.programs import texts
+from repro.programs._run import symmetric_edges
+from repro.semantics.stable import (
+    complete_model,
+    is_stable_model,
+    least_model,
+    verify_engine_output,
+)
+from repro.storage.database import Database
+
+
+class TestLeastModel:
+    def test_positive_fixpoint(self):
+        program = parse_program(
+            "path(X, Y) <- edge(X, Y). path(X, Y) <- path(X, Z), edge(Z, Y)."
+        )
+        edb = Database()
+        edb.assert_all("edge", [(1, 2), (2, 3)])
+        model = least_model(program, edb)
+        assert set(model.facts("path", 2)) == {(1, 2), (2, 3), (1, 3)}
+
+    def test_edb_not_mutated(self):
+        program = parse_program("p(X) <- q(X).")
+        edb = Database()
+        edb.assert_all("q", [(1,)])
+        least_model(program, edb)
+        assert edb.get("p", 1) is None
+
+
+class TestStableModelCheck:
+    WIN = "win(X) <- move(X, Y), not win(Y)."
+
+    def test_win_move_game(self):
+        """Classic: positions 1->2->3; win(2) is the unique stable model
+        content for the win predicate."""
+        program = parse_program(self.WIN)
+        model = Database()
+        model.assert_all("move", [(1, 2), (2, 3)])
+        model.assert_all("win", [(1, 2)][:0])  # start empty, then set below
+        model.relation("win", 1).add((2,))
+        model.relation("win", 1).add((1,))
+        # {win(1), win(2)} is NOT stable: win(1) needs not win(2).
+        assert not is_stable_model(program, model)
+        correct = Database()
+        correct.assert_all("move", [(1, 2), (2, 3)])
+        correct.relation("win", 1).add((2,))
+        assert is_stable_model(program, correct)
+
+    def test_even_loop_has_two_stable_models(self):
+        program = parse_program("p(X) <- n(X), not q(X). q(X) <- n(X), not p(X).")
+        base = Database()
+        base.assert_all("n", [("a",)])
+        model_p = base.copy()
+        model_p.relation("p", 1).add(("a",))
+        model_q = base.copy()
+        model_q.relation("q", 1).add(("a",))
+        both = base.copy()
+        both.relation("p", 1).add(("a",))
+        both.relation("q", 1).add(("a",))
+        assert is_stable_model(program, model_p)
+        assert is_stable_model(program, model_q)
+        assert not is_stable_model(program, both)
+        assert not is_stable_model(program, base)
+
+    def test_program_facts_must_be_in_model(self):
+        program = parse_program("p(a).")
+        assert not is_stable_model(program, Database())
+
+
+class TestTheorem1:
+    """Every engine output is a stable model of the rewritten program."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("engine", ["basic", "rql"])
+    def test_prim(self, engine, seed, diamond_graph):
+        program = parse_program(texts.PRIM)
+        db = solve_program(
+            texts.PRIM,
+            facts={"g": symmetric_edges(diamond_graph), "source": [("a",)]},
+            seed=seed,
+            engine=engine,
+        )
+        assert verify_engine_output(program, db)
+
+    @pytest.mark.parametrize("engine", ["basic", "rql"])
+    def test_sorting(self, engine):
+        items = [("a", 3), ("b", 1), ("c", 2)]
+        db = solve_program(texts.SORTING, facts={"p": items}, seed=0, engine=engine)
+        assert verify_engine_output(parse_program(texts.SORTING), db)
+
+    @pytest.mark.parametrize("engine", ["basic", "rql"])
+    def test_matching(self, engine):
+        arcs = [("a", "x", 3), ("a", "y", 1), ("b", "x", 2), ("b", "y", 4)]
+        db = solve_program(texts.MATCHING, facts={"g": arcs}, seed=0, engine=engine)
+        assert verify_engine_output(parse_program(texts.MATCHING), db)
+
+    def test_example1(self, takes_pairs):
+        db = solve_program(
+            texts.EXAMPLE1_ASSIGNMENT,
+            facts={"takes": takes_pairs},
+            seed=0,
+            engine="choice",
+        )
+        assert verify_engine_output(parse_program(texts.EXAMPLE1_ASSIGNMENT), db)
+
+    def test_bi_injective(self, takes_grades):
+        db = solve_program(
+            texts.BI_INJECTIVE_BOTTOM,
+            facts={"takes": takes_grades},
+            seed=0,
+            engine="choice",
+        )
+        assert verify_engine_output(parse_program(texts.BI_INJECTIVE_BOTTOM), db)
+
+
+class TestTampering:
+    """Perturbed outputs must fail the stability check."""
+
+    def _prim_model(self, diamond_graph):
+        db = solve_program(
+            texts.PRIM,
+            facts={"g": symmetric_edges(diamond_graph), "source": [("a",)]},
+            seed=0,
+        )
+        return parse_program(texts.PRIM), db
+
+    def test_removing_a_tree_edge_is_unstable(self, diamond_graph):
+        program, db = self._prim_model(diamond_graph)
+        rel = db.relation("prm", 4)
+        rel.discard(max(rel, key=lambda f: f[3]))
+        assert not verify_engine_output(program, db)
+
+    def test_adding_a_spurious_edge_is_unstable(self, diamond_graph):
+        program, db = self._prim_model(diamond_graph)
+        db.relation("prm", 4).add(("c", "d", 8, 9))
+        assert not verify_engine_output(program, db)
+
+    def test_swapping_an_edge_for_a_worse_one_is_unstable(self, diamond_graph):
+        program, db = self._prim_model(diamond_graph)
+        rel = db.relation("prm", 4)
+        # Replace the stage-1 selection (a, c, 1) with the worse (a, b, 4).
+        victim = [f for f in rel if f[3] == 1][0]
+        rel.discard(victim)
+        rel.add(("a", "b", 4, 1))
+        # Recompute new_g facts to keep the flat rules consistent.
+        assert not verify_engine_output(program, db)
+
+    def test_non_maximal_assignment_is_unstable(self, takes_pairs):
+        program = parse_program(texts.EXAMPLE1_ASSIGNMENT)
+        db = solve_program(
+            texts.EXAMPLE1_ASSIGNMENT,
+            facts={"takes": takes_pairs},
+            seed=0,
+            engine="choice",
+        )
+        rel = db.relation("a_st", 2)
+        rel.discard(next(iter(rel)))
+        assert not verify_engine_output(program, db)
+
+
+class TestCompleteModel:
+    def test_chosen_facts_recovered_from_heads(self, takes_pairs):
+        program = parse_program(texts.EXAMPLE1_ASSIGNMENT)
+        db = solve_program(
+            texts.EXAMPLE1_ASSIGNMENT,
+            facts={"takes": takes_pairs},
+            seed=0,
+            engine="choice",
+        )
+        rewritten, completed = complete_model(program, db)
+        chosen = [key for key in completed.predicates() if key[0].startswith("chosen$")]
+        assert chosen
+        (key,) = chosen
+        assert len(list(completed.facts(*key))) == len(list(db.facts("a_st", 2)))
+
+    def test_input_database_not_mutated(self, takes_pairs):
+        program = parse_program(texts.EXAMPLE1_ASSIGNMENT)
+        db = solve_program(
+            texts.EXAMPLE1_ASSIGNMENT,
+            facts={"takes": takes_pairs},
+            seed=0,
+            engine="choice",
+        )
+        before = db.as_dict()
+        complete_model(program, db)
+        assert db.as_dict() == before

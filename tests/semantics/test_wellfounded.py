@@ -1,0 +1,56 @@
+"""Well-founded semantics: the contrast the paper draws with stable
+models for choice programs."""
+
+from __future__ import annotations
+
+from repro.core.rewriting import rewrite_program
+from repro.datalog.parser import parse_program
+from repro.programs import texts
+from repro.semantics.wellfounded import well_founded_model
+from repro.storage.database import Database
+
+
+class TestStratifiedPrograms:
+    def test_stratified_program_is_total(self):
+        program = parse_program(
+            """
+            path(X, Y) <- edge(X, Y).
+            path(X, Y) <- path(X, Z), edge(Z, Y).
+            blocked(X) <- node(X), not path(a, X).
+            node(X) <- edge(X, _).
+            node(Y) <- edge(_, Y).
+            """
+        )
+        edb = Database()
+        edb.assert_all("edge", [("a", "b"), ("c", "d")])
+        model = well_founded_model(program, edb)
+        assert model.is_total
+        assert ("c",) in model.true.relation("blocked", 1)
+
+
+class TestWinMoveGame:
+    def test_draw_positions_are_undefined(self):
+        """A 2-cycle 1<->2: both win atoms are undefined (a draw); the
+        tail position 3 -> 4 is decided."""
+        program = parse_program("win(X) <- move(X, Y), not win(Y).")
+        edb = Database()
+        edb.assert_all("move", [(1, 2), (2, 1), (3, 4)])
+        model = well_founded_model(program, edb)
+        assert not model.is_total
+        undefined = model.undefined_facts()[("win", 1)]
+        assert undefined == {(1,), (2,)}
+        assert (3,) in model.true.relation("win", 1)
+
+
+class TestChoiceProgramsAreNotTotal:
+    def test_rewritten_choice_program_has_undefined_atoms(self, takes_pairs):
+        """The paper's point: chosen/diffChoice negate each other, so the
+        well-founded model leaves them undefined — stable models (several)
+        are the meaningful semantics for choice."""
+        rewritten = rewrite_program(parse_program(texts.EXAMPLE1_ASSIGNMENT))
+        edb = Database()
+        edb.assert_all("takes", takes_pairs)
+        model = well_founded_model(rewritten, edb)
+        assert not model.is_total
+        undefined_preds = {key[0] for key in model.undefined_facts()}
+        assert any(p.startswith("chosen$") for p in undefined_preds)

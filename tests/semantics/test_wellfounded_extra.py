@@ -1,0 +1,81 @@
+"""Additional well-founded semantics cases: odd cycles, layered games,
+and the interaction with definite parts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.semantics.wellfounded import well_founded_model
+from repro.storage.database import Database
+
+WIN = parse_program("win(X) <- move(X, Y), not win(Y).")
+
+
+def _wf(program, **facts):
+    edb = Database()
+    for name, rows in facts.items():
+        edb.assert_all(name, rows)
+    return well_founded_model(program, edb)
+
+
+class TestGameGraphs:
+    def test_terminal_positions_lose(self):
+        # 1 -> 2, 2 has no moves: win(1) true, win(2) false.
+        model = _wf(WIN, move=[(1, 2)])
+        assert model.is_total
+        assert (1,) in model.true.relation("win", 1)
+        assert (2,) not in model.possible.relation("win", 1)
+
+    def test_three_cycle_is_all_undefined(self):
+        model = _wf(WIN, move=[(1, 2), (2, 3), (3, 1)])
+        assert not model.is_total
+        assert model.undefined_facts()[("win", 1)] == {(1,), (2,), (3,)}
+
+    def test_cycle_with_escape_is_decided(self):
+        # 1 <-> 2, but 2 can also move to a lost position 3: win(2) true,
+        # so win(1) false — the draw dissolves.
+        model = _wf(WIN, move=[(1, 2), (2, 1), (2, 3)])
+        assert model.is_total
+        assert (2,) in model.true.relation("win", 1)
+        assert (1,) not in model.possible.relation("win", 1)
+
+    def test_chain_alternates(self):
+        # 1 -> 2 -> 3 -> 4 (terminal): win alternates false/true backwards.
+        model = _wf(WIN, move=[(1, 2), (2, 3), (3, 4)])
+        wins = set(model.true.relation("win", 1))
+        assert wins == {(3,), (1,)}
+
+
+class TestMixedPrograms:
+    def test_definite_layer_feeds_negation(self):
+        program = parse_program(
+            """
+            reach(X) <- start(X).
+            reach(Y) <- reach(X), edge(X, Y).
+            isolated(X) <- node(X), not reach(X).
+            """
+        )
+        model = _wf(
+            program,
+            start=[(1,)],
+            edge=[(1, 2)],
+            node=[(1,), (2,), (3,)],
+        )
+        assert model.is_total
+        assert set(model.true.relation("isolated", 1)) == {(3,)}
+
+    def test_undefinedness_propagates_through_positive_rules(self):
+        program = parse_program(
+            """
+            win(X) <- move(X, Y), not win(Y).
+            happy(X) <- win(X), player(X).
+            """
+        )
+        model = _wf(program, move=[(1, 2), (2, 1)], player=[(1,), (2,)])
+        undefined = model.undefined_facts()
+        assert ("happy", 1) in undefined
+
+    def test_empty_program(self):
+        model = _wf(parse_program("p(X) <- q(X)."), q=[])
+        assert model.is_total

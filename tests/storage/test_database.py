@@ -1,0 +1,68 @@
+"""Tests for the predicate-keyed fact database."""
+
+from __future__ import annotations
+
+from repro.storage.database import Database
+
+
+class TestDatabase:
+    def test_relation_created_on_demand(self):
+        db = Database()
+        rel = db.relation("p", 2)
+        assert rel.arity == 2
+        assert db.relation("p", 2) is rel
+
+    def test_same_name_different_arity_coexist(self):
+        db = Database()
+        db.assert_fact("takes", ("a", "b"))
+        db.assert_fact("takes", ("a", "b", 3))
+        assert len(db.relation("takes", 2)) == 1
+        assert len(db.relation("takes", 3)) == 1
+
+    def test_get_never_creates(self):
+        db = Database()
+        assert db.get("q", 1) is None
+        assert list(db.predicates()) == []
+
+    def test_assert_all_counts(self):
+        db = Database()
+        assert db.assert_all("p", [("a",), ("b",), ("a",)]) == 2
+
+    def test_facts_of_unknown_predicate_is_empty(self):
+        db = Database()
+        assert list(db.facts("nope", 3)) == []
+
+    def test_total_facts(self):
+        db = Database()
+        db.assert_all("p", [("a",), ("b",)])
+        db.assert_fact("q", (1, 2))
+        assert db.total_facts() == 3
+
+    def test_copy_is_deep_enough(self):
+        db = Database()
+        db.assert_fact("p", ("a",))
+        clone = db.copy()
+        clone.assert_fact("p", ("b",))
+        assert len(db.relation("p", 1)) == 1
+        assert len(clone.relation("p", 1)) == 2
+
+    def test_equality_ignores_empty_relations(self):
+        a = Database()
+        b = Database()
+        a.assert_fact("p", ("x",))
+        b.assert_fact("p", ("x",))
+        b.relation("q", 2)  # empty relation should not break equality
+        assert a == b
+
+    def test_inequality(self):
+        a = Database()
+        b = Database()
+        a.assert_fact("p", ("x",))
+        assert a != b
+        assert (a == "not a database") is NotImplemented or a != "not a database"
+
+    def test_as_dict_snapshot(self):
+        db = Database()
+        db.assert_fact("p", ("x",))
+        snap = db.as_dict()
+        assert snap == {("p", 1): frozenset({("x",)})}

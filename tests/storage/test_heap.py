@@ -1,0 +1,145 @@
+"""Unit and property tests for the binary-heap priority queue."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.heap import PriorityQueue
+
+
+class TestBasicOperations:
+    def test_empty_queue_has_zero_length(self):
+        assert len(PriorityQueue()) == 0
+        assert not PriorityQueue()
+
+    def test_pop_least_returns_minimum(self):
+        q = PriorityQueue()
+        q.insert(3, "c")
+        q.insert(1, "a")
+        q.insert(2, "b")
+        assert q.pop_least() == (1, "a")
+        assert q.pop_least() == (2, "b")
+        assert q.pop_least() == (3, "c")
+
+    def test_pop_from_empty_raises(self):
+        with pytest.raises(IndexError):
+            PriorityQueue().pop_least()
+
+    def test_peek_does_not_remove(self):
+        q = PriorityQueue()
+        q.insert(5, "x")
+        assert q.peek_least() == (5, "x")
+        assert len(q) == 1
+        assert q.pop_least() == (5, "x")
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            PriorityQueue().peek_least()
+
+    def test_equal_priorities_pop_in_insertion_order(self):
+        q = PriorityQueue()
+        for item in ("first", "second", "third"):
+            q.insert(7, item)
+        assert [q.pop_least()[1] for _ in range(3)] == ["first", "second", "third"]
+
+    def test_iteration_yields_live_entries(self):
+        q = PriorityQueue()
+        handles = [q.insert(i, f"item{i}") for i in range(5)]
+        q.delete(handles[2])
+        assert sorted(item for _, item in q) == ["item0", "item1", "item3", "item4"]
+
+    def test_clear_resets(self):
+        q = PriorityQueue()
+        q.insert(1, "a")
+        q.clear()
+        assert len(q) == 0
+
+
+class TestLazyDeletion:
+    def test_deleted_entry_not_popped(self):
+        q = PriorityQueue()
+        smallest = q.insert(1, "small")
+        q.insert(2, "big")
+        q.delete(smallest)
+        assert len(q) == 1
+        assert q.pop_least() == (2, "big")
+
+    def test_double_delete_is_idempotent(self):
+        q = PriorityQueue()
+        handle = q.insert(1, "a")
+        q.insert(2, "b")
+        q.delete(handle)
+        q.delete(handle)
+        assert len(q) == 1
+
+    def test_delete_all_leaves_empty(self):
+        q = PriorityQueue()
+        handles = [q.insert(i, i) for i in range(10)]
+        for handle in handles:
+            q.delete(handle)
+        assert len(q) == 0
+        with pytest.raises(IndexError):
+            q.peek_least()
+
+    def test_compaction_keeps_correct_order(self):
+        # Force many replacements so the dead-entry compaction kicks in.
+        q = PriorityQueue()
+        rng = random.Random(0)
+        live = {}
+        for i in range(500):
+            key = rng.randrange(50)
+            if key in live:
+                q.delete(live[key])
+            live[key] = q.insert(rng.randrange(1000), key)
+        assert len(q) == len(live)
+        popped = [q.pop_least()[0] for _ in range(len(live))]
+        assert popped == sorted(popped)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    def test_heap_sorts_any_integer_list(self, values):
+        q = PriorityQueue()
+        for v in values:
+            q.insert(v, v)
+        out = [q.pop_least()[0] for _ in range(len(values))]
+        assert out == sorted(values)
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 50)), min_size=1, max_size=200
+        )
+    )
+    def test_interleaved_insert_pop_matches_model(self, ops):
+        """Model-based test: the queue behaves like a sorted list."""
+        q = PriorityQueue()
+        model = []
+        counter = 0
+        for is_pop, value in ops:
+            if is_pop and model:
+                expected = min(model)
+                got_priority, _ = q.pop_least()
+                assert got_priority == expected
+                model.remove(expected)
+            else:
+                q.insert(value, counter)
+                model.append(value)
+                counter += 1
+        assert len(q) == len(model)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=100), st.data())
+    def test_random_deletions_preserve_order(self, values, data):
+        q = PriorityQueue()
+        handles = [q.insert(v, i) for i, v in enumerate(values)]
+        doomed = data.draw(
+            st.sets(st.integers(0, len(values) - 1), max_size=len(values))
+        )
+        for i in doomed:
+            q.delete(handles[i])
+        remaining = sorted(v for i, v in enumerate(values) if i not in doomed)
+        popped = [q.pop_least()[0] for _ in range(len(q))]
+        assert popped == remaining

@@ -1,0 +1,120 @@
+"""Round-trip tests for the fact-file serialisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.database import Database
+from repro.storage.io import dumps_facts, load_facts, loads_facts, save_facts
+
+
+def _db(**relations):
+    db = Database()
+    for name, facts in relations.items():
+        db.assert_all(name, facts)
+    return db
+
+
+class TestRoundTrip:
+    def test_symbols_numbers_strings(self):
+        db = _db(g=[("a", "b", 4), ("a", "c", 1.5)], note=[("hello world",)])
+        assert loads_facts(dumps_facts(db)) == db
+
+    def test_quoted_strings_with_escapes(self):
+        db = _db(s=[("it's",), ("back\\slash",), ("UPPER",), ("",)])
+        assert loads_facts(dumps_facts(db)) == db
+
+    def test_reserved_words_are_quoted(self):
+        db = _db(w=[("not",), ("choice",), ("least",)])
+        text = dumps_facts(db)
+        assert "'not'" in text
+        assert loads_facts(text) == db
+
+    def test_functor_tagged_tuples(self):
+        tree = ("t", ("t", "a", "b"), "c")
+        db = _db(h=[(tree, 12)])
+        text = dumps_facts(db)
+        assert "t(t(a, b), c)" in text
+        assert loads_facts(text) == db
+
+    def test_bare_tuples(self):
+        db = _db(p=[((1, 2), "x"), ((), "y")])
+        assert loads_facts(dumps_facts(db)) == db
+
+    def test_negative_numbers(self):
+        db = _db(n=[(-4,), (-2.5,)])
+        assert loads_facts(dumps_facts(db)) == db
+
+    def test_empty_database(self):
+        assert dumps_facts(Database()) == ""
+        assert loads_facts("") == Database()
+
+    def test_predicate_subset(self):
+        db = _db(keep=[(1,)], drop=[(2,)])
+        text = dumps_facts(db, predicates=[("keep", 1)])
+        assert "drop" not in text
+
+    def test_file_round_trip(self, tmp_path):
+        db = _db(g=[("a", "b", 4)])
+        path = tmp_path / "facts.dl"
+        save_facts(db, path)
+        assert load_facts(path) == db
+
+    def test_exponent_floats_rejected(self):
+        db = _db(x=[(1e30,)])
+        with pytest.raises(ValueError):
+            dumps_facts(db)
+
+    def test_booleans_rejected(self):
+        db = _db(x=[(True,)])
+        with pytest.raises(ValueError):
+            dumps_facts(db)
+
+    value = st.recursive(
+        st.one_of(
+            st.integers(-10_000, 10_000),
+            st.text(
+                alphabet=st.characters(blacklist_categories=("Cs",)), max_size=8
+            ),
+            st.sampled_from(["a", "nil", "x1"]),
+        ),
+        lambda children: st.tuples(children, children),
+        max_leaves=4,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(value, value), max_size=10))
+    def test_arbitrary_values_round_trip(self, facts):
+        db = _db(p=facts)
+        assert loads_facts(dumps_facts(db)) == db
+
+
+class TestCLISave:
+    def test_save_flag_writes_loadable_facts(self, tmp_path):
+        import io as _io
+
+        from repro.cli import main
+        from repro.programs import texts
+
+        program = tmp_path / "sort.dl"
+        program.write_text(texts.SORTING)
+        items = tmp_path / "items.csv"
+        items.write_text("a,3\nb,1\n")
+        output = tmp_path / "model.dl"
+        code = main(
+            [
+                str(program),
+                "--facts",
+                f"p={items}",
+                "--seed",
+                "0",
+                "--save",
+                str(output),
+            ],
+            out=_io.StringIO(),
+        )
+        assert code == 0
+        db = load_facts(output)
+        assert len(db.relation("sp", 3)) == 3

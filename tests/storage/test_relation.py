@@ -1,0 +1,117 @@
+"""Tests for hash-indexed relations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.relation import Relation
+
+
+class TestRelationBasics:
+    def test_add_returns_true_for_new_fact(self):
+        rel = Relation("g", 3)
+        assert rel.add(("a", "b", 1)) is True
+        assert rel.add(("a", "b", 1)) is False
+        assert len(rel) == 1
+
+    def test_arity_is_enforced(self):
+        rel = Relation("g", 2)
+        with pytest.raises(ValueError):
+            rel.add(("a", "b", "c"))
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("bad", -1)
+
+    def test_contains_and_iter(self):
+        rel = Relation("p", 1)
+        rel.add(("x",))
+        assert ("x",) in rel
+        assert ("y",) not in rel
+        assert list(rel) == [("x",)]
+
+    def test_discard(self):
+        rel = Relation("p", 1)
+        rel.add(("x",))
+        assert rel.discard(("x",)) is True
+        assert rel.discard(("x",)) is False
+        assert len(rel) == 0
+
+    def test_add_all_counts_new(self):
+        rel = Relation("p", 1)
+        assert rel.add_all([("a",), ("b",), ("a",)]) == 2
+
+    def test_copy_is_independent(self):
+        rel = Relation("p", 1)
+        rel.add(("a",))
+        clone = rel.copy()
+        clone.add(("b",))
+        assert len(rel) == 1
+        assert len(clone) == 2
+
+
+class TestIndexing:
+    def test_lookup_by_single_position(self):
+        rel = Relation("g", 3)
+        rel.add(("a", "b", 1))
+        rel.add(("a", "c", 2))
+        rel.add(("b", "c", 3))
+        assert sorted(rel.lookup((0,), ("a",))) == [("a", "b", 1), ("a", "c", 2)]
+        assert list(rel.lookup((0,), ("z",))) == []
+
+    def test_lookup_by_multiple_positions(self):
+        rel = Relation("g", 3)
+        rel.add(("a", "b", 1))
+        rel.add(("a", "b", 2))
+        rel.add(("a", "c", 1))
+        assert sorted(rel.lookup((0, 1), ("a", "b"))) == [("a", "b", 1), ("a", "b", 2)]
+
+    def test_empty_positions_returns_everything(self):
+        rel = Relation("g", 2)
+        rel.add(("a", "b"))
+        assert list(rel.lookup((), ())) == [("a", "b")]
+
+    def test_index_maintained_after_build(self):
+        rel = Relation("g", 2)
+        rel.add(("a", "b"))
+        assert list(rel.lookup((0,), ("a",))) == [("a", "b")]
+        rel.add(("a", "c"))  # inserted after the index exists
+        assert sorted(rel.lookup((0,), ("a",))) == [("a", "b"), ("a", "c")]
+
+    def test_index_maintained_after_discard(self):
+        rel = Relation("g", 2)
+        rel.add(("a", "b"))
+        rel.add(("a", "c"))
+        list(rel.lookup((0,), ("a",)))
+        rel.discard(("a", "b"))
+        assert list(rel.lookup((0,), ("a",))) == [("a", "c")]
+
+    def test_out_of_range_position_raises(self):
+        rel = Relation("g", 2)
+        rel.add(("a", "b"))
+        with pytest.raises(IndexError):
+            list(rel.lookup((5,), ("a",)))
+
+    def test_first_returns_match_or_none(self):
+        rel = Relation("g", 2)
+        rel.add(("a", "b"))
+        assert rel.first((0,), ("a",)) == ("a", "b")
+        assert rel.first((0,), ("z",)) is None
+
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
+            max_size=60,
+        ),
+        st.integers(0, 5),
+    )
+    def test_lookup_equals_filter(self, facts, key):
+        """Indexed lookup must agree with a naive scan, on any position."""
+        rel = Relation("t", 3)
+        for fact in facts:
+            rel.add(fact)
+        for pos in range(3):
+            expected = {f for f in facts if f[pos] == key}
+            assert set(rel.lookup((pos,), (key,))) == expected

@@ -1,0 +1,72 @@
+"""Tests for the disjoint-set forest."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_fresh_elements_are_singletons(self):
+        uf = UnionFind(["a", "b"])
+        assert uf.component_count == 2
+        assert not uf.connected("a", "b")
+        assert uf.component_size("a") == 1
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        assert uf.union("a", "b") is True
+        assert uf.connected("a", "b")
+        assert uf.component_size("a") == 2
+        assert uf.component_count == 1
+
+    def test_union_of_connected_returns_false(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.union("a", "c") is False
+        assert uf.component_count == 1
+
+    def test_find_is_consistent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("c", "d")
+        uf.union("a", "d")
+        roots = {uf.find(x) for x in "abcd"}
+        assert len(roots) == 1
+
+    def test_lazy_element_creation(self):
+        uf = UnionFind()
+        assert "x" not in uf
+        uf.find("x")
+        assert "x" in uf
+        assert len(uf) == 1
+
+    def test_component_count_tracks_merges(self):
+        uf = UnionFind(range(10))
+        for i in range(9):
+            uf.union(i, i + 1)
+        assert uf.component_count == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=100))
+    def test_matches_naive_partition(self, pairs):
+        """Model-based: compare against a naive set-merging partition."""
+        uf = UnionFind()
+        groups: dict = {}
+
+        def group_of(x):
+            if x not in groups:
+                groups[x] = {x}
+            return groups[x]
+
+        for a, b in pairs:
+            uf.union(a, b)
+            ga, gb = group_of(a), group_of(b)
+            if ga is not gb:
+                ga |= gb
+                for member in gb:
+                    groups[member] = ga
+        for a, b in pairs:
+            assert uf.connected(a, b) == (group_of(a) is group_of(b))

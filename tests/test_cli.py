@@ -1,0 +1,166 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.programs import texts
+
+PRIM = texts.PRIM
+
+EDGES_CSV = "a,b,4\nb,a,4\na,c,1\nc,a,1\nb,c,2\nc,b,2\nb,d,5\nd,b,5\n"
+
+
+@pytest.fixture
+def prim_files(tmp_path):
+    program = tmp_path / "prim.dl"
+    program.write_text(PRIM)
+    edges = tmp_path / "edges.csv"
+    edges.write_text(EDGES_CSV)
+    source = tmp_path / "source.csv"
+    source.write_text("a\n")
+    return program, edges, source
+
+
+def _run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestRun:
+    def test_query_output(self, prim_files):
+        program, edges, source = prim_files
+        code, output = _run(
+            str(program),
+            "--facts",
+            f"g={edges}",
+            "--facts",
+            f"source={source}",
+            "--seed",
+            "0",
+            "--query",
+            "prm(X, Y, C, I)",
+        )
+        assert code == 0
+        assert "prm(a, c, 1, 1)." in output
+        assert "prm(b, d, 5, 3)." in output
+
+    def test_default_prints_all_idb(self, prim_files):
+        program, edges, source = prim_files
+        code, output = _run(
+            str(program), "--facts", f"g={edges}", "--facts", f"source={source}"
+        )
+        assert code == 0
+        assert "prm(" in output
+        assert "new_g(" in output
+
+    def test_query_with_constants_filters(self, prim_files):
+        program, edges, source = prim_files
+        code, output = _run(
+            str(program),
+            "--facts",
+            f"g={edges}",
+            "--facts",
+            f"source={source}",
+            "--query",
+            "prm(c, Y, C, I)",
+        )
+        assert code == 0
+        lines = [l for l in output.splitlines() if l.startswith("prm(")]
+        assert lines == ["prm(c, b, 2, 2)."]
+
+    def test_verify_flag(self, prim_files):
+        program, edges, source = prim_files
+        code, output = _run(
+            str(program),
+            "--facts",
+            f"g={edges}",
+            "--facts",
+            f"source={source}",
+            "--verify",
+        )
+        assert code == 0
+        assert "% stable model: True" in output
+
+    def test_trace_flag(self, prim_files):
+        program, edges, source = prim_files
+        code, output = _run(
+            str(program),
+            "--facts",
+            f"g={edges}",
+            "--facts",
+            f"source={source}",
+            "--trace",
+        )
+        assert code == 0
+        assert "% trace:" in output
+        assert "choose prm(" in output
+
+    def test_engine_selection(self, prim_files):
+        program, edges, source = prim_files
+        code, output = _run(
+            str(program),
+            "--facts",
+            f"g={edges}",
+            "--facts",
+            f"source={source}",
+            "--engine",
+            "basic",
+            "--query",
+            "prm(X, Y, C, I)",
+        )
+        assert code == 0
+        assert "prm(a, c, 1, 1)." in output
+
+
+class TestAnalyze:
+    def test_analysis_report(self, prim_files):
+        program, _, _ = prim_files
+        code, output = _run(str(program), "--analyze")
+        assert code == 0
+        assert "stage-stratified program: True" in output
+        assert "kind: stage" in output
+
+    def test_analysis_reports_violations(self, tmp_path):
+        program = tmp_path / "bad.dl"
+        program.write_text(
+            """
+            prm(nil, a, 0, 0).
+            prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C), choice(Y, X).
+            new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+            """
+        )
+        code, output = _run(str(program), "--analyze")
+        assert code == 0
+        assert "stage-stratified program: False" in output
+        assert "violation:" in output
+
+
+class TestErrors:
+    def test_missing_program_file(self):
+        code, _ = _run("/nonexistent/program.dl")
+        assert code == 1
+
+    def test_parse_error(self, tmp_path):
+        bad = tmp_path / "bad.dl"
+        bad.write_text("p(a")
+        code, _ = _run(str(bad))
+        assert code == 1
+
+    def test_bad_facts_spec(self, prim_files):
+        program, _, _ = prim_files
+        code, _ = _run(str(program), "--facts", "nonsense")
+        assert code == 1
+
+    def test_csv_cells_typed(self, tmp_path):
+        program = tmp_path / "p.dl"
+        program.write_text("total(C) <- item(_, C), most(C).")
+        data = tmp_path / "items.csv"
+        data.write_text("widget,2.5\ngadget,7\n")
+        code, output = _run(str(program), "--facts", f"item={data}")
+        assert code == 0
+        assert "total(7)." in output

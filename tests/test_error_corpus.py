@@ -1,0 +1,111 @@
+"""A corpus of ill-formed programs, one per error class.
+
+Every rejection path of the compiler must fire with the right exception
+type and a message naming the offender — silent mis-evaluation of an
+unsupported program is the worst failure mode a language system can have.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import compile_program, solve_program
+from repro.core.rewriting import expand_next
+from repro.datalog.parser import parse_program
+from repro.errors import (
+    EvaluationError,
+    ParseError,
+    RewriteError,
+    SafetyError,
+    StageAnalysisError,
+    StratificationError,
+)
+
+CASES = [
+    # (label, source, exception, message fragment)
+    ("unterminated clause", "p(a)", ParseError, "expected"),
+    ("dangling comma", "p(a,).", ParseError, "term"),
+    ("bare number goal", "p(X) <- q(X), 3.", ParseError, "goal"),
+    ("stray bracket", "p(a]).", ParseError, "unexpected character"),
+    ("unbound head variable", "p(X, Y) <- q(X).", SafetyError, "Y"),
+    ("unbound negation", "p(X) <- q(X), not r(Z).", SafetyError, "Z"),
+    ("unbound comparison", "p(X) <- q(X), Y < 3.", SafetyError, "Y"),
+    ("unbound choice", "p(X) <- q(X), choice(X, Z).", SafetyError, "Z"),
+    (
+        "assignment from nowhere",
+        "p(X, K) <- q(X), K = J * 2.",
+        SafetyError,
+        "K",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "source,exception,fragment",
+    [(source, exc, fragment) for _, source, exc, fragment in CASES],
+    ids=[label for label, *_ in CASES],
+)
+def test_compile_rejections(source, exception, fragment):
+    with pytest.raises(exception) as info:
+        compile_program(source)
+    assert fragment.lower() in str(info.value).lower()
+
+
+RUNTIME_CASES = [
+    (
+        "negation through recursion",
+        "win(X) <- move(X, Y), not win(Y).",
+        {"move": [(1, 2)]},
+        StratificationError,
+    ),
+    (
+        "extrema through plain recursion",
+        """
+        best(X, C) <- seed(X, C).
+        best(X, C) <- best(X, D), step(D, C), least(C).
+        """,
+        {"seed": [("a", 1)], "step": [(1, 2)]},
+        StratificationError,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "source,facts,exception",
+    [(source, facts, exc) for _, source, facts, exc in RUNTIME_CASES],
+    ids=[label for label, *_ in RUNTIME_CASES],
+)
+def test_runtime_rejections(source, facts, exception):
+    with pytest.raises(exception):
+        solve_program(source, facts=facts)
+
+
+class TestRewriteRejections:
+    def test_next_variable_missing_from_head(self):
+        with pytest.raises(RewriteError, match="head"):
+            expand_next(parse_program("p(X) <- next(I), q(X)."))
+
+    def test_double_next(self):
+        with pytest.raises(RewriteError, match="multiple next"):
+            expand_next(parse_program("p(I, J) <- next(I), next(J), q(I, J)."))
+
+
+class TestMessagesNameTheRule:
+    def test_safety_error_contains_rule_text(self):
+        try:
+            compile_program("broken(X, Y) <- q(X).")
+        except SafetyError as exc:
+            assert "broken(X, Y)" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected SafetyError")
+
+    def test_stage_violation_lists_reason(self):
+        source = """
+        p(nil, 0).
+        p(X, I) <- next(I), q(X, J), least(J).
+        q(X, J) <- p(X, J).
+        """
+        compiled = compile_program(source)
+        report = compiled.analysis.report_for("p", 2)
+        assert report.violations
+        assert any("cannot prove" in v for v in report.violations)

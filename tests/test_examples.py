@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as end-to-end regression tests; each contains its own
+assertions (cross-checks against baselines, round-trips).
+"""
+
+from __future__ import annotations
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        runpy.run_path(str(script), run_name="__main__")
+    assert captured.getvalue().strip(), f"{script.name} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "minimum_spanning_tree",
+        "huffman_compression",
+        "course_assignment",
+        "logistics_planning",
+    } <= names

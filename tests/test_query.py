@@ -1,0 +1,37 @@
+"""Tests for the top-level query helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import query, solve_program
+from repro.errors import ParseError
+
+
+@pytest.fixture
+def db():
+    return solve_program("p(1). p(2). p(3). q(X, Y) <- p(X), p(Y), X < Y.")
+
+
+class TestQuery:
+    def test_all_variables(self, db):
+        rows = query(db, "q(X, Y)")
+        assert {(r["X"], r["Y"]) for r in rows} == {(1, 2), (1, 3), (2, 3)}
+
+    def test_constant_filters(self, db):
+        rows = query(db, "q(1, Y)")
+        assert sorted(r["Y"] for r in rows) == [2, 3]
+
+    def test_wildcard_matches_without_binding(self, db):
+        rows = query(db, "q(_, Y)")
+        assert all(set(r) == {"Y"} for r in rows)
+
+    def test_repeated_variable_enforces_equality(self, db):
+        assert query(db, "q(X, X)") == []
+
+    def test_unknown_predicate_is_empty(self, db):
+        assert query(db, "nothing(X)") == []
+
+    def test_bad_syntax_raises(self, db):
+        with pytest.raises(ParseError):
+            query(db, "q(X,")

@@ -1,0 +1,84 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.unionfind import UnionFind
+from repro.workloads import (
+    complete_graph,
+    grid_graph,
+    random_bipartite_arcs,
+    random_connected_graph,
+    random_costed_relation,
+    random_frequency_table,
+    random_jobs,
+    random_takes,
+)
+
+
+class TestGraphGenerators:
+    def test_connected_graph_is_connected(self):
+        nodes, edges = random_connected_graph(25, extra_edges=5, seed=3)
+        uf = UnionFind(nodes)
+        for u, v, _ in edges:
+            uf.union(u, v)
+        assert uf.component_count == 1
+
+    def test_edge_counts(self):
+        _, edges = random_connected_graph(10, extra_edges=7, seed=0)
+        assert len(edges) == 9 + 7
+
+    def test_distinct_costs_by_default(self):
+        _, edges = random_connected_graph(20, extra_edges=20, seed=1)
+        costs = [c for _, _, c in edges]
+        assert len(set(costs)) == len(costs)
+
+    def test_complete_graph_size(self):
+        nodes, edges = complete_graph(6, seed=0)
+        assert len(nodes) == 6
+        assert len(edges) == 15
+
+    def test_grid_graph_size(self):
+        nodes, edges = grid_graph(3, 4, seed=0)
+        assert len(nodes) == 12
+        assert len(edges) == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_bipartite_arcs_direction(self):
+        arcs = random_bipartite_arcs(3, 4, 2, seed=0)
+        assert len(arcs) == 6
+        assert all(u.startswith("l") and v.startswith("r") for u, v, _ in arcs)
+
+    def test_generators_are_deterministic(self):
+        assert random_connected_graph(8, seed=5) == random_connected_graph(8, seed=5)
+        assert complete_graph(5, seed=5) == complete_graph(5, seed=5)
+
+    def test_single_vertex(self):
+        nodes, edges = random_connected_graph(1, seed=0)
+        assert nodes == ["v0"]
+        assert edges == []
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            random_connected_graph(0)
+
+
+class TestRelationGenerators:
+    def test_costed_relation_distinct(self):
+        rows = random_costed_relation(30, seed=2)
+        costs = [c for _, c in rows]
+        assert len(set(costs)) == 30
+
+    def test_frequency_table_is_skewed_positive(self):
+        rows = random_frequency_table(20, seed=0)
+        assert all(c >= 1 for _, c in rows)
+        assert rows[0][1] > rows[-1][1]
+
+    def test_takes_shape(self):
+        rows = random_takes(5, 4, 2, seed=0)
+        assert len(rows) == 10
+        assert all(0 <= g <= 10 for _, _, g in rows)
+
+    def test_jobs_are_well_formed(self):
+        for name, start, finish in random_jobs(40, seed=1):
+            assert start < finish
