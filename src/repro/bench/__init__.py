@@ -1,7 +1,16 @@
-"""Benchmark harness utilities: timing sweeps, log–log slope fitting and
-paper-style reporting."""
+"""Benchmark harness utilities: timing sweeps, log–log slope fitting,
+paper-style reporting, and the plan-cache perf-regression harness
+(``python -m repro.bench.regression``)."""
 
 from repro.bench.runner import SweepPoint, SweepResult, fitted_exponent, sweep
+from repro.bench.regression import run_regression
 from repro.bench.reporting import format_table
 
-__all__ = ["SweepPoint", "SweepResult", "fitted_exponent", "format_table", "sweep"]
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "fitted_exponent",
+    "format_table",
+    "run_regression",
+    "sweep",
+]

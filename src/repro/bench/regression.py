@@ -1,0 +1,147 @@
+"""Perf-regression harness for the plan-cache layer.
+
+Runs the seminaive E7 transitive-closure sweep twice — with cached plans
+(compile once per ``(rule, delta occurrence)``) and with per-call
+planning (the pre-cache behaviour, ``cache_plans=False``) — plus a
+greedy-engine sweep on the sorting program, and records the timings to
+``BENCH_plans.json`` at the repository root.  The checked-in file is the
+before/after evidence for the plan-cache optimisation; re-run after
+touching the planner or the executor and compare::
+
+    PYTHONPATH=src python -m repro.bench.regression
+
+The JSON shape is stable: ``sweeps`` maps a sweep name to per-size rows
+(``size``, ``before_s``, ``after_s``, ``speedup``) plus counter
+snapshots, and ``meta`` records the interpreter so numbers from
+different machines are not compared blindly.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.bench.runner import sweep
+from repro.core.compiler import solve_program
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import SeminaiveEngine
+from repro.programs import texts
+from repro.storage.database import Database
+from repro.workloads import random_costed_relation
+
+__all__ = ["run_regression", "main"]
+
+TC = parse_program(
+    """
+    path(X, Y) <- edge(X, Y).
+    path(X, Y) <- path(X, Z), edge(Z, Y).
+    """
+)
+
+TC_SIZES = [20, 40, 80, 160]
+SORT_SIZES = [8, 16, 32]
+
+
+def _chain(n: int) -> List[tuple]:
+    return [(i, i + 1) for i in range(n)]
+
+
+def _tc_op(cache_plans: bool) -> Callable[[Any], Any]:
+    def op(edges):
+        db = Database()
+        db.assert_all("edge", edges)
+        engine = SeminaiveEngine(TC, cache_plans=cache_plans)
+        engine.run(db)
+        return engine.stats.plans_compiled
+
+    return op
+
+
+def _sorting_op(payload):
+    db = solve_program(texts.SORTING, facts={"p": payload}, seed=0)
+    return len(db.relation("sp", 3))
+
+
+def _rows(
+    before, after, before_key: str = "before_s", after_key: str = "after_s"
+) -> List[Dict[str, Any]]:
+    rows = []
+    for b, a in zip(before.points, after.points):
+        rows.append(
+            {
+                "size": a.size,
+                before_key: round(b.seconds, 6),
+                after_key: round(a.seconds, 6),
+                "speedup": round(b.seconds / max(a.seconds, 1e-9), 3),
+            }
+        )
+    return rows
+
+
+def run_regression(
+    tc_sizes: Sequence[int] = TC_SIZES,
+    sort_sizes: Sequence[int] = SORT_SIZES,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Measure the sweeps and return the report as a plain dict."""
+    uncached = sweep("tc/per-call-plans", tc_sizes, _chain, _tc_op(False), repeats=repeats)
+    cached = sweep("tc/cached-plans", tc_sizes, _chain, _tc_op(True), repeats=repeats)
+    greedy = sweep(
+        "sorting/rql",
+        sort_sizes,
+        lambda n: random_costed_relation(n, seed=0),
+        _sorting_op,
+        repeats=repeats,
+    )
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "harness": "repro.bench.regression",
+        },
+        "sweeps": {
+            "seminaive_tc": {
+                "description": "E7 transitive closure on a path; before = "
+                "per-call planning (cache_plans=False), after = plan cache",
+                "rows": _rows(uncached, cached),
+                "plans_compiled": {
+                    "before": [p.payload for p in uncached.points],
+                    "after": [p.payload for p in cached.points],
+                },
+                "exponent_before": round(uncached.exponent(), 3),
+                "exponent_after": round(cached.exponent(), 3),
+            },
+            "greedy_sorting": {
+                "description": "(R, Q, L) engine on the Example 5 sorting "
+                "program; rest_plan is compiled once per candidate atom "
+                "instead of once per popped candidate",
+                "rows": [
+                    {"size": p.size, "seconds": round(p.seconds, 6)}
+                    for p in greedy.points
+                ],
+                "exponent": round(greedy.exponent(), 3),
+            },
+        },
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Write ``BENCH_plans.json`` next to the repository's ``src/``."""
+    out = Path(argv[0]) if argv else Path(__file__).resolve().parents[3] / "BENCH_plans.json"
+    report = run_regression()
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    rows = report["sweeps"]["seminaive_tc"]["rows"]
+    print(f"wrote {out}")
+    for row in rows:
+        print(
+            f"  tc n={row['size']:>4}  before {row['before_s']:.4f}s  "
+            f"after {row['after_s']:.4f}s  speedup {row['speedup']:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -24,7 +24,7 @@ from repro.datalog.atoms import (
     NextGoal,
 )
 from repro.datalog.builtins import eval_expr, order_key
-from repro.datalog.evaluation import plan_body, solve
+from repro.datalog.plans import PlanCache, compile_plan, run_plan
 from repro.datalog.rules import Rule
 from repro.datalog.unify import Subst, ground_term
 from repro.storage.database import Database
@@ -70,6 +70,7 @@ def body_solutions(
     db: Database,
     initial: Subst | None = None,
     drop: Tuple[type, ...] = (ChoiceGoal, LeastGoal, MostGoal, NextGoal),
+    cache: PlanCache | None = None,
 ) -> List[Subst]:
     """All substitutions satisfying the rule body with meta-goals dropped.
 
@@ -78,19 +79,28 @@ def body_solutions(
         db: the fact database.
         initial: pre-established bindings (e.g. the stage variable).
         drop: literal classes to strip from the body before evaluation.
+        cache: plan cache to compile through (the engines pass theirs, so
+            repeated evaluations of one rule reuse its compiled plan).
     """
     initial = initial or {}
-    literals = [
-        (literal, index)
-        for index, literal in enumerate(rule.body)
-        if not isinstance(literal, drop)
-    ]
-    plan = plan_body(literals, initially_bound=set(initial))
-    return list(solve(plan, db, dict(initial)))
+    bound = frozenset(initial)
+    if cache is not None:
+        plan = cache.plan(rule, bound=bound, drop=drop)
+    else:
+        literals = [
+            (literal, index)
+            for index, literal in enumerate(rule.body)
+            if not isinstance(literal, drop)
+        ]
+        plan = compile_plan(literals, initially_bound=bound)
+    return list(run_plan(plan, db, dict(initial)))
 
 
 def evaluate_rule_once(
-    rule: Rule, db: Database, initial: Subst | None = None
+    rule: Rule,
+    db: Database,
+    initial: Subst | None = None,
+    cache: PlanCache | None = None,
 ) -> List[Fact]:
     """Evaluate *rule* once (with extrema applied) and insert the results.
 
@@ -99,7 +109,7 @@ def evaluate_rule_once(
 
     Returns the facts that were actually new.
     """
-    solutions = body_solutions(rule, db, initial, drop=(LeastGoal, MostGoal))
+    solutions = body_solutions(rule, db, initial, drop=(LeastGoal, MostGoal), cache=cache)
     extrema = rule.extrema_goals
     if extrema:
         solutions = extrema_filter(solutions, extrema)
@@ -117,6 +127,7 @@ def saturate(
     clique_predicates: Iterable[PredicateKey],
     db: Database,
     seed_deltas: Dict[PredicateKey, List[Fact]] | None = None,
+    cache: PlanCache | None = None,
 ) -> Dict[PredicateKey, List[Fact]]:
     """Seminaive fixpoint of *rules* over *db*.
 
@@ -133,6 +144,8 @@ def saturate(
             step just asserted) that should drive the first differential
             round.  When ``None``, every rule is evaluated in full once to
             seed the deltas.
+        cache: plan cache shared across calls, so the differential rounds
+            reuse each rule's compiled delta-first plans.
 
     Returns:
         Every new fact derived, keyed by predicate.
@@ -147,7 +160,7 @@ def saturate(
     deltas: Dict[PredicateKey, List[Fact]] = {}
     if seed_deltas is None:
         for rule in rules:
-            new_facts = evaluate_rule_once(rule, db)
+            new_facts = evaluate_rule_once(rule, db, cache=cache)
             record(rule.head.key, new_facts)
             if rule.head.key in predicates:
                 deltas.setdefault(rule.head.key, []).extend(new_facts)
@@ -166,7 +179,7 @@ def saturate(
             delta_rel = delta_relations.get(key)
             if delta_rel is None:
                 continue
-            solutions = _delta_solutions(rule, db, index, delta_rel)
+            solutions = _delta_solutions(rule, db, index, delta_rel, cache)
             relation = db.relation(rule.head.pred, rule.head.arity)
             fresh: List[Fact] = []
             for subst in solutions:
@@ -192,11 +205,18 @@ def _delta_variants(
 
 
 def _delta_solutions(
-    rule: Rule, db: Database, delta_index: int, delta_relation: Relation
+    rule: Rule,
+    db: Database,
+    delta_index: int,
+    delta_relation: Relation,
+    cache: PlanCache | None = None,
 ) -> List[Subst]:
-    literals = [(literal, index) for index, literal in enumerate(rule.body)]
-    plan = plan_body(literals)
-    return list(solve(plan, db, {}, delta_index, delta_relation))
+    if cache is not None:
+        plan = cache.plan(rule, delta_index=delta_index)
+    else:
+        literals = [(literal, index) for index, literal in enumerate(rule.body)]
+        plan = compile_plan(literals, delta_index=delta_index)
+    return list(run_plan(plan, db, {}, delta_relation))
 
 
 def _as_relation(key: PredicateKey, facts: List[Fact]) -> Relation:

@@ -32,6 +32,7 @@ from repro.core.clique_eval import (
 from repro.core.stage_analysis import CliqueReport, StageAnalysis, analyze_stages
 from repro.datalog.atoms import Atom, ChoiceGoal, Negation
 from repro.datalog.builtins import order_key
+from repro.datalog.plans import PlanCache
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.unify import Subst, ground_term, match_args
@@ -46,12 +47,26 @@ PredicateKey = Tuple[str, int]
 
 @dataclass
 class EngineRunStats:
-    """Counters shared by the core engines."""
+    """Counters shared by the core engines.
+
+    ``plans_compiled`` / ``plan_cache_hits`` and the ``plan`` entry of
+    ``phase_seconds`` are maintained by the engine's
+    :class:`~repro.datalog.plans.PlanCache`: each (rule, specialization)
+    pair is compiled at most once per engine run, however many γ steps
+    and saturation rounds re-run it.
+    """
 
     gamma_firings: int = 0
     gamma_candidates_examined: int = 0
     saturation_facts: int = 0
     stages: int = 0
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add_phase_time(self, phase: str, seconds: float) -> None:
+        """Accumulate *seconds* of wall time under *phase*."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
 
 @dataclass(frozen=True)
@@ -185,6 +200,8 @@ class BaseEngine:
         self.rng = rng if rng is not None else random.Random()
         self.analysis: StageAnalysis = analyze_stages(program)
         self.stats = EngineRunStats()
+        #: Per-run compiled-plan cache shared by every clique evaluation.
+        self.plans = PlanCache(stats=self.stats)
         self.record_trace = record_trace
         #: γ decisions in order, populated when ``record_trace`` is set.
         self.trace: List[TraceEvent] = []
@@ -231,7 +248,9 @@ class BaseEngine:
         clique = report.clique
         if not clique.is_recursive:
             for rule in clique.rules:
-                self.stats.saturation_facts += len(evaluate_rule_once(rule, db))
+                self.stats.saturation_facts += len(
+                    evaluate_rule_once(rule, db, cache=self.plans)
+                )
             return
         # Recursive plain clique: negation or extrema through recursion is
         # not allowed here (that is exactly what stage cliques are for).
@@ -245,7 +264,7 @@ class BaseEngine:
                     raise StratificationError(
                         f"negation through recursion outside a stage clique: {rule}"
                     )
-        produced = saturate(clique.rules, clique.predicates, db)
+        produced = saturate(clique.rules, clique.predicates, db, cache=self.plans)
         self.stats.saturation_facts += sum(len(v) for v in produced.values())
 
     # -- choice cliques (γ / Q∞) ---------------------------------------------------------
@@ -264,12 +283,17 @@ class BaseEngine:
         memos = {id(rule): ChoiceMemo(rule) for rule in choice_rules}
 
         produced = saturate(
-            [r for r in flat_rules if not r.extrema_goals], clique.predicates, db
+            [r for r in flat_rules if not r.extrema_goals],
+            clique.predicates,
+            db,
+            cache=self.plans,
         )
         self.stats.saturation_facts += sum(len(v) for v in produced.values())
         for rule in flat_rules:
             if rule.extrema_goals:
-                self.stats.saturation_facts += len(evaluate_rule_once(rule, db))
+                self.stats.saturation_facts += len(
+                    evaluate_rule_once(rule, db, cache=self.plans)
+                )
         # The FDs must hold over the whole head predicate, so pre-existing
         # facts (exit facts, lower-clique derivations) seed the memos.
         for rule in choice_rules:
@@ -290,6 +314,7 @@ class BaseEngine:
                 clique.predicates,
                 db,
                 seed_deltas={key: [fact]},
+                cache=self.plans,
             )
             self.stats.saturation_facts += sum(len(v) for v in produced.values())
             for rule in choice_rules:
@@ -310,7 +335,7 @@ class BaseEngine:
         paper's ``bi_st_c`` example exactly two one-fact stable models —
         once the bottom pair is chosen, every remaining candidate loses
         the ``least`` comparison against it and γ goes empty."""
-        solutions = body_solutions(rule, db)
+        solutions = body_solutions(rule, db, cache=self.plans)
         self.stats.gamma_candidates_examined += len(solutions)
         if rule.extrema_goals:
             witnesses = [s for s in solutions if memo.admits(s, check_new=False)]

@@ -34,7 +34,7 @@ from repro.core.stage_analysis import CliqueReport
 from repro.core.stage_engine import BasicStageEngine, StageCliqueState
 from repro.datalog.atoms import Atom, ChoiceGoal, Comparison, LeastGoal, MostGoal, NextGoal
 from repro.datalog.builtins import order_key
-from repro.datalog.evaluation import plan_body, solve
+from repro.datalog.plans import CompiledPlan, compile_plan, run_plan
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Const, Var
 from repro.datalog.unify import Subst, ground_term, match_args
@@ -49,7 +49,12 @@ PredicateKey = Tuple[str, int]
 
 @dataclass(frozen=True)
 class RQLPlan:
-    """Compiled (R, Q, L) execution plan for one ``next`` rule."""
+    """Compiled (R, Q, L) execution plan for one ``next`` rule.
+
+    ``rest_plan`` is the residual body compiled once against the bindings
+    a popped candidate supplies (the candidate atom's variables plus the
+    stage variable) — admissibility checks re-run it, they never re-plan.
+    """
 
     rule: Rule
     stage_var: str
@@ -57,6 +62,7 @@ class RQLPlan:
     candidate_atom: Atom
     spec: CongruenceSpec
     rest: Tuple[Tuple[Any, int], ...]
+    rest_plan: CompiledPlan
 
 
 class GreedyStageEngine(BasicStageEngine):
@@ -311,7 +317,21 @@ class GreedyStageEngine(BasicStageEngine):
             if index != candidate_index
             and not isinstance(literal, (LeastGoal, MostGoal, ChoiceGoal, NextGoal))
         )
-        return RQLPlan(rule, stage_var, candidate_index, candidate_atom, spec, rest)
+        # A popped candidate binds the candidate atom's named variables;
+        # the engine adds the stage variable.  Compile the residual body
+        # once against exactly those bindings.
+        base_bound = frozenset(
+            {
+                v.name
+                for v in candidate_atom.variables()
+                if not v.name.startswith("_")
+            }
+            | {stage_var}
+        )
+        rest_plan = compile_plan(rest, initially_bound=base_bound)
+        return RQLPlan(
+            rule, stage_var, candidate_index, candidate_atom, spec, rest, rest_plan
+        )
 
     @staticmethod
     def _stage_arg_droppable(
@@ -465,8 +485,7 @@ class GreedyStageEngine(BasicStageEngine):
         if base is None:  # pragma: no cover - prefiltered at insertion
             return None
         base[plan.stage_var] = state.stage + 1
-        rest_plan = plan_body(list(plan.rest), initially_bound=set(base))
-        solutions = list(solve(rest_plan, db, base))
+        solutions = list(run_plan(plan.rest_plan, db, base))
         self.stats.gamma_candidates_examined += len(solutions)
         if len(solutions) > 1:
             solutions.sort(

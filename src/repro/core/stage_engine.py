@@ -250,7 +250,9 @@ class BasicStageEngine(BaseEngine):
         clique_preds = state.report.clique.predicates | extra_predicates
         all_produced: Dict[PredicateKey, List[Fact]] = {}
         while True:
-            produced = saturate(state.flat_rules, clique_preds, db, seed_deltas=seeds)
+            produced = saturate(
+                state.flat_rules, clique_preds, db, seed_deltas=seeds, cache=self.plans
+            )
             self.stats.saturation_facts += sum(len(v) for v in produced.values())
             for key, facts in produced.items():
                 all_produced.setdefault(key, []).extend(facts)
@@ -267,7 +269,9 @@ class BasicStageEngine(BaseEngine):
     ) -> Dict[PredicateKey, List[Fact]]:
         produced: Dict[PredicateKey, List[Fact]] = {}
         for rule, stage_var in state.param_rules:
-            new = evaluate_rule_once(rule, db, initial={stage_var: state.stage})
+            new = evaluate_rule_once(
+                rule, db, initial={stage_var: state.stage}, cache=self.plans
+            )
             self.stats.saturation_facts += len(new)
             if new:
                 produced.setdefault(rule.head.key, []).extend(new)
@@ -339,7 +343,7 @@ class BasicStageEngine(BaseEngine):
         deterministic key."""
         stage_var = rule.next_goals[0].var.name
         initial = {stage_var: state.stage + 1}
-        solutions = body_solutions(rule, db, initial=initial)
+        solutions = body_solutions(rule, db, initial=initial, cache=self.plans)
         self.stats.gamma_candidates_examined += len(solutions)
         memo = state.memos[id(rule)]
         w_memo = state.w_memos[id(rule)]

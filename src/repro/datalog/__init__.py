@@ -10,6 +10,8 @@ This subpackage is the substrate the paper's constructs are built on:
 * :mod:`repro.datalog.builtins` — evaluable comparisons and arithmetic;
 * :mod:`repro.datalog.dependency` — dependency graph, recursive cliques
   (SCCs) and the stratified-negation check;
+* :mod:`repro.datalog.plans` — rule-body compilation: reusable
+  execution plans (with delta-specialized variants) and the plan cache;
 * :mod:`repro.datalog.naive` / :mod:`repro.datalog.seminaive` — bottom-up
   fixpoint evaluation for (stratified) programs without meta-goals.
 
@@ -31,6 +33,15 @@ from repro.datalog.atoms import (
 )
 from repro.datalog.explain import Derivation, explain
 from repro.datalog.parser import parse_program, parse_query, parse_term
+from repro.datalog.plans import (
+    CompiledPlan,
+    CompiledRule,
+    CompiledStep,
+    PlanCache,
+    compile_plan,
+    compile_rule,
+    run_plan,
+)
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Const, Struct, Term, Var
@@ -39,9 +50,16 @@ __all__ = [
     "Atom",
     "ChoiceGoal",
     "Comparison",
+    "CompiledPlan",
+    "CompiledRule",
+    "CompiledStep",
     "Const",
     "Derivation",
+    "PlanCache",
+    "compile_plan",
+    "compile_rule",
     "explain",
+    "run_plan",
     "LeastGoal",
     "Literal",
     "MostGoal",

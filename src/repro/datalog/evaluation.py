@@ -173,7 +173,13 @@ def solve(
             evaluates negation against the candidate model while positives
             grow a separate fixpoint.
     """
-    return _solve_from(plan, 0, db, subst, delta_index, delta_relation, neg_db or db)
+    # Inner plans of negated conjunctions are memoized per plan position:
+    # the set of bound variables at a step is the same for every candidate
+    # substitution reaching it, so one compilation serves them all.
+    inner_plans: Dict[int, List[PlanStep]] = {}
+    return _solve_from(
+        plan, 0, db, subst, delta_index, delta_relation, neg_db or db, inner_plans
+    )
 
 
 def _solve_from(
@@ -184,6 +190,7 @@ def _solve_from(
     delta_index: int | None,
     delta_relation: Relation | None,
     neg_db: Database | None = None,
+    inner_plans: Dict[int, List[PlanStep]] | None = None,
 ) -> Iterator[Subst]:
     if step == len(plan):
         yield subst
@@ -212,25 +219,32 @@ def _solve_from(
                 if extended is None:
                     break
             if extended is not None:
-                yield from _solve_from(plan, step + 1, db, extended, delta_index, delta_relation, neg_db)
+                yield from _solve_from(plan, step + 1, db, extended, delta_index, delta_relation, neg_db, inner_plans)
     elif isinstance(literal, Comparison):
         extended = eval_comparison(literal, subst)
         if extended is not None:
-            yield from _solve_from(plan, step + 1, db, extended, delta_index, delta_relation, neg_db)
+            yield from _solve_from(plan, step + 1, db, extended, delta_index, delta_relation, neg_db, inner_plans)
     elif isinstance(literal, Negation):
         atom = literal.atom
         relation = (neg_db or db).get(atom.pred, atom.arity)
         if relation is None or not _negated_match_exists(atom, relation, subst):
-            yield from _solve_from(plan, step + 1, db, subst, delta_index, delta_relation, neg_db)
+            yield from _solve_from(plan, step + 1, db, subst, delta_index, delta_relation, neg_db, inner_plans)
     elif isinstance(literal, NegatedConjunction):
-        inner_plan = plan_body(
-            [(inner, -1) for inner in literal.literals],
-            initially_bound=set(subst.keys()),
-        )
+        # The bound variables at a plan position do not depend on the
+        # candidate substitution, so the inner plan is compiled once per
+        # position, not once per substitution.
+        inner_plan = None if inner_plans is None else inner_plans.get(step)
+        if inner_plan is None:
+            inner_plan = plan_body(
+                [(inner, -1) for inner in literal.literals],
+                initially_bound=set(subst.keys()),
+            )
+            if inner_plans is not None:
+                inner_plans[step] = inner_plan
         inner_db = neg_db or db
         witness = next(_solve_from(inner_plan, 0, inner_db, subst, None, None, inner_db), None)
         if witness is None:
-            yield from _solve_from(plan, step + 1, db, subst, delta_index, delta_relation, neg_db)
+            yield from _solve_from(plan, step + 1, db, subst, delta_index, delta_relation, neg_db, inner_plans)
     else:
         raise EvaluationError(
             f"meta-goal {literal} reached the plain evaluator; "

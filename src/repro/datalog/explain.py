@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Set, Tuple
 
-from repro.datalog.evaluation import plan_body, solve
+from repro.datalog.plans import PlanCache, run_plan
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.unify import ground_term, match_args
@@ -90,7 +90,10 @@ def explain(
     key = (pred, len(fact))
     if fact not in db.relation(*key):
         return None
-    return _explain(program, db, key, fact, path=set())
+    # One plan cache per explanation: a rule queried with the same head
+    # binding pattern is planned once, however many facts the recursion
+    # visits.
+    return _explain(program, db, key, fact, path=set(), cache=PlanCache())
 
 
 def _explain(
@@ -99,6 +102,7 @@ def _explain(
     key: PredicateKey,
     fact: Fact,
     path: Set[Tuple[PredicateKey, Fact]],
+    cache: PlanCache,
 ) -> Optional[Derivation]:
     node = (key, fact)
     if node in path:
@@ -123,17 +127,16 @@ def _explain(
         head_subst = match_args(rule.head.args, fact, {})
         if head_subst is None:
             continue
-        literals = [(literal, index) for index, literal in enumerate(rule.body)]
         try:
-            plan = plan_body(literals, initially_bound=set(head_subst))
+            plan = cache.plan(rule, bound=frozenset(head_subst))
         except EvaluationError:
             continue
-        for subst in solve(plan, db, dict(head_subst)):
+        for subst in run_plan(plan, db, dict(head_subst)):
             premises: List[Derivation] = []
             viable = True
             for atom in rule.positive:
                 sub_fact = tuple(ground_term(arg, subst) for arg in atom.args)
-                premise = _explain(program, db, atom.key, sub_fact, path)
+                premise = _explain(program, db, atom.key, sub_fact, path, cache)
                 if premise is None:
                     viable = False
                     break

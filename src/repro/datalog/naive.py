@@ -4,15 +4,20 @@ This is the reference (slow) evaluator: at every iteration every rule is
 re-evaluated in full until nothing new is derived.  It exists both as a
 correctness oracle for the seminaive engine and as the baseline for the
 seminaive ablation benchmark (experiment E7 of DESIGN.md).
+
+Rule bodies are compiled once per engine through a
+:class:`~repro.datalog.plans.PlanCache` — iteration re-*runs* plans, it
+never re-plans them.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
 from repro.datalog.dependency import DependencyGraph
-from repro.datalog.evaluation import rule_consequences
+from repro.datalog.plans import PlanCache
 from repro.datalog.program import Program
 from repro.errors import EvaluationError
 from repro.storage.database import Database
@@ -22,11 +27,31 @@ __all__ = ["NaiveEngine", "EngineStats"]
 
 @dataclass
 class EngineStats:
-    """Counters exposed by the fixpoint engines (for tests and benches)."""
+    """Counters exposed by the fixpoint engines (for tests and benches).
+
+    Attributes:
+        iterations: fixpoint passes (naive) / rounds (seminaive).
+        rule_firings: rule (or delta-variant) evaluations.
+        facts_derived: facts that were actually new.
+        plans_compiled: rule bodies compiled into execution plans.  On a
+            meta-goal-free program this stays constant while
+            ``rule_firings`` grows: at most one compilation per
+            ``(rule, delta occurrence)`` per engine run.
+        plan_cache_hits: plan requests served from the cache.
+        phase_seconds: wall time per phase — ``"plan"`` (body compilation)
+            and ``"eval"`` (fixpoint evaluation).
+    """
 
     iterations: int = 0
     rule_firings: int = 0
     facts_derived: int = 0
+    plans_compiled: int = 0
+    plan_cache_hits: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add_phase_time(self, phase: str, seconds: float) -> None:
+        """Accumulate *seconds* of wall time under *phase*."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
 
 class NaiveEngine:
@@ -37,9 +62,18 @@ class NaiveEngine:
         engine = NaiveEngine(program)
         db = engine.run(db)           # db is mutated and returned
         engine.stats.iterations       # how many full passes were needed
+
+    Args:
+        program: the program to evaluate.
+        check_safety: verify rule safety up front (default).
+        cache_plans: compile each rule body once and reuse the plan
+            (default).  ``False`` re-plans on every firing — the
+            per-call-planning baseline for the plan-cache benchmark.
     """
 
-    def __init__(self, program: Program, check_safety: bool = True):
+    def __init__(
+        self, program: Program, check_safety: bool = True, cache_plans: bool = True
+    ):
         for rule in program.proper_rules():
             if rule.has_meta_goals:
                 raise EvaluationError(
@@ -50,13 +84,15 @@ class NaiveEngine:
         self.program = program
         self.graph = DependencyGraph(program)
         self.stats = EngineStats()
+        self.plans = PlanCache(stats=self.stats, enabled=cache_plans)
 
     def run(self, db: Database | None = None) -> Database:
         """Compute the perfect model of the program over *db*.
 
         Facts embedded in the program text are loaded first.  Evaluation
         proceeds stratum by stratum; within a stratum all rules iterate to
-        fixpoint together.
+        fixpoint together.  All rule plans are compiled — and their
+        binding patterns registered as indices — before the first pass.
 
         Returns the (mutated) database.
         """
@@ -64,9 +100,14 @@ class NaiveEngine:
             db = Database()
         for name, facts in self.program.ground_facts().items():
             db.assert_all(name, facts)
+        for rule in self.program.proper_rules():
+            self.plans.plan(rule)
+        self.plans.register_indices(db)
+        start = time.perf_counter()
         for group in self.graph.evaluation_order():
             rules = [rule for clique in group for rule in clique.rules]
             self._saturate(rules, db)
+        self.stats.add_phase_time("eval", time.perf_counter() - start)
         return db
 
     def _saturate(self, rules: List, db: Database) -> None:
@@ -76,7 +117,7 @@ class NaiveEngine:
             self.stats.iterations += 1
             for rule in rules:
                 self.stats.rule_firings += 1
-                new_facts = list(rule_consequences(rule, db))
+                new_facts = list(self.plans.consequences(rule, db))
                 relation = db.relation(rule.head.pred, rule.head.arity)
                 for fact in new_facts:
                     if relation.add(fact):

@@ -1,0 +1,527 @@
+"""Rule-body compilation: reusable execution plans and the plan cache.
+
+:func:`~repro.datalog.evaluation.plan_body` chooses a join order with a
+bound-first greedy heuristic, and the tuple-at-a-time solver re-derives
+the bound/free argument split of every atom for every substitution.  Both
+costs are per *firing* today, while the Section 6 complexity bounds charge
+planning per *rule*.  This module compiles a rule body once into a
+:class:`CompiledPlan` — the ordered steps plus, per step, the statically
+known bound/free argument split — and caches the result so every later
+firing reuses it.
+
+Two refinements matter for the seminaive engine:
+
+* **Delta specialization** — for each occurrence of a clique predicate in
+  a recursive rule body, a dedicated plan places the delta literal *first*
+  and orders the remaining goals against its bindings.  The generic
+  bound-first heuristic knows nothing about deltas and can bury the delta
+  literal mid-plan, scanning full relations each differential round even
+  though the paper's bounds assume per-round work proportional to the new
+  facts.
+* **Hoisted inner plans** — a :class:`~repro.datalog.atoms.NegatedConjunction`
+  goal needs its own sub-plan; the legacy solver re-planned it once per
+  candidate substitution.  Compilation builds the inner plan exactly once
+  (the set of bound variables at a plan position is static).
+
+Static boundness is sound because the runtime substitution at each step
+binds exactly the initially-bound variables plus the named variables of
+the already-executed steps — understating boundness (wildcards, variables
+the analysis cannot see) only demotes an argument to the matched-free
+path, which is slower but never wrong.
+
+:class:`PlanCache` memoizes compiled plans per ``(rule, delta occurrence,
+initially-bound set, dropped goal kinds)`` and feeds the engine counters
+(``plans_compiled`` / ``plan_cache_hits`` and the ``plan`` phase timer).
+Binding patterns of a compiled plan can be pre-registered as hash indices
+on the target relations (:func:`register_plan_indices`) so indices are
+built once up front instead of lazily mid-join.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from repro.datalog.atoms import (
+    Atom,
+    Comparison,
+    Literal,
+    NegatedConjunction,
+    Negation,
+)
+from repro.datalog.builtins import eval_comparison
+from repro.datalog.evaluation import plan_body
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term
+from repro.datalog.unify import Subst, ground_term, match_term
+from repro.errors import EvaluationError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+__all__ = [
+    "CompiledStep",
+    "CompiledPlan",
+    "CompiledRule",
+    "PlanCache",
+    "compile_plan",
+    "compile_rule",
+    "run_plan",
+    "register_plan_indices",
+]
+
+Fact = Tuple[Any, ...]
+
+#: ``(position, argument term)`` pairs — the static bound/free split.
+ArgSlot = Tuple[int, Term]
+
+
+def _named_vars(literal: Literal) -> Set[str]:
+    return {v.name for v in literal.variables() if not v.name.startswith("_")}
+
+
+def _statically_bound(term: Term, bound: Set[str]) -> bool:
+    """Whether *term* is guaranteed ground at run time given the statically
+    *bound* variable names.  Mirrors :func:`repro.datalog.unify.is_bound`:
+    wildcard variables never ground."""
+    return all(
+        not v.name.startswith("_") and v.name in bound for v in term.variables()
+    )
+
+
+def _split_args(
+    args: Sequence[Term], bound: Set[str]
+) -> Tuple[Tuple[ArgSlot, ...], Tuple[ArgSlot, ...], Tuple[int, ...]]:
+    """Partition *args* into statically-bound and free slots."""
+    bound_slots: List[ArgSlot] = []
+    free_slots: List[ArgSlot] = []
+    for position, arg in enumerate(args):
+        if _statically_bound(arg, bound):
+            bound_slots.append((position, arg))
+        else:
+            free_slots.append((position, arg))
+    positions = tuple(position for position, _ in bound_slots)
+    return tuple(bound_slots), tuple(free_slots), positions
+
+
+@dataclass(frozen=True)
+class CompiledStep:
+    """One executable step of a compiled plan.
+
+    Attributes:
+        literal: the body literal this step evaluates.
+        original_index: the literal's index in the original rule body.
+        is_delta: whether this (atom) step reads the delta relation
+            supplied at run time instead of the database.
+        bound_slots: argument positions whose terms are statically ground
+            at this step — they form the indexed lookup key.
+        free_slots: the remaining argument positions, matched per fact.
+        positions: the lookup index pattern (positions of *bound_slots*).
+        inner: the hoisted sub-plan of a negated conjunction.
+    """
+
+    literal: Literal
+    original_index: int
+    is_delta: bool = False
+    bound_slots: Tuple[ArgSlot, ...] = ()
+    free_slots: Tuple[ArgSlot, ...] = ()
+    positions: Tuple[int, ...] = ()
+    inner: Optional["CompiledPlan"] = None
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """An ordered, split-annotated execution plan for a rule body.
+
+    Attributes:
+        steps: the compiled steps, in execution order.
+        initially_bound: the variable names assumed bound before step 0.
+            Callers must run the plan with a substitution binding at least
+            these names (and no plan variable outside the static analysis
+            — in practice: exactly these names plus wildcard-free extras).
+        delta_index: original body index of the delta occurrence this plan
+            specializes, or ``None`` for the generic plan.
+        head_args: the head argument terms, when the plan was compiled
+            from a full rule (enables :meth:`consequences`).
+    """
+
+    steps: Tuple[CompiledStep, ...]
+    initially_bound: frozenset = frozenset()
+    delta_index: Optional[int] = None
+    head_args: Optional[Tuple[Term, ...]] = None
+
+    def solutions(
+        self,
+        db: Database,
+        subst: Subst | None = None,
+        delta_relation: Relation | None = None,
+        neg_db: Database | None = None,
+    ) -> Iterator[Subst]:
+        """Yield every substitution satisfying the plan against *db*."""
+        return run_plan(self, db, subst, delta_relation, neg_db)
+
+    def consequences(
+        self,
+        db: Database,
+        delta_relation: Relation | None = None,
+        neg_db: Database | None = None,
+    ) -> Iterator[Fact]:
+        """Yield every head fact derivable through this plan."""
+        if self.head_args is None:
+            raise EvaluationError("plan was compiled without a head")
+        head_args = self.head_args
+        for subst in run_plan(self, db, None, delta_relation, neg_db):
+            yield tuple(ground_term(arg, subst) for arg in head_args)
+
+    def ordered_literals(self) -> List[Tuple[Literal, int]]:
+        """The ``(literal, original_index)`` pairs in execution order —
+        the shape :func:`~repro.datalog.evaluation.plan_body` returns."""
+        return [(step.literal, step.original_index) for step in self.steps]
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """A rule together with its generic plan and delta-specialized plans.
+
+    Attributes:
+        rule: the source rule.
+        plan: the generic (delta-free) plan.
+        delta_plans: one delta-first plan per requested body occurrence,
+            keyed by the occurrence's original body index.
+    """
+
+    rule: Rule
+    plan: CompiledPlan
+    delta_plans: Mapping[int, CompiledPlan] = field(default_factory=dict)
+
+    def for_delta(self, delta_index: int | None) -> CompiledPlan:
+        """The plan to run for *delta_index* (``None`` — the generic one)."""
+        if delta_index is None:
+            return self.plan
+        return self.delta_plans[delta_index]
+
+
+def compile_plan(
+    literals: Sequence[Tuple[Literal, int]],
+    initially_bound: frozenset = frozenset(),
+    delta_index: int | None = None,
+    head_args: Tuple[Term, ...] | None = None,
+) -> CompiledPlan:
+    """Compile ``(literal, original_index)`` pairs into a reusable plan.
+
+    With *delta_index*, the positive literal at that body index is placed
+    first (it reads the delta relation at run time) and the remaining
+    goals are ordered against its bindings.
+
+    Raises:
+        EvaluationError: if no valid order exists (unsafe body), or the
+            delta index does not name a positive literal.
+    """
+    pairs = list(literals)
+    bound: Set[str] = set(initially_bound)
+    if delta_index is None:
+        ordered = plan_body(pairs, initially_bound=bound)
+    else:
+        delta_pair = next(
+            (
+                (literal, index)
+                for literal, index in pairs
+                if index == delta_index and isinstance(literal, Atom)
+            ),
+            None,
+        )
+        if delta_pair is None:
+            raise EvaluationError(
+                f"delta index {delta_index} does not name a positive body goal"
+            )
+        rest = [(l, i) for l, i in pairs if i != delta_index]
+        ordered = [delta_pair] + plan_body(
+            rest, initially_bound=bound | _named_vars(delta_pair[0])
+        )
+    steps: List[CompiledStep] = []
+    for literal, index in ordered:
+        steps.append(
+            _compile_step(
+                literal,
+                index,
+                bound,
+                is_delta=(delta_index is not None and index == delta_index),
+            )
+        )
+        bound |= _named_vars(literal)
+    return CompiledPlan(
+        tuple(steps), frozenset(initially_bound), delta_index, head_args
+    )
+
+
+def _compile_step(
+    literal: Literal, index: int, bound: Set[str], is_delta: bool = False
+) -> CompiledStep:
+    if isinstance(literal, Atom):
+        bound_slots, free_slots, positions = _split_args(literal.args, bound)
+        return CompiledStep(literal, index, is_delta, bound_slots, free_slots, positions)
+    if isinstance(literal, Negation):
+        bound_slots, free_slots, positions = _split_args(literal.atom.args, bound)
+        return CompiledStep(literal, index, False, bound_slots, free_slots, positions)
+    if isinstance(literal, NegatedConjunction):
+        inner = compile_plan(
+            [(inner_literal, -1) for inner_literal in literal.literals],
+            initially_bound=frozenset(bound),
+        )
+        return CompiledStep(literal, index, False, inner=inner)
+    if isinstance(literal, Comparison):
+        return CompiledStep(literal, index)
+    raise EvaluationError(
+        f"meta-goal {literal} cannot be compiled; "
+        "strip meta-goals (or use repro.core) first"
+    )
+
+
+def compile_rule(
+    rule: Rule,
+    delta_indices: Sequence[int] = (),
+    initially_bound: frozenset = frozenset(),
+    drop: Tuple[Type[Literal], ...] = (),
+) -> CompiledRule:
+    """Compile *rule* into its generic plan plus delta-specialized plans.
+
+    Args:
+        rule: the rule to compile (meta-goals must be dropped or absent).
+        delta_indices: body indices of clique-predicate occurrences that
+            need a delta-first plan.
+        initially_bound: variable names bound before the body runs.
+        drop: literal classes stripped from the body before planning
+            (the engines drop the meta-goals they realise themselves).
+    """
+    literals = [
+        (literal, index)
+        for index, literal in enumerate(rule.body)
+        if not (drop and isinstance(literal, drop))
+    ]
+    base = compile_plan(literals, initially_bound, None, rule.head.args)
+    delta_plans = {
+        index: compile_plan(literals, initially_bound, index, rule.head.args)
+        for index in delta_indices
+    }
+    return CompiledRule(rule, base, delta_plans)
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def run_plan(
+    plan: CompiledPlan,
+    db: Database,
+    subst: Subst | None = None,
+    delta_relation: Relation | None = None,
+    neg_db: Database | None = None,
+) -> Iterator[Subst]:
+    """Yield every substitution satisfying *plan* against *db*.
+
+    Args:
+        plan: a compiled plan.
+        subst: initial bindings; must bind (at least) the plan's
+            ``initially_bound`` names.  Not mutated.
+        delta_relation: the delta relation read by the plan's delta step
+            (required iff the plan was delta-specialized).
+        neg_db: database for negated goals and conjunctions (defaults to
+            *db*; the stability check passes the candidate model).
+    """
+    if plan.delta_index is not None and delta_relation is None:
+        raise EvaluationError("delta-specialized plan needs a delta relation")
+    return _run_from(
+        plan.steps, 0, db, subst if subst is not None else {}, delta_relation, neg_db or db
+    )
+
+
+def _run_from(
+    steps: Tuple[CompiledStep, ...],
+    at: int,
+    db: Database,
+    subst: Subst,
+    delta_relation: Relation | None,
+    neg_db: Database,
+) -> Iterator[Subst]:
+    if at == len(steps):
+        yield subst
+        return
+    step = steps[at]
+    literal = step.literal
+    if isinstance(literal, Atom):
+        if step.is_delta:
+            relation: Relation | None = delta_relation
+        else:
+            relation = db.get(literal.pred, literal.arity)
+        if relation is None or not len(relation):
+            return
+        values = tuple(ground_term(arg, subst) for _, arg in step.bound_slots)
+        free_slots = step.free_slots
+        for fact in relation.lookup(step.positions, values):
+            extended: Optional[Subst] = subst
+            for position, arg in free_slots:
+                extended = match_term(arg, fact[position], extended)
+                if extended is None:
+                    break
+            if extended is not None:
+                yield from _run_from(steps, at + 1, db, extended, delta_relation, neg_db)
+    elif isinstance(literal, Comparison):
+        extended = eval_comparison(literal, subst)
+        if extended is not None:
+            yield from _run_from(steps, at + 1, db, extended, delta_relation, neg_db)
+    elif isinstance(literal, Negation):
+        atom = literal.atom
+        relation = neg_db.get(atom.pred, atom.arity)
+        if relation is None or not _negated_exists(step, relation, subst):
+            yield from _run_from(steps, at + 1, db, subst, delta_relation, neg_db)
+    elif isinstance(literal, NegatedConjunction):
+        inner = step.inner
+        assert inner is not None
+        witness = next(
+            _run_from(inner.steps, 0, neg_db, subst, None, neg_db), None
+        )
+        if witness is None:
+            yield from _run_from(steps, at + 1, db, subst, delta_relation, neg_db)
+    else:  # pragma: no cover - compile_plan rejects meta-goals
+        raise EvaluationError(f"meta-goal {literal} reached the plan executor")
+
+
+def _negated_exists(step: CompiledStep, relation: Relation, subst: Subst) -> bool:
+    values = tuple(ground_term(arg, subst) for _, arg in step.bound_slots)
+    for fact in relation.lookup(step.positions, values):
+        extended: Optional[Subst] = subst
+        for position, arg in step.free_slots:
+            extended = match_term(arg, fact[position], extended)
+            if extended is None:
+                break
+        if extended is not None:
+            return True
+    return False
+
+
+def register_plan_indices(plan: CompiledPlan, db: Database) -> None:
+    """Pre-build the hash indices a plan's lookups will use.
+
+    Walks the plan (and hoisted inner plans) and registers each atom
+    step's binding pattern on the target relation, so the index exists —
+    and is maintained incrementally — before the first join touches it.
+    Delta steps are skipped: delta relations are transient and small.
+    """
+    for step in plan.steps:
+        literal = step.literal
+        if isinstance(literal, Atom) and not step.is_delta:
+            if step.positions:
+                db.relation(literal.pred, literal.arity).ensure_index(step.positions)
+        elif isinstance(literal, Negation):
+            if step.positions:
+                atom = literal.atom
+                db.relation(atom.pred, atom.arity).ensure_index(step.positions)
+        elif isinstance(literal, NegatedConjunction) and step.inner is not None:
+            register_plan_indices(step.inner, db)
+
+
+# -- the cache -----------------------------------------------------------------
+
+
+class PlanCache:
+    """Memoized rule-body compilation.
+
+    One cache per engine run: every ``(rule, delta occurrence,
+    initially-bound set, dropped goal kinds)`` combination is compiled at
+    most once.  The cache holds strong references to its rules, so a
+    cached plan can never be confused with a plan of a different rule
+    that happens to reuse the same ``id``.
+
+    Args:
+        stats: optional counter object (``EngineStats`` /
+            ``EngineRunStats``) — the cache bumps ``plans_compiled`` /
+            ``plan_cache_hits`` and the ``plan`` phase timer on it.
+        enabled: with ``False`` every request recompiles (the per-call
+            planning baseline used by the plan-cache ablation benchmark).
+    """
+
+    def __init__(self, stats: Any = None, enabled: bool = True):
+        self.stats = stats
+        self.enabled = enabled
+        self._plans: Dict[Tuple[Any, ...], CompiledPlan] = {}
+        self._rules: Dict[int, Rule] = {}
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def plan(
+        self,
+        rule: Rule,
+        delta_index: int | None = None,
+        bound: frozenset = frozenset(),
+        drop: Tuple[Type[Literal], ...] = (),
+    ) -> CompiledPlan:
+        """The compiled plan for *rule* under the given specialization."""
+        key = (
+            id(rule),
+            delta_index,
+            bound,
+            tuple(sorted(cls.__name__ for cls in drop)),
+        )
+        cached = self._plans.get(key)
+        if cached is not None:
+            self._bump("plan_cache_hits")
+            return cached
+        start = time.perf_counter()
+        literals = [
+            (literal, index)
+            for index, literal in enumerate(rule.body)
+            if not (drop and isinstance(literal, drop))
+        ]
+        plan = compile_plan(literals, bound, delta_index, rule.head.args)
+        if self.enabled:
+            self._plans[key] = plan
+            self._rules[id(rule)] = rule
+        self._bump("plans_compiled")
+        self._time("plan", time.perf_counter() - start)
+        return plan
+
+    def consequences(
+        self,
+        rule: Rule,
+        db: Database,
+        delta_index: int | None = None,
+        delta_relation: Relation | None = None,
+        neg_db: Database | None = None,
+    ) -> Iterator[Fact]:
+        """Every head fact derivable from *rule* against *db*, through the
+        cached (delta-specialized) plan.  The drop-free equivalent of
+        :func:`repro.datalog.evaluation.rule_consequences`."""
+        if rule.has_meta_goals:
+            raise EvaluationError(
+                f"rule has meta-goals, use the core engines: {rule}"
+            )
+        plan = self.plan(rule, delta_index=delta_index)
+        return plan.consequences(db, delta_relation=delta_relation, neg_db=neg_db)
+
+    def register_indices(self, db: Database) -> None:
+        """Pre-register every cached plan's binding patterns on *db*."""
+        for plan in self._plans.values():
+            register_plan_indices(plan, db)
+
+    # -- counters -----------------------------------------------------------
+
+    def _bump(self, counter: str) -> None:
+        stats = self.stats
+        if stats is not None:
+            setattr(stats, counter, getattr(stats, counter, 0) + 1)
+
+    def _time(self, phase: str, seconds: float) -> None:
+        stats = self.stats
+        if stats is not None and hasattr(stats, "add_phase_time"):
+            stats.add_phase_time(phase, seconds)

@@ -9,7 +9,7 @@ Operationally we never ground the program: the least model of the reduct
 is computed by a fixpoint where positive goals read from the growing set
 ``T`` and negative goals (and negated conjunctions) are evaluated against
 the fixed candidate ``M`` — the ``neg_db`` mode of
-:func:`repro.datalog.evaluation.rule_consequences`.  ``T`` converges to
+:meth:`repro.datalog.plans.PlanCache.consequences`.  ``T`` converges to
 the least model of the reduct; stability is ``T == M``.
 
 :func:`verify_engine_output` packages the full Theorem 1 check: rewrite
@@ -27,7 +27,7 @@ from repro.core.rewriting import (
     DIFFCHOICE_PREFIX,
     rewrite_program,
 )
-from repro.datalog.evaluation import rule_consequences
+from repro.datalog.plans import PlanCache
 from repro.datalog.program import Program
 from repro.storage.database import Database
 
@@ -47,12 +47,13 @@ def least_model(program: Program, edb: Database, neg_db: Database | None = None)
     for name, facts in program.ground_facts().items():
         db.assert_all(name, facts)
     rules = program.proper_rules()
+    plans = PlanCache()
     changed = True
     while changed:
         changed = False
         for rule in rules:
             relation = db.relation(rule.head.pred, rule.head.arity)
-            for fact in list(rule_consequences(rule, db, neg_db=neg_db)):
+            for fact in list(plans.consequences(rule, db, neg_db=neg_db)):
                 if relation.add(fact):
                     changed = True
     return db
@@ -83,13 +84,14 @@ def is_stable_model(program: Program, model: Database) -> bool:
                 return False
         db.assert_all(name, facts)
     rules = program.proper_rules()
+    plans = PlanCache()
     changed = True
     while changed:
         changed = False
         for rule in rules:
             relation = db.relation(rule.head.pred, rule.head.arity)
             model_relation = model.relation(rule.head.pred, rule.head.arity)
-            for fact in list(rule_consequences(rule, db, neg_db=model)):
+            for fact in list(plans.consequences(rule, db, neg_db=model)):
                 if fact not in model_relation:
                     return False
                 if relation.add(fact):
@@ -127,13 +129,14 @@ def complete_model(program: Program, db: Database) -> Tuple[Program, Database]:
         for rule in rewritten.proper_rules()
         if rule.head.pred.startswith(DIFFCHOICE_PREFIX)
     ]
+    plans = PlanCache()
     for group in (chosen_completions, diff_rules):
         changed = True
         while changed:
             changed = False
             for rule in group:
                 relation = model.relation(rule.head.pred, rule.head.arity)
-                for fact in list(rule_consequences(rule, model, neg_db=model)):
+                for fact in list(plans.consequences(rule, model, neg_db=model)):
                     if relation.add(fact):
                         changed = True
     return rewritten, model

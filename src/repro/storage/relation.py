@@ -107,22 +107,48 @@ class Relation:
     def lookup(self, positions: Tuple[int, ...], values: Tuple[Any, ...]) -> Iterable[Fact]:
         """All facts whose arguments at *positions* equal *values*.
 
-        An index on *positions* is built on first use and maintained by
-        subsequent :meth:`add` calls, so repeated lookups with the same
-        binding pattern cost ``O(matches)``.
+        An index on *positions* is built on first use (or up front via
+        :meth:`ensure_index`) and maintained by subsequent :meth:`add`
+        calls, so repeated lookups with the same binding pattern cost
+        ``O(matches)``.
 
-        With empty *positions*, returns every fact.
+        With empty *positions*, returns a snapshot of every fact: the
+        result is safe to iterate while the relation is mutated (a
+        recursive rule whose head predicate occurs in its own body scans
+        the relation it inserts into).
+
+        Aliasing contract: an *indexed* lookup returns a live view of the
+        matching bucket — cheap, but callers must not insert or discard
+        facts of this relation while iterating it.  The engines always
+        materialise consequences before asserting them, which satisfies
+        the contract; materialise (``list(...)``) first if you mutate.
         """
         if not positions:
-            return self._facts
+            return tuple(self._facts)
         index = self._indexes.get(positions)
         if index is None:
             index = self._build_index(positions)
         return index.get(values, _EMPTY_SET)
 
+    def ensure_index(self, positions: Tuple[int, ...]) -> None:
+        """Build the hash index for *positions* now (no-op if it exists).
+
+        The compiled-plan layer registers every binding pattern a plan
+        will use before evaluation starts, so indices are constructed
+        once on the current facts and then maintained incrementally —
+        never rebuilt lazily mid-join.
+
+        Raises:
+            IndexError: if any position is out of range.
+        """
+        positions = tuple(positions)
+        if positions and positions not in self._indexes:
+            self._build_index(positions)
+
     def first(self, positions: Tuple[int, ...], values: Tuple[Any, ...]) -> Fact | None:
         """An arbitrary matching fact, or ``None``."""
-        for fact in self.lookup(positions, values):
+        source = self._facts if not positions else self.lookup(positions, values)
+        for fact in source:
             return fact
         return None
 

@@ -115,3 +115,75 @@ class TestIndexing:
         for pos in range(3):
             expected = {f for f in facts if f[pos] == key}
             assert set(rel.lookup((pos,), (key,))) == expected
+
+
+class TestEnsureIndex:
+    def test_builds_index_eagerly(self):
+        rel = Relation("g", 2)
+        rel.add(("a", "b"))
+        rel.ensure_index((1,))
+        assert (1,) in rel._indexes
+        assert list(rel.lookup((1,), ("b",))) == [("a", "b")]
+
+    def test_idempotent(self):
+        rel = Relation("g", 2)
+        rel.add(("a", "b"))
+        rel.ensure_index((0,))
+        index = rel._indexes[(0,)]
+        rel.ensure_index((0,))
+        assert rel._indexes[(0,)] is index
+
+    def test_empty_positions_is_a_no_op(self):
+        rel = Relation("g", 2)
+        rel.ensure_index(())
+        assert rel._indexes == {}
+
+    def test_out_of_range_position_raises(self):
+        rel = Relation("g", 2)
+        with pytest.raises(IndexError):
+            rel.ensure_index((5,))
+
+    def test_index_built_before_facts_stays_current(self):
+        rel = Relation("g", 2)
+        rel.ensure_index((0,))
+        rel.add(("a", "b"))
+        assert list(rel.lookup((0,), ("a",))) == [("a", "b")]
+
+
+class TestFullScanSnapshot:
+    """Regression tests for the live-set aliasing bug: ``lookup((), ())``
+    used to return the internal fact set itself, so inserting while
+    iterating raised ``RuntimeError: Set changed size during iteration``
+    — exactly what a fixpoint engine does when it asserts consequences
+    while scanning a relation that feeds the same rule."""
+
+    def test_full_scan_is_safe_under_insertion(self):
+        rel = Relation("p", 1)
+        rel.add((0,))
+        rel.add((1,))
+        seen = []
+        for fact in rel.lookup((), ()):
+            seen.append(fact)
+            rel.add((fact[0] + 10,))  # mutate mid-iteration
+        assert sorted(seen) == [(0,), (1,)]
+        assert len(rel) == 4
+
+    def test_full_scan_is_safe_under_discard(self):
+        rel = Relation("p", 1)
+        rel.add_all([(0,), (1,), (2,)])
+        for fact in rel.lookup((), ()):
+            rel.discard(fact)
+        assert len(rel) == 0
+
+    def test_full_scan_is_a_snapshot_not_an_alias(self):
+        rel = Relation("p", 1)
+        rel.add((0,))
+        snapshot = rel.lookup((), ())
+        rel.add((1,))
+        assert list(snapshot) == [(0,)]
+
+    def test_first_with_empty_positions(self):
+        rel = Relation("p", 1)
+        assert rel.first((), ()) is None
+        rel.add((0,))
+        assert rel.first((), ()) == (0,)
