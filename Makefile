@@ -1,20 +1,31 @@
 # Greedy by Choice — developer targets
 
-.PHONY: install test bench bench-tables examples docs-check all
+PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: install lint test bench bench-tables bench-regression bench-regression-baseline examples docs-check all
 
 install:
 	pip install -e . --no-build-isolation
 
+lint:
+	ruff check src/ tests/ benchmarks/ examples/
+
 test:
-	pytest tests/
+	$(PYTHONPATH_SRC) python -m pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only
 
 bench-tables:
-	pytest benchmarks/ --benchmark-only -s
+	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only -s
+
+bench-regression:
+	$(PYTHONPATH_SRC) python -m repro.bench.regression --check
+
+bench-regression-baseline:
+	$(PYTHONPATH_SRC) python -m repro.bench.regression
 
 examples:
-	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done; echo "all examples OK"
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHONPATH_SRC) python $$f > /dev/null || exit 1; done; echo "all examples OK"
 
 all: test bench examples

@@ -9,7 +9,6 @@ sweep of alphabet sizes and records the declarative/procedural gap.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_experiment
 from repro.baselines import huffman_tree as procedural_huffman

@@ -9,7 +9,6 @@ the runtime is near-linear in the edge count.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import nlogn, print_experiment, shape_rows
 from repro.baselines import dijkstra_distances as procedural_dijkstra

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from benchmarks.conftest import print_experiment
 from repro.bench.runner import sweep

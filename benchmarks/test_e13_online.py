@@ -13,7 +13,6 @@ from __future__ import annotations
 import random
 import time
 
-import pytest
 
 from benchmarks.conftest import print_experiment
 from repro.core.greedy_engine import GreedyStageEngine

@@ -10,7 +10,6 @@ far from the quadratic a naive evaluation would show.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import nlogn, print_experiment, shape_rows
 from repro.baselines import prim_mst as procedural_prim

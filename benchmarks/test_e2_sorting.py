@@ -8,7 +8,6 @@ and compare against the procedural heap-sort baseline.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import nlogn, print_experiment, shape_rows
 from repro.baselines import heapsort

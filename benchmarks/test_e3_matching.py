@@ -7,7 +7,6 @@ least arc is popped, checked against the choice conditions, and moved to
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import nlogn, print_experiment, shape_rows
 from repro.baselines import greedy_matching

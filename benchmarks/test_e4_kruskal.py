@@ -10,11 +10,10 @@ merge.  The reproduction should show the declarative/procedural gap
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_experiment
 from repro.baselines import kruskal_mst as procedural_kruskal
-from repro.bench.runner import fitted_exponent, sweep
+from repro.bench.runner import sweep
 from repro.core.compiler import compile_program
 from repro.programs import texts
 from repro.programs._run import symmetric_edges

@@ -9,9 +9,7 @@ small polynomial, not exponential growth.
 
 from __future__ import annotations
 
-import math
 
-import pytest
 
 from benchmarks.conftest import print_experiment
 from repro.bench.runner import sweep

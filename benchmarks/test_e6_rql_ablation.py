@@ -10,7 +10,6 @@ and the rql/basic gap must widen with n.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_experiment
 from repro.bench.runner import sweep

@@ -8,7 +8,6 @@ work), while the seminaive deltas touch each derivation once (Θ(n²)).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import print_experiment
 from repro.bench.runner import sweep

@@ -11,7 +11,6 @@ from __future__ import annotations
 import itertools
 import random
 
-import pytest
 
 from benchmarks.conftest import print_experiment
 from repro.baselines import nearest_neighbor_chain

@@ -13,7 +13,6 @@ from __future__ import annotations
 import itertools
 import random
 
-import pytest
 
 from benchmarks.conftest import print_experiment
 from repro.bench.runner import sweep

@@ -6,7 +6,6 @@ Run with::
 """
 
 from repro import (
-    analyze_stages,
     compile_program,
     enumerate_choice_models,
     parse_program,

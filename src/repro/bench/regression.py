@@ -10,14 +10,26 @@ touching the planner or the executor and compare::
 
     PYTHONPATH=src python -m repro.bench.regression
 
+``--check`` turns the harness into a CI gate: instead of writing a new
+baseline it re-measures and compares the plan-cache sweep's *speedup
+ratios* (machine-independent, unlike raw seconds) against the committed
+baseline, failing when the mean speedup has regressed by more than
+``--tolerance`` (default 25%)::
+
+    PYTHONPATH=src python -m repro.bench.regression --check --tolerance 0.25
+
 The JSON shape is stable: ``sweeps`` maps a sweep name to per-size rows
 (``size``, ``before_s``, ``after_s``, ``speedup``) plus counter
-snapshots, and ``meta`` records the interpreter so numbers from
-different machines are not compared blindly.
+snapshots; each sweep also records a ``metrics`` block — the
+:mod:`repro.obs` registry snapshot (per-phase wall time and engine/
+storage counters) of one traced run at the largest size — and ``meta``
+records the interpreter so numbers from different machines are not
+compared blindly.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import sys
@@ -25,14 +37,16 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Sequence
 
 from repro.bench.runner import sweep
-from repro.core.compiler import solve_program
+from repro.core.compiler import compile_program, solve_program
 from repro.datalog.parser import parse_program
 from repro.datalog.seminaive import SeminaiveEngine
+from repro.obs.export import metrics_snapshot
+from repro.obs.tracer import Tracer
 from repro.programs import texts
 from repro.storage.database import Database
 from repro.workloads import random_costed_relation
 
-__all__ = ["run_regression", "main"]
+__all__ = ["run_regression", "check_against_baseline", "main"]
 
 TC = parse_program(
     """
@@ -81,6 +95,25 @@ def _rows(
     return rows
 
 
+def _tc_metrics(size: int) -> Dict[str, Any]:
+    """Metrics snapshot of one traced cached-plans TC run at *size*."""
+    db = Database()
+    db.assert_all("edge", _chain(size))
+    tracer = Tracer(enabled=True)
+    SeminaiveEngine(TC, tracer=tracer).run(db)
+    return metrics_snapshot(tracer.registry)
+
+
+def _sorting_metrics(size: int) -> Dict[str, Any]:
+    """Metrics snapshot of one traced greedy sorting run at *size*."""
+    tracer = Tracer(enabled=True)
+    compiled = compile_program(texts.SORTING)
+    compiled.run(
+        facts={"p": random_costed_relation(size, seed=0)}, seed=0, tracer=tracer
+    )
+    return metrics_snapshot(tracer.registry)
+
+
 def run_regression(
     tc_sizes: Sequence[int] = TC_SIZES,
     sort_sizes: Sequence[int] = SORT_SIZES,
@@ -113,6 +146,7 @@ def run_regression(
                 },
                 "exponent_before": round(uncached.exponent(), 3),
                 "exponent_after": round(cached.exponent(), 3),
+                "metrics": _tc_metrics(max(tc_sizes)),
             },
             "greedy_sorting": {
                 "description": "(R, Q, L) engine on the Example 5 sorting "
@@ -123,17 +157,98 @@ def run_regression(
                     for p in greedy.points
                 ],
                 "exponent": round(greedy.exponent(), 3),
+                "metrics": _sorting_metrics(max(sort_sizes)),
             },
         },
     }
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """Write ``BENCH_plans.json`` next to the repository's ``src/``."""
-    out = Path(argv[0]) if argv else Path(__file__).resolve().parents[3] / "BENCH_plans.json"
-    report = run_regression()
-    out.write_text(json.dumps(report, indent=2) + "\n")
+def _mean_speedup(report: Dict[str, Any]) -> float:
     rows = report["sweeps"]["seminaive_tc"]["rows"]
+    return sum(row["speedup"] for row in rows) / len(rows)
+
+
+def check_against_baseline(
+    report: Dict[str, Any], baseline: Dict[str, Any], tolerance: float = 0.25
+) -> List[str]:
+    """Compare the plan-cache sweep against *baseline*; return failures.
+
+    The gate compares the sweep's **mean speedup** (cached vs per-call
+    planning), not raw seconds: the ratio cancels the machine's constant
+    factor, so a committed baseline from one box is meaningful on
+    another.  A regression of more than ``tolerance`` (fractional) in
+    the mean speedup fails; an empty return value means the gate passed.
+    """
+    failures: List[str] = []
+    current = _mean_speedup(report)
+    expected = _mean_speedup(baseline)
+    floor = expected * (1.0 - tolerance)
+    if current < floor:
+        failures.append(
+            "plan-cache sweep regressed: mean speedup "
+            f"{current:.3f}x < {floor:.3f}x "
+            f"(baseline {expected:.3f}x - {tolerance:.0%} tolerance)"
+        )
+    return failures
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.regression",
+        description="Measure the plan-cache sweeps; write or check a baseline.",
+    )
+    parser.add_argument(
+        "out",
+        nargs="?",
+        default=None,
+        help="output path (default: BENCH_plans.json at the repo root)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the baseline instead of overwriting it",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE.json",
+        help="baseline file for --check (default: the out path)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional mean-speedup regression for --check (default 0.25)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Write ``BENCH_plans.json`` next to the repository's ``src/`` —
+    or, with ``--check``, gate against the committed baseline."""
+    args = _build_parser().parse_args(argv)
+    default_out = Path(__file__).resolve().parents[3] / "BENCH_plans.json"
+    out = Path(args.out) if args.out else default_out
+    report = run_regression()
+    rows = report["sweeps"]["seminaive_tc"]["rows"]
+    if args.check:
+        baseline_path = Path(args.baseline) if args.baseline else out
+        baseline = json.loads(baseline_path.read_text())
+        failures = check_against_baseline(report, baseline, tolerance=args.tolerance)
+        print(f"baseline {baseline_path}: mean speedup {_mean_speedup(baseline):.3f}x")
+        print(f"current : mean speedup {_mean_speedup(report):.3f}x")
+        for row in rows:
+            print(
+                f"  tc n={row['size']:>4}  before {row['before_s']:.4f}s  "
+                f"after {row['after_s']:.4f}s  speedup {row['speedup']:.2f}x"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print("OK: plan-cache speedup within tolerance")
+        return 0
+    out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
     for row in rows:
         print(

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Sequence
 
 __all__ = ["SweepPoint", "SweepResult", "sweep", "fitted_exponent"]
 

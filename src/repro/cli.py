@@ -1,14 +1,21 @@
-"""Command-line interface: run, analyse and verify programs.
+"""Command-line interface: run, analyse, verify and trace programs.
 
 ::
 
     python -m repro program.dl --facts g=edges.csv --seed 0 --query 'prm(X, Y, C, I)'
     python -m repro program.dl --analyze
     python -m repro program.dl --facts p=items.csv --verify --trace
+    python -m repro program.dl --trace-out run.jsonl --metrics-out run.json
+    python -m repro trace program.dl --facts g=edges.csv --seed 0
 
 Facts files are headerless CSV; each cell is parsed as an integer, then a
 float, then kept as a string.  Without ``--query``, every derived (IDB)
 relation is printed.
+
+The ``trace`` subcommand runs the program with structured tracing enabled
+and prints the span tree (clique → γ-step / saturation-round →
+rule-firing) plus the metrics table instead of the derived facts; see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -21,13 +28,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.compiler import ENGINES, compile_program
-from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.parser import parse_query
 from repro.datalog.terms import format_value
 from repro.datalog.unify import match_args
 from repro.errors import ReproError
 from repro.semantics.stable import verify_engine_output
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "trace_main", "build_parser", "build_trace_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,6 +84,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--save",
         metavar="FILE",
         help="also write the full computed database to FILE as fact clauses",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE.jsonl",
+        help="record a structured trace and write it as JSON lines to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE.json",
+        help="write the run's metrics registry (counters + timers) to FILE",
+    )
+    return parser
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Run a program with structured tracing enabled and print the "
+            "span tree and metrics table (instead of the derived facts)."
+        ),
+    )
+    parser.add_argument("program", help="path to the program file")
+    parser.add_argument(
+        "--facts",
+        action="append",
+        default=[],
+        metavar="PRED=FILE.csv",
+        help="load a predicate's facts from a headerless CSV (repeatable)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="rql",
+        help="evaluation engine (default: rql)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="rng seed for γ draws")
+    parser.add_argument(
+        "--jsonl",
+        metavar="FILE.jsonl",
+        help="also write the trace as JSON lines to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE.json",
+        help="also write the metrics registry to FILE",
+    )
+    parser.add_argument(
+        "--no-tree",
+        action="store_true",
+        help="suppress the span tree (print only the metrics table)",
     )
     return parser
 
@@ -136,12 +194,64 @@ def _print_facts(db, program, query: Optional[str], out) -> None:
             print(f"{key[0]}({values}).", file=out)
 
 
+def _run_engine(args, tracer):
+    """Compile, build the engine and evaluate; shared by both commands."""
+    from repro.core.compiler import _as_database, _make_engine
+
+    source = Path(args.program).read_text()
+    compiled = compile_program(source, engine=args.engine)
+    facts = _load_facts(args.facts)
+    rng = random.Random(args.seed) if args.seed is not None else None
+    engine = _make_engine(args.engine, compiled.program, rng, tracer=tracer)
+    db = _as_database(facts)
+    return compiled, engine, db
+
+
+def trace_main(argv: Sequence[str] | None = None, out=None) -> int:
+    """The ``repro trace`` subcommand; returns a process exit code."""
+    from repro.obs.export import (
+        format_metrics_table,
+        format_trace_tree,
+        write_metrics_json,
+        write_trace_jsonl,
+    )
+    from repro.obs.tracer import Tracer
+
+    out = out if out is not None else sys.stdout
+    args = build_trace_parser().parse_args(argv)
+    tracer = Tracer(enabled=True)
+    try:
+        _compiled, engine, db = _run_engine(args, tracer)
+        engine.run(db)
+        if not args.no_tree:
+            print(format_trace_tree(tracer), file=out)
+            print("", file=out)
+        print(format_metrics_table(tracer.registry), file=out)
+        if args.jsonl:
+            lines = write_trace_jsonl(tracer, args.jsonl)
+            print(f"\n% trace: {lines} records -> {args.jsonl}", file=out)
+        if args.metrics_out:
+            write_metrics_json(tracer.registry, args.metrics_out)
+            print(f"% metrics -> {args.metrics_out}", file=out)
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(list(argv[1:]), out=out)
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(enabled=bool(args.trace_out))
         source = Path(args.program).read_text()
         compiled = compile_program(source, engine=args.engine)
         if args.analyze:
@@ -149,13 +259,11 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return 0
         facts = _load_facts(args.facts)
         rng = random.Random(args.seed) if args.seed is not None else None
-        from repro.core.compiler import _make_engine
+        from repro.core.compiler import _as_database, _make_engine
 
-        engine = _make_engine(args.engine, compiled.program, rng)
+        engine = _make_engine(args.engine, compiled.program, rng, tracer=tracer)
         if args.trace and hasattr(engine, "record_trace"):
             engine.record_trace = True
-        from repro.core.compiler import _as_database
-
         db = _as_database(facts)
         engine.run(db)
         _print_facts(db, compiled.program, args.query, out)
@@ -169,6 +277,16 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                 values = ", ".join(format_value(v) for v in event.fact)
                 name = event.predicate[0]
                 print(f"%   {event.kind} {name}({values})", file=out)
+        if args.trace_out:
+            from repro.obs.export import write_trace_jsonl
+
+            lines = write_trace_jsonl(tracer, args.trace_out)
+            print(f"\n% trace: {lines} records -> {args.trace_out}", file=out)
+        if args.metrics_out:
+            from repro.obs.export import write_metrics_json
+
+            write_metrics_json(tracer.registry, args.metrics_out)
+            print(f"% metrics -> {args.metrics_out}", file=out)
         if args.verify:
             ok = verify_engine_output(compiled.program, db)
             print(f"\n% stable model: {ok}", file=out)

@@ -29,6 +29,7 @@ from repro.core.engine_base import BaseEngine
 from repro.core.stage_analysis import CliqueReport
 from repro.datalog.program import Program
 from repro.errors import EvaluationError
+from repro.obs.tracer import Tracer
 from repro.storage.database import Database
 
 __all__ = ["ChoiceFixpointEngine"]
@@ -58,6 +59,7 @@ class ChoiceFixpointEngine(BaseEngine):
         rng: random.Random | None = None,
         check_safety: bool = True,
         record_trace: bool = False,
+        tracer: Tracer | None = None,
     ):
         for rule in program.proper_rules():
             if rule.next_goals:
@@ -66,7 +68,11 @@ class ChoiceFixpointEngine(BaseEngine):
                     f"use a stage engine for: {rule}"
                 )
         super().__init__(
-            program, rng=rng, check_safety=check_safety, record_trace=record_trace
+            program,
+            rng=rng,
+            check_safety=check_safety,
+            record_trace=record_trace,
+            tracer=tracer,
         )
 
     def _run_stage_clique(self, report: CliqueReport, db: Database) -> None:

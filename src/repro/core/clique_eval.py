@@ -13,20 +13,14 @@ Three operations cover everything the engines need:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
 
-from repro.datalog.atoms import (
-    Atom,
-    ChoiceGoal,
-    LeastGoal,
-    Literal,
-    MostGoal,
-    NextGoal,
-)
+from repro.datalog.atoms import Atom, ChoiceGoal, LeastGoal, MostGoal, NextGoal
 from repro.datalog.builtins import eval_expr, order_key
 from repro.datalog.plans import PlanCache, compile_plan, run_plan
 from repro.datalog.rules import Rule
 from repro.datalog.unify import Subst, ground_term
+from repro.obs.tracer import NULL_SPAN, Tracer
 from repro.storage.database import Database
 from repro.storage.relation import Relation
 
@@ -101,24 +95,33 @@ def evaluate_rule_once(
     db: Database,
     initial: Subst | None = None,
     cache: PlanCache | None = None,
+    tracer: Tracer | None = None,
 ) -> List[Fact]:
     """Evaluate *rule* once (with extrema applied) and insert the results.
 
     Choice and next goals must have been handled by the caller; extrema
     goals are applied as a group-by filter over the body solutions.
 
+    With an enabled *tracer*, the evaluation is recorded as a
+    ``rule-firing`` span (unphased: a no-op while tracing is off).
+
     Returns the facts that were actually new.
     """
-    solutions = body_solutions(rule, db, initial, drop=(LeastGoal, MostGoal), cache=cache)
-    extrema = rule.extrema_goals
-    if extrema:
-        solutions = extrema_filter(solutions, extrema)
-    relation = db.relation(rule.head.pred, rule.head.arity)
-    new_facts: List[Fact] = []
-    for subst in solutions:
-        fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
-        if relation.add(fact):
-            new_facts.append(fact)
+    span = tracer.span("rule-firing", head=str(rule.head)) if tracer else NULL_SPAN
+    with span:
+        solutions = body_solutions(
+            rule, db, initial, drop=(LeastGoal, MostGoal), cache=cache
+        )
+        extrema = rule.extrema_goals
+        if extrema:
+            solutions = extrema_filter(solutions, extrema)
+        relation = db.relation(rule.head.pred, rule.head.arity)
+        new_facts: List[Fact] = []
+        for subst in solutions:
+            fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+            if relation.add(fact):
+                new_facts.append(fact)
+        span.note(solutions=len(solutions), new_facts=len(new_facts))
     return new_facts
 
 
@@ -128,6 +131,7 @@ def saturate(
     db: Database,
     seed_deltas: Dict[PredicateKey, List[Fact]] | None = None,
     cache: PlanCache | None = None,
+    tracer: Tracer | None = None,
 ) -> Dict[PredicateKey, List[Fact]]:
     """Seminaive fixpoint of *rules* over *db*.
 
@@ -146,6 +150,9 @@ def saturate(
             seed the deltas.
         cache: plan cache shared across calls, so the differential rounds
             reuse each rule's compiled delta-first plans.
+        tracer: records each differential round as a ``saturation-round``
+            span (phase ``saturate``) and, when enabled, each delta-rule
+            evaluation as a nested ``rule-firing`` span.
 
     Returns:
         Every new fact derived, keyed by predicate.
@@ -159,11 +166,17 @@ def saturate(
 
     deltas: Dict[PredicateKey, List[Fact]] = {}
     if seed_deltas is None:
-        for rule in rules:
-            new_facts = evaluate_rule_once(rule, db, cache=cache)
-            record(rule.head.key, new_facts)
-            if rule.head.key in predicates:
-                deltas.setdefault(rule.head.key, []).extend(new_facts)
+        seed_span = (
+            tracer.span("saturation-round", phase="saturate", seed=True)
+            if tracer
+            else NULL_SPAN
+        )
+        with seed_span:
+            for rule in rules:
+                new_facts = evaluate_rule_once(rule, db, cache=cache, tracer=tracer)
+                record(rule.head.key, new_facts)
+                if rule.head.key in predicates:
+                    deltas.setdefault(rule.head.key, []).extend(new_facts)
     else:
         for key, facts in seed_deltas.items():
             if facts:
@@ -175,20 +188,40 @@ def saturate(
             key: _as_relation(key, facts) for key, facts in deltas.items()
         }
         next_deltas: Dict[PredicateKey, List[Fact]] = {}
-        for rule, index, key in variants:
-            delta_rel = delta_relations.get(key)
-            if delta_rel is None:
-                continue
-            solutions = _delta_solutions(rule, db, index, delta_rel, cache)
-            relation = db.relation(rule.head.pred, rule.head.arity)
-            fresh: List[Fact] = []
-            for subst in solutions:
-                fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
-                if relation.add(fact):
-                    fresh.append(fact)
-            record(rule.head.key, fresh)
-            if rule.head.key in predicates and fresh:
-                next_deltas.setdefault(rule.head.key, []).extend(fresh)
+        round_span = (
+            tracer.span(
+                "saturation-round",
+                phase="saturate",
+                delta_facts=sum(len(f) for f in deltas.values()),
+            )
+            if tracer
+            else NULL_SPAN
+        )
+        with round_span:
+            fired = 0
+            for rule, index, key in variants:
+                delta_rel = delta_relations.get(key)
+                if delta_rel is None:
+                    continue
+                fired += 1
+                firing = (
+                    tracer.span("rule-firing", head=str(rule.head), delta=key[0])
+                    if tracer
+                    else NULL_SPAN
+                )
+                with firing:
+                    solutions = _delta_solutions(rule, db, index, delta_rel, cache)
+                    relation = db.relation(rule.head.pred, rule.head.arity)
+                    fresh: List[Fact] = []
+                    for subst in solutions:
+                        fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+                        if relation.add(fact):
+                            fresh.append(fact)
+                    firing.note(solutions=len(solutions), new_facts=len(fresh))
+                record(rule.head.key, fresh)
+                if rule.head.key in predicates and fresh:
+                    next_deltas.setdefault(rule.head.key, []).extend(fresh)
+            round_span.note(rule_firings=fired)
         deltas = next_deltas
     return produced
 

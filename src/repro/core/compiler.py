@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
 
 from repro.core.choice_fixpoint import ChoiceFixpointEngine
 from repro.core.greedy_engine import GreedyStageEngine
@@ -39,6 +39,7 @@ from repro.datalog.parser import parse_program
 from repro.datalog.program import Program
 from repro.datalog.seminaive import SeminaiveEngine
 from repro.errors import EvaluationError
+from repro.obs.tracer import Tracer
 from repro.storage.database import Database
 
 __all__ = ["CompiledProgram", "compile_program", "solve_program", "query", "ENGINES"]
@@ -71,6 +72,7 @@ class CompiledProgram:
         seed: int | None = None,
         rng: random.Random | None = None,
         engine: str | None = None,
+        tracer: Tracer | None = None,
     ) -> Database:
         """Evaluate the program and return the resulting database.
 
@@ -80,12 +82,15 @@ class CompiledProgram:
             seed: convenience for ``rng=random.Random(seed)``.
             rng: source of the non-deterministic γ draws.
             engine: override the engine chosen at compile time.
+            tracer: optional :class:`~repro.obs.tracer.Tracer` the run
+                emits spans/events and metrics into (pass one with
+                ``enabled=True`` to record a structured trace).
         """
         db = _as_database(facts)
         if rng is None and seed is not None:
             rng = random.Random(seed)
         name = engine or self.engine
-        engine_instance = _make_engine(name, self.program, rng)
+        engine_instance = _make_engine(name, self.program, rng, tracer=tracer)
         self.last_engine = engine_instance
         return engine_instance.run(db)
 
@@ -122,17 +127,22 @@ def _as_database(facts: FactsInput) -> Database:
     return db
 
 
-def _make_engine(name: str, program: Program, rng: random.Random | None):
+def _make_engine(
+    name: str,
+    program: Program,
+    rng: random.Random | None,
+    tracer: Tracer | None = None,
+):
     if name == "rql":
-        return GreedyStageEngine(program, rng=rng, check_safety=False)
+        return GreedyStageEngine(program, rng=rng, check_safety=False, tracer=tracer)
     if name == "basic":
-        return BasicStageEngine(program, rng=rng, check_safety=False)
+        return BasicStageEngine(program, rng=rng, check_safety=False, tracer=tracer)
     if name == "choice":
-        return ChoiceFixpointEngine(program, rng=rng, check_safety=False)
+        return ChoiceFixpointEngine(program, rng=rng, check_safety=False, tracer=tracer)
     if name == "naive":
-        return NaiveEngine(program, check_safety=False)
+        return NaiveEngine(program, check_safety=False, tracer=tracer)
     if name == "seminaive":
-        return SeminaiveEngine(program, check_safety=False)
+        return SeminaiveEngine(program, check_safety=False, tracer=tracer)
     raise EvaluationError(f"unknown engine {name!r}; expected one of {ENGINES}")
 
 

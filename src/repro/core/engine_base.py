@@ -20,7 +20,7 @@ reproducible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.clique_eval import (
@@ -37,6 +37,8 @@ from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.unify import Subst, ground_term, match_args
 from repro.errors import EvaluationError, StratificationError
+from repro.obs.metrics import RegistryBackedStats
+from repro.obs.tracer import Tracer
 from repro.storage.database import Database
 
 __all__ = ["BaseEngine", "ChoiceMemo", "EngineRunStats", "TraceEvent"]
@@ -45,9 +47,11 @@ Fact = Tuple[Any, ...]
 PredicateKey = Tuple[str, int]
 
 
-@dataclass
-class EngineRunStats:
-    """Counters shared by the core engines.
+class EngineRunStats(RegistryBackedStats):
+    """Counters shared by the core engines, backed by the run's
+    :class:`~repro.obs.metrics.MetricsRegistry` (each attribute reads and
+    writes the ``engine/<name>`` counter, so the trace exporters and the
+    stats facade always agree).
 
     ``plans_compiled`` / ``plan_cache_hits`` and the ``plan`` entry of
     ``phase_seconds`` are maintained by the engine's
@@ -56,17 +60,14 @@ class EngineRunStats:
     and saturation rounds re-run it.
     """
 
-    gamma_firings: int = 0
-    gamma_candidates_examined: int = 0
-    saturation_facts: int = 0
-    stages: int = 0
-    plans_compiled: int = 0
-    plan_cache_hits: int = 0
-    phase_seconds: Dict[str, float] = field(default_factory=dict)
-
-    def add_phase_time(self, phase: str, seconds: float) -> None:
-        """Accumulate *seconds* of wall time under *phase*."""
-        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+    _COUNTERS = (
+        "gamma_firings",
+        "gamma_candidates_examined",
+        "saturation_facts",
+        "stages",
+        "plans_compiled",
+        "plan_cache_hits",
+    )
 
 
 @dataclass(frozen=True)
@@ -193,13 +194,19 @@ class BaseEngine:
         rng: random.Random | None = None,
         check_safety: bool = True,
         record_trace: bool = False,
+        tracer: Tracer | None = None,
     ):
         if check_safety:
             program.check_safety()
         self.program = program
         self.rng = rng if rng is not None else random.Random()
         self.analysis: StageAnalysis = analyze_stages(program)
-        self.stats = EngineRunStats()
+        #: Structured span/event recorder; disabled by default.  Pass an
+        #: enabled :class:`~repro.obs.tracer.Tracer` to capture the full
+        #: clique → γ-step → saturation-round → rule-firing hierarchy.
+        self.tracer = tracer if tracer is not None else Tracer()
+        #: Counters backed by the tracer's metrics registry.
+        self.stats = EngineRunStats(registry=self.tracer.registry)
         #: Per-run compiled-plan cache shared by every clique evaluation.
         self.plans = PlanCache(stats=self.stats)
         self.record_trace = record_trace
@@ -209,6 +216,10 @@ class BaseEngine:
     def _note(self, kind: str, predicate: PredicateKey, fact: Fact, stage: int = -1) -> None:
         if self.record_trace:
             self.trace.append(TraceEvent(kind, predicate, fact, stage))
+        if self.tracer.enabled:
+            self.tracer.event(
+                kind, predicate=f"{predicate[0]}/{predicate[1]}", fact=fact, stage=stage
+            )
 
     # -- public API -------------------------------------------------------------
 
@@ -221,10 +232,21 @@ class BaseEngine:
         """
         if db is None:
             db = Database()
+        if self.tracer.enabled:
+            # Storage-layer counters (index builds/lookups) are collected
+            # only while a trace is on, keeping the default path free of
+            # per-lookup bookkeeping.
+            db.bind_metrics(self.tracer.registry)
         for name, facts in self.program.ground_facts().items():
             db.assert_all(name, facts)
         for report in self.analysis.reports:
-            self._run_clique(report, db)
+            preds = ",".join(
+                f"{n}/{a}" for n, a in sorted(report.clique.predicates)
+            )
+            with self.tracer.span(
+                "clique", phase="clique", kind=report.kind, predicates=preds
+            ):
+                self._run_clique(report, db)
         return db
 
     # -- clique dispatch -----------------------------------------------------------
@@ -249,7 +271,7 @@ class BaseEngine:
         if not clique.is_recursive:
             for rule in clique.rules:
                 self.stats.saturation_facts += len(
-                    evaluate_rule_once(rule, db, cache=self.plans)
+                    evaluate_rule_once(rule, db, cache=self.plans, tracer=self.tracer)
                 )
             return
         # Recursive plain clique: negation or extrema through recursion is
@@ -264,7 +286,9 @@ class BaseEngine:
                     raise StratificationError(
                         f"negation through recursion outside a stage clique: {rule}"
                     )
-        produced = saturate(clique.rules, clique.predicates, db, cache=self.plans)
+        produced = saturate(
+            clique.rules, clique.predicates, db, cache=self.plans, tracer=self.tracer
+        )
         self.stats.saturation_facts += sum(len(v) for v in produced.values())
 
     # -- choice cliques (γ / Q∞) ---------------------------------------------------------
@@ -287,12 +311,13 @@ class BaseEngine:
             clique.predicates,
             db,
             cache=self.plans,
+            tracer=self.tracer,
         )
         self.stats.saturation_facts += sum(len(v) for v in produced.values())
         for rule in flat_rules:
             if rule.extrema_goals:
                 self.stats.saturation_facts += len(
-                    evaluate_rule_once(rule, db, cache=self.plans)
+                    evaluate_rule_once(rule, db, cache=self.plans, tracer=self.tracer)
                 )
         # The FDs must hold over the whole head predicate, so pre-existing
         # facts (exit facts, lower-clique derivations) seed the memos.
@@ -315,6 +340,7 @@ class BaseEngine:
                 db,
                 seed_deltas={key: [fact]},
                 cache=self.plans,
+                tracer=self.tracer,
             )
             self.stats.saturation_facts += sum(len(v) for v in produced.values())
             for rule in choice_rules:
@@ -360,18 +386,23 @@ class BaseEngine:
         """
         rules = list(choice_rules)
         self.rng.shuffle(rules)
-        for rule in rules:
-            memo = memos[id(rule)]
-            eligible = self._eligible_choice_candidates(rule, memo, db)
-            if not eligible:
-                continue
-            subst = self.rng.choice(eligible)
-            memo.commit(subst)
-            fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
-            db.relation(rule.head.pred, rule.head.arity).add(fact)
-            self.stats.gamma_firings += 1
-            self._note("choose", rule.head.key, fact)
-            return rule.head.key, fact
+        with self.tracer.span("gamma-step", phase="gamma") as step:
+            for rule in rules:
+                memo = memos[id(rule)]
+                eligible = self._eligible_choice_candidates(rule, memo, db)
+                if not eligible:
+                    continue
+                subst = self.rng.choice(eligible)
+                memo.commit(subst)
+                fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+                db.relation(rule.head.pred, rule.head.arity).add(fact)
+                self.stats.gamma_firings += 1
+                step.note(
+                    predicate=f"{rule.head.pred}/{rule.head.arity}",
+                    eligible=len(eligible),
+                )
+                self._note("choose", rule.head.key, fact)
+                return rule.head.key, fact
         return None
 
 

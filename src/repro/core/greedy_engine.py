@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.rql import CongruenceSpec, RQLStructure
 from repro.core.stage_analysis import CliqueReport
@@ -39,6 +39,7 @@ from repro.datalog.rules import Rule
 from repro.datalog.terms import Const, Var
 from repro.datalog.unify import Subst, ground_term, match_args
 from repro.errors import EvaluationError
+from repro.obs.tracer import Tracer
 from repro.storage.database import Database
 
 __all__ = ["GreedyStageEngine", "RQLPlan"]
@@ -86,6 +87,7 @@ class GreedyStageEngine(BasicStageEngine):
         record_trace: bool = False,
         use_congruence: bool = True,
         max_stages: int | None = None,
+        tracer: Tracer | None = None,
     ):
         super().__init__(
             program,
@@ -94,6 +96,7 @@ class GreedyStageEngine(BasicStageEngine):
             allow_extended=allow_extended,
             record_trace=record_trace,
             max_stages=max_stages,
+            tracer=tracer,
         )
         #: With ``use_congruence=False`` the r-congruence deduplication is
         #: disabled (every candidate fact gets its own queue entry) — the
@@ -439,37 +442,45 @@ class GreedyStageEngine(BasicStageEngine):
         feeding new candidates after every firing."""
         memo = state.memos[id(plan.rule)]
         w_memo = state.w_memos[id(plan.rule)]
+        head_key = plan.rule.head.key
         while True:
             if self.max_stages is not None and state.stage >= self.max_stages:
                 raise EvaluationError(
                     f"stage clique exceeded max_stages={self.max_stages}; "
                     "the program may not be terminating"
                 )
-            candidate = structure.pop()
-            if candidate is None:
-                break
-            subst = self._admissible(plan, state, candidate, db)
-            if subst is None:
-                structure.mark_redundant(candidate)
-                self._note(
-                    "retire", plan.candidate_atom.key, candidate, state.stage
+            with self.tracer.span("gamma-step", phase="gamma", kind="rql-pop") as step:
+                candidate = structure.pop()
+                if candidate is None:
+                    break
+                step.note(queue_depth=len(structure))
+                subst = self._admissible(plan, state, candidate, db)
+                if subst is None:
+                    structure.mark_redundant(candidate)
+                    step.note(verdict="retire")
+                    self._note(
+                        "retire", plan.candidate_atom.key, candidate, state.stage
+                    )
+                    continue
+                structure.mark_used(candidate)
+                memo.commit(subst)
+                head_fact = tuple(
+                    ground_term(arg, subst) for arg in plan.rule.head.args
                 )
-                continue
-            structure.mark_used(candidate)
-            memo.commit(subst)
-            head_fact = tuple(ground_term(arg, subst) for arg in plan.rule.head.args)
-            w_memo.add(self._w_tuple(plan.rule, head_fact, state))
-            db.relation(plan.rule.head.pred, plan.rule.head.arity).add(head_fact)
-            self.stats.gamma_firings += 1
-            state.stage += 1
-            self.stats.stages += 1
-            self._note("choose", plan.rule.head.key, head_fact, state.stage)
-            state.absorb({plan.rule.head.key: [head_fact]})
-            produced = self._quiesce(state, db, seeds={plan.rule.head.key: [head_fact]})
+                w_memo.add(self._w_tuple(plan.rule, head_fact, state))
+                db.relation(plan.rule.head.pred, plan.rule.head.arity).add(head_fact)
+                self.stats.gamma_firings += 1
+                state.stage += 1
+                self.stats.stages += 1
+                step.note(verdict="choose", stage=state.stage)
+                self._note("choose", head_key, head_fact, state.stage)
+            state.absorb({head_key: [head_fact]})
+            produced = self._quiesce(state, db, seeds={head_key: [head_fact]})
             state.absorb(produced)
             for fact in produced.get(plan.candidate_atom.key, ()):
                 if match_args(plan.candidate_atom.args, fact, {}) is not None:
                     structure.insert(fact)
+        structure.publish(self.stats.registry, f"rql/{head_key[0]}")
 
     def _admissible(
         self,

@@ -32,9 +32,9 @@ the general problem open.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Tuple, Union
 
-from repro.core.stage_analysis import StageAnalysis, analyze_stages
+from repro.core.stage_analysis import analyze_stages
 from repro.datalog.atoms import Atom, LeastGoal, Literal, MostGoal
 from repro.datalog.parser import parse_program
 from repro.datalog.program import Program

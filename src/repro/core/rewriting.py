@@ -285,7 +285,6 @@ def rewrite_choice(program: Program, predicate_wide_fd: bool = True) -> Program:
             renamed_chosen_args = tuple(
                 renaming.get(v.name, v) if isinstance(v, Var) else v for v in control_args
             )
-            left_tuple = Struct("", goal.left)
             right_tuple = Struct("", goal.right)
             renamed_right = Struct(
                 "", tuple(_rename_term(t, renaming) for t in goal.right)

@@ -30,8 +30,8 @@ congruence signatures to live heap entries).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.datalog.builtins import order_key
 from repro.storage.heap import HeapEntry, PriorityQueue
@@ -184,6 +184,26 @@ class RQLStructure:
         self._retire(fact)
 
     # -- introspection ------------------------------------------------------------
+
+    def publish(self, registry: Any, prefix: str) -> None:
+        """Snapshot the operation counters and queue state into *registry*
+        (a :class:`~repro.obs.metrics.MetricsRegistry`) under *prefix*.
+
+        Called by the greedy engine when a clique finishes draining (and
+        again after every :meth:`~repro.core.greedy_engine.GreedyStageEngine.extend`
+        resume), so per-``next``-rule Q/L/R depths land next to the engine
+        counters with zero hot-path cost — gauge semantics: later
+        publishes overwrite."""
+        stats = self.stats
+        registry.set_counter(f"{prefix}/inserted", stats.inserted)
+        registry.set_counter(f"{prefix}/replaced", stats.replaced)
+        registry.set_counter(f"{prefix}/redundant", stats.redundant)
+        registry.set_counter(f"{prefix}/retrieved", stats.retrieved)
+        registry.set_counter(
+            f"{prefix}/rejected_at_retrieval", stats.rejected_at_retrieval
+        )
+        registry.set_counter(f"{prefix}/queue_depth", len(self.queue))
+        registry.set_counter(f"{prefix}/used_classes", len(self._used))
 
     @property
     def used_count(self) -> int:

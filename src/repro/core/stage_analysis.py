@@ -36,9 +36,7 @@ from repro.datalog.atoms import (
     Atom,
     ChoiceGoal,
     Comparison,
-    LeastGoal,
     Literal,
-    MostGoal,
     NegatedConjunction,
     Negation,
     NextGoal,

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.clique_eval import (
     body_solutions,
@@ -39,12 +39,12 @@ from repro.core.clique_eval import (
 )
 from repro.core.engine_base import BaseEngine, ChoiceMemo
 from repro.core.stage_analysis import CliqueReport
-from repro.datalog.atoms import Atom, ChoiceGoal, LeastGoal, MostGoal, NextGoal
 from repro.datalog.builtins import order_key
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Const, Var
+from repro.datalog.terms import Var
 from repro.datalog.unify import Subst, ground_term
 from repro.errors import EvaluationError, StageAnalysisError
+from repro.obs.tracer import Tracer
 from repro.storage.database import Database
 
 __all__ = ["BasicStageEngine", "StageCliqueState"]
@@ -151,9 +151,14 @@ class BasicStageEngine(BaseEngine):
         allow_extended: bool = True,
         record_trace: bool = False,
         max_stages: int | None = None,
+        tracer: Tracer | None = None,
     ):
         super().__init__(
-            program, rng=rng, check_safety=check_safety, record_trace=record_trace
+            program,
+            rng=rng,
+            check_safety=check_safety,
+            record_trace=record_trace,
+            tracer=tracer,
         )
         self.allow_extended = allow_extended
         #: Safety valve: abort if any stage clique exceeds this many
@@ -251,7 +256,12 @@ class BasicStageEngine(BaseEngine):
         all_produced: Dict[PredicateKey, List[Fact]] = {}
         while True:
             produced = saturate(
-                state.flat_rules, clique_preds, db, seed_deltas=seeds, cache=self.plans
+                state.flat_rules,
+                clique_preds,
+                db,
+                seed_deltas=seeds,
+                cache=self.plans,
+                tracer=self.tracer,
             )
             self.stats.saturation_facts += sum(len(v) for v in produced.values())
             for key, facts in produced.items():
@@ -270,7 +280,11 @@ class BasicStageEngine(BaseEngine):
         produced: Dict[PredicateKey, List[Fact]] = {}
         for rule, stage_var in state.param_rules:
             new = evaluate_rule_once(
-                rule, db, initial={stage_var: state.stage}, cache=self.plans
+                rule,
+                db,
+                initial={stage_var: state.stage},
+                cache=self.plans,
+                tracer=self.tracer,
             )
             self.stats.saturation_facts += len(new)
             if new:
@@ -284,22 +298,29 @@ class BasicStageEngine(BaseEngine):
     ) -> Optional[Tuple[PredicateKey, Fact]]:
         """Fire one stage-less choice rule of the clique (e.g. the TSP
         chain's exit rule selecting the globally cheapest arc)."""
-        for rule in state.exit_choice_rules:
-            memo = state.memos[id(rule)]
-            eligible = self._eligible_choice_candidates(rule, memo, db)
-            if not eligible:
-                continue
-            subst = self.rng.choice(eligible)
-            memo.commit(subst)
-            fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
-            db.relation(rule.head.pred, rule.head.arity).add(fact)
-            self.stats.gamma_firings += 1
-            self._note("choose", rule.head.key, fact)
-            # Keep the stage counter consistent with constant head stages.
-            pos = state.report.stage_positions.get(rule.head.key)
-            if pos is not None and isinstance(fact[pos], int):
-                state.stage = max(state.stage, fact[pos])
-            return rule.head.key, fact
+        if not state.exit_choice_rules:
+            return None
+        with self.tracer.span("gamma-step", phase="gamma", kind="exit-choice") as step:
+            for rule in state.exit_choice_rules:
+                memo = state.memos[id(rule)]
+                eligible = self._eligible_choice_candidates(rule, memo, db)
+                if not eligible:
+                    continue
+                subst = self.rng.choice(eligible)
+                memo.commit(subst)
+                fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+                db.relation(rule.head.pred, rule.head.arity).add(fact)
+                self.stats.gamma_firings += 1
+                step.note(
+                    predicate=f"{rule.head.pred}/{rule.head.arity}",
+                    eligible=len(eligible),
+                )
+                self._note("choose", rule.head.key, fact)
+                # Keep the stage counter consistent with constant head stages.
+                pos = state.report.stage_positions.get(rule.head.key)
+                if pos is not None and isinstance(fact[pos], int):
+                    state.stage = max(state.stage, fact[pos])
+                return rule.head.key, fact
         return None
 
     def _fire_next(
@@ -317,21 +338,27 @@ class BasicStageEngine(BaseEngine):
             )
         rules = list(state.next_rules)
         self.rng.shuffle(rules)
-        for rule in rules:
-            eligible = self._next_candidates(rule, state, db)
-            if not eligible:
-                continue
-            subst = self.rng.choice(eligible)
-            memo = state.memos[id(rule)]
-            memo.commit(subst)
-            fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
-            state.w_memos[id(rule)].add(self._w_tuple(rule, fact, state))
-            db.relation(rule.head.pred, rule.head.arity).add(fact)
-            self.stats.gamma_firings += 1
-            state.stage += 1
-            self.stats.stages += 1
-            self._note("choose", rule.head.key, fact, state.stage)
-            return rule.head.key, fact
+        with self.tracer.span("gamma-step", phase="gamma", kind="next") as step:
+            for rule in rules:
+                eligible = self._next_candidates(rule, state, db)
+                if not eligible:
+                    continue
+                subst = self.rng.choice(eligible)
+                memo = state.memos[id(rule)]
+                memo.commit(subst)
+                fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+                state.w_memos[id(rule)].add(self._w_tuple(rule, fact, state))
+                db.relation(rule.head.pred, rule.head.arity).add(fact)
+                self.stats.gamma_firings += 1
+                state.stage += 1
+                self.stats.stages += 1
+                step.note(
+                    predicate=f"{rule.head.pred}/{rule.head.arity}",
+                    stage=state.stage,
+                    eligible=len(eligible),
+                )
+                self._note("choose", rule.head.key, fact, state.stage)
+                return rule.head.key, fact
         return None
 
     def _next_candidates(

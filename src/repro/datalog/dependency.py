@@ -17,7 +17,7 @@ algorithm (no recursion limit issues on deep programs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.datalog.atoms import Atom, NegatedConjunction, Negation

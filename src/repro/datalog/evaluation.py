@@ -23,7 +23,7 @@ from repro.datalog.atoms import (
 )
 from repro.datalog.builtins import eval_comparison
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Term, Var
+from repro.datalog.terms import Term
 from repro.datalog.unify import Subst, ground_term, is_bound, match_term
 from repro.errors import EvaluationError
 from repro.storage.database import Database

@@ -19,7 +19,7 @@ as unexplained.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Set, Tuple
 
 from repro.datalog.plans import PlanCache, run_plan

@@ -13,21 +13,23 @@ never re-plans them.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import List
 
 from repro.datalog.dependency import DependencyGraph
 from repro.datalog.plans import PlanCache
 from repro.datalog.program import Program
 from repro.errors import EvaluationError
+from repro.obs.metrics import RegistryBackedStats
+from repro.obs.tracer import Tracer
 from repro.storage.database import Database
 
 __all__ = ["NaiveEngine", "EngineStats"]
 
 
-@dataclass
-class EngineStats:
-    """Counters exposed by the fixpoint engines (for tests and benches).
+class EngineStats(RegistryBackedStats):
+    """Counters exposed by the fixpoint engines (for tests and benches),
+    backed by the run's :class:`~repro.obs.metrics.MetricsRegistry` under
+    the ``engine/`` namespace.
 
     Attributes:
         iterations: fixpoint passes (naive) / rounds (seminaive).
@@ -39,19 +41,17 @@ class EngineStats:
             ``(rule, delta occurrence)`` per engine run.
         plan_cache_hits: plan requests served from the cache.
         phase_seconds: wall time per phase — ``"plan"`` (body compilation)
-            and ``"eval"`` (fixpoint evaluation).
+            and ``"eval"`` (fixpoint evaluation), plus a ``"round"``
+            entry accumulated per fixpoint pass.
     """
 
-    iterations: int = 0
-    rule_firings: int = 0
-    facts_derived: int = 0
-    plans_compiled: int = 0
-    plan_cache_hits: int = 0
-    phase_seconds: Dict[str, float] = field(default_factory=dict)
-
-    def add_phase_time(self, phase: str, seconds: float) -> None:
-        """Accumulate *seconds* of wall time under *phase*."""
-        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+    _COUNTERS = (
+        "iterations",
+        "rule_firings",
+        "facts_derived",
+        "plans_compiled",
+        "plan_cache_hits",
+    )
 
 
 class NaiveEngine:
@@ -72,7 +72,11 @@ class NaiveEngine:
     """
 
     def __init__(
-        self, program: Program, check_safety: bool = True, cache_plans: bool = True
+        self,
+        program: Program,
+        check_safety: bool = True,
+        cache_plans: bool = True,
+        tracer: Tracer | None = None,
     ):
         for rule in program.proper_rules():
             if rule.has_meta_goals:
@@ -83,7 +87,8 @@ class NaiveEngine:
             program.check_safety()
         self.program = program
         self.graph = DependencyGraph(program)
-        self.stats = EngineStats()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.stats = EngineStats(registry=self.tracer.registry)
         self.plans = PlanCache(stats=self.stats, enabled=cache_plans)
 
     def run(self, db: Database | None = None) -> Database:
@@ -98,6 +103,8 @@ class NaiveEngine:
         """
         if db is None:
             db = Database()
+        if self.tracer.enabled:
+            db.bind_metrics(self.tracer.registry)
         for name, facts in self.program.ground_facts().items():
             db.assert_all(name, facts)
         for rule in self.program.proper_rules():
@@ -106,20 +113,27 @@ class NaiveEngine:
         start = time.perf_counter()
         for group in self.graph.evaluation_order():
             rules = [rule for clique in group for rule in clique.rules]
-            self._saturate(rules, db)
+            preds = sorted({rule.head.pred for rule in rules})
+            with self.tracer.span("clique", phase="clique", kind="plain", predicates=preds):
+                self._saturate(rules, db)
         self.stats.add_phase_time("eval", time.perf_counter() - start)
         return db
 
     def _saturate(self, rules: List, db: Database) -> None:
+        tracer = self.tracer
         changed = True
         while changed:
             changed = False
             self.stats.iterations += 1
-            for rule in rules:
-                self.stats.rule_firings += 1
-                new_facts = list(self.plans.consequences(rule, db))
-                relation = db.relation(rule.head.pred, rule.head.arity)
-                for fact in new_facts:
-                    if relation.add(fact):
-                        self.stats.facts_derived += 1
-                        changed = True
+            self.stats.rule_firings += len(rules)
+            with tracer.span("saturation-round", phase="saturate") as round_span:
+                derived = 0
+                for rule in rules:
+                    new_facts = list(self.plans.consequences(rule, db))
+                    relation = db.relation(rule.head.pred, rule.head.arity)
+                    for fact in new_facts:
+                        if relation.add(fact):
+                            derived += 1
+                            changed = True
+                round_span.note(rule_firings=len(rules), new_facts=derived)
+            self.stats.facts_derived += derived

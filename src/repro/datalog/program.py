@@ -7,7 +7,6 @@ from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.datalog.atoms import Atom, Negation
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Const
 
 __all__ = ["Program"]
 

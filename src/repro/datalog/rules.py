@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.datalog.atoms import (
     Atom,
@@ -16,7 +16,7 @@ from repro.datalog.atoms import (
     Negation,
     NextGoal,
 )
-from repro.datalog.terms import Struct, Term, Var
+from repro.datalog.terms import Var
 from repro.errors import SafetyError
 
 __all__ = ["Rule"]

@@ -27,7 +27,6 @@ stable database.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.datalog.atoms import Atom
@@ -37,6 +36,7 @@ from repro.datalog.plans import PlanCache
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.errors import EvaluationError
+from repro.obs.tracer import NULL_SPAN, Tracer
 from repro.storage.database import Database
 from repro.storage.relation import Relation
 
@@ -63,7 +63,11 @@ class SeminaiveEngine:
     """
 
     def __init__(
-        self, program: Program, check_safety: bool = True, cache_plans: bool = True
+        self,
+        program: Program,
+        check_safety: bool = True,
+        cache_plans: bool = True,
+        tracer: Tracer | None = None,
     ):
         for rule in program.proper_rules():
             if rule.has_meta_goals:
@@ -74,7 +78,8 @@ class SeminaiveEngine:
             program.check_safety()
         self.program = program
         self.graph = DependencyGraph(program)
-        self.stats = EngineStats()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.stats = EngineStats(registry=self.tracer.registry)
         self.plans = PlanCache(stats=self.stats, enabled=cache_plans)
 
     def run(self, db: Database | None = None) -> Database:
@@ -86,6 +91,8 @@ class SeminaiveEngine:
         """
         if db is None:
             db = Database()
+        if self.tracer.enabled:
+            db.bind_metrics(self.tracer.registry)
         for name, facts in self.program.ground_facts().items():
             db.assert_all(name, facts)
         order = self.graph.evaluation_order()
@@ -100,40 +107,58 @@ class SeminaiveEngine:
         start = time.perf_counter()
         for group in order:
             for clique in group:
-                if clique.is_recursive:
-                    self._evaluate_recursive(clique, db)
-                else:
-                    self._evaluate_once(clique.rules, db)
+                preds = sorted(key[0] for key in clique.predicates)
+                kind = "recursive" if clique.is_recursive else "flat"
+                with self.tracer.span("clique", phase="clique", kind=kind, predicates=preds):
+                    if clique.is_recursive:
+                        self._evaluate_recursive(clique, db)
+                    else:
+                        self._evaluate_once(clique.rules, db)
         self.stats.add_phase_time("eval", time.perf_counter() - start)
         return db
 
     # -- non-recursive cliques ---------------------------------------------------
 
     def _evaluate_once(self, rules: Tuple[Rule, ...], db: Database) -> None:
+        tracer = self.tracer
         self.stats.iterations += 1
+        self.stats.rule_firings += len(rules)
         for rule in rules:
-            self.stats.rule_firings += 1
             relation = db.relation(rule.head.pred, rule.head.arity)
-            for fact in list(self.plans.consequences(rule, db)):
-                if relation.add(fact):
-                    self.stats.facts_derived += 1
+            span = (
+                tracer.span("rule-firing", head=str(rule.head))
+                if tracer.enabled
+                else NULL_SPAN
+            )
+            with span:
+                new = 0
+                for fact in list(self.plans.consequences(rule, db)):
+                    if relation.add(fact):
+                        new += 1
+                span.note(new_facts=new)
+            self.stats.facts_derived += new
 
     # -- recursive cliques ----------------------------------------------------------
 
     def _evaluate_recursive(self, clique: Clique, db: Database) -> None:
+        tracer = self.tracer
         predicates = clique.predicates
         # Initial round: full evaluation of every rule seeds the deltas.
         deltas: Dict[PredicateKey, Relation] = {
             key: Relation(f"Δ{key[0]}", key[1]) for key in predicates
         }
         self.stats.iterations += 1
-        for rule in clique.rules:
-            self.stats.rule_firings += 1
-            relation = db.relation(rule.head.pred, rule.head.arity)
-            for fact in list(self.plans.consequences(rule, db)):
-                if relation.add(fact):
-                    self.stats.facts_derived += 1
-                    deltas[rule.head.key].add(fact)
+        self.stats.rule_firings += len(clique.rules)
+        with tracer.span("saturation-round", phase="saturate", seed=True) as seed_span:
+            seeded = 0
+            for rule in clique.rules:
+                relation = db.relation(rule.head.pred, rule.head.arity)
+                for fact in list(self.plans.consequences(rule, db)):
+                    if relation.add(fact):
+                        seeded += 1
+                        deltas[rule.head.key].add(fact)
+            seed_span.note(delta_facts=seeded)
+        self.stats.facts_derived += seeded
 
         # Differential rounds: each variant runs its delta-first plan.
         variants = self._delta_variants(clique)
@@ -142,19 +167,38 @@ class SeminaiveEngine:
             new_deltas: Dict[PredicateKey, Relation] = {
                 key: Relation(f"Δ{key[0]}", key[1]) for key in predicates
             }
-            for rule, delta_index, delta_key in variants:
-                delta = deltas[delta_key]
-                if not len(delta):
-                    continue
-                self.stats.rule_firings += 1
-                relation = db.relation(rule.head.pred, rule.head.arity)
-                consequences = self.plans.consequences(
-                    rule, db, delta_index=delta_index, delta_relation=delta
+            with tracer.span("saturation-round", phase="saturate") as round_span:
+                fired = 0
+                derived = 0
+                for rule, delta_index, delta_key in variants:
+                    delta = deltas[delta_key]
+                    if not len(delta):
+                        continue
+                    fired += 1
+                    relation = db.relation(rule.head.pred, rule.head.arity)
+                    if tracer.enabled:
+                        rule_span = tracer.span(
+                            "rule-firing", head=str(rule.head), delta=delta_key[0]
+                        )
+                    else:
+                        rule_span = NULL_SPAN
+                    with rule_span:
+                        consequences = self.plans.consequences(
+                            rule, db, delta_index=delta_index, delta_relation=delta
+                        )
+                        new = 0
+                        for fact in list(consequences):
+                            if relation.add(fact):
+                                new_deltas[rule.head.key].add(fact)
+                                new += 1
+                        rule_span.note(new_facts=new)
+                    derived += new
+                round_span.note(
+                    rule_firings=fired,
+                    delta_facts=derived,
                 )
-                for fact in list(consequences):
-                    if relation.add(fact):
-                        self.stats.facts_derived += 1
-                        new_deltas[rule.head.key].add(fact)
+            self.stats.rule_firings += fired
+            self.stats.facts_derived += derived
             deltas = new_deltas
 
     def _delta_variants(self, clique: Clique) -> List[Tuple[Rule, int, PredicateKey]]:

@@ -9,7 +9,7 @@ greedy against brute force.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, List, Mapping, Set
+from typing import Any, Hashable, List, Mapping, Set
 
 from repro.datalog.builtins import order_key
 from repro.matroids.matroid import IndependenceSystem

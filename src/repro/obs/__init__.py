@@ -1,0 +1,41 @@
+"""Engine observability: structured tracing and a unified metrics registry.
+
+The seam every engine reports through:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — the single counter/timer
+  store behind ``engine.stats`` (the old ad-hoc counters are now
+  registry-backed facades), the storage-layer counters, and the
+  per-``next``-rule (R, Q, L) numbers;
+* :class:`~repro.obs.tracer.Tracer` — nestable spans (clique → γ-step →
+  saturation-round → rule-firing) and point events with monotonic
+  timestamps; disabled by default and zero-overhead-safe while off;
+* exporters — JSON-lines (:func:`~repro.obs.export.write_trace_jsonl`)
+  and human-readable tables (:func:`~repro.obs.export.format_trace_tree`,
+  :func:`~repro.obs.export.format_metrics_table`).
+
+See ``docs/observability.md`` for how to read a trace.
+"""
+
+from repro.obs.export import (
+    format_metrics_table,
+    format_trace_tree,
+    metrics_snapshot,
+    trace_rows,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry, RegistryBackedStats
+from repro.obs.tracer import Tracer, TraceRecord
+
+__all__ = [
+    "MetricsRegistry",
+    "RegistryBackedStats",
+    "TraceRecord",
+    "Tracer",
+    "format_metrics_table",
+    "format_trace_tree",
+    "metrics_snapshot",
+    "trace_rows",
+    "write_metrics_json",
+    "write_trace_jsonl",
+]

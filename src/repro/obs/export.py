@@ -1,0 +1,143 @@
+"""Trace and metrics exporters: JSON-lines and human-readable tables.
+
+Two audiences:
+
+* machines — :func:`trace_rows` / :func:`write_trace_jsonl` emit one
+  JSON object per record with a stable schema (golden-tested), and
+  :func:`metrics_snapshot` / :func:`write_metrics_json` dump the
+  registry.  ``repro.bench.regression`` stores these snapshots in
+  ``BENCH_*.json`` so per-phase numbers are comparable across PRs;
+* humans — :func:`format_trace_tree` renders the span hierarchy with
+  durations, :func:`format_metrics_table` the counters and phase timers.
+
+JSONL schema (one object per line, in start order)::
+
+    {"kind": "span" | "event", "name": str, "phase": str | null,
+     "span_id": int, "parent_id": int | null, "depth": int,
+     "t_start": float, "t_end": float | null, "duration": float | null,
+     "attrs": {...}}
+
+``t_start``/``t_end`` are seconds since the tracer's epoch (run start).
+Attribute values that are not JSON-native (tuples, AST nodes) are
+stringified, so every line always serialises.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "trace_rows",
+    "write_trace_jsonl",
+    "format_trace_tree",
+    "metrics_snapshot",
+    "write_metrics_json",
+    "format_metrics_table",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def trace_rows(tracer: Tracer, precision: int = 9) -> List[Dict[str, Any]]:
+    """The tracer's records as JSON-ready dicts (epoch-relative times)."""
+    epoch = tracer.epoch
+    rows: List[Dict[str, Any]] = []
+    for record in tracer.records:
+        duration = record.duration
+        rows.append(
+            {
+                "kind": record.kind,
+                "name": record.name,
+                "phase": record.phase,
+                "span_id": record.span_id,
+                "parent_id": record.parent_id,
+                "depth": record.depth,
+                "t_start": round(record.start - epoch, precision),
+                "t_end": (
+                    None if record.end is None else round(record.end - epoch, precision)
+                ),
+                "duration": None if duration is None else round(duration, precision),
+                "attrs": _jsonable(record.attrs),
+            }
+        )
+    return rows
+
+
+def write_trace_jsonl(tracer: Tracer, target: Union[str, IO[str]]) -> int:
+    """Write the trace as JSON lines to a path or text file object.
+
+    Returns the number of lines written.
+    """
+    rows = trace_rows(tracer)
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            return _write_lines(rows, handle)
+    return _write_lines(rows, target)
+
+
+def _write_lines(rows: List[Dict[str, Any]], handle: IO[str]) -> int:
+    for row in rows:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)
+
+
+def format_trace_tree(tracer: Tracer, max_attr_chars: int = 60) -> str:
+    """An indented, human-readable rendering of the recorded trace."""
+    lines: List[str] = []
+    for record in tracer.records:
+        indent = "  " * record.depth
+        if record.kind == "span":
+            duration = record.duration
+            timing = "open" if duration is None else f"{duration * 1000:.3f}ms"
+            head = f"{indent}{record.name} [{timing}]"
+        else:
+            head = f"{indent}* {record.name}"
+        if record.attrs:
+            attrs = ", ".join(f"{k}={v}" for k, v in record.attrs.items())
+            if len(attrs) > max_attr_chars:
+                attrs = attrs[: max_attr_chars - 1] + "…"
+            head = f"{head}  {attrs}"
+        lines.append(head)
+    return "\n".join(lines)
+
+
+def metrics_snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
+    """A JSON-ready snapshot: counters, timers, and the phase view."""
+    snapshot = registry.snapshot()
+    snapshot["phase_seconds"] = registry.phase_seconds()
+    return snapshot
+
+
+def write_metrics_json(registry: MetricsRegistry, target: Union[str, IO[str]]) -> None:
+    """Dump :func:`metrics_snapshot` as indented JSON to a path or file."""
+    payload = json.dumps(metrics_snapshot(registry), indent=2, sort_keys=True) + "\n"
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            handle.write(payload)
+    else:
+        target.write(payload)
+
+
+def format_metrics_table(registry: MetricsRegistry) -> str:
+    """Counters and timers as an aligned two-column table."""
+    from repro.bench.reporting import format_table
+
+    rows: List[List[Any]] = [
+        [name, value] for name, value in sorted(registry.counters.items())
+    ]
+    rows.extend(
+        [name, f"{seconds:.6f}s"] for name, seconds in sorted(registry.timers.items())
+    )
+    return format_table(["metric", "value"], rows)

@@ -1,0 +1,162 @@
+"""The unified metrics registry behind every engine counter.
+
+Before this module, each engine grew its own ad-hoc counter dataclass
+(``EngineRunStats`` on the core engines, ``EngineStats`` on naive and
+seminaive) and the storage layer kept private tallies that never met the
+engine numbers.  :class:`MetricsRegistry` is the single sink all of them
+now write into: a flat namespace of **counters** (monotonic integers, or
+gauges when :meth:`MetricsRegistry.set_counter` overwrites) and
+**timers** (accumulated wall-clock seconds).
+
+Names are slash-namespaced by convention:
+
+* ``engine/<counter>`` — the engine counters (``gamma_firings``,
+  ``plans_compiled``, ...) that the stats facades expose as attributes;
+* ``phase/<phase>`` — wall time per evaluation phase (``clique``,
+  ``gamma``, ``saturate``, ``plan``, ``eval``, ...), fed by
+  :class:`~repro.obs.tracer.Tracer` spans and by
+  ``add_phase_time`` calls;
+* ``relation/...`` — storage-layer counters (index builds, lookups),
+  populated only while a registry is bound to the database;
+* ``rql/<pred>/...`` — per-``next``-rule (R, Q, L) counters published
+  when a greedy clique finishes draining.
+
+:class:`RegistryBackedStats` keeps the old attribute API alive: each
+subclass declares its counter names once and gets read/write properties
+delegating to the registry, so ``engine.stats.gamma_firings += 1`` and
+``registry.counter("engine/gamma_firings")`` are the same number.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Dict, Tuple
+
+__all__ = ["MetricsRegistry", "RegistryBackedStats"]
+
+PHASE_PREFIX = "phase/"
+
+
+class MetricsRegistry:
+    """A flat name → value store for counters and timers.
+
+    Example:
+        >>> registry = MetricsRegistry()
+        >>> registry.inc("engine/gamma_firings")
+        >>> registry.inc("engine/gamma_firings", 2)
+        >>> registry.counter("engine/gamma_firings")
+        3
+        >>> registry.add_time("phase/gamma", 0.25)
+        >>> registry.time("phase/gamma")
+        0.25
+    """
+
+    __slots__ = ("counters", "timers")
+
+    def __init__(self) -> None:
+        #: name -> running total (int for counters, any number for gauges).
+        self.counters: Dict[str, Any] = {}
+        #: name -> accumulated seconds.
+        self.timers: Dict[str, float] = {}
+
+    # -- counters -------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to the counter *name* (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_counter(self, name: str, value: Any) -> None:
+        """Overwrite the counter *name* (gauge semantics)."""
+        self.counters[name] = value
+
+    def counter(self, name: str, default: Any = 0) -> Any:
+        """The current value of the counter *name*."""
+        return self.counters.get(name, default)
+
+    # -- timers ---------------------------------------------------------------
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate *seconds* of wall time under the timer *name*."""
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def time(self, name: str, default: float = 0.0) -> float:
+        """The accumulated seconds of the timer *name*."""
+        return self.timers.get(name, default)
+
+    # -- views ----------------------------------------------------------------
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """The ``phase/*`` timers with the prefix stripped — the shape the
+        engines' ``stats.phase_seconds`` has always had."""
+        prefix_len = len(PHASE_PREFIX)
+        return {
+            name[prefix_len:]: seconds
+            for name, seconds in self.timers.items()
+            if name.startswith(PHASE_PREFIX)
+        }
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A JSON-ready copy: ``{"counters": {...}, "timers": {...}}``."""
+        return {"counters": dict(self.counters), "timers": dict(self.timers)}
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.timers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.timers)} timers)"
+        )
+
+
+def _counter_property(key: str) -> property:
+    def _get(self: "RegistryBackedStats") -> Any:
+        return self.registry.counter(key)
+
+    def _set(self: "RegistryBackedStats", value: Any) -> None:
+        self.registry.set_counter(key, value)
+
+    return property(_get, _set, doc=f"registry counter {key!r}")
+
+
+class RegistryBackedStats:
+    """Attribute facade over a :class:`MetricsRegistry`.
+
+    Subclasses list their counter names in ``_COUNTERS``; each becomes a
+    read/write property delegating to ``registry`` under the ``engine/``
+    namespace, so the historical ``stats.<counter>`` API (including
+    ``+=``) keeps working while every number lives in the registry.
+    """
+
+    _COUNTERS: ClassVar[Tuple[str, ...]] = ()
+    _PREFIX: ClassVar[str] = "engine/"
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        for name in cls.__dict__.get("_COUNTERS", ()):
+            setattr(cls, name, _counter_property(cls._PREFIX + name))
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """Wall time per phase (a fresh dict view over ``phase/*`` timers)."""
+        return self.registry.phase_seconds()
+
+    def add_phase_time(self, phase: str, seconds: float) -> None:
+        """Accumulate *seconds* of wall time under *phase*."""
+        self.registry.add_time(PHASE_PREFIX + phase, seconds)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The declared counters plus ``phase_seconds``, as plain data."""
+        data: Dict[str, Any] = {name: getattr(self, name) for name in self._COUNTERS}
+        data["phase_seconds"] = self.phase_seconds
+        return data
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}={getattr(self, name)}" for name in self._COUNTERS)
+        return f"{type(self).__name__}({parts})"

@@ -1,0 +1,266 @@
+"""Structured tracing: nestable spans and point events with monotonic time.
+
+A :class:`Tracer` records what an engine run *did* and *when*:
+
+* **spans** — nested timed regions.  The engines open one span per
+  clique (``clique``), one per γ step (``gamma-step``), one per
+  saturation round (``saturation-round``) and — at the finest level —
+  one per rule firing (``rule-firing``);
+* **events** — zero-duration points (a γ ``choose``, an (R, Q, L)
+  ``retire``, a queue-depth sample).
+
+Timestamps come from ``time.perf_counter`` (monotonic; meaningful only
+relative to the tracer's ``epoch``).  Every span carries a ``phase``
+bucket; on exit its duration is accumulated into the shared
+:class:`~repro.obs.metrics.MetricsRegistry` under ``phase/<phase>`` —
+which is exactly what the engines' ``stats.phase_seconds`` reads, so the
+trace and the counters reconcile by construction.
+
+Cost discipline (the contract the overhead tests pin down):
+
+* spans **with** a phase always time themselves (two clock reads and a
+  dict update), enabled or not — that is the always-on phase metering;
+* spans **without** a phase, and all events, are full no-ops while the
+  tracer is disabled: ``span()`` returns a shared null handle, nothing
+  is allocated, nothing is recorded.
+
+Example::
+
+    tracer = Tracer(enabled=True)
+    with tracer.span("clique", phase="clique", preds="path/2"):
+        with tracer.span("gamma-step", phase="gamma") as step:
+            step.note(candidates=3)
+            tracer.event("choose", fact=("a", "b"))
+    tracer.records  # two spans + one event, parented and depth-tagged
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import PHASE_PREFIX, MetricsRegistry
+
+__all__ = ["Tracer", "TraceRecord", "NULL_SPAN"]
+
+
+@dataclass
+class TraceRecord:
+    """One recorded span or event.
+
+    Attributes:
+        kind: ``"span"`` or ``"event"``.
+        name: what the region/point is (``clique``, ``gamma-step``,
+            ``saturation-round``, ``rule-firing``, ``choose``, ...).
+        phase: the timing bucket the duration is accounted under, or
+            ``None`` (events, unphased spans).
+        start: monotonic start time (``time.perf_counter`` seconds).
+        end: monotonic end time; equals ``start`` for events; ``None``
+            while a span is still open.
+        span_id: unique id within the tracer (1-based, in start order).
+        parent_id: enclosing span's id, or ``None`` at top level.
+        depth: nesting depth (0 at top level).
+        attrs: free-form attributes (``pred``, ``stage``, ``fact``...).
+    """
+
+    kind: str
+    name: str
+    phase: Optional[str]
+    start: float
+    end: Optional[float] = None
+    span_id: int = 0
+    parent_id: Optional[int] = None
+    depth: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds between start and end (``None`` for open spans, 0.0
+        for events)."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+
+class _NullSpan:
+    """The shared no-op handle returned while the tracer is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def note(self, **attrs: Any) -> None:
+        """Discard attributes (the real handle attaches them)."""
+
+
+#: The shared no-op span handle; callers that may run without a tracer
+#: can substitute it to keep a single code path (``with NULL_SPAN: ...``).
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span handle: times the region, feeds the phase timer, and
+    (when the tracer records) appends a :class:`TraceRecord`."""
+
+    __slots__ = ("_tracer", "_phase", "_record", "_start")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, phase: Optional[str], attrs: Dict[str, Any]
+    ):
+        self._tracer = tracer
+        self._phase = phase
+        if tracer.enabled:
+            record = TraceRecord(
+                kind="span",
+                name=name,
+                phase=phase,
+                start=0.0,
+                span_id=tracer._next_id,
+                parent_id=tracer._stack[-1] if tracer._stack else None,
+                depth=len(tracer._stack),
+                attrs=attrs,
+            )
+            tracer._next_id += 1
+            tracer.records.append(record)
+            tracer._stack.append(record.span_id)
+            self._record = record
+        else:
+            self._record = None
+        self._start = tracer.clock()
+        if self._record is not None:
+            self._record.start = self._start
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        end = self._tracer.clock()
+        if self._phase is not None:
+            self._tracer.registry.add_time(
+                PHASE_PREFIX + self._phase, end - self._start
+            )
+        record = self._record
+        if record is not None:
+            record.end = end
+            stack = self._tracer._stack
+            if stack and stack[-1] == record.span_id:
+                stack.pop()
+
+    def note(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. how many facts a
+        rule firing derived).  No-op while the tracer is disabled."""
+        if self._record is not None:
+            self._record.attrs.update(attrs)
+
+
+class Tracer:
+    """Span/event recorder shared by an engine run.
+
+    Args:
+        registry: the metrics registry phase durations accumulate into
+            (a fresh one is created when omitted; engines pass theirs so
+            ``stats.phase_seconds`` and the trace agree).
+        enabled: whether spans and events are *recorded*.  Phase timing
+            of phased spans happens regardless.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    __slots__ = (
+        "registry",
+        "enabled",
+        "clock",
+        "epoch",
+        "records",
+        "_stack",
+        "_next_id",
+    )
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        enabled: bool = False,
+        clock: Any = time.perf_counter,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.enabled = enabled
+        self.clock = clock
+        #: The instant the tracer was created; exporters subtract it so
+        #: timestamps read as seconds-since-run-start.
+        self.epoch: float = clock()
+        self.records: List[TraceRecord] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    def span(self, name: str, phase: str | None = None, **attrs: Any):
+        """Open a timed region; use as a context manager.
+
+        With *phase*, the duration is added to ``phase/<phase>`` even
+        when disabled.  Without it, a disabled tracer returns the shared
+        null handle — a true no-op.
+        """
+        if not self.enabled and phase is None:
+            return NULL_SPAN
+        return _Span(self, name, phase, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a zero-duration point event (no-op while disabled)."""
+        if not self.enabled:
+            return
+        now = self.clock()
+        self.records.append(
+            TraceRecord(
+                kind="event",
+                name=name,
+                phase=None,
+                start=now,
+                end=now,
+                span_id=self._next_id,
+                parent_id=self._stack[-1] if self._stack else None,
+                depth=len(self._stack),
+                attrs=attrs,
+            )
+        )
+        self._next_id += 1
+
+    # -- introspection --------------------------------------------------------
+
+    def spans(self, name: str | None = None) -> List[TraceRecord]:
+        """The recorded spans, optionally filtered by *name*."""
+        return [
+            r
+            for r in self.records
+            if r.kind == "span" and (name is None or r.name == name)
+        ]
+
+    def events(self, name: str | None = None) -> List[TraceRecord]:
+        """The recorded events, optionally filtered by *name*."""
+        return [
+            r
+            for r in self.records
+            if r.kind == "event" and (name is None or r.name == name)
+        ]
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Total recorded span seconds per phase (closed spans only).
+
+        This is computed from the *records*; it must reconcile with the
+        registry's ``phase/*`` timers for every phase that only tracer
+        spans feed (the acceptance test holds them within 5%).
+        """
+        totals: Dict[str, float] = {}
+        for record in self.records:
+            if record.kind == "span" and record.phase and record.end is not None:
+                totals[record.phase] = totals.get(record.phase, 0.0) + record.duration
+        return totals
+
+    def clear(self) -> None:
+        """Drop the recorded trace (the registry is left untouched)."""
+        self.records.clear()
+        self._stack.clear()
+        self._next_id = 1
+        self.epoch = self.clock()

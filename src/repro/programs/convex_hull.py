@@ -11,7 +11,7 @@ it.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterable, List, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro.programs import texts
 from repro.programs._run import run

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Hashable, Iterable, Optional, Tuple
 
 from repro.programs import texts
 from repro.programs._run import run, symmetric_edges

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable, List, Tuple
+from typing import Any, Hashable, Iterable, Tuple
 
 from repro.programs import texts
 from repro.programs._run import run

@@ -24,7 +24,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import FrozenSet, List, Tuple, Union
 
 from repro.core.compiler import FactsInput, _as_database
 from repro.core.stage_analysis import CliqueReport
@@ -148,7 +148,7 @@ class _Enumerator:
         )
         from repro.core.clique_eval import evaluate_rule_once, saturate
 
-        produced = saturate(state.flat_rules, clique.predicates, db)
+        saturate(state.flat_rules, clique.predicates, db)
         for rule in flat_rules:
             if rule.extrema_goals:
                 evaluate_rule_once(rule, db)

@@ -20,7 +20,7 @@ test.
 
 from __future__ import annotations
 
-from typing import Iterable, Set, Tuple
+from typing import Set, Tuple
 
 from repro.core.rewriting import (
     CHOSEN_PREFIX,

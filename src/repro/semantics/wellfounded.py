@@ -20,7 +20,7 @@ Facts in ``U - K`` are *undefined*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, Set, Tuple
 
 from repro.datalog.program import Program
 from repro.semantics.stable import least_model

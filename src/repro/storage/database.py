@@ -31,6 +31,16 @@ class Database:
 
     def __init__(self) -> None:
         self._relations: Dict[PredicateKey, Relation] = {}
+        self._metrics: Any = None
+
+    def bind_metrics(self, registry: Any) -> None:
+        """Publish ``relation/*`` counters (lookups, index builds) into
+        *registry* — for every existing relation and every relation
+        created later.  Engines call this only when tracing is enabled,
+        so the default hot path stays metric-free."""
+        self._metrics = registry
+        for rel in self._relations.values():
+            rel.bind_metrics(registry)
 
     def relation(self, name: str, arity: int) -> Relation:
         """The relation for ``name/arity``, created empty if absent."""
@@ -38,6 +48,8 @@ class Database:
         rel = self._relations.get(key)
         if rel is None:
             rel = Relation(name, arity)
+            if self._metrics is not None:
+                rel.bind_metrics(self._metrics)
             self._relations[key] = rel
         return rel
 

@@ -21,7 +21,7 @@ procedural complexity.
 
 from __future__ import annotations
 
-from typing import Any, Generic, Hashable, Iterator, TypeVar
+from typing import Any, Generic, Iterator, TypeVar
 
 __all__ = ["PriorityQueue", "HeapEntry"]
 

@@ -44,6 +44,13 @@ class Relation:
         self._facts: Set[Fact] = set()
         # positions-tuple -> {key-values-tuple -> set of facts}
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Any, ...], Set[Fact]]] = {}
+        # Optional MetricsRegistry; bound by Database.bind_metrics when an
+        # engine runs with tracing enabled, None (and costless) otherwise.
+        self.metrics: Any = None
+
+    def bind_metrics(self, registry: Any) -> None:
+        """Start publishing ``relation/*`` counters into *registry*."""
+        self.metrics = registry
 
     # -- basic container protocol -------------------------------------------
 
@@ -123,6 +130,8 @@ class Relation:
         materialise consequences before asserting them, which satisfies
         the contract; materialise (``list(...)``) first if you mutate.
         """
+        if self.metrics is not None:
+            self.metrics.inc("relation/lookups")
         if not positions:
             return tuple(self._facts)
         index = self._indexes.get(positions)
@@ -164,6 +173,8 @@ class Relation:
                 raise IndexError(
                     f"index position {p} out of range for {self.name}/{self.arity}"
                 )
+        if self.metrics is not None:
+            self.metrics.inc("relation/index_builds")
         index: Dict[Tuple[Any, ...], Set[Fact]] = {}
         for fact in self._facts:
             key = tuple(fact[p] for p in positions)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.clique_eval import (
     body_solutions,
@@ -11,7 +10,6 @@ from repro.core.clique_eval import (
     saturate,
 )
 from repro.datalog.parser import parse_program, parse_rule
-from repro.errors import StratificationError
 from repro.storage.database import Database
 
 

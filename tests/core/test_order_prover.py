@@ -3,7 +3,6 @@ stage-stratification check."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.stage_analysis import _OrderProver
 from repro.datalog.atoms import Comparison

@@ -12,7 +12,7 @@ from repro.core.rewriting import (
     rewrite_extrema,
     rewrite_program,
 )
-from repro.datalog.atoms import ChoiceGoal, Comparison, NegatedConjunction, Negation
+from repro.datalog.atoms import Comparison
 from repro.datalog.naive import NaiveEngine
 from repro.datalog.parser import parse_program
 from repro.errors import RewriteError

@@ -7,7 +7,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core.greedy_engine import GreedyStageEngine, RQLPlan
 from repro.datalog.parser import parse_program

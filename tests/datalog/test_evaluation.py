@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datalog.atoms import Atom, Comparison, NegatedConjunction
+from repro.datalog.atoms import Atom, Comparison
 from repro.datalog.evaluation import plan_body, rule_consequences, solve
 from repro.datalog.parser import parse_rule
 from repro.errors import EvaluationError

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.datalog.parser import parse_term
 from repro.datalog.terms import Const, Struct, Var, format_value

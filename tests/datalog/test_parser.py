@@ -6,7 +6,6 @@ import pytest
 
 from repro.datalog.atoms import (
     Atom,
-    ChoiceGoal,
     Comparison,
     LeastGoal,
     MostGoal,

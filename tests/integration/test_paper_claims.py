@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro.core.compiler import compile_program, solve_program
+from repro.core.compiler import solve_program
 from repro.core.greedy_engine import GreedyStageEngine
 from repro.core.stage_analysis import analyze_stages
 from repro.datalog.parser import parse_program

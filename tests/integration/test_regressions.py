@@ -7,7 +7,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core.compiler import solve_program
 from repro.datalog.evaluation import plan_body
@@ -15,7 +14,6 @@ from repro.datalog.parser import parse_program, parse_rule
 from repro.programs import texts
 from repro.programs._run import symmetric_edges
 from repro.semantics.stable import verify_engine_output
-from repro.storage.database import Database
 
 
 class TestPlannerArithmeticInversion:

@@ -3,7 +3,6 @@ Python recursion limits or pathological slowdowns."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.compiler import compile_program, solve_program
 from repro.datalog.parser import parse_program

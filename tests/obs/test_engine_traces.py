@@ -1,0 +1,142 @@
+"""Engine-level tracing: golden traces, reconciliation, zero overhead.
+
+The golden files pin the *structure* of the trace — span names, nesting,
+phases, attributes — while stripping wall-clock fields, so they are
+stable across machines.  All constants in the traced programs are
+integers: unlike strings, integer hashing is not randomised per process,
+so set iteration order (and hence candidate enumeration) is reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.compiler import compile_program
+from repro.obs.export import trace_rows
+from repro.obs.tracer import Tracer
+from repro.programs import texts
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CHOICE_FACTS = {"takes": [(1, 101), (1, 102), (2, 101), (2, 102)]}
+SORT_FACTS = {"p": [(10, 3), (20, 1), (30, 2)]}
+
+VOLATILE_FIELDS = ("t_start", "t_end", "duration")
+
+
+def normalized_rows(tracer):
+    """Trace rows with wall-clock fields stripped (golden-comparable)."""
+    rows = []
+    for row in trace_rows(tracer):
+        row = dict(row)
+        for field in VOLATILE_FIELDS:
+            row.pop(field, None)
+        rows.append(row)
+    return rows
+
+
+def run_traced(source, facts, engine, seed=0):
+    tracer = Tracer(enabled=True)
+    compiled = compile_program(source, engine=engine)
+    compiled.run(facts=facts, seed=seed, tracer=tracer)
+    return tracer, compiled.last_engine
+
+
+def _golden(name):
+    path = GOLDEN_DIR / name
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestGoldenTraces:
+    def test_choice_clique_trace(self):
+        tracer, _ = run_traced(texts.EXAMPLE1_ASSIGNMENT, CHOICE_FACTS, "choice")
+        assert normalized_rows(tracer) == _golden("choice_clique.jsonl")
+
+    def test_stage_clique_trace(self):
+        tracer, _ = run_traced(texts.SORTING, SORT_FACTS, "rql")
+        assert normalized_rows(tracer) == _golden("stage_sorting.jsonl")
+
+
+class TestTraceStructure:
+    def test_gamma_steps_nest_under_the_clique_span(self):
+        tracer, _ = run_traced(texts.SORTING, SORT_FACTS, "rql")
+        cliques = tracer.spans("clique")
+        stage_clique = [s for s in cliques if s.attrs.get("kind") == "stage"]
+        assert len(stage_clique) == 1
+        clique_id = stage_clique[0].span_id
+        steps = tracer.spans("gamma-step")
+        assert steps and all(s.parent_id == clique_id for s in steps)
+        assert all(s.phase == "gamma" for s in steps)
+
+    def test_choose_events_carry_the_chosen_fact(self):
+        tracer, _ = run_traced(texts.SORTING, SORT_FACTS, "rql")
+        chosen = [e.attrs["fact"] for e in tracer.events("choose")]
+        # sorting by least cost: 1, then 2, then 3
+        assert [fact[1] for fact in chosen] == [1, 2, 3]
+
+    def test_every_span_is_closed(self):
+        tracer, _ = run_traced(texts.SORTING, SORT_FACTS, "rql")
+        assert all(span.end is not None for span in tracer.spans())
+
+
+class TestReconciliation:
+    def test_trace_phase_totals_match_stats_phase_seconds(self):
+        """The acceptance bound: per-phase span totals reconcile with
+        ``EngineRunStats.phase_seconds`` within 5% (they are the same
+        measurement by construction, so this holds exactly)."""
+        for source, facts, engine in [
+            (texts.SORTING, SORT_FACTS, "rql"),
+            (texts.EXAMPLE1_ASSIGNMENT, CHOICE_FACTS, "choice"),
+            (texts.PRIM, None, "basic"),
+        ]:
+            if facts is None:
+                facts = {
+                    "g": [(1, 2, 10), (2, 1, 10), (1, 3, 5), (3, 1, 5), (2, 3, 2), (3, 2, 2)],
+                    "source": [(1,)],
+                }
+            tracer, engine_obj = run_traced(source, facts, engine)
+            stats_phases = engine_obj.stats.phase_seconds
+            for phase, total in tracer.phase_totals().items():
+                assert abs(total - stats_phases[phase]) <= 0.05 * max(
+                    stats_phases[phase], 1e-12
+                ), f"{engine}: phase {phase} diverged"
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_disabled_run_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        compiled = compile_program(texts.SORTING, engine="rql")
+        compiled.run(facts=SORT_FACTS, seed=0, tracer=tracer)
+        assert tracer.records == []
+
+    def test_disabled_run_binds_no_storage_metrics(self):
+        tc = """
+        path(X, Y) <- edge(X, Y).
+        path(X, Y) <- path(X, Z), edge(Z, Y).
+        """
+        tracer = Tracer(enabled=False)
+        compiled = compile_program(tc, engine="seminaive")
+        compiled.run(facts={"edge": [(1, 2), (2, 3)]}, tracer=tracer)
+        relation_keys = [
+            k for k in tracer.registry.counters if k.startswith("relation/")
+        ]
+        assert relation_keys == []
+
+    def test_default_engine_has_a_disabled_tracer(self):
+        compiled = compile_program(texts.SORTING, engine="rql")
+        compiled.run(facts=SORT_FACTS, seed=0)
+        engine = compiled.last_engine
+        assert engine.tracer.enabled is False
+        assert engine.tracer.records == []
+        # phase metering stays on even without tracing
+        assert "gamma" in engine.stats.phase_seconds
+
+    def test_phase_metering_identical_enabled_or_disabled(self):
+        keys = []
+        for enabled in (False, True):
+            tracer = Tracer(enabled=enabled)
+            compiled = compile_program(texts.SORTING, engine="rql")
+            compiled.run(facts=SORT_FACTS, seed=0, tracer=tracer)
+            keys.append(sorted(tracer.registry.phase_seconds()))
+        assert keys[0] == keys[1]

@@ -1,0 +1,102 @@
+"""Tests for the JSONL / table exporters."""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+
+from repro.obs.export import (
+    format_metrics_table,
+    format_trace_tree,
+    metrics_snapshot,
+    trace_rows,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from repro.obs.tracer import Tracer
+
+
+def _traced_tracer() -> Tracer:
+    counter = itertools.count()
+    tracer = Tracer(enabled=True, clock=lambda: next(counter) * 1.0)
+    with tracer.span("clique", phase="clique", predicates="p/2"):
+        with tracer.span("gamma-step", phase="gamma") as step:
+            step.note(fact=(1, "a"))
+            tracer.event("choose", fact=(1, "a"))
+    return tracer
+
+
+class TestTraceRows:
+    def test_schema_and_epoch_relative_times(self):
+        rows = trace_rows(_traced_tracer())
+        assert [r["name"] for r in rows] == ["clique", "gamma-step", "choose"]
+        for row in rows:
+            assert set(row) == {
+                "kind",
+                "name",
+                "phase",
+                "span_id",
+                "parent_id",
+                "depth",
+                "t_start",
+                "t_end",
+                "duration",
+                "attrs",
+            }
+        # epoch was tick 0; the first span started at tick 1
+        assert rows[0]["t_start"] == 1.0
+        event = rows[2]
+        assert event["kind"] == "event"
+        assert event["duration"] == 0.0
+
+    def test_non_json_values_are_stringified(self):
+        rows = trace_rows(_traced_tracer())
+        gamma = rows[1]
+        assert gamma["attrs"]["fact"] == [1, "a"]
+        for row in rows:
+            json.dumps(row)  # must never raise
+
+    def test_write_jsonl_roundtrip(self):
+        tracer = _traced_tracer()
+        buffer = io.StringIO()
+        count = write_trace_jsonl(tracer, buffer)
+        lines = buffer.getvalue().strip().splitlines()
+        assert count == len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert parsed == trace_rows(tracer)
+
+    def test_write_jsonl_to_path(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        write_trace_jsonl(_traced_tracer(), str(target))
+        assert len(target.read_text().strip().splitlines()) == 3
+
+
+class TestHumanRenderings:
+    def test_trace_tree_indents_by_depth(self):
+        tree = format_trace_tree(_traced_tracer())
+        lines = tree.splitlines()
+        assert lines[0].startswith("clique")
+        assert lines[1].startswith("  gamma-step")
+        assert lines[2].startswith("    * choose")
+
+    def test_metrics_table_lists_counters_and_timers(self):
+        tracer = _traced_tracer()
+        tracer.registry.inc("engine/gamma_firings", 3)
+        table = format_metrics_table(tracer.registry)
+        assert "engine/gamma_firings" in table
+        assert "phase/gamma" in table
+
+
+class TestMetricsExport:
+    def test_snapshot_includes_phase_view(self):
+        tracer = _traced_tracer()
+        snap = metrics_snapshot(tracer.registry)
+        assert set(snap) == {"counters", "timers", "phase_seconds"}
+        assert snap["phase_seconds"]["gamma"] == snap["timers"]["phase/gamma"]
+
+    def test_write_metrics_json(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        write_metrics_json(_traced_tracer().registry, str(target))
+        data = json.loads(target.read_text())
+        assert "phase_seconds" in data

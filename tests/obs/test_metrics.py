@@ -1,0 +1,99 @@
+"""Tests for the unified metrics registry and the stats facades."""
+
+from __future__ import annotations
+
+from repro.datalog.naive import EngineStats
+from repro.obs.metrics import MetricsRegistry, RegistryBackedStats
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("engine/x")
+        registry.inc("engine/x", 4)
+        assert registry.counter("engine/x") == 5
+        assert registry.counter("engine/missing") == 0
+
+    def test_set_counter_is_a_gauge(self):
+        registry = MetricsRegistry()
+        registry.inc("rql/p/queue_depth", 9)
+        registry.set_counter("rql/p/queue_depth", 2)
+        assert registry.counter("rql/p/queue_depth") == 2
+
+    def test_timers_accumulate(self):
+        registry = MetricsRegistry()
+        registry.add_time("phase/gamma", 0.25)
+        registry.add_time("phase/gamma", 0.5)
+        assert registry.time("phase/gamma") == 0.75
+
+    def test_phase_seconds_strips_prefix(self):
+        registry = MetricsRegistry()
+        registry.add_time("phase/gamma", 1.0)
+        registry.add_time("phase/saturate", 2.0)
+        registry.add_time("other/thing", 3.0)
+        assert registry.phase_seconds() == {"gamma": 1.0, "saturate": 2.0}
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.inc("engine/x")
+        snap = registry.snapshot()
+        registry.inc("engine/x")
+        assert snap["counters"]["engine/x"] == 1
+        assert registry.counter("engine/x") == 2
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.add_time("b", 1.0)
+        registry.clear()
+        assert len(registry) == 0
+
+
+class _DemoStats(RegistryBackedStats):
+    _COUNTERS = ("widgets", "gadgets")
+
+
+class TestRegistryBackedStats:
+    def test_attributes_delegate_to_registry(self):
+        stats = _DemoStats()
+        stats.widgets += 1
+        stats.widgets += 2
+        assert stats.widgets == 3
+        assert stats.registry.counter("engine/widgets") == 3
+
+    def test_shared_registry_shares_counters(self):
+        registry = MetricsRegistry()
+        a = _DemoStats(registry=registry)
+        b = _DemoStats(registry=registry)
+        a.gadgets = 7
+        assert b.gadgets == 7
+
+    def test_duck_typed_setattr_getattr(self):
+        # The PlanCache bumps counters with setattr/getattr; the
+        # property facade must keep that working.
+        stats = _DemoStats()
+        setattr(stats, "widgets", getattr(stats, "widgets", 0) + 1)
+        assert stats.widgets == 1
+
+    def test_phase_seconds_view(self):
+        stats = _DemoStats()
+        stats.add_phase_time("plan", 0.5)
+        stats.add_phase_time("plan", 0.25)
+        assert stats.phase_seconds == {"plan": 0.75}
+        assert stats.phase_seconds["plan"] == 0.75
+
+    def test_as_dict(self):
+        stats = _DemoStats()
+        stats.widgets = 2
+        data = stats.as_dict()
+        assert data["widgets"] == 2
+        assert data["gadgets"] == 0
+        assert data["phase_seconds"] == {}
+
+    def test_engine_stats_is_registry_backed(self):
+        stats = EngineStats()
+        assert isinstance(stats, RegistryBackedStats)
+        stats.iterations += 1
+        stats.facts_derived += 10
+        assert stats.registry.counter("engine/iterations") == 1
+        assert stats.registry.counter("engine/facts_derived") == 10

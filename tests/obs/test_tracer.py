@@ -1,0 +1,96 @@
+"""Tests for the span/event tracer and its cost discipline."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_SPAN, Tracer
+
+
+def _fake_clock(step: float = 1.0):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+class TestSpans:
+    def test_nesting_parents_and_depth(self):
+        tracer = Tracer(enabled=True, clock=_fake_clock())
+        with tracer.span("clique", phase="clique"):
+            with tracer.span("gamma-step", phase="gamma"):
+                tracer.event("choose", fact=(1, 2))
+        clique, gamma = tracer.spans("clique")[0], tracer.spans("gamma-step")[0]
+        event = tracer.events("choose")[0]
+        assert clique.parent_id is None and clique.depth == 0
+        assert gamma.parent_id == clique.span_id and gamma.depth == 1
+        assert event.parent_id == gamma.span_id and event.depth == 2
+
+    def test_span_ids_in_start_order(self):
+        tracer = Tracer(enabled=True, clock=_fake_clock())
+        with tracer.span("a", phase="p"):
+            pass
+        with tracer.span("b", phase="p"):
+            pass
+        ids = [r.span_id for r in tracer.records]
+        assert ids == sorted(ids)
+
+    def test_durations_from_injected_clock(self):
+        tracer = Tracer(enabled=True, clock=_fake_clock(step=0.5))
+        with tracer.span("work", phase="eval"):
+            pass
+        (record,) = tracer.spans("work")
+        assert record.duration == 0.5
+        assert tracer.registry.time("phase/eval") == 0.5
+
+    def test_note_attaches_attrs(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("rule-firing", head="p(X)") as span:
+            span.note(new_facts=3)
+        (record,) = tracer.spans("rule-firing")
+        assert record.attrs == {"head": "p(X)", "new_facts": 3}
+
+    def test_phase_totals_match_registry(self):
+        tracer = Tracer(enabled=True, clock=_fake_clock())
+        with tracer.span("a", phase="gamma"):
+            pass
+        with tracer.span("b", phase="gamma"):
+            pass
+        assert tracer.phase_totals()["gamma"] == tracer.registry.time("phase/gamma")
+
+    def test_clear_resets_records_not_registry(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a", phase="gamma"):
+            pass
+        tracer.clear()
+        assert tracer.records == []
+        assert tracer.registry.time("phase/gamma") > 0
+
+
+class TestDisabledCostDiscipline:
+    def test_unphased_span_is_the_shared_null_handle(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("rule-firing") is NULL_SPAN
+        assert tracer.span("anything", attr=1) is NULL_SPAN
+
+    def test_null_span_is_a_noop_context_manager(self):
+        with NULL_SPAN as span:
+            span.note(anything="goes")
+
+    def test_events_record_nothing_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        tracer.event("choose", fact=(1,))
+        assert tracer.records == []
+
+    def test_phased_span_still_times_when_disabled(self):
+        tracer = Tracer(enabled=False, clock=_fake_clock())
+        with tracer.span("gamma-step", phase="gamma") as span:
+            span.note(discarded=True)
+        assert tracer.records == []
+        assert tracer.registry.time("phase/gamma") > 0
+
+    def test_shared_registry(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, enabled=True)
+        with tracer.span("a", phase="gamma"):
+            pass
+        assert registry.time("phase/gamma") > 0

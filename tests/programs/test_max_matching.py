@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import itertools
 
-import pytest
 
 from repro.programs import max_weight_matching, min_cost_matching
 from repro.workloads import random_bipartite_arcs

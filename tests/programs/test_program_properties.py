@@ -5,11 +5,9 @@ from __future__ import annotations
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.baselines import greedy_knapsack as baseline_knapsack
 from repro.programs import (
     greedy_change,
     greedy_knapsack,

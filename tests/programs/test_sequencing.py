@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import itertools
 
-import pytest
 
 from repro.baselines import sequence_jobs as baseline_sequence
 from repro.programs import sequence_jobs

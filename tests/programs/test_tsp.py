@@ -5,11 +5,9 @@ from __future__ import annotations
 import itertools
 import random
 
-import pytest
 
 from repro.baselines import nearest_neighbor_chain
 from repro.programs.tsp import greedy_tsp_chain
-from repro.programs._run import symmetric_edges
 from repro.workloads import complete_graph
 
 

@@ -10,7 +10,6 @@ down so the design decision stays visible.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.rewriting import (
     CHOSEN_PREFIX,

@@ -3,7 +3,6 @@ and the interaction with definite parts."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.datalog.parser import parse_program
 from repro.semantics.wellfounded import well_founded_model

@@ -164,3 +164,102 @@ class TestErrors:
         code, output = _run(str(program), "--facts", f"item={data}")
         assert code == 0
         assert "total(7)." in output
+
+
+class TestTraceSubcommand:
+    def test_prints_span_tree_and_metrics(self, prim_files):
+        program, edges, source = prim_files
+        code, output = _run(
+            "trace",
+            str(program),
+            "--facts",
+            f"g={edges}",
+            "--facts",
+            f"source={source}",
+            "--seed",
+            "0",
+        )
+        assert code == 0
+        assert "clique" in output
+        assert "gamma-step" in output
+        assert "saturation-round" in output
+        assert "engine/gamma_firings" in output
+        assert "phase/gamma" in output
+
+    def test_writes_jsonl_and_metrics_files(self, prim_files, tmp_path):
+        import json
+
+        program, edges, source = prim_files
+        trace_path = tmp_path / "run.jsonl"
+        metrics_path = tmp_path / "run.json"
+        code, _ = _run(
+            "trace",
+            str(program),
+            "--facts",
+            f"g={edges}",
+            "--facts",
+            f"source={source}",
+            "--seed",
+            "0",
+            "--no-tree",
+            "--jsonl",
+            str(trace_path),
+            "--metrics-out",
+            str(metrics_path),
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        assert any(row["name"] == "gamma-step" for row in rows)
+        metrics = json.loads(metrics_path.read_text())
+        assert "gamma" in metrics["phase_seconds"]
+
+    def test_error_exit_code(self):
+        code, _ = _run("trace", "/nonexistent/program.dl")
+        assert code == 1
+
+
+class TestTraceFlagsOnMainCommand:
+    def test_trace_out_and_metrics_out(self, prim_files, tmp_path):
+        import json
+
+        program, edges, source = prim_files
+        trace_path = tmp_path / "run.jsonl"
+        metrics_path = tmp_path / "run.json"
+        code, output = _run(
+            str(program),
+            "--facts",
+            f"g={edges}",
+            "--facts",
+            f"source={source}",
+            "--seed",
+            "0",
+            "--trace-out",
+            str(trace_path),
+            "--metrics-out",
+            str(metrics_path),
+        )
+        assert code == 0
+        assert "prm(" in output  # facts still printed
+        assert trace_path.exists() and metrics_path.exists()
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["engine/gamma_firings"] > 0
+
+    def test_metrics_out_without_tracing(self, prim_files, tmp_path):
+        # --metrics-out alone keeps tracing disabled but still exports
+        # the always-on counters and phase timers.
+        program, edges, source = prim_files
+        import json
+
+        metrics_path = tmp_path / "run.json"
+        code, _ = _run(
+            str(program),
+            "--facts",
+            f"g={edges}",
+            "--facts",
+            f"source={source}",
+            "--metrics-out",
+            str(metrics_path),
+        )
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert "gamma" in metrics["phase_seconds"]

@@ -10,7 +10,6 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-import pytest
 
 README = Path(__file__).parent.parent / "README.md"
 

@@ -12,14 +12,7 @@ import pytest
 from repro.core.compiler import compile_program, solve_program
 from repro.core.rewriting import expand_next
 from repro.datalog.parser import parse_program
-from repro.errors import (
-    EvaluationError,
-    ParseError,
-    RewriteError,
-    SafetyError,
-    StageAnalysisError,
-    StratificationError,
-)
+from repro.errors import ParseError, RewriteError, SafetyError, StratificationError
 
 CASES = [
     # (label, source, exception, message fragment)
