@@ -57,6 +57,9 @@ TC = parse_program(
 
 TC_SIZES = [20, 40, 80, 160]
 SORT_SIZES = [8, 16, 32]
+GOVERNOR_SIZES = [32, 64, 128, 256]
+#: CI gate: mean governed/ungoverned wall-time ratio must stay below this.
+GOVERNOR_OVERHEAD_CEILING = 1.05
 
 
 def _chain(n: int) -> List[tuple]:
@@ -77,6 +80,32 @@ def _tc_op(cache_plans: bool) -> Callable[[Any], Any]:
 def _sorting_op(payload):
     db = solve_program(texts.SORTING, facts={"p": payload}, seed=0)
     return len(db.relation("sp", 3))
+
+
+def _governed_sorting_op(governed: bool) -> Callable[[Any], Any]:
+    """The sorting op with the execution governor enabled (generous
+    budget: every cap present but unhittable, so the run pays the full
+    per-tick bookkeeping) or the NULL_GOVERNOR fast path."""
+
+    def op(payload):
+        governor = None
+        if governed:
+            from repro.robust import Budget, RunGovernor
+
+            governor = RunGovernor(
+                Budget(
+                    wall_clock=3600.0,
+                    max_gamma_steps=10**9,
+                    max_rounds=10**9,
+                    max_facts=10**9,
+                )
+            )
+        db = solve_program(
+            texts.SORTING, facts={"p": list(payload)}, seed=0, governor=governor
+        )
+        return len(db.relation("sp", 3))
+
+    return op
 
 
 def _rows(
@@ -114,6 +143,41 @@ def _sorting_metrics(size: int) -> Dict[str, Any]:
     return metrics_snapshot(tracer.registry)
 
 
+def _governor_overhead_rows(
+    sizes: Sequence[int], repeats: int = 9
+) -> List[Dict[str, Any]]:
+    """Best-of-*repeats* governed vs ungoverned timings, **interleaved**
+    (off, on, off, on, ...) so slow clock drift and allocator state hit
+    both variants equally — single-digit-millisecond runs are otherwise
+    too noisy to gate a few-percent overhead on."""
+    import time
+
+    off_op = _governed_sorting_op(False)
+    on_op = _governed_sorting_op(True)
+    rows: List[Dict[str, Any]] = []
+    for size in sizes:
+        payload = random_costed_relation(size, seed=0)
+        off_op(payload)  # warm both paths before timing
+        on_op(payload)
+        best_off = best_on = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            off_op(payload)
+            best_off = min(best_off, time.perf_counter() - start)
+            start = time.perf_counter()
+            on_op(payload)
+            best_on = min(best_on, time.perf_counter() - start)
+        rows.append(
+            {
+                "size": size,
+                "off_s": round(best_off, 6),
+                "on_s": round(best_on, 6),
+                "overhead": round(best_on / max(best_off, 1e-9), 3),
+            }
+        )
+    return rows
+
+
 def run_regression(
     tc_sizes: Sequence[int] = TC_SIZES,
     sort_sizes: Sequence[int] = SORT_SIZES,
@@ -129,6 +193,7 @@ def run_regression(
         _sorting_op,
         repeats=repeats,
     )
+    governor_rows = _governor_overhead_rows(GOVERNOR_SIZES, repeats=max(repeats, 15))
     return {
         "meta": {
             "python": platform.python_version(),
@@ -158,6 +223,24 @@ def run_regression(
                 ],
                 "exponent": round(greedy.exponent(), 3),
                 "metrics": _sorting_metrics(max(sort_sizes)),
+            },
+            "governor_overhead": {
+                "description": "(R, Q, L) sorting run with the execution "
+                "governor armed (every cap set but unhittable) vs the "
+                "NULL_GOVERNOR no-op path; overhead = on_s / off_s.  The "
+                "gate uses min_overhead: scheduler noise only ever slows "
+                "a run, so the smallest ratio is the cleanest estimate of "
+                "the true per-tick cost, and a real regression lifts "
+                "every row at once",
+                "rows": governor_rows,
+                "mean_overhead": round(
+                    sum(row["overhead"] for row in governor_rows)
+                    / len(governor_rows),
+                    3,
+                ),
+                "min_overhead": round(
+                    min(row["overhead"] for row in governor_rows), 3
+                ),
             },
         },
     }
@@ -189,6 +272,18 @@ def check_against_baseline(
             f"{current:.3f}x < {floor:.3f}x "
             f"(baseline {expected:.3f}x - {tolerance:.0%} tolerance)"
         )
+    # The governor gate is absolute, not baseline-relative: the on/off
+    # ratio cancels the machine's constant factor already.  `.get` guards
+    # keep baselines from before the governor sweep working.
+    overhead_block = report["sweeps"].get("governor_overhead")
+    if overhead_block is not None:
+        min_overhead = overhead_block.get("min_overhead", 1.0)
+        if min_overhead > GOVERNOR_OVERHEAD_CEILING:
+            failures.append(
+                "governor overhead regressed: governed runs cost at least "
+                f"{min_overhead:.3f}x ungoverned on every size "
+                f"(ceiling {GOVERNOR_OVERHEAD_CEILING:.2f}x)"
+            )
     return failures
 
 
@@ -242,11 +337,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"  tc n={row['size']:>4}  before {row['before_s']:.4f}s  "
                 f"after {row['after_s']:.4f}s  speedup {row['speedup']:.2f}x"
             )
+        overhead = report["sweeps"]["governor_overhead"]
+        for row in overhead["rows"]:
+            print(
+                f"  gov n={row['size']:>4}  off {row['off_s']:.4f}s  "
+                f"on {row['on_s']:.4f}s  overhead {row['overhead']:.2f}x"
+            )
+        print(
+            f"governor overhead: min {overhead['min_overhead']:.3f}x  "
+            f"mean {overhead['mean_overhead']:.3f}x"
+        )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}")
             return 1
-        print("OK: plan-cache speedup within tolerance")
+        print("OK: plan-cache speedup and governor overhead within tolerance")
         return 0
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")

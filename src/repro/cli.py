@@ -16,6 +16,12 @@ The ``trace`` subcommand runs the program with structured tracing enabled
 and prints the span tree (clique → γ-step / saturation-round →
 rule-firing) plus the metrics table instead of the derived facts; see
 ``docs/observability.md``.
+
+Every run is governed (see ``docs/robustness.md``): ``--timeout``,
+``--max-steps`` and ``--max-facts`` bound the run (exit code 3 on
+exhaustion), Ctrl-C cancels cooperatively at a clean boundary (exit code
+130), and ``--checkpoint``/``--resume-from`` save and resume interrupted
+runs.
 """
 
 from __future__ import annotations
@@ -95,7 +101,48 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE.json",
         help="write the run's metrics registry (counters + timers) to FILE",
     )
+    _add_budget_args(parser)
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE.json",
+        help=(
+            "on budget exhaustion or interrupt, save a resumable checkpoint "
+            "to FILE (see --resume-from)"
+        ),
+    )
+    parser.add_argument(
+        "--resume-from",
+        metavar="FILE.json",
+        help=(
+            "resume a previously interrupted run from a checkpoint file; "
+            "the engine recorded in the checkpoint overrides --engine"
+        ),
+    )
     return parser
+
+
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; exceeding it aborts the run with exit code 3",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap γ-steps and saturation rounds at N (exit code 3 on excess)",
+    )
+    parser.add_argument(
+        "--max-facts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the number of stored facts at N (exit code 3 on excess)",
+    )
 
 
 def build_trace_parser() -> argparse.ArgumentParser:
@@ -136,6 +183,7 @@ def build_trace_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the span tree (print only the metrics table)",
     )
+    _add_budget_args(parser)
     return parser
 
 
@@ -194,7 +242,49 @@ def _print_facts(db, program, query: Optional[str], out) -> None:
             print(f"{key[0]}({values}).", file=out)
 
 
-def _run_engine(args, tracer):
+def _build_governor(args):
+    """A governor + cancel token for a CLI run.
+
+    The governor is always created — even without budget flags — so that
+    Ctrl-C cancels cooperatively at the next γ-step / saturation-round
+    boundary and still yields a partial result.
+    """
+    from repro.robust import Budget, CancelToken, RunGovernor
+
+    budget = Budget(
+        wall_clock=getattr(args, "timeout", None),
+        max_gamma_steps=getattr(args, "max_steps", None),
+        max_rounds=getattr(args, "max_steps", None),
+        max_facts=getattr(args, "max_facts", None),
+    )
+    token = CancelToken()
+    return RunGovernor(budget, token=token), token
+
+
+def _report_stop(exc, args) -> int:
+    """Report a BudgetExceeded/Cancelled stop on stderr; returns the exit
+    code (3 for budget exhaustion, 130 for cancellation)."""
+    from repro.errors import BudgetExceeded
+
+    code = 3 if isinstance(exc, BudgetExceeded) else 130
+    print(f"error: {exc}", file=sys.stderr)
+    partial = getattr(exc, "partial", None)
+    if partial is not None:
+        print(f"% {partial.summary()}", file=sys.stderr)
+        path = getattr(args, "checkpoint", None)
+        if path and partial.checkpoint is not None:
+            from repro.robust import save
+
+            save(partial.checkpoint, path)
+            print(f"% checkpoint -> {path}", file=sys.stderr)
+            print(
+                f"% resume with: repro {args.program} --resume-from {path}",
+                file=sys.stderr,
+            )
+    return code
+
+
+def _run_engine(args, tracer, governor=None):
     """Compile, build the engine and evaluate; shared by both commands."""
     from repro.core.compiler import _as_database, _make_engine
 
@@ -202,7 +292,9 @@ def _run_engine(args, tracer):
     compiled = compile_program(source, engine=args.engine)
     facts = _load_facts(args.facts)
     rng = random.Random(args.seed) if args.seed is not None else None
-    engine = _make_engine(args.engine, compiled.program, rng, tracer=tracer)
+    engine = _make_engine(
+        args.engine, compiled.program, rng, tracer=tracer, governor=governor
+    )
     db = _as_database(facts)
     return compiled, engine, db
 
@@ -217,12 +309,17 @@ def trace_main(argv: Sequence[str] | None = None, out=None) -> int:
     )
     from repro.obs.tracer import Tracer
 
+    from repro.errors import BudgetExceeded, Cancelled
+    from repro.robust import trap_sigint
+
     out = out if out is not None else sys.stdout
     args = build_trace_parser().parse_args(argv)
     tracer = Tracer(enabled=True)
+    governor, token = _build_governor(args)
     try:
-        _compiled, engine, db = _run_engine(args, tracer)
-        engine.run(db)
+        _compiled, engine, db = _run_engine(args, tracer, governor=governor)
+        with trap_sigint(token):
+            engine.run(db)
         if not args.no_tree:
             print(format_trace_tree(tracer), file=out)
             print("", file=out)
@@ -234,6 +331,11 @@ def trace_main(argv: Sequence[str] | None = None, out=None) -> int:
             write_metrics_json(tracer.registry, args.metrics_out)
             print(f"% metrics -> {args.metrics_out}", file=out)
         return 0
+    except (BudgetExceeded, Cancelled) as exc:
+        return _report_stop(exc, args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -249,23 +351,40 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        from repro.errors import BudgetExceeded, Cancelled
         from repro.obs.tracer import Tracer
+        from repro.robust import trap_sigint
 
         tracer = Tracer(enabled=bool(args.trace_out))
         source = Path(args.program).read_text()
-        compiled = compile_program(source, engine=args.engine)
-        if args.analyze:
-            _print_analysis(compiled, out)
-            return 0
-        facts = _load_facts(args.facts)
-        rng = random.Random(args.seed) if args.seed is not None else None
-        from repro.core.compiler import _as_database, _make_engine
+        governor, token = _build_governor(args)
+        if args.resume_from:
+            from repro.robust import load, restore
 
-        engine = _make_engine(args.engine, compiled.program, rng, tracer=tracer)
+            cp = load(args.resume_from)
+            compiled = compile_program(source, engine=cp.engine)
+            engine, db = restore(
+                cp, compiled.program, governor=governor, tracer=tracer
+            )
+            for name, rows in _load_facts(args.facts).items():
+                db.assert_all(name, rows)
+        else:
+            compiled = compile_program(source, engine=args.engine)
+            if args.analyze:
+                _print_analysis(compiled, out)
+                return 0
+            facts = _load_facts(args.facts)
+            rng = random.Random(args.seed) if args.seed is not None else None
+            from repro.core.compiler import _as_database, _make_engine
+
+            engine = _make_engine(
+                args.engine, compiled.program, rng, tracer=tracer, governor=governor
+            )
+            db = _as_database(facts)
         if args.trace and hasattr(engine, "record_trace"):
             engine.record_trace = True
-        db = _as_database(facts)
-        engine.run(db)
+        with trap_sigint(token):
+            engine.run(db)
         _print_facts(db, compiled.program, args.query, out)
         if args.save:
             from repro.storage.io import save_facts
@@ -293,6 +412,11 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             if not ok:
                 return 2
         return 0
+    except (BudgetExceeded, Cancelled) as exc:
+        return _report_stop(exc, args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

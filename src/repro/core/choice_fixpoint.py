@@ -24,6 +24,7 @@ to the stage engines of :mod:`repro.core.stage_engine` and
 from __future__ import annotations
 
 import random
+from typing import Any
 
 from repro.core.engine_base import BaseEngine
 from repro.core.stage_analysis import CliqueReport
@@ -53,6 +54,8 @@ class ChoiceFixpointEngine(BaseEngine):
             or :class:`~repro.core.greedy_engine.GreedyStageEngine`).
     """
 
+    engine_name = "choice"
+
     def __init__(
         self,
         program: Program,
@@ -60,6 +63,7 @@ class ChoiceFixpointEngine(BaseEngine):
         check_safety: bool = True,
         record_trace: bool = False,
         tracer: Tracer | None = None,
+        governor: Any = None,
     ):
         for rule in program.proper_rules():
             if rule.next_goals:
@@ -73,6 +77,7 @@ class ChoiceFixpointEngine(BaseEngine):
             check_safety=check_safety,
             record_trace=record_trace,
             tracer=tracer,
+            governor=governor,
         )
 
     def _run_stage_clique(self, report: CliqueReport, db: Database) -> None:

@@ -29,6 +29,10 @@ __all__ = ["evaluate_rule_once", "saturate", "extrema_filter", "body_solutions"]
 Fact = Tuple[Any, ...]
 PredicateKey = Tuple[str, int]
 
+# Module-level fault-injection slot, patched by repro.robust.faults.inject
+# for chaos runs; None (one is-None check per saturation round) otherwise.
+_FAULT_HOOK = None
+
 
 def extrema_filter(
     solutions: Sequence[Subst], goals: Sequence[LeastGoal | MostGoal]
@@ -132,6 +136,7 @@ def saturate(
     seed_deltas: Dict[PredicateKey, List[Fact]] | None = None,
     cache: PlanCache | None = None,
     tracer: Tracer | None = None,
+    governor: Any = None,
 ) -> Dict[PredicateKey, List[Fact]]:
     """Seminaive fixpoint of *rules* over *db*.
 
@@ -153,6 +158,10 @@ def saturate(
         tracer: records each differential round as a ``saturation-round``
             span (phase ``saturate``) and, when enabled, each delta-rule
             evaluation as a nested ``rule-firing`` span.
+        governor: optional :class:`~repro.robust.governor.RunGovernor`
+            ticked once per differential round (a consistent boundary: a
+            raise here loses no committed facts, and re-entry re-derives
+            the remainder — saturation is deterministic and confluent).
 
     Returns:
         Every new fact derived, keyed by predicate.
@@ -184,6 +193,10 @@ def saturate(
 
     variants = _delta_variants(rules, predicates)
     while deltas:
+        if governor is not None:
+            governor.tick_round()
+        if _FAULT_HOOK is not None:
+            _FAULT_HOOK("engine.saturate")
         delta_relations = {
             key: _as_relation(key, facts) for key, facts in deltas.items()
         }

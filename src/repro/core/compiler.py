@@ -73,6 +73,7 @@ class CompiledProgram:
         rng: random.Random | None = None,
         engine: str | None = None,
         tracer: Tracer | None = None,
+        governor: Any = None,
     ) -> Database:
         """Evaluate the program and return the resulting database.
 
@@ -85,12 +86,20 @@ class CompiledProgram:
             tracer: optional :class:`~repro.obs.tracer.Tracer` the run
                 emits spans/events and metrics into (pass one with
                 ``enabled=True`` to record a structured trace).
+            governor: optional :class:`~repro.robust.governor.RunGovernor`
+                enforcing per-run budgets and cooperative cancellation;
+                on exhaustion the run raises
+                :class:`~repro.errors.BudgetExceeded` /
+                :class:`~repro.errors.Cancelled` carrying a resumable
+                :class:`~repro.robust.governor.PartialResult`.
         """
         db = _as_database(facts)
         if rng is None and seed is not None:
             rng = random.Random(seed)
         name = engine or self.engine
-        engine_instance = _make_engine(name, self.program, rng, tracer=tracer)
+        engine_instance = _make_engine(
+            name, self.program, rng, tracer=tracer, governor=governor
+        )
         self.last_engine = engine_instance
         return engine_instance.run(db)
 
@@ -132,17 +141,26 @@ def _make_engine(
     program: Program,
     rng: random.Random | None,
     tracer: Tracer | None = None,
+    governor: Any = None,
 ):
     if name == "rql":
-        return GreedyStageEngine(program, rng=rng, check_safety=False, tracer=tracer)
+        return GreedyStageEngine(
+            program, rng=rng, check_safety=False, tracer=tracer, governor=governor
+        )
     if name == "basic":
-        return BasicStageEngine(program, rng=rng, check_safety=False, tracer=tracer)
+        return BasicStageEngine(
+            program, rng=rng, check_safety=False, tracer=tracer, governor=governor
+        )
     if name == "choice":
-        return ChoiceFixpointEngine(program, rng=rng, check_safety=False, tracer=tracer)
+        return ChoiceFixpointEngine(
+            program, rng=rng, check_safety=False, tracer=tracer, governor=governor
+        )
     if name == "naive":
-        return NaiveEngine(program, check_safety=False, tracer=tracer)
+        return NaiveEngine(program, check_safety=False, tracer=tracer, governor=governor)
     if name == "seminaive":
-        return SeminaiveEngine(program, check_safety=False, tracer=tracer)
+        return SeminaiveEngine(
+            program, check_safety=False, tracer=tracer, governor=governor
+        )
     raise EvaluationError(f"unknown engine {name!r}; expected one of {ENGINES}")
 
 
@@ -168,6 +186,9 @@ def solve_program(
     seed: int | None = None,
     rng: random.Random | None = None,
     engine: str = "rql",
+    governor: Any = None,
 ) -> Database:
     """One-shot convenience: compile and run in a single call."""
-    return compile_program(source, engine=engine).run(facts, seed=seed, rng=rng)
+    return compile_program(source, engine=engine).run(
+        facts, seed=seed, rng=rng, governor=governor
+    )

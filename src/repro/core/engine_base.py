@@ -29,16 +29,28 @@ from repro.core.clique_eval import (
     extrema_filter,
     saturate,
 )
-from repro.core.stage_analysis import CliqueReport, StageAnalysis, analyze_stages
+from repro.core.stage_analysis import (
+    CliqueReport,
+    StageAnalysis,
+    analyze_stages,
+    clique_label,
+    rule_label,
+)
 from repro.datalog.atoms import Atom, ChoiceGoal, Negation
 from repro.datalog.builtins import order_key
 from repro.datalog.plans import PlanCache
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.unify import Subst, ground_term, match_args
-from repro.errors import EvaluationError, StratificationError
+from repro.errors import (
+    BudgetExceeded,
+    Cancelled,
+    EvaluationError,
+    StratificationError,
+)
 from repro.obs.metrics import RegistryBackedStats
 from repro.obs.tracer import Tracer
+from repro.robust.governor import NULL_GOVERNOR
 from repro.storage.database import Database
 
 __all__ = ["BaseEngine", "ChoiceMemo", "EngineRunStats", "TraceEvent"]
@@ -180,6 +192,25 @@ class ChoiceMemo:
         twin._chosen = set(self._chosen)
         return twin
 
+    def export_state(self) -> Dict[str, Any]:
+        """A serializable snapshot of the FD maps and the chosen set
+        (checkpointing; see :mod:`repro.robust.checkpoint`)."""
+        return {
+            "maps": [sorted(mapping.items(), key=order_key) for mapping in self._maps],
+            "chosen": sorted(self._chosen, key=order_key),
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Overwrite with a snapshot from :meth:`export_state` of a memo
+        for the same rule.  The restored state is a superset of whatever
+        :meth:`absorb_head_fact` rebuilt from the database, so overwrite
+        (not merge) is correct."""
+        self._maps = [
+            {tuple(left): tuple(right) for left, right in pairs}
+            for pairs in state["maps"]
+        ]
+        self._chosen = {tuple(control) for control in state["chosen"]}
+
     @property
     def chosen_count(self) -> int:
         return len(self._chosen)
@@ -188,6 +219,14 @@ class ChoiceMemo:
 class BaseEngine:
     """Clique-walking skeleton shared by the core engines."""
 
+    #: Engine name used in checkpoints and partial results; overridden by
+    #: each concrete engine to its :data:`~repro.core.compiler.ENGINES` key.
+    engine_name = "base"
+
+    # Class-level fault-injection slot, patched by repro.robust.faults.inject
+    # for chaos runs; None (one is-None check per γ attempt) otherwise.
+    _fault_hook: Any = None
+
     def __init__(
         self,
         program: Program,
@@ -195,6 +234,7 @@ class BaseEngine:
         check_safety: bool = True,
         record_trace: bool = False,
         tracer: Tracer | None = None,
+        governor: Any = None,
     ):
         if check_safety:
             program.check_safety()
@@ -212,8 +252,31 @@ class BaseEngine:
         self.record_trace = record_trace
         #: γ decisions in order, populated when ``record_trace`` is set.
         self.trace: List[TraceEvent] = []
+        #: Budget/cancellation enforcement; the shared no-op governor by
+        #: default, so ungoverned runs pay one no-op call per hot-loop tick.
+        self.governor = governor if governor is not None else NULL_GOVERNOR
+        #: Every γ firing as ``(predicate, fact, stage)`` — always on (one
+        #: list append per firing); carried by partial results and
+        #: checkpoints.
+        self.choice_log: List[Tuple[PredicateKey, Fact, int]] = []
+        #: First clique index to execute; cliques before it were completed
+        #: by the run a checkpoint was captured from.
+        self.resume_clique_index = 0
+        self._clique_index = 0
+        # Live state of the clique currently executing (for checkpoint
+        # capture at a budget/cancellation boundary).
+        self._active_choice: Optional[Dict[int, ChoiceMemo]] = None
+        self._active_stage: Any = None
+        # State to re-apply when the resumed clique re-enters (keyed by
+        # proper-rule index / head predicate; see repro.robust.checkpoint).
+        self._restore_memos: Dict[int, Any] = {}
+        self._restore_w: Dict[int, Any] = {}
+        self._restore_stage: Optional[int] = None
+        self._restore_rql: Dict[PredicateKey, Any] = {}
 
     def _note(self, kind: str, predicate: PredicateKey, fact: Fact, stage: int = -1) -> None:
+        if kind == "choose":
+            self.choice_log.append((predicate, fact, stage))
         if self.record_trace:
             self.trace.append(TraceEvent(kind, predicate, fact, stage))
         if self.tracer.enabled:
@@ -239,19 +302,72 @@ class BaseEngine:
             db.bind_metrics(self.tracer.registry)
         for name, facts in self.program.ground_facts().items():
             db.assert_all(name, facts)
-        for report in self.analysis.reports:
-            preds = ",".join(
-                f"{n}/{a}" for n, a in sorted(report.clique.predicates)
-            )
-            with self.tracer.span(
-                "clique", phase="clique", kind=report.kind, predicates=preds
-            ):
-                self._run_clique(report, db)
+        self.governor.start(db, registry=self.tracer.registry, tracer=self.tracer)
+        try:
+            for index, report in enumerate(self.analysis.reports):
+                if index < self.resume_clique_index:
+                    # Completed before the checkpoint was taken: skipping
+                    # keeps the restored rng aligned (no extra shuffles).
+                    continue
+                self._clique_index = index
+                preds = ",".join(
+                    f"{n}/{a}" for n, a in sorted(report.clique.predicates)
+                )
+                with self.tracer.span(
+                    "clique", phase="clique", kind=report.kind, predicates=preds
+                ):
+                    self._run_clique(report, db)
+                # Restored state applies only to the clique that was
+                # interrupted; later cliques start fresh.
+                self._restore_memos = {}
+                self._restore_w = {}
+                self._restore_stage = None
+                self._restore_rql = {}
+        except (BudgetExceeded, Cancelled) as exc:
+            if exc.partial is None:
+                exc.partial = self._partial_result(db)
+            raise
         return db
+
+    def _rule_indices(self) -> Dict[int, int]:
+        """``{id(rule): index}`` over the program's proper rules — the
+        stable keying checkpoints use for memo state (clique rules are the
+        same objects as the program's)."""
+        return {id(rule): index for index, rule in enumerate(self.program.proper_rules())}
+
+    def _partial_result(self, db: Database) -> Any:
+        """Build the :class:`~repro.robust.governor.PartialResult` attached
+        to a budget/cancellation error, including an eagerly captured
+        checkpoint (the database keeps mutating if the caller continues)."""
+        from repro.robust.checkpoint import capture
+        from repro.robust.governor import PartialResult
+
+        try:
+            checkpoint = capture(self, db)
+        except Exception:  # pragma: no cover - capture must never mask the stop
+            checkpoint = None
+        if self.tracer.enabled:
+            self.tracer.event(
+                "checkpoint",
+                clique_index=self._clique_index,
+                facts=db.total_facts(),
+                choices=len(self.choice_log),
+            )
+        return PartialResult(
+            database=db,
+            engine=self.engine_name,
+            clique_index=self._clique_index,
+            chosen=list(self.choice_log),
+            stage=int(self.stats.stages),
+            metrics=self.tracer.registry.snapshot(),
+            checkpoint=checkpoint,
+        )
 
     # -- clique dispatch -----------------------------------------------------------
 
     def _run_clique(self, report: CliqueReport, db: Database) -> None:
+        self._active_choice = None
+        self._active_stage = None
         if report.kind == "plain":
             self._run_plain_clique(report, db)
         elif report.kind == "choice":
@@ -279,15 +395,22 @@ class BaseEngine:
         for rule in clique.rules:
             if rule.extrema_goals:
                 raise StratificationError(
-                    f"extrema through recursion outside a stage clique: {rule}"
+                    f"extrema through recursion outside a stage clique in "
+                    f"{clique_label(clique)}: {rule_label(self.program, rule)}"
                 )
             for literal in rule.body:
                 if isinstance(literal, Negation) and literal.atom.key in clique.predicates:
                     raise StratificationError(
-                        f"negation through recursion outside a stage clique: {rule}"
+                        f"negation through recursion outside a stage clique in "
+                        f"{clique_label(clique)}: {rule_label(self.program, rule)}"
                     )
         produced = saturate(
-            clique.rules, clique.predicates, db, cache=self.plans, tracer=self.tracer
+            clique.rules,
+            clique.predicates,
+            db,
+            cache=self.plans,
+            tracer=self.tracer,
+            governor=self.governor,
         )
         self.stats.saturation_facts += sum(len(v) for v in produced.values())
 
@@ -302,9 +425,11 @@ class BaseEngine:
         for rule in flat_rules:
             if rule.extrema_goals and _references(rule, clique.predicates):
                 raise StratificationError(
-                    f"extrema through recursion in a choice clique: {rule}"
+                    f"extrema through recursion in a choice "
+                    f"{clique_label(clique)}: {rule_label(self.program, rule)}"
                 )
         memos = {id(rule): ChoiceMemo(rule) for rule in choice_rules}
+        self._active_choice = memos
 
         produced = saturate(
             [r for r in flat_rules if not r.extrema_goals],
@@ -312,6 +437,7 @@ class BaseEngine:
             db,
             cache=self.plans,
             tracer=self.tracer,
+            governor=self.governor,
         )
         self.stats.saturation_facts += sum(len(v) for v in produced.values())
         for rule in flat_rules:
@@ -325,8 +451,20 @@ class BaseEngine:
             memo = memos[id(rule)]
             for fact in db.facts(*rule.head.key):
                 memo.absorb_head_fact(fact)
+        if self._restore_memos:
+            # Resuming the interrupted clique: the checkpointed memo state
+            # (a superset of what absorbing the database rebuilt) wins.
+            index_of = self._rule_indices()
+            for rule in choice_rules:
+                restored = self._restore_memos.get(index_of[id(rule)])
+                if restored is not None:
+                    memos[id(rule)].load_state(restored)
 
         while True:
+            # The tick precedes the rng draws of the γ step, so a stop here
+            # checkpoints the exact rng state the uninterrupted run had at
+            # this boundary — resumed runs replay the same choice sequence.
+            self.governor.tick_gamma()
             fired = self._gamma_step(choice_rules, memos, db)
             if fired is None:
                 break
@@ -341,6 +479,7 @@ class BaseEngine:
                 seed_deltas={key: [fact]},
                 cache=self.plans,
                 tracer=self.tracer,
+                governor=self.governor,
             )
             self.stats.saturation_facts += sum(len(v) for v in produced.values())
             for rule in choice_rules:
@@ -384,6 +523,8 @@ class BaseEngine:
 
         Returns ``(head predicate, fact)`` or ``None`` when γ is empty.
         """
+        if self._fault_hook is not None:
+            self._fault_hook("engine.gamma")
         rules = list(choice_rules)
         self.rng.shuffle(rules)
         with self.tracer.span("gamma-step", phase="gamma") as step:

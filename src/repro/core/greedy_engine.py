@@ -78,6 +78,8 @@ class GreedyStageEngine(BasicStageEngine):
       back to basic evaluation.
     """
 
+    engine_name = "rql"
+
     def __init__(
         self,
         program,
@@ -88,6 +90,7 @@ class GreedyStageEngine(BasicStageEngine):
         use_congruence: bool = True,
         max_stages: int | None = None,
         tracer: Tracer | None = None,
+        governor: Any = None,
     ):
         super().__init__(
             program,
@@ -97,6 +100,7 @@ class GreedyStageEngine(BasicStageEngine):
             record_trace=record_trace,
             max_stages=max_stages,
             tracer=tracer,
+            governor=governor,
         )
         #: With ``use_congruence=False`` the r-congruence deduplication is
         #: disabled (every candidate fact gets its own queue entry) — the
@@ -401,6 +405,12 @@ class GreedyStageEngine(BasicStageEngine):
         state = self._prepare(report, db)
         structure = RQLStructure(plan.spec)
         self.rql_structures[plan.rule.head.key] = structure
+        restored = self._restore_rql.get(plan.rule.head.key)
+        if restored is not None:
+            # Resuming the interrupted clique: the restored seen-set makes
+            # the re-seeding below a harmless dedup no-op, and the queue
+            # comes back in tiebreak order so pop order is unchanged.
+            structure.load_state(restored)
 
         def feed(produced: Dict[PredicateKey, List[Fact]]) -> None:
             for fact in produced.get(plan.candidate_atom.key, ()):
@@ -420,6 +430,7 @@ class GreedyStageEngine(BasicStageEngine):
 
         # Stage-less choice exit rules (e.g. the TSP chain seed) fire first.
         while True:
+            self.governor.tick_gamma()
             fired = self._fire_exit_choice(state, db)
             if fired is None:
                 break
@@ -444,6 +455,11 @@ class GreedyStageEngine(BasicStageEngine):
         w_memo = state.w_memos[id(plan.rule)]
         head_key = plan.rule.head.key
         while True:
+            # Tick first: _drain consumes no rng at all, so any stop here
+            # checkpoints at a boundary a resumed run re-enters exactly.
+            self.governor.tick_gamma()
+            if self._fault_hook is not None:
+                self._fault_hook("engine.gamma")
             if self.max_stages is not None and state.stage >= self.max_stages:
                 raise EvaluationError(
                     f"stage clique exceeded max_stages={self.max_stages}; "

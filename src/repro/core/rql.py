@@ -205,6 +205,53 @@ class RQLStructure:
         registry.set_counter(f"{prefix}/queue_depth", len(self.queue))
         registry.set_counter(f"{prefix}/used_classes", len(self._used))
 
+    # -- checkpointing -------------------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """A serializable snapshot of the live structure.
+
+        The queue is exported in tiebreak (insertion) order without its
+        priorities — :meth:`load_state` recomputes them from the spec, so
+        no priority wrapper ever has to survive serialization — and
+        re-inserting in that order preserves equal-priority pop order.
+        """
+        entries = sorted(self.queue.live_entries(), key=lambda e: e.tiebreak)
+        return {
+            "queue": [entry.item for entry in entries],
+            "seen": sorted(self._seen, key=order_key),
+            "used": sorted(self._used, key=order_key),
+            "stats": [
+                self.stats.inserted,
+                self.stats.replaced,
+                self.stats.redundant,
+                self.stats.retrieved,
+                self.stats.rejected_at_retrieval,
+            ],
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Overwrite the structure with a snapshot from :meth:`export_state`
+        (captured under the same :class:`CongruenceSpec`)."""
+        self.queue.clear()
+        self._entries.clear()
+        self._seen = {tuple(fact) for fact in state["seen"]}
+        self._used = {tuple(signature) for signature in state["used"]}
+        for fact in state["queue"]:
+            fact = tuple(fact)
+            signature = self.spec.signature(fact)
+            self._entries[signature] = self.queue.insert(
+                self.spec.priority(fact), fact
+            )
+        counters = list(state.get("stats", ()))
+        if len(counters) == 5:
+            (
+                self.stats.inserted,
+                self.stats.replaced,
+                self.stats.redundant,
+                self.stats.retrieved,
+                self.stats.rejected_at_retrieval,
+            ) = counters
+
     @property
     def used_count(self) -> int:
         return len(self._used)

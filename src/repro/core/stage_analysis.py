@@ -47,9 +47,35 @@ from repro.datalog.rules import Rule
 from repro.datalog.terms import Const, Struct, Term, Var
 from repro.core.rewriting import expand_next, rewrite_extrema
 
-__all__ = ["StageAnalysis", "CliqueReport", "analyze_stages"]
+__all__ = [
+    "StageAnalysis",
+    "CliqueReport",
+    "analyze_stages",
+    "clique_label",
+    "rule_label",
+]
 
 PredicateKey = Tuple[str, int]
+
+
+def clique_label(clique: Clique) -> str:
+    """A uniform human-readable name for a clique: ``clique [p/2, q/3]``.
+
+    Every diagnostic that talks about a clique uses this label so error
+    messages can be matched across the analysis and the engines."""
+    preds = ", ".join(f"{name}/{arity}" for name, arity in sorted(clique.predicates))
+    return f"clique [{preds}]"
+
+
+def rule_label(program: Program, rule: Rule) -> str:
+    """A uniform human-readable name for a rule: ``rule #3 (p(X) <- ...)``.
+
+    The number is the 1-based position among the program's proper rules,
+    matching the order rules appear in the source text."""
+    for index, candidate in enumerate(program.proper_rules(), start=1):
+        if candidate is rule:
+            return f"rule #{index} ({rule})"
+    return f"rule ({rule})"
 
 
 # ---------------------------------------------------------------------------
@@ -473,11 +499,15 @@ def analyze_stages(program: Program) -> StageAnalysis:
     positions = infer_stage_positions(program, graph)
     reports: List[CliqueReport] = []
     for clique in graph.cliques():
-        reports.append(_classify(clique, positions))
+        reports.append(_classify(clique, positions, program))
     return StageAnalysis(program, graph, positions, reports)
 
 
-def _classify(clique: Clique, positions: Dict[PredicateKey, Set[int]]) -> CliqueReport:
+def _classify(
+    clique: Clique,
+    positions: Dict[PredicateKey, Set[int]],
+    program: Program,
+) -> CliqueReport:
     next_rules = tuple(r for r in clique.rules if r.is_next_rule)
     non_next = tuple(r for r in clique.rules if not r.is_next_rule)
     exit_choice = tuple(r for r in non_next if r.choice_goals)
@@ -533,10 +563,12 @@ def _classify(clique: Clique, positions: Dict[PredicateKey, Set[int]]) -> Clique
         check = check_rule(rule, positions)
         report.rule_checks.append(check)
         if not check.satisfied:
-            report.violations.append(f"{rule}: {check.detail}")
+            report.violations.append(f"{rule_label(program, rule)}: {check.detail}")
             stratified = False
         elif rule.is_next_rule and not check.strictly:
-            report.violations.append(f"{rule}: next rule not strictly stratified")
+            report.violations.append(
+                f"{rule_label(program, rule)}: next rule not strictly stratified"
+            )
             stratified = False
     report.is_stage_stratified = stratified
     return report

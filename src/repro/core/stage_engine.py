@@ -38,7 +38,7 @@ from repro.core.clique_eval import (
     saturate,
 )
 from repro.core.engine_base import BaseEngine, ChoiceMemo
-from repro.core.stage_analysis import CliqueReport
+from repro.core.stage_analysis import CliqueReport, clique_label
 from repro.datalog.builtins import order_key
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Var
@@ -143,6 +143,8 @@ class BasicStageEngine(BaseEngine):
     syntactic class of Theorem 1.
     """
 
+    engine_name = "basic"
+
     def __init__(
         self,
         program,
@@ -152,6 +154,7 @@ class BasicStageEngine(BaseEngine):
         record_trace: bool = False,
         max_stages: int | None = None,
         tracer: Tracer | None = None,
+        governor: Any = None,
     ):
         super().__init__(
             program,
@@ -159,6 +162,7 @@ class BasicStageEngine(BaseEngine):
             check_safety=check_safety,
             record_trace=record_trace,
             tracer=tracer,
+            governor=governor,
         )
         self.allow_extended = allow_extended
         #: Safety valve: abort if any stage clique exceeds this many
@@ -176,11 +180,13 @@ class BasicStageEngine(BaseEngine):
     def _prepare(self, report: CliqueReport, db: Database) -> StageCliqueState:
         if not report.is_stage_clique:
             raise StageAnalysisError(
-                "not a stage clique: " + "; ".join(report.violations)
+                f"{clique_label(report.clique)} is not a stage clique: "
+                + "; ".join(report.violations)
             )
         if not report.is_stage_stratified and not self.allow_extended:
             raise StageAnalysisError(
-                "not stage-stratified: " + "; ".join(report.violations)
+                f"{clique_label(report.clique)} is not stage-stratified: "
+                + "; ".join(report.violations)
             )
         next_rules = list(report.next_rules)
         exit_choice = list(report.exit_choice_rules)
@@ -213,6 +219,21 @@ class BasicStageEngine(BaseEngine):
                 for rule in next_rules + exit_choice
             }
         )
+        if self._restore_memos or self._restore_w or self._restore_stage is not None:
+            # Resuming the interrupted clique: the checkpointed state is a
+            # superset of what absorbing the database rebuilt, so it wins.
+            index_of = self._rule_indices()
+            for rule in next_rules + exit_choice:
+                restored = self._restore_memos.get(index_of[id(rule)])
+                if restored is not None:
+                    memos[id(rule)].load_state(restored)
+            for rule in next_rules:
+                restored_w = self._restore_w.get(index_of[id(rule)])
+                if restored_w is not None:
+                    w_memos[id(rule)].update(tuple(w) for w in restored_w)
+            if self._restore_stage is not None:
+                state.stage = max(state.stage, self._restore_stage)
+        self._active_stage = state
         return state
 
     @staticmethod
@@ -230,6 +251,10 @@ class BasicStageEngine(BaseEngine):
     def _alternating_fixpoint(self, state: StageCliqueState, db: Database) -> None:
         state.absorb(self._quiesce(state, db, seeds=None))
         while True:
+            # The tick precedes the rng draws of the γ step, so a stop here
+            # checkpoints the exact rng state of the uninterrupted run at
+            # this boundary — resumed runs replay the same choice sequence.
+            self.governor.tick_gamma()
             fired = self._fire_exit_choice(state, db) or self._fire_next(state, db)
             if fired is None:
                 break
@@ -255,6 +280,7 @@ class BasicStageEngine(BaseEngine):
         clique_preds = state.report.clique.predicates | extra_predicates
         all_produced: Dict[PredicateKey, List[Fact]] = {}
         while True:
+            self.governor.tick_round()
             produced = saturate(
                 state.flat_rules,
                 clique_preds,
@@ -262,6 +288,7 @@ class BasicStageEngine(BaseEngine):
                 seed_deltas=seeds,
                 cache=self.plans,
                 tracer=self.tracer,
+                governor=self.governor,
             )
             self.stats.saturation_facts += sum(len(v) for v in produced.values())
             for key, facts in produced.items():
@@ -300,6 +327,8 @@ class BasicStageEngine(BaseEngine):
         chain's exit rule selecting the globally cheapest arc)."""
         if not state.exit_choice_rules:
             return None
+        if self._fault_hook is not None:
+            self._fault_hook("engine.gamma")
         with self.tracer.span("gamma-step", phase="gamma", kind="exit-choice") as step:
             for rule in state.exit_choice_rules:
                 memo = state.memos[id(rule)]
@@ -330,6 +359,8 @@ class BasicStageEngine(BaseEngine):
         evaluate the body with the stage variable pre-bound, filter by the
         memoized choice state, apply ``least``/``most`` to the survivors,
         and draw one of the minimal candidates."""
+        if self._fault_hook is not None:
+            self._fault_hook("engine.gamma")
         if self.max_stages is not None and state.stage >= self.max_stages:
             raise EvaluationError(
                 f"stage clique exceeded max_stages={self.max_stages}; "

@@ -13,14 +13,15 @@ never re-plans them.
 from __future__ import annotations
 
 import time
-from typing import List
+from typing import Any, List
 
 from repro.datalog.dependency import DependencyGraph
 from repro.datalog.plans import PlanCache
 from repro.datalog.program import Program
-from repro.errors import EvaluationError
+from repro.errors import BudgetExceeded, Cancelled, EvaluationError
 from repro.obs.metrics import RegistryBackedStats
 from repro.obs.tracer import Tracer
+from repro.robust.governor import NULL_GOVERNOR
 from repro.storage.database import Database
 
 __all__ = ["NaiveEngine", "EngineStats"]
@@ -71,12 +72,15 @@ class NaiveEngine:
             per-call-planning baseline for the plan-cache benchmark.
     """
 
+    engine_name = "naive"
+
     def __init__(
         self,
         program: Program,
         check_safety: bool = True,
         cache_plans: bool = True,
         tracer: Tracer | None = None,
+        governor: Any = None,
     ):
         for rule in program.proper_rules():
             if rule.has_meta_goals:
@@ -90,6 +94,7 @@ class NaiveEngine:
         self.tracer = tracer if tracer is not None else Tracer()
         self.stats = EngineStats(registry=self.tracer.registry)
         self.plans = PlanCache(stats=self.stats, enabled=cache_plans)
+        self.governor = governor if governor is not None else NULL_GOVERNOR
 
     def run(self, db: Database | None = None) -> Database:
         """Compute the perfect model of the program over *db*.
@@ -110,19 +115,50 @@ class NaiveEngine:
         for rule in self.program.proper_rules():
             self.plans.plan(rule)
         self.plans.register_indices(db)
+        self.governor.start(db, registry=self.tracer.registry, tracer=self.tracer)
         start = time.perf_counter()
-        for group in self.graph.evaluation_order():
-            rules = [rule for clique in group for rule in clique.rules]
-            preds = sorted({rule.head.pred for rule in rules})
-            with self.tracer.span("clique", phase="clique", kind="plain", predicates=preds):
-                self._saturate(rules, db)
+        try:
+            for group in self.graph.evaluation_order():
+                rules = [rule for clique in group for rule in clique.rules]
+                preds = sorted({rule.head.pred for rule in rules})
+                with self.tracer.span(
+                    "clique", phase="clique", kind="plain", predicates=preds
+                ):
+                    self._saturate(rules, db)
+        except (BudgetExceeded, Cancelled) as exc:
+            if exc.partial is None:
+                exc.partial = self._partial_result(db)
+            raise
         self.stats.add_phase_time("eval", time.perf_counter() - start)
         return db
+
+    def _partial_result(self, db: Database) -> Any:
+        """The resumable payload attached to a budget/cancellation error.
+        Plain engines are monotone and rng-free, so the checkpoint carries
+        facts only: resuming re-runs over the snapshot and converges to
+        the identical fixpoint."""
+        from repro.robust.checkpoint import capture
+        from repro.robust.governor import PartialResult
+
+        try:
+            checkpoint = capture(self, db)
+        except Exception:  # pragma: no cover - capture must never mask the stop
+            checkpoint = None
+        return PartialResult(
+            database=db,
+            engine=self.engine_name,
+            clique_index=0,
+            chosen=[],
+            stage=0,
+            metrics=self.tracer.registry.snapshot(),
+            checkpoint=checkpoint,
+        )
 
     def _saturate(self, rules: List, db: Database) -> None:
         tracer = self.tracer
         changed = True
         while changed:
+            self.governor.tick_round()
             changed = False
             self.stats.iterations += 1
             self.stats.rule_firings += len(rules)

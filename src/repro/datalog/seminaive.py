@@ -27,7 +27,7 @@ stable database.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.datalog.atoms import Atom
 from repro.datalog.dependency import Clique, DependencyGraph
@@ -35,8 +35,9 @@ from repro.datalog.naive import EngineStats
 from repro.datalog.plans import PlanCache
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.errors import EvaluationError
+from repro.errors import BudgetExceeded, Cancelled, EvaluationError
 from repro.obs.tracer import NULL_SPAN, Tracer
+from repro.robust.governor import NULL_GOVERNOR
 from repro.storage.database import Database
 from repro.storage.relation import Relation
 
@@ -62,12 +63,15 @@ class SeminaiveEngine:
             benchmark measures against.
     """
 
+    engine_name = "seminaive"
+
     def __init__(
         self,
         program: Program,
         check_safety: bool = True,
         cache_plans: bool = True,
         tracer: Tracer | None = None,
+        governor: Any = None,
     ):
         for rule in program.proper_rules():
             if rule.has_meta_goals:
@@ -81,6 +85,7 @@ class SeminaiveEngine:
         self.tracer = tracer if tracer is not None else Tracer()
         self.stats = EngineStats(registry=self.tracer.registry)
         self.plans = PlanCache(stats=self.stats, enabled=cache_plans)
+        self.governor = governor if governor is not None else NULL_GOVERNOR
 
     def run(self, db: Database | None = None) -> Database:
         """Compute the perfect model of the program over *db* (mutated).
@@ -104,18 +109,48 @@ class SeminaiveEngine:
                     for rule, delta_index, _ in self._delta_variants(clique):
                         self.plans.plan(rule, delta_index=delta_index)
         self.plans.register_indices(db)
+        self.governor.start(db, registry=self.tracer.registry, tracer=self.tracer)
         start = time.perf_counter()
-        for group in order:
-            for clique in group:
-                preds = sorted(key[0] for key in clique.predicates)
-                kind = "recursive" if clique.is_recursive else "flat"
-                with self.tracer.span("clique", phase="clique", kind=kind, predicates=preds):
-                    if clique.is_recursive:
-                        self._evaluate_recursive(clique, db)
-                    else:
-                        self._evaluate_once(clique.rules, db)
+        try:
+            for group in order:
+                for clique in group:
+                    preds = sorted(key[0] for key in clique.predicates)
+                    kind = "recursive" if clique.is_recursive else "flat"
+                    with self.tracer.span(
+                        "clique", phase="clique", kind=kind, predicates=preds
+                    ):
+                        if clique.is_recursive:
+                            self._evaluate_recursive(clique, db)
+                        else:
+                            self._evaluate_once(clique.rules, db)
+        except (BudgetExceeded, Cancelled) as exc:
+            if exc.partial is None:
+                exc.partial = self._partial_result(db)
+            raise
         self.stats.add_phase_time("eval", time.perf_counter() - start)
         return db
+
+    def _partial_result(self, db: Database) -> Any:
+        """The resumable payload attached to a budget/cancellation error.
+        Plain engines are monotone and rng-free, so the checkpoint carries
+        facts only: resuming re-runs over the snapshot and converges to
+        the identical fixpoint."""
+        from repro.robust.checkpoint import capture
+        from repro.robust.governor import PartialResult
+
+        try:
+            checkpoint = capture(self, db)
+        except Exception:  # pragma: no cover - capture must never mask the stop
+            checkpoint = None
+        return PartialResult(
+            database=db,
+            engine=self.engine_name,
+            clique_index=0,
+            chosen=[],
+            stage=0,
+            metrics=self.tracer.registry.snapshot(),
+            checkpoint=checkpoint,
+        )
 
     # -- non-recursive cliques ---------------------------------------------------
 
@@ -163,6 +198,7 @@ class SeminaiveEngine:
         # Differential rounds: each variant runs its delta-first plan.
         variants = self._delta_variants(clique)
         while any(len(delta) for delta in deltas.values()):
+            self.governor.tick_round()
             self.stats.iterations += 1
             new_deltas: Dict[PredicateKey, Relation] = {
                 key: Relation(f"Δ{key[0]}", key[1]) for key in predicates

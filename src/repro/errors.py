@@ -16,6 +16,8 @@ __all__ = [
     "StageAnalysisError",
     "EvaluationError",
     "RewriteError",
+    "BudgetExceeded",
+    "Cancelled",
 ]
 
 
@@ -69,3 +71,37 @@ class RewriteError(ReproError):
 class EvaluationError(ReproError):
     """Raised when fixpoint evaluation cannot proceed (unbound built-in
     arguments, unsafe negation at runtime, exhausted non-determinism)."""
+
+
+class BudgetExceeded(EvaluationError):
+    """Raised by a :class:`~repro.robust.governor.RunGovernor` when a
+    governed run exhausts its budget (wall-clock deadline, γ-step /
+    saturation-round / derived-fact cap, or the soft memory ceiling).
+
+    Attributes:
+        partial: a :class:`~repro.robust.governor.PartialResult` — the
+            database snapshot, the choice log so far, counters, and a
+            :class:`~repro.robust.checkpoint.Checkpoint` the run can be
+            resumed from under a fresh budget.  Attached by the engine
+            at the consistent stop boundary; ``None`` only when the
+            error escaped before any engine state existed.
+    """
+
+    def __init__(self, message: str, partial: "object | None" = None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class Cancelled(EvaluationError):
+    """Raised when a governed run is cooperatively cancelled (SIGINT via
+    :func:`~repro.robust.governor.trap_sigint`, or a caller-supplied
+    :class:`~repro.robust.governor.CancelToken`).
+
+    Attributes:
+        partial: see :class:`BudgetExceeded` — the same resumable
+            partial-result payload.
+    """
+
+    def __init__(self, message: str, partial: "object | None" = None):
+        super().__init__(message)
+        self.partial = partial

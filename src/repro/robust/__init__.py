@@ -1,0 +1,49 @@
+"""Execution robustness: budgets, cancellation, checkpoint/resume, faults.
+
+Three cooperating pieces (see ``docs/robustness.md`` for the guide):
+
+* :mod:`repro.robust.governor` — :class:`RunGovernor` enforces per-run
+  budgets (wall clock, γ-step / saturation-round / fact caps, memory
+  ceiling) and cooperative cancellation via cheap amortized ticks in the
+  engine hot loops;
+* :mod:`repro.robust.checkpoint` — serialize/restore the fixpoint state
+  a stopped run carries in its :class:`PartialResult`, so a governed run
+  continues under a fresh budget (deterministic engines reproduce the
+  ungoverned model exactly);
+* :mod:`repro.robust.faults` — deterministic fault injection into the
+  storage and engine hot paths, powering the chaos suite's
+  "complete or fail cleanly, never corrupt" guarantee.
+"""
+
+from repro.errors import BudgetExceeded, Cancelled
+from repro.robust.checkpoint import Checkpoint, capture, load, restore, resume, save
+from repro.robust.faults import FaultInjected, FaultInjector, FaultPlan, inject
+from repro.robust.governor import (
+    NULL_GOVERNOR,
+    Budget,
+    CancelToken,
+    PartialResult,
+    RunGovernor,
+    trap_sigint,
+)
+
+__all__ = [
+    "Budget",
+    "CancelToken",
+    "RunGovernor",
+    "NULL_GOVERNOR",
+    "PartialResult",
+    "trap_sigint",
+    "BudgetExceeded",
+    "Cancelled",
+    "Checkpoint",
+    "capture",
+    "save",
+    "load",
+    "restore",
+    "resume",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "inject",
+]

@@ -1,0 +1,281 @@
+"""Serialize and restore governed-run fixpoint state.
+
+A :class:`Checkpoint` captures everything a run needs to continue under a
+fresh budget: the database facts, the rng state, the index of the
+interrupted clique, the memoized choice state (FD maps and chosen sets),
+the stage engines' W-memos and stage counter, and the greedy engine's
+(R, Q, L) queues.  The capture point is a *consistent boundary*: engines
+only raise ``BudgetExceeded``/``Cancelled`` from a governor tick at the
+top of a γ step or saturation round, before the step consumes any rng —
+so for a deterministic (seeded) engine, resuming reproduces exactly the
+model the uninterrupted run would have produced:
+
+* completed cliques are skipped on resume (``resume_clique_index``), so
+  no extra ``rng.shuffle`` draws are consumed;
+* the interrupted clique re-enters with the restored memo/W/stage/queue
+  state — a strict superset of what re-absorbing the database would
+  rebuild — and the restored rng continues the original draw sequence;
+* an interrupt inside a saturation round is safe because saturation is
+  deterministic, rng-free and confluent: re-entry re-derives the
+  remaining consequences from the restored database.
+
+The on-disk format is a single JSON object (``version`` field gates
+compatibility); tuples are encoded as arrays and revived on load, so a
+checkpoint survives a round-trip bit-for-bit.  ``restore`` must be given
+the *same program* the checkpoint was captured from — memos are keyed by
+proper-rule index, so reordering rules invalidates a checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.datalog.builtins import order_key
+from repro.errors import EvaluationError
+from repro.storage.database import Database
+
+__all__ = [
+    "Checkpoint",
+    "capture",
+    "save",
+    "load",
+    "dumps",
+    "loads",
+    "restore",
+    "resume",
+    "CHECKPOINT_VERSION",
+]
+
+Fact = Tuple[Any, ...]
+PredicateKey = Tuple[str, int]
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """A resumable snapshot of one governed run.
+
+    Attributes:
+        engine: engine name the run used (``restore`` re-creates it —
+            resuming on a different engine is not meaningful).
+        clique_index: index of the interrupted clique in the program's
+            dependency-ordered report list; cliques before it are done
+            and are skipped on resume.
+        rng_state: ``random.Random.getstate()`` of the engine rng at the
+            stop boundary (``None`` for the rng-free plain engines).
+        facts: every database fact, keyed by ``(name, arity)``.
+        memos: per proper-rule-index :class:`ChoiceMemo` state (FD maps
+            and chosen control tuples) of the interrupted clique.
+        w_memos: per proper-rule-index W-memo tuples (the ``next``
+            expansion's implicit ``W -> I`` dependency).
+        stage: the interrupted stage clique's stage counter, or ``None``.
+        rql: per head-predicate (R, Q, L) structure state (live queue in
+            insertion order, seen/used sets, operation counters).
+        choice_log: the γ decisions so far — ``(predicate, fact, stage)``.
+        metrics: registry snapshot at capture time (diagnostics only).
+        version: format version; :func:`load` rejects mismatches.
+    """
+
+    engine: str
+    clique_index: int
+    rng_state: Optional[Tuple[Any, ...]]
+    facts: Dict[PredicateKey, List[Fact]]
+    memos: Dict[int, Any] = field(default_factory=dict)
+    w_memos: Dict[int, Any] = field(default_factory=dict)
+    stage: Optional[int] = None
+    rql: Dict[PredicateKey, Any] = field(default_factory=dict)
+    choice_log: List[Tuple[PredicateKey, Fact, int]] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    version: int = CHECKPOINT_VERSION
+
+
+def capture(engine: Any, db: Database) -> Checkpoint:
+    """Snapshot *engine*'s resumable state over *db*.
+
+    Works for every engine: the core engines contribute rng/memo/queue
+    state; the plain engines (naive/seminaive) contribute facts only —
+    their resume is a monotone re-run over the snapshot, which converges
+    to the identical fixpoint.
+    """
+    facts = {
+        key: sorted(db.facts(*key), key=order_key)
+        for key in sorted(db.predicates())
+        if len(db.relation(*key))
+    }
+    rng = getattr(engine, "rng", None)
+    memos: Dict[int, Any] = {}
+    w_memos: Dict[int, Any] = {}
+    stage: Optional[int] = None
+    index_of = {
+        id(rule): index for index, rule in enumerate(engine.program.proper_rules())
+    }
+    active_memos = getattr(engine, "_active_choice", None)
+    if active_memos is not None:
+        for rule_id, memo in active_memos.items():
+            memos[index_of[rule_id]] = memo.export_state()
+    state = getattr(engine, "_active_stage", None)
+    if state is not None:
+        stage = state.stage
+        for rule_id, memo in state.memos.items():
+            memos[index_of[rule_id]] = memo.export_state()
+        for rule_id, w_memo in state.w_memos.items():
+            w_memos[index_of[rule_id]] = sorted(w_memo, key=order_key)
+    rql = {
+        key: structure.export_state()
+        for key, structure in getattr(engine, "rql_structures", {}).items()
+    }
+    tracer = getattr(engine, "tracer", None)
+    registry = getattr(tracer, "registry", None)
+    return Checkpoint(
+        engine=getattr(engine, "engine_name", "rql"),
+        clique_index=getattr(engine, "_clique_index", 0),
+        rng_state=rng.getstate() if rng is not None else None,
+        facts=facts,
+        memos=memos,
+        w_memos=w_memos,
+        stage=stage,
+        rql=rql,
+        choice_log=list(getattr(engine, "choice_log", ())),
+        metrics=registry.snapshot() if registry is not None else {},
+    )
+
+
+def restore(
+    cp: Checkpoint,
+    program: Any,
+    governor: Any = None,
+    tracer: Any = None,
+    engine: str | None = None,
+) -> Tuple[Any, Database]:
+    """Rebuild an engine + database pair ready to continue the run.
+
+    *program* must be the same program (same rule order) the checkpoint
+    was captured from.  Returns ``(engine, db)``; calling ``engine.run(db)``
+    continues from the stop boundary under the new *governor*.
+    """
+    from repro.core.compiler import _make_engine
+
+    rng = random.Random()
+    if cp.rng_state is not None:
+        rng.setstate(cp.rng_state)
+    instance = _make_engine(
+        engine or cp.engine, program, rng, tracer=tracer, governor=governor
+    )
+    db = Database()
+    for (name, _arity), rows in cp.facts.items():
+        db.assert_all(name, [tuple(row) for row in rows])
+    if hasattr(instance, "resume_clique_index"):
+        instance.resume_clique_index = cp.clique_index
+        instance._restore_memos = {int(i): s for i, s in cp.memos.items()}
+        instance._restore_w = {int(i): w for i, w in cp.w_memos.items()}
+        instance._restore_stage = cp.stage
+        instance._restore_rql = dict(cp.rql)
+        instance.choice_log = [tuple(entry) for entry in cp.choice_log]
+    return instance, db
+
+
+def resume(
+    cp: Checkpoint, program: Any, governor: Any = None, tracer: Any = None
+) -> Database:
+    """Convenience: :func:`restore` then run to completion."""
+    instance, db = restore(cp, program, governor=governor, tracer=tracer)
+    return instance.run(db)
+
+
+# -- JSON round-trip ------------------------------------------------------------
+
+
+def save(cp: Checkpoint, path: str) -> None:
+    """Write *cp* to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(cp))
+        handle.write("\n")
+
+
+def load(path: str) -> Checkpoint:
+    """Read a checkpoint written by :func:`save`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def dumps(cp: Checkpoint) -> str:
+    return json.dumps(_to_payload(cp))
+
+
+def loads(text: str) -> Checkpoint:
+    return _from_payload(json.loads(text))
+
+
+def _to_payload(cp: Checkpoint) -> Dict[str, Any]:
+    return {
+        "version": cp.version,
+        "engine": cp.engine,
+        "clique_index": cp.clique_index,
+        "stage": cp.stage,
+        "rng_state": _encode(cp.rng_state) if cp.rng_state is not None else None,
+        "facts": [
+            [name, arity, _encode(list(rows))]
+            for (name, arity), rows in sorted(cp.facts.items())
+        ],
+        "memos": [[index, _encode(state)] for index, state in sorted(cp.memos.items())],
+        "w_memos": [
+            [index, _encode(list(rows))] for index, rows in sorted(cp.w_memos.items())
+        ],
+        "rql": [
+            [name, arity, _encode(state)]
+            for (name, arity), state in sorted(cp.rql.items())
+        ],
+        "choice_log": _encode(list(cp.choice_log)),
+        "metrics": cp.metrics,
+    }
+
+
+def _from_payload(payload: Dict[str, Any]) -> Checkpoint:
+    version = payload.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise EvaluationError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    rng_state = payload.get("rng_state")
+    return Checkpoint(
+        engine=payload["engine"],
+        clique_index=payload["clique_index"],
+        rng_state=_decode(rng_state) if rng_state is not None else None,
+        facts={
+            (name, arity): list(_decode(rows))
+            for name, arity, rows in payload.get("facts", [])
+        },
+        memos={int(i): _decode(state) for i, state in payload.get("memos", [])},
+        w_memos={int(i): list(_decode(rows)) for i, rows in payload.get("w_memos", [])},
+        stage=payload.get("stage"),
+        rql={
+            (name, arity): _decode(state)
+            for name, arity, state in payload.get("rql", [])
+        },
+        choice_log=[tuple(entry) for entry in _decode(payload.get("choice_log", []))],
+        metrics=payload.get("metrics", {}),
+    )
+
+
+def _encode(value: Any) -> Any:
+    """Tuples become JSON arrays (recursively); dicts keep string keys."""
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _encode(item) for key, item in value.items()}
+    return value
+
+
+def _decode(value: Any) -> Any:
+    """The inverse of :func:`_encode`: arrays come back as tuples (ground
+    values in this codebase are tuples, never lists)."""
+    if isinstance(value, list):
+        return tuple(_decode(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _decode(item) for key, item in value.items()}
+    return value

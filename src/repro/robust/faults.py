@@ -1,0 +1,182 @@
+"""Deterministic, seed-driven fault injection for the chaos suite.
+
+Storage and engine hot paths expose class-level hook slots
+(``Relation._fault_hook``, ``PriorityQueue._fault_hook``,
+``BaseEngine._fault_hook``, ``clique_eval._FAULT_HOOK``) that default to
+``None`` and cost one is-``None`` check when unused — the same pattern as
+the optional ``metrics`` binding.  :func:`inject` patches a
+:class:`FaultInjector` into every slot for the duration of a ``with``
+block; the injector fires a planned fault (raise, delay, or a benign
+spurious wake) on the *n*-th visit to each site, with *n* drawn from a
+seeded rng so chaos runs are reproducible.
+
+Every hook fires at the **top** of its operation, before any mutation, so
+a raised :class:`FaultInjected` leaves the touched structures exactly as
+they were — the chaos suite asserts this with the storage invariant
+checkers (``Relation.check_invariants`` etc.) after every failed run.
+
+Sites:
+
+* ``relation.add`` — every fact insertion into a :class:`Relation`;
+* ``heap.insert`` / ``heap.pop`` — the (R, Q, L) priority queue;
+* ``engine.gamma`` — each γ firing attempt (choice step, ``next`` step,
+  RQL pop);
+* ``engine.saturate`` — each differential saturation round.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.storage.heap import PriorityQueue
+from repro.storage.relation import Relation
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultInjector",
+    "inject",
+    "SITES",
+    "MODES",
+]
+
+#: Every injection site understood by :func:`inject`.
+SITES = (
+    "relation.add",
+    "heap.insert",
+    "heap.pop",
+    "engine.gamma",
+    "engine.saturate",
+)
+
+#: The supported injection modes.
+MODES = ("error", "delay", "wake")
+
+
+class FaultInjected(ReproError):
+    """The synthetic failure raised by an ``error``-mode fault plan.
+
+    A subclass of :class:`~repro.errors.ReproError`, so callers holding
+    the documented contract ("every failure is a clean ``ReproError``")
+    need no special case for injected faults.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One scheduled fault.
+
+    Attributes:
+        site: one of :data:`SITES`.
+        mode: ``"error"`` raises :class:`FaultInjected`; ``"delay"``
+            sleeps ``delay_s``; ``"wake"`` is a benign no-op visit (a
+            spurious wake — proves extra hook invocations cannot corrupt
+            state).
+        nth: the 1-based visit count at which the fault fires.
+        delay_s: sleep duration for ``"delay"`` mode.
+        repeat: fire on every ``nth``-th visit instead of only the first.
+    """
+
+    site: str
+    mode: str = "error"
+    nth: int = 1
+    delay_s: float = 0.001
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; expected one of {SITES}")
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; expected one of {MODES}")
+        if self.nth < 1:
+            raise ValueError("nth must be >= 1")
+
+
+@dataclass
+class FaultInjector:
+    """Executes :class:`FaultPlan`\\ s as the shared hook for every site.
+
+    Attributes:
+        plans: the scheduled faults (several may target one site).
+        hits: per-site visit counters.
+        fired: log of ``(site, mode, visit)`` triples for faults that
+            actually triggered.
+    """
+
+    plans: List[FaultPlan] = field(default_factory=list)
+    hits: Dict[str, int] = field(default_factory=dict)
+    fired: List[Tuple[str, str, int]] = field(default_factory=list)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        site: str,
+        mode: str = "error",
+        horizon: int = 50,
+        repeat: bool = False,
+    ) -> "FaultInjector":
+        """An injector with one plan whose trigger point is drawn from a
+        rng keyed by ``(seed, site, mode)`` — the same seed always plans
+        the same fault, so chaos failures replay exactly."""
+        rng = random.Random(f"{seed}:{site}:{mode}")
+        return cls([FaultPlan(site, mode, nth=rng.randint(1, horizon), repeat=repeat)])
+
+    def __call__(self, site: str) -> None:
+        count = self.hits.get(site, 0) + 1
+        self.hits[site] = count
+        for plan in self.plans:
+            if plan.site != site:
+                continue
+            due = (
+                count % plan.nth == 0 if plan.repeat else count == plan.nth
+            )
+            if not due:
+                continue
+            self.fired.append((site, plan.mode, count))
+            if plan.mode == "error":
+                raise FaultInjected(
+                    f"injected fault at {site} (visit {count}, nth={plan.nth})"
+                )
+            if plan.mode == "delay":
+                time.sleep(plan.delay_s)
+            # "wake": a spurious extra visit — deliberately nothing.
+
+
+@contextmanager
+def inject(injector: Optional[FaultInjector]) -> Iterator[Optional[FaultInjector]]:
+    """Install *injector* into every hook slot for the block's duration.
+
+    ``inject(None)`` is a no-op passthrough (convenient for parametrized
+    chaos tests that include a fault-free control run).  Hooks are always
+    restored, even when the block raises.
+    """
+    if injector is None:
+        yield None
+        return
+    # Engine modules import the storage layer (never the reverse), so the
+    # core hooks are resolved lazily here to keep repro.robust importable
+    # from the storage layer as well.
+    from repro.core import clique_eval
+    from repro.core.engine_base import BaseEngine
+
+    saved: List[Tuple[Any, str, Any]] = [
+        (Relation, "_fault_hook", Relation._fault_hook),
+        (PriorityQueue, "_fault_hook", PriorityQueue._fault_hook),
+        (BaseEngine, "_fault_hook", BaseEngine._fault_hook),
+        (clique_eval, "_FAULT_HOOK", clique_eval._FAULT_HOOK),
+    ]
+    Relation._fault_hook = injector
+    PriorityQueue._fault_hook = injector
+    BaseEngine._fault_hook = injector
+    clique_eval._FAULT_HOOK = injector
+    try:
+        yield injector
+    finally:
+        for target, attr, value in saved:
+            setattr(target, attr, value)

@@ -1,0 +1,368 @@
+"""Per-run execution budgets and cooperative cancellation.
+
+The Choice Fixpoint terminates in polynomial time only for the syntactic
+classes the paper identifies (Theorems 1-3).  Outside stage-stratified
+programs — and under ad-hoc fuzz inputs — γ and saturation loops can
+diverge or exhaust memory.  :class:`RunGovernor` bounds a run without
+changing its semantics: every engine hot loop calls a cheap *tick* at its
+consistent boundary (top of a γ step, top of a saturation round), the
+governor counts the ticks against the budget's step caps immediately and
+amortizes the expensive checks (clock, fact count, memory) over
+``check_interval`` ticks.
+
+On exhaustion it raises :class:`~repro.errors.BudgetExceeded`; on
+cooperative cancellation (a :class:`CancelToken`, e.g. armed by a SIGINT
+via :func:`trap_sigint`) it raises :class:`~repro.errors.Cancelled`.
+Both escape through the engine's ``run()``, which attaches a
+:class:`PartialResult` — the database snapshot, the choice log, counters
+and a resumable :class:`~repro.robust.checkpoint.Checkpoint` — before
+re-raising.
+
+The disabled path is a single no-op method call per loop iteration
+(:data:`NULL_GOVERNOR`); the enabled path adds integer compares per tick
+and a clock read / ``total_facts()`` scan every ``check_interval`` ticks.
+Both are gated below measurable overhead by the ``governor_overhead``
+sweep in :mod:`repro.bench.regression`.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import BudgetExceeded, Cancelled
+
+__all__ = [
+    "Budget",
+    "CancelToken",
+    "RunGovernor",
+    "NULL_GOVERNOR",
+    "PartialResult",
+    "trap_sigint",
+]
+
+Fact = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Per-run resource limits.  ``None`` disables the corresponding cap.
+
+    Attributes:
+        wall_clock: deadline in seconds from :meth:`RunGovernor.start`.
+        max_gamma_steps: cap on γ-step attempts (one tick per iteration
+            of a choice/stage alternation loop).
+        max_rounds: cap on saturation rounds (one tick per differential
+            round of any fixpoint loop — this is the cap that bounds
+            divergent *plain* recursion).
+        max_facts: cap on the database's total fact count (checked
+            amortized, so slight overshoot by one check interval's worth
+            of derivations is possible).
+        max_memory_mb: soft process-memory ceiling in MiB, checked via
+            ``resource.getrusage`` where available (a no-op cap on
+            platforms without :mod:`resource`).
+    """
+
+    wall_clock: Optional[float] = None
+    max_gamma_steps: Optional[int] = None
+    max_rounds: Optional[int] = None
+    max_facts: Optional[int] = None
+    max_memory_mb: Optional[float] = None
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether every cap is disabled."""
+        return (
+            self.wall_clock is None
+            and self.max_gamma_steps is None
+            and self.max_rounds is None
+            and self.max_facts is None
+            and self.max_memory_mb is None
+        )
+
+
+class CancelToken:
+    """A cooperative cancellation flag shared between a caller (or signal
+    handler) and a governed run.  Setting it is async-signal-safe (a bare
+    attribute write); the governor observes it at the next tick."""
+
+    __slots__ = ("cancelled", "reason")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        self.reason = ""
+
+    def cancel(self, reason: str = "cancellation requested") -> None:
+        """Request cancellation; the run raises ``Cancelled`` at its next
+        consistent boundary."""
+        self.reason = reason
+        self.cancelled = True
+
+
+def _rss_mb() -> Optional[float]:
+    """Peak resident set size in MiB, or ``None`` when unavailable."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS reports bytes.
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return usage / (1024.0 * 1024.0)
+    return usage / 1024.0
+
+
+class _NullGovernor:
+    """The shared no-op governor: ungoverned runs keep a single code path
+    (``self.governor.tick_gamma()``) at the cost of one no-op call."""
+
+    __slots__ = ()
+    enabled = False
+
+    def start(self, db: Any, registry: Any = None, tracer: Any = None) -> None:
+        return None
+
+    def tick_gamma(self) -> None:
+        return None
+
+    def tick_round(self) -> None:
+        return None
+
+    def check_now(self) -> None:
+        return None
+
+
+#: The shared disabled governor instance engines default to.
+NULL_GOVERNOR = _NullGovernor()
+
+
+class RunGovernor:
+    """Budget enforcement and cancellation for one engine run.
+
+    Args:
+        budget: the limits to enforce (an empty :class:`Budget` enforces
+            nothing but still honours the *token*).
+        token: optional cooperative cancellation flag, observed at every
+            tick.
+        check_interval: how many ticks between full checks (clock, fact
+            count, memory).  Step caps and the token are checked on every
+            tick regardless.
+        clock: monotonic time source (injectable for tests).
+
+    A governor instance is single-run state (deadline, counters); create
+    a fresh one per run — in particular, resuming from a checkpoint under
+    a fresh budget means a fresh ``RunGovernor``.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        budget: Budget | None = None,
+        token: CancelToken | None = None,
+        check_interval: int = 16,
+        clock: Any = time.monotonic,
+    ):
+        if check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        self.budget = budget if budget is not None else Budget()
+        self.token = token
+        self.check_interval = check_interval
+        self.clock = clock
+        #: γ-step ticks observed so far.
+        self.gamma_steps = 0
+        #: saturation-round ticks observed so far.
+        self.rounds = 0
+        #: full (amortized) checks performed.
+        self.checks = 0
+        self._ticks = 0
+        self._deadline: Optional[float] = None
+        self._db: Any = None
+        self._registry: Any = None
+        self._tracer: Any = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self, db: Any, registry: Any = None, tracer: Any = None) -> None:
+        """Arm the governor for a run: bind the database (for the fact
+        cap), start the wall-clock deadline, and publish the
+        ``governor/`` gauges into *registry*."""
+        self._db = db
+        self._registry = registry
+        self._tracer = tracer
+        if self.budget.wall_clock is not None:
+            self._deadline = self.clock() + self.budget.wall_clock
+        if registry is not None:
+            registry.set_counter("governor/enabled", 1)
+            self._publish()
+
+    # -- ticks (the engine hot-loop API) ---------------------------------------
+
+    def tick_gamma(self) -> None:
+        """One γ-step boundary (top of a choice/stage alternation loop).
+
+        The token/interval logic is inlined (not factored into a helper)
+        deliberately: a second function call per tick is the dominant
+        cost of the governed hot path, and the ``governor_overhead``
+        bench gates this method at a few percent of total run time."""
+        self.gamma_steps += 1
+        cap = self.budget.max_gamma_steps
+        if cap is not None and self.gamma_steps > cap:
+            self._stop(f"γ-step cap of {cap} exceeded")
+        token = self.token
+        if token is not None and token.cancelled:
+            self._cancel(token.reason)
+        self._ticks += 1
+        if self._ticks % self.check_interval == 0:
+            self.check_now()
+
+    def tick_round(self) -> None:
+        """One saturation-round boundary (top of a fixpoint round).
+        Inlined for the same reason as :meth:`tick_gamma`."""
+        self.rounds += 1
+        cap = self.budget.max_rounds
+        if cap is not None and self.rounds > cap:
+            self._stop(f"saturation-round cap of {cap} exceeded")
+        token = self.token
+        if token is not None and token.cancelled:
+            self._cancel(token.reason)
+        self._ticks += 1
+        if self._ticks % self.check_interval == 0:
+            self.check_now()
+
+    # -- checks ----------------------------------------------------------------
+
+    def check_now(self) -> None:
+        """The full budget check: wall clock, fact count, memory ceiling.
+        Runs every ``check_interval`` ticks; callable directly at any
+        consistent boundary."""
+        self.checks += 1
+        budget = self.budget
+        if self._deadline is not None and self.clock() > self._deadline:
+            self._stop(f"wall-clock deadline of {budget.wall_clock}s exceeded")
+        if budget.max_facts is not None and self._db is not None:
+            total = self._db.total_facts()
+            if total > budget.max_facts:
+                self._stop(
+                    f"derived-fact cap of {budget.max_facts} exceeded "
+                    f"(database holds {total} facts)"
+                )
+        if budget.max_memory_mb is not None:
+            rss = _rss_mb()
+            if rss is not None and rss > budget.max_memory_mb:
+                self._stop(
+                    f"memory ceiling of {budget.max_memory_mb} MiB exceeded "
+                    f"(peak RSS {rss:.1f} MiB)"
+                )
+        if self._registry is not None:
+            self._publish()
+
+    def _publish(self) -> None:
+        registry = self._registry
+        registry.set_counter("governor/gamma_steps", self.gamma_steps)
+        registry.set_counter("governor/rounds", self.rounds)
+        registry.set_counter("governor/checks", self.checks)
+
+    def _stop(self, reason: str) -> None:
+        if self._registry is not None:
+            self._publish()
+            self._registry.set_counter("governor/budget_exceeded", 1)
+        if self._tracer is not None:
+            self._tracer.event(
+                "governor-budget-exceeded",
+                reason=reason,
+                gamma_steps=self.gamma_steps,
+                rounds=self.rounds,
+            )
+        raise BudgetExceeded(f"budget exceeded: {reason}")
+
+    def _cancel(self, reason: str) -> None:
+        if self._registry is not None:
+            self._publish()
+            self._registry.set_counter("governor/cancelled", 1)
+        if self._tracer is not None:
+            self._tracer.event(
+                "governor-cancelled",
+                reason=reason,
+                gamma_steps=self.gamma_steps,
+                rounds=self.rounds,
+            )
+        raise Cancelled(f"cancelled: {reason or 'cancellation requested'}")
+
+
+@dataclass
+class PartialResult:
+    """What a governed run had computed when it stopped.
+
+    Attached to :class:`~repro.errors.BudgetExceeded` /
+    :class:`~repro.errors.Cancelled` by the engine at its consistent stop
+    boundary.
+
+    Attributes:
+        database: the live database snapshot (every fact asserted so far
+            — a prefix of some complete run's model).
+        engine: the engine name (``"rql"``, ``"basic"``, ...).
+        clique_index: index of the interrupted clique in the engine's
+            dependency-ordered report list.
+        chosen: the γ choice log so far — ``(predicate, fact, stage)``
+            triples in firing order.
+        stage: the stage counter at the stop (total across stage cliques).
+        metrics: a registry snapshot (``{"counters": ..., "timers": ...}``).
+        checkpoint: a :class:`~repro.robust.checkpoint.Checkpoint`
+            capturing the resumable fixpoint state (database + memoized
+            choice state + (R, Q, L) queues + rng), or ``None`` for
+            engines without one.
+    """
+
+    database: Any
+    engine: str
+    clique_index: int
+    chosen: List[Tuple[str, Fact, int]]
+    stage: int
+    metrics: Dict[str, Any]
+    checkpoint: Any = None
+
+    def summary(self) -> str:
+        """A one-line human-readable account for CLI diagnostics."""
+        db = self.database
+        relations = sum(1 for key in db.predicates() if len(db.relation(*key)))
+        return (
+            f"partial result: {db.total_facts()} facts across {relations} "
+            f"relations; {len(self.chosen)} choices; stopped in clique "
+            f"{self.clique_index}; engine {self.engine!r}"
+        )
+
+
+@contextmanager
+def trap_sigint(token: CancelToken) -> Iterator[CancelToken]:
+    """Route SIGINT into *token* for the duration of the block.
+
+    The first Ctrl-C requests cooperative cancellation (the governed run
+    stops at its next consistent boundary and raises ``Cancelled`` with a
+    partial result); the previous handler is restored immediately, so a
+    second Ctrl-C interrupts hard (normally ``KeyboardInterrupt``).
+
+    Outside the main thread — where :func:`signal.signal` is unavailable —
+    this is a no-op passthrough, keeping library callers thread-safe.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield token
+        return
+    previous = signal.getsignal(signal.SIGINT)
+
+    def handler(signum: int, frame: Any) -> None:
+        token.cancel("SIGINT")
+        signal.signal(signal.SIGINT, previous)
+
+    signal.signal(signal.SIGINT, handler)
+    try:
+        yield token
+    finally:
+        if signal.getsignal(signal.SIGINT) is handler:
+            signal.signal(signal.SIGINT, previous)

@@ -89,6 +89,16 @@ class Database:
             clone._relations[key] = rel.copy()
         return clone
 
+    def check_invariants(self) -> bool:
+        """Verify every relation's structural invariants (chaos-suite aid).
+
+        Raises:
+            AssertionError: describing the first violation found.
+        """
+        for rel in self._relations.values():
+            rel.check_invariants()
+        return True
+
     def as_dict(self) -> Dict[PredicateKey, frozenset]:
         """An immutable snapshot, useful for model comparison in tests."""
         return {key: frozenset(rel) for key, rel in self._relations.items() if len(rel)}

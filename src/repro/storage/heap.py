@@ -67,6 +67,11 @@ class PriorityQueue(Generic[T]):
         2
     """
 
+    # Class-level fault-injection slot, patched by repro.robust.faults.inject
+    # for chaos runs; the hook fires before any mutation, so an injected
+    # error leaves the heap exactly as it was.
+    _fault_hook: Any = None
+
     def __init__(self) -> None:
         self._heap: list[HeapEntry[T]] = []
         self._counter = 0
@@ -82,6 +87,8 @@ class PriorityQueue(Generic[T]):
     def insert(self, priority: Any, item: T) -> HeapEntry[T]:
         """Insert *item* with *priority*; returns a handle usable with
         :meth:`delete`."""
+        if self._fault_hook is not None:
+            self._fault_hook("heap.insert")
         entry = HeapEntry(priority, self._counter, item)
         self._counter += 1
         self._heap.append(entry)
@@ -115,6 +122,8 @@ class PriorityQueue(Generic[T]):
         Raises:
             IndexError: if the queue is empty.
         """
+        if self._fault_hook is not None:
+            self._fault_hook("heap.pop")
         self._drop_dead_root()
         if not self._heap:
             raise IndexError("pop_least from an empty PriorityQueue")
@@ -131,6 +140,36 @@ class PriorityQueue(Generic[T]):
     def clear(self) -> None:
         self._heap.clear()
         self._live = 0
+
+    def live_entries(self) -> list[HeapEntry[T]]:
+        """The live :class:`HeapEntry` objects, in arbitrary order.
+
+        Used by checkpointing to serialize the queue with its tiebreaks
+        (re-inserting in tiebreak order preserves equal-priority pop
+        order across a save/restore round-trip)."""
+        return [entry for entry in self._heap if entry.alive]
+
+    def check_invariants(self) -> bool:
+        """Verify the heap property and the live-entry count (chaos-suite
+        aid).
+
+        Raises:
+            AssertionError: describing the first violation found.
+        """
+        heap = self._heap
+        for pos in range(1, len(heap)):
+            parent = (pos - 1) >> 1
+            if not heap[parent].key() <= heap[pos].key():
+                raise AssertionError(
+                    f"heap property violated at position {pos}: parent "
+                    f"{heap[parent]!r} > child {heap[pos]!r}"
+                )
+        live = sum(1 for entry in heap if entry.alive)
+        if live != self._live:
+            raise AssertionError(
+                f"live-entry count drifted: counted {live}, recorded {self._live}"
+            )
+        return True
 
     # -- internal heap machinery -------------------------------------------
 

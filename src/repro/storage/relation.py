@@ -48,6 +48,11 @@ class Relation:
         # engine runs with tracing enabled, None (and costless) otherwise.
         self.metrics: Any = None
 
+    # Class-level fault-injection slot, patched by repro.robust.faults.inject
+    # for chaos runs; None (one is-None check per add) otherwise.  The hook
+    # fires before any mutation, so an injected error cannot corrupt state.
+    _fault_hook: Any = None
+
     def bind_metrics(self, registry: Any) -> None:
         """Start publishing ``relation/*`` counters into *registry*."""
         self.metrics = registry
@@ -74,6 +79,8 @@ class Relation:
         Raises:
             ValueError: if the fact has the wrong arity.
         """
+        if self._fault_hook is not None:
+            self._fault_hook("relation.add")
         if len(fact) != self.arity:
             raise ValueError(
                 f"arity mismatch for {self.name}: expected {self.arity}, "
@@ -166,6 +173,36 @@ class Relation:
         clone = Relation(self.name, self.arity)
         clone._facts = set(self._facts)
         return clone
+
+    def check_invariants(self) -> bool:
+        """Verify the relation's structural invariants (chaos-suite aid):
+        every fact has the declared arity, and every index covers exactly
+        the projections of ``_facts``.
+
+        Raises:
+            AssertionError: describing the first violation found.
+        """
+        for fact in self._facts:
+            if len(fact) != self.arity:
+                raise AssertionError(
+                    f"{self.name}/{self.arity}: fact {fact!r} has arity {len(fact)}"
+                )
+        for positions, index in self._indexes.items():
+            covered: Set[Fact] = set()
+            for key, bucket in index.items():
+                for fact in bucket:
+                    if tuple(fact[p] for p in positions) != key:
+                        raise AssertionError(
+                            f"{self.name}/{self.arity}: index {positions} bucket "
+                            f"{key!r} holds mismatched fact {fact!r}"
+                        )
+                covered |= bucket
+            if covered != self._facts:
+                raise AssertionError(
+                    f"{self.name}/{self.arity}: index {positions} covers "
+                    f"{len(covered)} facts, relation holds {len(self._facts)}"
+                )
+        return True
 
     def _build_index(self, positions: Tuple[int, ...]) -> Dict[Tuple[Any, ...], Set[Fact]]:
         for p in positions:

@@ -1,0 +1,166 @@
+"""Chaos suite: seeded fault injection across every engine, site and mode.
+
+The contract under test: with a fault injected at any hot-path site, a
+run either completes with the correct result (benign modes) or fails with
+a clean :class:`~repro.errors.ReproError` — never a crash, never a
+corrupted database.  Storage invariants are re-checked after every run,
+failed or not."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.errors import ReproError
+from repro.robust.faults import MODES, SITES, FaultInjected, FaultInjector, FaultPlan, inject
+from repro.storage.heap import PriorityQueue
+from repro.storage.relation import Relation
+
+SORTING = """
+sp(nil, nil, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+FACTS = {"p": [(f"v{i}", (41 * i) % 97) for i in range(10)]}
+
+ENGINES = ("rql", "basic", "choice", "naive", "seminaive")
+
+# The choice/naive/seminaive engines cannot evaluate next goals, so they
+# run a meta-goal-free program through the same storage layer instead.
+PLAIN = """
+reach(X) <- source(X).
+reach(Y) <- reach(X), edge(X, Y).
+"""
+
+PLAIN_FACTS = {
+    "source": [("a",)],
+    "edge": [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("b", "d")],
+}
+
+
+def _program_for(engine):
+    if engine in ("rql", "basic"):
+        return SORTING, FACTS
+    return PLAIN, PLAIN_FACTS
+
+
+def _run(engine, injector):
+    source, facts = _program_for(engine)
+    compiled = compile_program(source, engine=engine)
+    from repro.core.compiler import _as_database, _make_engine
+    import random
+
+    db = _as_database({k: list(v) for k, v in facts.items()})
+    instance = _make_engine(engine, compiled.program, random.Random(0))
+    with inject(injector):
+        instance.run(db)
+    return db
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("site", SITES)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_chaos_matrix(engine, site, mode):
+    """Every (engine, site, mode) combination completes or fails cleanly,
+    with storage invariants intact either way."""
+    control = _run(engine, None)
+    injector = FaultInjector.seeded(seed=11, site=site, mode=mode, horizon=8)
+    source, facts = _program_for(engine)
+    compiled = compile_program(source, engine=engine)
+    from repro.core.compiler import _as_database, _make_engine
+    import random
+
+    db = _as_database({k: list(v) for k, v in facts.items()})
+    instance = _make_engine(engine, compiled.program, random.Random(0))
+    try:
+        with inject(injector):
+            instance.run(db)
+        completed = True
+    except ReproError:
+        completed = False
+    except BaseException as exc:  # pragma: no cover - the contract violation
+        raise AssertionError(
+            f"{engine}/{site}/{mode} escaped with a non-ReproError: {exc!r}"
+        )
+    # Invariants hold whether or not the run survived the fault.
+    db.check_invariants()
+    # Hooks are restored after the block.
+    assert Relation._fault_hook is None
+    assert PriorityQueue._fault_hook is None
+    if mode in ("delay", "wake") and completed:
+        # Benign modes must not perturb the result.
+        assert db.as_dict() == control.as_dict()
+    if mode == "error" and injector.fired:
+        # The planned fault actually aborted the run.
+        assert not completed
+
+
+class TestInjectorMechanics:
+    def test_seeded_plans_are_reproducible(self):
+        a = FaultInjector.seeded(seed=3, site="relation.add")
+        b = FaultInjector.seeded(seed=3, site="relation.add")
+        assert a.plans == b.plans
+        assert 1 <= a.plans[0].nth <= 50
+
+    def test_error_fires_exactly_on_the_nth_visit(self):
+        injector = FaultInjector([FaultPlan("relation.add", "error", nth=3)])
+        injector("relation.add")
+        injector("relation.add")
+        with pytest.raises(FaultInjected, match="visit 3"):
+            injector("relation.add")
+        # one-shot: the 6th visit does not re-fire
+        for _ in range(5):
+            injector("relation.add")
+        assert injector.hits["relation.add"] == 8
+
+    def test_repeat_fires_periodically(self):
+        injector = FaultInjector([FaultPlan("heap.pop", "wake", nth=2, repeat=True)])
+        for _ in range(6):
+            injector("heap.pop")
+        assert [visit for _, _, visit in injector.fired] == [2, 4, 6]
+
+    def test_unknown_site_and_mode_are_rejected(self):
+        with pytest.raises(ValueError, match="site"):
+            FaultPlan("nonsense")
+        with pytest.raises(ValueError, match="mode"):
+            FaultPlan("relation.add", mode="explode")
+        with pytest.raises(ValueError, match="nth"):
+            FaultPlan("relation.add", nth=0)
+
+    def test_inject_none_is_a_passthrough(self):
+        with inject(None) as handle:
+            assert handle is None
+        assert Relation._fault_hook is None
+
+    def test_fault_mid_insert_leaves_the_relation_unchanged(self):
+        relation = Relation("r", 2)
+        relation.add(("a", 1))
+        relation.ensure_index((0,))
+        before = set(relation)
+        injector = FaultInjector([FaultPlan("relation.add", "error", nth=1)])
+        Relation._fault_hook = injector
+        try:
+            with pytest.raises(FaultInjected):
+                relation.add(("b", 2))
+        finally:
+            Relation._fault_hook = None
+        assert set(relation) == before
+        relation.check_invariants()
+
+    def test_fault_mid_heap_op_leaves_the_heap_consistent(self):
+        queue = PriorityQueue()
+        queue.insert(2, ("x",))
+        queue.insert(1, ("y",))
+        injector = FaultInjector(
+            [FaultPlan("heap.insert", "error", nth=1), FaultPlan("heap.pop", "error", nth=1)]
+        )
+        PriorityQueue._fault_hook = injector
+        try:
+            with pytest.raises(FaultInjected):
+                queue.insert(3, ("z",))
+            with pytest.raises(FaultInjected):
+                queue.pop_least()
+        finally:
+            PriorityQueue._fault_hook = None
+        queue.check_invariants()
+        assert queue.pop_least()[1] == ("y",)

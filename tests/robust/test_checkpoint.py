@@ -1,0 +1,139 @@
+"""Checkpoint capture / serialize / restore / resume unit tests.
+
+The deep determinism property (interrupt anywhere + resume == run to
+completion) is exercised across the program battery in
+``tests/integration/test_governed_determinism.py``; this file covers the
+mechanics: JSON round-trips, version gating, file I/O, and resume for
+every engine family on small fixed programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.errors import BudgetExceeded, EvaluationError
+from repro.robust import Budget, RunGovernor, load, restore, resume, save
+from repro.robust.checkpoint import Checkpoint, capture, dumps, loads
+
+SORTING = """
+sp(nil, nil, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+SORT_FACTS = {"p": [(f"v{i}", (37 * i) % 101) for i in range(14)]}
+
+ASSIGNMENT = "a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs)."
+
+TAKES = {
+    "takes": [
+        (f"s{i}", f"c{j}") for i in range(8) for j in range(3) if (i + j) % 2 == 0
+    ]
+}
+
+
+def _interrupt(source, facts, engine, seed, budget):
+    compiled = compile_program(source, engine=engine)
+    governor = RunGovernor(budget, check_interval=1)
+    with pytest.raises(BudgetExceeded) as info:
+        compiled.run({k: list(v) for k, v in facts.items()}, seed=seed, governor=governor)
+    return info.value.partial.checkpoint
+
+
+def _full(source, facts, engine, seed):
+    compiled = compile_program(source, engine=engine)
+    return compiled.run({k: list(v) for k, v in facts.items()}, seed=seed)
+
+
+class TestSerialization:
+    def test_json_round_trip_preserves_everything(self):
+        cp = _interrupt(SORTING, SORT_FACTS, "rql", 3, Budget(max_gamma_steps=4))
+        clone = loads(dumps(cp))
+        assert clone.engine == cp.engine
+        assert clone.clique_index == cp.clique_index
+        assert clone.facts == cp.facts
+        assert clone.rng_state == cp.rng_state
+        assert clone.stage == cp.stage
+        # The decoder canonicalizes JSON arrays to tuples (ground values
+        # are always tuples), so the stable property is idempotence: a
+        # second round-trip is byte-identical.
+        assert dumps(loads(dumps(cp))) == dumps(cp)
+        assert clone.memos.keys() == cp.memos.keys()
+
+    def test_tuples_survive_the_round_trip(self):
+        # Nested ground tuples (Huffman trees, Kruskal components...) must
+        # come back as tuples, not JSON lists.
+        cp = Checkpoint(
+            engine="rql",
+            clique_index=0,
+            rng_state=None,
+            facts={("h", 2): [((("a", "b"), "c"), 7)]},
+            memos={},
+            w_memos={},
+            stage=None,
+            rql={},
+            choice_log=[],
+            metrics={},
+        )
+        clone = loads(dumps(cp))
+        assert clone.facts == cp.facts
+        assert isinstance(clone.facts[("h", 2)][0][0], tuple)
+
+    def test_version_mismatch_is_rejected(self):
+        cp = _interrupt(SORTING, SORT_FACTS, "basic", 0, Budget(max_gamma_steps=2))
+        text = dumps(cp).replace('"version": 1', '"version": 99')
+        with pytest.raises(EvaluationError, match="version"):
+            loads(text)
+
+    def test_save_and_load_files(self, tmp_path):
+        cp = _interrupt(SORTING, SORT_FACTS, "rql", 1, Budget(max_gamma_steps=3))
+        path = tmp_path / "run.checkpoint.json"
+        save(cp, str(path))
+        assert path.exists()
+        clone = load(str(path))
+        assert clone.facts == cp.facts
+
+
+class TestResume:
+    @pytest.mark.parametrize("engine", ["rql", "basic"])
+    def test_stage_engine_resume_reproduces_the_model(self, engine):
+        expected = _full(SORTING, SORT_FACTS, engine, 5).as_dict()
+        cp = _interrupt(SORTING, SORT_FACTS, engine, 5, Budget(max_gamma_steps=5))
+        compiled = compile_program(SORTING, engine=engine)
+        engine_instance, db = restore(cp, compiled.program)
+        db = engine_instance.run(db)
+        assert db.as_dict() == expected
+
+    def test_choice_engine_resume_reproduces_the_model(self):
+        expected = _full(ASSIGNMENT, TAKES, "choice", 2).as_dict()
+        cp = _interrupt(ASSIGNMENT, TAKES, "choice", 2, Budget(max_gamma_steps=3))
+        compiled = compile_program(ASSIGNMENT, engine="choice")
+        db = resume(cp, compiled.program)
+        assert db.as_dict() == expected
+
+    @pytest.mark.parametrize("engine", ["naive", "seminaive"])
+    def test_plain_engine_resume_converges_to_the_fixpoint(self, engine):
+        bounded = "nat(0). nat(Y) <- nat(X), X < 60, Y = X + 1."
+        expected = _full(bounded, {}, engine, 0).as_dict()
+        cp = _interrupt(bounded, {}, engine, 0, Budget(max_rounds=10))
+        compiled = compile_program(bounded, engine=engine)
+        db = resume(cp, compiled.program)
+        assert db.as_dict() == expected
+
+    def test_resume_under_a_fresh_budget_can_be_interrupted_again(self):
+        cp = _interrupt(SORTING, SORT_FACTS, "rql", 7, Budget(max_gamma_steps=2))
+        compiled = compile_program(SORTING, engine="rql")
+        governor = RunGovernor(Budget(max_gamma_steps=2), check_interval=1)
+        with pytest.raises(BudgetExceeded) as info:
+            resume(cp, compiled.program, governor=governor)
+        cp2 = info.value.partial.checkpoint
+        # Chain a second resume to completion: still the exact model.
+        expected = _full(SORTING, SORT_FACTS, "rql", 7).as_dict()
+        db = resume(loads(dumps(cp2)), compiled.program)
+        assert db.as_dict() == expected
+
+    def test_checkpoint_records_the_choice_log(self):
+        cp = _interrupt(SORTING, SORT_FACTS, "rql", 3, Budget(max_gamma_steps=6))
+        assert cp.choice_log
+        predicate, fact, stage = cp.choice_log[0]
+        assert predicate == ("sp", 3)
+        assert isinstance(fact, tuple)

@@ -1,0 +1,162 @@
+"""CLI robustness: budget flags, exit codes, checkpoint save and resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+
+DIVERGENT = "nat(0).\nnat(Y) <- nat(X), Y = X + 1.\n"
+
+SORTING = """
+sp(nil, nil, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+
+@pytest.fixture
+def divergent_file(tmp_path):
+    path = tmp_path / "divergent.dl"
+    path.write_text(DIVERGENT)
+    return path
+
+
+@pytest.fixture
+def sorting_files(tmp_path):
+    program = tmp_path / "sorting.dl"
+    program.write_text(SORTING)
+    facts = tmp_path / "p.csv"
+    facts.write_text("".join(f"v{i},{(37 * i) % 101}\n" for i in range(12)))
+    return program, facts
+
+
+class TestBudgetFlags:
+    def test_max_facts_exits_3_with_partial_summary(self, divergent_file, capsys):
+        code = cli.main([str(divergent_file), "--max-facts", "300"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "budget exceeded: derived-fact cap of 300" in err
+        assert "partial result:" in err
+
+    def test_max_steps_exits_3(self, divergent_file, capsys):
+        code = cli.main([str(divergent_file), "--max-steps", "25"])
+        assert code == 3
+        assert "saturation-round cap of 25" in capsys.readouterr().err
+
+    def test_timeout_exits_3(self, divergent_file, capsys):
+        code = cli.main([str(divergent_file), "--timeout", "0.2"])
+        assert code == 3
+        assert "wall-clock deadline" in capsys.readouterr().err
+
+    def test_trace_subcommand_honours_budgets(self, divergent_file, capsys):
+        code = cli.main(["trace", str(divergent_file), "--max-steps", "10", "--no-tree"])
+        assert code == 3
+        assert "partial result:" in capsys.readouterr().err
+
+    def test_unbudgeted_run_still_succeeds(self, sorting_files, capsys):
+        program, facts = sorting_files
+        code = cli.main([str(program), "--facts", f"p={facts}", "--seed", "0"])
+        assert code == 0
+        assert "sp(" in capsys.readouterr().out
+
+
+class TestCheckpointFlow:
+    def test_checkpoint_is_written_on_budget_stop(self, divergent_file, tmp_path, capsys):
+        checkpoint = tmp_path / "run.json"
+        code = cli.main(
+            [str(divergent_file), "--max-facts", "200", "--checkpoint", str(checkpoint)]
+        )
+        assert code == 3
+        assert checkpoint.exists()
+        payload = json.loads(checkpoint.read_text())
+        assert payload["engine"] == "rql"
+        err = capsys.readouterr().err
+        assert "--resume-from" in err
+
+    def test_resume_reproduces_the_uninterrupted_output(
+        self, sorting_files, tmp_path, capsys
+    ):
+        program, facts = sorting_files
+        checkpoint = tmp_path / "cp.json"
+        code = cli.main(
+            [
+                str(program),
+                "--facts",
+                f"p={facts}",
+                "--seed",
+                "3",
+                "--max-steps",
+                "4",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        assert code == 3
+        capsys.readouterr()
+        code = cli.main([str(program), "--resume-from", str(checkpoint)])
+        assert code == 0
+        resumed = capsys.readouterr().out
+        code = cli.main([str(program), "--facts", f"p={facts}", "--seed", "3"])
+        assert code == 0
+        full = capsys.readouterr().out
+        assert resumed == full
+
+    def test_resume_uses_the_checkpoint_engine(self, sorting_files, tmp_path, capsys):
+        program, facts = sorting_files
+        checkpoint = tmp_path / "cp.json"
+        cli.main(
+            [
+                str(program),
+                "--facts",
+                f"p={facts}",
+                "--seed",
+                "1",
+                "--engine",
+                "basic",
+                "--max-steps",
+                "3",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        capsys.readouterr()
+        # --engine rql on the command line loses to the checkpoint's engine.
+        code = cli.main(
+            [str(program), "--resume-from", str(checkpoint), "--engine", "rql"]
+        )
+        assert code == 0
+        assert json.loads(checkpoint.read_text())["engine"] == "basic"
+
+
+class TestExitCodes:
+    def test_cancelled_exits_130(self, divergent_file, capsys, monkeypatch):
+        from repro.robust import CancelToken, RunGovernor
+
+        def precancelled(args):
+            token = CancelToken()
+            token.cancel("test cancel")
+            return RunGovernor(token=token, check_interval=1), token
+
+        monkeypatch.setattr(cli, "_build_governor", precancelled)
+        code = cli.main([str(divergent_file)])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "cancelled: test cancel" in err
+        assert "partial result:" in err
+
+    def test_keyboard_interrupt_exits_130(self, divergent_file, capsys, monkeypatch):
+        def interrupting(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_build_governor", interrupting)
+        code = cli.main([str(divergent_file)])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_plain_errors_still_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dl"
+        bad.write_text("p(X, Y) <- q(X).")
+        assert cli.main([str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err

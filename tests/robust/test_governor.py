@@ -1,0 +1,182 @@
+"""RunGovernor unit tests: budgets, ticks, cancellation, the SIGINT trap,
+and the acceptance property — every engine stops a divergent program at a
+consistent boundary with a usable partial result."""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+from repro.core.compiler import ENGINES, solve_program
+from repro.errors import BudgetExceeded, Cancelled
+from repro.obs.tracer import Tracer
+from repro.robust import (
+    NULL_GOVERNOR,
+    Budget,
+    CancelToken,
+    RunGovernor,
+    trap_sigint,
+)
+
+DIVERGENT = "nat(0). nat(Y) <- nat(X), Y = X + 1."
+
+STAGED_DIVERGENT = """
+count(0, 0).
+count(X, I) <- next(I), count(Y, J), J < I, X = Y + 1.
+"""
+
+
+class TestBudget:
+    def test_default_budget_is_unlimited(self):
+        assert Budget().unlimited
+
+    def test_any_cap_makes_it_limited(self):
+        assert not Budget(max_facts=1).unlimited
+        assert not Budget(wall_clock=0.1).unlimited
+        assert not Budget(max_gamma_steps=1).unlimited
+        assert not Budget(max_rounds=1).unlimited
+        assert not Budget(max_memory_mb=1.0).unlimited
+
+
+class TestTicks:
+    def test_gamma_cap_fires_on_the_excess_tick(self):
+        governor = RunGovernor(Budget(max_gamma_steps=3))
+        governor.start(None)
+        for _ in range(3):
+            governor.tick_gamma()
+        with pytest.raises(BudgetExceeded, match="γ-step cap of 3"):
+            governor.tick_gamma()
+
+    def test_round_cap_fires_on_the_excess_tick(self):
+        governor = RunGovernor(Budget(max_rounds=2))
+        governor.start(None)
+        governor.tick_round()
+        governor.tick_round()
+        with pytest.raises(BudgetExceeded, match="saturation-round cap of 2"):
+            governor.tick_round()
+
+    def test_deadline_is_checked_amortized(self):
+        # A fake clock that is already past the deadline: the stop must
+        # wait for the check_interval-th tick, not fire on tick 1.
+        now = [0.0]
+        governor = RunGovernor(
+            Budget(wall_clock=1.0), check_interval=4, clock=lambda: now[0]
+        )
+        governor.start(None)
+        now[0] = 100.0
+        for _ in range(3):
+            governor.tick_round()
+        with pytest.raises(BudgetExceeded, match="wall-clock deadline"):
+            governor.tick_round()
+        assert governor.checks == 1
+
+    def test_token_is_checked_on_every_tick(self):
+        token = CancelToken()
+        governor = RunGovernor(token=token, check_interval=1000)
+        governor.start(None)
+        governor.tick_gamma()
+        token.cancel("test stop")
+        with pytest.raises(Cancelled, match="test stop"):
+            governor.tick_gamma()
+
+    def test_check_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RunGovernor(check_interval=0)
+
+    def test_null_governor_is_inert(self):
+        NULL_GOVERNOR.start(None)
+        for _ in range(1000):
+            NULL_GOVERNOR.tick_gamma()
+            NULL_GOVERNOR.tick_round()
+        NULL_GOVERNOR.check_now()
+        assert NULL_GOVERNOR.enabled is False
+
+
+class TestAcceptance:
+    """ISSUE acceptance: a divergent program under ``--timeout 1
+    --max-facts 10000`` stops with BudgetExceeded and partial diagnostics
+    on every engine."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_divergent_program_is_bounded_on_every_engine(self, engine):
+        governor = RunGovernor(Budget(wall_clock=1.0, max_facts=10000))
+        with pytest.raises(BudgetExceeded) as info:
+            solve_program(DIVERGENT, seed=0, engine=engine, governor=governor)
+        partial = info.value.partial
+        assert partial is not None
+        assert partial.engine == engine
+        assert partial.database.total_facts() > 0
+        assert "partial result:" in partial.summary()
+
+    @pytest.mark.parametrize("engine", ["rql", "basic"])
+    def test_gamma_step_cap_bounds_a_divergent_stage_clique(self, engine):
+        governor = RunGovernor(Budget(max_gamma_steps=20), check_interval=1)
+        with pytest.raises(BudgetExceeded, match="γ-step cap") as info:
+            solve_program(STAGED_DIVERGENT, seed=0, engine=engine, governor=governor)
+        assert info.value.partial is not None
+
+    def test_governor_metrics_are_published(self):
+        tracer = Tracer(enabled=True)
+        from repro.core.compiler import compile_program
+
+        compiled = compile_program(DIVERGENT, engine="seminaive")
+        governor = RunGovernor(Budget(max_rounds=5), check_interval=1)
+        with pytest.raises(BudgetExceeded):
+            compiled.run(seed=0, tracer=tracer, governor=governor)
+        counters = tracer.registry.snapshot()["counters"]
+        assert counters["governor/enabled"] == 1
+        assert counters["governor/budget_exceeded"] == 1
+        assert counters["governor/rounds"] >= 5
+
+    def test_partial_database_is_a_prefix_of_the_model(self):
+        """The facts computed before the stop are all facts of the full
+        model (monotone prefix property for plain programs)."""
+        bounded = "nat(0). nat(Y) <- nat(X), X < 40, Y = X + 1."
+        full = solve_program(bounded, seed=0, engine="naive")
+        governor = RunGovernor(Budget(max_rounds=10), check_interval=1)
+        with pytest.raises(BudgetExceeded) as info:
+            solve_program(DIVERGENT, seed=0, engine="naive", governor=governor)
+        partial_facts = set(info.value.partial.database.facts("nat", 1))
+        assert partial_facts  # something was computed
+        # every partial fact below the bound appears in the bounded model
+        full_facts = set(full.facts("nat", 1))
+        assert {f for f in partial_facts if f[0] <= 40} <= full_facts
+
+
+class TestSigint:
+    def test_sigint_sets_the_token_and_restores_the_handler(self):
+        token = CancelToken()
+        previous = signal.getsignal(signal.SIGINT)
+        with trap_sigint(token):
+            signal.raise_signal(signal.SIGINT)
+            # first Ctrl-C: cooperative — no KeyboardInterrupt raised
+            assert token.cancelled
+            assert token.reason == "SIGINT"
+            # the handler un-installed itself so a second Ctrl-C is hard
+            assert signal.getsignal(signal.SIGINT) is previous
+        assert signal.getsignal(signal.SIGINT) is previous
+
+    def test_trap_is_a_noop_off_the_main_thread(self):
+        token = CancelToken()
+        outcome = {}
+
+        def body():
+            with trap_sigint(token) as t:
+                outcome["token"] = t
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert outcome["token"] is token
+        assert not token.cancelled
+
+    def test_cancelled_run_carries_partial(self):
+        token = CancelToken()
+        token.cancel("operator stop")
+        governor = RunGovernor(token=token, check_interval=1)
+        with pytest.raises(Cancelled) as info:
+            solve_program(DIVERGENT, seed=0, engine="rql", governor=governor)
+        assert info.value.partial is not None
+        assert info.value.partial.database.total_facts() > 0

@@ -12,7 +12,15 @@ import pytest
 from repro.core.compiler import compile_program, solve_program
 from repro.core.rewriting import expand_next
 from repro.datalog.parser import parse_program
-from repro.errors import ParseError, RewriteError, SafetyError, StratificationError
+from repro.errors import (
+    BudgetExceeded,
+    Cancelled,
+    ParseError,
+    RewriteError,
+    SafetyError,
+    StageAnalysisError,
+    StratificationError,
+)
 
 CASES = [
     # (label, source, exception, message fragment)
@@ -102,3 +110,67 @@ class TestMessagesNameTheRule:
         report = compiled.analysis.report_for("p", 2)
         assert report.violations
         assert any("cannot prove" in v for v in report.violations)
+        # Uniform diagnostics: each rule-level violation names the rule by
+        # its 1-based position in the program.
+        assert any(v.startswith("rule #") for v in report.violations)
+
+    def test_stratification_error_names_clique_and_rule(self):
+        source = """
+        best(X, C) <- seed(X, C).
+        best(X, C) <- best(X, D), step(D, C), least(C).
+        """
+        with pytest.raises(StratificationError) as info:
+            solve_program(source, facts={"seed": [("a", 1)], "step": [(1, 2)]})
+        message = str(info.value)
+        assert "clique [best/2]" in message
+        assert "rule #2" in message
+
+    def test_stage_analysis_error_names_clique(self):
+        # The next variable lands in two head positions, so the clique is
+        # refused outright — and the message says which clique.
+        source = """
+        p(nil, 0, 0).
+        p(X, I, I) <- next(I), q(X).
+        """
+        with pytest.raises(StageAnalysisError) as info:
+            solve_program(source, facts={"q": [("a",)]}, engine="basic")
+        message = str(info.value)
+        assert "clique [p/3]" in message
+        assert "stage argument" in message
+
+
+class TestGovernorMessages:
+    """Golden messages for the budget/cancellation error family: the
+    message must name the exhausted resource and its configured limit."""
+
+    DIVERGENT = "nat(0). nat(Y) <- nat(X), Y = X + 1."
+
+    def test_budget_exceeded_names_the_cap(self):
+        from repro.robust import Budget, RunGovernor
+
+        governor = RunGovernor(Budget(max_rounds=10), check_interval=1)
+        with pytest.raises(BudgetExceeded) as info:
+            solve_program(self.DIVERGENT, seed=0, governor=governor)
+        assert str(info.value) == "budget exceeded: saturation-round cap of 10 exceeded"
+        assert info.value.partial is not None
+
+    def test_fact_cap_message_reports_the_count(self):
+        from repro.robust import Budget, RunGovernor
+
+        governor = RunGovernor(Budget(max_facts=100), check_interval=1)
+        with pytest.raises(BudgetExceeded) as info:
+            solve_program(self.DIVERGENT, seed=0, governor=governor)
+        message = str(info.value)
+        assert message.startswith("budget exceeded: derived-fact cap of 100 exceeded")
+        assert "database holds" in message
+
+    def test_cancelled_carries_the_reason(self):
+        from repro.robust import CancelToken, RunGovernor
+
+        token = CancelToken()
+        token.cancel("operator stop")
+        governor = RunGovernor(token=token, check_interval=1)
+        with pytest.raises(Cancelled) as info:
+            solve_program(self.DIVERGENT, seed=0, governor=governor)
+        assert str(info.value) == "cancelled: operator stop"
+        assert info.value.partial is not None
