@@ -58,8 +58,12 @@ TC = parse_program(
 TC_SIZES = [20, 40, 80, 160]
 SORT_SIZES = [8, 16, 32]
 GOVERNOR_SIZES = [32, 64, 128, 256]
+SERVICE_SIZES = [32, 64, 128, 256]
 #: CI gate: mean governed/ungoverned wall-time ratio must stay below this.
 GOVERNOR_OVERHEAD_CEILING = 1.05
+#: CI gate: serving a request in-process (admission queue + worker thread
+#: + per-request governor/metrics) must cost < 10% over the direct call.
+SERVICE_OVERHEAD_CEILING = 1.10
 
 
 def _chain(n: int) -> List[tuple]:
@@ -178,6 +182,57 @@ def _governor_overhead_rows(
     return rows
 
 
+def _service_overhead_rows(
+    sizes: Sequence[int], repeats: int = 9
+) -> List[Dict[str, Any]]:
+    """Best-of-*repeats* direct vs in-process-service timings for the
+    sorting run, **interleaved** like the governor sweep.  The service
+    path pays admission, the cross-thread handoff, a per-request governor
+    and the metrics merge — the gate pins that tax below 10%."""
+    import time
+
+    from repro.serve import QueryRequest, QueryService
+
+    rows: List[Dict[str, Any]] = []
+    service = QueryService(workers=1)
+    try:
+        for size in sizes:
+            payload = random_costed_relation(size, seed=0)
+
+            def direct_op():
+                return solve_program(texts.SORTING, facts={"p": list(payload)}, seed=0)
+
+            def service_op():
+                return service.evaluate(
+                    QueryRequest(
+                        program=texts.SORTING, facts={"p": payload}, seed=0
+                    ),
+                    timeout=60,
+                )
+
+            direct_op()  # warm both paths before timing
+            service_op()
+            best_direct = best_service = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                direct_op()
+                best_direct = min(best_direct, time.perf_counter() - start)
+                start = time.perf_counter()
+                service_op()
+                best_service = min(best_service, time.perf_counter() - start)
+            rows.append(
+                {
+                    "size": size,
+                    "direct_s": round(best_direct, 6),
+                    "service_s": round(best_service, 6),
+                    "overhead": round(best_service / max(best_direct, 1e-9), 3),
+                }
+            )
+    finally:
+        service.close()
+    return rows
+
+
 def run_regression(
     tc_sizes: Sequence[int] = TC_SIZES,
     sort_sizes: Sequence[int] = SORT_SIZES,
@@ -194,6 +249,7 @@ def run_regression(
         repeats=repeats,
     )
     governor_rows = _governor_overhead_rows(GOVERNOR_SIZES, repeats=max(repeats, 15))
+    service_rows = _service_overhead_rows(SERVICE_SIZES, repeats=max(repeats, 15))
     return {
         "meta": {
             "python": platform.python_version(),
@@ -242,6 +298,24 @@ def run_regression(
                     min(row["overhead"] for row in governor_rows), 3
                 ),
             },
+            "service_overhead": {
+                "description": "(R, Q, L) sorting run submitted through the "
+                "in-process QueryService (admission queue, worker thread, "
+                "per-request governor and metrics merge) vs the direct "
+                "solve_program call; overhead = service_s / direct_s.  "
+                "Gated on min_overhead like the governor sweep: noise only "
+                "ever inflates a ratio, so the smallest one is the "
+                "cleanest estimate of the true service tax",
+                "rows": service_rows,
+                "mean_overhead": round(
+                    sum(row["overhead"] for row in service_rows)
+                    / len(service_rows),
+                    3,
+                ),
+                "min_overhead": round(
+                    min(row["overhead"] for row in service_rows), 3
+                ),
+            },
         },
     }
 
@@ -283,6 +357,15 @@ def check_against_baseline(
                 "governor overhead regressed: governed runs cost at least "
                 f"{min_overhead:.3f}x ungoverned on every size "
                 f"(ceiling {GOVERNOR_OVERHEAD_CEILING:.2f}x)"
+            )
+    service_block = report["sweeps"].get("service_overhead")
+    if service_block is not None:
+        min_overhead = service_block.get("min_overhead", 1.0)
+        if min_overhead > SERVICE_OVERHEAD_CEILING:
+            failures.append(
+                "service overhead regressed: serving a request in-process "
+                f"costs at least {min_overhead:.3f}x the direct call on "
+                f"every size (ceiling {SERVICE_OVERHEAD_CEILING:.2f}x)"
             )
     return failures
 
@@ -347,11 +430,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"governor overhead: min {overhead['min_overhead']:.3f}x  "
             f"mean {overhead['mean_overhead']:.3f}x"
         )
+        service = report["sweeps"]["service_overhead"]
+        for row in service["rows"]:
+            print(
+                f"  srv n={row['size']:>4}  direct {row['direct_s']:.4f}s  "
+                f"service {row['service_s']:.4f}s  overhead {row['overhead']:.2f}x"
+            )
+        print(
+            f"service overhead: min {service['min_overhead']:.3f}x  "
+            f"mean {service['mean_overhead']:.3f}x"
+        )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}")
             return 1
-        print("OK: plan-cache speedup and governor overhead within tolerance")
+        print(
+            "OK: plan-cache speedup, governor overhead and service "
+            "overhead within tolerance"
+        )
         return 0
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")

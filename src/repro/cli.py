@@ -7,6 +7,7 @@
     python -m repro program.dl --facts p=items.csv --verify --trace
     python -m repro program.dl --trace-out run.jsonl --metrics-out run.json
     python -m repro trace program.dl --facts g=edges.csv --seed 0
+    python -m repro serve workload.json --workers 4 --stats
 
 Facts files are headerless CSV; each cell is parsed as an integer, then a
 float, then kept as a string.  Without ``--query``, every derived (IDB)
@@ -15,7 +16,8 @@ relation is printed.
 The ``trace`` subcommand runs the program with structured tracing enabled
 and prints the span tree (clique → γ-step / saturation-round →
 rule-firing) plus the metrics table instead of the derived facts; see
-``docs/observability.md``.
+``docs/observability.md``.  The ``serve`` subcommand runs a JSON workload
+through the resilient query service (see ``docs/serving.md``).
 
 Every run is governed (see ``docs/robustness.md``): ``--timeout``,
 ``--max-steps`` and ``--max-facts`` bound the run (exit code 3 on
@@ -347,6 +349,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(list(argv[1:]), out=out)
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import serve_main
+
+        return serve_main(list(argv[1:]), out=out)
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -359,13 +365,24 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         source = Path(args.program).read_text()
         governor, token = _build_governor(args)
         if args.resume_from:
+            from repro.errors import CheckpointError
             from repro.robust import load, restore
 
-            cp = load(args.resume_from)
-            compiled = compile_program(source, engine=cp.engine)
-            engine, db = restore(
-                cp, compiled.program, governor=governor, tracer=tracer
-            )
+            # A missing, corrupt or mismatched checkpoint is an *input*
+            # problem, not a crash: one diagnostic line, exit code 2.
+            try:
+                cp = load(args.resume_from)
+                compiled = compile_program(source, engine=cp.engine)
+                engine, db = restore(
+                    cp, compiled.program, governor=governor, tracer=tracer
+                )
+            except (OSError, ValueError, KeyError, CheckpointError) as exc:
+                reason = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+                print(
+                    f"error: cannot resume from {args.resume_from}: {reason}",
+                    file=sys.stderr,
+                )
+                return 2
             for name, rows in _load_facts(args.facts).items():
                 db.assert_all(name, rows)
         else:

@@ -18,6 +18,7 @@ __all__ = [
     "RewriteError",
     "BudgetExceeded",
     "Cancelled",
+    "CheckpointError",
 ]
 
 
@@ -90,6 +91,13 @@ class BudgetExceeded(EvaluationError):
     def __init__(self, message: str, partial: "object | None" = None):
         super().__init__(message)
         self.partial = partial
+
+
+class CheckpointError(EvaluationError):
+    """Raised when a checkpoint cannot be restored: unsupported format
+    version, or a program fingerprint mismatch (the checkpoint was
+    captured from a different program — resuming it would silently
+    corrupt the run, since memo state is keyed by rule index)."""
 
 
 class Cancelled(EvaluationError):

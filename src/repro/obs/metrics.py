@@ -37,7 +37,7 @@ PHASE_PREFIX = "phase/"
 
 
 class MetricsRegistry:
-    """A flat name → value store for counters and timers.
+    """A flat name → value store for counters, timers and distributions.
 
     Example:
         >>> registry = MetricsRegistry()
@@ -48,15 +48,25 @@ class MetricsRegistry:
         >>> registry.add_time("phase/gamma", 0.25)
         >>> registry.time("phase/gamma")
         0.25
+        >>> registry.observe("serve/latency_s", 0.02)
+        >>> registry.quantile("serve/latency_s", 0.5)
+        0.02
     """
 
-    __slots__ = ("counters", "timers")
+    __slots__ = ("counters", "timers", "series")
+
+    #: Per-series sample cap; on overflow the oldest half is dropped (the
+    #: service cares about *recent* latency, and an unbounded series would
+    #: violate the bounded-RSS guarantee of the overload tests).
+    SERIES_CAP = 4096
 
     def __init__(self) -> None:
         #: name -> running total (int for counters, any number for gauges).
         self.counters: Dict[str, Any] = {}
         #: name -> accumulated seconds.
         self.timers: Dict[str, float] = {}
+        #: name -> recent observed samples (bounded; see :meth:`observe`).
+        self.series: Dict[str, list] = {}
 
     # -- counters -------------------------------------------------------------
 
@@ -82,6 +92,43 @@ class MetricsRegistry:
         """The accumulated seconds of the timer *name*."""
         return self.timers.get(name, default)
 
+    # -- distributions ---------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the distribution *name* (for latency
+        percentiles and similar order statistics the scalar counters
+        cannot express).  Bounded: past :data:`SERIES_CAP` samples the
+        oldest half is discarded."""
+        samples = self.series.setdefault(name, [])
+        samples.append(value)
+        if len(samples) > self.SERIES_CAP:
+            del samples[: len(samples) // 2]
+
+    def quantile(self, name: str, q: float) -> float | None:
+        """The *q*-quantile (0 ≤ q ≤ 1, nearest-rank) of the distribution
+        *name*, or ``None`` when no samples were observed."""
+        samples = self.series.get(name)
+        if not samples:
+            return None
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[index]
+
+    # -- composition -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other* into this registry: counters and timers add,
+        series concatenate (under the same bound).  The query service
+        merges each request's private registry into the service-wide one,
+        so per-request isolation and fleet-wide totals coexist."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, seconds in other.timers.items():
+            self.timers[name] = self.timers.get(name, 0.0) + seconds
+        for name, samples in other.series.items():
+            for value in samples:
+                self.observe(name, value)
+
     # -- views ----------------------------------------------------------------
 
     def phase_seconds(self) -> Dict[str, float]:
@@ -95,12 +142,31 @@ class MetricsRegistry:
         }
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
-        """A JSON-ready copy: ``{"counters": {...}, "timers": {...}}``."""
-        return {"counters": dict(self.counters), "timers": dict(self.timers)}
+        """A JSON-ready copy: ``{"counters": {...}, "timers": {...}}``,
+        plus a ``"series"`` summary block (count/p50/p99/max per
+        distribution) when any samples were observed — the historical
+        two-key shape is preserved for registries that never observe."""
+        snap: Dict[str, Dict[str, Any]] = {
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+        }
+        if self.series:
+            snap["series"] = {
+                name: {
+                    "count": len(samples),
+                    "p50": self.quantile(name, 0.50),
+                    "p99": self.quantile(name, 0.99),
+                    "max": max(samples),
+                }
+                for name, samples in self.series.items()
+                if samples
+            }
+        return snap
 
     def clear(self) -> None:
         self.counters.clear()
         self.timers.clear()
+        self.series.clear()
 
     def __len__(self) -> int:
         return len(self.counters) + len(self.timers)

@@ -12,12 +12,34 @@ Three cooperating pieces (see ``docs/robustness.md`` for the guide):
   ungoverned model exactly);
 * :mod:`repro.robust.faults` — deterministic fault injection into the
   storage and engine hot paths, powering the chaos suite's
-  "complete or fail cleanly, never corrupt" guarantee.
+  "complete or fail cleanly, never corrupt" guarantee;
+* :mod:`repro.robust.retry` — exponential backoff with full jitter under
+  a delay budget (the transient-failure recovery primitive);
+* :mod:`repro.robust.breaker` — a per-class circuit breaker (fail fast
+  after consecutive failures, half-open probing on a timer).
+
+The retry and breaker primitives are consumed by the query service
+(:mod:`repro.serve`) and exercised directly by the chaos suite.
 """
 
-from repro.errors import BudgetExceeded, Cancelled
-from repro.robust.checkpoint import Checkpoint, capture, load, restore, resume, save
-from repro.robust.faults import FaultInjected, FaultInjector, FaultPlan, inject
+from repro.errors import BudgetExceeded, Cancelled, CheckpointError
+from repro.robust.breaker import CircuitBreaker
+from repro.robust.checkpoint import (
+    Checkpoint,
+    capture,
+    load,
+    program_fingerprint,
+    restore,
+    resume,
+    save,
+)
+from repro.robust.faults import (
+    FaultInjected,
+    FaultInjectionError,
+    FaultInjector,
+    FaultPlan,
+    inject,
+)
 from repro.robust.governor import (
     NULL_GOVERNOR,
     Budget,
@@ -26,6 +48,7 @@ from repro.robust.governor import (
     RunGovernor,
     trap_sigint,
 )
+from repro.robust.retry import RetryPolicy, is_transient
 
 __all__ = [
     "Budget",
@@ -36,14 +59,20 @@ __all__ = [
     "trap_sigint",
     "BudgetExceeded",
     "Cancelled",
+    "CheckpointError",
     "Checkpoint",
     "capture",
     "save",
     "load",
     "restore",
     "resume",
+    "program_fingerprint",
     "FaultInjected",
+    "FaultInjectionError",
     "FaultInjector",
     "FaultPlan",
     "inject",
+    "RetryPolicy",
+    "is_transient",
+    "CircuitBreaker",
 ]

@@ -1,0 +1,178 @@
+"""A per-class circuit breaker: fail fast instead of failing repeatedly.
+
+The query service keys one :class:`CircuitBreaker` per *program class*
+(engine + program fingerprint): when every run of some program fails —
+a stratification error, a poisoned input, a bug — retrying each new
+submission individually burns worker capacity that healthy traffic
+needs.  The breaker trips after ``failure_threshold`` consecutive
+failures and rejects further work for that class instantly (the caller
+gets a typed ``CircuitOpen`` with a retry-after hint), then probes with
+a limited number of trial requests after ``reset_timeout``:
+
+::
+
+    CLOSED --(N consecutive failures)--> OPEN
+    OPEN   --(reset_timeout elapsed)---> HALF_OPEN
+    HALF_OPEN --(probe succeeds)-------> CLOSED
+    HALF_OPEN --(probe fails)----------> OPEN  (timer restarts)
+
+The breaker is a pure state machine over an injectable monotonic clock —
+no threads, no timers of its own — so tests script the transitions
+exactly.  All methods are thread-safe: the query service's workers call
+:meth:`record_success`/:meth:`record_failure` while submitters call
+:meth:`allow` concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Args:
+        failure_threshold: consecutive failures that trip the breaker.
+        reset_timeout: seconds an open breaker waits before moving to
+            half-open and admitting probes.
+        half_open_max: number of concurrent probe requests admitted while
+            half-open; further requests are rejected until a probe
+            reports back.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if half_open_max < 1:
+            raise ValueError("half_open_max must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_max = half_open_max
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        #: Lifetime transition counters (for ``stats()`` introspection).
+        self.transitions: Dict[str, int] = {"opened": 0, "half_opened": 0, "closed": 0}
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """The current state, advancing OPEN → HALF_OPEN when the reset
+        timer has elapsed (reading the state is what moves the clock)."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def retry_after(self) -> float:
+        """Seconds until an open breaker will admit a probe (0.0 when not
+        open) — the hint attached to ``CircuitOpen`` rejections."""
+        with self._lock:
+            self._advance()
+            if self._state != OPEN:
+                return 0.0
+            return max(0.0, self._opened_at + self.reset_timeout - self.clock())
+
+    def allow(self) -> bool:
+        """Whether a new request of this class may proceed right now.
+
+        Closed: always.  Open: no (until the timer fires).  Half-open:
+        yes for up to ``half_open_max`` in-flight probes; each admitted
+        probe *must* later report via :meth:`record_success` or
+        :meth:`record_failure`, which releases its slot.
+        """
+        with self._lock:
+            self._advance()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            if self._probes_in_flight >= self.half_open_max:
+                return False
+            self._probes_in_flight += 1
+            return True
+
+    def release_probe(self) -> None:
+        """Return an admitted half-open probe slot *without* an outcome —
+        for probes that never executed (e.g. admission shed the request
+        right after :meth:`allow` granted the slot).  No state change."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+
+    # -- outcome reports -------------------------------------------------------
+
+    def record_success(self) -> None:
+        """A request of this class completed (ok or degraded): close a
+        half-open breaker, reset the consecutive-failure count."""
+        with self._lock:
+            self._advance()
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._state = CLOSED
+                self.transitions["closed"] += 1
+            self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A request of this class failed permanently: re-open a half-open
+        breaker immediately, or trip a closed one at the threshold."""
+        with self._lock:
+            self._advance()
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if self._state == CLOSED and (
+                self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    # -- internals (lock held) -------------------------------------------------
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self.transitions["opened"] += 1
+
+    def _advance(self) -> None:
+        if self._state == OPEN and (
+            self.clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+            self.transitions["half_opened"] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """State + counters for ``health()``/``stats()`` introspection."""
+        with self._lock:
+            self._advance()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "probes_in_flight": self._probes_in_flight,
+                "transitions": dict(self.transitions),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state!r})"

@@ -23,18 +23,24 @@ The on-disk format is a single JSON object (``version`` field gates
 compatibility); tuples are encoded as arrays and revived on load, so a
 checkpoint survives a round-trip bit-for-bit.  ``restore`` must be given
 the *same program* the checkpoint was captured from — memos are keyed by
-proper-rule index, so reordering rules invalidates a checkpoint.
+proper-rule index, so reordering rules invalidates a checkpoint.  Since
+format version 2 that requirement is *enforced*: the checkpoint carries a
+fingerprint of the program text and ``restore``/``resume`` raise
+:class:`~repro.errors.CheckpointError` on a mismatch instead of silently
+corrupting the run.  Version-1 files (no fingerprint) still load; their
+restore is unchecked, as before.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.datalog.builtins import order_key
-from repro.errors import EvaluationError
+from repro.errors import CheckpointError
 from repro.storage.database import Database
 
 __all__ = [
@@ -46,13 +52,29 @@ __all__ = [
     "loads",
     "restore",
     "resume",
+    "program_fingerprint",
     "CHECKPOINT_VERSION",
 ]
 
 Fact = Tuple[Any, ...]
 PredicateKey = Tuple[str, int]
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+#: Older formats :func:`loads` still understands (1: no fingerprint).
+SUPPORTED_VERSIONS = (1, CHECKPOINT_VERSION)
+
+
+def program_fingerprint(program: Any) -> str:
+    """A stable digest of the program's canonical text.
+
+    Memo/W state is keyed by proper-rule *index*, so any change to the
+    rule sequence — reordering, editing, adding a rule — invalidates a
+    checkpoint.  The canonical rendering (``str(program)``) captures
+    exactly that sequence; whitespace and comments in the original source
+    do not disturb it.
+    """
+    text = str(program)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass
@@ -77,7 +99,9 @@ class Checkpoint:
             insertion order, seen/used sets, operation counters).
         choice_log: the γ decisions so far — ``(predicate, fact, stage)``.
         metrics: registry snapshot at capture time (diagnostics only).
-        version: format version; :func:`load` rejects mismatches.
+        fingerprint: :func:`program_fingerprint` of the captured program;
+            empty for version-1 checkpoints (restore is then unchecked).
+        version: format version; :func:`load` rejects unknown versions.
     """
 
     engine: str
@@ -90,6 +114,7 @@ class Checkpoint:
     rql: Dict[PredicateKey, Any] = field(default_factory=dict)
     choice_log: List[Tuple[PredicateKey, Fact, int]] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    fingerprint: str = ""
     version: int = CHECKPOINT_VERSION
 
 
@@ -141,6 +166,7 @@ def capture(engine: Any, db: Database) -> Checkpoint:
         rql=rql,
         choice_log=list(getattr(engine, "choice_log", ())),
         metrics=registry.snapshot() if registry is not None else {},
+        fingerprint=program_fingerprint(engine.program),
     )
 
 
@@ -154,10 +180,23 @@ def restore(
     """Rebuild an engine + database pair ready to continue the run.
 
     *program* must be the same program (same rule order) the checkpoint
-    was captured from.  Returns ``(engine, db)``; calling ``engine.run(db)``
-    continues from the stop boundary under the new *governor*.
+    was captured from; when the checkpoint carries a fingerprint (format
+    version 2+) this is enforced and a mismatch raises
+    :class:`~repro.errors.CheckpointError`.  Returns ``(engine, db)``;
+    calling ``engine.run(db)`` continues from the stop boundary under the
+    new *governor*.
     """
     from repro.core.compiler import _make_engine
+
+    if cp.fingerprint:
+        actual = program_fingerprint(program)
+        if actual != cp.fingerprint:
+            raise CheckpointError(
+                "checkpoint does not belong to this program: it was captured "
+                f"from a program with fingerprint {cp.fingerprint}, but the "
+                f"supplied program has fingerprint {actual} — resuming would "
+                "corrupt the run (memo state is keyed by rule position)"
+            )
 
     rng = random.Random()
     if cp.rng_state is not None:
@@ -213,6 +252,7 @@ def loads(text: str) -> Checkpoint:
 def _to_payload(cp: Checkpoint) -> Dict[str, Any]:
     return {
         "version": cp.version,
+        "fingerprint": cp.fingerprint,
         "engine": cp.engine,
         "clique_index": cp.clique_index,
         "stage": cp.stage,
@@ -236,13 +276,15 @@ def _to_payload(cp: Checkpoint) -> Dict[str, Any]:
 
 def _from_payload(payload: Dict[str, Any]) -> Checkpoint:
     version = payload.get("version")
-    if version != CHECKPOINT_VERSION:
-        raise EvaluationError(
+    if version not in SUPPORTED_VERSIONS:
+        raise CheckpointError(
             f"unsupported checkpoint version {version!r} "
-            f"(this build reads version {CHECKPOINT_VERSION})"
+            f"(this build reads versions {SUPPORTED_VERSIONS})"
         )
     rng_state = payload.get("rng_state")
     return Checkpoint(
+        # Version 1 predates the fingerprint; its restore stays unchecked.
+        fingerprint=payload.get("fingerprint", ""),
         engine=payload["engine"],
         clique_index=payload["clique_index"],
         rng_state=_decode(rng_state) if rng_state is not None else None,

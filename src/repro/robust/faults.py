@@ -27,6 +27,7 @@ Sites:
 from __future__ import annotations
 
 import random
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -38,6 +39,7 @@ from repro.storage.relation import Relation
 
 __all__ = [
     "FaultInjected",
+    "FaultInjectionError",
     "FaultPlan",
     "FaultInjector",
     "inject",
@@ -65,6 +67,14 @@ class FaultInjected(ReproError):
     the documented contract ("every failure is a clean ``ReproError``")
     need no special case for injected faults.
     """
+
+
+class FaultInjectionError(ReproError):
+    """Misuse of the injection harness itself — currently: entering
+    :func:`inject` while another injection is active.  The hook slots are
+    process-global class attributes, so nested or concurrent ``inject``
+    blocks would clobber each other's saved values on exit; combine the
+    plans into one :class:`FaultInjector` instead."""
 
 
 @dataclass(frozen=True)
@@ -111,6 +121,11 @@ class FaultInjector:
     plans: List[FaultPlan] = field(default_factory=list)
     hits: Dict[str, int] = field(default_factory=dict)
     fired: List[Tuple[str, str, int]] = field(default_factory=list)
+    # Visit counting must be exact under the concurrent soak (workers in
+    # many threads share the one injector), so the counters are guarded.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @classmethod
     def seeded(
@@ -128,17 +143,23 @@ class FaultInjector:
         return cls([FaultPlan(site, mode, nth=rng.randint(1, horizon), repeat=repeat)])
 
     def __call__(self, site: str) -> None:
-        count = self.hits.get(site, 0) + 1
-        self.hits[site] = count
-        for plan in self.plans:
-            if plan.site != site:
-                continue
-            due = (
-                count % plan.nth == 0 if plan.repeat else count == plan.nth
-            )
-            if not due:
-                continue
-            self.fired.append((site, plan.mode, count))
+        due_plans: List[FaultPlan] = []
+        with self._lock:
+            count = self.hits.get(site, 0) + 1
+            self.hits[site] = count
+            for plan in self.plans:
+                if plan.site != site:
+                    continue
+                due = (
+                    count % plan.nth == 0 if plan.repeat else count == plan.nth
+                )
+                if not due:
+                    continue
+                self.fired.append((site, plan.mode, count))
+                due_plans.append(plan)
+        # Raise/sleep outside the lock so a fired fault cannot serialize
+        # or deadlock concurrent visits from other worker threads.
+        for plan in due_plans:
             if plan.mode == "error":
                 raise FaultInjected(
                     f"injected fault at {site} (visit {count}, nth={plan.nth})"
@@ -148,6 +169,15 @@ class FaultInjector:
             # "wake": a spurious extra visit — deliberately nothing.
 
 
+# Re-entrancy guard for inject(): the hook slots are process-global, so a
+# nested (or concurrent, from another thread) inject would save the inner
+# injector as the "previous" value and leave it installed after the outer
+# block exits — silently poisoning every later run.  One active injection
+# at a time, enforced explicitly.
+_active_lock = threading.Lock()
+_active_injector: Optional[FaultInjector] = None
+
+
 @contextmanager
 def inject(injector: Optional[FaultInjector]) -> Iterator[Optional[FaultInjector]]:
     """Install *injector* into every hook slot for the block's duration.
@@ -155,7 +185,14 @@ def inject(injector: Optional[FaultInjector]) -> Iterator[Optional[FaultInjector
     ``inject(None)`` is a no-op passthrough (convenient for parametrized
     chaos tests that include a fault-free control run).  Hooks are always
     restored, even when the block raises.
+
+    One injection may be active per process: the hook slots are
+    class-level, so entering ``inject`` again — from a nested block or
+    another thread — raises :class:`FaultInjectionError` instead of
+    clobbering the saved slots.  To fault several sites at once, give one
+    :class:`FaultInjector` several plans.
     """
+    global _active_injector
     if injector is None:
         yield None
         return
@@ -165,6 +202,14 @@ def inject(injector: Optional[FaultInjector]) -> Iterator[Optional[FaultInjector
     from repro.core import clique_eval
     from repro.core.engine_base import BaseEngine
 
+    with _active_lock:
+        if _active_injector is not None:
+            raise FaultInjectionError(
+                "fault injection is already active in this process; nested "
+                "inject() would clobber the saved hook slots — combine the "
+                "plans into a single FaultInjector instead"
+            )
+        _active_injector = injector
     saved: List[Tuple[Any, str, Any]] = [
         (Relation, "_fault_hook", Relation._fault_hook),
         (PriorityQueue, "_fault_hook", PriorityQueue._fault_hook),
@@ -180,3 +225,5 @@ def inject(injector: Optional[FaultInjector]) -> Iterator[Optional[FaultInjector
     finally:
         for target, attr, value in saved:
             setattr(target, attr, value)
+        with _active_lock:
+            _active_injector = None

@@ -1,0 +1,137 @@
+"""Retry with exponential backoff and full jitter, under a delay budget.
+
+A :class:`RetryPolicy` is the shared primitive behind the query service's
+transient-fault handling and the chaos suite's recovery tests.  It is
+deliberately *pure*: the policy computes delays; :meth:`RetryPolicy.call`
+executes a callable under the policy with an injectable rng, sleep and
+transience classifier, so tests drive it deterministically and without
+real sleeping.
+
+The backoff schedule is AWS-style "full jitter": attempt *k* sleeps a
+uniform draw from ``[0, min(max_delay, base_delay * 2**k)]``.  Jitter
+matters in a concurrent service — synchronized retries from many shed
+callers re-create the very overload spike that failed them (the thundering
+herd); full jitter decorrelates the retry storm.  The cumulative sleep is
+capped by ``delay_budget`` so a retried request cannot stall a worker
+indefinitely: once the budget is spent the next failure is final.
+
+By default only :class:`~repro.robust.faults.FaultInjected` counts as
+transient — the seeded chaos faults model exactly the class of failures
+(lost packet, flaky disk, spurious wake) a retry can heal.  Semantic
+errors (safety, stratification, budget exhaustion) are never retried:
+re-running a program that is *wrong* burns capacity without hope.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+__all__ = ["RetryPolicy", "is_transient"]
+
+
+def is_transient(exc: BaseException) -> bool:
+    """The default transience classifier: injected chaos faults are
+    retryable, everything else is final."""
+    from repro.robust.faults import FaultInjected
+
+    return isinstance(exc, FaultInjected)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter, capped by a delay budget.
+
+    Attributes:
+        max_attempts: total tries including the first (1 disables retry).
+        base_delay: backoff base in seconds; attempt *k* draws from
+            ``[0, min(max_delay, base_delay * 2**k)]``.
+        max_delay: ceiling for a single backoff draw.
+        delay_budget: cumulative sleep cap across all retries of one call;
+            when the next draw would overflow it, the draw is truncated to
+            the remainder (and a zero remainder stops retrying).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    max_delay: float = 0.25
+    delay_budget: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.delay_budget < 0:
+            raise ValueError("delays must be non-negative")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """The full-jitter delay before retry number *attempt* (0-based:
+        the delay between the first failure and the second try)."""
+        ceiling = min(self.max_delay, self.base_delay * (2**attempt))
+        return rng.uniform(0.0, ceiling)
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        transient: Callable[[BaseException], bool] = is_transient,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+        deadline: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> Any:
+        """Run *fn*, retrying transient failures under the policy.
+
+        Args:
+            fn: the zero-argument operation; re-invoked from scratch on a
+                transient failure.
+            transient: classifier — only exceptions it accepts are retried.
+            rng: jitter source (a fresh unseeded rng when omitted; the
+                service passes a per-request seeded rng so soak runs are
+                reproducible).
+            sleep: the delay function (injectable for tests).
+            on_retry: observer called ``(attempt, exc, delay)`` before each
+                backoff sleep — the service counts retries through it.
+            deadline: optional absolute :func:`time.monotonic` deadline; a
+                retry whose backoff would land past it is abandoned and
+                the failure re-raised (retrying into a dead deadline only
+                wastes a worker).
+            clock: time source for the deadline check.
+
+        Raises:
+            The last exception, once attempts, delay budget or deadline
+            are exhausted — or immediately for non-transient failures.
+        """
+        if rng is None:
+            rng = random.Random()
+        remaining_budget = self.delay_budget
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except BaseException as exc:
+                final_attempt = attempt == self.max_attempts - 1
+                if final_attempt or not transient(exc):
+                    raise
+                delay = min(self.backoff(attempt, rng), remaining_budget)
+                if remaining_budget <= 0:
+                    raise
+                if deadline is not None and clock() + delay > deadline:
+                    raise
+                remaining_budget -= delay
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if delay > 0:
+                    sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def preview_delays(self, rng: random.Random) -> List[float]:
+        """The backoff schedule the given *rng* would produce (testing and
+        documentation aid; consumes the rng)."""
+        delays: List[float] = []
+        remaining = self.delay_budget
+        for attempt in range(self.max_attempts - 1):
+            delay = min(self.backoff(attempt, rng), remaining)
+            remaining -= delay
+            delays.append(delay)
+        return delays

@@ -1,0 +1,57 @@
+"""Resilient query service: concurrent evaluation with admission control,
+retries, circuit breaking and graceful degradation.
+
+The package turns the single-run pipeline into a long-lived front end
+(see ``docs/serving.md``):
+
+* :class:`~repro.serve.service.QueryService` — the worker pool; submit
+  :class:`~repro.serve.request.QueryRequest` objects, get
+  :class:`~repro.serve.request.QueryResponse` accounts back, always.
+* :class:`~repro.serve.admission.AdmissionQueue` — the bounded,
+  deadline-aware queue that sheds instead of growing.
+* :mod:`~repro.serve.errors` — the typed rejections
+  (:class:`Overloaded`, :class:`CircuitOpen`, :class:`ServiceClosed`).
+* :class:`~repro.serve.metrics.ServiceMetrics` — the ``serve/``
+  namespace behind :meth:`QueryService.stats`.
+"""
+
+from repro.serve.admission import AdmissionQueue
+from repro.serve.errors import (
+    CircuitOpen,
+    Overloaded,
+    ServiceClosed,
+    ServiceError,
+    ServiceRejection,
+)
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.request import (
+    CANCELLED,
+    DEGRADED,
+    FAILED,
+    OK,
+    SHED,
+    TERMINAL_STATUSES,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.serve.service import QueryService, Ticket
+
+__all__ = [
+    "AdmissionQueue",
+    "CircuitOpen",
+    "Overloaded",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceRejection",
+    "ServiceMetrics",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "Ticket",
+    "TERMINAL_STATUSES",
+    "OK",
+    "DEGRADED",
+    "FAILED",
+    "SHED",
+    "CANCELLED",
+]

@@ -1,0 +1,156 @@
+"""Admission control: a bounded queue that sheds instead of growing.
+
+An overloaded service has exactly two honest options: make the caller
+wait a *bounded*, known amount, or tell them "no" immediately.  Queueing
+unboundedly is the dishonest third option — latency grows without limit,
+memory grows without limit, and by the time a request reaches a worker
+its deadline has long passed, so the work is wasted on top of it.
+
+:class:`AdmissionQueue` is a fixed-capacity FIFO with two shedding
+points, both O(1):
+
+* **at the door** — :meth:`offer` on a full queue raises
+  :class:`~repro.serve.errors.Overloaded` immediately (no allocation, no
+  waiting), carrying a ``retry_after`` hint computed from the current
+  depth and an EWMA of recent service times: the earliest instant at
+  which a retry could plausibly be admitted *and served*;
+* **at the worker** — :meth:`take` discards entries whose deadline
+  already passed while queued, handing them to a shed callback instead of
+  a worker.  Executing them would produce an answer nobody is waiting
+  for, at the price of delaying everyone behind them.
+
+The queue itself stores opaque items plus an optional absolute deadline;
+it knows nothing about requests or engines.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional, Tuple
+
+from repro.serve.errors import Overloaded
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """A bounded, deadline-aware FIFO for the service's worker pool.
+
+    Args:
+        capacity: maximum queued entries; :meth:`offer` beyond it sheds.
+        clock: monotonic time source (injectable for tests).
+        default_service_s: seed for the service-time EWMA before any
+            completion has been recorded.
+    """
+
+    #: EWMA decay for observed service times (~last 10 requests dominate).
+    EWMA_ALPHA = 0.2
+
+    def __init__(
+        self,
+        capacity: int,
+        clock: Callable[[], float] = time.monotonic,
+        default_service_s: float = 0.05,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.clock = clock
+        self._items: deque = deque()
+        # Re-entrant: take() invokes the shed callback with the lock held,
+        # and shed handlers legitimately read depth()/retry_after().
+        self._lock = threading.RLock()
+        self._not_empty = threading.Condition(self._lock)
+        self._ewma_service_s = default_service_s
+        #: Lifetime counters: admitted, shed at the door, shed at dequeue.
+        self.admitted = 0
+        self.rejected = 0
+        self.expired = 0
+
+    # -- producer side ---------------------------------------------------------
+
+    def offer(self, item: Any, deadline: Optional[float] = None) -> None:
+        """Enqueue *item* or shed in O(1).
+
+        Raises:
+            Overloaded: when the queue is at capacity, or *deadline* (an
+                absolute :func:`time.monotonic` instant) has already
+                passed — both with a ``retry_after`` hint.
+        """
+        now = self.clock()
+        with self._lock:
+            if deadline is not None and deadline <= now:
+                self.rejected += 1
+                raise Overloaded(
+                    "request deadline already expired at submission",
+                    retry_after=0.0,
+                )
+            if len(self._items) >= self.capacity:
+                self.rejected += 1
+                hint = self._retry_after_locked()
+                raise Overloaded(
+                    f"admission queue is full ({self.capacity} requests "
+                    f"waiting); retry in ~{hint:.2f}s",
+                    retry_after=hint,
+                )
+            self._items.append((item, deadline))
+            self.admitted += 1
+            self._not_empty.notify()
+
+    # -- consumer side ---------------------------------------------------------
+
+    def take(
+        self,
+        timeout: Optional[float] = None,
+        on_shed: Optional[Callable[[Any], None]] = None,
+    ) -> Optional[Any]:
+        """Dequeue the next *live* item, or ``None`` on timeout.
+
+        Entries whose deadline passed while they waited are not returned:
+        each is handed to *on_shed* (so the service can complete its
+        ticket with a typed ``Overloaded``) and skipped.
+        """
+        with self._not_empty:
+            while True:
+                while not self._items:
+                    if not self._not_empty.wait(timeout):
+                        return None
+                item, deadline = self._items.popleft()
+                if deadline is not None and deadline <= self.clock():
+                    self.expired += 1
+                    if on_shed is not None:
+                        on_shed(item)
+                    continue
+                return item
+
+    # -- load estimation -------------------------------------------------------
+
+    def record_service_time(self, seconds: float) -> None:
+        """Fold one completed request's execution time into the EWMA the
+        ``retry_after`` hint is computed from."""
+        with self._lock:
+            self._ewma_service_s = (
+                self.EWMA_ALPHA * seconds
+                + (1.0 - self.EWMA_ALPHA) * self._ewma_service_s
+            )
+
+    def retry_after(self, workers: int = 1) -> float:
+        """Estimated seconds until a newly shed caller could be admitted:
+        current backlog × EWMA service time ÷ *workers*."""
+        with self._lock:
+            return self._retry_after_locked(workers)
+
+    def _retry_after_locked(self, workers: int = 1) -> float:
+        backlog = max(1, len(self._items))
+        return max(0.01, backlog * self._ewma_service_s / max(1, workers))
+
+    # -- introspection ---------------------------------------------------------
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __len__(self) -> int:
+        return self.depth()

@@ -1,0 +1,223 @@
+"""The ``repro serve`` subcommand: run a workload file through the service.
+
+::
+
+    python -m repro serve workload.json --workers 4 --stats
+
+The workload file is JSON — either a list of request objects, or an
+object with optional ``defaults`` (merged under each request) and a
+``requests`` list.  Each request object understands:
+
+``program``         inline Datalog source text
+``program_file``    path to a program file (exclusive with ``program``)
+``facts``           ``{pred: [[row], ...]}`` inline, or ``{pred: "file.csv"}``
+``engine``          engine name (default ``rql``)
+``seed``            rng seed for the γ draws
+``deadline``        seconds from submission after which the request is shed
+``timeout`` / ``max_steps`` / ``max_facts``   per-request budget
+``klass``           circuit-breaker class override
+``repeat``          submit this request N times (default 1)
+
+All requests are submitted concurrently (admission control applies: a
+full queue sheds with a typed ``Overloaded``), then awaited; one summary
+line prints per request plus an aggregate tail.  Exit status 0 iff every
+request ended ``ok`` or ``degraded``; 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.robust.governor import Budget
+from repro.serve.errors import ServiceRejection
+from repro.serve.request import QueryRequest
+from repro.serve.service import QueryService
+
+__all__ = ["serve_main", "build_serve_parser"]
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run a JSON workload of evaluation requests through the "
+            "resilient query service (see docs/serving.md)."
+        ),
+    )
+    parser.add_argument("workload", help="path to the workload JSON file")
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker threads (default: 4)"
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission queue bound; submissions beyond it shed (default: 64)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per request for transient faults (default: 3)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="service seed (reproducible retry jitter; default: 0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="overall wait for all responses (default: 60)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print service stats and health as JSON after the summary",
+    )
+    return parser
+
+
+def _parse_cell(cell: str) -> Any:
+    cell = cell.strip()
+    for caster in (int, float):
+        try:
+            return caster(cell)
+        except ValueError:
+            continue
+    return cell
+
+
+def _load_fact_spec(spec: Any, base: Path) -> List[Tuple[Any, ...]]:
+    """One predicate's facts: an inline list of rows, or a CSV path."""
+    if isinstance(spec, str):
+        rows: List[Tuple[Any, ...]] = []
+        with open(base / spec, newline="") as handle:
+            for row in csv.reader(handle):
+                if row:
+                    rows.append(tuple(_parse_cell(cell) for cell in row))
+        return rows
+    return [tuple(row) for row in spec]
+
+
+def _build_request(entry: Dict[str, Any], base: Path) -> QueryRequest:
+    if "program_file" in entry:
+        program = (base / entry["program_file"]).read_text()
+    elif "program" in entry:
+        program = entry["program"]
+    else:
+        raise ReproError(
+            "workload request needs either 'program' (inline source) or "
+            "'program_file' (path)"
+        )
+    facts = {
+        name: _load_fact_spec(spec, base)
+        for name, spec in entry.get("facts", {}).items()
+    }
+    budget = None
+    if any(k in entry for k in ("timeout", "max_steps", "max_facts")):
+        budget = Budget(
+            wall_clock=entry.get("timeout"),
+            max_gamma_steps=entry.get("max_steps"),
+            max_rounds=entry.get("max_steps"),
+            max_facts=entry.get("max_facts"),
+        )
+    return QueryRequest(
+        program=program,
+        facts=facts,
+        engine=entry.get("engine", "rql"),
+        seed=entry.get("seed"),
+        budget=budget,
+        deadline=entry.get("deadline"),
+        klass=entry.get("klass"),
+    )
+
+
+def _load_workload(path: str) -> List[Dict[str, Any]]:
+    payload = json.loads(Path(path).read_text())
+    if isinstance(payload, list):
+        defaults: Dict[str, Any] = {}
+        entries = payload
+    else:
+        defaults = payload.get("defaults", {})
+        entries = payload.get("requests", [])
+    if not entries:
+        raise ReproError(f"workload {path!r} contains no requests")
+    expanded: List[Dict[str, Any]] = []
+    for entry in entries:
+        merged = {**defaults, **entry}
+        repeat = int(merged.pop("repeat", 1))
+        expanded.extend(dict(merged) for _ in range(repeat))
+    return expanded
+
+
+def serve_main(argv: Sequence[str] | None = None, out=None) -> int:
+    """The ``repro serve`` subcommand; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_serve_parser().parse_args(argv)
+    try:
+        entries = _load_workload(args.workload)
+        base = Path(args.workload).resolve().parent
+        requests = [_build_request(entry, base) for entry in entries]
+    except (ReproError, OSError, json.JSONDecodeError, TypeError) as exc:
+        print(f"error: cannot load workload: {exc}", file=sys.stderr)
+        return 1
+
+    from repro.robust.retry import RetryPolicy
+
+    failures = 0
+    service = QueryService(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        retry=RetryPolicy(max_attempts=args.max_attempts),
+        seed=args.seed,
+    )
+    try:
+        tickets: List[Optional[Any]] = []
+        for index, request in enumerate(requests):
+            try:
+                tickets.append(service.submit(request))
+            except ServiceRejection as exc:
+                failures += 1
+                tickets.append(None)
+                print(
+                    f"request {index}: rejected ({type(exc).__name__}: {exc}; "
+                    f"retry in ~{exc.retry_after:.2f}s)",
+                    file=out,
+                )
+        for ticket in tickets:
+            if ticket is None:
+                continue
+            try:
+                response = ticket.response(timeout=args.timeout)
+            except TimeoutError as exc:
+                failures += 1
+                print(f"request {ticket.request_id}: timed out ({exc})", file=out)
+                continue
+            if not response.ok:
+                failures += 1
+            print(response.summary(), file=out)
+    finally:
+        service.close()
+
+    total = len(requests)
+    print(
+        f"\n{total - failures}/{total} requests ok or degraded "
+        f"({failures} failed/rejected)",
+        file=out,
+    )
+    if args.stats:
+        print(json.dumps(service.stats(), indent=2, default=str), file=out)
+        print(json.dumps(service.health(), indent=2, default=str), file=out)
+    return 0 if failures == 0 else 1

@@ -1,0 +1,68 @@
+"""Typed rejections of the query service.
+
+Every rejection the service issues is a first-class error carrying enough
+structure for the caller to act mechanically: :class:`Overloaded` and
+:class:`CircuitOpen` both carry ``retry_after`` (seconds), so a client
+loop is ``except ServiceRejection as exc: sleep(exc.retry_after)`` — no
+message parsing.  All service errors derive from
+:class:`~repro.errors.ReproError`, keeping the library-wide contract
+("every failure is a clean ``ReproError``") intact.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ServiceError",
+    "ServiceRejection",
+    "Overloaded",
+    "CircuitOpen",
+    "ServiceClosed",
+]
+
+
+class ServiceError(ReproError):
+    """Base class for every error the query service raises itself
+    (engine errors pass through unchanged)."""
+
+
+class ServiceRejection(ServiceError):
+    """A request the service refused to execute.  Rejections are *cheap*
+    and *typed*: the work was never queued (or was shed unexecuted), and
+    ``retry_after`` hints when a retry has a chance.
+
+    Attributes:
+        retry_after: suggested client backoff in seconds (0.0 when
+            retrying immediately is reasonable).
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class Overloaded(ServiceRejection):
+    """The admission queue is full — or the request's deadline expired
+    while it waited — so the request was shed in O(1) instead of queueing
+    unboundedly.  ``retry_after`` estimates when capacity frees up
+    (queue depth × observed service time / workers)."""
+
+
+class CircuitOpen(ServiceRejection):
+    """The circuit breaker for this request's program class is open:
+    recent requests of the same class failed consecutively, so new ones
+    are rejected instantly until the breaker half-opens.
+
+    Attributes:
+        klass: the program class whose breaker rejected the request.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0, klass: str = ""):
+        super().__init__(message, retry_after=retry_after)
+        self.klass = klass
+
+
+class ServiceClosed(ServiceError):
+    """The service has been shut down; no further submissions are
+    accepted."""

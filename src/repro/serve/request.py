@@ -1,0 +1,145 @@
+"""The query service's request/response vocabulary.
+
+A :class:`QueryRequest` is everything one evaluation needs — program
+text, facts, engine, seed, budget, deadline — plus the resilience knobs
+(program class for the breaker, a checkpoint to resume from).  A
+:class:`QueryResponse` is the *always-returned* account of what happened:
+the service never loses a request — every submission ends in exactly one
+of the :data:`TERMINAL_STATUSES`, and degraded completion (budget ran
+out, here is the partial result and a resumable checkpoint) is a
+first-class success-shaped outcome, not an exception.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.robust.governor import Budget
+
+__all__ = [
+    "QueryRequest",
+    "QueryResponse",
+    "TERMINAL_STATUSES",
+    "OK",
+    "DEGRADED",
+    "FAILED",
+    "SHED",
+    "CANCELLED",
+]
+
+Fact = Tuple[Any, ...]
+
+OK = "ok"
+DEGRADED = "degraded"
+FAILED = "failed"
+SHED = "shed"
+CANCELLED = "cancelled"
+
+#: Every request submitted to the service ends in exactly one of these.
+TERMINAL_STATUSES = (OK, DEGRADED, FAILED, SHED, CANCELLED)
+
+
+@dataclass
+class QueryRequest:
+    """One evaluation job for the :class:`~repro.serve.service.QueryService`.
+
+    Attributes:
+        program: the Datalog source text.
+        facts: extensional input, ``{predicate: [tuples]}``.
+        engine: engine name (see :data:`repro.core.compiler.ENGINES`).
+        seed: rng seed for the γ draws; a seeded request is reproducible
+            across retries — a transient fault followed by a retry lands
+            on the same model the fault-free run produces.
+        budget: per-run resource limits enforced by the request's own
+            :class:`~repro.robust.governor.RunGovernor`; exhaustion
+            produces a *degraded* response, not a failure.
+        deadline: seconds from submission after which the request is
+            worthless to the caller.  Enforced twice: requests still
+            queued past their deadline are shed (typed ``Overloaded``),
+            and a running request's wall-clock budget is clipped to the
+            remaining deadline.
+        klass: circuit-breaker class; defaults to ``engine:<hash of the
+            program text>``, so "the same program keeps failing" is
+            detected without caller cooperation.
+        resume_from: a :class:`~repro.robust.checkpoint.Checkpoint` from
+            an earlier degraded response; the service restores it (with
+            the fingerprint check) and continues instead of starting over.
+    """
+
+    program: str
+    facts: Mapping[str, Iterable[Fact]] = field(default_factory=dict)
+    engine: str = "rql"
+    seed: Optional[int] = None
+    budget: Optional[Budget] = None
+    deadline: Optional[float] = None
+    klass: Optional[str] = None
+    resume_from: Optional[Any] = None
+
+    def breaker_class(self) -> str:
+        """The circuit-breaker key this request falls under."""
+        if self.klass:
+            return self.klass
+        digest = hashlib.sha256(self.program.encode("utf-8")).hexdigest()[:8]
+        return f"{self.engine}:{digest}"
+
+
+@dataclass
+class QueryResponse:
+    """The terminal account of one submitted request.
+
+    Attributes:
+        request_id: the service-assigned id (submission order).
+        status: one of :data:`TERMINAL_STATUSES`.
+        database: the computed model (``ok``) or the partial database
+            snapshot (``degraded``/``cancelled``); ``None`` otherwise.
+        partial: the :class:`~repro.robust.governor.PartialResult` of a
+            ``degraded``/``cancelled`` stop.
+        checkpoint: the resumable checkpoint of that stop — feed it back
+            as ``QueryRequest.resume_from`` to continue.
+        error: the exception for ``failed``/``shed``/``cancelled``
+            (``Overloaded`` for shed requests; the final engine error for
+            failures).
+        attempts: execution attempts made (1 + retries).
+        retries: transient-fault retries performed.
+        latency_s: submit-to-terminal wall time in seconds.
+        queue_s: time spent waiting in the admission queue.
+        metrics: the request's private registry snapshot (engine counters,
+            phase timers) — per-request observability regardless of what
+            the service-wide registry aggregates.
+        trace: the request's span/event records when the service traces.
+    """
+
+    request_id: int
+    status: str
+    database: Any = None
+    partial: Any = None
+    checkpoint: Any = None
+    error: Optional[BaseException] = None
+    attempts: int = 0
+    retries: int = 0
+    latency_s: float = 0.0
+    queue_s: float = 0.0
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    trace: Any = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request produced a usable database (complete or
+        degraded-but-partial)."""
+        return self.status in (OK, DEGRADED)
+
+    def summary(self) -> str:
+        """One line for logs and the ``repro serve`` CLI."""
+        base = f"request {self.request_id}: {self.status}"
+        if self.retries:
+            base += f" after {self.retries} retr{'y' if self.retries == 1 else 'ies'}"
+        if self.status == OK and self.database is not None:
+            base += f" ({self.database.total_facts()} facts"
+        elif self.status in (DEGRADED, CANCELLED) and self.partial is not None:
+            base += f" ({self.partial.database.total_facts()} facts so far"
+        else:
+            base += f" ({type(self.error).__name__ if self.error else 'no result'}"
+        base += f", {self.latency_s * 1000:.1f} ms)"
+        return base

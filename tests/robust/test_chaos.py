@@ -164,3 +164,83 @@ class TestInjectorMechanics:
             PriorityQueue._fault_hook = None
         queue.check_invariants()
         assert queue.pop_least()[1] == ("y",)
+
+
+class TestInjectReentrancy:
+    """The hook slots are process-global, so a nested (or concurrent)
+    inject() would clobber the saved values and leave the inner injector
+    installed after the outer block exits.  The harness refuses instead
+    of corrupting — one active injection per process."""
+
+    def test_nested_inject_raises_a_clear_error(self):
+        from repro.robust.faults import FaultInjectionError
+
+        outer = FaultInjector([FaultPlan("relation.add", "wake", nth=1)])
+        inner = FaultInjector([FaultPlan("heap.pop", "wake", nth=1)])
+        with inject(outer):
+            with pytest.raises(FaultInjectionError, match="already active"):
+                with inject(inner):
+                    pass  # pragma: no cover - never entered
+            # The outer injector is still the installed hook.
+            assert Relation._fault_hook is outer
+        assert Relation._fault_hook is None
+
+    def test_nested_inject_none_is_still_a_passthrough(self):
+        # inject(None) (the fault-free control arm) must remain nestable:
+        # it touches no hook slots.
+        outer = FaultInjector([FaultPlan("relation.add", "wake", nth=1)])
+        with inject(outer):
+            with inject(None) as handle:
+                assert handle is None
+            assert Relation._fault_hook is outer
+        assert Relation._fault_hook is None
+
+    def test_concurrent_inject_from_another_thread_is_rejected(self):
+        import threading
+
+        from repro.robust.faults import FaultInjectionError
+
+        outer = FaultInjector([FaultPlan("relation.add", "wake", nth=1)])
+        result = {}
+
+        def other_thread():
+            try:
+                with inject(FaultInjector()):
+                    pass
+                result["outcome"] = "entered"
+            except FaultInjectionError:
+                result["outcome"] = "rejected"
+
+        with inject(outer):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join(timeout=10.0)
+        assert result["outcome"] == "rejected"
+
+    def test_injection_is_usable_again_after_exit(self):
+        first = FaultInjector([FaultPlan("relation.add", "wake", nth=1)])
+        with inject(first):
+            pass
+        # A failed nested attempt must not poison the guard either.
+        second = FaultInjector([FaultPlan("relation.add", "wake", nth=1)])
+        with inject(second):
+            assert Relation._fault_hook is second
+        assert Relation._fault_hook is None
+
+    def test_shared_injector_counts_visits_exactly_under_threads(self):
+        import threading
+
+        injector = FaultInjector()  # no plans: count only
+        relation_count = 200
+        threads = 8
+
+        def hammer():
+            for _ in range(relation_count):
+                injector("relation.add")
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(timeout=30.0)
+        assert injector.hits["relation.add"] == relation_count * threads

@@ -10,10 +10,19 @@ from __future__ import annotations
 
 import pytest
 
+import json
+
 from repro.core.compiler import compile_program
-from repro.errors import BudgetExceeded, EvaluationError
+from repro.errors import BudgetExceeded, CheckpointError, EvaluationError
 from repro.robust import Budget, RunGovernor, load, restore, resume, save
-from repro.robust.checkpoint import Checkpoint, capture, dumps, loads
+from repro.robust.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    capture,
+    dumps,
+    loads,
+    program_fingerprint,
+)
 
 SORTING = """
 sp(nil, nil, 0).
@@ -80,9 +89,25 @@ class TestSerialization:
 
     def test_version_mismatch_is_rejected(self):
         cp = _interrupt(SORTING, SORT_FACTS, "basic", 0, Budget(max_gamma_steps=2))
-        text = dumps(cp).replace('"version": 1', '"version": 99')
+        text = dumps(cp)
+        assert f'"version": {CHECKPOINT_VERSION}' in text
+        text = text.replace(f'"version": {CHECKPOINT_VERSION}', '"version": 99')
         with pytest.raises(EvaluationError, match="version"):
             loads(text)
+
+    def test_v1_checkpoints_still_load(self):
+        # A v1 file has no fingerprint; the loader must accept it (and
+        # restore() must skip the fingerprint check rather than reject).
+        cp = _interrupt(SORTING, SORT_FACTS, "rql", 3, Budget(max_gamma_steps=4))
+        payload = json.loads(dumps(cp))
+        payload["version"] = 1
+        del payload["fingerprint"]
+        clone = loads(json.dumps(payload))
+        assert clone.fingerprint == ""
+        assert clone.facts == cp.facts
+        compiled = compile_program(SORTING, engine="rql")
+        db = resume(clone, compiled.program)
+        assert db.as_dict() == _full(SORTING, SORT_FACTS, "rql", 3).as_dict()
 
     def test_save_and_load_files(self, tmp_path):
         cp = _interrupt(SORTING, SORT_FACTS, "rql", 1, Budget(max_gamma_steps=3))
@@ -137,3 +162,42 @@ class TestResume:
         predicate, fact, stage = cp.choice_log[0]
         assert predicate == ("sp", 3)
         assert isinstance(fact, tuple)
+
+
+class TestFingerprint:
+    """A checkpoint belongs to one program: memo state is keyed by rule
+    position, so resuming under a different program would silently
+    corrupt the run.  v2 checkpoints pin the program fingerprint."""
+
+    def test_capture_records_the_program_fingerprint(self):
+        cp = _interrupt(SORTING, SORT_FACTS, "rql", 3, Budget(max_gamma_steps=4))
+        compiled = compile_program(SORTING, engine="rql")
+        assert cp.fingerprint == program_fingerprint(compiled.program)
+        assert len(cp.fingerprint) == 16
+
+    def test_fingerprint_survives_the_round_trip(self):
+        cp = _interrupt(SORTING, SORT_FACTS, "rql", 3, Budget(max_gamma_steps=4))
+        assert loads(dumps(cp)).fingerprint == cp.fingerprint
+
+    def test_restore_rejects_a_mismatched_program(self):
+        cp = _interrupt(SORTING, SORT_FACTS, "rql", 3, Budget(max_gamma_steps=4))
+        other = compile_program(
+            "sp(nil, nil, 0).\nsp(X, C, I) <- next(I), q(X, C), least(C, I).",
+            engine="rql",
+        )
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            restore(cp, other.program)
+
+    def test_resume_rejects_a_mismatched_program(self):
+        cp = _interrupt(ASSIGNMENT, TAKES, "choice", 2, Budget(max_gamma_steps=3))
+        other = compile_program(
+            "a_st(St, Crs) <- takes(St, Crs), choice(St, Crs).", engine="choice"
+        )
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            resume(cp, other.program)
+
+    def test_matching_program_passes_the_check(self):
+        cp = _interrupt(SORTING, SORT_FACTS, "rql", 3, Budget(max_gamma_steps=4))
+        compiled = compile_program(SORTING, engine="rql")
+        engine, db = restore(cp, compiled.program)
+        assert engine.run(db).as_dict() == _full(SORTING, SORT_FACTS, "rql", 3).as_dict()

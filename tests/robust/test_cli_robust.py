@@ -130,6 +130,79 @@ class TestCheckpointFlow:
         assert json.loads(checkpoint.read_text())["engine"] == "basic"
 
 
+class TestResumeDiagnostics:
+    """A missing, corrupt or mismatched --resume-from file is an input
+    problem: exit code 2 and exactly one diagnostic line — never a
+    traceback."""
+
+    def _checkpoint(self, sorting_files, tmp_path, capsys):
+        program, facts = sorting_files
+        checkpoint = tmp_path / "cp.json"
+        cli.main(
+            [
+                str(program),
+                "--facts",
+                f"p={facts}",
+                "--seed",
+                "3",
+                "--max-steps",
+                "4",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        capsys.readouterr()
+        return program, checkpoint
+
+    def test_missing_checkpoint_exits_2_with_one_line(
+        self, sorting_files, tmp_path, capsys
+    ):
+        program, _ = sorting_files
+        missing = tmp_path / "nope.json"
+        code = cli.main([str(program), "--resume-from", str(missing)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith(f"error: cannot resume from {missing}")
+        assert "Traceback" not in err
+
+    def test_corrupt_json_exits_2_with_one_line(
+        self, sorting_files, tmp_path, capsys
+    ):
+        program, checkpoint = self._checkpoint(sorting_files, tmp_path, capsys)
+        checkpoint.write_text(checkpoint.read_text()[: 40] + "GARBAGE")
+        code = cli.main([str(program), "--resume-from", str(checkpoint)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "cannot resume from" in err
+        assert "Traceback" not in err
+
+    def test_unsupported_version_exits_2(self, sorting_files, tmp_path, capsys):
+        program, checkpoint = self._checkpoint(sorting_files, tmp_path, capsys)
+        payload = json.loads(checkpoint.read_text())
+        payload["version"] = 99
+        checkpoint.write_text(json.dumps(payload))
+        code = cli.main([str(program), "--resume-from", str(checkpoint)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "version" in err
+        assert err.count("\n") == 1
+
+    def test_mismatched_program_exits_2(self, sorting_files, tmp_path, capsys):
+        _, checkpoint = self._checkpoint(sorting_files, tmp_path, capsys)
+        other = tmp_path / "other.dl"
+        other.write_text(
+            "sp(nil, nil, 0).\nsp(X, C, I) <- next(I), q(X, C), least(C, I).\n"
+        )
+        code = cli.main([str(other), "--resume-from", str(checkpoint)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "fingerprint" in err
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+
 class TestExitCodes:
     def test_cancelled_exits_130(self, divergent_file, capsys, monkeypatch):
         from repro.robust import CancelToken, RunGovernor

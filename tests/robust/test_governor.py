@@ -180,3 +180,61 @@ class TestSigint:
             solve_program(DIVERGENT, seed=0, engine="rql", governor=governor)
         assert info.value.partial is not None
         assert info.value.partial.database.total_facts() > 0
+
+
+class TestCrossThreadCancel:
+    """The query service cancels from *outside* the evaluating thread: a
+    submitter calls ``ticket.cancel()`` while a worker runs the engine.
+    The token is a plain flag read on every tick, so the governor must
+    observe the flip within one check interval regardless of which
+    thread set it — and the stop must still land on a consistent
+    boundary with a resumable partial."""
+
+    def test_cancel_from_another_thread_stops_the_run(self):
+        from repro.core.compiler import compile_program
+        from repro.robust import resume
+
+        token = CancelToken()
+        # check_interval=1: the token is consulted on every single tick,
+        # so observation latency is exactly one γ-step/round.
+        governor = RunGovernor(token=token, check_interval=1)
+        started = threading.Event()
+        outcome = {}
+        original_tick = governor.tick_round
+
+        def tick_and_signal():
+            started.set()
+            return original_tick()
+
+        governor.tick_round = tick_and_signal
+
+        def worker():
+            try:
+                solve_program(DIVERGENT, seed=0, engine="seminaive", governor=governor)
+                outcome["result"] = "completed"
+            except Cancelled as exc:
+                outcome["result"] = "cancelled"
+                outcome["partial"] = exc.partial
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        # Wait until the engine is demonstrably inside its loop, then
+        # flip the token from this (different) thread.
+        assert started.wait(timeout=10.0), "engine never started ticking"
+        token.cancel("cross-thread stop")
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "governor failed to observe the cancel"
+
+        assert outcome["result"] == "cancelled"
+        partial = outcome["partial"]
+        assert partial is not None
+        assert partial.database.total_facts() > 0
+        assert partial.checkpoint is not None
+        # The partial is resumable: continuing under a fresh bounded
+        # governor picks up where the cancelled run stopped.
+        compiled = compile_program(DIVERGENT, engine="seminaive")
+        fresh = RunGovernor(Budget(max_rounds=5), check_interval=1)
+        with pytest.raises(BudgetExceeded) as info:
+            resume(partial.checkpoint, compiled.program, governor=fresh)
+        resumed = info.value.partial.database
+        assert resumed.total_facts() > partial.database.total_facts()

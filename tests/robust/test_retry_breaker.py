@@ -1,0 +1,263 @@
+"""Unit tests for the retry policy and the circuit breaker.
+
+Both are pure state machines over injectable clocks/rngs, so every
+transition is scripted exactly — no sleeping, no wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.robust.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.robust.faults import FaultInjected
+from repro.robust.retry import RetryPolicy, is_transient
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_transient_failures_are_retried_until_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise FaultInjected("boom")
+            return "done"
+
+        policy = RetryPolicy(max_attempts=3)
+        slept = []
+        result = policy.call(
+            flaky, transient=is_transient, rng=random.Random(0), sleep=slept.append
+        )
+        assert result == "done"
+        assert len(calls) == 3
+        assert len(slept) == 2
+
+    def test_attempts_are_capped(self):
+        policy = RetryPolicy(max_attempts=3)
+
+        def always_fails():
+            raise FaultInjected("boom")
+
+        with pytest.raises(FaultInjected):
+            policy.call(
+                always_fails,
+                transient=is_transient,
+                rng=random.Random(0),
+                sleep=lambda s: None,
+            )
+
+    def test_non_transient_failures_are_not_retried(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("permanent")
+
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(ValueError):
+            policy.call(
+                broken, transient=is_transient, rng=random.Random(0),
+                sleep=lambda s: None,
+            )
+        assert len(calls) == 1
+
+    def test_backoff_grows_exponentially_with_full_jitter(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=10.0)
+        rng = random.Random(1)
+        # Full jitter: each delay is uniform in [0, base * 2**attempt].
+        for attempt in range(5):
+            ceiling = 0.01 * 2**attempt
+            for _ in range(20):
+                assert 0.0 <= policy.backoff(attempt, rng) <= ceiling
+
+    def test_backoff_is_capped_by_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=0.05)
+        rng = random.Random(2)
+        assert all(policy.backoff(10, rng) <= 0.05 for _ in range(50))
+
+    def test_delay_budget_truncates_total_sleeping(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.5, max_delay=10.0, delay_budget=0.2
+        )
+        slept = []
+
+        def always_fails():
+            raise FaultInjected("boom")
+
+        with pytest.raises(FaultInjected):
+            policy.call(
+                always_fails,
+                transient=is_transient,
+                rng=random.Random(3),
+                sleep=slept.append,
+            )
+        assert sum(slept) <= 0.2 + 1e-9
+
+    def test_deadline_abandons_the_retry(self):
+        # When sleeping the backoff would blow the deadline, give up and
+        # re-raise the transient failure instead of wasting the wait.
+        clock = FakeClock(100.0)
+        policy = RetryPolicy(max_attempts=5, base_delay=50.0, max_delay=50.0)
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise FaultInjected("boom")
+
+        with pytest.raises(FaultInjected):
+            policy.call(
+                always_fails,
+                transient=is_transient,
+                rng=random.Random(4),
+                sleep=lambda s: None,
+                deadline=100.5,
+                clock=clock,
+            )
+        assert len(calls) == 1
+
+    def test_on_retry_callback_sees_each_retry(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=3)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise FaultInjected("boom")
+            return True
+
+        policy.call(
+            flaky,
+            transient=is_transient,
+            rng=random.Random(5),
+            sleep=lambda s: None,
+            on_retry=lambda attempt, exc, delay: seen.append((attempt, type(exc))),
+        )
+        assert seen == [(0, FaultInjected), (1, FaultInjected)]
+
+    def test_seeded_rng_makes_the_schedule_reproducible(self):
+        policy = RetryPolicy(max_attempts=6)
+        a = policy.preview_delays(random.Random(42))
+        b = policy.preview_delays(random.Random(42))
+        assert a == b
+
+    def test_is_transient_classifies_injected_faults_only(self):
+        assert is_transient(FaultInjected("x"))
+        assert not is_transient(ValueError("x"))
+        assert not is_transient(KeyboardInterrupt())
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kw):
+        clock = FakeClock()
+        kw.setdefault("failure_threshold", 3)
+        kw.setdefault("reset_timeout", 10.0)
+        return CircuitBreaker(clock=clock, **kw), clock
+
+    def test_starts_closed_and_allows(self):
+        breaker, _ = self._breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _ = self._breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.transitions["opened"] == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _ = self._breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_opens_after_the_reset_timeout(self):
+        breaker, clock = self._breaker(failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_after() == pytest.approx(10.0)
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+        assert breaker.transitions["half_opened"] == 1
+
+    def test_half_open_admits_limited_probes(self):
+        breaker, clock = self._breaker(
+            failure_threshold=1, reset_timeout=1.0, half_open_max=1
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # the slot is taken
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.transitions["closed"] == 1
+
+    def test_failed_probe_reopens_and_restarts_the_timer(self):
+        breaker, clock = self._breaker(failure_threshold=1, reset_timeout=10.0)
+        breaker.record_failure()
+        clock.advance(10.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_after() == pytest.approx(10.0)
+        assert breaker.transitions["opened"] == 2
+
+    def test_release_probe_returns_the_slot_without_an_outcome(self):
+        breaker, clock = self._breaker(
+            failure_threshold=1, reset_timeout=1.0, half_open_max=1
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.release_probe()  # the probe never ran (shed at admission)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # slot is available again
+
+    def test_snapshot_reports_state_and_transitions(self):
+        breaker, clock = self._breaker(failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure()
+        clock.advance(1.5)
+        breaker.allow()
+        breaker.record_success()
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["transitions"] == {"opened": 1, "half_opened": 1, "closed": 1}
+
+    def test_full_scripted_cycle(self):
+        # CLOSED -> OPEN -> HALF_OPEN -> OPEN -> HALF_OPEN -> CLOSED.
+        breaker, clock = self._breaker(failure_threshold=2, reset_timeout=5.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record_failure()  # probe fails
+        assert breaker.state == OPEN
+        clock.advance(5.1)
+        assert breaker.allow()
+        breaker.record_success()  # probe heals
+        assert breaker.state == CLOSED
+        assert breaker.transitions == {"opened": 2, "half_opened": 2, "closed": 1}

@@ -1,0 +1,234 @@
+"""Admission control and breaker behaviour under scripted overload.
+
+The acceptance properties from the issue: a full queue sheds new
+submissions in O(1) with memory bounded by the queue capacity, and the
+circuit breaker opens / half-opens / closes under a scripted failure
+burst.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve import (
+    AdmissionQueue,
+    CircuitOpen,
+    Overloaded,
+    QueryRequest,
+    QueryService,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+# Big enough that one request occupies a worker for a measurable while.
+SLOW_FACTS = {"edge": [(i, i + 1) for i in range(120)]}
+
+BROKEN = "p(X) :- q(X, ."
+
+
+class TestAdmissionQueue:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(capacity=4)
+        for i in range(3):
+            queue.offer(i)
+        assert [queue.take(timeout=0.1) for _ in range(3)] == [0, 1, 2]
+
+    def test_full_queue_sheds_with_a_retry_hint(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.offer("a")
+        queue.offer("b")
+        with pytest.raises(Overloaded) as info:
+            queue.offer("c")
+        assert info.value.retry_after > 0
+        assert queue.rejected == 1
+        assert queue.depth() == 2
+
+    def test_shedding_is_o1_independent_of_backlog(self):
+        # The rejection path must not scan the queue: time offers against
+        # a full tiny queue and a full huge queue and compare.
+        def shed_cost(capacity: int) -> float:
+            queue = AdmissionQueue(capacity=capacity)
+            for i in range(capacity):
+                queue.offer(i)
+            start = time.perf_counter()
+            for _ in range(200):
+                with pytest.raises(Overloaded):
+                    queue.offer("x")
+            return time.perf_counter() - start
+
+        small = shed_cost(4)
+        large = shed_cost(4096)
+        # O(1) shed: cost may wobble with timer noise but must not scale
+        # with a 1000x backlog difference.
+        assert large < small * 20
+
+    def test_dead_on_arrival_deadline_is_rejected(self):
+        clock = FakeClock(100.0)
+        queue = AdmissionQueue(capacity=4, clock=clock)
+        with pytest.raises(Overloaded, match="deadline"):
+            queue.offer("a", deadline=99.0)
+
+    def test_expired_entries_are_shed_at_dequeue(self):
+        clock = FakeClock(0.0)
+        queue = AdmissionQueue(capacity=8, clock=clock)
+        queue.offer("lives", deadline=100.0)
+        queue.offer("dies", deadline=1.0)
+        queue.offer("tail", deadline=100.0)
+        clock.advance(5.0)
+        shed = []
+        assert queue.take(timeout=0.1, on_shed=shed.append) == "lives"
+        assert queue.take(timeout=0.1, on_shed=shed.append) == "tail"
+        assert shed == ["dies"]
+        assert queue.expired == 1
+
+    def test_retry_hint_tracks_the_service_time_ewma(self):
+        queue = AdmissionQueue(capacity=4, default_service_s=1.0)
+        for i in range(4):
+            queue.offer(i)
+        before = queue.retry_after(workers=1)
+        for _ in range(40):
+            queue.record_service_time(0.01)
+        after = queue.retry_after(workers=1)
+        assert after < before
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+
+class TestServiceOverload:
+    def test_full_queue_sheds_and_memory_stays_bounded(self):
+        svc = QueryService(workers=1, queue_capacity=4)
+        try:
+            admitted, rejected = [], 0
+            for i in range(64):
+                try:
+                    admitted.append(
+                        svc.submit(
+                            QueryRequest(program=PATH, facts=SLOW_FACTS, seed=i)
+                        )
+                    )
+                except Overloaded as exc:
+                    rejected += 1
+                    assert exc.retry_after > 0
+            assert rejected > 0
+            # Bounded state: the service never holds more than
+            # capacity + workers requests, no matter how many were thrown
+            # at it.  (Rejected submissions retain nothing.)
+            assert svc.queue.depth() <= 4
+            for ticket in admitted:
+                assert ticket.response(timeout=60).status == "ok"
+            stats = svc.stats()
+            assert stats["counters"]["rejected"] == rejected
+            assert stats["counters"]["submitted"] == 64
+        finally:
+            svc.close()
+
+    def test_queued_requests_past_deadline_are_shed_not_run(self):
+        svc = QueryService(workers=1, queue_capacity=16)
+        try:
+            blocker = svc.submit(
+                QueryRequest(program=PATH, facts=SLOW_FACTS, seed=0)
+            )
+            # A request that can only be served long after its deadline.
+            doomed = svc.submit(
+                QueryRequest(
+                    program=PATH, facts=SLOW_FACTS, seed=1, deadline=0.0005
+                )
+            )
+            assert blocker.response(timeout=60).status == "ok"
+            response = doomed.response(timeout=60)
+            assert response.status == "shed"
+            assert isinstance(response.error, Overloaded)
+        finally:
+            svc.close()
+
+
+class TestServiceBreaker:
+    def test_scripted_burst_opens_half_opens_and_closes(self):
+        # Scripted via the service's injectable clock: failures trip the
+        # breaker, the timer half-opens it, a success closes it.
+        svc = QueryService(workers=1, failure_threshold=3, reset_timeout=60.0)
+        try:
+            klass = "assignment"
+            # 1. A burst of permanent failures trips the breaker.
+            for _ in range(3):
+                ticket = svc.submit(QueryRequest(program=BROKEN, klass=klass))
+                assert ticket.response(timeout=30).status == "failed"
+            with pytest.raises(CircuitOpen) as info:
+                svc.submit(QueryRequest(program=BROKEN, klass=klass))
+            assert info.value.klass == klass
+            assert info.value.retry_after > 0
+            breaker = svc._breaker(klass)
+            assert breaker.state == "open"
+            snap = svc.stats()["breakers"][klass]
+            assert snap["transitions"]["opened"] == 1
+
+            # 2. Wind the breaker's clock past the reset timeout: the next
+            # read half-opens it and a probe is admitted.
+            breaker._opened_at -= 61.0
+            assert breaker.state == "half_open"
+            assert svc.stats()["breakers"][klass]["transitions"]["half_opened"] == 1
+
+            # 3. A healthy probe closes the breaker for good.
+            ticket = svc.submit(
+                QueryRequest(program=PATH, facts={"edge": [(1, 2)]}, klass=klass)
+            )
+            assert ticket.response(timeout=30).status == "ok"
+            assert breaker.state == "closed"
+            assert svc.stats()["breakers"][klass]["transitions"]["closed"] == 1
+
+            # 4. And traffic flows again.
+            ok = svc.evaluate(
+                QueryRequest(program=PATH, facts={"edge": [(1, 2)]}, klass=klass),
+                timeout=30,
+            )
+            assert ok.status == "ok"
+        finally:
+            svc.close()
+
+    def test_open_breaker_rejections_are_counted(self):
+        svc = QueryService(workers=1, failure_threshold=1, reset_timeout=60.0)
+        try:
+            ticket = svc.submit(QueryRequest(program=BROKEN, klass="k"))
+            ticket.response(timeout=30)
+            for _ in range(5):
+                with pytest.raises(CircuitOpen):
+                    svc.submit(QueryRequest(program=BROKEN, klass="k"))
+            assert svc.stats()["counters"]["circuit_open"] == 5
+            assert svc.health()["breakers"]["k"] == "open"
+        finally:
+            svc.close()
+
+    def test_breakers_are_per_class(self):
+        svc = QueryService(workers=1, failure_threshold=1, reset_timeout=60.0)
+        try:
+            ticket = svc.submit(QueryRequest(program=BROKEN, klass="bad"))
+            ticket.response(timeout=30)
+            with pytest.raises(CircuitOpen):
+                svc.submit(QueryRequest(program=BROKEN, klass="bad"))
+            # A different class is unaffected.
+            ok = svc.evaluate(
+                QueryRequest(program=PATH, facts={"edge": [(1, 2)]}, klass="good"),
+                timeout=30,
+            )
+            assert ok.status == "ok"
+        finally:
+            svc.close()

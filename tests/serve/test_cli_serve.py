@@ -1,0 +1,113 @@
+"""The ``repro serve`` subcommand: workload files, summaries, exit codes."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import cli
+
+PATH = "path(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), edge(Y, Z)."
+
+BROKEN = "p(X) :- q(X, ."
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = cli.main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def workload_file(tmp_path):
+    def write(payload) -> str:
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    return write
+
+
+class TestServeCommand:
+    def test_all_ok_workload_exits_0(self, workload_file):
+        path = workload_file(
+            {
+                "defaults": {"seed": 1},
+                "requests": [
+                    {
+                        "program": PATH,
+                        "facts": {"edge": [[1, 2], [2, 3]]},
+                        "repeat": 3,
+                    }
+                ],
+            }
+        )
+        code, output = _run(["serve", path, "--workers", "2"])
+        assert code == 0
+        assert output.count(": ok") == 3
+        assert "3/3 requests ok or degraded" in output
+
+    def test_failed_request_exits_1(self, workload_file):
+        path = workload_file(
+            [
+                {"program": PATH, "facts": {"edge": [[1, 2]]}},
+                {"program": BROKEN},
+            ]
+        )
+        code, output = _run(["serve", path])
+        assert code == 1
+        assert ": failed" in output
+        assert "1/2 requests ok or degraded" in output
+
+    def test_degraded_requests_count_as_success(self, workload_file):
+        path = workload_file(
+            [
+                {
+                    "program": "nat(0). nat(Y) <- nat(X), Y = X + 1.",
+                    "engine": "seminaive",
+                    "max_steps": 5,
+                }
+            ]
+        )
+        code, output = _run(["serve", path])
+        assert code == 0
+        assert ": degraded" in output
+
+    def test_program_file_and_csv_facts_are_loaded(self, tmp_path):
+        (tmp_path / "prog.dl").write_text(PATH)
+        (tmp_path / "edges.csv").write_text("1,2\n2,3\n")
+        workload = tmp_path / "w.json"
+        workload.write_text(
+            json.dumps(
+                [{"program_file": "prog.dl", "facts": {"edge": "edges.csv"}}]
+            )
+        )
+        code, output = _run(["serve", str(workload)])
+        assert code == 0
+        assert "(5 facts" in output  # 2 edge + 3 derived path facts
+
+    def test_stats_flag_prints_service_stats(self, workload_file):
+        path = workload_file([{"program": PATH, "facts": {"edge": [[1, 2]]}}])
+        code, output = _run(["serve", path, "--stats"])
+        assert code == 0
+        assert '"submitted": 1' in output
+        assert '"status": "closed"' in output  # health after close
+
+    def test_missing_workload_exits_1(self, capsys):
+        code = cli.main(["serve", "/nonexistent/workload.json"])
+        assert code == 1
+        assert "cannot load workload" in capsys.readouterr().err
+
+    def test_empty_workload_exits_1(self, workload_file, capsys):
+        path = workload_file({"requests": []})
+        code = cli.main(["serve", path])
+        assert code == 1
+        assert "no requests" in capsys.readouterr().err
+
+    def test_request_without_program_exits_1(self, workload_file, capsys):
+        path = workload_file([{"facts": {"edge": [[1, 2]]}}])
+        code = cli.main(["serve", path])
+        assert code == 1
+        assert "program" in capsys.readouterr().err

@@ -1,0 +1,299 @@
+"""QueryService unit tests: submission, outcomes, degradation, resume,
+retries, cancellation and introspection.
+
+The concurrency-heavy properties (zero lost requests under load and
+faults) live in ``test_soak.py``; admission/breaker behaviour under
+scripted overload lives in ``test_admission.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import solve_program
+from repro.errors import ReproError
+from repro.robust.faults import FaultInjector, FaultPlan, inject
+from repro.robust.governor import Budget
+from repro.robust.retry import RetryPolicy
+from repro.serve import (
+    CANCELLED,
+    DEGRADED,
+    OK,
+    FAILED,
+    QueryRequest,
+    QueryService,
+    ServiceClosed,
+)
+
+SORTING = """
+sp(nil, nil, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+SORT_FACTS = {"p": [(f"v{i}", (37 * i) % 101) for i in range(14)]}
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+PATH_FACTS = {"edge": [(1, 2), (2, 3), (3, 4), (4, 5)]}
+
+DIVERGENT = "nat(0). nat(Y) <- nat(X), Y = X + 1."
+
+BROKEN = "p(X) :- q(X, ."
+
+
+@pytest.fixture()
+def service():
+    svc = QueryService(workers=2, reset_timeout=60.0)
+    yield svc
+    svc.close()
+
+
+class TestOutcomes:
+    def test_ok_result_matches_the_direct_pipeline(self, service):
+        response = service.evaluate(
+            QueryRequest(program=SORTING, facts=SORT_FACTS, seed=3), timeout=30
+        )
+        assert response.status == OK
+        assert response.ok
+        direct = solve_program(
+            SORTING, {k: list(v) for k, v in SORT_FACTS.items()}, seed=3
+        )
+        assert response.database.as_dict() == direct.as_dict()
+
+    @pytest.mark.parametrize("engine", ["rql", "basic", "naive", "seminaive"])
+    def test_every_engine_family_is_servable(self, service, engine):
+        program, facts = (
+            (SORTING, SORT_FACTS) if engine in ("rql", "basic") else (PATH, PATH_FACTS)
+        )
+        response = service.evaluate(
+            QueryRequest(program=program, facts=facts, engine=engine, seed=0),
+            timeout=30,
+        )
+        assert response.status == OK
+
+    def test_failed_request_raises_the_typed_engine_error(self, service):
+        with pytest.raises(ReproError):
+            service.evaluate(QueryRequest(program=BROKEN), timeout=30)
+
+    def test_failed_submit_after_close_is_rejected(self):
+        svc = QueryService(workers=1)
+        svc.close()
+        with pytest.raises(ServiceClosed):
+            svc.submit(QueryRequest(program=PATH, facts=PATH_FACTS))
+
+    def test_response_carries_latency_and_metrics(self, service):
+        response = service.evaluate(
+            QueryRequest(program=PATH, facts=PATH_FACTS, seed=0), timeout=30
+        )
+        assert response.latency_s > 0
+        assert response.queue_s >= 0
+        assert "counters" in response.metrics
+
+
+class TestGracefulDegradation:
+    def test_budget_exhaustion_returns_a_degraded_response(self, service):
+        response = service.evaluate(
+            QueryRequest(
+                program=SORTING,
+                facts=SORT_FACTS,
+                seed=3,
+                budget=Budget(max_gamma_steps=4),
+            ),
+            timeout=30,
+        )
+        assert response.status == DEGRADED
+        assert response.ok  # degraded is a usable outcome
+        assert response.database is not None
+        assert response.partial is not None
+        assert response.checkpoint is not None
+
+    def test_degraded_response_resumes_to_the_exact_model(self, service):
+        degraded = service.evaluate(
+            QueryRequest(
+                program=SORTING,
+                facts=SORT_FACTS,
+                seed=5,
+                budget=Budget(max_gamma_steps=5),
+            ),
+            timeout=30,
+        )
+        assert degraded.status == DEGRADED
+        resumed = service.evaluate(
+            QueryRequest(program=SORTING, seed=5, resume_from=degraded.checkpoint),
+            timeout=30,
+        )
+        assert resumed.status == OK
+        direct = solve_program(
+            SORTING, {k: list(v) for k, v in SORT_FACTS.items()}, seed=5
+        )
+        assert resumed.database.as_dict() == direct.as_dict()
+
+    def test_degradation_does_not_trip_the_breaker(self):
+        svc = QueryService(workers=1, failure_threshold=2, reset_timeout=60.0)
+        try:
+            for _ in range(4):
+                response = svc.evaluate(
+                    QueryRequest(
+                        program=DIVERGENT,
+                        engine="seminaive",
+                        budget=Budget(max_rounds=3),
+                    ),
+                    timeout=30,
+                )
+                assert response.status == DEGRADED
+            # Degraded outcomes are successes to the breaker.
+            assert all(
+                b["state"] == "closed" for b in svc.stats()["breakers"].values()
+            )
+        finally:
+            svc.close()
+
+
+class TestRetries:
+    def test_transient_fault_is_retried_and_heals_to_the_same_model(self):
+        injector = FaultInjector([FaultPlan("engine.saturate", "error", nth=1)])
+        svc = QueryService(
+            workers=1, retry=RetryPolicy(max_attempts=3, base_delay=0.001)
+        )
+        try:
+            with inject(injector):
+                response = svc.evaluate(
+                    QueryRequest(program=PATH, facts=PATH_FACTS, seed=0), timeout=30
+                )
+            assert response.status == OK
+            assert response.retries == 1
+            assert response.attempts == 2
+            direct = solve_program(
+                PATH, {k: list(v) for k, v in PATH_FACTS.items()}, seed=0
+            )
+            assert response.database.as_dict() == direct.as_dict()
+        finally:
+            svc.close()
+
+    def test_exhausted_retries_fail_with_the_injected_error(self):
+        from repro.robust.faults import FaultInjected
+
+        injector = FaultInjector(
+            [FaultPlan("engine.saturate", "error", nth=1, repeat=True)]
+        )
+        svc = QueryService(
+            workers=1, retry=RetryPolicy(max_attempts=2, base_delay=0.001)
+        )
+        try:
+            with inject(injector):
+                with pytest.raises(FaultInjected):
+                    svc.evaluate(
+                        QueryRequest(program=PATH, facts=PATH_FACTS, seed=0),
+                        timeout=30,
+                    )
+        finally:
+            svc.close()
+        assert svc.stats()["counters"]["retries"] == 1
+
+    def test_retry_can_be_disabled(self):
+        from repro.robust.faults import FaultInjected
+
+        injector = FaultInjector([FaultPlan("engine.saturate", "error", nth=1)])
+        svc = QueryService(workers=1, retry=RetryPolicy(max_attempts=1))
+        try:
+            with inject(injector):
+                with pytest.raises(FaultInjected):
+                    svc.evaluate(
+                        QueryRequest(program=PATH, facts=PATH_FACTS, seed=0),
+                        timeout=30,
+                    )
+        finally:
+            svc.close()
+
+
+class TestCancellation:
+    def test_cancel_mid_run_yields_a_resumable_partial(self):
+        svc = QueryService(workers=1)
+        try:
+            ticket = svc.submit(
+                QueryRequest(program=DIVERGENT, engine="seminaive")
+            )
+            ticket.cancel("operator stop")
+            response = ticket.response(timeout=30)
+            assert response.status == CANCELLED
+            assert not response.ok
+            assert response.partial is not None
+            assert response.checkpoint is not None
+            # Resume the cancelled work under a bounded budget.
+            resumed = svc.evaluate(
+                QueryRequest(
+                    program=DIVERGENT,
+                    engine="seminaive",
+                    budget=Budget(max_rounds=3),
+                    resume_from=response.checkpoint,
+                ),
+                timeout=30,
+            )
+            assert resumed.status == DEGRADED
+            assert (
+                resumed.database.total_facts()
+                > response.partial.database.total_facts()
+            )
+        finally:
+            svc.close()
+
+    def test_cancellation_does_not_count_against_the_breaker(self):
+        svc = QueryService(workers=1, failure_threshold=1, reset_timeout=60.0)
+        try:
+            ticket = svc.submit(QueryRequest(program=DIVERGENT, engine="seminaive"))
+            ticket.cancel()
+            response = ticket.response(timeout=30)
+            assert response.status == CANCELLED
+            assert all(
+                b["state"] == "closed" for b in svc.stats()["breakers"].values()
+            )
+        finally:
+            svc.close()
+
+
+class TestIntrospection:
+    def test_health_reports_workers_and_queue(self, service):
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert health["queue_capacity"] == 64
+        assert health["queue_depth"] >= 0
+
+    def test_stats_accounts_every_outcome(self, service):
+        service.evaluate(QueryRequest(program=PATH, facts=PATH_FACTS), timeout=30)
+        try:
+            service.evaluate(QueryRequest(program=BROKEN), timeout=30)
+        except ReproError:
+            pass
+        stats = service.stats()
+        assert stats["counters"]["submitted"] == 2
+        assert stats["counters"][OK] == 1
+        assert stats["counters"][FAILED] == 1
+        assert "latency_ms_p50" in stats
+        assert stats["queue"]["admitted"] == 2
+
+    def test_per_request_trace_is_returned_when_enabled(self):
+        svc = QueryService(workers=1, trace=True)
+        try:
+            response = svc.evaluate(
+                QueryRequest(program=PATH, facts=PATH_FACTS), timeout=30
+            )
+            assert response.trace is not None
+            names = {r.name for r in response.trace}
+            assert "request" in names
+        finally:
+            svc.close()
+
+    def test_close_drains_admitted_work(self):
+        svc = QueryService(workers=2)
+        tickets = [
+            svc.submit(QueryRequest(program=PATH, facts=PATH_FACTS, seed=i))
+            for i in range(8)
+        ]
+        svc.close(wait=True)
+        for ticket in tickets:
+            assert ticket.done
+            assert ticket.response(timeout=0.1).status == OK

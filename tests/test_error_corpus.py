@@ -174,3 +174,100 @@ class TestGovernorMessages:
             solve_program(self.DIVERGENT, seed=0, governor=governor)
         assert str(info.value) == "cancelled: operator stop"
         assert info.value.partial is not None
+
+
+class TestCheckpointMessages:
+    """Golden messages for the checkpoint error family: a rejected
+    checkpoint must say which artefact is wrong and why resuming it is
+    unsafe, in one line (the CLI prints exactly the first line)."""
+
+    SORTING = """
+    sp(nil, nil, 0).
+    sp(X, C, I) <- next(I), p(X, C), least(C, I).
+    """
+
+    def _checkpoint(self):
+        from repro.robust import Budget, RunGovernor
+
+        compiled = compile_program(self.SORTING)
+        governor = RunGovernor(Budget(max_gamma_steps=3), check_interval=1)
+        with pytest.raises(BudgetExceeded) as info:
+            compiled.run({"p": [("a", 1), ("b", 2), ("c", 3)]}, seed=0, governor=governor)
+        return info.value.partial.checkpoint
+
+    def test_fingerprint_mismatch_names_both_fingerprints(self):
+        from repro.errors import CheckpointError
+        from repro.robust import restore
+
+        cp = self._checkpoint()
+        other = compile_program(
+            "sp(nil, nil, 0). sp(X, C, I) <- next(I), q(X, C), least(C, I)."
+        )
+        with pytest.raises(CheckpointError) as info:
+            restore(cp, other.program)
+        message = str(info.value)
+        assert "does not belong to this program" in message
+        assert cp.fingerprint in message
+        assert "\n" not in message
+
+    def test_unsupported_version_lists_readable_versions(self):
+        from repro.errors import CheckpointError
+        from repro.robust.checkpoint import dumps, loads, CHECKPOINT_VERSION
+
+        text = dumps(self._checkpoint()).replace(
+            f'"version": {CHECKPOINT_VERSION}', '"version": 99'
+        )
+        with pytest.raises(CheckpointError) as info:
+            loads(text)
+        message = str(info.value)
+        assert "unsupported checkpoint version 99" in message
+        assert "1" in message and str(CHECKPOINT_VERSION) in message
+
+
+class TestServiceMessages:
+    """Golden messages for the query service's typed rejections: each
+    carries a machine-usable hint, and the message stands alone."""
+
+    def test_overloaded_reports_capacity_and_hint(self):
+        from repro.serve import AdmissionQueue, Overloaded
+
+        queue = AdmissionQueue(capacity=2)
+        queue.offer("a")
+        queue.offer("b")
+        with pytest.raises(Overloaded) as info:
+            queue.offer("c")
+        message = str(info.value)
+        assert "admission queue is full (2 requests waiting)" in message
+        assert "retry in" in message
+        assert info.value.retry_after > 0
+
+    def test_circuit_open_names_the_program_class(self):
+        from repro.serve import CircuitOpen, QueryRequest, QueryService
+
+        svc = QueryService(workers=1, failure_threshold=1, reset_timeout=60.0)
+        try:
+            ticket = svc.submit(QueryRequest(program="p(a", klass="golden"))
+            ticket.response(timeout=30)
+            with pytest.raises(CircuitOpen) as info:
+                svc.submit(QueryRequest(program="p(a", klass="golden"))
+            assert str(info.value) == (
+                "circuit breaker for program class 'golden' is open"
+            )
+            assert info.value.klass == "golden"
+        finally:
+            svc.close()
+
+    def test_fault_injection_reentry_message_explains_the_fix(self):
+        from repro.robust.faults import (
+            FaultInjectionError,
+            FaultInjector,
+            inject,
+        )
+
+        with inject(FaultInjector()):
+            with pytest.raises(FaultInjectionError) as info:
+                with inject(FaultInjector()):
+                    pass  # pragma: no cover
+        message = str(info.value)
+        assert "already active" in message
+        assert "single FaultInjector" in message
