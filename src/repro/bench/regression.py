@@ -64,6 +64,10 @@ GOVERNOR_OVERHEAD_CEILING = 1.05
 #: CI gate: serving a request in-process (admission queue + worker thread
 #: + per-request governor/metrics) must cost < 10% over the direct call.
 SERVICE_OVERHEAD_CEILING = 1.10
+DURABLE_SIZES = [32, 64, 128, 256]
+#: CI gate: a governed run with a DurableWriter attached at the default
+#: (time-based) cadence must cost < 5% over the same governed run bare.
+DURABLE_OVERHEAD_CEILING = 1.05
 
 
 def _chain(n: int) -> List[tuple]:
@@ -233,6 +237,83 @@ def _service_overhead_rows(
     return rows
 
 
+def _durable_overhead_rows(
+    sizes: Sequence[int], repeats: int = 9
+) -> List[Dict[str, Any]]:
+    """Best-of-*repeats* governed-bare vs governed-durable timings,
+    **interleaved** like the governor sweep.  The durable run pays the
+    per-tick cadence bookkeeping of a :class:`DurableWriter` at the
+    default (time-based) policy; checkpoint serialization itself is
+    self-limited by that policy to at most one write per interval, so
+    what this sweep pins is the steady-state tick tax every governed
+    step pays once durability is attached."""
+    import tempfile
+    import time
+
+    from repro.durable import CheckpointStore, DurableWriter
+    from repro.robust import Budget, RunGovernor
+
+    budget = Budget(
+        wall_clock=3600.0,
+        max_gamma_steps=10**9,
+        max_rounds=10**9,
+        max_facts=10**9,
+    )
+
+    rows: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="bench-durable-") as root:
+        store = CheckpointStore(root)
+        try:
+            rid = 0
+            for size in sizes:
+                payload = random_costed_relation(size, seed=0)
+
+                def bare_op():
+                    governor = RunGovernor(budget)
+                    return solve_program(
+                        texts.SORTING,
+                        facts={"p": list(payload)},
+                        seed=0,
+                        governor=governor,
+                    )
+
+                def durable_op():
+                    nonlocal rid
+                    rid += 1
+                    writer = DurableWriter(store, str(rid))
+                    governor = RunGovernor(budget, durability=writer)
+                    return solve_program(
+                        texts.SORTING,
+                        facts={"p": list(payload)},
+                        seed=0,
+                        governor=governor,
+                    )
+
+                bare_op()  # warm both paths before timing
+                durable_op()
+                best_bare = best_durable = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    bare_op()
+                    best_bare = min(best_bare, time.perf_counter() - start)
+                    start = time.perf_counter()
+                    durable_op()
+                    best_durable = min(best_durable, time.perf_counter() - start)
+                rows.append(
+                    {
+                        "size": size,
+                        "bare_s": round(best_bare, 6),
+                        "durable_s": round(best_durable, 6),
+                        "overhead": round(
+                            best_durable / max(best_bare, 1e-9), 3
+                        ),
+                    }
+                )
+        finally:
+            store.close()
+    return rows
+
+
 def run_regression(
     tc_sizes: Sequence[int] = TC_SIZES,
     sort_sizes: Sequence[int] = SORT_SIZES,
@@ -250,6 +331,7 @@ def run_regression(
     )
     governor_rows = _governor_overhead_rows(GOVERNOR_SIZES, repeats=max(repeats, 15))
     service_rows = _service_overhead_rows(SERVICE_SIZES, repeats=max(repeats, 15))
+    durable_rows = _durable_overhead_rows(DURABLE_SIZES, repeats=max(repeats, 15))
     return {
         "meta": {
             "python": platform.python_version(),
@@ -316,6 +398,24 @@ def run_regression(
                     min(row["overhead"] for row in service_rows), 3
                 ),
             },
+            "durable_overhead": {
+                "description": "(R, Q, L) sorting run under a governor "
+                "with a DurableWriter attached at the default time-based "
+                "cadence (checkpoint store on disk) vs the same governed "
+                "run bare; overhead = durable_s / bare_s.  The time "
+                "cadence caps checkpoint serialization at one write per "
+                "interval, so the sweep pins the per-tick durability tax. "
+                "Gated on min_overhead like the governor sweep",
+                "rows": durable_rows,
+                "mean_overhead": round(
+                    sum(row["overhead"] for row in durable_rows)
+                    / len(durable_rows),
+                    3,
+                ),
+                "min_overhead": round(
+                    min(row["overhead"] for row in durable_rows), 3
+                ),
+            },
         },
     }
 
@@ -366,6 +466,16 @@ def check_against_baseline(
                 "service overhead regressed: serving a request in-process "
                 f"costs at least {min_overhead:.3f}x the direct call on "
                 f"every size (ceiling {SERVICE_OVERHEAD_CEILING:.2f}x)"
+            )
+    durable_block = report["sweeps"].get("durable_overhead")
+    if durable_block is not None:
+        min_overhead = durable_block.get("min_overhead", 1.0)
+        if min_overhead > DURABLE_OVERHEAD_CEILING:
+            failures.append(
+                "durable overhead regressed: attaching a DurableWriter at "
+                f"the default cadence costs at least {min_overhead:.3f}x "
+                f"the bare governed run on every size "
+                f"(ceiling {DURABLE_OVERHEAD_CEILING:.2f}x)"
             )
     return failures
 
@@ -440,13 +550,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"service overhead: min {service['min_overhead']:.3f}x  "
             f"mean {service['mean_overhead']:.3f}x"
         )
+        durable = report["sweeps"]["durable_overhead"]
+        for row in durable["rows"]:
+            print(
+                f"  dur n={row['size']:>4}  bare {row['bare_s']:.4f}s  "
+                f"durable {row['durable_s']:.4f}s  overhead {row['overhead']:.2f}x"
+            )
+        print(
+            f"durable overhead: min {durable['min_overhead']:.3f}x  "
+            f"mean {durable['mean_overhead']:.3f}x"
+        )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}")
             return 1
         print(
-            "OK: plan-cache speedup, governor overhead and service "
-            "overhead within tolerance"
+            "OK: plan-cache speedup, governor overhead, service overhead "
+            "and durable overhead within tolerance"
         )
         return 0
     out.write_text(json.dumps(report, indent=2) + "\n")

@@ -24,6 +24,14 @@ Every run is governed (see ``docs/robustness.md``): ``--timeout``,
 exhaustion), Ctrl-C cancels cooperatively at a clean boundary (exit code
 130), and ``--checkpoint``/``--resume-from`` save and resume interrupted
 runs.
+
+``--durable-dir DIR`` makes the run *crash-safe* (see
+``docs/durability.md``): the request is journalled and checkpoints are
+streamed into a write-ahead store — every 0.5 s by default, or every
+``--durable-every`` governor steps — so even a SIGKILL mid-run loses at
+most one cadence interval of work.  The
+``recover`` subcommand lists and resumes whatever a dead process left
+behind: ``python -m repro recover DIR --resume``.
 """
 
 from __future__ import annotations
@@ -118,6 +126,26 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "resume a previously interrupted run from a checkpoint file; "
             "the engine recorded in the checkpoint overrides --engine"
+        ),
+    )
+    parser.add_argument(
+        "--durable-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "journal this run into a crash-safe checkpoint store at DIR; "
+            "an interrupted or killed run is later resumed with "
+            "'repro recover DIR --resume' (see docs/durability.md)"
+        ),
+    )
+    parser.add_argument(
+        "--durable-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "durable checkpoint cadence in governor steps (default: "
+            "time-based, one checkpoint per 0.5s; requires --durable-dir)"
         ),
     )
     return parser
@@ -244,12 +272,14 @@ def _print_facts(db, program, query: Optional[str], out) -> None:
             print(f"{key[0]}({values}).", file=out)
 
 
-def _build_governor(args):
+def _build_governor(args, durability=None):
     """A governor + cancel token for a CLI run.
 
     The governor is always created — even without budget flags — so that
     Ctrl-C cancels cooperatively at the next γ-step / saturation-round
-    boundary and still yields a partial result.
+    boundary and still yields a partial result.  *durability* is an
+    optional :class:`~repro.durable.policy.DurableWriter` riding the
+    governor's ticks.
     """
     from repro.robust import Budget, CancelToken, RunGovernor
 
@@ -260,7 +290,45 @@ def _build_governor(args):
         max_facts=getattr(args, "max_facts", None),
     )
     token = CancelToken()
-    return RunGovernor(budget, token=token), token
+    return RunGovernor(budget, token=token, durability=durability), token
+
+
+def _open_durable(args):
+    """The (store, rid, writer) triple for ``--durable-dir``, or three
+    ``None`` when the flag is absent."""
+    if not getattr(args, "durable_dir", None):
+        if getattr(args, "durable_every", None) is not None:
+            raise ReproError("--durable-every requires --durable-dir")
+        return None, None, None
+    from repro.durable import CheckpointStore
+    from repro.durable.policy import DurabilityPolicy, DurableWriter
+
+    policy = None  # DurableWriter falls back to the time-based default
+    if args.durable_every is not None:
+        policy = DurabilityPolicy(every_steps=args.durable_every)
+    store = CheckpointStore(args.durable_dir)
+    rid = str(store.next_numeric_rid())
+    writer = DurableWriter(store, rid, policy)
+    return store, rid, writer
+
+
+def _journal_cli_run(store, rid, source: str, args) -> None:
+    """Journal everything ``repro recover`` needs to re-run this
+    invocation standalone: program text, facts, engine, seed."""
+    from repro.robust.checkpoint import encode_value
+
+    store.journal_request(
+        rid,
+        {
+            "program": source,
+            "facts": {
+                name: encode_value(rows)
+                for name, rows in _load_facts(args.facts).items()
+            },
+            "engine": args.engine,
+            "seed": args.seed,
+        },
+    )
 
 
 def _report_stop(exc, args) -> int:
@@ -353,9 +421,14 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         from repro.serve.cli import serve_main
 
         return serve_main(list(argv[1:]), out=out)
+    if argv and argv[0] == "recover":
+        from repro.durable.cli import recover_main
+
+        return recover_main(list(argv[1:]), out=out)
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    durable_store = durable_rid = None
     try:
         from repro.errors import BudgetExceeded, Cancelled
         from repro.obs.tracer import Tracer
@@ -363,7 +436,13 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
 
         tracer = Tracer(enabled=bool(args.trace_out))
         source = Path(args.program).read_text()
-        governor, token = _build_governor(args)
+        durable_store, durable_rid, durable_writer = _open_durable(args)
+        # _build_governor keeps its one-argument form for the common path
+        # (tests substitute it with single-argument fakes).
+        if durable_writer is not None:
+            governor, token = _build_governor(args, durable_writer)
+        else:
+            governor, token = _build_governor(args)
         if args.resume_from:
             from repro.errors import CheckpointError
             from repro.robust import load, restore
@@ -400,8 +479,12 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             db = _as_database(facts)
         if args.trace and hasattr(engine, "record_trace"):
             engine.record_trace = True
+        if durable_store is not None:
+            _journal_cli_run(durable_store, durable_rid, source, args)
         with trap_sigint(token):
             engine.run(db)
+        if durable_store is not None:
+            durable_store.mark_done(durable_rid)
         _print_facts(db, compiled.program, args.query, out)
         if args.save:
             from repro.storage.io import save_facts
@@ -430,6 +513,18 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                 return 2
         return 0
     except (BudgetExceeded, Cancelled) as exc:
+        if durable_store is not None:
+            # Persist the stop-boundary checkpoint, so recovery resumes
+            # from the exact interruption point rather than the last
+            # cadence-written one.
+            checkpoint = getattr(getattr(exc, "partial", None), "checkpoint", None)
+            if checkpoint is not None:
+                durable_store.write_checkpoint(durable_rid, checkpoint)
+                print(
+                    f"% durable: run {durable_rid} checkpointed; resume with: "
+                    f"repro recover {args.durable_dir} --resume",
+                    file=sys.stderr,
+                )
         return _report_stop(exc, args)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
@@ -437,6 +532,9 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if durable_store is not None:
+            durable_store.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

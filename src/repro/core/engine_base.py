@@ -302,7 +302,9 @@ class BaseEngine:
             db.bind_metrics(self.tracer.registry)
         for name, facts in self.program.ground_facts().items():
             db.assert_all(name, facts)
-        self.governor.start(db, registry=self.tracer.registry, tracer=self.tracer)
+        self.governor.start(
+            db, registry=self.tracer.registry, tracer=self.tracer, engine=self
+        )
         try:
             for index, report in enumerate(self.analysis.reports):
                 if index < self.resume_clique_index:

@@ -115,7 +115,9 @@ class NaiveEngine:
         for rule in self.program.proper_rules():
             self.plans.plan(rule)
         self.plans.register_indices(db)
-        self.governor.start(db, registry=self.tracer.registry, tracer=self.tracer)
+        self.governor.start(
+            db, registry=self.tracer.registry, tracer=self.tracer, engine=self
+        )
         start = time.perf_counter()
         try:
             for group in self.graph.evaluation_order():

@@ -109,7 +109,9 @@ class SeminaiveEngine:
                     for rule, delta_index, _ in self._delta_variants(clique):
                         self.plans.plan(rule, delta_index=delta_index)
         self.plans.register_indices(db)
-        self.governor.start(db, registry=self.tracer.registry, tracer=self.tracer)
+        self.governor.start(
+            db, registry=self.tracer.registry, tracer=self.tracer, engine=self
+        )
         start = time.perf_counter()
         try:
             for group in order:

@@ -1,0 +1,40 @@
+"""Crash-safe durability for governed runs (see ``docs/durability.md``).
+
+The package splits into four small layers:
+
+* :mod:`repro.durable.wal` — record framing: length-prefixed, CRC32
+  checksummed records; atomic publish (temp + ``os.replace`` + dir
+  fsync); segment scanning with torn-tail vs corruption classification.
+* :mod:`repro.durable.recovery` — the read side: replay the segments
+  and fold them into the newest valid state per run id.
+* :mod:`repro.durable.store` — :class:`CheckpointStore`, the write
+  side: journalled requests, streamed checkpoints, done markers,
+  rotation and compaction.
+* :mod:`repro.durable.policy` — :class:`DurabilityPolicy` (cadence) and
+  :class:`DurableWriter` (the governor-tick hook that captures and
+  appends checkpoints).
+"""
+
+from repro.durable.policy import (
+    DEFAULT_EVERY_SECONDS,
+    DEFAULT_POLICY,
+    DurabilityPolicy,
+    DurableWriter,
+)
+from repro.durable.recovery import PendingRun, RecoveredState, RecoveryManager
+from repro.durable.store import FSYNC_POLICIES, CheckpointStore
+from repro.durable.wal import SegmentScan, scan_segment
+
+__all__ = [
+    "CheckpointStore",
+    "DurabilityPolicy",
+    "DurableWriter",
+    "RecoveryManager",
+    "RecoveredState",
+    "PendingRun",
+    "SegmentScan",
+    "scan_segment",
+    "FSYNC_POLICIES",
+    "DEFAULT_EVERY_SECONDS",
+    "DEFAULT_POLICY",
+]

@@ -1,0 +1,162 @@
+"""The ``repro recover`` subcommand: inspect and resume a durable store.
+
+::
+
+    python -m repro recover runs/           # list recoverable runs
+    python -m repro recover runs/ --resume  # resume each to completion
+
+Listing is read-only (safe against a live writer).  ``--resume`` opens
+the store for writing (truncating a torn tail left by a crash), rebuilds
+each journalled run and completes it: runs that reached a durable
+checkpoint restore it and continue — a seeded run lands on the
+byte-identical model the uninterrupted process would have produced —
+and runs that crashed earlier re-run from the journalled request.
+Completed runs are marked done, so a second ``--resume`` finds nothing.
+
+Exit codes: 0 on success (including "nothing to recover"), 1 when a
+resume fails, 2 when the store itself is unreadable (mid-log corruption
+or an unknown run id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, Sequence
+
+from repro.errors import DurabilityError, ReproError
+
+__all__ = ["recover_main", "build_recover_parser"]
+
+
+def build_recover_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro recover",
+        description=(
+            "List or resume interrupted runs from a durable checkpoint "
+            "store (a --durable-dir of a previous run; see "
+            "docs/durability.md)."
+        ),
+    )
+    parser.add_argument("store", help="path to the durable store directory")
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume every recoverable run to completion (default: list only)",
+    )
+    parser.add_argument(
+        "--id",
+        metavar="RID",
+        default=None,
+        help="restrict --resume to one run id",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="write each resumed run's database to DIR/<rid>.facts",
+    )
+    return parser
+
+
+def _list_runs(root: str, out: Any) -> int:
+    from repro.durable.recovery import RecoveryManager
+
+    state = RecoveryManager(root).recover()
+    if not state.pending:
+        print(f"no recoverable runs in {root}", file=out)
+        return 0
+    for rid in sorted(state.pending):
+        run = state.pending[rid]
+        shape = "request" if run.request is not None else "checkpoints only"
+        print(
+            f"{rid}: {shape}, {run.checkpoints_seen} checkpoint(s) "
+            f"{'(resumable)' if run.checkpoint_payload is not None else '(re-run from journal)'}",
+            file=out,
+        )
+    if state.torn_tail is not None:
+        path, good_length, damage = state.torn_tail
+        print(
+            f"% torn tail on {path} at byte {good_length} ({damage}) — "
+            "opening for --resume will truncate it",
+            file=out,
+        )
+    return 0
+
+
+def _resume_run(store: Any, rid: str, run: Any, out: Any) -> Any:
+    """Complete one pending run; returns the finished database."""
+    from repro.core.compiler import compile_program
+
+    payload = run.request
+    if payload is None or "program" not in payload:
+        raise ReproError(
+            f"run {rid!r} has no journalled request (checkpoints only) — "
+            "resume it from the owning service, which knows its program"
+        )
+    from repro.robust.checkpoint import decode_value
+
+    program_text = payload["program"]
+    engine = payload.get("engine", "rql")
+    compiled = compile_program(program_text, engine=engine)
+    if run.checkpoint_payload is not None:
+        db = store.resume(rid, compiled.program)
+        print(f"{rid}: resumed from checkpoint -> {db.total_facts()} facts", file=out)
+        return db
+    facts = {
+        name: list(decode_value(rows))
+        for name, rows in (payload.get("facts") or {}).items()
+    }
+    db = compiled.run(facts, seed=payload.get("seed"))
+    store.mark_done(rid)
+    print(f"{rid}: re-run from journal -> {db.total_facts()} facts", file=out)
+    return db
+
+
+def recover_main(argv: Sequence[str] | None = None, out: Any = None) -> int:
+    """The ``repro recover`` subcommand; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_recover_parser().parse_args(argv)
+    try:
+        if not args.resume:
+            return _list_runs(args.store, out)
+        from pathlib import Path
+
+        from repro.durable.store import CheckpointStore
+        from repro.storage.io import save_facts
+
+        failures = 0
+        with CheckpointStore(args.store) as store:
+            pending: Dict[str, Any] = store.pending()
+            if args.id is not None and args.id not in pending:
+                from repro.errors import RecoveryError
+
+                known = ", ".join(repr(r) for r in sorted(pending)) or "none"
+                raise RecoveryError(
+                    f"no recoverable run {args.id!r} in {store.root} "
+                    f"(pending runs: {known})"
+                )
+            targets = [args.id] if args.id is not None else sorted(pending)
+            if not targets:
+                print(f"no recoverable runs in {args.store}", file=out)
+                return 0
+            for rid in targets:
+                try:
+                    db = _resume_run(store, rid, pending[rid], out)
+                except ReproError as exc:
+                    failures += 1
+                    print(f"error: {rid}: {exc}", file=sys.stderr)
+                    continue
+                if args.save:
+                    directory = Path(args.save)
+                    directory.mkdir(parents=True, exist_ok=True)
+                    target = directory / f"{rid}.facts"
+                    save_facts(db, target)
+                    print(f"% {rid} -> {target}", file=out)
+        return 1 if failures else 0
+    except DurabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

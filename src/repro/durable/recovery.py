@@ -1,0 +1,189 @@
+"""Recovery: rebuild the newest durable state from a WAL directory.
+
+:class:`RecoveryManager` is the *read side* of the durable store.  On
+open it walks the ``wal-*.log`` segments in index order, validates every
+record (:func:`repro.durable.wal.scan_segment`), decodes the store's
+record vocabulary (``request`` / ``checkpoint`` / ``done``) and folds it
+into a :class:`RecoveredState`: the journalled request payload and the
+**newest** valid checkpoint payload per run id, minus the runs marked
+done.  Later records win — replay order is segment index then append
+order, which compaction preserves by always writing into a
+higher-numbered segment.
+
+The scan itself is read-only (safe to run concurrently against a live
+writer, e.g. a test polling for a subprocess's first checkpoint); the
+:class:`~repro.durable.store.CheckpointStore` performs the one mutating
+recovery step — truncating a torn tail on the final segment — when it
+opens for writing.
+
+Unknown record kinds are counted and skipped, so a store written by a
+*newer* build remains readable for the runs this build understands.
+Checkpoint payloads are kept raw (plain dicts) until someone asks for
+them: an unreadable *future-format* checkpoint therefore fails exactly
+at :meth:`~repro.durable.store.CheckpointStore.latest_checkpoint` with
+the checkpoint layer's own clear
+:class:`~repro.errors.CheckpointError`, not during open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import RecoveryError, WalCorruptionError
+from repro.durable.wal import scan_segment
+
+__all__ = ["RecoveryManager", "RecoveredState", "PendingRun", "segment_index"]
+
+_SEGMENT_RE = re.compile(r"wal-(\d{8})\.log\Z")
+
+
+def segment_index(name: str) -> Optional[int]:
+    """The numeric index of a segment file name, or ``None`` for other
+    directory entries (temp files, foreign files)."""
+    match = _SEGMENT_RE.match(name)
+    return int(match.group(1)) if match else None
+
+
+@dataclass
+class PendingRun:
+    """One journalled run the store still considers in flight.
+
+    Attributes:
+        rid: the run id.
+        request: the journalled request payload (whatever the writer
+            passed to ``journal_request``), or ``None`` when only
+            checkpoints were written for this id.
+        checkpoint_payload: the newest valid checkpoint's raw payload
+            dict, or ``None`` when the run crashed before its first
+            durable checkpoint.
+        checkpoints_seen: how many checkpoint records this id has in the
+            log (compaction keeps only the newest).
+    """
+
+    rid: str
+    request: Optional[Any] = None
+    checkpoint_payload: Optional[Dict[str, Any]] = None
+    checkpoints_seen: int = 0
+
+
+@dataclass
+class RecoveredState:
+    """Everything a scan of the log reconstructs.
+
+    Attributes:
+        pending: in-flight runs by id (journalled or checkpointed, not
+            marked done).
+        done: run ids with a ``done`` record.
+        segments: scanned segment paths in replay order.
+        next_segment_index: first unused segment number.
+        records: valid records replayed.
+        bytes_scanned: total valid bytes across all segments.
+        torn_tail: ``(path, good_length, damage)`` of a torn final
+            segment, or ``None`` when the log ended cleanly.
+        unknown_records: records whose ``kind`` this build ignores.
+    """
+
+    pending: Dict[str, PendingRun] = field(default_factory=dict)
+    done: Set[str] = field(default_factory=set)
+    segments: List[str] = field(default_factory=list)
+    next_segment_index: int = 1
+    records: int = 0
+    bytes_scanned: int = 0
+    torn_tail: Optional[Tuple[str, int, str]] = None
+    unknown_records: int = 0
+
+
+class RecoveryManager:
+    """Scan a WAL directory and fold it into a :class:`RecoveredState`."""
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+
+    def segments(self) -> List[str]:
+        """The segment paths in replay (index) order."""
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:
+            return []
+        indexed = sorted(
+            (index, name)
+            for name in names
+            if (index := segment_index(name)) is not None
+        )
+        return [os.path.join(self.root, name) for _, name in indexed]
+
+    def recover(self) -> RecoveredState:
+        """Replay every segment; raises
+        :class:`~repro.errors.WalCorruptionError` on mid-log damage (a
+        torn tail anywhere but the final segment is mid-log damage: the
+        fsync-before-rotation discipline makes it impossible from a
+        crash)."""
+        state = RecoveredState()
+        paths = self.segments()
+        state.segments = paths
+        if paths:
+            last_index = segment_index(os.path.basename(paths[-1]))
+            state.next_segment_index = (last_index or 0) + 1
+        for position, path in enumerate(paths):
+            scan = scan_segment(path)
+            if scan.torn:
+                if position != len(paths) - 1:
+                    raise WalCorruptionError(
+                        f"WAL segment {os.path.basename(path)} has a torn "
+                        f"tail at byte {scan.good_length} ({scan.damage}) "
+                        "but is not the final segment — rotation always "
+                        "syncs first, so this is corruption, not a crash"
+                    )
+                state.torn_tail = (path, scan.good_length, scan.damage or "")
+            state.bytes_scanned += scan.good_length
+            for payload in scan.payloads:
+                self._apply(state, path, payload)
+        return state
+
+    def _apply(self, state: RecoveredState, path: str, payload: bytes) -> None:
+        try:
+            record = json.loads(payload.decode("utf-8"))
+            kind = record["kind"]
+            rid = record["rid"]
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            # The CRC matched, so these bytes are what the writer wrote —
+            # a malformed record is a writer bug, not disk damage, but it
+            # is just as untrustworthy.
+            raise WalCorruptionError(
+                f"WAL segment {os.path.basename(path)} holds a record that "
+                f"passes its checksum but is not a store record ({exc}) — "
+                "refusing to recover from a log written by something else"
+            ) from None
+        state.records += 1
+        if kind == "request":
+            run = state.pending.setdefault(rid, PendingRun(rid))
+            run.request = record.get("data")
+            state.done.discard(rid)
+        elif kind == "checkpoint":
+            run = state.pending.setdefault(rid, PendingRun(rid))
+            run.checkpoint_payload = record.get("data")
+            run.checkpoints_seen += 1
+            state.done.discard(rid)
+        elif kind == "done":
+            state.pending.pop(rid, None)
+            state.done.add(rid)
+        else:
+            state.unknown_records += 1
+
+    def pending_run(self, rid: str) -> PendingRun:
+        """The :class:`PendingRun` for *rid*, or a clear
+        :class:`~repro.errors.RecoveryError` when the store holds no
+        recoverable state for it."""
+        state = self.recover()
+        run = state.pending.get(rid)
+        if run is None:
+            known = ", ".join(repr(r) for r in sorted(state.pending)) or "none"
+            raise RecoveryError(
+                f"no recoverable run {rid!r} in {self.root} "
+                f"(pending runs: {known})"
+            )
+        return run

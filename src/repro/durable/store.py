@@ -1,0 +1,350 @@
+"""The crash-safe checkpoint store: a WAL of governed-run state.
+
+:class:`CheckpointStore` persists three record kinds, all JSON payloads
+framed by :mod:`repro.durable.wal`:
+
+* ``request`` — a journalled unit of admitted work (the query service's
+  request payload, or the CLI's program + facts), written once at
+  admission so a restarted process knows *what* was running;
+* ``checkpoint`` — a :class:`~repro.robust.checkpoint.Checkpoint`
+  payload, streamed every durability-policy interval so a restarted
+  process knows *where* the run was (the newest valid one per run id
+  wins);
+* ``done`` — the run completed (or its outcome was delivered); recovery
+  ignores the id and compaction drops its records.
+
+Durability discipline:
+
+* appends go to the current ``wal-<n>.log`` segment and are fsynced per
+  the ``fsync`` policy (``"always"`` by default — a record returned from
+  ``write_checkpoint`` survives an immediate power cut);
+* segments rotate at ``segment_bytes``; the outgoing segment is fsynced
+  *before* the new one is created, so damage can only ever live at the
+  tail of the final segment;
+* compaction rewrites the live state (pending requests + their newest
+  checkpoint) into the *next* segment index via write-temp → fsync →
+  ``os.replace`` → directory fsync, then unlinks the old segments — a
+  crash at any boundary leaves either the old segments (replace not yet
+  done) or old + compacted (deletes not yet done), both of which replay
+  to the same state because later records win.
+
+On open, the store replays the log (:class:`RecoveryManager`), truncates
+a torn tail on the final segment, and exposes the surviving in-flight
+work via :meth:`pending` / :meth:`latest_checkpoint` / :meth:`resume`.
+Metrics live under the ``durable/`` namespace of the store's registry:
+``bytes_written``, ``records``, ``fsyncs``, ``rotations``,
+``compactions``, ``checkpoints``, ``recovered_runs``, ``torn_tails``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Dict, Optional
+
+from repro.durable.recovery import PendingRun, RecoveredState, RecoveryManager
+from repro.durable.wal import (
+    append_record,
+    fsync_dir,
+    fsync_handle,
+    replace_file,
+)
+from repro.errors import RecoveryError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["CheckpointStore", "FSYNC_POLICIES"]
+
+#: ``"always"`` fsyncs every append (full durability); ``"rotate"`` only
+#: at rotation/compaction/close (a crash loses at most one segment's
+#: recent appends); ``"never"`` leaves flushing to the OS (tests only).
+FSYNC_POLICIES = ("always", "rotate", "never")
+
+
+class CheckpointStore:
+    """A write-ahead checkpoint store rooted at one directory.
+
+    Args:
+        root: directory for the segments (created if missing).
+        segment_bytes: rotation threshold for the active segment.
+        fsync: one of :data:`FSYNC_POLICIES`.
+        metrics: registry for the ``durable/`` counters (a private one is
+            created when omitted).
+        auto_truncate: repair a torn tail on open (default).  Disable to
+            fail loudly instead — the tail is then reported via
+            ``recovered.torn_tail`` but the file is left untouched.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        segment_bytes: int = 4 * 1024 * 1024,
+        fsync: str = "always",
+        metrics: Optional[MetricsRegistry] = None,
+        auto_truncate: bool = True,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; expected one of {FSYNC_POLICIES}"
+            )
+        if segment_bytes < 1:
+            raise ValueError("segment_bytes must be >= 1")
+        self.root = os.fspath(root)
+        self.segment_bytes = segment_bytes
+        self.fsync = fsync
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        os.makedirs(self.root, exist_ok=True)
+        #: What the opening replay reconstructed (kept for introspection).
+        self.recovered: RecoveredState = RecoveryManager(self.root).recover()
+        if self.recovered.torn_tail is not None:
+            path, good_length, _damage = self.recovered.torn_tail
+            if auto_truncate:
+                with open(path, "r+b") as handle:
+                    handle.truncate(good_length)
+                    fsync_handle(handle)
+                self.metrics.inc("durable/torn_tails")
+        self._pending: Dict[str, PendingRun] = dict(self.recovered.pending)
+        self._done = set(self.recovered.done)
+        self._segment_index = self.recovered.next_segment_index
+        self._handle: Any = None
+        self._segment_size = 0
+        self._closed = False
+        # Appends come from many threads (the query service journals from
+        # the caller thread and checkpoints from worker threads); one lock
+        # serializes the log so records never interleave mid-frame.
+        self._lock = threading.RLock()
+        self.metrics.set_counter(
+            "durable/recovered_runs", len(self._pending)
+        )
+        self._open_segment(self._segment_index)
+
+    # -- the write side ---------------------------------------------------------
+
+    def journal_request(self, rid: str, payload: Any) -> None:
+        """Journal one admitted unit of work under *rid* (JSON payload)."""
+        with self._lock:
+            self._append({"kind": "request", "rid": rid, "data": payload})
+            run = self._pending.setdefault(rid, PendingRun(rid))
+            run.request = payload
+            self._done.discard(rid)
+
+    def write_checkpoint(self, rid: str, checkpoint: Any) -> None:
+        """Persist *checkpoint* (a
+        :class:`~repro.robust.checkpoint.Checkpoint`) as the newest
+        durable state of *rid*."""
+        from repro.robust.checkpoint import _to_payload
+
+        payload = _to_payload(checkpoint)
+        with self._lock:
+            self._append({"kind": "checkpoint", "rid": rid, "data": payload})
+            run = self._pending.setdefault(rid, PendingRun(rid))
+            run.checkpoint_payload = payload
+            run.checkpoints_seen += 1
+            self._done.discard(rid)
+            self.metrics.inc("durable/checkpoints")
+
+    def mark_done(self, rid: str) -> None:
+        """Record that *rid* needs no recovery (finished, or its outcome
+        was delivered).  Idempotent; unknown ids are fine."""
+        with self._lock:
+            if rid in self._done:
+                return
+            self._append({"kind": "done", "rid": rid})
+            self._pending.pop(rid, None)
+            self._done.add(rid)
+
+    def sync(self) -> None:
+        """Force everything appended so far onto the disk."""
+        with self._lock:
+            if self._handle is not None:
+                fsync_handle(self._handle)
+                self.metrics.inc("durable/fsyncs")
+
+    # -- the read side ----------------------------------------------------------
+
+    def pending(self) -> Dict[str, PendingRun]:
+        """The in-flight runs (journalled or checkpointed, not done),
+        newest state per id — a snapshot copy."""
+        with self._lock:
+            return dict(self._pending)
+
+    def latest_checkpoint(self, rid: str) -> Optional[Any]:
+        """The newest durable :class:`~repro.robust.checkpoint.Checkpoint`
+        of *rid*, or ``None`` when the run never reached one.  A payload
+        written by an unknown future format raises the checkpoint layer's
+        :class:`~repro.errors.CheckpointError`."""
+        from repro.robust.checkpoint import _from_payload
+
+        run = self._pending.get(rid)
+        if run is None or run.checkpoint_payload is None:
+            return None
+        return _from_payload(run.checkpoint_payload)
+
+    def resume(self, rid: str, program: Any, governor: Any = None, tracer: Any = None):
+        """Restore *rid*'s newest checkpoint against *program* and run it
+        to completion; marks the run done and returns the database.
+
+        Raises:
+            RecoveryError: *rid* is not a pending run, or it crashed
+                before its first durable checkpoint (nothing to resume —
+                re-run it from the journalled request instead).
+        """
+        from repro.robust.checkpoint import resume as resume_checkpoint
+
+        if rid not in self._pending:
+            known = ", ".join(repr(r) for r in sorted(self._pending)) or "none"
+            raise RecoveryError(
+                f"no recoverable run {rid!r} in {self.root} "
+                f"(pending runs: {known})"
+            )
+        checkpoint = self.latest_checkpoint(rid)
+        if checkpoint is None:
+            raise RecoveryError(
+                f"run {rid!r} in {self.root} crashed before its first "
+                "durable checkpoint — re-run it from the journalled request"
+            )
+        db = resume_checkpoint(checkpoint, program, governor=governor, tracer=tracer)
+        self.mark_done(rid)
+        return db
+
+    def next_numeric_rid(self) -> int:
+        """One more than the largest integer-shaped run id ever seen
+        (pending *or* done) — the query service seeds its request counter
+        here so restarted services never reuse a journalled id."""
+        with self._lock:
+            known = list(self._pending) + list(self._done)
+        ceiling = -1
+        for rid in known:
+            try:
+                ceiling = max(ceiling, int(rid))
+            except ValueError:
+                continue
+        return ceiling + 1
+
+    # -- maintenance ------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite the live state into one fresh segment and drop the
+        rest; returns bytes reclaimed.  Crash-safe at every boundary (see
+        the module docstring)."""
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> int:
+        old_paths = [
+            path
+            for path in RecoveryManager(self.root).segments()
+            if os.path.exists(path)
+        ]
+        old_bytes = sum(os.path.getsize(path) for path in old_paths)
+        if self._handle is not None:
+            fsync_handle(self._handle)
+            self._handle.close()
+            self._handle = None
+        index = self._segment_index + 1
+        final = self._segment_path(index)
+        tmp = final + ".tmp"
+        written = 0
+        with open(tmp, "wb") as handle:
+            for rid in sorted(self._pending):
+                run = self._pending[rid]
+                if run.request is not None:
+                    written += append_record(
+                        handle,
+                        _encode({"kind": "request", "rid": rid, "data": run.request}),
+                    )
+                if run.checkpoint_payload is not None:
+                    written += append_record(
+                        handle,
+                        _encode(
+                            {
+                                "kind": "checkpoint",
+                                "rid": rid,
+                                "data": run.checkpoint_payload,
+                            }
+                        ),
+                    )
+            fsync_handle(handle)
+        replace_file(tmp, final)
+        for path in old_paths:
+            os.unlink(path)
+        fsync_dir(self.root)
+        # ``done`` markers for compacted-away runs are gone with the old
+        # segments; the ids are gone too, so nothing resurrects.
+        self._done.clear()
+        self._segment_index = index
+        self._open_segment(index + 1)
+        self.metrics.inc("durable/compactions")
+        self.metrics.inc("durable/bytes_written", written)
+        return max(0, old_bytes - written)
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``durable/`` counters plus live shape, JSON-ready."""
+        counters = {
+            name[len("durable/") :]: value
+            for name, value in self.metrics.counters.items()
+            if name.startswith("durable/")
+        }
+        return {
+            "root": self.root,
+            "pending": len(self._pending),
+            "segment": os.path.basename(self._segment_path(self._segment_index)),
+            "counters": counters,
+        }
+
+    def close(self) -> None:
+        """Sync and close the active segment (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._handle is not None:
+                if self.fsync != "never":
+                    fsync_handle(self._handle)
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "CheckpointStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- internals --------------------------------------------------------------
+
+    def _segment_path(self, index: int) -> str:
+        return os.path.join(self.root, f"wal-{index:08d}.log")
+
+    def _open_segment(self, index: int) -> None:
+        self._segment_index = index
+        path = self._segment_path(index)
+        self._handle = open(path, "ab")
+        self._segment_size = os.path.getsize(path)
+        fsync_dir(self.root)
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            raise ValueError(f"checkpoint store {self.root} is closed")
+        written = append_record(self._handle, _encode(record))
+        self._segment_size += written
+        self.metrics.inc("durable/records")
+        self.metrics.inc("durable/bytes_written", written)
+        if self.fsync == "always":
+            fsync_handle(self._handle)
+            self.metrics.inc("durable/fsyncs")
+        if self._segment_size >= self.segment_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        # The outgoing segment is always synced, whatever the policy:
+        # rotation is the invariant that confines damage to the final
+        # segment's tail.
+        fsync_handle(self._handle)
+        self.metrics.inc("durable/fsyncs")
+        self._handle.close()
+        self._open_segment(self._segment_index + 1)
+        self.metrics.inc("durable/rotations")
+
+
+def _encode(record: Dict[str, Any]) -> bytes:
+    return json.dumps(record, separators=(",", ":")).encode("utf-8")

@@ -1,0 +1,212 @@
+"""Write-ahead-log primitives: checksummed, length-prefixed records.
+
+One WAL record on disk is::
+
+    [ length : uint32 LE ][ crc32(payload) : uint32 LE ][ payload bytes ]
+
+Payloads are UTF-8 JSON (the store's record vocabulary lives in
+:mod:`repro.durable.store`); the framing layer neither knows nor cares.
+Two invariants make the format crash-safe:
+
+* **Append-only + CRC**: a record is valid iff its header parses, its
+  length is sane, every payload byte is present and the CRC matches.
+  A crash mid-``write(2)`` leaves a *torn tail* — a record whose bytes
+  stop early or whose CRC disagrees — and nothing after it, because
+  appends are strictly sequential.
+* **Tail-only damage**: with the fsync discipline the store applies
+  (fsync before rotation, fsync-on-append by default), damage can only
+  ever appear at the end of the *last* segment.  :func:`scan_segment`
+  therefore reports where the valid prefix ends; the recovery layer
+  truncates a torn tail on the final segment and treats damage anywhere
+  else as :class:`~repro.errors.WalCorruptionError` — the storage lied,
+  and no record after the damage can be trusted.
+
+The module-level ``_CRASH_HOOK`` slot is patched by
+:func:`repro.robust.faults.inject` so the chaos suite can simulate
+process death at the ``wal.write`` / ``wal.fsync`` / ``wal.replace``
+boundaries, including torn writes that persist only a prefix of the
+record (see :class:`~repro.robust.faults.TornWrite`).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, BinaryIO, List, Optional, Tuple
+
+from repro.errors import WalCorruptionError
+
+__all__ = [
+    "HEADER",
+    "MAX_RECORD_BYTES",
+    "frame",
+    "append_record",
+    "fsync_handle",
+    "fsync_dir",
+    "replace_file",
+    "scan_segment",
+    "SegmentScan",
+]
+
+#: Record header: payload length then CRC32 of the payload, both LE uint32.
+HEADER = struct.Struct("<II")
+
+#: Sanity bound on one record; a parsed length beyond it is corruption,
+#: not a huge record (checkpoints are a few MiB at the very most).
+MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+# Crash-point hook slot, patched by repro.robust.faults.inject for the
+# crash-matrix suite; None (one is-None check per operation) otherwise.
+_CRASH_HOOK: Any = None
+
+
+def frame(payload: bytes) -> bytes:
+    """The on-disk bytes of one record holding *payload*."""
+    return HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def append_record(handle: BinaryIO, payload: bytes) -> int:
+    """Append one framed record to *handle*; returns the bytes written.
+
+    The ``wal.write`` crash point fires before any byte is written.  A
+    :class:`~repro.robust.faults.TornWrite` from the hook makes this
+    function persist only a prefix of the record (at least one byte
+    written, at least one byte lost) before re-raising — the on-disk
+    residue of a power cut mid-append.
+    """
+    record = frame(payload)
+    hook = _CRASH_HOOK
+    if hook is not None:
+        try:
+            hook("wal.write")
+        except Exception as exc:
+            fraction = getattr(exc, "fraction", None)
+            if fraction is not None:
+                cut = int(len(record) * fraction)
+                cut = max(1, min(len(record) - 1, cut))
+                handle.write(record[:cut])
+                handle.flush()
+                os.fsync(handle.fileno())
+            raise
+    handle.write(record)
+    return len(record)
+
+
+def fsync_handle(handle: BinaryIO) -> None:
+    """Flush and fsync *handle* (the ``wal.fsync`` crash point fires
+    first, so a simulated crash here leaves buffered-but-unsynced data —
+    which the OS, in these tests the same process, still holds)."""
+    hook = _CRASH_HOOK
+    if hook is not None:
+        hook("wal.fsync")
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def fsync_dir(path: str) -> None:
+    """fsync the directory *path* so a just-created/renamed entry is
+    durable.  A no-op on platforms that refuse O_RDONLY directory fds."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
+def replace_file(tmp_path: str, final_path: str) -> None:
+    """Atomically publish *tmp_path* as *final_path* (``os.replace``),
+    then fsync the containing directory.  The ``wal.replace`` crash point
+    fires before the rename — a crash there leaves the temp file behind
+    and the final path untouched, which recovery ignores."""
+    hook = _CRASH_HOOK
+    if hook is not None:
+        hook("wal.replace")
+    os.replace(tmp_path, final_path)
+    fsync_dir(os.path.dirname(final_path) or ".")
+
+
+@dataclass
+class SegmentScan:
+    """The outcome of scanning one segment file.
+
+    Attributes:
+        payloads: every valid payload, in append order.
+        good_length: byte offset where the valid prefix ends (the whole
+            file when clean).
+        torn: whether bytes past ``good_length`` exist but do not form a
+            valid record reaching the end of the file (a torn tail).
+        damage: human-readable account of the invalid tail, or ``None``.
+    """
+
+    payloads: List[bytes]
+    good_length: int
+    torn: bool = False
+    damage: Optional[str] = None
+
+
+def scan_segment(path: str) -> SegmentScan:
+    """Read every valid record of the segment at *path*.
+
+    Distinguishes the two failure shapes:
+
+    * damage that extends to the end of the file — a **torn tail**, the
+      normal residue of a crash mid-append; reported via ``torn`` and
+      truncatable at ``good_length``;
+    * damage **followed by more data** — a later record starts after the
+      broken one, which sequential appends cannot produce; raises
+      :class:`~repro.errors.WalCorruptionError` naming the segment,
+      offset and reason.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    payloads: List[bytes] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        damage, end = _record_damage(data, offset)
+        if damage is not None:
+            if end >= total:
+                return SegmentScan(payloads, offset, torn=True, damage=damage)
+            raise WalCorruptionError(
+                f"WAL segment {os.path.basename(path)} is corrupt at byte "
+                f"{offset}: {damage}, but {total - end} more bytes follow — "
+                "mid-log damage cannot come from a crash, refusing to recover"
+            )
+        length, _crc = HEADER.unpack_from(data, offset)
+        start = offset + HEADER.size
+        payloads.append(data[start : start + length])
+        offset = start + length
+    return SegmentScan(payloads, offset)
+
+
+def _record_damage(data: bytes, offset: int) -> Tuple[Optional[str], int]:
+    """Validate the record starting at *offset*; returns ``(damage,
+    end)`` where *damage* is ``None`` for a valid record and *end* is the
+    first byte the damaged region could extend to (used to decide
+    torn-tail vs mid-log corruption)."""
+    total = len(data)
+    if total - offset < HEADER.size:
+        return (
+            f"truncated header ({total - offset} of {HEADER.size} bytes)",
+            total,
+        )
+    length, crc = HEADER.unpack_from(data, offset)
+    if length > MAX_RECORD_BYTES:
+        # An impossible length usually means the header bytes themselves
+        # are garbage; the "end" of such a record is unknowable, so treat
+        # everything to EOF as the damaged region.
+        return (f"impossible record length {length}", total)
+    start = offset + HEADER.size
+    end = start + length
+    if end > total:
+        return (f"truncated payload ({total - start} of {length} bytes)", total)
+    if zlib.crc32(data[start:end]) != crc:
+        return ("payload CRC mismatch", end)
+    return None, end

@@ -19,6 +19,9 @@ __all__ = [
     "BudgetExceeded",
     "Cancelled",
     "CheckpointError",
+    "DurabilityError",
+    "WalCorruptionError",
+    "RecoveryError",
 ]
 
 
@@ -98,6 +101,27 @@ class CheckpointError(EvaluationError):
     version, or a program fingerprint mismatch (the checkpoint was
     captured from a different program — resuming it would silently
     corrupt the run, since memo state is keyed by rule index)."""
+
+
+class DurabilityError(ReproError):
+    """Base class for the durable checkpoint store's failures
+    (:mod:`repro.durable`): log corruption and unrecoverable state."""
+
+
+class WalCorruptionError(DurabilityError):
+    """Raised when a write-ahead-log record fails its integrity check
+    somewhere other than the final segment's tail: a CRC mismatch, an
+    impossible record length, or a torn record *followed by* more data.
+    A torn tail — the expected residue of a crash mid-append — is not an
+    error; recovery truncates it silently.  Corruption in the middle of
+    the log means the storage itself lied (bit rot, concurrent writers,
+    manual edits) and no record after the damage can be trusted."""
+
+
+class RecoveryError(DurabilityError):
+    """Raised when recovery cannot produce a usable run from the durable
+    store: the requested run id was never journalled, or the store holds
+    no resumable state for it."""
 
 
 class Cancelled(EvaluationError):

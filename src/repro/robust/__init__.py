@@ -38,6 +38,8 @@ from repro.robust.faults import (
     FaultInjectionError,
     FaultInjector,
     FaultPlan,
+    SimulatedCrash,
+    TornWrite,
     inject,
 )
 from repro.robust.governor import (
@@ -71,6 +73,8 @@ __all__ = [
     "FaultInjectionError",
     "FaultInjector",
     "FaultPlan",
+    "SimulatedCrash",
+    "TornWrite",
     "inject",
     "RetryPolicy",
     "is_transient",

@@ -53,6 +53,8 @@ __all__ = [
     "restore",
     "resume",
     "program_fingerprint",
+    "encode_value",
+    "decode_value",
     "CHECKPOINT_VERSION",
 ]
 
@@ -229,10 +231,12 @@ def resume(
 
 
 def save(cp: Checkpoint, path: str) -> None:
-    """Write *cp* to *path* as JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps(cp))
-        handle.write("\n")
+    """Write *cp* to *path* as JSON, atomically: a crash mid-save leaves
+    the previous checkpoint file (if any) untouched instead of a torn,
+    unloadable one."""
+    from repro.storage.io import atomic_write_text
+
+    atomic_write_text(path, dumps(cp) + "\n")
 
 
 def load(path: str) -> Checkpoint:
@@ -302,6 +306,19 @@ def _from_payload(payload: Dict[str, Any]) -> Checkpoint:
         choice_log=[tuple(entry) for entry in _decode(payload.get("choice_log", []))],
         metrics=payload.get("metrics", {}),
     )
+
+
+def encode_value(value: Any) -> Any:
+    """Public JSON-encoding of a ground value (tuples → arrays,
+    recursively).  The durable store journals request payloads with this
+    so nested fact tuples survive the round trip; inverse of
+    :func:`decode_value`."""
+    return _encode(value)
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` (arrays → tuples, recursively)."""
+    return _decode(value)
 
 
 def _encode(value: Any) -> Any:

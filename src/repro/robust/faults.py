@@ -22,6 +22,17 @@ Sites:
 * ``engine.gamma`` — each γ firing attempt (choice step, ``next`` step,
   RQL pop);
 * ``engine.saturate`` — each differential saturation round.
+
+The durability layer (:mod:`repro.durable`) adds the *crash points* —
+``wal.write`` / ``wal.fsync`` / ``wal.replace``, visited immediately
+before the corresponding I/O — and two modes that simulate process
+death: ``crash`` raises :class:`SimulatedCrash` before the operation
+runs, and ``torn`` (meaningful at ``wal.write``) makes the store write
+only a prefix of the record before crashing, leaving a torn tail on
+disk exactly as a power cut mid-``write(2)`` would.  The
+``crash_after=N`` option of :func:`inject` shares one countdown across
+every crash point, so a crash matrix can enumerate "die at the N-th
+durability operation, whatever it happens to be".
 """
 
 from __future__ import annotations
@@ -40,12 +51,22 @@ from repro.storage.relation import Relation
 __all__ = [
     "FaultInjected",
     "FaultInjectionError",
+    "SimulatedCrash",
+    "TornWrite",
     "FaultPlan",
     "FaultInjector",
     "inject",
     "SITES",
+    "CRASH_SITES",
     "MODES",
 ]
+
+#: The durability-layer crash points (visited right before the I/O call).
+CRASH_SITES = (
+    "wal.write",
+    "wal.fsync",
+    "wal.replace",
+)
 
 #: Every injection site understood by :func:`inject`.
 SITES = (
@@ -54,10 +75,10 @@ SITES = (
     "heap.pop",
     "engine.gamma",
     "engine.saturate",
-)
+) + CRASH_SITES
 
 #: The supported injection modes.
-MODES = ("error", "delay", "wake")
+MODES = ("error", "delay", "wake", "crash", "torn")
 
 
 class FaultInjected(ReproError):
@@ -67,6 +88,34 @@ class FaultInjected(ReproError):
     the documented contract ("every failure is a clean ``ReproError``")
     need no special case for injected faults.
     """
+
+
+class SimulatedCrash(ReproError):
+    """Simulated process death, raised at a durability crash point.
+
+    Deliberately *not* a :class:`FaultInjected` subclass: the retry
+    machinery treats injected chaos faults as transient and heals them
+    in-process, but a crash models the process being gone — the only
+    valid recovery is reopening the durable store, which is exactly what
+    the crash-matrix suite exercises.
+    """
+
+
+class TornWrite(SimulatedCrash):
+    """A crash *during* a WAL append: the store writes only ``fraction``
+    of the record's bytes before dying, leaving a torn tail for recovery
+    to truncate.  Raised by a ``torn``-mode plan at ``wal.write``; the
+    WAL catches it, performs the partial write, and re-raises.
+
+    Attributes:
+        fraction: portion of the record that reaches the disk (clamped by
+            the WAL so at least one byte is written and at least one is
+            lost).
+    """
+
+    def __init__(self, message: str, fraction: float = 0.5):
+        super().__init__(message)
+        self.fraction = fraction
 
 
 class FaultInjectionError(ReproError):
@@ -86,7 +135,10 @@ class FaultPlan:
         mode: ``"error"`` raises :class:`FaultInjected`; ``"delay"``
             sleeps ``delay_s``; ``"wake"`` is a benign no-op visit (a
             spurious wake — proves extra hook invocations cannot corrupt
-            state).
+            state); ``"crash"`` raises :class:`SimulatedCrash` before the
+            operation; ``"torn"`` raises :class:`TornWrite` (a crash that
+            leaves a partial record behind — only ``wal.write`` honours
+            the partial-write part).
         nth: the 1-based visit count at which the fault fires.
         delay_s: sleep duration for ``"delay"`` mode.
         repeat: fire on every ``nth``-th visit instead of only the first.
@@ -113,13 +165,21 @@ class FaultInjector:
 
     Attributes:
         plans: the scheduled faults (several may target one site).
+        crash_after: when set, one countdown shared by every
+            :data:`CRASH_SITES` visit — the *N*-th durability operation
+            (write, fsync or replace, whichever comes N-th) raises
+            :class:`SimulatedCrash`.  Orthogonal to per-site plans.
         hits: per-site visit counters.
+        crash_hits: combined visit count across the crash sites (the
+            counter ``crash_after`` is checked against).
         fired: log of ``(site, mode, visit)`` triples for faults that
             actually triggered.
     """
 
     plans: List[FaultPlan] = field(default_factory=list)
+    crash_after: Optional[int] = None
     hits: Dict[str, int] = field(default_factory=dict)
+    crash_hits: int = 0
     fired: List[Tuple[str, str, int]] = field(default_factory=list)
     # Visit counting must be exact under the concurrent soak (workers in
     # many threads share the one injector), so the counters are guarded.
@@ -144,9 +204,15 @@ class FaultInjector:
 
     def __call__(self, site: str) -> None:
         due_plans: List[FaultPlan] = []
+        crash_point: Optional[int] = None
         with self._lock:
             count = self.hits.get(site, 0) + 1
             self.hits[site] = count
+            if site in CRASH_SITES:
+                self.crash_hits += 1
+                if self.crash_after is not None and self.crash_hits == self.crash_after:
+                    crash_point = self.crash_hits
+                    self.fired.append((site, "crash", count))
             for plan in self.plans:
                 if plan.site != site:
                     continue
@@ -159,10 +225,22 @@ class FaultInjector:
                 due_plans.append(plan)
         # Raise/sleep outside the lock so a fired fault cannot serialize
         # or deadlock concurrent visits from other worker threads.
+        if crash_point is not None:
+            raise SimulatedCrash(
+                f"simulated crash at {site} (crash point {crash_point})"
+            )
         for plan in due_plans:
             if plan.mode == "error":
                 raise FaultInjected(
                     f"injected fault at {site} (visit {count}, nth={plan.nth})"
+                )
+            if plan.mode == "crash":
+                raise SimulatedCrash(
+                    f"simulated crash at {site} (visit {count}, nth={plan.nth})"
+                )
+            if plan.mode == "torn":
+                raise TornWrite(
+                    f"simulated torn write at {site} (visit {count}, nth={plan.nth})"
                 )
             if plan.mode == "delay":
                 time.sleep(plan.delay_s)
@@ -179,12 +257,18 @@ _active_injector: Optional[FaultInjector] = None
 
 
 @contextmanager
-def inject(injector: Optional[FaultInjector]) -> Iterator[Optional[FaultInjector]]:
+def inject(
+    injector: Optional[FaultInjector], crash_after: Optional[int] = None
+) -> Iterator[Optional[FaultInjector]]:
     """Install *injector* into every hook slot for the block's duration.
 
     ``inject(None)`` is a no-op passthrough (convenient for parametrized
-    chaos tests that include a fault-free control run).  Hooks are always
-    restored, even when the block raises.
+    chaos tests that include a fault-free control run) — unless
+    *crash_after* is given, which builds a fresh injector on the spot.
+    ``crash_after=N`` arms the shared crash-point countdown on the
+    injector: the *N*-th visit to any :data:`CRASH_SITES` hook raises
+    :class:`SimulatedCrash`.  Hooks are always restored, even when the
+    block raises.
 
     One injection may be active per process: the hook slots are
     class-level, so entering ``inject`` again — from a nested block or
@@ -193,14 +277,21 @@ def inject(injector: Optional[FaultInjector]) -> Iterator[Optional[FaultInjector
     :class:`FaultInjector` several plans.
     """
     global _active_injector
+    if crash_after is not None:
+        if crash_after < 1:
+            raise ValueError("crash_after must be >= 1")
+        if injector is None:
+            injector = FaultInjector()
+        injector.crash_after = crash_after
     if injector is None:
         yield None
         return
     # Engine modules import the storage layer (never the reverse), so the
-    # core hooks are resolved lazily here to keep repro.robust importable
-    # from the storage layer as well.
+    # core and durability hooks are resolved lazily here to keep
+    # repro.robust importable from the storage layer as well.
     from repro.core import clique_eval
     from repro.core.engine_base import BaseEngine
+    from repro.durable import wal
 
     with _active_lock:
         if _active_injector is not None:
@@ -215,11 +306,13 @@ def inject(injector: Optional[FaultInjector]) -> Iterator[Optional[FaultInjector
         (PriorityQueue, "_fault_hook", PriorityQueue._fault_hook),
         (BaseEngine, "_fault_hook", BaseEngine._fault_hook),
         (clique_eval, "_FAULT_HOOK", clique_eval._FAULT_HOOK),
+        (wal, "_CRASH_HOOK", wal._CRASH_HOOK),
     ]
     Relation._fault_hook = injector
     PriorityQueue._fault_hook = injector
     BaseEngine._fault_hook = injector
     clique_eval._FAULT_HOOK = injector
+    wal._CRASH_HOOK = injector
     try:
         yield injector
     finally:

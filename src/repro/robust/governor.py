@@ -125,7 +125,9 @@ class _NullGovernor:
     __slots__ = ()
     enabled = False
 
-    def start(self, db: Any, registry: Any = None, tracer: Any = None) -> None:
+    def start(
+        self, db: Any, registry: Any = None, tracer: Any = None, engine: Any = None
+    ) -> None:
         return None
 
     def tick_gamma(self) -> None:
@@ -154,6 +156,11 @@ class RunGovernor:
             count, memory).  Step caps and the token are checked on every
             tick regardless.
         clock: monotonic time source (injectable for tests).
+        durability: optional :class:`~repro.durable.policy.DurableWriter`;
+            the governor forwards every tick to it (one is-``None`` check
+            when absent) and binds it to the engine/database at
+            :meth:`start`, so governed runs stream crash-safe checkpoints
+            at the writer's cadence.
 
     A governor instance is single-run state (deadline, counters); create
     a fresh one per run — in particular, resuming from a checkpoint under
@@ -168,6 +175,7 @@ class RunGovernor:
         token: CancelToken | None = None,
         check_interval: int = 16,
         clock: Any = time.monotonic,
+        durability: Any = None,
     ):
         if check_interval < 1:
             raise ValueError("check_interval must be >= 1")
@@ -175,6 +183,7 @@ class RunGovernor:
         self.token = token
         self.check_interval = check_interval
         self.clock = clock
+        self._durability = durability
         #: γ-step ticks observed so far.
         self.gamma_steps = 0
         #: saturation-round ticks observed so far.
@@ -189,15 +198,20 @@ class RunGovernor:
 
     # -- lifecycle ------------------------------------------------------------
 
-    def start(self, db: Any, registry: Any = None, tracer: Any = None) -> None:
+    def start(
+        self, db: Any, registry: Any = None, tracer: Any = None, engine: Any = None
+    ) -> None:
         """Arm the governor for a run: bind the database (for the fact
-        cap), start the wall-clock deadline, and publish the
-        ``governor/`` gauges into *registry*."""
+        cap), start the wall-clock deadline, publish the ``governor/``
+        gauges into *registry*, and bind the durability writer (when one
+        is attached) to *engine* and *db* so it can capture checkpoints."""
         self._db = db
         self._registry = registry
         self._tracer = tracer
         if self.budget.wall_clock is not None:
             self._deadline = self.clock() + self.budget.wall_clock
+        if self._durability is not None and engine is not None:
+            self._durability.start(engine, db)
         if registry is not None:
             registry.set_counter("governor/enabled", 1)
             self._publish()
@@ -218,6 +232,9 @@ class RunGovernor:
         token = self.token
         if token is not None and token.cancelled:
             self._cancel(token.reason)
+        durability = self._durability
+        if durability is not None:
+            durability.tick()
         self._ticks += 1
         if self._ticks % self.check_interval == 0:
             self.check_now()
@@ -232,6 +249,9 @@ class RunGovernor:
         token = self.token
         if token is not None and token.cancelled:
             self._cancel(token.reason)
+        durability = self._durability
+        if durability is not None:
+            durability.tick()
         self._ticks += 1
         if self._ticks % self.check_interval == 0:
             self.check_now()

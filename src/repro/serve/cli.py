@@ -86,6 +86,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print service stats and health as JSON after the summary",
     )
+    parser.add_argument(
+        "--durable-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "journal admitted requests into a crash-safe checkpoint store "
+            "at DIR; on startup, runs a previous process left unfinished "
+            "are recovered and resubmitted (see docs/durability.md)"
+        ),
+    )
     return parser
 
 
@@ -176,15 +186,30 @@ def serve_main(argv: Sequence[str] | None = None, out=None) -> int:
 
     from repro.robust.retry import RetryPolicy
 
+    store = None
+    if args.durable_dir:
+        from repro.durable import CheckpointStore
+
+        store = CheckpointStore(args.durable_dir)
     failures = 0
     service = QueryService(
         workers=args.workers,
         queue_capacity=args.queue_capacity,
         retry=RetryPolicy(max_attempts=args.max_attempts),
         seed=args.seed,
+        store=store,
     )
     try:
         tickets: List[Optional[Any]] = []
+        if store is not None:
+            recovered = service.recover()
+            if recovered:
+                print(
+                    f"recovered {len(recovered)} unfinished run(s) from "
+                    f"{args.durable_dir}: {', '.join(sorted(recovered))}",
+                    file=out,
+                )
+                tickets.extend(recovered.values())
         for index, request in enumerate(requests):
             try:
                 tickets.append(service.submit(request))
@@ -210,8 +235,10 @@ def serve_main(argv: Sequence[str] | None = None, out=None) -> int:
             print(response.summary(), file=out)
     finally:
         service.close()
+        if store is not None:
+            store.close()
 
-    total = len(requests)
+    total = len(tickets)
     print(
         f"\n{total - failures}/{total} requests ok or degraded "
         f"({failures} failed/rejected)",

@@ -84,6 +84,62 @@ class QueryRequest:
         digest = hashlib.sha256(self.program.encode("utf-8")).hexdigest()[:8]
         return f"{self.engine}:{digest}"
 
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-ready account of this request, complete enough that a
+        restarted process can rebuild and re-run it
+        (:meth:`from_payload`).  Used by the durable store's request
+        journal; nested fact tuples and a ``resume_from`` checkpoint
+        survive the round trip."""
+        from repro.robust.checkpoint import _to_payload, encode_value
+
+        return {
+            "program": self.program,
+            "facts": {
+                name: encode_value(list(rows)) for name, rows in self.facts.items()
+            },
+            "engine": self.engine,
+            "seed": self.seed,
+            "budget": (
+                {
+                    "wall_clock": self.budget.wall_clock,
+                    "max_gamma_steps": self.budget.max_gamma_steps,
+                    "max_rounds": self.budget.max_rounds,
+                    "max_facts": self.budget.max_facts,
+                    "max_memory_mb": self.budget.max_memory_mb,
+                }
+                if self.budget is not None
+                else None
+            ),
+            "deadline": self.deadline,
+            "klass": self.klass,
+            "resume_from": (
+                _to_payload(self.resume_from) if self.resume_from is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "QueryRequest":
+        """Rebuild a request journalled by :meth:`to_payload`."""
+        from repro.robust.checkpoint import _from_payload, decode_value
+
+        budget = payload.get("budget")
+        resume_from = payload.get("resume_from")
+        return cls(
+            program=payload["program"],
+            facts={
+                name: list(decode_value(rows))
+                for name, rows in payload.get("facts", {}).items()
+            },
+            engine=payload.get("engine", "rql"),
+            seed=payload.get("seed"),
+            budget=Budget(**budget) if budget is not None else None,
+            deadline=payload.get("deadline"),
+            klass=payload.get("klass"),
+            resume_from=(
+                _from_payload(resume_from) if resume_from is not None else None
+            ),
+        )
+
 
 @dataclass
 class QueryResponse:

@@ -132,6 +132,16 @@ class QueryService:
             seeded ``(seed, n)`` so a soak run's backoff schedule is
             reproducible.
         clock: monotonic time source (injectable for tests).
+        store: optional :class:`~repro.durable.store.CheckpointStore`.
+            With one attached, every admitted request is journalled, its
+            run streams crash-safe checkpoints at the durability cadence,
+            and terminal requests are marked done — a restarted service
+            opened on the same store reports the survivors via
+            :meth:`recover`.  Request ids are seeded past every id the
+            store has ever journalled, so restarts never collide.
+        durability: the checkpoint cadence
+            (:class:`~repro.durable.policy.DurabilityPolicy`); defaults
+            to the policy's own default when a *store* is attached.
     """
 
     def __init__(
@@ -146,9 +156,13 @@ class QueryService:
         trace: bool = False,
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
+        store: Any = None,
+        durability: Any = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        self.store = store
+        self.durability = durability
         self.retry = retry if retry is not None else RetryPolicy()
         self.transient = transient
         self.failure_threshold = failure_threshold
@@ -162,7 +176,7 @@ class QueryService:
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._breakers_lock = threading.Lock()
         self._id_lock = threading.Lock()
-        self._next_id = 0
+        self._next_id = store.next_numeric_rid() if store is not None else 0
         self._inflight = 0
         self._closed = False
         self._stop = threading.Event()
@@ -204,6 +218,10 @@ class QueryService:
         ticket = Ticket(request_id, request, submitted_at=now)
         if request.deadline is not None:
             ticket.deadline = now + request.deadline
+        if self.store is not None:
+            # Journal before offering: once the caller holds a ticket, the
+            # request is recoverable even if this process dies immediately.
+            self.store.journal_request(str(request_id), request.to_payload())
         try:
             self.queue.offer(ticket, deadline=ticket.deadline)
         except Overloaded:
@@ -211,6 +229,10 @@ class QueryService:
             # The breaker granted this request (possibly consuming a
             # half-open probe slot), but it never ran — hand the slot back.
             breaker.release_probe()
+            if self.store is not None:
+                # Rejected at the door: the caller was told, nothing ran,
+                # nothing to recover.
+                self.store.mark_done(str(request_id))
             raise
         self.metrics.inc("accepted")
         self.metrics.gauge("queue_depth", self.queue.depth())
@@ -262,6 +284,8 @@ class QueryService:
         self.metrics.inc("shed")
         self._breaker(ticket.request.breaker_class()).release_probe()
         now = self.clock()
+        if self.store is not None:
+            self.store.mark_done(str(ticket.request_id))
         ticket._complete(
             QueryResponse(
                 request_id=ticket.request_id,
@@ -347,6 +371,13 @@ class QueryService:
         self.metrics.observe("latency_s", now - ticket.submitted_at)
         self.metrics.observe("queue_s", queue_s)
         self.metrics.merge_request(tracer.registry)
+        if self.store is not None:
+            # The outcome (including a degraded/cancelled checkpoint) is
+            # about to be delivered to the caller — nothing left to
+            # recover.  Retire the id *before* completing the ticket so a
+            # client that sees the response never finds its own request
+            # still pending in the store.
+            self.store.mark_done(str(ticket.request_id))
         ticket._complete(
             QueryResponse(
                 request_id=ticket.request_id,
@@ -385,7 +416,14 @@ class QueryService:
                 max_facts=budget.max_facts,
                 max_memory_mb=budget.max_memory_mb,
             )
-        governor = RunGovernor(budget, token=ticket.token)
+        writer = None
+        if self.store is not None:
+            from repro.durable.policy import DurableWriter
+
+            writer = DurableWriter(
+                self.store, str(ticket.request_id), self.durability
+            )
+        governor = RunGovernor(budget, token=ticket.token, durability=writer)
         with tracer.span(
             "request",
             phase="serve",
@@ -415,6 +453,45 @@ class QueryService:
                 )
                 db = _as_database({k: list(v) for k, v in request.facts.items()})
             return engine.run(db)
+
+    # -- recovery ---------------------------------------------------------------
+
+    def recover(self, resubmit: bool = True) -> Dict[str, Any]:
+        """Report — and by default resubmit — the runs a previous process
+        journalled but never finished.
+
+        A run is recoverable when its request was journalled and no
+        ``done`` record followed (the process died before delivering the
+        outcome).  Resubmission rebuilds the request from the journal; a
+        run that reached at least one durable checkpoint is resumed from
+        its newest one (``resume_from``), so a seeded request completes
+        to the byte-identical model the uninterrupted run would have
+        produced.  The journalled id is marked done once its replacement
+        is admitted — recovery is at-least-once, never silent loss.
+
+        Returns ``{journalled_id: Ticket}`` when *resubmit* is true,
+        ``{journalled_id: QueryRequest}`` otherwise (the store is then
+        left untouched).  Without a store this is an empty dict.
+        """
+        if self.store is None:
+            return {}
+        recovered: Dict[str, Any] = {}
+        for rid, run in sorted(self.store.pending().items()):
+            if run.request is None:
+                # Checkpoints without a journalled request (a bare-store
+                # writer, e.g. the CLI) are not the service's to rerun.
+                continue
+            request = QueryRequest.from_payload(run.request)
+            if run.checkpoint_payload is not None:
+                request.resume_from = self.store.latest_checkpoint(rid)
+            if not resubmit:
+                recovered[rid] = request
+                continue
+            ticket = self.submit(request)
+            self.metrics.inc("recovered")
+            self.store.mark_done(rid)
+            recovered[rid] = ticket
+        return recovered
 
     # -- breakers ---------------------------------------------------------------
 

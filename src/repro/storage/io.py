@@ -15,13 +15,52 @@ original Python values.
 
 from __future__ import annotations
 
+import os
 import re
 from pathlib import Path
 from typing import Any, Iterable, Tuple, Union
 
 from repro.storage.database import Database
 
-__all__ = ["save_facts", "load_facts", "dumps_facts", "loads_facts"]
+__all__ = [
+    "save_facts",
+    "load_facts",
+    "dumps_facts",
+    "loads_facts",
+    "atomic_write_text",
+]
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Publish *text* at *path* atomically: write a sibling temp file,
+    flush + fsync it, ``os.replace`` it into place, then fsync the
+    directory.  A crash at any point leaves either the old file intact
+    or the new one complete — never a torn mixture."""
+    final = os.fspath(path)
+    tmp = f"{final}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    try:
+        os.replace(tmp, final)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    directory = os.path.dirname(final) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
 
 _PLAIN_SYMBOL = re.compile(r"[a-z][A-Za-z0-9_]*\Z")
 _RESERVED = {"not", "choice", "least", "most", "next", "mod"}

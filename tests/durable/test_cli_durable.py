@@ -1,0 +1,203 @@
+"""CLI durability: ``--durable-dir``/``--durable-every`` and ``repro recover``.
+
+The CLI is the bare-store writer: it journals the run, streams
+checkpoints at the cadence, and on a budget stop points the operator at
+``repro recover``.  These tests drive the whole loop in-process; the
+out-of-process SIGKILL variant is ``test_sigkill.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+from repro.durable import CheckpointStore
+from repro.durable.recovery import RecoveryManager
+
+SORTING = """
+sp(nil, nil, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+DIVERGENT = "nat(0).\nnat(Y) <- nat(X), Y = X + 1.\n"
+
+
+@pytest.fixture
+def sorting_files(tmp_path):
+    program = tmp_path / "sorting.dl"
+    program.write_text(SORTING)
+    facts = tmp_path / "p.csv"
+    facts.write_text("".join(f"v{i},{(37 * i) % 101}\n" for i in range(12)))
+    return program, facts
+
+
+def _run_durable(program, facts, store_dir, *extra):
+    return cli.main(
+        [
+            str(program),
+            "--facts",
+            f"p={facts}",
+            "--seed",
+            "0",
+            "--durable-dir",
+            str(store_dir),
+            "--durable-every",
+            "1",
+            *extra,
+        ]
+    )
+
+
+class TestDurableFlags:
+    def test_completed_run_leaves_nothing_pending(self, sorting_files, tmp_path, capsys):
+        program, facts = sorting_files
+        store_dir = tmp_path / "store"
+        code = _run_durable(program, facts, store_dir)
+        assert code == 0
+        assert "sp(" in capsys.readouterr().out
+        state = RecoveryManager(store_dir).recover()
+        assert state.pending == {}
+        assert state.records > 0  # journal + checkpoints + done all landed
+
+    def test_durable_every_requires_durable_dir(self, sorting_files, capsys):
+        program, facts = sorting_files
+        code = cli.main(
+            [str(program), "--facts", f"p={facts}", "--durable-every", "4"]
+        )
+        assert code == 1
+        assert "--durable-every requires --durable-dir" in capsys.readouterr().err
+
+    def test_budget_stop_checkpoints_and_advertises_recover(
+        self, sorting_files, tmp_path, capsys
+    ):
+        program, facts = sorting_files
+        store_dir = tmp_path / "store"
+        code = _run_durable(program, facts, store_dir, "--max-steps", "4")
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "% durable: run 0 checkpointed; resume with:" in err
+        assert f"repro recover {store_dir} --resume" in err
+        run = RecoveryManager(store_dir).recover().pending["0"]
+        assert run.request is not None
+        assert run.checkpoint_payload is not None
+
+    def test_default_cadence_without_durable_every(self, sorting_files, tmp_path):
+        program, facts = sorting_files
+        store_dir = tmp_path / "store"
+        code = cli.main(
+            [
+                str(program),
+                "--facts",
+                f"p={facts}",
+                "--seed",
+                "0",
+                "--durable-dir",
+                str(store_dir),
+            ]
+        )
+        assert code == 0
+        assert RecoveryManager(store_dir).recover().pending == {}
+
+
+class TestRecoverCommand:
+    def _interrupt(self, sorting_files, tmp_path):
+        program, facts = sorting_files
+        store_dir = tmp_path / "store"
+        assert _run_durable(program, facts, store_dir, "--max-steps", "4") == 3
+        return program, facts, store_dir
+
+    def test_list_mode_is_read_only(self, sorting_files, tmp_path, capsys):
+        _, _, store_dir = self._interrupt(sorting_files, tmp_path)
+        capsys.readouterr()
+        assert cli.main(["recover", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0: request," in out
+        assert "(resumable)" in out
+        # listing must not consume the run
+        assert cli.main(["recover", str(store_dir)]) == 0
+        assert "0: request," in capsys.readouterr().out
+
+    def test_resume_matches_uninterrupted_run(self, sorting_files, tmp_path, capsys):
+        from repro.core.compiler import solve_program
+        from repro.storage.io import dumps_facts, load_facts
+
+        program, facts, store_dir = self._interrupt(sorting_files, tmp_path)
+        capsys.readouterr()
+        save_dir = tmp_path / "out"
+        assert (
+            cli.main(
+                ["recover", str(store_dir), "--resume", "--save", str(save_dir)]
+            )
+            == 0
+        )
+        assert "resumed from checkpoint" in capsys.readouterr().out
+        baseline = solve_program(
+            SORTING,
+            {"p": [(f"v{i}", (37 * i) % 101) for i in range(12)]},
+            seed=0,
+        )
+        resumed = load_facts(save_dir / "0.facts")
+        assert dumps_facts(resumed) == dumps_facts(baseline)
+
+    def test_resume_marks_runs_done(self, sorting_files, tmp_path, capsys):
+        _, _, store_dir = self._interrupt(sorting_files, tmp_path)
+        assert cli.main(["recover", str(store_dir), "--resume"]) == 0
+        capsys.readouterr()
+        assert cli.main(["recover", str(store_dir)]) == 0
+        assert "no recoverable runs" in capsys.readouterr().out
+
+    def test_resume_specific_id(self, sorting_files, tmp_path, capsys):
+        _, _, store_dir = self._interrupt(sorting_files, tmp_path)
+        assert cli.main(["recover", str(store_dir), "--resume", "--id", "0"]) == 0
+
+    def test_unknown_id_exits_2(self, sorting_files, tmp_path, capsys):
+        _, _, store_dir = self._interrupt(sorting_files, tmp_path)
+        code = cli.main(["recover", str(store_dir), "--resume", "--id", "ghost"])
+        assert code == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_corrupt_store_exits_2(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        with CheckpointStore(store_dir) as store:
+            store.journal_request("0", {"program": SORTING})
+        segment = RecoveryManager(store_dir).segments()[0]
+        from repro.durable.wal import frame
+
+        damaged = bytearray(frame(b'{"kind":"done","rid":"x"}'))
+        damaged[-1] ^= 0xFF  # CRC mismatch ...
+        with open(segment, "ab") as handle:
+            handle.write(bytes(damaged))
+            handle.write(frame(b'{"kind":"done","rid":"0"}'))  # ... mid-log
+        code = cli.main(["recover", str(store_dir)])
+        assert code == 2
+        assert "corrupt" in capsys.readouterr().err.lower()
+
+    def test_empty_store_lists_nothing(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        assert cli.main(["recover", str(store_dir)]) == 0
+        assert "no recoverable runs" in capsys.readouterr().out
+
+    def test_journal_only_run_reruns_from_request(self, sorting_files, tmp_path, capsys):
+        """A run that died before its first checkpoint still recovers:
+        the journalled request is re-run from scratch."""
+        program, facts, store_dir = self._interrupt(sorting_files, tmp_path)
+        # strip the checkpoints by planting a journal-only second run
+        with CheckpointStore(store_dir) as store:
+            store.mark_done("0")
+            pending = store.pending()
+            assert pending == {}
+            store.journal_request(
+                "1",
+                {
+                    "program": SORTING,
+                    "facts": {
+                        "p": [[f"v{i}", (37 * i) % 101] for i in range(12)]
+                    },
+                    "seed": 0,
+                },
+            )
+        capsys.readouterr()
+        assert cli.main(["recover", str(store_dir), "--resume"]) == 0
+        assert "re-run from journal" in capsys.readouterr().out
+        assert RecoveryManager(store_dir).recover().pending == {}

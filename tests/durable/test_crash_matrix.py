@@ -1,0 +1,199 @@
+"""The crash matrix: simulated process death at every durability boundary.
+
+Every test follows one discipline:
+
+1. run a seeded governed program with a tight durability cadence and an
+   injected crash at a WAL boundary (pre-write, torn mid-write,
+   pre-fsync, pre-replace) — the run dies with ``SimulatedCrash``;
+2. reopen the store exactly as a restarted process would (replay +
+   torn-tail truncation);
+3. resume from the newest durable checkpoint and assert the finished
+   database is **byte-identical** (via ``dumps_facts``) to the model of
+   an uninterrupted run with the same seed.
+
+A real (SIGKILL) crash of a separate process lives in
+``test_sigkill.py``; this matrix covers every boundary deterministically
+in-process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.durable import CheckpointStore, DurabilityPolicy, DurableWriter
+from repro.durable.recovery import RecoveryManager
+from repro.robust import (
+    FaultInjector,
+    FaultPlan,
+    RunGovernor,
+    SimulatedCrash,
+    inject,
+)
+from repro.storage.io import dumps_facts
+
+SORTING = """
+sp(nil, nil, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+SORT_FACTS = {"p": [(f"v{i}", (37 * i) % 101) for i in range(24)]}
+
+ASSIGNMENT = "a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs)."
+
+TAKES = {
+    "takes": [
+        (f"s{i}", f"c{j}") for i in range(10) for j in range(4) if (i + j) % 2 == 0
+    ]
+}
+
+
+def _baseline(program, facts, seed=0, engine="rql"):
+    compiled = compile_program(program, engine=engine)
+    return dumps_facts(compiled.run({k: list(v) for k, v in facts.items()}, seed=seed))
+
+
+def _run_with_crash(tmp_path, program, facts, injector=None, crash_after=None, seed=0):
+    """A governed run that streams checkpoints until the injected crash.
+
+    Returns the store directory; asserts the crash actually fired.
+    """
+    store = CheckpointStore(tmp_path)
+    writer = DurableWriter(store, "victim", DurabilityPolicy(every_steps=1))
+    governor = RunGovernor(durability=writer)
+    compiled = compile_program(program)
+    with pytest.raises(SimulatedCrash):
+        with inject(injector, crash_after=crash_after):
+            compiled.run(
+                {k: list(v) for k, v in facts.items()}, seed=seed, governor=governor
+            )
+    # The dead process never closes its store; the OS keeps what was
+    # written.  Dropping the handle without close() models that.
+    store._handle.close()
+    return tmp_path
+
+
+def _recover_and_compare(tmp_path, program, facts, seed=0):
+    reopened = CheckpointStore(tmp_path)
+    run = reopened.pending()["victim"]
+    assert run.checkpoint_payload is not None, "no durable checkpoint survived"
+    db = reopened.resume("victim", compile_program(program).program)
+    reopened.close()
+    assert dumps_facts(db) == _baseline(program, facts, seed=seed)
+
+
+class TestCrashMatrix:
+    """Each seeded crash point, recovered to the byte-identical model."""
+
+    @pytest.mark.parametrize("crash_after", [3, 7, 12, 20, 33])
+    def test_shared_countdown_crash_points(self, tmp_path, crash_after):
+        """Die at the N-th durability operation, whatever it is — the
+        crash_after countdown spans write/fsync/replace visits."""
+        _run_with_crash(tmp_path, SORTING, SORT_FACTS, crash_after=crash_after)
+        _recover_and_compare(tmp_path, SORTING, SORT_FACTS)
+
+    @pytest.mark.parametrize("nth", [2, 5, 9])
+    def test_crash_before_write(self, tmp_path, nth):
+        injector = FaultInjector([FaultPlan("wal.write", mode="crash", nth=nth)])
+        _run_with_crash(tmp_path, SORTING, SORT_FACTS, injector=injector)
+        _recover_and_compare(tmp_path, SORTING, SORT_FACTS)
+
+    @pytest.mark.parametrize("nth", [2, 6])
+    def test_crash_before_fsync(self, tmp_path, nth):
+        injector = FaultInjector([FaultPlan("wal.fsync", mode="crash", nth=nth)])
+        _run_with_crash(tmp_path, SORTING, SORT_FACTS, injector=injector)
+        _recover_and_compare(tmp_path, SORTING, SORT_FACTS)
+
+    @pytest.mark.parametrize("nth", [3, 8])
+    def test_torn_write_leaves_truncatable_tail(self, tmp_path, nth):
+        injector = FaultInjector([FaultPlan("wal.write", mode="torn", nth=nth)])
+        _run_with_crash(tmp_path, SORTING, SORT_FACTS, injector=injector)
+        # The torn record is physically on disk: the scan must see it.
+        scans = [
+            RecoveryManager(tmp_path).segments()[-1],
+        ]
+        from repro.durable.wal import scan_segment
+
+        assert any(scan_segment(path).torn for path in scans)
+        _recover_and_compare(tmp_path, SORTING, SORT_FACTS)
+        # Recovery truncated the tail — a rescan is clean.
+        assert not any(scan_segment(path).torn for path in scans)
+
+    def test_crash_during_compaction_replace(self, tmp_path):
+        """A crash at the os.replace boundary of compaction: the temp
+        file is left behind, the old segments survive, reopen replays
+        the original state."""
+        store = CheckpointStore(tmp_path)
+        store.journal_request("victim", {"program": SORTING})
+        from repro.robust.checkpoint import capture
+
+        compiled = compile_program(SORTING)
+        db = compiled.run({k: list(v) for k, v in SORT_FACTS.items()}, seed=0)
+        store.write_checkpoint("victim", capture(_EngineStub(compiled.program), db))
+        injector = FaultInjector([FaultPlan("wal.replace", mode="crash", nth=1)])
+        with pytest.raises(SimulatedCrash):
+            with inject(injector):
+                store.compact()
+        store._handle = None  # the dead process's handle is gone
+        reopened = CheckpointStore(tmp_path)
+        assert sorted(reopened.pending()) == ["victim"]
+        assert reopened.latest_checkpoint("victim") is not None
+        reopened.close()
+
+    def test_crash_matrix_choice_program(self, tmp_path):
+        """The matrix holds beyond the sorting program: a choice-heavy
+        assignment program recovers byte-identically too."""
+        _run_with_crash(tmp_path, ASSIGNMENT, TAKES, crash_after=8)
+        _recover_and_compare(tmp_path, ASSIGNMENT, TAKES)
+
+    def test_every_cadence_checkpoint_is_resumable(self, tmp_path):
+        """Not just the newest: every checkpoint the store ever wrote
+        must resume to the same model (checkpoint validity is monotone,
+        so a recovery that picks *any* durable prefix is still correct)."""
+        import json
+
+        from repro.durable.wal import scan_segment
+        from repro.robust.checkpoint import _from_payload, resume
+
+        _run_with_crash(tmp_path, SORTING, SORT_FACTS, crash_after=25)
+        payloads = []
+        for path in RecoveryManager(tmp_path).segments():
+            for raw in scan_segment(path).payloads:
+                record = json.loads(raw)
+                if record["kind"] == "checkpoint":
+                    payloads.append(record["data"])
+        assert len(payloads) >= 2
+        expected = _baseline(SORTING, SORT_FACTS)
+        program = compile_program(SORTING).program
+        for payload in payloads:
+            db = resume(_from_payload(payload), program)
+            assert dumps_facts(db) == expected
+
+
+class TestCrashSemantics:
+    def test_simulated_crash_is_not_transient(self):
+        """SimulatedCrash must not be retry-healable: the retry layer
+        treats FaultInjected as transient, and a crash is not that."""
+        from repro.robust import FaultInjected, is_transient
+
+        crash = SimulatedCrash("simulated crash at wal.write (crash point 1)")
+        assert not isinstance(crash, FaultInjected)
+        assert not is_transient(crash)
+
+    def test_crash_after_validation(self):
+        with pytest.raises(ValueError):
+            with inject(None, crash_after=0):
+                pass
+
+    def test_inject_none_with_crash_after_builds_injector(self, tmp_path):
+        with inject(None, crash_after=1) as injector:
+            assert injector is not None
+            store = CheckpointStore(tmp_path)
+            with pytest.raises(SimulatedCrash):
+                store.journal_request("r", {})
+        assert injector.fired and injector.fired[0][1] == "crash"
+
+
+class _EngineStub:
+    def __init__(self, program):
+        self.program = program

@@ -1,0 +1,267 @@
+"""QueryService + CheckpointStore: journal, done markers, restart recovery.
+
+These tests model the service side of durability: a service with a store
+journals every admitted request before it enters the queue, marks every
+terminal delivery done, and a *restarted* service on the same directory
+reports and resubmits the survivors — resuming checkpointed runs to the
+byte-identical model of an uninterrupted evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import solve_program
+from repro.durable import CheckpointStore, DurabilityPolicy
+from repro.serve import DEGRADED, OK, QueryRequest, QueryService
+from repro.storage.io import dumps_facts
+
+SORTING = """
+sp(nil, nil, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+SORT_FACTS = {"p": [(f"v{i}", (37 * i) % 101) for i in range(14)]}
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+PATH_FACTS = {"edge": [(1, 2), (2, 3), (3, 4), (4, 5)]}
+
+
+def _baseline(program, facts, seed=0, engine="rql"):
+    db = solve_program(
+        program, {k: list(v) for k, v in facts.items()}, seed=seed, engine=engine
+    )
+    return dumps_facts(db)
+
+
+class TestJournalLifecycle:
+    def test_completed_requests_leave_nothing_pending(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        svc = QueryService(workers=2, store=store)
+        try:
+            for seed in range(4):
+                response = svc.evaluate(
+                    QueryRequest(program=SORTING, facts=SORT_FACTS, seed=seed),
+                    timeout=30,
+                )
+                assert response.status == OK
+        finally:
+            svc.close()
+            store.close()
+        with CheckpointStore(tmp_path) as reopened:
+            assert reopened.pending() == {}
+
+    def test_failed_requests_are_still_marked_done(self, tmp_path):
+        """A failure was *delivered* — there is nothing left to recover."""
+        from repro.errors import ReproError
+
+        store = CheckpointStore(tmp_path)
+        svc = QueryService(workers=1, store=store)
+        try:
+            with pytest.raises(ReproError):
+                svc.evaluate(QueryRequest(program="p(X) :- q(X, ."), timeout=30)
+        finally:
+            svc.close()
+            store.close()
+        with CheckpointStore(tmp_path) as reopened:
+            assert reopened.pending() == {}
+
+    def test_degraded_requests_are_marked_done(self, tmp_path):
+        from repro.robust import Budget
+
+        store = CheckpointStore(tmp_path)
+        svc = QueryService(workers=1, store=store)
+        try:
+            response = svc.evaluate(
+                QueryRequest(
+                    program=SORTING,
+                    facts=SORT_FACTS,
+                    seed=3,
+                    budget=Budget(max_gamma_steps=4),
+                ),
+                timeout=30,
+            )
+            assert response.status == DEGRADED
+        finally:
+            svc.close()
+            store.close()
+        with CheckpointStore(tmp_path) as reopened:
+            assert reopened.pending() == {}
+
+    def test_request_ids_never_collide_across_restarts(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        svc = QueryService(workers=1, store=store)
+        try:
+            ticket = svc.submit(QueryRequest(program=PATH, facts=PATH_FACTS))
+            first_id = ticket.request_id
+            ticket.response(timeout=30)
+        finally:
+            svc.close()
+            store.close()
+        store2 = CheckpointStore(tmp_path)
+        svc2 = QueryService(workers=1, store=store2)
+        try:
+            ticket2 = svc2.submit(QueryRequest(program=PATH, facts=PATH_FACTS))
+            assert ticket2.request_id > first_id
+            ticket2.response(timeout=30)
+        finally:
+            svc2.close()
+            store2.close()
+
+
+class TestRestartRecovery:
+    def _abandon(self, tmp_path, durability=None):
+        """Journal two requests and die before either is delivered.
+
+        The service is never started with workers draining them: we
+        journal through the store exactly as submit() would, modelling a
+        process that was killed between admission and delivery.
+        """
+        request = QueryRequest(program=SORTING, facts=SORT_FACTS, seed=7)
+        other = QueryRequest(program=PATH, facts=PATH_FACTS, seed=0)
+        store = CheckpointStore(tmp_path)
+        store.journal_request("0", request.to_payload())
+        store.journal_request("1", other.to_payload())
+        store._handle.close()  # process death: no clean close
+
+    def test_recover_reports_without_resubmitting(self, tmp_path):
+        self._abandon(tmp_path)
+        store = CheckpointStore(tmp_path)
+        svc = QueryService(workers=1, store=store)
+        try:
+            recovered = svc.recover(resubmit=False)
+            assert sorted(recovered) == ["0", "1"]
+            request = recovered["0"]
+            assert isinstance(request, QueryRequest)
+            assert request.seed == 7
+            assert dict(request.facts) == {
+                "p": list(SORT_FACTS["p"])
+            }
+            # Nothing was resubmitted: the survivors stay pending.
+            assert sorted(store.pending()) == ["0", "1"]
+        finally:
+            svc.close()
+            store.close()
+
+    def test_recover_resubmits_to_the_byte_identical_model(self, tmp_path):
+        self._abandon(tmp_path)
+        store = CheckpointStore(tmp_path)
+        svc = QueryService(workers=2, store=store)
+        try:
+            recovered = svc.recover()
+            assert sorted(recovered) == ["0", "1"]
+            sorted_response = recovered["0"].response(timeout=30)
+            path_response = recovered["1"].response(timeout=30)
+            assert sorted_response.status == OK
+            assert path_response.status == OK
+            assert dumps_facts(sorted_response.database) == _baseline(
+                SORTING, SORT_FACTS, seed=7
+            )
+            assert dumps_facts(path_response.database) == _baseline(
+                PATH, PATH_FACTS, seed=0
+            )
+            assert svc.stats()["counters"]["recovered"] == 2
+        finally:
+            svc.close()
+            store.close()
+        # Everything was delivered: a third service finds nothing.
+        with CheckpointStore(tmp_path) as final:
+            assert final.pending() == {}
+
+    def test_checkpointed_run_recovers_from_its_checkpoint(self, tmp_path):
+        """A run that died mid-flight with durable checkpoints resumes
+        from the newest one rather than recomputing from scratch — and
+        still lands on the byte-identical model."""
+        from repro.core.compiler import compile_program
+        from repro.durable import DurableWriter
+        from repro.robust import RunGovernor, SimulatedCrash, inject
+
+        request = QueryRequest(program=SORTING, facts=SORT_FACTS, seed=2)
+        store = CheckpointStore(tmp_path)
+        store.journal_request("0", request.to_payload())
+        writer = DurableWriter(store, "0", DurabilityPolicy(every_steps=1))
+        governor = RunGovernor(durability=writer)
+        with pytest.raises(SimulatedCrash):
+            with inject(None, crash_after=9):
+                compile_program(SORTING).run(
+                    {k: list(v) for k, v in SORT_FACTS.items()},
+                    seed=2,
+                    governor=governor,
+                )
+        store._handle.close()
+
+        store2 = CheckpointStore(tmp_path)
+        svc = QueryService(workers=1, store=store2)
+        try:
+            recovered = svc.recover(resubmit=False)
+            request = recovered["0"]
+            assert request.resume_from is not None
+            assert request.resume_from.facts  # mid-run state, not empty
+            tickets = svc.recover()
+            response = tickets["0"].response(timeout=30)
+            assert response.status == OK
+            assert dumps_facts(response.database) == _baseline(
+                SORTING, SORT_FACTS, seed=2
+            )
+        finally:
+            svc.close()
+            store2.close()
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        self._abandon(tmp_path)
+        store = CheckpointStore(tmp_path)
+        svc = QueryService(workers=2, store=store)
+        try:
+            first = svc.recover()
+            for ticket in first.values():
+                assert ticket.response(timeout=30).status == OK
+            assert svc.recover() == {}
+        finally:
+            svc.close()
+            store.close()
+
+    def test_service_with_durability_streams_checkpoints(self, tmp_path):
+        """An attached cadence makes in-flight service runs durable: the
+        store sees checkpoint records even for runs that complete."""
+        store = CheckpointStore(tmp_path)
+        svc = QueryService(
+            workers=1,
+            store=store,
+            durability=DurabilityPolicy(every_steps=1),
+        )
+        try:
+            response = svc.evaluate(
+                QueryRequest(program=SORTING, facts=SORT_FACTS, seed=0), timeout=30
+            )
+            assert response.status == OK
+            assert store.metrics.counter("durable/checkpoints") >= 2
+        finally:
+            svc.close()
+            store.close()
+
+    def test_recover_skips_journal_less_runs(self, tmp_path):
+        """Checkpoints written by bare-store writers (the CLI) carry no
+        journalled request; service recovery must leave them alone."""
+        store = CheckpointStore(tmp_path)
+        from repro.core.compiler import compile_program
+        from repro.robust.checkpoint import capture
+
+        compiled = compile_program(SORTING)
+        db = compiled.run({k: list(v) for k, v in SORT_FACTS.items()}, seed=0)
+        store.write_checkpoint("cli-run", capture(_EngineStub(compiled.program), db))
+        svc = QueryService(workers=1, store=store)
+        try:
+            assert svc.recover() == {}
+            assert sorted(store.pending()) == ["cli-run"]
+        finally:
+            svc.close()
+            store.close()
+
+
+class _EngineStub:
+    def __init__(self, program):
+        self.program = program

@@ -1,0 +1,130 @@
+"""The real thing: SIGKILL a mid-run worker process and recover its work.
+
+The crash matrix (``test_crash_matrix.py``) covers every durability
+boundary deterministically with injected crashes; this test closes the
+loop with an actual ``SIGKILL`` — no Python cleanup, no atexit, no
+flushed buffers — delivered to a separate interpreter running the CLI
+with ``--durable-dir``.  The parent polls the store read-only until the
+child has streamed durable checkpoints, kills it, then recovers through
+the public ``repro recover`` entry point and checks the resumed model is
+byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.cli import main
+from repro.core.compiler import compile_program
+from repro.durable.recovery import RecoveryManager
+from repro.storage.io import dumps_facts, load_facts
+
+SORTING = """
+sp(nil, nil, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+N_ITEMS = 400
+ITEMS = [(f"v{i}", (37 * i) % 4099) for i in range(N_ITEMS)]
+
+KILL_DEADLINE_S = 120.0
+MIN_CHECKPOINTS = 3
+
+
+def _spawn_worker(tmp_path):
+    program = tmp_path / "sort.dl"
+    program.write_text(SORTING)
+    facts_csv = tmp_path / "items.csv"
+    with open(facts_csv, "w", newline="") as handle:
+        csv.writer(handle).writerows(ITEMS)
+    store_dir = tmp_path / "store"
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..", "src")
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            str(program),
+            "--facts",
+            f"p={facts_csv}",
+            "--seed",
+            "0",
+            "--engine",
+            "basic",
+            "--durable-dir",
+            str(store_dir),
+            "--durable-every",
+            "1",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        cwd=tmp_path,
+    )
+    return process, store_dir
+
+
+def _wait_for_checkpoints(process, store_dir, minimum=MIN_CHECKPOINTS):
+    """Poll the live store read-only until the child has written at
+    least *minimum* durable checkpoints."""
+    deadline = time.monotonic() + KILL_DEADLINE_S
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                "worker finished before it could be killed — grow N_ITEMS "
+                f"(exit code {process.returncode})"
+            )
+        if store_dir.is_dir():
+            state = RecoveryManager(store_dir).recover()
+            run = state.pending.get("0")
+            if run is not None and run.checkpoints_seen >= minimum:
+                return run.checkpoints_seen
+        time.sleep(0.05)
+    raise AssertionError(f"no durable checkpoints after {KILL_DEADLINE_S}s")
+
+
+def _baseline():
+    compiled = compile_program(SORTING, engine="basic")
+    return dumps_facts(compiled.run({"p": list(ITEMS)}, seed=0))
+
+
+class TestSigkill:
+    def test_sigkilled_worker_recovers_byte_identical(self, tmp_path):
+        process, store_dir = _spawn_worker(tmp_path)
+        try:
+            seen = _wait_for_checkpoints(process, store_dir)
+            os.kill(process.pid, signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        assert process.returncode == -signal.SIGKILL
+        assert seen >= MIN_CHECKPOINTS
+
+        # The kill left a mid-run store: the run is still pending, with
+        # every checkpoint that reached the disk.
+        state = RecoveryManager(store_dir).recover()
+        run = state.pending["0"]
+        assert run.request is not None
+        assert run.checkpoint_payload is not None
+
+        # Recover through the public CLI and land on the exact model an
+        # uninterrupted process would have produced.
+        out_dir = tmp_path / "recovered"
+        code = main(
+            ["recover", str(store_dir), "--resume", "--save", str(out_dir)]
+        )
+        assert code == 0
+        recovered = load_facts(out_dir / "0.facts")
+        assert dumps_facts(recovered) == _baseline()
+
+        # The resume marked the run done: a second recovery is a no-op.
+        assert RecoveryManager(store_dir).recover().pending == {}
+        assert main(["recover", str(store_dir)]) == 0

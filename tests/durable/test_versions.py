@@ -1,0 +1,137 @@
+"""Checkpoint format versioning through the durable store.
+
+The store keeps checkpoint payloads raw until asked, so version gating
+must fire at ``latest_checkpoint``/``resume`` with the checkpoint
+layer's clear ``CheckpointError`` — never a ``KeyError`` from a missing
+field of an unknown future format.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.durable import CheckpointStore
+from repro.errors import BudgetExceeded, CheckpointError
+from repro.robust import Budget, RunGovernor
+from repro.robust.checkpoint import (
+    CHECKPOINT_VERSION,
+    SUPPORTED_VERSIONS,
+    _to_payload,
+)
+from repro.storage.io import dumps_facts
+
+SORTING = """
+sp(nil, nil, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+SORT_FACTS = {"p": [(f"v{i}", (37 * i) % 101) for i in range(14)]}
+
+
+def _interrupted_checkpoint():
+    compiled = compile_program(SORTING)
+    governor = RunGovernor(Budget(max_gamma_steps=3), check_interval=1)
+    with pytest.raises(BudgetExceeded) as info:
+        compiled.run(dict(SORT_FACTS), seed=0, governor=governor)
+    return info.value.partial.checkpoint
+
+
+def _write_raw_checkpoint(root, rid, payload):
+    """Plant a checkpoint record with an arbitrary payload dict, as a
+    writer of that format version would have."""
+    with CheckpointStore(root) as store:
+        store.journal_request(rid, {"program": SORTING})
+        record = {"kind": "checkpoint", "rid": rid, "data": payload}
+        with store._lock:
+            store._append(record)
+
+
+def _baseline():
+    return dumps_facts(compile_program(SORTING).run(dict(SORT_FACTS), seed=0))
+
+
+class TestVersions:
+    def test_v2_checkpoint_loads_and_resumes(self, tmp_path):
+        payload = _to_payload(_interrupted_checkpoint())
+        assert payload["version"] == CHECKPOINT_VERSION == 2
+        _write_raw_checkpoint(tmp_path, "r", payload)
+        with CheckpointStore(tmp_path) as store:
+            cp = store.latest_checkpoint("r")
+            assert cp.version == CHECKPOINT_VERSION
+            assert cp.fingerprint
+            db = store.resume("r", compile_program(SORTING).program)
+        assert dumps_facts(db) == _baseline()
+
+    def test_v1_checkpoint_loads_and_resumes(self, tmp_path):
+        """A version-1 payload (no fingerprint) still loads through the
+        store; its restore is unchecked, exactly as for file loads."""
+        payload = _to_payload(_interrupted_checkpoint())
+        payload["version"] = 1
+        del payload["fingerprint"]
+        _write_raw_checkpoint(tmp_path, "r", payload)
+        with CheckpointStore(tmp_path) as store:
+            cp = store.latest_checkpoint("r")
+            assert cp.fingerprint == ""
+            db = store.resume("r", compile_program(SORTING).program)
+        assert dumps_facts(db) == _baseline()
+
+    def test_future_version_fails_with_checkpoint_error(self, tmp_path):
+        """An unknown future format must fail at the read with a clear
+        CheckpointError, not a KeyError from probing missing fields."""
+        future = CHECKPOINT_VERSION + 1
+        assert future not in SUPPORTED_VERSIONS
+        payload = {"version": future, "totally": "different", "shape": True}
+        _write_raw_checkpoint(tmp_path, "r", payload)
+        with CheckpointStore(tmp_path) as store:
+            # Opening the store must succeed: the unreadable payload only
+            # fails when someone actually asks for it.
+            assert sorted(store.pending()) == ["r"]
+            with pytest.raises(CheckpointError) as info:
+                store.latest_checkpoint("r")
+            message = str(info.value)
+            assert f"unsupported checkpoint version {future}" in message
+            assert str(SUPPORTED_VERSIONS) in message
+            with pytest.raises(CheckpointError):
+                store.resume("r", compile_program(SORTING).program)
+
+    def test_missing_version_fails_with_checkpoint_error(self, tmp_path):
+        _write_raw_checkpoint(tmp_path, "r", {"no": "version field"})
+        with CheckpointStore(tmp_path) as store:
+            with pytest.raises(CheckpointError) as info:
+                store.latest_checkpoint("r")
+        assert "unsupported checkpoint version None" in str(info.value)
+
+    def test_mixed_versions_newest_wins(self, tmp_path):
+        v2 = _to_payload(_interrupted_checkpoint())
+        v1 = dict(v2, version=1)
+        v1.pop("fingerprint")
+        with CheckpointStore(tmp_path) as store:
+            store.journal_request("r", {"program": SORTING})
+            with store._lock:
+                store._append({"kind": "checkpoint", "rid": "r", "data": v1})
+                store._append({"kind": "checkpoint", "rid": "r", "data": v2})
+        with CheckpointStore(tmp_path) as store:
+            assert store.latest_checkpoint("r").version == CHECKPOINT_VERSION
+
+    def test_future_records_do_not_block_other_runs(self, tmp_path):
+        """One future-format checkpoint must not poison recovery of the
+        runs this build *can* read."""
+        good = _to_payload(_interrupted_checkpoint())
+        _write_raw_checkpoint(tmp_path, "old", good)
+        with CheckpointStore(tmp_path) as store:
+            store.journal_request("new", {"program": SORTING})
+            with store._lock:
+                store._append(
+                    {
+                        "kind": "checkpoint",
+                        "rid": "new",
+                        "data": {"version": 99},
+                    }
+                )
+        with CheckpointStore(tmp_path) as store:
+            assert sorted(store.pending()) == ["new", "old"]
+            db = store.resume("old", compile_program(SORTING).program)
+            assert dumps_facts(db) == _baseline()
+            with pytest.raises(CheckpointError):
+                store.latest_checkpoint("new")

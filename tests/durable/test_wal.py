@@ -1,0 +1,147 @@
+"""WAL framing unit tests: record layout, scanning, damage taxonomy.
+
+The crash-driven paths (torn writes from injected faults, recovery of a
+killed process) live in ``test_crash_matrix.py`` and ``test_sigkill.py``;
+this file pins down the byte-level format and the torn-tail vs mid-log
+corruption distinction with hand-built files.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.durable.wal import (
+    HEADER,
+    MAX_RECORD_BYTES,
+    append_record,
+    frame,
+    replace_file,
+    scan_segment,
+)
+from repro.errors import WalCorruptionError
+from repro.storage.io import atomic_write_text
+
+
+def _write_segment(path, payloads):
+    with open(path, "wb") as handle:
+        for payload in payloads:
+            append_record(handle, payload)
+
+
+class TestFraming:
+    def test_frame_layout(self):
+        payload = b'{"kind":"done","rid":"7"}'
+        record = frame(payload)
+        length, crc = HEADER.unpack_from(record)
+        assert length == len(payload)
+        assert crc == zlib.crc32(payload)
+        assert record[HEADER.size :] == payload
+
+    def test_round_trip_many_records(self, tmp_path):
+        path = tmp_path / "wal-00000001.log"
+        payloads = [f"payload-{i}".encode() * (i + 1) for i in range(50)]
+        _write_segment(path, payloads)
+        scan = scan_segment(path)
+        assert scan.payloads == payloads
+        assert not scan.torn
+        assert scan.good_length == os.path.getsize(path)
+
+    def test_empty_segment_scans_clean(self, tmp_path):
+        path = tmp_path / "wal-00000001.log"
+        path.write_bytes(b"")
+        scan = scan_segment(path)
+        assert scan.payloads == []
+        assert scan.good_length == 0
+        assert not scan.torn
+
+
+class TestDamage:
+    """Every damage shape at the tail is torn (truncatable); the same
+    damage followed by more data is corruption (an error)."""
+
+    def _segment(self, tmp_path, payloads):
+        path = tmp_path / "wal-00000001.log"
+        _write_segment(path, payloads)
+        return path
+
+    def test_truncated_header_is_torn(self, tmp_path):
+        path = self._segment(tmp_path, [b"alpha", b"beta"])
+        good = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b"\x05\x00")  # 2 of 8 header bytes
+        scan = scan_segment(path)
+        assert scan.torn
+        assert scan.good_length == good
+        assert scan.payloads == [b"alpha", b"beta"]
+        assert "truncated header" in scan.damage
+
+    def test_truncated_payload_is_torn(self, tmp_path):
+        path = self._segment(tmp_path, [b"alpha"])
+        good = os.path.getsize(path)
+        partial = frame(b"a-longer-payload")[:-4]
+        with open(path, "ab") as handle:
+            handle.write(partial)
+        scan = scan_segment(path)
+        assert scan.torn
+        assert scan.good_length == good
+        assert "truncated payload" in scan.damage
+
+    def test_crc_mismatch_at_tail_is_torn(self, tmp_path):
+        path = self._segment(tmp_path, [b"alpha"])
+        good = os.path.getsize(path)
+        record = bytearray(frame(b"damaged-record"))
+        record[-1] ^= 0xFF
+        with open(path, "ab") as handle:
+            handle.write(bytes(record))
+        scan = scan_segment(path)
+        assert scan.torn
+        assert scan.good_length == good
+        assert "CRC mismatch" in scan.damage
+
+    def test_crc_mismatch_mid_log_raises(self, tmp_path):
+        path = self._segment(tmp_path, [b"alpha"])
+        record = bytearray(frame(b"damaged-record"))
+        record[-1] ^= 0xFF
+        with open(path, "ab") as handle:
+            handle.write(bytes(record))
+            handle.write(frame(b"a-valid-record-after-the-damage"))
+        with pytest.raises(WalCorruptionError) as info:
+            scan_segment(path)
+        message = str(info.value)
+        assert "wal-00000001.log" in message
+        assert "CRC mismatch" in message
+        assert "more bytes follow" in message
+
+    def test_impossible_length_is_torn_at_tail(self, tmp_path):
+        path = self._segment(tmp_path, [b"alpha"])
+        good = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", MAX_RECORD_BYTES + 1, 0))
+            handle.write(b"x" * 32)
+        scan = scan_segment(path)
+        # The header itself is garbage, so the damaged region extends to
+        # EOF — classified torn, truncatable at the last good record.
+        assert scan.torn
+        assert scan.good_length == good
+        assert "impossible record length" in scan.damage
+
+
+class TestAtomicWrite:
+    def test_replace_file_publishes_atomically(self, tmp_path):
+        final = tmp_path / "wal-00000002.log"
+        tmp = tmp_path / "wal-00000002.log.tmp"
+        tmp.write_bytes(frame(b"compacted"))
+        replace_file(str(tmp), str(final))
+        assert not tmp.exists()
+        assert scan_segment(final).payloads == [b"compacted"]
+
+    def test_atomic_write_text_replaces_content(self, tmp_path):
+        target = tmp_path / "checkpoint.json"
+        atomic_write_text(target, "first\n")
+        atomic_write_text(target, "second\n")
+        assert target.read_text() == "second\n"
+        assert list(tmp_path.iterdir()) == [target]  # no temp residue

@@ -224,6 +224,88 @@ class TestCheckpointMessages:
         assert "1" in message and str(CHECKPOINT_VERSION) in message
 
 
+class TestDurabilityMessages:
+    """Golden messages for the durability error family: crash-point
+    injections say where they fired, WAL corruption says which segment
+    and byte, and recovery errors say what the operator should do."""
+
+    def test_simulated_crash_names_site_and_crash_point(self, tmp_path):
+        from repro.durable import CheckpointStore
+        from repro.robust import SimulatedCrash, inject
+
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(SimulatedCrash) as info:
+            with inject(None, crash_after=1):
+                store.journal_request("r", {})
+        assert str(info.value) == "simulated crash at wal.write (crash point 1)"
+
+    def test_planned_crash_names_site_and_visit(self, tmp_path):
+        from repro.durable import CheckpointStore
+        from repro.robust import FaultInjector, FaultPlan, SimulatedCrash, inject
+
+        store = CheckpointStore(tmp_path)
+        plan = FaultPlan("wal.fsync", mode="crash", nth=1)
+        with pytest.raises(SimulatedCrash) as info:
+            with inject(FaultInjector([plan])):
+                store.journal_request("r", {})
+        assert str(info.value) == "simulated crash at wal.fsync (visit 1, nth=1)"
+
+    def test_torn_write_names_site_and_visit(self, tmp_path):
+        from repro.durable import CheckpointStore
+        from repro.robust import FaultInjector, FaultPlan, SimulatedCrash, inject
+
+        store = CheckpointStore(tmp_path)
+        plan = FaultPlan("wal.write", mode="torn", nth=1)
+        with pytest.raises(SimulatedCrash) as info:
+            with inject(FaultInjector([plan])):
+                store.journal_request("r", {})
+        assert str(info.value) == (
+            "simulated torn write at wal.write (visit 1, nth=1)"
+        )
+
+    def test_mid_log_corruption_names_segment_and_byte(self, tmp_path):
+        from repro.durable.wal import frame, scan_segment
+        from repro.errors import WalCorruptionError
+
+        path = tmp_path / "wal-00000001.log"
+        damaged = bytearray(frame(b"payload"))
+        damaged[-1] ^= 0xFF
+        path.write_bytes(bytes(damaged) + frame(b"after"))
+        with pytest.raises(WalCorruptionError) as info:
+            scan_segment(path)
+        message = str(info.value)
+        assert message.startswith("WAL segment wal-00000001.log is corrupt at byte 0:")
+        assert "CRC mismatch" in message
+        assert "mid-log damage cannot come from a crash" in message
+
+    def test_resume_unknown_rid_lists_the_pending_runs(self, tmp_path):
+        from repro.core.compiler import compile_program
+        from repro.durable import CheckpointStore
+        from repro.errors import RecoveryError
+
+        with CheckpointStore(tmp_path) as store:
+            store.journal_request("alpha", {})
+            with pytest.raises(RecoveryError) as info:
+                store.resume("ghost", compile_program("p(a).").program)
+        message = str(info.value)
+        assert message.startswith(f"no recoverable run 'ghost' in {tmp_path}")
+        assert "'alpha'" in message
+
+    def test_resume_before_first_checkpoint_suggests_the_journal(self, tmp_path):
+        from repro.core.compiler import compile_program
+        from repro.durable import CheckpointStore
+        from repro.errors import RecoveryError
+
+        with CheckpointStore(tmp_path) as store:
+            store.journal_request("early", {})
+            with pytest.raises(RecoveryError) as info:
+                store.resume("early", compile_program("p(a).").program)
+        assert str(info.value) == (
+            f"run 'early' in {tmp_path} crashed before its first durable "
+            "checkpoint — re-run it from the journalled request"
+        )
+
+
 class TestServiceMessages:
     """Golden messages for the query service's typed rejections: each
     carries a machine-usable hint, and the message stands alone."""
