@@ -68,6 +68,24 @@ DURABLE_SIZES = [32, 64, 128, 256]
 #: CI gate: a governed run with a DurableWriter attached at the default
 #: (time-based) cadence must cost < 5% over the same governed run bare.
 DURABLE_OVERHEAD_CEILING = 1.05
+JOIN_SIZES = [64, 128, 256]
+#: CI gate: the greedy join order must never lose to the written order on
+#: the multi-join sweep (mean written_s / greedy_s across sizes ≥ 1.0).
+JOIN_ORDER_SPEEDUP_FLOOR = 1.0
+
+#: Wide multi-join rules (4-6 goals per body) over skewed relation sizes.
+#: The written body order leads every rule with a big relation and leaves
+#: the selective goal (a 3-fact relation, a 2-fact relation, a constant
+#: pattern) last, so written-order evaluation enumerates the full chain
+#: before filtering; the greedy reorderer starts from the selective goal
+#: and walks the joins backward through indexed lookups.
+JOIN = parse_program(
+    """
+    jq1(A, E) <- r1(A, B), r2(B, C), r3(C, D), sel(D, E).
+    jq2(A, F) <- r1(A, B), r2(B, C), r3(C, D), r4(D, E), tiny(E, F), F <= A.
+    jq3(A, C) <- r2(B, C), r1(A, B), r3(C, 7).
+    """
+)
 
 
 def _chain(n: int) -> List[tuple]:
@@ -314,6 +332,63 @@ def _durable_overhead_rows(
     return rows
 
 
+def _join_db(n: int) -> Database:
+    """Skewed-size EDB for the multi-join sweep: three permutation-like
+    chains of *n* facts, one fan-out-4 relation of ``4n`` facts, and two
+    tiny selective relations."""
+    db = Database()
+    db.assert_all("r1", [(i, (i * 7) % n) for i in range(n)])
+    db.assert_all("r2", [(i, (i * 11 + j) % n) for i in range(n) for j in range(4)])
+    db.assert_all("r3", [(i, (i * 13) % n) for i in range(n)])
+    db.assert_all("r4", [(i, (i * 17) % n) for i in range(n)])
+    db.assert_all("sel", [(i, i) for i in range(3)])
+    db.assert_all("tiny", [(0, 0), (1, 1)])
+    return db
+
+
+def _join_order_rows(
+    sizes: Sequence[int], repeats: int = 9
+) -> List[Dict[str, Any]]:
+    """Best-of-*repeats* written vs greedy timings for the multi-join
+    rules, **interleaved** like the governor sweep.  Each op builds the
+    database and evaluates the whole program, so the ratio understates
+    the pure join-work gap (EDB loading is identical on both sides) —
+    which makes the gate conservative.  Models are checked identical per
+    size before anything is timed."""
+    import time
+
+    def written_op(n):
+        return SeminaiveEngine(JOIN, order="written").run(_join_db(n))
+
+    def greedy_op(n):
+        return SeminaiveEngine(JOIN, order="greedy").run(_join_db(n))
+
+    rows: List[Dict[str, Any]] = []
+    for size in sizes:
+        # Warm both paths and pin order-invariance of the result.
+        if written_op(size).as_dict() != greedy_op(size).as_dict():
+            raise AssertionError(
+                f"join-order sweep: models diverged at size {size}"
+            )
+        best_written = best_greedy = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            written_op(size)
+            best_written = min(best_written, time.perf_counter() - start)
+            start = time.perf_counter()
+            greedy_op(size)
+            best_greedy = min(best_greedy, time.perf_counter() - start)
+        rows.append(
+            {
+                "size": size,
+                "written_s": round(best_written, 6),
+                "greedy_s": round(best_greedy, 6),
+                "speedup": round(best_written / max(best_greedy, 1e-9), 3),
+            }
+        )
+    return rows
+
+
 def run_regression(
     tc_sizes: Sequence[int] = TC_SIZES,
     sort_sizes: Sequence[int] = SORT_SIZES,
@@ -332,6 +407,7 @@ def run_regression(
     governor_rows = _governor_overhead_rows(GOVERNOR_SIZES, repeats=max(repeats, 15))
     service_rows = _service_overhead_rows(SERVICE_SIZES, repeats=max(repeats, 15))
     durable_rows = _durable_overhead_rows(DURABLE_SIZES, repeats=max(repeats, 15))
+    join_rows = _join_order_rows(JOIN_SIZES, repeats=max(repeats, 9))
     return {
         "meta": {
             "python": platform.python_version(),
@@ -416,6 +492,23 @@ def run_regression(
                     min(row["overhead"] for row in durable_rows), 3
                 ),
             },
+            "join_order": {
+                "description": "wide multi-join rules (4-6 goals per "
+                "body) over skewed relation sizes, seminaive with "
+                "order='written' (legacy body order, selective goals "
+                "last) vs order='greedy' (the reorderer starts from "
+                "constants/tiny relations and walks the joins through "
+                "indexed lookups); speedup = written_s / greedy_s, "
+                "models checked identical before timing",
+                "rows": join_rows,
+                "mean_speedup": round(
+                    sum(row["speedup"] for row in join_rows) / len(join_rows),
+                    3,
+                ),
+                "min_speedup": round(
+                    min(row["speedup"] for row in join_rows), 3
+                ),
+            },
         },
     }
 
@@ -476,6 +569,15 @@ def check_against_baseline(
                 f"the default cadence costs at least {min_overhead:.3f}x "
                 f"the bare governed run on every size "
                 f"(ceiling {DURABLE_OVERHEAD_CEILING:.2f}x)"
+            )
+    join_block = report["sweeps"].get("join_order")
+    if join_block is not None:
+        mean_speedup = join_block.get("mean_speedup", 1.0)
+        if mean_speedup < JOIN_ORDER_SPEEDUP_FLOOR:
+            failures.append(
+                "join-order sweep regressed: greedy plans average "
+                f"{mean_speedup:.3f}x the written order on the multi-join "
+                f"sweep (floor {JOIN_ORDER_SPEEDUP_FLOOR:.2f}x)"
             )
     return failures
 
@@ -560,13 +662,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"durable overhead: min {durable['min_overhead']:.3f}x  "
             f"mean {durable['mean_overhead']:.3f}x"
         )
+        join = report["sweeps"]["join_order"]
+        for row in join["rows"]:
+            print(
+                f"  join n={row['size']:>4}  written {row['written_s']:.4f}s  "
+                f"greedy {row['greedy_s']:.4f}s  speedup {row['speedup']:.2f}x"
+            )
+        print(
+            f"join-order speedup: min {join['min_speedup']:.3f}x  "
+            f"mean {join['mean_speedup']:.3f}x"
+        )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}")
             return 1
         print(
-            "OK: plan-cache speedup, governor overhead, service overhead "
-            "and durable overhead within tolerance"
+            "OK: plan-cache speedup, governor overhead, service overhead, "
+            "durable overhead and join-order speedup within tolerance"
         )
         return 0
     out.write_text(json.dumps(report, indent=2) + "\n")
@@ -575,6 +687,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             f"  tc n={row['size']:>4}  before {row['before_s']:.4f}s  "
             f"after {row['after_s']:.4f}s  speedup {row['speedup']:.2f}x"
+        )
+    join = report["sweeps"]["join_order"]
+    for row in join["rows"]:
+        print(
+            f"  join n={row['size']:>4}  written {row['written_s']:.4f}s  "
+            f"greedy {row['greedy_s']:.4f}s  speedup {row['speedup']:.2f}x"
         )
     return 0
 

@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.compiler import ENGINES, compile_program
 from repro.datalog.parser import parse_query
+from repro.datalog.plans import DEFAULT_ORDER, ORDER_POLICIES
 from repro.datalog.terms import format_value
 from repro.datalog.unify import match_args
 from repro.errors import ReproError
@@ -74,6 +75,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINES,
         default="rql",
         help="evaluation engine (default: rql)",
+    )
+    parser.add_argument(
+        "--order",
+        choices=ORDER_POLICIES,
+        default=DEFAULT_ORDER,
+        help=(
+            "join-order policy: 'greedy' reorders body atoms by "
+            "selectivity, 'written' keeps the legacy body order "
+            "(default: greedy)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=None, help="rng seed for γ draws")
     parser.add_argument(
@@ -196,6 +207,16 @@ def build_trace_parser() -> argparse.ArgumentParser:
         choices=ENGINES,
         default="rql",
         help="evaluation engine (default: rql)",
+    )
+    parser.add_argument(
+        "--order",
+        choices=ORDER_POLICIES,
+        default=DEFAULT_ORDER,
+        help=(
+            "join-order policy: 'greedy' reorders body atoms by "
+            "selectivity, 'written' keeps the legacy body order "
+            "(default: greedy)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=None, help="rng seed for γ draws")
     parser.add_argument(
@@ -359,11 +380,17 @@ def _run_engine(args, tracer, governor=None):
     from repro.core.compiler import _as_database, _make_engine
 
     source = Path(args.program).read_text()
-    compiled = compile_program(source, engine=args.engine)
+    order = getattr(args, "order", DEFAULT_ORDER)
+    compiled = compile_program(source, engine=args.engine, order=order)
     facts = _load_facts(args.facts)
     rng = random.Random(args.seed) if args.seed is not None else None
     engine = _make_engine(
-        args.engine, compiled.program, rng, tracer=tracer, governor=governor
+        args.engine,
+        compiled.program,
+        rng,
+        tracer=tracer,
+        governor=governor,
+        order=order,
     )
     db = _as_database(facts)
     return compiled, engine, db
@@ -465,7 +492,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             for name, rows in _load_facts(args.facts).items():
                 db.assert_all(name, rows)
         else:
-            compiled = compile_program(source, engine=args.engine)
+            compiled = compile_program(source, engine=args.engine, order=args.order)
             if args.analyze:
                 _print_analysis(compiled, out)
                 return 0
@@ -474,7 +501,12 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             from repro.core.compiler import _as_database, _make_engine
 
             engine = _make_engine(
-                args.engine, compiled.program, rng, tracer=tracer, governor=governor
+                args.engine,
+                compiled.program,
+                rng,
+                tracer=tracer,
+                governor=governor,
+                order=args.order,
             )
             db = _as_database(facts)
         if args.trace and hasattr(engine, "record_trace"):

@@ -28,6 +28,7 @@ from typing import Any
 
 from repro.core.engine_base import BaseEngine
 from repro.core.stage_analysis import CliqueReport
+from repro.datalog.plans import DEFAULT_ORDER
 from repro.datalog.program import Program
 from repro.errors import EvaluationError
 from repro.obs.tracer import Tracer
@@ -64,6 +65,7 @@ class ChoiceFixpointEngine(BaseEngine):
         record_trace: bool = False,
         tracer: Tracer | None = None,
         governor: Any = None,
+        order: str = DEFAULT_ORDER,
     ):
         for rule in program.proper_rules():
             if rule.next_goals:
@@ -78,6 +80,7 @@ class ChoiceFixpointEngine(BaseEngine):
             record_trace=record_trace,
             tracer=tracer,
             governor=governor,
+            order=order,
         )
 
     def _run_stage_clique(self, report: CliqueReport, db: Database) -> None:

@@ -83,14 +83,14 @@ def body_solutions(
     initial = initial or {}
     bound = frozenset(initial)
     if cache is not None:
-        plan = cache.plan(rule, bound=bound, drop=drop)
+        plan = cache.plan(rule, bound=bound, drop=drop, db=db)
     else:
         literals = [
             (literal, index)
             for index, literal in enumerate(rule.body)
             if not isinstance(literal, drop)
         ]
-        plan = compile_plan(literals, initially_bound=bound)
+        plan = compile_plan(literals, initially_bound=bound, db=db)
     return list(run_plan(plan, db, dict(initial)))
 
 
@@ -258,10 +258,10 @@ def _delta_solutions(
     cache: PlanCache | None = None,
 ) -> List[Subst]:
     if cache is not None:
-        plan = cache.plan(rule, delta_index=delta_index)
+        plan = cache.plan(rule, delta_index=delta_index, db=db)
     else:
         literals = [(literal, index) for index, literal in enumerate(rule.body)]
-        plan = compile_plan(literals, delta_index=delta_index)
+        plan = compile_plan(literals, delta_index=delta_index, db=db)
     return list(run_plan(plan, db, {}, delta_relation))
 
 

@@ -36,6 +36,7 @@ from repro.core.stage_analysis import StageAnalysis, analyze_stages
 from repro.core.stage_engine import BasicStageEngine
 from repro.datalog.naive import NaiveEngine
 from repro.datalog.parser import parse_program
+from repro.datalog.plans import DEFAULT_ORDER, ORDER_POLICIES
 from repro.datalog.program import Program
 from repro.datalog.seminaive import SeminaiveEngine
 from repro.errors import EvaluationError
@@ -57,6 +58,8 @@ class CompiledProgram:
     program: Program
     analysis: StageAnalysis
     engine: str = "rql"
+    #: Join-order policy compiled plans use (``"greedy"`` / ``"written"``).
+    order: str = DEFAULT_ORDER
     #: The engine instance used by the most recent :meth:`run` (exposes
     #: stats, RQL structures, fallbacks...).
     last_engine: Any = field(default=None, repr=False)
@@ -74,6 +77,7 @@ class CompiledProgram:
         engine: str | None = None,
         tracer: Tracer | None = None,
         governor: Any = None,
+        order: str | None = None,
     ) -> Database:
         """Evaluate the program and return the resulting database.
 
@@ -83,6 +87,8 @@ class CompiledProgram:
             seed: convenience for ``rng=random.Random(seed)``.
             rng: source of the non-deterministic γ draws.
             engine: override the engine chosen at compile time.
+            order: override the join-order policy chosen at compile time
+                (``"greedy"`` default, ``"written"`` legacy).
             tracer: optional :class:`~repro.obs.tracer.Tracer` the run
                 emits spans/events and metrics into (pass one with
                 ``enabled=True`` to record a structured trace).
@@ -98,7 +104,12 @@ class CompiledProgram:
             rng = random.Random(seed)
         name = engine or self.engine
         engine_instance = _make_engine(
-            name, self.program, rng, tracer=tracer, governor=governor
+            name,
+            self.program,
+            rng,
+            tracer=tracer,
+            governor=governor,
+            order=order or self.order,
         )
         self.last_engine = engine_instance
         return engine_instance.run(db)
@@ -142,42 +153,66 @@ def _make_engine(
     rng: random.Random | None,
     tracer: Tracer | None = None,
     governor: Any = None,
+    order: str = DEFAULT_ORDER,
 ):
     if name == "rql":
         return GreedyStageEngine(
-            program, rng=rng, check_safety=False, tracer=tracer, governor=governor
+            program,
+            rng=rng,
+            check_safety=False,
+            tracer=tracer,
+            governor=governor,
+            order=order,
         )
     if name == "basic":
         return BasicStageEngine(
-            program, rng=rng, check_safety=False, tracer=tracer, governor=governor
+            program,
+            rng=rng,
+            check_safety=False,
+            tracer=tracer,
+            governor=governor,
+            order=order,
         )
     if name == "choice":
         return ChoiceFixpointEngine(
-            program, rng=rng, check_safety=False, tracer=tracer, governor=governor
+            program,
+            rng=rng,
+            check_safety=False,
+            tracer=tracer,
+            governor=governor,
+            order=order,
         )
     if name == "naive":
-        return NaiveEngine(program, check_safety=False, tracer=tracer, governor=governor)
+        return NaiveEngine(
+            program, check_safety=False, tracer=tracer, governor=governor, order=order
+        )
     if name == "seminaive":
         return SeminaiveEngine(
-            program, check_safety=False, tracer=tracer, governor=governor
+            program, check_safety=False, tracer=tracer, governor=governor, order=order
         )
     raise EvaluationError(f"unknown engine {name!r}; expected one of {ENGINES}")
 
 
-def compile_program(source: Union[str, Program], engine: str = "rql") -> CompiledProgram:
+def compile_program(
+    source: Union[str, Program], engine: str = "rql", order: str = DEFAULT_ORDER
+) -> CompiledProgram:
     """Parse (if needed), safety-check and stage-analyse *source*.
 
     Raises:
         ParseError: on bad syntax.
         SafetyError: on unsafe rules.
-        EvaluationError: on an unknown engine name.
+        EvaluationError: on an unknown engine name or join-order policy.
     """
     if engine not in ENGINES:
         raise EvaluationError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if order not in ORDER_POLICIES:
+        raise EvaluationError(
+            f"unknown join-order policy {order!r}; expected one of {ORDER_POLICIES}"
+        )
     program = parse_program(source) if isinstance(source, str) else source
     program.check_safety()
     analysis = analyze_stages(program)
-    return CompiledProgram(program, analysis, engine)
+    return CompiledProgram(program, analysis, engine, order)
 
 
 def solve_program(
@@ -187,8 +222,9 @@ def solve_program(
     rng: random.Random | None = None,
     engine: str = "rql",
     governor: Any = None,
+    order: str = DEFAULT_ORDER,
 ) -> Database:
     """One-shot convenience: compile and run in a single call."""
-    return compile_program(source, engine=engine).run(
+    return compile_program(source, engine=engine, order=order).run(
         facts, seed=seed, rng=rng, governor=governor
     )

@@ -38,7 +38,7 @@ from repro.core.stage_analysis import (
 )
 from repro.datalog.atoms import Atom, ChoiceGoal, Negation
 from repro.datalog.builtins import order_key
-from repro.datalog.plans import PlanCache
+from repro.datalog.plans import DEFAULT_ORDER, PlanCache
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.unify import Subst, ground_term, match_args
@@ -79,6 +79,7 @@ class EngineRunStats(RegistryBackedStats):
         "stages",
         "plans_compiled",
         "plan_cache_hits",
+        "plans_reordered",
     )
 
 
@@ -235,6 +236,7 @@ class BaseEngine:
         record_trace: bool = False,
         tracer: Tracer | None = None,
         governor: Any = None,
+        order: str = DEFAULT_ORDER,
     ):
         if check_safety:
             program.check_safety()
@@ -247,8 +249,9 @@ class BaseEngine:
         self.tracer = tracer if tracer is not None else Tracer()
         #: Counters backed by the tracer's metrics registry.
         self.stats = EngineRunStats(registry=self.tracer.registry)
-        #: Per-run compiled-plan cache shared by every clique evaluation.
-        self.plans = PlanCache(stats=self.stats)
+        #: Per-run compiled-plan cache shared by every clique evaluation;
+        #: ``order`` selects the join-order policy for every compile.
+        self.plans = PlanCache(stats=self.stats, order=order, tracer=self.tracer)
         self.record_trace = record_trace
         #: γ decisions in order, populated when ``record_trace`` is set.
         self.trace: List[TraceEvent] = []

@@ -34,7 +34,7 @@ from repro.core.stage_analysis import CliqueReport
 from repro.core.stage_engine import BasicStageEngine, StageCliqueState
 from repro.datalog.atoms import Atom, ChoiceGoal, Comparison, LeastGoal, MostGoal, NextGoal
 from repro.datalog.builtins import order_key
-from repro.datalog.plans import CompiledPlan, compile_plan, run_plan
+from repro.datalog.plans import DEFAULT_ORDER, CompiledPlan, compile_plan, run_plan
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Const, Var
 from repro.datalog.unify import Subst, ground_term, match_args
@@ -91,6 +91,7 @@ class GreedyStageEngine(BasicStageEngine):
         max_stages: int | None = None,
         tracer: Tracer | None = None,
         governor: Any = None,
+        order: str = DEFAULT_ORDER,
     ):
         super().__init__(
             program,
@@ -101,6 +102,7 @@ class GreedyStageEngine(BasicStageEngine):
             max_stages=max_stages,
             tracer=tracer,
             governor=governor,
+            order=order,
         )
         #: With ``use_congruence=False`` the r-congruence deduplication is
         #: disabled (every candidate fact gets its own queue entry) — the
@@ -172,7 +174,7 @@ class GreedyStageEngine(BasicStageEngine):
 
     # -- plan derivation -----------------------------------------------------------
 
-    def _rql_plan(self, report: CliqueReport) -> RQLPlan | str:
+    def _rql_plan(self, report: CliqueReport, db: Database | None = None) -> RQLPlan | str:
         """Derive the (R, Q, L) plan for the clique's ``next`` rule, or a
         string explaining why the clique must fall back."""
         if len(report.next_rules) != 1:
@@ -335,7 +337,9 @@ class GreedyStageEngine(BasicStageEngine):
             }
             | {stage_var}
         )
-        rest_plan = compile_plan(rest, initially_bound=base_bound)
+        rest_plan = compile_plan(
+            rest, initially_bound=base_bound, order=self.plans.order, db=db
+        )
         return RQLPlan(
             rule, stage_var, candidate_index, candidate_atom, spec, rest, rest_plan
         )
@@ -396,7 +400,7 @@ class GreedyStageEngine(BasicStageEngine):
     # -- clique execution ----------------------------------------------------------------
 
     def _run_stage_clique(self, report: CliqueReport, db: Database) -> None:
-        plan = self._rql_plan(report)
+        plan = self._rql_plan(report, db)
         if isinstance(plan, str):
             for rule in report.next_rules:
                 self.fallbacks[rule.head.key] = plan

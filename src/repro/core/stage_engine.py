@@ -40,6 +40,7 @@ from repro.core.clique_eval import (
 from repro.core.engine_base import BaseEngine, ChoiceMemo
 from repro.core.stage_analysis import CliqueReport, clique_label
 from repro.datalog.builtins import order_key
+from repro.datalog.plans import DEFAULT_ORDER
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Var
 from repro.datalog.unify import Subst, ground_term
@@ -155,6 +156,7 @@ class BasicStageEngine(BaseEngine):
         max_stages: int | None = None,
         tracer: Tracer | None = None,
         governor: Any = None,
+        order: str = DEFAULT_ORDER,
     ):
         super().__init__(
             program,
@@ -163,6 +165,7 @@ class BasicStageEngine(BaseEngine):
             record_trace=record_trace,
             tracer=tracer,
             governor=governor,
+            order=order,
         )
         self.allow_extended = allow_extended
         #: Safety valve: abort if any stage clique exceeds this many

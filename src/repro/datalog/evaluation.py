@@ -29,7 +29,7 @@ from repro.errors import EvaluationError
 from repro.storage.database import Database
 from repro.storage.relation import Relation
 
-__all__ = ["plan_body", "solve", "rule_consequences", "PlanStep"]
+__all__ = ["plan_body", "solve", "rule_consequences", "PlanStep", "comparison_ready"]
 
 Fact = Tuple[Any, ...]
 
@@ -64,29 +64,10 @@ def plan_body(
     bound: Set[str] = set(initially_bound)
     plan: List[PlanStep] = []
 
-    def comparison_ready(comp: Comparison) -> bool:
-        left = _term_var_names(comp.left)
-        right = _term_var_names(comp.right)
-        if comp.op == "=":
-            left_bound = left <= bound
-            right_bound = right <= bound
-            if left_bound and right_bound:
-                return True
-            # One side must be computable and the other invertible: a
-            # variable or a constructor pattern.  An arithmetic expression
-            # with unbound variables cannot be solved for, so the
-            # assignment must wait until its inputs are bound.
-            if right_bound:
-                return not _unbound_arithmetic(comp.left, bound)
-            if left_bound:
-                return not _unbound_arithmetic(comp.right, bound)
-            return False
-        return left | right <= bound
-
     while remaining:
         chosen: Optional[int] = None
         for i, (literal, _) in enumerate(remaining):
-            if isinstance(literal, Comparison) and comparison_ready(literal):
+            if isinstance(literal, Comparison) and comparison_ready(literal, bound):
                 chosen = i
                 break
         if chosen is None:
@@ -119,6 +100,35 @@ def plan_body(
 
 def _term_var_names(term: Term) -> Set[str]:
     return {v.name for v in term.variables() if not v.name.startswith("_")}
+
+
+def comparison_ready(comp: Comparison, bound: Set[str]) -> bool:
+    """Whether *comp* may be scheduled once the names in *bound* are bound.
+
+    A non-``=`` comparison needs every variable bound.  An ``=`` goal may
+    run as an assignment: one side computable, the other invertible (a
+    variable or constructor pattern — not arithmetic over unbound
+    variables).  Shared by :func:`plan_body` and the greedy reorderer in
+    :mod:`repro.datalog.plans`, so both policies schedule filters at the
+    same (earliest sound) positions.
+    """
+    left = _term_var_names(comp.left)
+    right = _term_var_names(comp.right)
+    if comp.op == "=":
+        left_bound = left <= bound
+        right_bound = right <= bound
+        if left_bound and right_bound:
+            return True
+        # One side must be computable and the other invertible: a
+        # variable or a constructor pattern.  An arithmetic expression
+        # with unbound variables cannot be solved for, so the
+        # assignment must wait until its inputs are bound.
+        if right_bound:
+            return not _unbound_arithmetic(comp.left, bound)
+        if left_bound:
+            return not _unbound_arithmetic(comp.right, bound)
+        return False
+    return left | right <= bound
 
 
 def _unbound_arithmetic(term: Term, bound: Set[str]) -> bool:

@@ -128,7 +128,7 @@ def _explain(
         if head_subst is None:
             continue
         try:
-            plan = cache.plan(rule, bound=frozenset(head_subst))
+            plan = cache.plan(rule, bound=frozenset(head_subst), db=db)
         except EvaluationError:
             continue
         for subst in run_plan(plan, db, dict(head_subst)):

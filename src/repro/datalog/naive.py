@@ -16,7 +16,7 @@ import time
 from typing import Any, List
 
 from repro.datalog.dependency import DependencyGraph
-from repro.datalog.plans import PlanCache
+from repro.datalog.plans import DEFAULT_ORDER, PlanCache
 from repro.datalog.program import Program
 from repro.errors import BudgetExceeded, Cancelled, EvaluationError
 from repro.obs.metrics import RegistryBackedStats
@@ -41,6 +41,8 @@ class EngineStats(RegistryBackedStats):
             ``rule_firings`` grows: at most one compilation per
             ``(rule, delta occurrence)`` per engine run.
         plan_cache_hits: plan requests served from the cache.
+        plans_reordered: compiled plans whose greedy join order differs
+            from the written-order baseline (0 under ``order="written"``).
         phase_seconds: wall time per phase — ``"plan"`` (body compilation)
             and ``"eval"`` (fixpoint evaluation), plus a ``"round"``
             entry accumulated per fixpoint pass.
@@ -52,6 +54,7 @@ class EngineStats(RegistryBackedStats):
         "facts_derived",
         "plans_compiled",
         "plan_cache_hits",
+        "plans_reordered",
     )
 
 
@@ -70,6 +73,8 @@ class NaiveEngine:
         cache_plans: compile each rule body once and reuse the plan
             (default).  ``False`` re-plans on every firing — the
             per-call-planning baseline for the plan-cache benchmark.
+        order: join-order policy (``"greedy"`` default, ``"written"``
+            legacy) — see :mod:`repro.datalog.plans`.
     """
 
     engine_name = "naive"
@@ -81,6 +86,7 @@ class NaiveEngine:
         cache_plans: bool = True,
         tracer: Tracer | None = None,
         governor: Any = None,
+        order: str = DEFAULT_ORDER,
     ):
         for rule in program.proper_rules():
             if rule.has_meta_goals:
@@ -93,7 +99,9 @@ class NaiveEngine:
         self.graph = DependencyGraph(program)
         self.tracer = tracer if tracer is not None else Tracer()
         self.stats = EngineStats(registry=self.tracer.registry)
-        self.plans = PlanCache(stats=self.stats, enabled=cache_plans)
+        self.plans = PlanCache(
+            stats=self.stats, enabled=cache_plans, order=order, tracer=self.tracer
+        )
         self.governor = governor if governor is not None else NULL_GOVERNOR
 
     def run(self, db: Database | None = None) -> Database:
@@ -113,7 +121,7 @@ class NaiveEngine:
         for name, facts in self.program.ground_facts().items():
             db.assert_all(name, facts)
         for rule in self.program.proper_rules():
-            self.plans.plan(rule)
+            self.plans.plan(rule, db=db)
         self.plans.register_indices(db)
         self.governor.start(
             db, registry=self.tracer.registry, tracer=self.tracer, engine=self

@@ -1,13 +1,35 @@
 """Rule-body compilation: reusable execution plans and the plan cache.
 
-:func:`~repro.datalog.evaluation.plan_body` chooses a join order with a
-bound-first greedy heuristic, and the tuple-at-a-time solver re-derives
-the bound/free argument split of every atom for every substitution.  Both
-costs are per *firing* today, while the Section 6 complexity bounds charge
-planning per *rule*.  This module compiles a rule body once into a
-:class:`CompiledPlan` — the ordered steps plus, per step, the statically
-known bound/free argument split — and caches the result so every later
-firing reuses it.
+The tuple-at-a-time solver re-derives the bound/free argument split of
+every atom for every substitution, a per-*firing* cost, while the
+Section 6 complexity bounds charge planning per *rule*.  This module
+compiles a rule body once into a :class:`CompiledPlan` — the ordered
+steps plus, per step, the statically known bound/free argument split —
+and caches the result so every later firing reuses it.
+
+Join orders are chosen by an ``order`` policy:
+
+* ``"greedy"`` (default) — selectivity-driven greedy reordering.  Ready
+  comparisons and negations always run at the earliest position where
+  their variables are bound (they are pure filters); among the positive
+  atoms the reorderer repeatedly picks the one that is most selective
+  *by inspection*: first any atom whose relation is provably empty at
+  compile time (the join produces nothing, so the plan exits at step
+  one), then most constant arguments, then most arguments bound by the
+  already-scheduled steps, then — when a :class:`Database` is supplied —
+  the smallest relation.  No statistics are gathered or maintained: the
+  selectivity is read off the pattern and the current relation sizes,
+  so planning stays microseconds per rule.
+* ``"written"`` — the legacy bound-first heuristic of
+  :func:`~repro.datalog.evaluation.plan_body`, which follows the written
+  body order except for filter hoisting.  Kept behind the flag as the
+  baseline the bench sweep measures against, and for programs whose
+  authors hand-ordered bodies deliberately.
+
+Both policies produce the same solution *sets* (reordering a conjunction
+is semantics-preserving; the invariance battery in
+``tests/datalog/test_reorder.py`` proves it property-style) — only the
+enumeration cost differs.
 
 Two refinements matter for the seminaive engine:
 
@@ -62,7 +84,7 @@ from repro.datalog.atoms import (
     Negation,
 )
 from repro.datalog.builtins import eval_comparison
-from repro.datalog.evaluation import plan_body
+from repro.datalog.evaluation import _outer_vars, comparison_ready, plan_body
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Term
 from repro.datalog.unify import Subst, ground_term, match_term
@@ -75,16 +97,34 @@ __all__ = [
     "CompiledPlan",
     "CompiledRule",
     "PlanCache",
+    "ORDER_POLICIES",
+    "DEFAULT_ORDER",
     "compile_plan",
     "compile_rule",
     "run_plan",
     "register_plan_indices",
+    "describe_plan",
+    "check_static_boundness",
 ]
 
 Fact = Tuple[Any, ...]
 
 #: ``(position, argument term)`` pairs — the static bound/free split.
 ArgSlot = Tuple[int, Term]
+
+#: The recognised join-order policies.
+ORDER_POLICIES: Tuple[str, ...] = ("greedy", "written")
+
+#: Policy used when callers do not choose one.
+DEFAULT_ORDER = "greedy"
+
+
+def _check_order(order: str) -> str:
+    if order not in ORDER_POLICIES:
+        raise EvaluationError(
+            f"unknown join-order policy {order!r}; expected one of {ORDER_POLICIES}"
+        )
+    return order
 
 
 def _named_vars(literal: Literal) -> Set[str]:
@@ -113,6 +153,113 @@ def _split_args(
             free_slots.append((position, arg))
     positions = tuple(position for position, _ in bound_slots)
     return tuple(bound_slots), tuple(free_slots), positions
+
+
+# -- greedy join ordering ------------------------------------------------------
+
+
+def _relation_size(atom: Atom, db: Optional[Database]) -> Optional[int]:
+    """Cardinality hint for *atom*'s relation, or ``None`` without a db.
+
+    A predicate with no relation yet counts as empty: joining against it
+    yields nothing, so scheduling it first turns the whole plan into an
+    O(1) early exit.
+    """
+    if db is None:
+        return None
+    relation = db.get(atom.pred, atom.arity)
+    return 0 if relation is None else len(relation)
+
+
+def _atom_score(
+    atom: Atom, bound: Set[str], db: Optional[Database]
+) -> Tuple[int, int, int, int]:
+    """Selectivity score of scheduling *atom* next (larger = better).
+
+    The components, in priority order:
+
+    1. provably-empty relation (the join is empty — exit immediately);
+    2. number of constant (variable-free) argument terms;
+    3. number of argument variables already bound by executed steps;
+    4. negated relation size (smaller relations first) when a database
+       supplied cardinality hints.
+
+    Ties fall back to written order (the caller scans left to right and
+    keeps the first maximum).
+    """
+    size = _relation_size(atom, db)
+    constants = sum(1 for arg in atom.args if not list(arg.variables()))
+    bound_vars = sum(1 for name in _named_vars(atom) if name in bound)
+    return (
+        1 if size == 0 else 0,
+        constants,
+        bound_vars,
+        -(size or 0),
+    )
+
+
+def _greedy_order(
+    pairs: Sequence[Tuple[Literal, int]],
+    initially_bound: Set[str],
+    db: Optional[Database],
+    decisions: Optional[List[str]] = None,
+) -> List[Tuple[Literal, int]]:
+    """Greedily order *pairs* by pattern-visible selectivity.
+
+    Filters (comparisons, negations, negated conjunctions) schedule at
+    the earliest position where their required variables are bound —
+    identical to :func:`~repro.datalog.evaluation.plan_body`, so the two
+    policies differ only in which *positive atom* they pick next.  Among
+    the atoms the maximum of :func:`_atom_score` wins; ties keep written
+    order.  When *decisions* is given, each atom choice is appended to it
+    as a human-readable line (surfaced by explain/trace output).
+    """
+    remaining = list(pairs)
+    bound: Set[str] = set(initially_bound)
+    ordered: List[Tuple[Literal, int]] = []
+    while remaining:
+        chosen: Optional[int] = None
+        for i, (literal, _) in enumerate(remaining):
+            if isinstance(literal, Comparison) and comparison_ready(literal, bound):
+                chosen = i
+                break
+        if chosen is None:
+            for i, (literal, _) in enumerate(remaining):
+                if isinstance(literal, (Negation, NegatedConjunction)):
+                    if _outer_vars(literal, remaining, i) <= bound:
+                        chosen = i
+                        break
+        if chosen is None:
+            best_score: Optional[Tuple[int, int, int, int]] = None
+            candidates = 0
+            for i, (literal, _) in enumerate(remaining):
+                if not isinstance(literal, Atom):
+                    continue
+                candidates += 1
+                score = _atom_score(literal, bound, db)
+                if best_score is None or score > best_score:
+                    best_score = score
+                    chosen = i
+            if chosen is not None and decisions is not None and candidates > 1:
+                literal, _ = remaining[chosen]
+                assert best_score is not None
+                empty, constants, bound_vars, neg_size = best_score
+                parts = [f"constants={constants}", f"bound_vars={bound_vars}"]
+                if db is not None:
+                    parts.append(f"size={-neg_size}")
+                if empty:
+                    parts.append("empty-relation early exit")
+                decisions.append(
+                    f"step {len(ordered)}: {literal} of {candidates} "
+                    f"candidates ({', '.join(parts)})"
+                )
+        if chosen is None:
+            pending = ", ".join(str(l) for l, _ in remaining)
+            raise EvaluationError(f"cannot order body goals: {pending}")
+        literal, index = remaining.pop(chosen)
+        ordered.append((literal, index))
+        bound |= _named_vars(literal)
+    return ordered
 
 
 @dataclass(frozen=True)
@@ -154,12 +301,20 @@ class CompiledPlan:
             specializes, or ``None`` for the generic plan.
         head_args: the head argument terms, when the plan was compiled
             from a full rule (enables :meth:`consequences`).
+        order: the join-order policy the plan was compiled under.
+        reordered: whether the chosen step order differs from what the
+            ``written`` policy would have produced for the same inputs.
+        decisions: human-readable greedy atom-choice notes, surfaced by
+            plan explain and trace output.
     """
 
     steps: Tuple[CompiledStep, ...]
     initially_bound: frozenset = frozenset()
     delta_index: Optional[int] = None
     head_args: Optional[Tuple[Term, ...]] = None
+    order: str = DEFAULT_ORDER
+    reordered: bool = False
+    decisions: Tuple[str, ...] = ()
 
     def solutions(
         self,
@@ -217,21 +372,38 @@ def compile_plan(
     initially_bound: frozenset = frozenset(),
     delta_index: int | None = None,
     head_args: Tuple[Term, ...] | None = None,
+    order: str = DEFAULT_ORDER,
+    db: Database | None = None,
 ) -> CompiledPlan:
     """Compile ``(literal, original_index)`` pairs into a reusable plan.
 
     With *delta_index*, the positive literal at that body index is placed
     first (it reads the delta relation at run time) and the remaining
-    goals are ordered against its bindings.
+    goals are ordered against its bindings — under *both* policies, so
+    the seminaive delta-first guarantee survives reordering.
+
+    Args:
+        order: join-order policy (module docstring); ``"greedy"`` reorders
+            atoms by pattern-visible selectivity, ``"written"`` keeps the
+            legacy bound-first heuristic.
+        db: optional database supplying relation-size cardinality hints
+            to the greedy policy.  Sizes are read once, at compile time.
 
     Raises:
-        EvaluationError: if no valid order exists (unsafe body), or the
-            delta index does not name a positive literal.
+        EvaluationError: if no valid order exists (unsafe body), the
+            delta index does not name a positive literal, or *order* is
+            not a recognised policy.
     """
+    _check_order(order)
     pairs = list(literals)
     bound: Set[str] = set(initially_bound)
+    decisions: List[str] = []
     if delta_index is None:
-        ordered = plan_body(pairs, initially_bound=bound)
+        written = plan_body(pairs, initially_bound=bound)
+        if order == "written":
+            ordered = written
+        else:
+            ordered = _greedy_order(pairs, bound, db, decisions)
     else:
         delta_pair = next(
             (
@@ -246,9 +418,14 @@ def compile_plan(
                 f"delta index {delta_index} does not name a positive body goal"
             )
         rest = [(l, i) for l, i in pairs if i != delta_index]
-        ordered = [delta_pair] + plan_body(
-            rest, initially_bound=bound | _named_vars(delta_pair[0])
-        )
+        rest_bound = bound | _named_vars(delta_pair[0])
+        written = [delta_pair] + plan_body(rest, initially_bound=rest_bound)
+        if order == "written":
+            ordered = written
+        else:
+            decisions.append(f"delta literal pinned first: {delta_pair[0]}")
+            ordered = [delta_pair] + _greedy_order(rest, rest_bound, db, decisions)
+    reordered = [index for _, index in ordered] != [index for _, index in written]
     steps: List[CompiledStep] = []
     for literal, index in ordered:
         steps.append(
@@ -257,16 +434,29 @@ def compile_plan(
                 index,
                 bound,
                 is_delta=(delta_index is not None and index == delta_index),
+                order=order,
+                db=db,
             )
         )
         bound |= _named_vars(literal)
     return CompiledPlan(
-        tuple(steps), frozenset(initially_bound), delta_index, head_args
+        tuple(steps),
+        frozenset(initially_bound),
+        delta_index,
+        head_args,
+        order=order,
+        reordered=reordered,
+        decisions=tuple(decisions) if order == "greedy" else (),
     )
 
 
 def _compile_step(
-    literal: Literal, index: int, bound: Set[str], is_delta: bool = False
+    literal: Literal,
+    index: int,
+    bound: Set[str],
+    is_delta: bool = False,
+    order: str = DEFAULT_ORDER,
+    db: Database | None = None,
 ) -> CompiledStep:
     if isinstance(literal, Atom):
         bound_slots, free_slots, positions = _split_args(literal.args, bound)
@@ -278,6 +468,8 @@ def _compile_step(
         inner = compile_plan(
             [(inner_literal, -1) for inner_literal in literal.literals],
             initially_bound=frozenset(bound),
+            order=order,
+            db=db,
         )
         return CompiledStep(literal, index, False, inner=inner)
     if isinstance(literal, Comparison):
@@ -293,6 +485,8 @@ def compile_rule(
     delta_indices: Sequence[int] = (),
     initially_bound: frozenset = frozenset(),
     drop: Tuple[Type[Literal], ...] = (),
+    order: str = DEFAULT_ORDER,
+    db: Database | None = None,
 ) -> CompiledRule:
     """Compile *rule* into its generic plan plus delta-specialized plans.
 
@@ -303,15 +497,17 @@ def compile_rule(
         initially_bound: variable names bound before the body runs.
         drop: literal classes stripped from the body before planning
             (the engines drop the meta-goals they realise themselves).
+        order: join-order policy passed to :func:`compile_plan`.
+        db: optional database supplying cardinality hints to ``greedy``.
     """
     literals = [
         (literal, index)
         for index, literal in enumerate(rule.body)
         if not (drop and isinstance(literal, drop))
     ]
-    base = compile_plan(literals, initially_bound, None, rule.head.args)
+    base = compile_plan(literals, initially_bound, None, rule.head.args, order, db)
     delta_plans = {
-        index: compile_plan(literals, initially_bound, index, rule.head.args)
+        index: compile_plan(literals, initially_bound, index, rule.head.args, order, db)
         for index in delta_indices
     }
     return CompiledRule(rule, base, delta_plans)
@@ -430,6 +626,63 @@ def register_plan_indices(plan: CompiledPlan, db: Database) -> None:
             register_plan_indices(step.inner, db)
 
 
+def describe_plan(plan: CompiledPlan) -> List[str]:
+    """Human-readable lines for *plan*: policy, per-step literal with its
+    index pattern, and the greedy reorder decisions.  Used by explain and
+    kept deliberately plain so it diffs well in golden tests."""
+    header = f"order={plan.order}"
+    if plan.reordered:
+        header += " (reordered)"
+    lines = [header]
+    for position, step in enumerate(plan.steps):
+        tags = []
+        if step.is_delta:
+            tags.append("delta")
+        if step.positions:
+            tags.append("bound=" + ",".join(str(p) for p in step.positions))
+        suffix = f"  [{' '.join(tags)}]" if tags else ""
+        lines.append(f"  {position}: {step.literal}{suffix}")
+    for decision in plan.decisions:
+        lines.append(f"  # {decision}")
+    return lines
+
+
+def check_static_boundness(plan: CompiledPlan) -> List[str]:
+    """Violations of the static-boundness contract in *plan* (empty ⇒ sound).
+
+    Walks the steps replaying the bound-variable set and checks that
+    every comparison is ready at its scheduled position and every plain
+    negation has all its named variables bound; hoisted inner plans of
+    negated conjunctions are checked recursively (their unbound locals
+    are existential and legal).  The reorder-invariance suite asserts
+    this returns ``[]`` for every generated plan under both policies.
+    """
+    violations: List[str] = []
+    bound: Set[str] = set(plan.initially_bound)
+    for position, step in enumerate(plan.steps):
+        literal = step.literal
+        if isinstance(literal, Comparison):
+            if not comparison_ready(literal, bound):
+                violations.append(
+                    f"step {position}: comparison {literal} not ready "
+                    f"(bound: {sorted(bound)})"
+                )
+        elif isinstance(literal, Negation):
+            unbound = _named_vars(literal) - bound
+            if unbound:
+                violations.append(
+                    f"step {position}: negation {literal} has unbound "
+                    f"variables {sorted(unbound)}"
+                )
+        elif isinstance(literal, NegatedConjunction) and step.inner is not None:
+            violations.extend(
+                f"step {position} inner: {violation}"
+                for violation in check_static_boundness(step.inner)
+            )
+        bound |= _named_vars(literal)
+    return violations
+
+
 # -- the cache -----------------------------------------------------------------
 
 
@@ -445,14 +698,26 @@ class PlanCache:
     Args:
         stats: optional counter object (``EngineStats`` /
             ``EngineRunStats``) — the cache bumps ``plans_compiled`` /
-            ``plan_cache_hits`` and the ``plan`` phase timer on it.
+            ``plan_cache_hits`` / ``plans_reordered`` and the ``plan``
+            phase timer on it.
         enabled: with ``False`` every request recompiles (the per-call
             planning baseline used by the plan-cache ablation benchmark).
+        order: join-order policy every compile in this cache uses.
+        tracer: optional tracer — a ``plan-reordered`` event is emitted
+            whenever a fresh compile changed the written order.
     """
 
-    def __init__(self, stats: Any = None, enabled: bool = True):
+    def __init__(
+        self,
+        stats: Any = None,
+        enabled: bool = True,
+        order: str = DEFAULT_ORDER,
+        tracer: Any = None,
+    ):
         self.stats = stats
         self.enabled = enabled
+        self.order = _check_order(order)
+        self.tracer = tracer
         self._plans: Dict[Tuple[Any, ...], CompiledPlan] = {}
         self._rules: Dict[int, Rule] = {}
 
@@ -465,8 +730,16 @@ class PlanCache:
         delta_index: int | None = None,
         bound: frozenset = frozenset(),
         drop: Tuple[Type[Literal], ...] = (),
+        db: Database | None = None,
     ) -> CompiledPlan:
-        """The compiled plan for *rule* under the given specialization."""
+        """The compiled plan for *rule* under the given specialization.
+
+        *db*, when given, supplies cardinality hints to the greedy
+        policy.  It is not part of the cache key: the first compile's
+        sizes win, which is deliberate — engines compile all plans up
+        front against the loaded EDB, and re-planning mid-run would
+        invalidate the registered indices.
+        """
         key = (
             id(rule),
             delta_index,
@@ -483,11 +756,24 @@ class PlanCache:
             for index, literal in enumerate(rule.body)
             if not (drop and isinstance(literal, drop))
         ]
-        plan = compile_plan(literals, bound, delta_index, rule.head.args)
+        plan = compile_plan(
+            literals, bound, delta_index, rule.head.args, self.order, db
+        )
         if self.enabled:
             self._plans[key] = plan
             self._rules[id(rule)] = rule
         self._bump("plans_compiled")
+        if plan.reordered:
+            self._bump("plans_reordered")
+            tracer = self.tracer
+            if tracer is not None and getattr(tracer, "enabled", False):
+                tracer.event(
+                    "plan-reordered",
+                    rule=str(rule),
+                    delta_index=delta_index,
+                    steps=[str(step.literal) for step in plan.steps],
+                    decisions=list(plan.decisions),
+                )
         self._time("plan", time.perf_counter() - start)
         return plan
 
@@ -506,7 +792,7 @@ class PlanCache:
             raise EvaluationError(
                 f"rule has meta-goals, use the core engines: {rule}"
             )
-        plan = self.plan(rule, delta_index=delta_index)
+        plan = self.plan(rule, delta_index=delta_index, db=db)
         return plan.consequences(db, delta_relation=delta_relation, neg_db=neg_db)
 
     def register_indices(self, db: Database) -> None:

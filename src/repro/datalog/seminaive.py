@@ -32,7 +32,7 @@ from typing import Any, Dict, List, Tuple
 from repro.datalog.atoms import Atom
 from repro.datalog.dependency import Clique, DependencyGraph
 from repro.datalog.naive import EngineStats
-from repro.datalog.plans import PlanCache
+from repro.datalog.plans import DEFAULT_ORDER, PlanCache
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.errors import BudgetExceeded, Cancelled, EvaluationError
@@ -61,6 +61,9 @@ class SeminaiveEngine:
             once and reuse the plans (default).  ``False`` re-plans on
             every firing: the per-call-planning baseline the plan-cache
             benchmark measures against.
+        order: join-order policy (``"greedy"`` default, ``"written"``
+            legacy).  Delta plans keep the delta literal pinned first
+            under both policies.
     """
 
     engine_name = "seminaive"
@@ -72,6 +75,7 @@ class SeminaiveEngine:
         cache_plans: bool = True,
         tracer: Tracer | None = None,
         governor: Any = None,
+        order: str = DEFAULT_ORDER,
     ):
         for rule in program.proper_rules():
             if rule.has_meta_goals:
@@ -84,7 +88,9 @@ class SeminaiveEngine:
         self.graph = DependencyGraph(program)
         self.tracer = tracer if tracer is not None else Tracer()
         self.stats = EngineStats(registry=self.tracer.registry)
-        self.plans = PlanCache(stats=self.stats, enabled=cache_plans)
+        self.plans = PlanCache(
+            stats=self.stats, enabled=cache_plans, order=order, tracer=self.tracer
+        )
         self.governor = governor if governor is not None else NULL_GOVERNOR
 
     def run(self, db: Database | None = None) -> Database:
@@ -104,10 +110,10 @@ class SeminaiveEngine:
         for group in order:
             for clique in group:
                 for rule in clique.rules:
-                    self.plans.plan(rule)
+                    self.plans.plan(rule, db=db)
                 if clique.is_recursive:
                     for rule, delta_index, _ in self._delta_variants(clique):
-                        self.plans.plan(rule, delta_index=delta_index)
+                        self.plans.plan(rule, delta_index=delta_index, db=db)
         self.plans.register_indices(db)
         self.governor.start(
             db, registry=self.tracer.registry, tracer=self.tracer, engine=self

@@ -178,6 +178,7 @@ def restore(
     governor: Any = None,
     tracer: Any = None,
     engine: str | None = None,
+    order: str | None = None,
 ) -> Tuple[Any, Database]:
     """Rebuild an engine + database pair ready to continue the run.
 
@@ -186,9 +187,11 @@ def restore(
     version 2+) this is enforced and a mismatch raises
     :class:`~repro.errors.CheckpointError`.  Returns ``(engine, db)``;
     calling ``engine.run(db)`` continues from the stop boundary under the
-    new *governor*.
+    new *governor*.  *order* pins the resumed engine's join-order policy
+    (the model is order-invariant, so any policy resumes any checkpoint).
     """
     from repro.core.compiler import _make_engine
+    from repro.datalog.plans import DEFAULT_ORDER
 
     if cp.fingerprint:
         actual = program_fingerprint(program)
@@ -204,7 +207,12 @@ def restore(
     if cp.rng_state is not None:
         rng.setstate(cp.rng_state)
     instance = _make_engine(
-        engine or cp.engine, program, rng, tracer=tracer, governor=governor
+        engine or cp.engine,
+        program,
+        rng,
+        tracer=tracer,
+        governor=governor,
+        order=order or DEFAULT_ORDER,
     )
     db = Database()
     for (name, _arity), rows in cp.facts.items():
