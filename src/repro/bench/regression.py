@@ -36,7 +36,7 @@ import sys
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Sequence
 
-from repro.bench.runner import sweep
+from repro.bench.runner import EmptySweepError, sweep
 from repro.core.compiler import compile_program, solve_program
 from repro.datalog.parser import parse_program
 from repro.datalog.seminaive import SeminaiveEngine
@@ -72,6 +72,11 @@ JOIN_SIZES = [64, 128, 256]
 #: CI gate: the greedy join order must never lose to the written order on
 #: the multi-join sweep (mean written_s / greedy_s across sizes ≥ 1.0).
 JOIN_ORDER_SPEEDUP_FLOOR = 1.0
+EXTREMA_SIZES = [24, 48, 96]
+#: CI gate: extrema pushdown must never lose to saturate-then-filter on
+#: the shortest-path sweep (mean post_s / pushdown_s across sizes ≥ 1.0);
+#: in practice the gap is an order of magnitude at the largest size.
+EXTREMA_SPEEDUP_FLOOR = 1.0
 
 #: Wide multi-join rules (4-6 goals per body) over skewed relation sizes.
 #: The written body order leads every rule with a big relation and leaves
@@ -389,6 +394,69 @@ def _join_order_rows(
     return rows
 
 
+def _extrema_graph(n: int, width: int = 4) -> List[tuple]:
+    """A layered DAG of *n* nodes (edges only point forward, so the
+    "post" policy's un-pruned fixpoint stays finite): ``width`` nodes per
+    layer, every consecutive pair of layers fully connected with
+    deterministic costs in 1..9, plus one layer-skipping arc per layer.
+    Path multiplicity grows with depth, so post-policy saturation derives
+    many dominated distances per node where pushdown keeps one."""
+    layers = max(n // width, 2)
+    g: List[tuple] = []
+    for li in range(layers - 1):
+        for i in range(width):
+            u = li * width + i
+            for j in range(width):
+                g.append((u, (li + 1) * width + j, (li * 7 + i * 3 + j * 5) % 9 + 1))
+        if li + 2 < layers:
+            g.append((li * width, (li + 2) * width + 1, li % 9 + 1))
+    return g
+
+
+def _extrema_rows(
+    sizes: Sequence[int], repeats: int = 3
+) -> List[Dict[str, Any]]:
+    """Best-of-*repeats* post vs pushdown timings for the premappable
+    shortest-path program on layered DAGs, **interleaved** like the
+    governor sweep.  Models are checked identical per size before
+    anything is timed — the policy equivalence this repository proves in
+    the cross-engine battery, re-pinned here at bench scale."""
+    import time
+
+    program = parse_program(texts.SHORTEST_PATH)
+
+    def run(extrema: str, edges) -> Database:
+        db = Database()
+        db.assert_all("g", edges)
+        db.assert_all("source", [(0,)])
+        SeminaiveEngine(program, extrema=extrema).run(db)
+        return db
+
+    rows: List[Dict[str, Any]] = []
+    for size in sizes:
+        edges = _extrema_graph(size)
+        # Warm both paths and pin policy-invariance of the result.
+        if run("post", edges).as_dict() != run("pushdown", edges).as_dict():
+            raise AssertionError(f"extrema sweep: models diverged at size {size}")
+        best_post = best_push = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run("post", edges)
+            best_post = min(best_post, time.perf_counter() - start)
+            start = time.perf_counter()
+            run("pushdown", edges)
+            best_push = min(best_push, time.perf_counter() - start)
+        rows.append(
+            {
+                "size": size,
+                "post_s": round(best_post, 6),
+                "pushdown_s": round(best_push, 6),
+                "speedup": round(best_post / max(best_push, 1e-9), 3),
+            }
+        )
+    return rows
+
+
 def run_regression(
     tc_sizes: Sequence[int] = TC_SIZES,
     sort_sizes: Sequence[int] = SORT_SIZES,
@@ -408,6 +476,7 @@ def run_regression(
     service_rows = _service_overhead_rows(SERVICE_SIZES, repeats=max(repeats, 15))
     durable_rows = _durable_overhead_rows(DURABLE_SIZES, repeats=max(repeats, 15))
     join_rows = _join_order_rows(JOIN_SIZES, repeats=max(repeats, 9))
+    extrema_rows = _extrema_rows(EXTREMA_SIZES, repeats=max(repeats, 5))
     return {
         "meta": {
             "python": platform.python_version(),
@@ -509,6 +578,24 @@ def run_regression(
                     min(row["speedup"] for row in join_rows), 3
                 ),
             },
+            "extrema_pushdown": {
+                "description": "premappable shortest-path program on "
+                "layered DAGs, seminaive with extrema='post' (saturate "
+                "the full dominated fixpoint, then filter per group) vs "
+                "extrema='pushdown' (per-group best table consulted on "
+                "insert, dominated facts dropped and displaced ones "
+                "retracted from the delta); speedup = post_s / "
+                "pushdown_s, models checked identical before timing",
+                "rows": extrema_rows,
+                "mean_speedup": round(
+                    sum(row["speedup"] for row in extrema_rows)
+                    / len(extrema_rows),
+                    3,
+                ),
+                "min_speedup": round(
+                    min(row["speedup"] for row in extrema_rows), 3
+                ),
+            },
         },
     }
 
@@ -579,6 +666,17 @@ def check_against_baseline(
                 f"{mean_speedup:.3f}x the written order on the multi-join "
                 f"sweep (floor {JOIN_ORDER_SPEEDUP_FLOOR:.2f}x)"
             )
+    # `.get` guard: baselines written before the extrema sweep existed
+    # simply skip this gate.
+    extrema_block = report["sweeps"].get("extrema_pushdown")
+    if extrema_block is not None:
+        mean_speedup = extrema_block.get("mean_speedup", 1.0)
+        if mean_speedup < EXTREMA_SPEEDUP_FLOOR:
+            failures.append(
+                "extrema sweep regressed: pushdown averages "
+                f"{mean_speedup:.3f}x the post policy on the shortest-path "
+                f"sweep (floor {EXTREMA_SPEEDUP_FLOOR:.2f}x)"
+            )
     return failures
 
 
@@ -619,7 +717,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     default_out = Path(__file__).resolve().parents[3] / "BENCH_plans.json"
     out = Path(args.out) if args.out else default_out
-    report = run_regression()
+    try:
+        report = run_regression()
+    except EmptySweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = report["sweeps"]["seminaive_tc"]["rows"]
     if args.check:
         baseline_path = Path(args.baseline) if args.baseline else out
@@ -672,13 +774,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"join-order speedup: min {join['min_speedup']:.3f}x  "
             f"mean {join['mean_speedup']:.3f}x"
         )
+        extrema = report["sweeps"]["extrema_pushdown"]
+        for row in extrema["rows"]:
+            print(
+                f"  ext n={row['size']:>4}  post {row['post_s']:.4f}s  "
+                f"pushdown {row['pushdown_s']:.4f}s  speedup {row['speedup']:.2f}x"
+            )
+        print(
+            f"extrema speedup: min {extrema['min_speedup']:.3f}x  "
+            f"mean {extrema['mean_speedup']:.3f}x"
+        )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}")
             return 1
         print(
             "OK: plan-cache speedup, governor overhead, service overhead, "
-            "durable overhead and join-order speedup within tolerance"
+            "durable overhead, join-order speedup and extrema speedup "
+            "within tolerance"
         )
         return 0
     out.write_text(json.dumps(report, indent=2) + "\n")
@@ -693,6 +806,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             f"  join n={row['size']:>4}  written {row['written_s']:.4f}s  "
             f"greedy {row['greedy_s']:.4f}s  speedup {row['speedup']:.2f}x"
+        )
+    extrema = report["sweeps"]["extrema_pushdown"]
+    for row in extrema["rows"]:
+        print(
+            f"  ext n={row['size']:>4}  post {row['post_s']:.4f}s  "
+            f"pushdown {row['pushdown_s']:.4f}s  speedup {row['speedup']:.2f}x"
         )
     return 0
 

@@ -15,7 +15,21 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Sequence
 
-__all__ = ["SweepPoint", "SweepResult", "sweep", "fitted_exponent"]
+__all__ = [
+    "EmptySweepError",
+    "SweepPoint",
+    "SweepResult",
+    "sweep",
+    "fitted_exponent",
+]
+
+
+class EmptySweepError(ValueError):
+    """A sweep produced zero samples (empty size list or every size
+    skipped).  Raised instead of returning an empty result: an empty
+    sweep silently passes every shape assertion and writes a vacuous
+    baseline, so downstream harnesses must fail loudly (the regression
+    CLI exits 2 on it)."""
 
 
 @dataclass(frozen=True)
@@ -63,7 +77,17 @@ def sweep(
 
     Input construction is excluded from the timing; the best of *repeats*
     runs is recorded (least noise for shape fitting).
+
+    Raises:
+        EmptySweepError: when *sizes* is empty or *repeats* < 1 — a
+            zero-sample sweep must never masquerade as a measurement.
     """
+    if not sizes:
+        raise EmptySweepError(f"sweep {label!r} produced zero samples: empty size list")
+    if repeats < 1:
+        raise EmptySweepError(
+            f"sweep {label!r} produced zero samples: repeats={repeats}"
+        )
     result = SweepResult(label)
     for size in sizes:
         payload = make_input(size)

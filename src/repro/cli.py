@@ -45,7 +45,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.compiler import ENGINES, compile_program
 from repro.datalog.parser import parse_query
-from repro.datalog.plans import DEFAULT_ORDER, ORDER_POLICIES
+from repro.datalog.plans import (
+    DEFAULT_EXTREMA,
+    DEFAULT_ORDER,
+    EXTREMA_POLICIES,
+    ORDER_POLICIES,
+)
 from repro.datalog.terms import format_value
 from repro.datalog.unify import match_args
 from repro.errors import ReproError
@@ -84,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
             "join-order policy: 'greedy' reorders body atoms by "
             "selectivity, 'written' keeps the legacy body order "
             "(default: greedy)"
+        ),
+    )
+    parser.add_argument(
+        "--extrema",
+        choices=EXTREMA_POLICIES,
+        default=DEFAULT_EXTREMA,
+        help=(
+            "recursive extrema policy: 'pushdown' prunes dominated facts "
+            "during the fixpoint, 'post' filters after saturation "
+            "(default: pushdown)"
         ),
     )
     parser.add_argument("--seed", type=int, default=None, help="rng seed for γ draws")
@@ -216,6 +231,16 @@ def build_trace_parser() -> argparse.ArgumentParser:
             "join-order policy: 'greedy' reorders body atoms by "
             "selectivity, 'written' keeps the legacy body order "
             "(default: greedy)"
+        ),
+    )
+    parser.add_argument(
+        "--extrema",
+        choices=EXTREMA_POLICIES,
+        default=DEFAULT_EXTREMA,
+        help=(
+            "recursive extrema policy: 'pushdown' prunes dominated facts "
+            "during the fixpoint, 'post' filters after saturation "
+            "(default: pushdown)"
         ),
     )
     parser.add_argument("--seed", type=int, default=None, help="rng seed for γ draws")
@@ -381,7 +406,8 @@ def _run_engine(args, tracer, governor=None):
 
     source = Path(args.program).read_text()
     order = getattr(args, "order", DEFAULT_ORDER)
-    compiled = compile_program(source, engine=args.engine, order=order)
+    extrema = getattr(args, "extrema", DEFAULT_EXTREMA)
+    compiled = compile_program(source, engine=args.engine, order=order, extrema=extrema)
     facts = _load_facts(args.facts)
     rng = random.Random(args.seed) if args.seed is not None else None
     engine = _make_engine(
@@ -391,6 +417,7 @@ def _run_engine(args, tracer, governor=None):
         tracer=tracer,
         governor=governor,
         order=order,
+        extrema=extrema,
     )
     db = _as_database(facts)
     return compiled, engine, db
@@ -480,7 +507,11 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                 cp = load(args.resume_from)
                 compiled = compile_program(source, engine=cp.engine)
                 engine, db = restore(
-                    cp, compiled.program, governor=governor, tracer=tracer
+                    cp,
+                    compiled.program,
+                    governor=governor,
+                    tracer=tracer,
+                    extrema=args.extrema,
                 )
             except (OSError, ValueError, KeyError, CheckpointError) as exc:
                 reason = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
@@ -492,7 +523,9 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             for name, rows in _load_facts(args.facts).items():
                 db.assert_all(name, rows)
         else:
-            compiled = compile_program(source, engine=args.engine, order=args.order)
+            compiled = compile_program(
+                source, engine=args.engine, order=args.order, extrema=args.extrema
+            )
             if args.analyze:
                 _print_analysis(compiled, out)
                 return 0
@@ -507,6 +540,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                 tracer=tracer,
                 governor=governor,
                 order=args.order,
+                extrema=args.extrema,
             )
             db = _as_database(facts)
         if args.trace and hasattr(engine, "record_trace"):

@@ -28,7 +28,7 @@ from typing import Any
 
 from repro.core.engine_base import BaseEngine
 from repro.core.stage_analysis import CliqueReport
-from repro.datalog.plans import DEFAULT_ORDER
+from repro.datalog.plans import DEFAULT_EXTREMA, DEFAULT_ORDER
 from repro.datalog.program import Program
 from repro.errors import EvaluationError
 from repro.obs.tracer import Tracer
@@ -66,6 +66,7 @@ class ChoiceFixpointEngine(BaseEngine):
         tracer: Tracer | None = None,
         governor: Any = None,
         order: str = DEFAULT_ORDER,
+        extrema: str = DEFAULT_EXTREMA,
     ):
         for rule in program.proper_rules():
             if rule.next_goals:
@@ -81,6 +82,7 @@ class ChoiceFixpointEngine(BaseEngine):
             tracer=tracer,
             governor=governor,
             order=order,
+            extrema=extrema,
         )
 
     def _run_stage_clique(self, report: CliqueReport, db: Database) -> None:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
 
+from repro.core.extrema_lattice import BestTable, PremapSpec, dominated_facts
 from repro.datalog.atoms import Atom, ChoiceGoal, LeastGoal, MostGoal, NextGoal
 from repro.datalog.builtins import eval_expr, order_key
 from repro.datalog.plans import PlanCache, compile_plan, run_plan
@@ -24,7 +25,13 @@ from repro.obs.tracer import NULL_SPAN, Tracer
 from repro.storage.database import Database
 from repro.storage.relation import Relation
 
-__all__ = ["evaluate_rule_once", "saturate", "extrema_filter", "body_solutions"]
+__all__ = [
+    "evaluate_rule_once",
+    "saturate",
+    "saturate_with_extrema",
+    "extrema_filter",
+    "body_solutions",
+]
 
 Fact = Tuple[Any, ...]
 PredicateKey = Tuple[str, int]
@@ -237,6 +244,163 @@ def saturate(
             round_span.note(rule_firings=fired)
         deltas = next_deltas
     return produced
+
+
+def saturate_with_extrema(
+    rules: Sequence[Rule],
+    clique_predicates: Iterable[PredicateKey],
+    specs: Dict[PredicateKey, "PremapSpec"],
+    db: Database,
+    policy: str = "pushdown",
+    cache: PlanCache | None = None,
+    tracer: Tracer | None = None,
+    governor: Any = None,
+) -> Tuple[Dict[PredicateKey, List[Fact]], int]:
+    """Seminaive fixpoint of a premappable extrema clique.
+
+    The clique must have passed
+    :func:`repro.core.rewriting.premappable_extrema`, whose *specs* map
+    names each predicate's cost position, group positions, and direction.
+    Extrema goals are dropped from every plan; the policy decides when the
+    extremum is applied:
+
+    * ``"pushdown"`` — a :class:`~repro.core.extrema_lattice.BestTable` is
+      consulted on every insert: dominated new facts are dropped before
+      they reach the database, and facts a better insert displaces are
+      retracted from the relation and the pending deltas.  This is the
+      premappable optimisation — and on cost lattices with infinitely
+      ascending chains (e.g. summed costs over a cyclic graph) it is also
+      what makes the fixpoint finite.
+    * ``"post"`` — the legacy shape: saturate with extrema dropped, then
+      retract every fact that is not its group's best.  Model-for-model
+      identical on premappable cliques (that is the premappability
+      theorem), kept as the differential baseline.
+
+    Both policies keep ties, matching :func:`extrema_filter`.
+
+    Returns ``(produced, pruned)``: every fact derived (keyed by
+    predicate, counting facts later retracted) and the number of facts
+    pruned — dominated inserts dropped plus dominated facts retracted.
+    """
+    predicates = set(clique_predicates)
+    produced: Dict[PredicateKey, List[Fact]] = {}
+    pruned = 0
+    drop = (LeastGoal, MostGoal)
+    push = policy == "pushdown"
+    best = BestTable(specs) if push else None
+
+    deltas: Dict[PredicateKey, Set[Fact]] = {}
+
+    def insert(key: PredicateKey, fact: Fact, relation: Relation) -> bool:
+        nonlocal pruned
+        if best is not None:
+            accepted, displaced = best.observe(key, fact)
+            if not accepted:
+                pruned += 1
+                return False
+            for old in displaced:
+                if relation.discard(old):
+                    pruned += 1
+                pending = deltas.get(key)
+                if pending is not None:
+                    pending.discard(old)
+        if relation.add(fact):
+            produced.setdefault(key, []).append(fact)
+            deltas.setdefault(key, set()).add(fact)
+            return True
+        return False
+
+    if best is not None:
+        # Facts already present (embedded ground facts, checkpoint-resumed
+        # state) seed the best table; dominated ones are retracted so the
+        # table and the database agree before the first round.
+        for key in predicates:
+            relation = db.relation(key[0], key[1])
+            for fact in list(relation):
+                accepted, displaced = best.observe(key, fact)
+                if not accepted:
+                    relation.discard(fact)
+                    pruned += 1
+                for old in displaced:
+                    if relation.discard(old):
+                        pruned += 1
+
+    seed_span = (
+        tracer.span("saturation-round", phase="saturate", seed=True)
+        if tracer
+        else NULL_SPAN
+    )
+    with seed_span:
+        for rule in rules:
+            solutions = body_solutions(rule, db, drop=drop, cache=cache)
+            relation = db.relation(rule.head.pred, rule.head.arity)
+            for subst in solutions:
+                fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+                insert(rule.head.key, fact, relation)
+        seed_span.note(delta_facts=sum(len(f) for f in deltas.values()))
+
+    variants = _delta_variants(rules, predicates)
+    while any(deltas.values()):
+        if governor is not None:
+            governor.tick_round()
+        if _FAULT_HOOK is not None:
+            _FAULT_HOOK("engine.saturate")
+        current, deltas = deltas, {}
+        delta_relations = {
+            key: _as_relation(key, facts) for key, facts in current.items() if facts
+        }
+        round_span = (
+            tracer.span(
+                "saturation-round",
+                phase="saturate",
+                delta_facts=sum(len(r) for r in delta_relations.values()),
+            )
+            if tracer
+            else NULL_SPAN
+        )
+        with round_span:
+            fired = 0
+            for rule, index, key in variants:
+                delta_rel = delta_relations.get(key)
+                if delta_rel is None:
+                    continue
+                fired += 1
+                if cache is not None:
+                    plan = cache.plan(rule, delta_index=index, drop=drop, db=db)
+                else:
+                    literals = [
+                        (literal, i)
+                        for i, literal in enumerate(rule.body)
+                        if not isinstance(literal, drop)
+                    ]
+                    plan = compile_plan(literals, delta_index=index, db=db)
+                relation = db.relation(rule.head.pred, rule.head.arity)
+                firing = (
+                    tracer.span("rule-firing", head=str(rule.head), delta=key[0])
+                    if tracer
+                    else NULL_SPAN
+                )
+                with firing:
+                    solutions = list(run_plan(plan, db, {}, delta_rel))
+                    fresh = 0
+                    for subst in solutions:
+                        fact = tuple(
+                            ground_term(arg, subst) for arg in rule.head.args
+                        )
+                        if insert(rule.head.key, fact, relation):
+                            fresh += 1
+                    firing.note(solutions=len(solutions), new_facts=fresh)
+            round_span.note(rule_firings=fired)
+
+    if not push:
+        # Legacy post-filter: retract everything that is not its group's
+        # best (ties kept), per predicate.
+        for key, spec in specs.items():
+            relation = db.relation(key[0], key[1])
+            for fact in dominated_facts(relation, spec):
+                relation.discard(fact)
+                pruned += 1
+    return produced, pruned
 
 
 def _delta_variants(

@@ -36,7 +36,12 @@ from repro.core.stage_analysis import StageAnalysis, analyze_stages
 from repro.core.stage_engine import BasicStageEngine
 from repro.datalog.naive import NaiveEngine
 from repro.datalog.parser import parse_program
-from repro.datalog.plans import DEFAULT_ORDER, ORDER_POLICIES
+from repro.datalog.plans import (
+    DEFAULT_EXTREMA,
+    DEFAULT_ORDER,
+    EXTREMA_POLICIES,
+    ORDER_POLICIES,
+)
 from repro.datalog.program import Program
 from repro.datalog.seminaive import SeminaiveEngine
 from repro.errors import EvaluationError
@@ -60,6 +65,8 @@ class CompiledProgram:
     engine: str = "rql"
     #: Join-order policy compiled plans use (``"greedy"`` / ``"written"``).
     order: str = DEFAULT_ORDER
+    #: Extrema policy for premappable recursion (``"pushdown"`` / ``"post"``).
+    extrema: str = DEFAULT_EXTREMA
     #: The engine instance used by the most recent :meth:`run` (exposes
     #: stats, RQL structures, fallbacks...).
     last_engine: Any = field(default=None, repr=False)
@@ -78,6 +85,7 @@ class CompiledProgram:
         tracer: Tracer | None = None,
         governor: Any = None,
         order: str | None = None,
+        extrema: str | None = None,
     ) -> Database:
         """Evaluate the program and return the resulting database.
 
@@ -89,6 +97,8 @@ class CompiledProgram:
             engine: override the engine chosen at compile time.
             order: override the join-order policy chosen at compile time
                 (``"greedy"`` default, ``"written"`` legacy).
+            extrema: override the extrema policy chosen at compile time
+                (``"pushdown"`` default, ``"post"`` legacy).
             tracer: optional :class:`~repro.obs.tracer.Tracer` the run
                 emits spans/events and metrics into (pass one with
                 ``enabled=True`` to record a structured trace).
@@ -110,6 +120,7 @@ class CompiledProgram:
             tracer=tracer,
             governor=governor,
             order=order or self.order,
+            extrema=extrema or self.extrema,
         )
         self.last_engine = engine_instance
         return engine_instance.run(db)
@@ -154,6 +165,7 @@ def _make_engine(
     tracer: Tracer | None = None,
     governor: Any = None,
     order: str = DEFAULT_ORDER,
+    extrema: str = DEFAULT_EXTREMA,
 ):
     if name == "rql":
         return GreedyStageEngine(
@@ -163,6 +175,7 @@ def _make_engine(
             tracer=tracer,
             governor=governor,
             order=order,
+            extrema=extrema,
         )
     if name == "basic":
         return BasicStageEngine(
@@ -172,6 +185,7 @@ def _make_engine(
             tracer=tracer,
             governor=governor,
             order=order,
+            extrema=extrema,
         )
     if name == "choice":
         return ChoiceFixpointEngine(
@@ -181,20 +195,34 @@ def _make_engine(
             tracer=tracer,
             governor=governor,
             order=order,
+            extrema=extrema,
         )
     if name == "naive":
         return NaiveEngine(
-            program, check_safety=False, tracer=tracer, governor=governor, order=order
+            program,
+            check_safety=False,
+            tracer=tracer,
+            governor=governor,
+            order=order,
+            extrema=extrema,
         )
     if name == "seminaive":
         return SeminaiveEngine(
-            program, check_safety=False, tracer=tracer, governor=governor, order=order
+            program,
+            check_safety=False,
+            tracer=tracer,
+            governor=governor,
+            order=order,
+            extrema=extrema,
         )
     raise EvaluationError(f"unknown engine {name!r}; expected one of {ENGINES}")
 
 
 def compile_program(
-    source: Union[str, Program], engine: str = "rql", order: str = DEFAULT_ORDER
+    source: Union[str, Program],
+    engine: str = "rql",
+    order: str = DEFAULT_ORDER,
+    extrema: str = DEFAULT_EXTREMA,
 ) -> CompiledProgram:
     """Parse (if needed), safety-check and stage-analyse *source*.
 
@@ -209,10 +237,14 @@ def compile_program(
         raise EvaluationError(
             f"unknown join-order policy {order!r}; expected one of {ORDER_POLICIES}"
         )
+    if extrema not in EXTREMA_POLICIES:
+        raise EvaluationError(
+            f"unknown extrema policy {extrema!r}; expected one of {EXTREMA_POLICIES}"
+        )
     program = parse_program(source) if isinstance(source, str) else source
     program.check_safety()
     analysis = analyze_stages(program)
-    return CompiledProgram(program, analysis, engine, order)
+    return CompiledProgram(program, analysis, engine, order, extrema)
 
 
 def solve_program(
@@ -223,8 +255,9 @@ def solve_program(
     engine: str = "rql",
     governor: Any = None,
     order: str = DEFAULT_ORDER,
+    extrema: str = DEFAULT_EXTREMA,
 ) -> Database:
     """One-shot convenience: compile and run in a single call."""
-    return compile_program(source, engine=engine, order=order).run(
+    return compile_program(source, engine=engine, order=order, extrema=extrema).run(
         facts, seed=seed, rng=rng, governor=governor
     )

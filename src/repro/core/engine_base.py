@@ -28,7 +28,9 @@ from repro.core.clique_eval import (
     evaluate_rule_once,
     extrema_filter,
     saturate,
+    saturate_with_extrema,
 )
+from repro.core.rewriting import premappable_extrema
 from repro.core.stage_analysis import (
     CliqueReport,
     StageAnalysis,
@@ -38,7 +40,7 @@ from repro.core.stage_analysis import (
 )
 from repro.datalog.atoms import Atom, ChoiceGoal, Negation
 from repro.datalog.builtins import order_key
-from repro.datalog.plans import DEFAULT_ORDER, PlanCache
+from repro.datalog.plans import DEFAULT_EXTREMA, DEFAULT_ORDER, PlanCache
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.unify import Subst, ground_term, match_args
@@ -80,6 +82,7 @@ class EngineRunStats(RegistryBackedStats):
         "plans_compiled",
         "plan_cache_hits",
         "plans_reordered",
+        "facts_pruned_extrema",
     )
 
 
@@ -237,6 +240,7 @@ class BaseEngine:
         tracer: Tracer | None = None,
         governor: Any = None,
         order: str = DEFAULT_ORDER,
+        extrema: str = DEFAULT_EXTREMA,
     ):
         if check_safety:
             program.check_safety()
@@ -250,8 +254,11 @@ class BaseEngine:
         #: Counters backed by the tracer's metrics registry.
         self.stats = EngineRunStats(registry=self.tracer.registry)
         #: Per-run compiled-plan cache shared by every clique evaluation;
-        #: ``order`` selects the join-order policy for every compile.
-        self.plans = PlanCache(stats=self.stats, order=order, tracer=self.tracer)
+        #: ``order`` selects the join-order policy for every compile and
+        #: ``extrema`` the evaluation policy for premappable recursion.
+        self.plans = PlanCache(
+            stats=self.stats, order=order, extrema=extrema, tracer=self.tracer
+        )
         self.record_trace = record_trace
         #: γ decisions in order, populated when ``record_trace`` is set.
         self.trace: List[TraceEvent] = []
@@ -395,14 +402,41 @@ class BaseEngine:
                     evaluate_rule_once(rule, db, cache=self.plans, tracer=self.tracer)
                 )
             return
-        # Recursive plain clique: negation or extrema through recursion is
-        # not allowed here (that is exactly what stage cliques are for).
-        for rule in clique.rules:
-            if rule.extrema_goals:
+        # Recursive plain clique: premappable extrema are pushed into (or
+        # applied after) the fixpoint; non-premappable extrema and negation
+        # through recursion are not allowed here (that is exactly what
+        # stage cliques are for).
+        if any(rule.extrema_goals for rule in clique.rules):
+            specs = premappable_extrema(clique.rules, clique.predicates)
+            if specs is None:
+                offender = next(r for r in clique.rules if r.extrema_goals)
                 raise StratificationError(
                     f"extrema through recursion outside a stage clique in "
-                    f"{clique_label(clique)}: {rule_label(self.program, rule)}"
+                    f"{clique_label(clique)}: {rule_label(self.program, offender)}"
                 )
+            policy = self.plans.extrema
+            produced, pruned = saturate_with_extrema(
+                clique.rules,
+                clique.predicates,
+                specs,
+                db,
+                policy=policy,
+                cache=self.plans,
+                tracer=self.tracer,
+                governor=self.governor,
+            )
+            self.stats.saturation_facts += sum(len(v) for v in produced.values())
+            self.stats.facts_pruned_extrema += pruned
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "extrema-pushdown",
+                    clique=clique_label(clique),
+                    policy=policy,
+                    predicates=sorted(f"{n}/{a}" for n, a in specs),
+                    pruned=pruned,
+                )
+            return
+        for rule in clique.rules:
             for literal in rule.body:
                 if isinstance(literal, Negation) and literal.atom.key in clique.predicates:
                     raise StratificationError(

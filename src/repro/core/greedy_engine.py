@@ -34,7 +34,13 @@ from repro.core.stage_analysis import CliqueReport
 from repro.core.stage_engine import BasicStageEngine, StageCliqueState
 from repro.datalog.atoms import Atom, ChoiceGoal, Comparison, LeastGoal, MostGoal, NextGoal
 from repro.datalog.builtins import order_key
-from repro.datalog.plans import DEFAULT_ORDER, CompiledPlan, compile_plan, run_plan
+from repro.datalog.plans import (
+    DEFAULT_EXTREMA,
+    DEFAULT_ORDER,
+    CompiledPlan,
+    compile_plan,
+    run_plan,
+)
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Const, Var
 from repro.datalog.unify import Subst, ground_term, match_args
@@ -92,6 +98,7 @@ class GreedyStageEngine(BasicStageEngine):
         tracer: Tracer | None = None,
         governor: Any = None,
         order: str = DEFAULT_ORDER,
+        extrema: str = DEFAULT_EXTREMA,
     ):
         super().__init__(
             program,
@@ -103,6 +110,7 @@ class GreedyStageEngine(BasicStageEngine):
             tracer=tracer,
             governor=governor,
             order=order,
+            extrema=extrema,
         )
         #: With ``use_congruence=False`` the r-congruence deduplication is
         #: disabled (every candidate fact gets its own queue entry) — the

@@ -26,8 +26,9 @@ is what :mod:`repro.semantics.stable` checks engine outputs against.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.extrema_lattice import PremapSpec
 from repro.datalog.atoms import (
     Atom,
     ChoiceGoal,
@@ -49,9 +50,12 @@ __all__ = [
     "rewrite_choice",
     "rewrite_extrema",
     "rewrite_program",
+    "premappable_extrema",
     "CHOSEN_PREFIX",
     "DIFFCHOICE_PREFIX",
 ]
+
+PredicateKey = Tuple[str, int]
 
 #: Name prefixes for the predicates introduced by the choice rewriting.
 CHOSEN_PREFIX = "chosen$"
@@ -360,6 +364,199 @@ def rewrite_extrema(program: Program) -> Program:
             new_body.append(NegatedConjunction(inner))
         rewritten.append(Rule(rule.head, tuple(new_body)))
     return Program(tuple(rewritten))
+
+
+# ---------------------------------------------------------------------------
+# premappability (extrema pushdown into recursion)
+# ---------------------------------------------------------------------------
+
+
+def premappable_extrema(
+    rules: Sequence[Rule], clique_predicates: Iterable[PredicateKey]
+) -> Optional[Dict[PredicateKey, PremapSpec]]:
+    """Decide whether a recursive clique's extrema are premappable.
+
+    Premappability (Zaniolo et al.) means the extremum commutes with the
+    fixpoint — ``γ(lfp(T)) = lfp(γ ∘ T)`` — so dominated facts may be
+    pruned mid-recursion without changing the model.  This pass accepts a
+    clique exactly when every condition below holds, and returns the
+    per-predicate :class:`~repro.core.extrema_lattice.PremapSpec` map
+    driving the pushdown (``None`` means: fall back to the legacy
+    stratification error).
+
+    1. Every recursive rule of the clique carries exactly one extrema
+       goal; exit rules (no clique predicate in the body) carry none; no
+       rule uses choice/next, and no clique predicate occurs under a
+       negation or inside a negated conjunction.
+    2. The extrema cost term is a plain head variable occurring at exactly
+       one head position; every other head position is a constant or a
+       group variable, and the group terms are plain head variables.
+    3. All rules of one predicate agree on direction, cost position and
+       group positions, every clique predicate settles on a spec, and the
+       whole clique shares a single direction (no least/most mixing).
+    4. The cost flows monotonically: each clique body atom's cost-position
+       term is a variable reaching the head cost variable only through
+       ``=`` assignments nondecreasing in it (``+``/``max``/``min`` in any
+       argument, ``-`` in the left argument), distinct clique atoms use
+       distinct cost variables, and cost-chain variables occur nowhere
+       else in the rule — a guard like ``D > 10`` on the cost, or a join
+       on it, provably breaks the policy equivalence.
+    """
+    predicates = set(clique_predicates)
+    specs: Dict[PredicateKey, PremapSpec] = {}
+    extrema_rules: List[Rule] = []
+    for rule in rules:
+        if rule.choice_goals or rule.next_goals:
+            return None
+        for literal in rule.body:
+            if isinstance(literal, Negation) and literal.atom.key in predicates:
+                return None
+            if isinstance(literal, NegatedConjunction) and any(
+                isinstance(inner, Atom) and inner.key in predicates
+                for inner in literal.literals
+            ):
+                return None
+        recursive = any(
+            isinstance(l, Atom) and l.key in predicates for l in rule.body
+        )
+        extrema = rule.extrema_goals
+        if not recursive:
+            if extrema:
+                return None
+            continue
+        if len(extrema) != 1:
+            return None
+        spec = _rule_spec(rule, extrema[0])
+        if spec is None:
+            return None
+        previous = specs.get(rule.head.key)
+        if previous is not None and previous != spec:
+            return None
+        specs[rule.head.key] = spec
+        extrema_rules.append(rule)
+    if not specs or set(specs) != predicates:
+        return None
+    if len({spec.direction for spec in specs.values()}) != 1:
+        return None
+    for rule in extrema_rules:
+        if not _monotone_cost_flow(rule, specs, predicates):
+            return None
+    return specs
+
+
+def _rule_spec(rule: Rule, goal: LeastGoal | MostGoal) -> Optional[PremapSpec]:
+    """The :class:`PremapSpec` one extrema rule induces, or ``None``."""
+    cost = goal.cost
+    if not isinstance(cost, Var):
+        return None
+    head_args = rule.head.args
+    cost_positions = [
+        i for i, arg in enumerate(head_args) if isinstance(arg, Var) and arg == cost
+    ]
+    if len(cost_positions) != 1:
+        return None
+    group_vars: List[Var] = []
+    for term in goal.group:
+        if not isinstance(term, Var) or term == cost:
+            return None
+        group_vars.append(term)
+    group_positions: List[int] = []
+    head_group: Set[Var] = set()
+    for i, arg in enumerate(head_args):
+        if i == cost_positions[0]:
+            continue
+        if isinstance(arg, Const):
+            continue
+        if isinstance(arg, Var) and arg in group_vars:
+            group_positions.append(i)
+            head_group.add(arg)
+            continue
+        return None
+    if head_group != set(group_vars):
+        return None
+    return PremapSpec(
+        rule.head.key, cost_positions[0], tuple(group_positions), goal.name
+    )
+
+
+def _monotone_cost_flow(
+    rule: Rule, specs: Dict[PredicateKey, PremapSpec], predicates: Set[PredicateKey]
+) -> bool:
+    """Whether the rule's cost propagation is monotone and isolated."""
+    goal = rule.extrema_goals[0]
+    head_cost = goal.cost
+    clique_atoms = [
+        l for l in rule.body if isinstance(l, Atom) and l.key in predicates
+    ]
+    chain: Set[Var] = set()
+    for atom in clique_atoms:
+        term = atom.args[specs[atom.key].cost_position]
+        if not isinstance(term, Var) or term in chain:
+            # A cost variable shared by two clique atoms turns the join
+            # into an equality filter on costs, which pruning can starve.
+            return False
+        chain.add(term)
+    assignments = [
+        c for c in rule.comparisons if c.op == "=" and isinstance(c.left, Var)
+    ]
+    used: List[Comparison] = []
+    changed = True
+    while changed and head_cost not in chain:
+        changed = False
+        for comp in assignments:
+            if comp in used or comp.left in chain:
+                continue
+            touched = set(comp.right.variables()) & chain
+            if not touched:
+                continue
+            if not all(_monotone_in(comp.right, var) for var in touched):
+                return False
+            chain.add(comp.left)
+            used.append(comp)
+            changed = True
+    if head_cost not in chain:
+        return False
+    # Occurrence isolation: chain variables appear only at the clique-atom
+    # cost positions, in the used assignments, as the extrema cost, and at
+    # the head cost position.
+    for literal in rule.body:
+        if isinstance(literal, Comparison) and literal in used:
+            continue
+        if literal is goal:
+            for term in goal.group:
+                if set(term.variables()) & chain:
+                    return False
+            continue
+        if isinstance(literal, Atom) and literal.key in predicates:
+            cost_position = specs[literal.key].cost_position
+            for i, term in enumerate(literal.args):
+                if i != cost_position and set(term.variables()) & chain:
+                    return False
+            continue
+        if set(literal.variables()) & chain:
+            return False
+    spec = specs[rule.head.key]
+    for i, arg in enumerate(rule.head.args):
+        if i != spec.cost_position and set(arg.variables()) & chain:
+            return False
+    return True
+
+
+def _monotone_in(term: Term, var: Var) -> bool:
+    """Whether expression *term* is nondecreasing in *var*."""
+    if isinstance(term, (Var, Const)):
+        return True
+    if isinstance(term, Struct):
+        if var not in set(term.variables()):
+            return True
+        if term.functor in ("+", "max", "min"):
+            return all(_monotone_in(arg, var) for arg in term.args)
+        if term.functor == "-" and len(term.args) == 2:
+            return _monotone_in(term.args[0], var) and var not in set(
+                term.args[1].variables()
+            )
+        return False
+    return False
 
 
 # ---------------------------------------------------------------------------

@@ -40,7 +40,7 @@ from repro.core.clique_eval import (
 from repro.core.engine_base import BaseEngine, ChoiceMemo
 from repro.core.stage_analysis import CliqueReport, clique_label
 from repro.datalog.builtins import order_key
-from repro.datalog.plans import DEFAULT_ORDER
+from repro.datalog.plans import DEFAULT_EXTREMA, DEFAULT_ORDER
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Var
 from repro.datalog.unify import Subst, ground_term
@@ -157,6 +157,7 @@ class BasicStageEngine(BaseEngine):
         tracer: Tracer | None = None,
         governor: Any = None,
         order: str = DEFAULT_ORDER,
+        extrema: str = DEFAULT_EXTREMA,
     ):
         super().__init__(
             program,
@@ -166,6 +167,7 @@ class BasicStageEngine(BaseEngine):
             tracer=tracer,
             governor=governor,
             order=order,
+            extrema=extrema,
         )
         self.allow_extended = allow_extended
         #: Safety valve: abort if any stage clique exceeds this many

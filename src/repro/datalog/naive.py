@@ -15,14 +15,26 @@ from __future__ import annotations
 import time
 from typing import Any, List
 
-from repro.datalog.dependency import DependencyGraph
-from repro.datalog.plans import DEFAULT_ORDER, PlanCache
+from repro.datalog.atoms import LeastGoal, MostGoal
+from repro.datalog.dependency import Clique, DependencyGraph
+from repro.datalog.plans import DEFAULT_EXTREMA, DEFAULT_ORDER, PlanCache, run_plan
 from repro.datalog.program import Program
-from repro.errors import BudgetExceeded, Cancelled, EvaluationError
+from repro.datalog.rules import Rule
+from repro.datalog.unify import ground_term
+from repro.errors import (
+    BudgetExceeded,
+    Cancelled,
+    EvaluationError,
+    StratificationError,
+)
 from repro.obs.metrics import RegistryBackedStats
 from repro.obs.tracer import Tracer
 from repro.robust.governor import NULL_GOVERNOR
 from repro.storage.database import Database
+
+#: Goal classes dropped from plans of extrema rules (the engine applies
+#: the extremum itself, per its ``extrema`` policy).
+_EXTREMA_DROP = (LeastGoal, MostGoal)
 
 __all__ = ["NaiveEngine", "EngineStats"]
 
@@ -55,6 +67,7 @@ class EngineStats(RegistryBackedStats):
         "plans_compiled",
         "plan_cache_hits",
         "plans_reordered",
+        "facts_pruned_extrema",
     )
 
 
@@ -87,9 +100,10 @@ class NaiveEngine:
         tracer: Tracer | None = None,
         governor: Any = None,
         order: str = DEFAULT_ORDER,
+        extrema: str = DEFAULT_EXTREMA,
     ):
         for rule in program.proper_rules():
-            if rule.has_meta_goals:
+            if rule.choice_goals or rule.next_goals:
                 raise EvaluationError(
                     f"NaiveEngine cannot evaluate meta-goals; offending rule: {rule}"
                 )
@@ -100,7 +114,11 @@ class NaiveEngine:
         self.tracer = tracer if tracer is not None else Tracer()
         self.stats = EngineStats(registry=self.tracer.registry)
         self.plans = PlanCache(
-            stats=self.stats, enabled=cache_plans, order=order, tracer=self.tracer
+            stats=self.stats,
+            enabled=cache_plans,
+            order=order,
+            extrema=extrema,
+            tracer=self.tracer,
         )
         self.governor = governor if governor is not None else NULL_GOVERNOR
 
@@ -121,7 +139,8 @@ class NaiveEngine:
         for name, facts in self.program.ground_facts().items():
             db.assert_all(name, facts)
         for rule in self.program.proper_rules():
-            self.plans.plan(rule, db=db)
+            drop = _EXTREMA_DROP if rule.extrema_goals else ()
+            self.plans.plan(rule, drop=drop, db=db)
         self.plans.register_indices(db)
         self.governor.start(
             db, registry=self.tracer.registry, tracer=self.tracer, engine=self
@@ -129,6 +148,21 @@ class NaiveEngine:
         start = time.perf_counter()
         try:
             for group in self.graph.evaluation_order():
+                if any(rule.extrema_goals for clique in group for rule in clique.rules):
+                    # Extrema need clique-granular evaluation (the policy
+                    # applies per recursive clique); cliques of a stratum
+                    # come callees-first, so per-clique passes reach the
+                    # same fixpoint the whole-stratum loop would.
+                    for clique in group:
+                        preds = sorted(key[0] for key in clique.predicates)
+                        with self.tracer.span(
+                            "clique", phase="clique", kind="plain", predicates=preds
+                        ):
+                            if any(rule.extrema_goals for rule in clique.rules):
+                                self._saturate_extrema(clique, db)
+                            else:
+                                self._saturate(list(clique.rules), db)
+                    continue
                 rules = [rule for clique in group for rule in clique.rules]
                 preds = sorted({rule.head.pred for rule in rules})
                 with self.tracer.span(
@@ -163,6 +197,102 @@ class NaiveEngine:
             metrics=self.tracer.registry.snapshot(),
             checkpoint=checkpoint,
         )
+
+    def _saturate_extrema(self, clique: Clique, db: Database) -> None:
+        """Evaluate a clique whose rules carry ``least``/``most`` goals.
+
+        A non-recursive clique applies the extremum per firing (the
+        classic post-hoc group-by filter).  A recursive clique must be
+        premappable (:func:`repro.core.rewriting.premappable_extrema`);
+        the engine's ``extrema`` policy then decides whether dominated
+        facts are pruned on insert (``"pushdown"``) or retracted after
+        saturation (``"post"``).  The loop stays fully naive — every rule
+        re-fires in full each round — so this path remains an independent
+        oracle for the differential engines.
+        """
+        from repro.core.clique_eval import extrema_filter
+        from repro.core.extrema_lattice import BestTable, dominated_facts
+        from repro.core.rewriting import premappable_extrema
+
+        if not clique.is_recursive:
+            self.stats.iterations += 1
+            self.stats.rule_firings += len(clique.rules)
+            for rule in clique.rules:
+                plan = self.plans.plan(rule, drop=_EXTREMA_DROP, db=db)
+                solutions = list(run_plan(plan, db))
+                if rule.extrema_goals:
+                    solutions = extrema_filter(solutions, rule.extrema_goals)
+                relation = db.relation(rule.head.pred, rule.head.arity)
+                new = 0
+                for subst in solutions:
+                    fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+                    if relation.add(fact):
+                        new += 1
+                self.stats.facts_derived += new
+            return
+
+        specs = premappable_extrema(clique.rules, clique.predicates)
+        if specs is None:
+            offender = next(r for r in clique.rules if r.extrema_goals)
+            raise StratificationError(
+                f"extrema through recursion is not premappable: {offender}"
+            )
+        policy = self.plans.extrema
+        push = policy == "pushdown"
+        best = BestTable(specs) if push else None
+        pruned = 0
+        if best is not None:
+            # Facts already present seed the best table; dominated ones
+            # are retracted so table and database agree up front.
+            for key in clique.predicates:
+                relation = db.relation(key[0], key[1])
+                for fact in list(relation):
+                    accepted, displaced = best.observe(key, fact)
+                    if not accepted:
+                        relation.discard(fact)
+                        pruned += 1
+                    for old in displaced:
+                        if relation.discard(old):
+                            pruned += 1
+        changed = True
+        while changed:
+            self.governor.tick_round()
+            changed = False
+            self.stats.iterations += 1
+            self.stats.rule_firings += len(clique.rules)
+            derived = 0
+            for rule in clique.rules:
+                plan = self.plans.plan(rule, drop=_EXTREMA_DROP, db=db)
+                relation = db.relation(rule.head.pred, rule.head.arity)
+                for subst in list(run_plan(plan, db)):
+                    fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+                    if best is not None:
+                        accepted, displaced = best.observe(rule.head.key, fact)
+                        if not accepted:
+                            pruned += 1
+                            continue
+                        for old in displaced:
+                            if relation.discard(old):
+                                pruned += 1
+                    if relation.add(fact):
+                        derived += 1
+                        changed = True
+            self.stats.facts_derived += derived
+        if not push:
+            for key, spec in specs.items():
+                relation = db.relation(key[0], key[1])
+                for fact in dominated_facts(relation, spec):
+                    relation.discard(fact)
+                    pruned += 1
+        self.stats.facts_pruned_extrema += pruned
+        if self.tracer.enabled:
+            self.tracer.event(
+                "extrema-pushdown",
+                clique=sorted(f"{n}/{a}" for n, a in clique.predicates),
+                policy=policy,
+                predicates=sorted(f"{n}/{a}" for n, a in specs),
+                pruned=pruned,
+            )
 
     def _saturate(self, rules: List, db: Database) -> None:
         tracer = self.tracer

@@ -99,6 +99,8 @@ __all__ = [
     "PlanCache",
     "ORDER_POLICIES",
     "DEFAULT_ORDER",
+    "EXTREMA_POLICIES",
+    "DEFAULT_EXTREMA",
     "compile_plan",
     "compile_rule",
     "run_plan",
@@ -118,6 +120,16 @@ ORDER_POLICIES: Tuple[str, ...] = ("greedy", "written")
 #: Policy used when callers do not choose one.
 DEFAULT_ORDER = "greedy"
 
+#: The recognised extrema-evaluation policies for premappable recursion:
+#: ``"pushdown"`` prunes dominated facts inside the fixpoint (the
+#: monotonic-aggregate optimisation), ``"post"`` saturates first and
+#: filters the final relation (the legacy saturate-then-choose shape).
+#: Both produce the identical model on premappable programs.
+EXTREMA_POLICIES: Tuple[str, ...] = ("pushdown", "post")
+
+#: Extrema policy used when callers do not choose one.
+DEFAULT_EXTREMA = "pushdown"
+
 
 def _check_order(order: str) -> str:
     if order not in ORDER_POLICIES:
@@ -125,6 +137,14 @@ def _check_order(order: str) -> str:
             f"unknown join-order policy {order!r}; expected one of {ORDER_POLICIES}"
         )
     return order
+
+
+def _check_extrema(extrema: str) -> str:
+    if extrema not in EXTREMA_POLICIES:
+        raise EvaluationError(
+            f"unknown extrema policy {extrema!r}; expected one of {EXTREMA_POLICIES}"
+        )
+    return extrema
 
 
 def _named_vars(literal: Literal) -> Set[str]:
@@ -703,6 +723,11 @@ class PlanCache:
         enabled: with ``False`` every request recompiles (the per-call
             planning baseline used by the plan-cache ablation benchmark).
         order: join-order policy every compile in this cache uses.
+        extrema: extrema-evaluation policy the owning engine runs under
+            (``"pushdown"`` default / ``"post"`` legacy).  Plans always
+            drop extrema goals — the policy decides *when* the engine
+            applies them — but the cache validates and carries it so
+            every engine resolves the policy through one place.
         tracer: optional tracer — a ``plan-reordered`` event is emitted
             whenever a fresh compile changed the written order.
     """
@@ -712,11 +737,13 @@ class PlanCache:
         stats: Any = None,
         enabled: bool = True,
         order: str = DEFAULT_ORDER,
+        extrema: str = DEFAULT_EXTREMA,
         tracer: Any = None,
     ):
         self.stats = stats
         self.enabled = enabled
         self.order = _check_order(order)
+        self.extrema = _check_extrema(extrema)
         self.tracer = tracer
         self._plans: Dict[Tuple[Any, ...], CompiledPlan] = {}
         self._rules: Dict[int, Rule] = {}

@@ -29,13 +29,19 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Tuple
 
-from repro.datalog.atoms import Atom
+from repro.datalog.atoms import Atom, LeastGoal, MostGoal
 from repro.datalog.dependency import Clique, DependencyGraph
 from repro.datalog.naive import EngineStats
-from repro.datalog.plans import DEFAULT_ORDER, PlanCache
+from repro.datalog.plans import DEFAULT_EXTREMA, DEFAULT_ORDER, PlanCache, run_plan
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.errors import BudgetExceeded, Cancelled, EvaluationError
+from repro.datalog.unify import ground_term
+from repro.errors import (
+    BudgetExceeded,
+    Cancelled,
+    EvaluationError,
+    StratificationError,
+)
 from repro.obs.tracer import NULL_SPAN, Tracer
 from repro.robust.governor import NULL_GOVERNOR
 from repro.storage.database import Database
@@ -44,6 +50,10 @@ from repro.storage.relation import Relation
 __all__ = ["SeminaiveEngine"]
 
 PredicateKey = Tuple[str, int]
+
+#: Goal classes dropped from plans of extrema rules (the engine applies
+#: the extremum itself, per its ``extrema`` policy).
+_EXTREMA_DROP = (LeastGoal, MostGoal)
 
 
 class SeminaiveEngine:
@@ -76,9 +86,10 @@ class SeminaiveEngine:
         tracer: Tracer | None = None,
         governor: Any = None,
         order: str = DEFAULT_ORDER,
+        extrema: str = DEFAULT_EXTREMA,
     ):
         for rule in program.proper_rules():
-            if rule.has_meta_goals:
+            if rule.choice_goals or rule.next_goals:
                 raise EvaluationError(
                     f"SeminaiveEngine cannot evaluate meta-goals; offending rule: {rule}"
                 )
@@ -89,7 +100,11 @@ class SeminaiveEngine:
         self.tracer = tracer if tracer is not None else Tracer()
         self.stats = EngineStats(registry=self.tracer.registry)
         self.plans = PlanCache(
-            stats=self.stats, enabled=cache_plans, order=order, tracer=self.tracer
+            stats=self.stats,
+            enabled=cache_plans,
+            order=order,
+            extrema=extrema,
+            tracer=self.tracer,
         )
         self.governor = governor if governor is not None else NULL_GOVERNOR
 
@@ -110,10 +125,12 @@ class SeminaiveEngine:
         for group in order:
             for clique in group:
                 for rule in clique.rules:
-                    self.plans.plan(rule, db=db)
+                    drop = _EXTREMA_DROP if rule.extrema_goals else ()
+                    self.plans.plan(rule, drop=drop, db=db)
                 if clique.is_recursive:
                     for rule, delta_index, _ in self._delta_variants(clique):
-                        self.plans.plan(rule, delta_index=delta_index, db=db)
+                        drop = _EXTREMA_DROP if rule.extrema_goals else ()
+                        self.plans.plan(rule, delta_index=delta_index, drop=drop, db=db)
         self.plans.register_indices(db)
         self.governor.start(
             db, registry=self.tracer.registry, tracer=self.tracer, engine=self
@@ -127,7 +144,9 @@ class SeminaiveEngine:
                     with self.tracer.span(
                         "clique", phase="clique", kind=kind, predicates=preds
                     ):
-                        if clique.is_recursive:
+                        if any(rule.extrema_goals for rule in clique.rules):
+                            self._evaluate_extrema(clique, db)
+                        elif clique.is_recursive:
                             self._evaluate_recursive(clique, db)
                         else:
                             self._evaluate_once(clique.rules, db)
@@ -180,6 +199,68 @@ class SeminaiveEngine:
                         new += 1
                 span.note(new_facts=new)
             self.stats.facts_derived += new
+
+    # -- extrema cliques ---------------------------------------------------------
+
+    def _evaluate_extrema(self, clique: Clique, db: Database) -> None:
+        """Evaluate a clique whose rules carry ``least``/``most`` goals.
+
+        A non-recursive clique applies the extremum per firing (post-hoc
+        group-by filter over the rule's solutions).  A recursive clique
+        must be premappable
+        (:func:`repro.core.rewriting.premappable_extrema`); evaluation is
+        then delegated to
+        :func:`repro.core.clique_eval.saturate_with_extrema`, which runs
+        the same seed + differential-delta scheme as
+        :meth:`_evaluate_recursive` under the engine's ``extrema`` policy.
+        """
+        from repro.core.clique_eval import extrema_filter, saturate_with_extrema
+        from repro.core.rewriting import premappable_extrema
+
+        if not clique.is_recursive:
+            self.stats.iterations += 1
+            self.stats.rule_firings += len(clique.rules)
+            for rule in clique.rules:
+                plan = self.plans.plan(rule, drop=_EXTREMA_DROP, db=db)
+                solutions = list(run_plan(plan, db))
+                if rule.extrema_goals:
+                    solutions = extrema_filter(solutions, rule.extrema_goals)
+                relation = db.relation(rule.head.pred, rule.head.arity)
+                new = 0
+                for subst in solutions:
+                    fact = tuple(ground_term(arg, subst) for arg in rule.head.args)
+                    if relation.add(fact):
+                        new += 1
+                self.stats.facts_derived += new
+            return
+
+        specs = premappable_extrema(clique.rules, clique.predicates)
+        if specs is None:
+            offender = next(r for r in clique.rules if r.extrema_goals)
+            raise StratificationError(
+                f"extrema through recursion is not premappable: {offender}"
+            )
+        policy = self.plans.extrema
+        produced, pruned = saturate_with_extrema(
+            clique.rules,
+            clique.predicates,
+            specs,
+            db,
+            policy=policy,
+            cache=self.plans,
+            tracer=self.tracer,
+            governor=self.governor,
+        )
+        self.stats.facts_derived += sum(len(facts) for facts in produced.values())
+        self.stats.facts_pruned_extrema += pruned
+        if self.tracer.enabled:
+            self.tracer.event(
+                "extrema-pushdown",
+                clique=sorted(f"{n}/{a}" for n, a in clique.predicates),
+                policy=policy,
+                predicates=sorted(f"{n}/{a}" for n, a in specs),
+                pruned=pruned,
+            )
 
     # -- recursive cliques ----------------------------------------------------------
 

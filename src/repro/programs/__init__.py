@@ -29,7 +29,12 @@ from repro.programs.knapsack import KnapsackResult, greedy_knapsack
 from repro.programs.matching import MatchingResult, max_weight_matching, min_cost_matching
 from repro.programs.scheduling import ScheduledJob, select_activities
 from repro.programs.sequencing import SequencedJob, sequence_jobs
-from repro.programs.shortest_path import dijkstra_distances
+from repro.programs.shortest_path import (
+    bottleneck_distances,
+    dijkstra_distances,
+    shortest_distances,
+    widest_capacities,
+)
 from repro.programs.sorting import datalog_sort
 from repro.programs.tsp import TSPResult, greedy_tsp_chain
 
@@ -44,6 +49,7 @@ __all__ = [
     "TSPResult",
     "assign_students",
     "bi_injective_bottom_pairs",
+    "bottleneck_distances",
     "bottom_students",
     "convex_hull",
     "datalog_sort",
@@ -59,5 +65,7 @@ __all__ = [
     "prim_mst",
     "select_activities",
     "sequence_jobs",
+    "shortest_distances",
     "spanning_tree",
+    "widest_capacities",
 ]

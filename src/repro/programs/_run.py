@@ -6,6 +6,7 @@ import random
 from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.core.compiler import solve_program
+from repro.datalog.plans import DEFAULT_EXTREMA
 from repro.storage.database import Database
 
 __all__ = ["run", "symmetric_edges", "EngineOptions"]
@@ -19,9 +20,12 @@ def run(
     engine: str = "rql",
     seed: int | None = None,
     rng: random.Random | None = None,
+    extrema: str = DEFAULT_EXTREMA,
 ) -> Database:
     """Compile and evaluate *source* over *facts* (wrapper convenience)."""
-    return solve_program(source, facts=facts, seed=seed, rng=rng, engine=engine)
+    return solve_program(
+        source, facts=facts, seed=seed, rng=rng, engine=engine, extrema=extrema
+    )
 
 
 def symmetric_edges(

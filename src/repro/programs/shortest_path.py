@@ -1,10 +1,16 @@
-"""Extension — Dijkstra's single-source shortest paths.
+"""Extension — single-source shortest paths, two ways.
 
-Not in the paper, but exactly the class of algorithm Section 7 invites:
-the frontier relation ``cand`` plays ``new_g``'s role from Prim, the
-r-congruence collapses the frontier to one entry per vertex (keep the
-cheapest tentative distance — a declarative decrease-key), and
+:func:`dijkstra_distances` is the ``choice``/``next`` formulation Section
+7 invites: the frontier relation ``cand`` plays ``new_g``'s role from
+Prim, the r-congruence collapses the frontier to one entry per vertex
+(keep the cheapest tentative distance — a declarative decrease-key), and
 ``choice(Y, I)`` settles each vertex exactly once.
+
+:func:`shortest_distances` (with its :func:`bottleneck_distances` /
+:func:`widest_capacities` siblings) is the *premappable* formulation:
+plain recursion with ``least``/``most`` in the clique, which the engines
+push into the fixpoint under the default ``extrema="pushdown"`` policy —
+see ``docs/api.md`` ("Extrema pushdown").
 """
 
 from __future__ import annotations
@@ -12,10 +18,16 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, Hashable, Iterable, Tuple
 
+from repro.datalog.plans import DEFAULT_EXTREMA
 from repro.programs import texts
 from repro.programs._run import run, symmetric_edges
 
-__all__ = ["dijkstra_distances"]
+__all__ = [
+    "dijkstra_distances",
+    "shortest_distances",
+    "bottleneck_distances",
+    "widest_capacities",
+]
 
 Edge = Tuple[Hashable, Hashable, Any]
 
@@ -41,3 +53,72 @@ def dijkstra_distances(
         rng=rng,
     )
     return {f[0]: f[1] for f in db.facts("dist", 3)}
+
+
+def shortest_distances(
+    edges: Iterable[Edge],
+    source: Hashable,
+    directed: bool = False,
+    engine: str = "seminaive",
+    extrema: str = DEFAULT_EXTREMA,
+) -> Dict[Hashable, Any]:
+    """Shortest-path distances via the premappable ``least`` program.
+
+    Deterministic (no ``choice``), so any engine computes the same map;
+    *extrema* selects the evaluation policy (``"pushdown"`` default,
+    ``"post"`` saturate-then-filter — the latter only terminates on
+    acyclic graphs because a cycle regenerates ever-larger sums).
+    """
+    g = list(edges) if directed else symmetric_edges(edges)
+    db = run(
+        texts.SHORTEST_PATH,
+        {"g": g, "source": [(source,)]},
+        engine=engine,
+        extrema=extrema,
+    )
+    return {f[0]: f[1] for f in db.facts("dist", 2)}
+
+
+def bottleneck_distances(
+    edges: Iterable[Edge],
+    source: Hashable,
+    directed: bool = False,
+    engine: str = "seminaive",
+    extrema: str = DEFAULT_EXTREMA,
+) -> Dict[Hashable, Any]:
+    """Minimax path costs: the least possible maximum edge per vertex.
+
+    ``max`` keeps the cost chain bounded, so both policies terminate on
+    cyclic graphs.
+    """
+    g = list(edges) if directed else symmetric_edges(edges)
+    db = run(
+        texts.BOTTLENECK_PATH,
+        {"g": g, "source": [(source,)]},
+        engine=engine,
+        extrema=extrema,
+    )
+    return {f[0]: f[1] for f in db.facts("btl", 2)}
+
+
+def widest_capacities(
+    edges: Iterable[Edge],
+    source: Hashable,
+    directed: bool = False,
+    engine: str = "seminaive",
+    extrema: str = DEFAULT_EXTREMA,
+) -> Dict[Hashable, Any]:
+    """Maximin path capacities (widest path) from *source*.
+
+    The source is seeded with a capacity exceeding every edge, standing
+    in for +infinity.
+    """
+    g = list(edges) if directed else symmetric_edges(edges)
+    cap0 = max((c for _, _, c in g), default=0) + 1
+    db = run(
+        texts.WIDEST_PATH,
+        {"g": g, "source": [(source,)], "cap0": [(cap0,)]},
+        engine=engine,
+        extrema=extrema,
+    )
+    return {f[0]: f[1] for f in db.facts("wide", 2)}

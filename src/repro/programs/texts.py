@@ -24,6 +24,9 @@ __all__ = [
     "TSP_GREEDY",
     "KRUSKAL",
     "DIJKSTRA",
+    "SHORTEST_PATH",
+    "BOTTLENECK_PATH",
+    "WIDEST_PATH",
     "ACTIVITY_SELECTION",
     "COIN_CHANGE",
     "CONVEX_HULL",
@@ -124,6 +127,34 @@ DIJKSTRA = """
 dist(S, 0, 0) <- source(S).
 dist(Y, D, I) <- next(I), cand(Y, D, J), J < I, least(D, I), choice(Y, I).
 cand(Y, D, J) <- dist(X, DX, J), g(X, Y, C), D = DX + C.
+"""
+
+#: Extension — pure-Datalog single-source shortest paths: the premappable
+#: ``least`` formulation (no ``choice``/``next`` — the extremum recurses
+#: directly, so the engines may *push it down* into the fixpoint and keep
+#: only the current-best distance per vertex).  Terminates on any graph
+#: under pushdown; under the "post" policy the un-pruned fixpoint is
+#: finite only on acyclic graphs (a cycle regenerates ever-larger sums).
+SHORTEST_PATH = """
+dist(S, 0) <- source(S).
+dist(Y, D) <- dist(X, DX), g(X, Y, C), D = DX + C, least(D, Y).
+"""
+
+#: Extension — bottleneck (minimax) path: the cheapest maximum edge on a
+#: path from the source.  ``max`` keeps the cost chain monotone, so the
+#: clique is premappable; costs are bounded by the largest edge, hence
+#: both policies terminate on cyclic graphs.
+BOTTLENECK_PATH = """
+btl(S, 0) <- source(S).
+btl(Y, B) <- btl(X, BX), g(X, Y, C), B = max(BX, C), least(B, Y).
+"""
+
+#: Extension — widest (maximin) path: maximise the smallest edge capacity
+#: along a path.  The ``most`` dual of BOTTLENECK_PATH; ``cap0/1`` seeds
+#: the source's (infinite) capacity.
+WIDEST_PATH = """
+wide(S, C0) <- source(S), cap0(C0).
+wide(Y, W) <- wide(X, WX), g(X, Y, C), W = min(WX, C), most(W, Y).
 """
 
 #: Extension — activity selection (interval scheduling by earliest
@@ -245,6 +276,17 @@ DEVIATIONS: dict[str, str] = {
         "about reading the previous stage's view (I1 = I - 1) and a seed "
         "fact kruskal(nil, nil, 0, 0) anchors the stage counter, mirroring "
         "the other examples' exit facts."
+    ),
+    "SHORTEST_PATH": (
+        "Not in the paper: Section 2 only uses least/most on stratified "
+        "programs and Section 7's greedy Dijkstra (DIJKSTRA above) routes "
+        "selection through choice/next.  This formulation instead follows "
+        "the premappability line of later work (see PAPERS.md): the "
+        "extremum sits directly in the recursive clique and the engines "
+        "verify the Zaniolo et al. conditions before either pushing it "
+        "into the fixpoint (extrema='pushdown') or filtering after "
+        "saturation (extrema='post').  Likewise BOTTLENECK_PATH and "
+        "WIDEST_PATH."
     ),
     "SPANNING_TREE": (
         "The paper's simplified next-version of Example 3 keeps only "

@@ -179,6 +179,7 @@ def restore(
     tracer: Any = None,
     engine: str | None = None,
     order: str | None = None,
+    extrema: str | None = None,
 ) -> Tuple[Any, Database]:
     """Rebuild an engine + database pair ready to continue the run.
 
@@ -188,10 +189,11 @@ def restore(
     :class:`~repro.errors.CheckpointError`.  Returns ``(engine, db)``;
     calling ``engine.run(db)`` continues from the stop boundary under the
     new *governor*.  *order* pins the resumed engine's join-order policy
-    (the model is order-invariant, so any policy resumes any checkpoint).
+    and *extrema* its extrema policy (the model is invariant under both,
+    so any policy combination resumes any checkpoint).
     """
     from repro.core.compiler import _make_engine
-    from repro.datalog.plans import DEFAULT_ORDER
+    from repro.datalog.plans import DEFAULT_EXTREMA, DEFAULT_ORDER
 
     if cp.fingerprint:
         actual = program_fingerprint(program)
@@ -213,6 +215,7 @@ def restore(
         tracer=tracer,
         governor=governor,
         order=order or DEFAULT_ORDER,
+        extrema=extrema or DEFAULT_EXTREMA,
     )
     db = Database()
     for (name, _arity), rows in cp.facts.items():

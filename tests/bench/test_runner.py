@@ -7,7 +7,13 @@ import math
 import pytest
 
 from repro.bench.reporting import format_table
-from repro.bench.runner import SweepResult, SweepPoint, fitted_exponent, sweep
+from repro.bench.runner import (
+    EmptySweepError,
+    SweepPoint,
+    SweepResult,
+    fitted_exponent,
+    sweep,
+)
 
 
 class TestFittedExponent:
@@ -58,6 +64,41 @@ class TestSweep:
     def test_exponent_accessor(self):
         result = SweepResult("demo", [SweepPoint(10, 0.1), SweepPoint(100, 1.0)])
         assert result.exponent() == pytest.approx(1.0, abs=0.01)
+
+    def test_empty_size_list_fails_loudly(self):
+        # A zero-sample sweep silently passes every shape assertion and
+        # writes a vacuous baseline — it must raise, never return.
+        with pytest.raises(EmptySweepError, match="zero samples"):
+            sweep("demo", sizes=[], make_input=lambda n: n, operation=lambda n: n)
+
+    def test_zero_repeats_fails_loudly(self):
+        with pytest.raises(EmptySweepError, match="zero samples"):
+            sweep(
+                "demo",
+                sizes=[1, 2],
+                make_input=lambda n: n,
+                operation=lambda n: n,
+                repeats=0,
+            )
+
+    def test_empty_sweep_error_is_a_value_error(self):
+        # Callers that caught ValueError from the old silent path (via
+        # fitted_exponent) keep working.
+        assert issubclass(EmptySweepError, ValueError)
+
+
+class TestRegressionCLI:
+    def test_empty_sweep_exits_2_with_one_line_diagnostic(self, monkeypatch, capsys):
+        from repro.bench import regression
+
+        def boom():
+            raise EmptySweepError("sweep 'demo' produced zero samples: empty size list")
+
+        monkeypatch.setattr(regression, "run_regression", boom)
+        assert regression.main([]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "zero samples" in err
 
 
 class TestFormatTable:

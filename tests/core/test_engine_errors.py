@@ -26,13 +26,43 @@ class TestUnsupportedPrograms:
             with pytest.raises(StratificationError):
                 solve_program(win, facts=facts, engine=engine)
 
-    def test_extrema_through_plain_recursion_rejected(self):
+    def test_non_premappable_extrema_through_recursion_rejected(self):
+        # Premappability (docs/api.md, "Extrema pushdown") needs the cost
+        # chain to reach the head untouched; the C1 < 10 guard consumes
+        # C1, so pruning dominated facts could change the model — every
+        # engine must refuse under both policies.
         source = """
         short(X, Y, C) <- g(X, Y, C).
-        short(X, Z, C) <- short(X, Y, C1), g(Y, Z, C2), C = C1 + C2, least(C, (X, Z)).
+        short(X, Z, C) <- short(X, Y, C1), g(Y, Z, C2), C1 < 10,
+                          C = C1 + C2, least(C, (X, Z)).
         """
-        with pytest.raises(StratificationError):
-            solve_program(source, facts={"g": [("a", "b", 1)]})
+        for engine in ("rql", "basic", "choice", "naive", "seminaive"):
+            for extrema in ("pushdown", "post"):
+                with pytest.raises(StratificationError):
+                    solve_program(
+                        source,
+                        facts={"g": [("a", "b", 1)]},
+                        engine=engine,
+                        extrema=extrema,
+                    )
+
+    def test_premappable_extrema_through_recursion_accepted(self):
+        # The same clique without the guard is premappable: the group
+        # (X, Z) covers the head key and C flows monotonically, so the
+        # engines evaluate it (all-pairs shortest paths) instead of
+        # rejecting.
+        source = """
+        short(X, Y, C) <- g(X, Y, C).
+        short(X, Z, C) <- short(X, Y, C1), g(Y, Z, C2),
+                          C = C1 + C2, least(C, (X, Z)).
+        """
+        facts = {"g": [("a", "b", 1), ("b", "c", 2), ("a", "c", 9)]}
+        db = solve_program(source, facts=facts)
+        assert sorted(db.facts("short", 3)) == [
+            ("a", "b", 1),
+            ("a", "c", 3),
+            ("b", "c", 2),
+        ]
 
     def test_stage_clique_with_two_stage_arguments_rejected(self):
         # The next variable lands in two head positions: the predicate

@@ -18,6 +18,8 @@ in-process.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.compiler import compile_program
@@ -46,6 +48,15 @@ TAKES = {
         (f"s{i}", f"c{j}") for i in range(10) for j in range(4) if (i + j) % 2 == 0
     ]
 }
+
+#: Nightly CI widens the countdown crash-point sweep via
+#: REPRO_CRASH_POINTS (every durability-operation index from 2 to N —
+#: index 1 dies before the victim's first WAL record exists, so there is
+#: nothing to recover); PR CI keeps the hand-picked default boundaries.
+_CRASH_POINTS = os.environ.get("REPRO_CRASH_POINTS")
+CRASH_POINTS = (
+    list(range(2, int(_CRASH_POINTS) + 1)) if _CRASH_POINTS else [3, 7, 12, 20, 33]
+)
 
 
 def _baseline(program, facts, seed=0, engine="rql"):
@@ -85,7 +96,7 @@ def _recover_and_compare(tmp_path, program, facts, seed=0):
 class TestCrashMatrix:
     """Each seeded crash point, recovered to the byte-identical model."""
 
-    @pytest.mark.parametrize("crash_after", [3, 7, 12, 20, 33])
+    @pytest.mark.parametrize("crash_after", CRASH_POINTS)
     def test_shared_countdown_crash_points(self, tmp_path, crash_after):
         """Die at the N-th durability operation, whatever it is — the
         crash_after countdown spans write/fsync/replace visits."""

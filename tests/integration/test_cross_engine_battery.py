@@ -21,7 +21,7 @@ from repro.core.compiler import ENGINES, compile_program, solve_program
 from repro.datalog.dependency import DependencyGraph
 from repro.datalog.naive import NaiveEngine
 from repro.datalog.parser import parse_program
-from repro.datalog.plans import ORDER_POLICIES, PlanCache
+from repro.datalog.plans import EXTREMA_POLICIES, ORDER_POLICIES, PlanCache
 from repro.datalog.seminaive import SeminaiveEngine
 from repro.storage.database import Database
 from repro.programs import texts
@@ -191,6 +191,101 @@ def test_random_battery_order_invariant_across_engines(seed):
         for order in ORDER_POLICIES:
             model = solve_program(program, engine=engine, order=order).as_dict()
             assert model == reference, f"{engine}/{order} diverged at seed {seed}"
+
+
+# ---------------------------------------------------------------------------
+# Extrema differential: pushdown vs post, model for model, all engines.
+# ---------------------------------------------------------------------------
+
+
+def _random_extrema_program(seed):
+    """A seeded random *premappable* extrema program over a layered DAG.
+
+    The graph is layered (edges only point to later layers) so the
+    saturate-then-filter "post" policy has a finite fixpoint even for the
+    sum-cost variant; the cost combiner and extremum direction are drawn
+    from the three monotone shapes the engines support (shortest,
+    bottleneck, widest), and a consuming stratum reads the result through
+    negation to exercise stratification above the extrema clique.
+    """
+    rng = random.Random(seed)
+    layers = rng.randint(3, 5)
+    width = rng.randint(2, 3)
+    nodes = [[f"n{li}x{w}" for w in range(width)] for li in range(layers)]
+    lines = [f"source({nodes[0][0]})."]
+    if rng.random() < 0.3:
+        lines.append(f"source({nodes[0][-1]}).")
+    for li in range(layers - 1):
+        for u in nodes[li]:
+            for v in nodes[li + 1]:
+                if rng.random() < 0.8:
+                    lines.append(f"g({u}, {v}, {rng.randint(1, 9)}).")
+        # An occasional layer-skipping arc keeps path lengths uneven.
+        if li + 2 < layers and rng.random() < 0.5:
+            lines.append(
+                f"g({rng.choice(nodes[li])}, {rng.choice(nodes[li + 2])}, "
+                f"{rng.randint(1, 9)})."
+            )
+    kind = rng.choice(["sum_least", "max_least", "min_most"])
+    if kind == "sum_least":
+        lines.append("v(S, 0) <- source(S).")
+        lines.append("v(Y, D) <- v(X, DX), g(X, Y, C), D = DX + C, least(D, Y).")
+    elif kind == "max_least":
+        lines.append("v(S, 0) <- source(S).")
+        lines.append("v(Y, B) <- v(X, BX), g(X, Y, C), B = max(BX, C), least(B, Y).")
+    else:
+        lines.append("v(S, 99) <- source(S).")
+        lines.append("v(Y, W) <- v(X, WX), g(X, Y, C), W = min(WX, C), most(W, Y).")
+    lines.append(f"far(Y) <- v(Y, D), D > {rng.randint(1, 6)}.")
+    lines.append("unreached(Y) <- g(Y, _, _), not (v(Y, _)).")
+    return parse_program("\n".join(lines))
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_random_extrema_programs_policy_invariant_across_engines(seed):
+    """Every engine, under either extrema policy, lands on the exact same
+    model for every seeded random premappable program — pruning dominated
+    facts during the fixpoint never changes which facts survive it."""
+    program = _random_extrema_program(seed)
+    reference = solve_program(program, engine="naive", extrema="post").as_dict()
+    for engine in ENGINES:
+        for extrema in EXTREMA_POLICIES:
+            model = solve_program(program, engine=engine, extrema=extrema).as_dict()
+            assert model == reference, f"{engine}/{extrema} diverged at seed {seed}"
+
+
+@pytest.mark.parametrize("extrema", EXTREMA_POLICIES)
+@pytest.mark.parametrize("engine", ["rql", "basic"])
+def test_governed_resume_extrema_invariant(engine, extrema):
+    """A governed run interrupted mid-saturation and resumed under
+    *extrema* matches the uninterrupted post-policy model bit for bit —
+    the policy is invisible to checkpoint/resume."""
+    from repro.errors import BudgetExceeded
+    from repro.robust import Budget, RunGovernor, restore
+    from repro.robust.checkpoint import dumps, loads
+
+    chain = [(f"m{i}", f"m{i + 1}", i + 1) for i in range(8)]
+    shortcuts = [(f"m{i}", f"m{i + 2}", 1) for i in range(0, 7, 2)]
+    facts = {"g": chain + shortcuts, "source": [("m0",)]}
+    expected = solve_program(
+        texts.SHORTEST_PATH,
+        facts={k: list(v) for k, v in facts.items()},
+        engine=engine,
+        extrema="post",
+    ).as_dict()
+
+    compiled = compile_program(texts.SHORTEST_PATH, engine=engine, extrema=extrema)
+    governor = RunGovernor(Budget(max_rounds=3), check_interval=1)
+    interrupted = False
+    try:
+        db = compiled.run({k: list(v) for k, v in facts.items()}, governor=governor)
+    except BudgetExceeded as exc:
+        interrupted = True
+        checkpoint = loads(dumps(exc.partial.checkpoint))
+        instance, db = restore(checkpoint, compiled.program, extrema=extrema)
+        db = instance.run(db)
+    assert interrupted, "budget never tripped — grow the chain"
+    assert db.as_dict() == expected, f"{engine}/{extrema}"
 
 
 @pytest.mark.parametrize("order", ORDER_POLICIES)

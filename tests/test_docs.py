@@ -36,7 +36,7 @@ def test_readme_snippets_execute():
 
 def test_readme_mentions_every_experiment():
     text = README.read_text()
-    assert "E1-E13" in text or "E1–E13" in text
+    assert "E1-E14" in text or "E1–E14" in text
 
 
 def test_design_and_experiments_docs_exist():
