@@ -77,6 +77,14 @@ EXTREMA_SIZES = [24, 48, 96]
 #: the shortest-path sweep (mean post_s / pushdown_s across sizes ≥ 1.0);
 #: in practice the gap is an order of magnitude at the largest size.
 EXTREMA_SPEEDUP_FLOOR = 1.0
+#: Batch size and shard count for the cross-process scaling sweep.
+SHARDED_SCALING_REQUESTS = 64
+SHARDED_SCALING_SHARDS = 4
+#: CI gate: serving the batch through SHARDED_SCALING_SHARDS worker
+#: processes must beat one worker process by at least this factor.  Only
+#: measured (and only gated) on machines with enough cores to express
+#: the parallelism — a 1-core container records the sweep as skipped.
+SHARDED_SCALING_FLOOR = 1.5
 
 #: Wide multi-join rules (4-6 goals per body) over skewed relation sizes.
 #: The written body order leads every rule with a big relation and leaves
@@ -457,6 +465,70 @@ def _extrema_rows(
     return rows
 
 
+def _sharded_scaling_rows(
+    requests: int = SHARDED_SCALING_REQUESTS,
+    shards: int = SHARDED_SCALING_SHARDS,
+    repeats: int = 3,
+) -> Any:
+    """Wall time for one *requests*-sized batch through 1 vs *shards*
+    worker processes; returns ``None`` on machines without enough cores
+    to express the parallelism (the sweep would measure context
+    switching, not scaling).
+
+    The batch spreads over ``4 × shards`` distinct program classes so
+    fingerprint routing actually fans out — a single-class batch pins to
+    one shard by design (ownership keeps its plan cache hot) and is the
+    wrong thing to measure here.
+    """
+    import os as _os
+    import time
+
+    if (_os.cpu_count() or 1) < shards:
+        return None
+
+    from repro.serve import QueryRequest, ShardedQueryService
+
+    payload = random_costed_relation(24, seed=0)
+
+    def batch_seconds(n_shards: int) -> float:
+        service = ShardedQueryService(
+            shards=n_shards,
+            queue_capacity=requests + 8,
+            heartbeat_interval=0.05,
+        )
+        try:
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                tickets = [
+                    service.submit(
+                        QueryRequest(
+                            texts.SORTING,
+                            {"p": payload},
+                            seed=i % 8,
+                            klass=f"bench-{i % (4 * shards)}",
+                        )
+                    )
+                    for i in range(requests)
+                ]
+                for ticket in tickets:
+                    ticket.response(timeout=300)
+                best = min(best, time.perf_counter() - start)
+            return best
+        finally:
+            service.close()
+
+    one_s = batch_seconds(1)
+    many_s = batch_seconds(shards)
+    return {
+        "requests": requests,
+        "shards": shards,
+        "one_shard_s": round(one_s, 6),
+        "sharded_s": round(many_s, 6),
+        "speedup": round(one_s / max(many_s, 1e-9), 3),
+    }
+
+
 def run_regression(
     tc_sizes: Sequence[int] = TC_SIZES,
     sort_sizes: Sequence[int] = SORT_SIZES,
@@ -477,6 +549,7 @@ def run_regression(
     durable_rows = _durable_overhead_rows(DURABLE_SIZES, repeats=max(repeats, 15))
     join_rows = _join_order_rows(JOIN_SIZES, repeats=max(repeats, 9))
     extrema_rows = _extrema_rows(EXTREMA_SIZES, repeats=max(repeats, 5))
+    scaling = _sharded_scaling_rows(repeats=repeats)
     return {
         "meta": {
             "python": platform.python_version(),
@@ -596,6 +669,19 @@ def run_regression(
                     min(row["speedup"] for row in extrema_rows), 3
                 ),
             },
+            "sharded_scaling": {
+                "description": "one batch of sorting requests over "
+                f"{4 * SHARDED_SCALING_SHARDS} program classes served "
+                "through the sharded front door with 1 vs "
+                f"{SHARDED_SCALING_SHARDS} worker processes; speedup = "
+                "one_shard_s / sharded_s.  Recorded as skipped (and not "
+                "gated) on machines with fewer cores than shards",
+                **(
+                    scaling
+                    if scaling is not None
+                    else {"skipped": "not enough cores for the shard count"}
+                ),
+            },
         },
     }
 
@@ -676,6 +762,19 @@ def check_against_baseline(
                 "extrema sweep regressed: pushdown averages "
                 f"{mean_speedup:.3f}x the post policy on the shortest-path "
                 f"sweep (floor {EXTREMA_SPEEDUP_FLOOR:.2f}x)"
+            )
+    # `.get` guard twice over: old baselines lack the block entirely, and
+    # core-starved machines record it as skipped (no "speedup" key) — the
+    # gate only fires where the measurement is meaningful.
+    scaling_block = report["sweeps"].get("sharded_scaling")
+    if scaling_block is not None and "speedup" in scaling_block:
+        speedup = scaling_block["speedup"]
+        if speedup < SHARDED_SCALING_FLOOR:
+            failures.append(
+                "sharded scaling regressed: "
+                f"{scaling_block['shards']} worker processes serve the "
+                f"batch only {speedup:.3f}x faster than one "
+                f"(floor {SHARDED_SCALING_FLOOR:.2f}x)"
             )
     return failures
 
@@ -784,14 +883,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"extrema speedup: min {extrema['min_speedup']:.3f}x  "
             f"mean {extrema['mean_speedup']:.3f}x"
         )
+        scaling = report["sweeps"]["sharded_scaling"]
+        if "speedup" in scaling:
+            print(
+                f"sharded scaling: 1 shard {scaling['one_shard_s']:.4f}s  "
+                f"{scaling['shards']} shards {scaling['sharded_s']:.4f}s  "
+                f"speedup {scaling['speedup']:.2f}x"
+            )
+        else:
+            print(f"sharded scaling: skipped ({scaling['skipped']})")
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}")
             return 1
         print(
             "OK: plan-cache speedup, governor overhead, service overhead, "
-            "durable overhead, join-order speedup and extrema speedup "
-            "within tolerance"
+            "durable overhead, join-order speedup, extrema speedup and "
+            "sharded scaling within tolerance"
         )
         return 0
     out.write_text(json.dumps(report, indent=2) + "\n")

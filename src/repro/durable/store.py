@@ -73,6 +73,13 @@ class CheckpointStore:
         auto_truncate: repair a torn tail on open (default).  Disable to
             fail loudly instead — the tail is then reported via
             ``recovered.torn_tail`` but the file is left untouched.
+        exclusive: take a process-exclusive ``flock`` on the directory's
+            ``LOCK`` file for the store's lifetime; a second opener with
+            ``exclusive=True`` gets a typed
+            :class:`~repro.errors.StoreLocked` instead of silently
+            interleaving appends.  The kernel drops the lock when the
+            process dies — including SIGKILL — so a crashed shard's
+            restarted replacement acquires it without cleanup.
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class CheckpointStore:
         fsync: str = "always",
         metrics: Optional[MetricsRegistry] = None,
         auto_truncate: bool = True,
+        exclusive: bool = False,
     ):
         if fsync not in FSYNC_POLICIES:
             raise ValueError(
@@ -94,6 +102,9 @@ class CheckpointStore:
         self.fsync = fsync
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         os.makedirs(self.root, exist_ok=True)
+        self._lock_handle: Any = None
+        if exclusive:
+            self._acquire_ownership()
         #: What the opening replay reconstructed (kept for introspection).
         self.recovered: RecoveredState = RecoveryManager(self.root).recover()
         if self.recovered.torn_tail is not None:
@@ -117,6 +128,52 @@ class CheckpointStore:
             "durable/recovered_runs", len(self._pending)
         )
         self._open_segment(self._segment_index)
+
+    @classmethod
+    def for_shard(cls, root: str, shard_id: int, **kwargs: Any) -> "CheckpointStore":
+        """The store for shard *shard_id* under the service's durable
+        directory: ``<root>/shard-<k>``, opened with exclusive ownership
+        (each worker process is the sole writer of its WAL shard)."""
+        kwargs.setdefault("exclusive", True)
+        return cls(os.path.join(os.fspath(root), f"shard-{shard_id}"), **kwargs)
+
+    @staticmethod
+    def shard_roots(root: str) -> Dict[int, str]:
+        """The ``{shard_id: path}`` of every ``shard-<k>`` directory under
+        *root* (read side: the front door scans these at startup to seed
+        its request counter past every journalled id)."""
+        roots: Dict[int, str] = {}
+        try:
+            names = os.listdir(os.fspath(root))
+        except FileNotFoundError:
+            return roots
+        for name in names:
+            if name.startswith("shard-") and name[len("shard-"):].isdigit():
+                path = os.path.join(os.fspath(root), name)
+                if os.path.isdir(path):
+                    roots[int(name[len("shard-"):])] = path
+        return roots
+
+    def _acquire_ownership(self) -> None:
+        import fcntl
+
+        from repro.errors import StoreLocked
+
+        handle = open(os.path.join(self.root, "LOCK"), "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise StoreLocked(
+                f"WAL directory {self.root} is owned by another live "
+                "process — two writers on one log would interleave frames"
+            ) from None
+        # Best-effort breadcrumb for humans inspecting a crash.
+        handle.seek(0)
+        handle.truncate()
+        handle.write(f"{os.getpid()}\n")
+        handle.flush()
+        self._lock_handle = handle
 
     # -- the write side ---------------------------------------------------------
 
@@ -293,7 +350,8 @@ class CheckpointStore:
         }
 
     def close(self) -> None:
-        """Sync and close the active segment (idempotent)."""
+        """Sync and close the active segment (idempotent); releases the
+        exclusive directory lock, when one is held."""
         with self._lock:
             if self._closed:
                 return
@@ -303,6 +361,9 @@ class CheckpointStore:
                     fsync_handle(self._handle)
                 self._handle.close()
                 self._handle = None
+            if self._lock_handle is not None:
+                self._lock_handle.close()  # closing the fd drops the flock
+                self._lock_handle = None
 
     def __enter__(self) -> "CheckpointStore":
         return self

@@ -22,6 +22,7 @@ __all__ = [
     "DurabilityError",
     "WalCorruptionError",
     "RecoveryError",
+    "StoreLocked",
 ]
 
 
@@ -122,6 +123,14 @@ class RecoveryError(DurabilityError):
     """Raised when recovery cannot produce a usable run from the durable
     store: the requested run id was never journalled, or the store holds
     no resumable state for it."""
+
+
+class StoreLocked(DurabilityError):
+    """Raised when a store opened with ``exclusive=True`` finds another
+    live process already holding the WAL directory's lock.  Two writers
+    appending to one log interleave frames and corrupt it; the sharded
+    service gives each worker process sole ownership of its shard
+    directory, and this error is the enforcement."""
 
 
 class Cancelled(EvaluationError):

@@ -41,6 +41,7 @@ from repro.robust.faults import (
     SimulatedCrash,
     TornWrite,
     inject,
+    install,
 )
 from repro.robust.governor import (
     NULL_GOVERNOR,
@@ -76,6 +77,7 @@ __all__ = [
     "SimulatedCrash",
     "TornWrite",
     "inject",
+    "install",
     "RetryPolicy",
     "is_transient",
     "CircuitBreaker",

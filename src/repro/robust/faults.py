@@ -37,6 +37,7 @@ durability operation, whatever it happens to be".
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
@@ -56,9 +57,12 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "inject",
+    "install",
     "SITES",
     "CRASH_SITES",
+    "SHARD_SITES",
     "MODES",
+    "PROCESS_MODES",
 ]
 
 #: The durability-layer crash points (visited right before the I/O call).
@@ -68,7 +72,20 @@ CRASH_SITES = (
     "wal.replace",
 )
 
-#: Every injection site understood by :func:`inject`.
+#: The shard-worker process-boundary sites (visited by the worker loop in
+#: :mod:`repro.serve.shard`): ``shard.loop`` at the top of each loop
+#: iteration (a ``delay`` plan there models a hung worker), ``shard.ack``
+#: immediately before a finished response is written to the pipe (an
+#: ``exit`` plan there models kill-before-ack: the work is durably done
+#: but the front door never hears about it).
+SHARD_SITES = (
+    "shard.loop",
+    "shard.ack",
+)
+
+#: The in-process injection sites (the chaos matrix iterates these; the
+#: :data:`SHARD_SITES` are additionally valid in a plan but are only
+#: visited inside a shard worker process).
 SITES = (
     "relation.add",
     "heap.insert",
@@ -77,8 +94,14 @@ SITES = (
     "engine.saturate",
 ) + CRASH_SITES
 
-#: The supported injection modes.
+#: The in-process injection modes (safe to fire inside a test runner).
 MODES = ("error", "delay", "wake", "crash", "torn")
+
+#: Modes only meaningful inside a sacrificial worker process: ``exit``
+#: is real process death — ``os._exit(70)``, no exception, no cleanup,
+#: no atexit.  Valid in a :class:`FaultPlan`, deliberately excluded from
+#: :data:`MODES` so in-process chaos sweeps never kill the test runner.
+PROCESS_MODES = ("exit",)
 
 
 class FaultInjected(ReproError):
@@ -151,10 +174,16 @@ class FaultPlan:
     repeat: bool = False
 
     def __post_init__(self) -> None:
-        if self.site not in SITES:
-            raise ValueError(f"unknown fault site {self.site!r}; expected one of {SITES}")
-        if self.mode not in MODES:
-            raise ValueError(f"unknown fault mode {self.mode!r}; expected one of {MODES}")
+        if self.site not in SITES + SHARD_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; expected one of "
+                f"{SITES + SHARD_SITES}"
+            )
+        if self.mode not in MODES + PROCESS_MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; expected one of "
+                f"{MODES + PROCESS_MODES}"
+            )
         if self.nth < 1:
             raise ValueError("nth must be >= 1")
 
@@ -242,6 +271,11 @@ class FaultInjector:
                 raise TornWrite(
                     f"simulated torn write at {site} (visit {count}, nth={plan.nth})"
                 )
+            if plan.mode == "exit":
+                # Real process death: no exception, no cleanup, no atexit.
+                # Only meaningful inside a sacrificial worker process —
+                # the supervisor sees exit code 70, exactly like a crash.
+                os._exit(70)
             if plan.mode == "delay":
                 time.sleep(plan.delay_s)
             # "wake": a spurious extra visit — deliberately nothing.
@@ -254,6 +288,45 @@ class FaultInjector:
 # at a time, enforced explicitly.
 _active_lock = threading.Lock()
 _active_injector: Optional[FaultInjector] = None
+
+#: Hook slot for the :data:`SHARD_SITES` visits.  Lives here (not in the
+#: serve layer) so the shard worker loop can read it without the robust
+#: layer importing serve; set by :func:`inject`/:func:`install`.
+_SHARD_HOOK: Optional[FaultInjector] = None
+
+
+def _hook_targets() -> List[Tuple[Any, str]]:
+    """Every ``(holder, attribute)`` hook slot, resolved lazily (engine
+    modules import the storage layer, never the reverse — resolving here
+    keeps :mod:`repro.robust` importable from the storage layer)."""
+    import sys
+
+    from repro.core import clique_eval
+    from repro.core.engine_base import BaseEngine
+    from repro.durable import wal
+
+    return [
+        (Relation, "_fault_hook"),
+        (PriorityQueue, "_fault_hook"),
+        (BaseEngine, "_fault_hook"),
+        (clique_eval, "_FAULT_HOOK"),
+        (wal, "_CRASH_HOOK"),
+        (sys.modules[__name__], "_SHARD_HOOK"),
+    ]
+
+
+def install(injector: Optional[FaultInjector]) -> Optional[FaultInjector]:
+    """Install *injector* into every hook slot for the **life of the
+    process** — no restore, no re-entrancy bookkeeping.
+
+    This is the shard worker's entry point: a child process that exists
+    to be crashed installs its (reconstructed) injector once at startup
+    and never uninstalls it, because the uninstall path is the process
+    exiting.  In-process tests should keep using :func:`inject`.
+    """
+    for holder, attr in _hook_targets():
+        setattr(holder, attr, injector)
+    return injector
 
 
 @contextmanager
@@ -286,13 +359,6 @@ def inject(
     if injector is None:
         yield None
         return
-    # Engine modules import the storage layer (never the reverse), so the
-    # core and durability hooks are resolved lazily here to keep
-    # repro.robust importable from the storage layer as well.
-    from repro.core import clique_eval
-    from repro.core.engine_base import BaseEngine
-    from repro.durable import wal
-
     with _active_lock:
         if _active_injector is not None:
             raise FaultInjectionError(
@@ -302,17 +368,10 @@ def inject(
             )
         _active_injector = injector
     saved: List[Tuple[Any, str, Any]] = [
-        (Relation, "_fault_hook", Relation._fault_hook),
-        (PriorityQueue, "_fault_hook", PriorityQueue._fault_hook),
-        (BaseEngine, "_fault_hook", BaseEngine._fault_hook),
-        (clique_eval, "_FAULT_HOOK", clique_eval._FAULT_HOOK),
-        (wal, "_CRASH_HOOK", wal._CRASH_HOOK),
+        (holder, attr, getattr(holder, attr)) for holder, attr in _hook_targets()
     ]
-    Relation._fault_hook = injector
-    PriorityQueue._fault_hook = injector
-    BaseEngine._fault_hook = injector
-    clique_eval._FAULT_HOOK = injector
-    wal._CRASH_HOOK = injector
+    for holder, attr in _hook_targets():
+        setattr(holder, attr, injector)
     try:
         yield injector
     finally:

@@ -7,12 +7,17 @@ The package turns the single-run pipeline into a long-lived front end
 * :class:`~repro.serve.service.QueryService` — the worker pool; submit
   :class:`~repro.serve.request.QueryRequest` objects, get
   :class:`~repro.serve.request.QueryResponse` accounts back, always.
+* :class:`~repro.serve.supervisor.ShardedQueryService` — N worker
+  *processes* behind a fingerprint-routing front door, heartbeated and
+  restarted by the :class:`~repro.serve.supervisor.Supervisor` (each
+  shard owns a private WAL directory and recovers it after a crash).
 * :class:`~repro.serve.admission.AdmissionQueue` — the bounded,
   deadline-aware queue that sheds instead of growing.
 * :mod:`~repro.serve.errors` — the typed rejections
-  (:class:`Overloaded`, :class:`CircuitOpen`, :class:`ServiceClosed`).
-* :class:`~repro.serve.metrics.ServiceMetrics` — the ``serve/``
-  namespace behind :meth:`QueryService.stats`.
+  (:class:`Overloaded`, :class:`CircuitOpen`, :class:`ServiceClosed`,
+  :class:`ShardDown`).
+* :class:`~repro.serve.metrics.ServiceMetrics` — the ``serve/`` (and the
+  front door's ``shard/``) namespace behind ``stats()``.
 """
 
 from repro.serve.admission import AdmissionQueue
@@ -22,6 +27,8 @@ from repro.serve.errors import (
     ServiceClosed,
     ServiceError,
     ServiceRejection,
+    ShardDown,
+    ShardError,
 )
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.request import (
@@ -34,7 +41,10 @@ from repro.serve.request import (
     QueryRequest,
     QueryResponse,
 )
+from repro.serve.routing import failover_order, route
 from repro.serve.service import QueryService, Ticket
+from repro.serve.shard import ShardConfig
+from repro.serve.supervisor import ShardedQueryService, Supervisor
 
 __all__ = [
     "AdmissionQueue",
@@ -43,11 +53,18 @@ __all__ = [
     "ServiceClosed",
     "ServiceError",
     "ServiceRejection",
+    "ShardDown",
+    "ShardError",
     "ServiceMetrics",
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "ShardConfig",
+    "ShardedQueryService",
+    "Supervisor",
     "Ticket",
+    "route",
+    "failover_order",
     "TERMINAL_STATUSES",
     "OK",
     "DEGRADED",

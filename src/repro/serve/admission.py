@@ -48,6 +48,13 @@ class AdmissionQueue:
     #: EWMA decay for observed service times (~last 10 requests dominate).
     EWMA_ALPHA = 0.2
 
+    #: After this much idle time the EWMA has decayed halfway back to the
+    #: seed.  A service-time estimate is a statement about *current* load;
+    #: after a quiet hour the last burst's timings say nothing about the
+    #: next request, so the ``retry_after`` hint re-anchors on the seed
+    #: instead of quoting stale congestion.
+    IDLE_DECAY_HALF_LIFE_S = 60.0
+
     def __init__(
         self,
         capacity: int,
@@ -58,12 +65,14 @@ class AdmissionQueue:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.clock = clock
+        self.default_service_s = default_service_s
         self._items: deque = deque()
         # Re-entrant: take() invokes the shed callback with the lock held,
         # and shed handlers legitimately read depth()/retry_after().
         self._lock = threading.RLock()
         self._not_empty = threading.Condition(self._lock)
         self._ewma_service_s = default_service_s
+        self._ewma_updated_at = clock()
         #: Lifetime counters: admitted, shed at the door, shed at dequeue.
         self.admitted = 0
         self.rejected = 0
@@ -131,10 +140,32 @@ class AdmissionQueue:
         """Fold one completed request's execution time into the EWMA the
         ``retry_after`` hint is computed from."""
         with self._lock:
+            self._decay_ewma_locked()
             self._ewma_service_s = (
                 self.EWMA_ALPHA * seconds
                 + (1.0 - self.EWMA_ALPHA) * self._ewma_service_s
             )
+
+    def _decay_ewma_locked(self) -> None:
+        """Pull the EWMA toward the seed by the idle time elapsed since
+        the last observation (exponential, :data:`IDLE_DECAY_HALF_LIFE_S`
+        half-life), and restart the idle clock."""
+        now = self.clock()
+        idle = now - self._ewma_updated_at
+        self._ewma_updated_at = now
+        if idle <= 0:
+            return
+        weight = 0.5 ** (idle / self.IDLE_DECAY_HALF_LIFE_S)
+        self._ewma_service_s = (
+            weight * self._ewma_service_s
+            + (1.0 - weight) * self.default_service_s
+        )
+
+    def service_time_estimate(self) -> float:
+        """The current (idle-decayed) EWMA service-time estimate."""
+        with self._lock:
+            self._decay_ewma_locked()
+            return self._ewma_service_s
 
     def retry_after(self, workers: int = 1) -> float:
         """Estimated seconds until a newly shed caller could be admitted:
@@ -143,8 +174,20 @@ class AdmissionQueue:
             return self._retry_after_locked(workers)
 
     def _retry_after_locked(self, workers: int = 1) -> float:
+        self._decay_ewma_locked()
         backlog = max(1, len(self._items))
         return max(0.01, backlog * self._ewma_service_s / max(1, workers))
+
+    # -- shutdown --------------------------------------------------------------
+
+    def drain(self) -> list:
+        """Remove and return every queued item (deadline dropped), for a
+        closing service to complete with a typed shutdown response rather
+        than leaving their callers blocked forever."""
+        with self._lock:
+            items = [item for item, _deadline in self._items]
+            self._items.clear()
+            return items
 
     # -- introspection ---------------------------------------------------------
 

@@ -55,6 +55,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4, help="worker threads (default: 4)"
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "serve through N worker processes behind the fingerprint-"
+            "routing front door instead of one in-process thread pool; "
+            "--workers then means threads per shard (default: 0 = "
+            "unsharded)"
+        ),
+    )
+    parser.add_argument(
         "--queue-capacity",
         type=int,
         default=64,
@@ -187,18 +199,31 @@ def serve_main(argv: Sequence[str] | None = None, out=None) -> int:
     from repro.robust.retry import RetryPolicy
 
     store = None
-    if args.durable_dir:
-        from repro.durable import CheckpointStore
-
-        store = CheckpointStore(args.durable_dir)
     failures = 0
-    service = QueryService(
-        workers=args.workers,
-        queue_capacity=args.queue_capacity,
-        retry=RetryPolicy(max_attempts=args.max_attempts),
-        seed=args.seed,
-        store=store,
-    )
+    if args.shards > 0:
+        from repro.serve.supervisor import ShardedQueryService
+
+        # Shard workers own (and recover) their private WAL directories
+        # under --durable-dir themselves.
+        service: Any = ShardedQueryService(
+            shards=args.shards,
+            workers_per_shard=args.workers,
+            queue_capacity=args.queue_capacity,
+            seed=args.seed,
+            durable_dir=args.durable_dir or None,
+        )
+    else:
+        if args.durable_dir:
+            from repro.durable import CheckpointStore
+
+            store = CheckpointStore(args.durable_dir)
+        service = QueryService(
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            seed=args.seed,
+            store=store,
+        )
     try:
         tickets: List[Optional[Any]] = []
         if store is not None:
@@ -210,6 +235,14 @@ def serve_main(argv: Sequence[str] | None = None, out=None) -> int:
                     file=out,
                 )
                 tickets.extend(recovered.values())
+        elif args.shards > 0 and args.durable_dir:
+            replayed = service.metrics.counter("recovered")
+            if replayed:
+                print(
+                    f"shards recovered {replayed} unfinished run(s) from "
+                    f"{args.durable_dir}",
+                    file=out,
+                )
         for index, request in enumerate(requests):
             try:
                 tickets.append(service.submit(request))

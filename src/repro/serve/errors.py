@@ -19,6 +19,8 @@ __all__ = [
     "Overloaded",
     "CircuitOpen",
     "ServiceClosed",
+    "ShardDown",
+    "ShardError",
 ]
 
 
@@ -66,3 +68,26 @@ class CircuitOpen(ServiceRejection):
 class ServiceClosed(ServiceError):
     """The service has been shut down; no further submissions are
     accepted."""
+
+
+class ShardDown(ServiceRejection):
+    """Every shard that could serve this request is dead or restarting.
+
+    Raised by the sharded front door when the routed shard (and every
+    failover candidate) is unavailable — crashed past its restart budget,
+    or mid-restart with failover disabled.  ``retry_after`` reflects the
+    supervisor's next restart attempt.
+
+    Attributes:
+        shard_id: the shard the request was routed to.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0, shard_id: int = -1):
+        super().__init__(message, retry_after=retry_after)
+        self.shard_id = shard_id
+
+
+class ShardError(ServiceError):
+    """An error that crossed a shard's process boundary but could not be
+    mapped back to a known typed error — the worker-side type name and
+    message are preserved in the text."""

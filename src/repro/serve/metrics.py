@@ -41,23 +41,36 @@ __all__ = ["ServiceMetrics"]
 
 
 class ServiceMetrics:
-    """A lock-guarded :class:`MetricsRegistry` owning ``serve/*``."""
+    """A lock-guarded :class:`MetricsRegistry` owning one namespace.
 
-    def __init__(self, registry: MetricsRegistry | None = None):
+    The default namespace is ``serve`` (the in-process
+    :class:`~repro.serve.service.QueryService`); the sharded front door
+    instantiates a second one under ``shard`` so process-topology
+    counters (spawns, crashes, restarts, failovers, recoveries) never
+    mix with per-request serving counters.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        namespace: str = "serve",
+    ):
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.namespace = namespace
+        self._prefix = f"{namespace}/"
         self._lock = threading.Lock()
 
     def inc(self, name: str, amount: int = 1) -> None:
         with self._lock:
-            self.registry.inc(f"serve/{name}", amount)
+            self.registry.inc(f"{self._prefix}{name}", amount)
 
     def gauge(self, name: str, value: Any) -> None:
         with self._lock:
-            self.registry.set_counter(f"serve/{name}", value)
+            self.registry.set_counter(f"{self._prefix}{name}", value)
 
     def observe(self, name: str, value: float) -> None:
         with self._lock:
-            self.registry.observe(f"serve/{name}", value)
+            self.registry.observe(f"{self._prefix}{name}", value)
 
     def merge_request(self, request_registry: MetricsRegistry) -> None:
         """Fold a finished request's private registry into the service's."""
@@ -66,21 +79,21 @@ class ServiceMetrics:
 
     def counter(self, name: str) -> Any:
         with self._lock:
-            return self.registry.counter(f"serve/{name}")
+            return self.registry.counter(f"{self._prefix}{name}")
 
     def stats(self) -> Dict[str, Any]:
-        """A JSON-ready view: every ``serve/`` counter (prefix stripped)
+        """A JSON-ready view: every namespaced counter (prefix stripped)
         plus latency percentiles in milliseconds."""
         with self._lock:
             counters = {
-                name[len("serve/"):]: value
+                name[len(self._prefix):]: value
                 for name, value in self.registry.counters.items()
-                if name.startswith("serve/")
+                if name.startswith(self._prefix)
             }
             latency: Dict[str, Any] = {}
             for series, label in (
-                ("serve/latency_s", "latency_ms"),
-                ("serve/queue_s", "queue_ms"),
+                (f"{self._prefix}latency_s", "latency_ms"),
+                (f"{self._prefix}queue_s", "queue_ms"),
             ):
                 for q, suffix in ((0.50, "p50"), (0.99, "p99")):
                     value = self.registry.quantile(series, q)

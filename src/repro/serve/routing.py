@@ -1,0 +1,45 @@
+"""Fingerprint routing: which shard owns which program class.
+
+The sharded front door routes every request by its
+:meth:`~repro.serve.request.QueryRequest.breaker_class` — the caller's
+explicit class, or ``engine:<sha256(program)[:8]>`` — so all requests for
+one program land on one worker process.  That placement is what makes
+sharding *better* than a round-robin pool, not just wider: the owning
+shard's :class:`~repro.core.plans.PlanCache` stays hot for the program,
+and its circuit breaker accumulates an honest per-program failure history
+instead of each process seeing a diluted sample.
+
+Routing is a pure function of ``(class, shard count)`` — no table, no
+coordination — so the front door, a restarted front door, and a test
+oracle all agree on placement.  :func:`failover_order` extends it to a
+deterministic preference list: the owning shard first, then the others in
+ring order, which the front door walks when the owner is down and
+failover is enabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+__all__ = ["route", "failover_order"]
+
+
+def route(klass: str, shards: int) -> int:
+    """The owning shard of program class *klass* among *shards* workers.
+
+    Stable across processes and runs (sha256, not :func:`hash`, which is
+    salted per interpreter).
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    digest = hashlib.sha256(klass.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % shards
+
+
+def failover_order(klass: str, shards: int) -> List[int]:
+    """Every shard in preference order: the owner, then the ring walked
+    upward from it.  Deterministic, so retries and restarts route the
+    same way."""
+    primary = route(klass, shards)
+    return [(primary + offset) % shards for offset in range(shards)]

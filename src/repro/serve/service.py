@@ -191,8 +191,18 @@ class QueryService:
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, request: QueryRequest) -> Ticket:
+    def submit(
+        self, request: QueryRequest, request_id: Optional[int] = None
+    ) -> Ticket:
         """Admit *request* or reject it in O(1).
+
+        Args:
+            request_id: assign this numeric id instead of the next fresh
+                one.  Used by recovery (a resubmitted run keeps its
+                journalled id, so its WAL records stay one chain) and by
+                shard workers executing on behalf of a front door that
+                already numbered the request.  The internal counter jumps
+                past it, so fresh ids never collide.
 
         Raises:
             ServiceClosed: after :meth:`close`.
@@ -213,8 +223,11 @@ class QueryService:
             )
         now = self.clock()
         with self._id_lock:
-            request_id = self._next_id
-            self._next_id += 1
+            if request_id is None:
+                request_id = self._next_id
+                self._next_id += 1
+            else:
+                self._next_id = max(self._next_id, request_id + 1)
         ticket = Ticket(request_id, request, submitted_at=now)
         if request.deadline is not None:
             ticket.deadline = now + request.deadline
@@ -466,8 +479,11 @@ class QueryService:
         run that reached at least one durable checkpoint is resumed from
         its newest one (``resume_from``), so a seeded request completes
         to the byte-identical model the uninterrupted run would have
-        produced.  The journalled id is marked done once its replacement
-        is admitted — recovery is at-least-once, never silent loss.
+        produced.  A numeric journalled id is reused verbatim (the rerun
+        journals and completes under the same id, so the WAL stays one
+        chain per request); a non-numeric id gets a fresh one and the old
+        id is retired — either way recovery is at-least-once, never
+        silent loss.
 
         Returns ``{journalled_id: Ticket}`` when *resubmit* is true,
         ``{journalled_id: QueryRequest}`` otherwise (the store is then
@@ -487,9 +503,12 @@ class QueryService:
             if not resubmit:
                 recovered[rid] = request
                 continue
-            ticket = self.submit(request)
+            numeric = int(rid) if rid.isdigit() else None
+            ticket = self.submit(request, request_id=numeric)
             self.metrics.inc("recovered")
-            self.store.mark_done(rid)
+            if numeric is None:
+                # The rerun lives under a fresh id; retire the old one.
+                self.store.mark_done(rid)
             recovered[rid] = ticket
         return recovered
 
@@ -554,9 +573,11 @@ class QueryService:
 
         With ``wait`` the call blocks (up to *timeout*) until the queue
         empties and in-flight requests finish, so every admitted ticket
-        resolves.  Without it, workers stop after their current request;
-        still-queued tickets never resolve — callers blocked on them
-        should pass a ``response`` timeout.
+        resolves with its real outcome.  Without it — or when the wait
+        times out — workers stop after their current request and every
+        still-queued ticket is completed with a typed shutdown response
+        (status ``shed``, :class:`~repro.serve.errors.ServiceClosed`), so
+        a caller blocked in :meth:`Ticket.response` always wakes up.
         """
         self._closed = True
         if wait:
@@ -568,6 +589,27 @@ class QueryService:
         self._stop.set()
         for thread in self._workers:
             thread.join(timeout=5.0)
+        # Workers are gone; whatever is still queued (close(wait=False),
+        # or the drain timed out) would otherwise strand its caller.
+        for ticket in self.queue.drain():
+            if ticket.done:
+                continue
+            self.metrics.inc("shed")
+            self._breaker(ticket.request.breaker_class()).release_probe()
+            if self.store is not None:
+                # The caller is being told "not run" — nothing to recover.
+                self.store.mark_done(str(ticket.request_id))
+            ticket._complete(
+                QueryResponse(
+                    request_id=ticket.request_id,
+                    status=SHED,
+                    error=ServiceClosed(
+                        "query service closed before this request ran"
+                    ),
+                    latency_s=self.clock() - ticket.submitted_at,
+                    queue_s=self.clock() - ticket.submitted_at,
+                )
+            )
 
     def __enter__(self) -> "QueryService":
         return self

@@ -1,0 +1,476 @@
+"""The shard worker process and its wire protocol.
+
+A shard is one OS process owning a private
+:class:`~repro.serve.service.QueryService` and (when serving durably) a
+private :class:`~repro.durable.store.CheckpointStore` WAL directory
+(``<durable_dir>/shard-<k>``, held under an exclusive ``flock`` so two
+live workers can never interleave one log).  Processes — not threads —
+because the engine is pure Python: N shards are N interpreters, so
+CPU-bound programs scale with cores instead of serializing on one GIL.
+
+Everything crosses the pipe as plain picklable data — payload dicts from
+:meth:`QueryRequest.to_payload`, response dicts from
+:func:`encode_response` — never live objects, so parent and child agree
+on nothing but the protocol below.
+
+Parent → child::
+
+    ("submit", rid, payload)   route one request (rid is front-door-global)
+    ("cancel", rid)            cooperative cancellation
+    ("ping", seq)              heartbeat probe
+    ("close",)                 drain and exit cleanly
+
+Child → parent::
+
+    ("ready", shard_id, pid)   the worker is up, inner service running
+    ("recovered", [rids])      journalled-not-done rids the shard is
+                               re-running from its WAL (empty when fresh
+                               or non-durable) — the supervisor resends
+                               any in-flight rid *not* in this list,
+                               because a request that died in the pipe
+                               was never journalled anywhere
+    ("pong", seq, depth, inflight)
+    ("response", rid, payload) terminal outcome for rid
+    ("bye",)                   clean-close acknowledgement
+
+Zero-loss argument, end to end: the front door keeps every submitted
+``(rid, payload)`` until the owning shard's ``response`` arrives.  Inside
+the shard, the inner service journals before running and marks done
+before completing (PR 5's ordering).  If the process dies *before* the
+run finishes, the restarted shard's ``recover()`` finds the rid pending
+and re-runs it from its newest durable checkpoint (reported via
+``recovered``).  If it dies *after* finishing but before the response
+crossed the pipe — the ``shard.ack`` kill window — the rid is durably
+done, so ``recovered`` omits it and the supervisor resends the retained
+payload; the rerun is seeded, so the model is byte-identical.  Either
+way the caller's ticket terminates with the right answer.
+
+Fault sites (:data:`repro.robust.faults.SHARD_SITES`) visited by the
+worker loop: ``shard.loop`` at the top of every iteration (a repeating
+``delay`` plan is a hung worker), ``shard.ack`` immediately before each
+response send (an ``exit`` plan is kill-before-ack).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.robust import faults
+from repro.robust.faults import FaultInjector, FaultPlan, install
+from repro.serve.errors import (
+    CircuitOpen,
+    ServiceRejection,
+    ShardError,
+)
+from repro.serve.request import (
+    FAILED,
+    SHED,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.storage.database import Database
+
+__all__ = [
+    "ShardConfig",
+    "ShardHandle",
+    "shard_worker_main",
+    "encode_response",
+    "decode_response",
+]
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a spawned worker needs, as picklable plain data.
+
+    Attributes:
+        workers: worker threads inside the shard's inner service.
+        queue_capacity: the inner admission queue bound.
+        seed: inner service seed (retry jitter reproducibility).
+        durable_root: the front door's durable directory; the shard owns
+            ``<durable_root>/shard-<k>`` under it.  ``None`` disables
+            durability (and with it crash recovery).
+        fsync: the shard store's fsync policy.
+        every_seconds: durability cadence for the shard's runs.
+        default_budget_wall_clock: optional wall-clock budget applied to
+            requests that carry none.
+        fault_plans: :class:`FaultPlan`\\ s installed process-wide in the
+            child at startup (chaos tests; empty in production).
+        crash_after: shared crash-point countdown, as in
+            :func:`repro.robust.faults.inject`.
+    """
+
+    workers: int = 1
+    queue_capacity: int = 64
+    seed: int = 0
+    durable_root: Optional[str] = None
+    fsync: str = "always"
+    every_seconds: float = 0.05
+    default_budget_wall_clock: Optional[float] = None
+    fault_plans: Tuple[FaultPlan, ...] = ()
+    crash_after: Optional[int] = None
+
+
+# -- the wire codec -------------------------------------------------------------
+
+
+def _encode_database(db: Any) -> List[List[Any]]:
+    from repro.robust.checkpoint import encode_value
+
+    return [
+        [name, arity, encode_value(list(db.facts(name, arity)))]
+        for name, arity in sorted(db.predicates())
+    ]
+
+
+def _decode_database(rows: List[List[Any]]) -> Database:
+    from repro.robust.checkpoint import decode_value
+
+    db = Database()
+    for name, _arity, encoded in rows:
+        db.assert_all(name, [tuple(fact) for fact in decode_value(encoded)])
+    return db
+
+
+def _encode_error(exc: BaseException) -> Dict[str, Any]:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "retry_after": getattr(exc, "retry_after", None),
+        "klass": getattr(exc, "klass", None),
+    }
+
+
+def _error_types() -> Dict[str, type]:
+    import repro.errors as core_errors
+    import repro.serve.errors as serve_errors
+
+    types: Dict[str, type] = {}
+    for module in (core_errors, serve_errors):
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if isinstance(obj, type) and issubclass(obj, BaseException):
+                types[name] = obj
+    return types
+
+
+_ERROR_TYPES = _error_types()
+
+
+def _decode_error(payload: Dict[str, Any]) -> BaseException:
+    cls = _ERROR_TYPES.get(payload["type"])
+    message = payload.get("message", "")
+    if cls is None:
+        return ShardError(f"{payload['type']}: {message}")
+    try:
+        if issubclass(cls, CircuitOpen):
+            return cls(
+                message,
+                retry_after=payload.get("retry_after") or 0.0,
+                klass=payload.get("klass") or "",
+            )
+        if issubclass(cls, ServiceRejection):
+            return cls(message, retry_after=payload.get("retry_after") or 0.0)
+        return cls(message)
+    except Exception:
+        return ShardError(f"{payload['type']}: {message}")
+
+
+def encode_response(response: QueryResponse) -> Dict[str, Any]:
+    """A :class:`QueryResponse` as plain data.  The ``partial`` result
+    (live engine state) deliberately does not cross the pipe — degraded
+    responses keep their database snapshot and resumable checkpoint,
+    which is everything a remote caller can act on."""
+    from repro.robust.checkpoint import _to_payload
+
+    payload: Dict[str, Any] = {
+        "status": response.status,
+        "attempts": response.attempts,
+        "retries": response.retries,
+        "latency_s": response.latency_s,
+        "queue_s": response.queue_s,
+        "metrics": response.metrics,
+    }
+    if response.database is not None:
+        payload["database"] = _encode_database(response.database)
+    if response.checkpoint is not None:
+        payload["checkpoint"] = _to_payload(response.checkpoint)
+    if response.error is not None:
+        payload["error"] = _encode_error(response.error)
+    return payload
+
+
+def decode_response(rid: int, payload: Dict[str, Any]) -> QueryResponse:
+    """Rebuild the caller-facing :class:`QueryResponse` from the wire
+    payload (inverse of :func:`encode_response`)."""
+    from repro.robust.checkpoint import _from_payload
+
+    return QueryResponse(
+        request_id=rid,
+        status=payload["status"],
+        database=(
+            _decode_database(payload["database"])
+            if "database" in payload
+            else None
+        ),
+        checkpoint=(
+            _from_payload(payload["checkpoint"])
+            if "checkpoint" in payload
+            else None
+        ),
+        error=_decode_error(payload["error"]) if "error" in payload else None,
+        attempts=payload.get("attempts", 0),
+        retries=payload.get("retries", 0),
+        latency_s=payload.get("latency_s", 0.0),
+        queue_s=payload.get("queue_s", 0.0),
+        metrics=payload.get("metrics", {}),
+    )
+
+
+def _rejection_response(exc: BaseException, started: float) -> Dict[str, Any]:
+    """The wire response for a request the inner service rejected at the
+    door (overload, open breaker, closed) — shed, typed, never lost."""
+    status = SHED if isinstance(exc, ServiceRejection) else FAILED
+    return {
+        "status": status,
+        "error": _encode_error(exc),
+        "attempts": 0,
+        "retries": 0,
+        "latency_s": time.monotonic() - started,
+        "queue_s": 0.0,
+        "metrics": {},
+    }
+
+
+# -- the worker process ---------------------------------------------------------
+
+
+def _visit(site: str) -> None:
+    hook = faults._SHARD_HOOK
+    if hook is not None:
+        hook(site)
+
+
+def shard_worker_main(shard_id: int, conn: Any, config: ShardConfig) -> None:
+    """The child process entry point: run one shard until told to close
+    (or until the parent disappears, or an injected fault kills us)."""
+    if config.fault_plans or config.crash_after is not None:
+        injector = FaultInjector(list(config.fault_plans))
+        injector.crash_after = config.crash_after
+        install(injector)
+
+    from repro.durable import CheckpointStore, DurabilityPolicy
+    from repro.robust.governor import Budget
+    from repro.serve.service import QueryService, Ticket
+
+    store = None
+    durability = None
+    if config.durable_root is not None:
+        store = CheckpointStore.for_shard(
+            config.durable_root, shard_id, fsync=config.fsync
+        )
+        durability = DurabilityPolicy(every_seconds=config.every_seconds)
+    default_budget = (
+        Budget(wall_clock=config.default_budget_wall_clock)
+        if config.default_budget_wall_clock is not None
+        else None
+    )
+    service = QueryService(
+        workers=config.workers,
+        queue_capacity=config.queue_capacity,
+        seed=config.seed,
+        store=store,
+        durability=durability,
+        default_budget=default_budget,
+    )
+
+    pending: Dict[int, Ticket] = {}
+    recovered: List[int] = []
+    if store is not None:
+        for rid, ticket in service.recover(resubmit=True).items():
+            if rid.isdigit():
+                pending[int(rid)] = ticket
+                recovered.append(int(rid))
+    conn.send(("ready", shard_id, os.getpid()))
+    conn.send(("recovered", sorted(recovered)))
+
+    closing = False
+    try:
+        while True:
+            _visit("shard.loop")
+            while conn.poll(0.0 if pending else 0.01):
+                message = conn.recv()
+                kind = message[0]
+                if kind == "submit":
+                    rid, payload = message[1], message[2]
+                    started = time.monotonic()
+                    request = QueryRequest.from_payload(payload)
+                    try:
+                        pending[rid] = service.submit(request, request_id=rid)
+                    except ReproError as exc:
+                        conn.send(
+                            ("response", rid, _rejection_response(exc, started))
+                        )
+                elif kind == "cancel":
+                    ticket = pending.get(message[1])
+                    if ticket is not None:
+                        ticket.cancel()
+                elif kind == "ping":
+                    conn.send(
+                        ("pong", message[1], service.queue.depth(), len(pending))
+                    )
+                elif kind == "close":
+                    closing = True
+                    break
+            for rid in list(pending):
+                ticket = pending[rid]
+                if not ticket.done:
+                    continue
+                response = ticket.response(0)
+                _visit("shard.ack")
+                conn.send(("response", rid, encode_response(response)))
+                del pending[rid]
+            if closing:
+                # Drain: in-flight requests finish, queued-but-unstarted
+                # ones get the typed shutdown response from close().
+                service.close(wait=True)
+                for rid, ticket in list(pending.items()):
+                    if ticket.done:
+                        conn.send(
+                            ("response", rid, encode_response(ticket.response(0)))
+                        )
+                conn.send(("bye",))
+                break
+    except (EOFError, BrokenPipeError, OSError):
+        # The parent is gone; there is nobody to serve.  Durable state is
+        # on disk — a future front door recovers it.
+        pass
+    finally:
+        if not closing:
+            service.close(wait=False, timeout=1.0)
+        if store is not None:
+            store.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# -- the parent-side handle -----------------------------------------------------
+
+
+@dataclass
+class ShardHandle:
+    """The front door's grip on one worker process: its pipe end, its
+    lifecycle bookkeeping, and a send path safe to use from the caller
+    threads and the supervisor thread at once.
+
+    Sends go through a dedicated per-generation **sender thread**, never
+    directly from the caller.  This is load-bearing, not a convenience:
+    a duplex pipe deadlocks when both ends block writing into full
+    buffers at once — exactly what a bulk resend after a crash produces
+    (the supervisor pushing hundreds of retained payloads while the
+    worker pushes responses back, neither reading).  With the sender
+    thread, the supervisor thread only ever *reads*, so the worker's
+    sends always drain, so the worker keeps reading, so the sender
+    thread's blocking writes always complete.  A message enqueued toward
+    a dying worker is simply dropped when the sender thread exits — the
+    restart protocol resends everything unacknowledged anyway.
+    """
+
+    shard_id: int
+    config: ShardConfig
+    ctx: Any
+    process: Any = None
+    conn: Any = None
+    #: rids currently assigned to this shard (owned by the supervisor's
+    #: pending registry; mirrored here for cheap reassignment).
+    generation: int = 0
+    _outbox: Any = field(default=None, repr=False, compare=False)
+
+    def spawn(self) -> None:
+        """Start (or restart) the worker process on a fresh pipe."""
+        parent_end, child_end = self.ctx.Pipe(duplex=True)
+        self.process = self.ctx.Process(
+            target=shard_worker_main,
+            args=(self.shard_id, child_end, self.config),
+            name=f"repro-shard-{self.shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_end.close()
+        self.conn = parent_end
+        self.generation += 1
+        # A fresh outbox per generation: the old sender thread stays
+        # married to the old pipe and dies with it (its blocked write
+        # raises once the dead worker's end closes).
+        self._outbox = queue.Queue()
+        threading.Thread(
+            target=self._send_loop,
+            args=(parent_end, self._outbox),
+            name=f"repro-shard-{self.shard_id}-send",
+            daemon=True,
+        ).start()
+
+    @staticmethod
+    def _send_loop(conn: Any, outbox: Any) -> None:
+        while True:
+            message = outbox.get()
+            if message is None:
+                return
+            try:
+                conn.send(message)
+            except (BrokenPipeError, ValueError, OSError):
+                return
+
+    def send(self, message: Tuple[Any, ...]) -> bool:
+        """Enqueue for the sender thread; ``False`` when the worker end
+        is already gone (the supervisor turns that into a crash
+        observation, not an error).  Never blocks on the pipe."""
+        outbox = self._outbox
+        if outbox is None or self.conn is None:
+            return False
+        outbox.put(message)
+        return True
+
+    def poll(self) -> bool:
+        if self.conn is None:
+            return False
+        try:
+            return self.conn.poll(0.0)
+        except (BrokenPipeError, OSError):
+            return False
+
+    def recv(self) -> Optional[Tuple[Any, ...]]:
+        try:
+            return self.conn.recv()
+        except (EOFError, BrokenPipeError, OSError):
+            return None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        return None if self.process is None else self.process.exitcode
+
+    def kill(self, join_timeout: float = 2.0) -> None:
+        """SIGKILL the worker (used for hung shards and final cleanup)."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+            self.process.join(join_timeout)
+        if self._outbox is not None:
+            self._outbox.put(None)  # idle sender thread: exit cleanly
+            self._outbox = None
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None

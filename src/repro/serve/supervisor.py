@@ -1,0 +1,677 @@
+"""The sharded front door and its crash supervisor.
+
+:class:`ShardedQueryService` is the process-level analogue of
+:class:`~repro.serve.service.QueryService`: callers submit
+:class:`~repro.serve.request.QueryRequest`\\ s and get
+:class:`~repro.serve.service.Ticket`\\ s back, but the work runs in N
+worker **processes** (:mod:`repro.serve.shard`), routed by program
+fingerprint (:mod:`repro.serve.routing`) so each shard's plan cache and
+failure history stay hot for the programs it owns.
+
+The robustness core is the :class:`Supervisor` — one thread driving a
+per-shard state machine::
+
+    STARTING --(ready+recovered)--> UP
+    UP  --(missed heartbeats)-----> SUSPECT --(more misses: kill)--> DOWN
+    UP / SUSPECT --(process died)-> DOWN
+    DOWN --(backoff elapsed)------> STARTING   (same WAL shard)
+    DOWN --(restart budget spent)-> FAILED
+    UP  --(close())---------------> STOPPED
+
+Each tick it drains shard messages (completing caller tickets from
+``response`` payloads), pings live shards, declares a shard dead on a
+process exit or hung after ``miss_limit`` consecutive unanswered pings
+(hung workers are SIGKILLed — a stuck interpreter cannot be reasoned
+with), and schedules restarts under **bounded exponential backoff**
+stretched by a per-shard :class:`~repro.robust.breaker.CircuitBreaker`
+(crash = failure; surviving ``stable_after`` seconds = success), so a
+crash-looping shard backs off instead of burning CPU on spawn loops.  A
+shard that exhausts ``max_restarts`` consecutive restarts is FAILED: its
+in-flight requests re-route to a live shard when ``failover`` is on,
+else complete with a typed :class:`~repro.serve.errors.ShardDown`.
+
+Restart recovery is the zero-loss half (full argument in
+:mod:`repro.serve.shard`): a restarted worker reopens the same WAL
+directory, re-runs every journalled-not-done request from its newest
+durable checkpoint, and reports the replayed rids; the supervisor then
+*resends* any in-flight rid the shard did not recover — exactly the
+requests that died unjournalled in the pipe or were retired as done
+before their response crossed.
+
+Shard-lifecycle trace events (``shard-spawn``, ``shard-ready``,
+``shard-recovered``, ``shard-suspect``, ``shard-crash``,
+``shard-restart``, ``shard-failed``, ``shard-stable``, ``shard-stopped``)
+are emitted through the service's tracer when tracing is on; process
+topology counters live under the ``shard/`` metrics namespace.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.tracer import Tracer
+from repro.robust.breaker import CircuitBreaker
+from repro.robust.faults import FaultPlan
+from repro.serve.errors import ServiceClosed, ShardDown
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.request import (
+    FAILED,
+    SHED,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.serve.routing import failover_order
+from repro.serve.service import Ticket
+from repro.serve.shard import ShardConfig, ShardHandle, decode_response
+
+__all__ = [
+    "ShardedQueryService",
+    "Supervisor",
+    "STARTING",
+    "UP",
+    "SUSPECT",
+    "DOWN",
+    "FAILED_STATE",
+    "STOPPED",
+]
+
+STARTING = "starting"
+UP = "up"
+SUSPECT = "suspect"
+DOWN = "down"
+FAILED_STATE = "failed"
+STOPPED = "stopped"
+
+
+@dataclass
+class _Pending:
+    """One in-flight request the front door still owes an answer for."""
+
+    ticket: Ticket
+    shard_id: int
+    payload: Dict[str, Any]
+    resends: int = 0
+
+
+@dataclass
+class _ShardState:
+    """Supervisor-side bookkeeping for one shard."""
+
+    handle: ShardHandle
+    breaker: CircuitBreaker
+    state: str = STARTING
+    pid: Optional[int] = None
+    ping_seq: int = 0
+    missed_pongs: int = 0
+    restarts: int = 0
+    lifetime_restarts: int = 0
+    restart_due: float = 0.0
+    became_up_at: float = 0.0
+    stable: bool = False
+    last_depth: int = 0
+    last_inflight: int = 0
+
+
+class _RemoteTicket(Ticket):
+    """A ticket whose cancel() crosses the process boundary."""
+
+    def __init__(self, service: "ShardedQueryService", *args: Any):
+        super().__init__(*args)
+        self._service = service
+
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        super().cancel(reason)
+        self._service._forward_cancel(self.request_id)
+
+
+class ShardedQueryService:
+    """N worker processes behind one fingerprint-routing front door.
+
+    Args:
+        shards: worker-process count.
+        workers_per_shard: worker threads inside each shard's inner
+            :class:`~repro.serve.service.QueryService`.
+        queue_capacity: each shard's inner admission bound.
+        seed: base seed; shard *k* runs its inner service with
+            ``seed + k`` so retry jitter never synchronizes across shards.
+        durable_dir: root directory for the per-shard WAL stores
+            (``<durable_dir>/shard-<k>``); ``None`` serves non-durably
+            (restarts re-run in-flight work from the retained payloads
+            instead of checkpoints).
+        fsync / every_seconds: each shard store's fsync policy and
+            checkpoint cadence.
+        heartbeat_interval: supervisor tick (ping cadence), seconds.
+        miss_limit: consecutive unanswered pings before a shard is
+            declared hung and killed (``miss_limit // 2`` marks SUSPECT).
+        restart_backoff / max_backoff: exponential restart delay bounds.
+        max_restarts: consecutive restarts (without a stable interval)
+            before the shard is FAILED.
+        stable_after: seconds a restarted shard must stay up before its
+            breaker records success and the restart counter resets.
+        failover: route around dead shards (new submissions) and re-route
+            a FAILED shard's in-flight work to live shards; off, callers
+            get typed :class:`ShardDown` rejections instead.
+        failure_threshold / reset_timeout: per-shard breaker tuning.
+        default_budget_wall_clock: wall-clock budget for requests
+            carrying none (applied inside the shards).
+        trace: emit shard-lifecycle trace events.
+        fault_plans / crash_after: fault injection installed inside every
+            spawned worker (chaos tests; see
+            :data:`repro.robust.faults.SHARD_SITES`).
+        start_timeout: how long the constructor blocks for the fleet to
+            come up (:meth:`wait_ready`); ``0`` returns immediately.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        workers_per_shard: int = 1,
+        queue_capacity: int = 64,
+        seed: int = 0,
+        durable_dir: Optional[str] = None,
+        fsync: str = "always",
+        every_seconds: float = 0.05,
+        heartbeat_interval: float = 0.05,
+        miss_limit: int = 40,
+        restart_backoff: float = 0.2,
+        max_backoff: float = 5.0,
+        max_restarts: int = 5,
+        stable_after: float = 1.0,
+        failover: bool = True,
+        failure_threshold: int = 3,
+        reset_timeout: float = 1.0,
+        default_budget_wall_clock: Optional[float] = None,
+        trace: bool = False,
+        fault_plans: Tuple[FaultPlan, ...] = (),
+        crash_after: Optional[int] = None,
+        start_timeout: float = 30.0,
+        clock: Any = time.monotonic,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.durable_dir = os.fspath(durable_dir) if durable_dir else None
+        self.heartbeat_interval = heartbeat_interval
+        self.miss_limit = miss_limit
+        self.restart_backoff = restart_backoff
+        self.max_backoff = max_backoff
+        self.max_restarts = max_restarts
+        self.stable_after = stable_after
+        self.failover = failover
+        self.clock = clock
+        self.metrics = ServiceMetrics(namespace="shard")
+        self.tracer = Tracer(enabled=trace)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._pending: Dict[int, _Pending] = {}
+        self._pending_lock = threading.Lock()
+        self._closed = False
+        self._closing = False
+        self._next_id = self._seed_rid_counter()
+        self._shards: List[_ShardState] = []
+        for k in range(shards):
+            config = ShardConfig(
+                workers=workers_per_shard,
+                queue_capacity=queue_capacity,
+                seed=seed + k,
+                durable_root=self.durable_dir,
+                fsync=fsync,
+                every_seconds=every_seconds,
+                default_budget_wall_clock=default_budget_wall_clock,
+                fault_plans=tuple(fault_plans),
+                crash_after=crash_after,
+            )
+            handle = ShardHandle(shard_id=k, config=config, ctx=self._ctx)
+            breaker = CircuitBreaker(
+                failure_threshold=failure_threshold,
+                reset_timeout=reset_timeout,
+                clock=clock,
+            )
+            self._shards.append(_ShardState(handle=handle, breaker=breaker))
+        for state in self._shards:
+            self._spawn(state)
+        self.supervisor = Supervisor(self)
+        self.supervisor.start()
+        if start_timeout:
+            self.wait_ready(start_timeout)
+
+    def wait_ready(self, timeout: float = 30.0) -> bool:
+        """Block until every non-failed shard is UP (spawn + WAL replay
+        take real time under the spawn start method); ``True`` when the
+        fleet is fully live within *timeout*."""
+        deadline = self.clock() + timeout
+        while self.clock() < deadline:
+            states = {s.state for s in self._shards}
+            if states <= {UP, FAILED_STATE, STOPPED} and UP in states:
+                return True
+            time.sleep(0.01)
+        return False
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> Ticket:
+        """Route *request* to the owning shard (or a live failover) and
+        return the caller's ticket.
+
+        Raises:
+            ServiceClosed: after :meth:`close`.
+            ShardDown: the owning shard — and, with failover, every other
+                shard — is not accepting work right now.
+        """
+        if self._closed or self._closing:
+            raise ServiceClosed("sharded service is closed to new submissions")
+        self.metrics.inc("submitted")
+        klass = request.breaker_class()
+        order = failover_order(klass, self.shards)
+        target: Optional[_ShardState] = None
+        for position, shard_id in enumerate(order):
+            state = self._shards[shard_id]
+            if state.state == UP:
+                target = state
+                if position > 0:
+                    self.metrics.inc("failover")
+                break
+            if not self.failover:
+                break
+        if target is None:
+            primary = self._shards[order[0]]
+            hint = max(0.0, primary.restart_due - self.clock())
+            self.metrics.inc("rejected")
+            raise ShardDown(
+                f"shard {order[0]} (owner of class {klass!r}) is "
+                f"{primary.state} and no live shard can take the request",
+                retry_after=hint or self.heartbeat_interval,
+                shard_id=order[0],
+            )
+        now = self.clock()
+        with self._pending_lock:
+            rid = self._next_id
+            self._next_id += 1
+        ticket = _RemoteTicket(self, rid, request, now)
+        if request.deadline is not None:
+            ticket.deadline = now + request.deadline
+        payload = request.to_payload()
+        with self._pending_lock:
+            self._pending[rid] = _Pending(
+                ticket=ticket, shard_id=target.handle.shard_id, payload=payload
+            )
+        # A failed send is not an error: the supervisor will observe the
+        # dead pipe and the retained payload is resent after restart.
+        target.handle.send(("submit", rid, payload))
+        self.metrics.inc("accepted")
+        self.metrics.gauge("pending", len(self._pending))
+        return ticket
+
+    def evaluate(
+        self, request: QueryRequest, timeout: Optional[float] = None
+    ) -> QueryResponse:
+        """Submit and wait; re-raises the typed error of ``failed``/
+        ``shed`` outcomes, mirroring
+        :meth:`~repro.serve.service.QueryService.evaluate`."""
+        response = self.submit(request).response(timeout)
+        if response.status in (FAILED, SHED) and response.error is not None:
+            raise response.error
+        return response
+
+    def _forward_cancel(self, rid: int) -> None:
+        with self._pending_lock:
+            entry = self._pending.get(rid)
+        if entry is not None:
+            self._shards[entry.shard_id].handle.send(("cancel", rid))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self, wait: bool = True, timeout: float = 30.0) -> None:
+        """Drain (optionally), stop every shard, and resolve every ticket.
+
+        No caller is left blocked: tickets the shards never answered are
+        completed with a typed shutdown response, exactly like the
+        in-process service's close.
+        """
+        if self._closed:
+            return
+        self._closing = True
+        deadline = self.clock() + timeout
+        if wait:
+            while self._pending and self.clock() < deadline:
+                time.sleep(0.01)
+        for state in self._shards:
+            if state.handle.alive():
+                state.handle.send(("close",))
+        for state in self._shards:
+            if state.handle.process is not None:
+                state.handle.process.join(
+                    max(0.1, min(5.0, deadline - self.clock()))
+                )
+        self.supervisor.stop()
+        for state in self._shards:
+            state.handle.kill()
+            state.state = STOPPED
+        self._closed = True
+        with self._pending_lock:
+            leftovers = list(self._pending.items())
+            self._pending.clear()
+        for rid, entry in leftovers:
+            if entry.ticket.done:
+                continue
+            self.metrics.inc("shed")
+            entry.ticket._complete(
+                QueryResponse(
+                    request_id=rid,
+                    status=SHED,
+                    error=ServiceClosed(
+                        "sharded service closed before this request completed"
+                    ),
+                    latency_s=self.clock() - entry.ticket.submitted_at,
+                )
+            )
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- introspection ----------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        live = sum(1 for s in self._shards if s.state == UP)
+        if self._closed:
+            status = "closed"
+        elif live == 0:
+            status = "down"
+        elif live < self.shards:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "shards": self.shards,
+            "live": live,
+            "pending": len(self._pending),
+            "states": {s.handle.shard_id: s.state for s in self._shards},
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``shard/`` counters plus a per-shard topology snapshot."""
+        stats = self.metrics.stats()
+        stats["shards"] = {
+            s.handle.shard_id: {
+                "state": s.state,
+                "pid": s.pid,
+                "generation": s.handle.generation,
+                "restarts": s.lifetime_restarts,
+                "breaker": s.breaker.state,
+                "depth": s.last_depth,
+                "inflight": s.last_inflight,
+            }
+            for s in self._shards
+        }
+        stats["pending"] = len(self._pending)
+        return stats
+
+    # -- internals ---------------------------------------------------------------
+
+    def _seed_rid_counter(self) -> int:
+        """Start the global rid counter past every id any shard WAL has
+        ever journalled, so restarted front doors never reuse one."""
+        if self.durable_dir is None:
+            return 0
+        from repro.durable import CheckpointStore
+        from repro.durable.recovery import RecoveryManager
+
+        ceiling = -1
+        for _sid, root in CheckpointStore.shard_roots(self.durable_dir).items():
+            recovered = RecoveryManager(root).recover()
+            for rid in list(recovered.pending) + list(recovered.done):
+                try:
+                    ceiling = max(ceiling, int(rid))
+                except ValueError:
+                    continue
+        return ceiling + 1
+
+    def _spawn(self, state: _ShardState) -> None:
+        state.handle.spawn()
+        state.state = STARTING
+        state.pid = state.handle.process.pid
+        state.missed_pongs = 0
+        state.stable = False
+        self.metrics.inc("spawns")
+        self.tracer.event(
+            "shard-spawn",
+            shard=state.handle.shard_id,
+            pid=state.pid,
+            generation=state.handle.generation,
+        )
+
+
+class Supervisor(threading.Thread):
+    """The single thread that keeps the shard fleet honest: heartbeats,
+    message draining, crash detection, bounded restarts, failover."""
+
+    def __init__(self, service: ShardedQueryService):
+        super().__init__(name="repro-shard-supervisor", daemon=True)
+        self.service = service
+        # Not named _stop: threading.Thread has a private _stop() method
+        # the interpreter itself calls on join.
+        self._halt = threading.Event()
+
+    def stop(self, join_timeout: float = 5.0) -> None:
+        self._halt.set()
+        if self.is_alive():
+            self.join(join_timeout)
+
+    def run(self) -> None:
+        while not self._halt.wait(self.service.heartbeat_interval):
+            for state in self.service._shards:
+                try:
+                    self._tick(state)
+                except Exception:  # pragma: no cover - the supervisor
+                    # must survive anything one shard's bookkeeping throws;
+                    # a dead supervisor means no restarts ever again.
+                    pass
+
+    # -- one shard, one tick ----------------------------------------------------
+
+    def _tick(self, state: _ShardState) -> None:
+        service = self.service
+        now = service.clock()
+        self._drain(state)
+        if state.state in (STARTING, UP, SUSPECT) and not state.handle.alive():
+            self._on_crash(state, f"exit code {state.handle.exitcode}")
+            return
+        if state.state in (UP, SUSPECT):
+            state.ping_seq += 1
+            state.missed_pongs += 1
+            state.handle.send(("ping", state.ping_seq))
+            if state.missed_pongs >= service.miss_limit:
+                # A hung interpreter cannot be reasoned with.
+                service.tracer.event(
+                    "shard-hung",
+                    shard=state.handle.shard_id,
+                    missed=state.missed_pongs,
+                )
+                state.handle.kill()
+                self._on_crash(state, f"hung ({state.missed_pongs} missed pings)")
+                return
+            if (
+                state.state == UP
+                and state.missed_pongs >= max(2, service.miss_limit // 2)
+            ):
+                state.state = SUSPECT
+                service.tracer.event(
+                    "shard-suspect",
+                    shard=state.handle.shard_id,
+                    missed=state.missed_pongs,
+                )
+        if state.state == UP and not state.stable:
+            if now - state.became_up_at >= service.stable_after:
+                state.stable = True
+                state.restarts = 0
+                state.breaker.record_success()
+                service.tracer.event("shard-stable", shard=state.handle.shard_id)
+        if (
+            state.state == DOWN
+            and not service._closing
+            and now >= state.restart_due
+        ):
+            self._restart(state)
+
+    def _drain(self, state: _ShardState) -> None:
+        service = self.service
+        while state.handle.poll():
+            message = state.handle.recv()
+            if message is None:
+                return
+            kind = message[0]
+            if kind == "ready":
+                state.pid = message[2]
+                service.tracer.event(
+                    "shard-ready", shard=state.handle.shard_id, pid=state.pid
+                )
+            elif kind == "recovered":
+                self._reconcile(state, set(message[1]))
+            elif kind == "pong":
+                state.missed_pongs = 0
+                state.last_depth = message[2]
+                state.last_inflight = message[3]
+                if state.state == SUSPECT:
+                    state.state = UP
+            elif kind == "response":
+                self._complete(message[1], message[2])
+            elif kind == "bye":
+                state.state = STOPPED
+                service.tracer.event(
+                    "shard-stopped", shard=state.handle.shard_id
+                )
+
+    def _reconcile(self, state: _ShardState, recovered: set) -> None:
+        """The restarted shard told us which rids its WAL replay is
+        re-running; resend every other in-flight rid it owns — those died
+        in the pipe (never journalled) or finished without their response
+        crossing (journalled done)."""
+        service = self.service
+        shard_id = state.handle.shard_id
+        if recovered:
+            service.metrics.inc("recovered", len(recovered))
+            service.tracer.event(
+                "shard-recovered", shard=shard_id, runs=len(recovered)
+            )
+        with service._pending_lock:
+            owned = [
+                (rid, entry)
+                for rid, entry in service._pending.items()
+                if entry.shard_id == shard_id and rid not in recovered
+            ]
+        for rid, entry in owned:
+            entry.resends += 1
+            service.metrics.inc("resent")
+            state.handle.send(("submit", rid, entry.payload))
+        state.state = UP
+        state.became_up_at = service.clock()
+        state.missed_pongs = 0
+
+    def _complete(self, rid: int, payload: Dict[str, Any]) -> None:
+        service = self.service
+        with service._pending_lock:
+            entry = service._pending.pop(rid, None)
+        if entry is None:
+            return  # a duplicate ack after a resend race; first answer won
+        response = decode_response(rid, payload)
+        service.metrics.inc(response.status)
+        service.metrics.inc("responses")
+        service.metrics.observe("latency_s", response.latency_s)
+        service.metrics.gauge("pending", len(service._pending))
+        entry.ticket._complete(response)
+
+    def _on_crash(self, state: _ShardState, reason: str) -> None:
+        service = self.service
+        state.state = DOWN
+        state.stable = False
+        state.restarts += 1
+        state.lifetime_restarts += 1
+        state.breaker.record_failure()
+        service.metrics.inc("crashes")
+        service.tracer.event(
+            "shard-crash",
+            shard=state.handle.shard_id,
+            reason=reason,
+            consecutive=state.restarts,
+        )
+        if state.handle._outbox is not None:
+            state.handle._outbox.put(None)  # retire the generation's sender
+            state.handle._outbox = None
+        if state.handle.conn is not None:
+            try:
+                state.handle.conn.close()
+            except OSError:
+                pass
+            state.handle.conn = None
+        if state.restarts > service.max_restarts:
+            self._fail(state)
+            return
+        backoff = min(
+            service.restart_backoff * (2 ** (state.restarts - 1)),
+            service.max_backoff,
+        )
+        state.restart_due = service.clock() + max(
+            backoff, state.breaker.retry_after()
+        )
+
+    def _restart(self, state: _ShardState) -> None:
+        self.service.metrics.inc("restarts")
+        self.service.tracer.event(
+            "shard-restart",
+            shard=state.handle.shard_id,
+            attempt=state.restarts,
+        )
+        self.service._spawn(state)
+
+    def _fail(self, state: _ShardState) -> None:
+        """Restart budget exhausted: the shard stays dead.  Its in-flight
+        work re-routes to a live shard (failover) or completes with a
+        typed ShardDown."""
+        service = self.service
+        state.state = FAILED_STATE
+        service.metrics.inc("failed_shards")
+        service.tracer.event(
+            "shard-failed",
+            shard=state.handle.shard_id,
+            restarts=state.lifetime_restarts,
+        )
+        shard_id = state.handle.shard_id
+        with service._pending_lock:
+            owned = [
+                (rid, entry)
+                for rid, entry in service._pending.items()
+                if entry.shard_id == shard_id
+            ]
+        alternates = [s for s in service._shards if s.state == UP]
+        for rid, entry in owned:
+            if service.failover and alternates:
+                target = alternates[rid % len(alternates)]
+                with service._pending_lock:
+                    entry.shard_id = target.handle.shard_id
+                entry.resends += 1
+                service.metrics.inc("failover")
+                target.handle.send(("submit", rid, entry.payload))
+                continue
+            with service._pending_lock:
+                service._pending.pop(rid, None)
+            service.metrics.inc(FAILED)
+            entry.ticket._complete(
+                QueryResponse(
+                    request_id=rid,
+                    status=FAILED,
+                    error=ShardDown(
+                        f"shard {shard_id} exceeded its restart budget "
+                        f"({service.max_restarts}) and was taken out of service",
+                        shard_id=shard_id,
+                    ),
+                    latency_s=service.clock() - entry.ticket.submitted_at,
+                )
+            )

@@ -208,3 +208,79 @@ class TestCrashSemantics:
 class _EngineStub:
     def __init__(self, program):
         self.program = program
+
+
+class TestRestartDuringCompaction:
+    """The sharded service's restart loop can SIGKILL a worker at *any*
+    point inside ``compact()`` — not just the final ``os.replace``.  Each
+    boundary must leave a state where reopening the same shard directory
+    replays every pending request: the old segments stay authoritative
+    until the swap is complete."""
+
+    @staticmethod
+    def _populated_store(tmp_path):
+        store = CheckpointStore(tmp_path)
+        compiled = compile_program(SORTING)
+        for rid in ("r1", "r2", "r3"):
+            store.journal_request(rid, {"program": SORTING})
+        db = compiled.run({k: list(v) for k, v in SORT_FACTS.items()}, seed=0)
+        from repro.robust.checkpoint import capture
+
+        store.write_checkpoint("r2", capture(_EngineStub(compiled.program), db))
+        store.mark_done("r3")
+        return store
+
+    def _crash_compact_and_recover(self, tmp_path, injector):
+        store = self._populated_store(tmp_path)
+        with pytest.raises(SimulatedCrash):
+            with inject(injector):
+                store.compact()
+        store._handle = None  # the dead process never closes anything
+        reopened = CheckpointStore(tmp_path)
+        # Both live runs survived; the done one stayed done.
+        assert sorted(reopened.pending()) == ["r1", "r2"]
+        assert reopened.latest_checkpoint("r2") is not None
+        db = reopened.resume("r2", compile_program(SORTING).program)
+        reopened.close()
+        assert dumps_facts(db) == _baseline(SORTING, SORT_FACTS)
+
+    def test_crash_writing_the_first_compacted_record(self, tmp_path):
+        self._crash_compact_and_recover(
+            tmp_path,
+            # The injector arms inside compact(), so write visit 1 is the
+            # first record of the tmp file.
+            FaultInjector([FaultPlan("wal.write", mode="crash", nth=1)]),
+        )
+
+    def test_crash_mid_way_through_the_tmp_file(self, tmp_path):
+        self._crash_compact_and_recover(
+            tmp_path,
+            FaultInjector([FaultPlan("wal.write", mode="crash", nth=3)]),
+        )
+
+    def test_crash_at_the_tmp_fsync(self, tmp_path):
+        self._crash_compact_and_recover(
+            tmp_path,
+            # fsync visit 1 is the pre-compaction sync of the live
+            # segment; visit 2 is the fully written tmp file.
+            FaultInjector([FaultPlan("wal.fsync", mode="crash", nth=2)]),
+        )
+
+    def test_leftover_tmp_file_is_inert_after_recovery(self, tmp_path):
+        store = self._populated_store(tmp_path)
+        injector = FaultInjector([FaultPlan("wal.replace", mode="crash", nth=1)])
+        with pytest.raises(SimulatedCrash):
+            with inject(injector):
+                store.compact()
+        store._handle = None
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers, "the crash should strand the half-published tmp file"
+        reopened = CheckpointStore(tmp_path)
+        assert sorted(reopened.pending()) == ["r1", "r2"]
+        # A second compaction on the recovered store succeeds and the
+        # next reopen still agrees — the stranded tmp never resurrects.
+        reopened.compact()
+        reopened.close()
+        final = CheckpointStore(tmp_path)
+        assert sorted(final.pending()) == ["r1", "r2"]
+        final.close()

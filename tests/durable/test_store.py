@@ -305,3 +305,60 @@ class _EngineStub:
 
     def __init__(self, program):
         self.program = program
+
+
+class TestExclusiveOwnership:
+    """flock-based single-writer WAL shards for the sharded service.
+
+    The lock is advisory and held by an open file handle, so a SIGKILLed
+    owner releases it automatically — exactly the property the
+    supervisor's restart-with-same-shard loop relies on.
+    """
+
+    def test_exclusive_store_blocks_a_second_owner(self, tmp_path):
+        from repro.errors import StoreLocked
+
+        first = CheckpointStore(str(tmp_path), exclusive=True)
+        try:
+            with pytest.raises(StoreLocked) as excinfo:
+                CheckpointStore(str(tmp_path), exclusive=True)
+            assert "LOCK" in str(excinfo.value) or "owned" in str(excinfo.value)
+        finally:
+            first.close()
+        # close() released the flock: ownership is transferable again.
+        second = CheckpointStore(str(tmp_path), exclusive=True)
+        second.close()
+
+    def test_non_exclusive_open_still_works_alongside_an_owner(self, tmp_path):
+        # The recovery manager reads shard WALs without claiming them.
+        owner = CheckpointStore(str(tmp_path), exclusive=True)
+        try:
+            reader = CheckpointStore(str(tmp_path))
+            reader.close()
+        finally:
+            owner.close()
+
+    def test_for_shard_layout_and_shard_roots_round_trip(self, tmp_path):
+        stores = [
+            CheckpointStore.for_shard(str(tmp_path), k) for k in range(3)
+        ]
+        try:
+            roots = CheckpointStore.shard_roots(str(tmp_path))
+            assert set(roots) == {0, 1, 2}
+            for k, path in roots.items():
+                assert path.endswith(f"shard-{k}")
+                assert os.path.isdir(path)
+        finally:
+            for store in stores:
+                store.close()
+
+    def test_shard_roots_ignores_foreign_directories(self, tmp_path):
+        os.makedirs(tmp_path / "shard-0")
+        os.makedirs(tmp_path / "shard-x")
+        os.makedirs(tmp_path / "other")
+        (tmp_path / "shard-7").write_text("a file, not a dir")
+        roots = CheckpointStore.shard_roots(str(tmp_path))
+        assert set(roots) == {0}
+
+    def test_shard_roots_of_a_missing_root_is_empty(self, tmp_path):
+        assert CheckpointStore.shard_roots(str(tmp_path / "nope")) == {}

@@ -252,3 +252,46 @@ class TestInjectReentrancy:
         for w in workers:
             w.join(timeout=30.0)
         assert injector.hits["relation.add"] == relation_count * threads
+
+
+class TestProcessFaults:
+    """The process-boundary vocabulary: shard sites and the ``exit``
+    mode.  Kept out of :data:`SITES`/:data:`MODES` deliberately — the
+    chaos matrix above runs in-process, and an ``exit``-mode plan firing
+    there would take the test runner down with it (``os._exit``)."""
+
+    def test_shard_sites_are_valid_plan_sites(self):
+        from repro.robust.faults import SHARD_SITES
+
+        for site in SHARD_SITES:
+            assert site not in SITES
+            plan = FaultPlan(site, "error")
+            assert plan.site == site
+
+    def test_exit_mode_is_valid_but_not_in_process_modes(self):
+        from repro.robust.faults import PROCESS_MODES
+
+        assert "exit" in PROCESS_MODES
+        assert "exit" not in MODES
+        plan = FaultPlan("shard.ack", "exit", nth=3)
+        assert plan.mode == "exit"
+
+    def test_install_arms_every_hook_slot_for_process_lifetime(self):
+        from repro.robust import faults
+
+        injector = FaultInjector([FaultPlan("shard.loop", "error", nth=10**9)])
+        try:
+            faults.install(injector)
+            assert faults._SHARD_HOOK is injector
+            assert Relation._fault_hook is injector
+            assert PriorityQueue._fault_hook is injector
+        finally:
+            faults.install(None)
+        assert faults._SHARD_HOOK is None
+        assert Relation._fault_hook is None
+
+    def test_inject_still_rejects_unknown_vocabulary(self):
+        with pytest.raises(ValueError):
+            FaultPlan("shard.nope", "error")
+        with pytest.raises(ValueError):
+            FaultPlan("shard.loop", "sigsegv")

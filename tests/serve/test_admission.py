@@ -232,3 +232,51 @@ class TestServiceBreaker:
             assert ok.status == "ok"
         finally:
             svc.close()
+
+
+class TestIdleDecay:
+    """Regression: the service-time EWMA was only ever updated by
+    completions, so one slow burst poisoned the ``retry_after`` hint
+    forever — a caller shed an hour later was still told to wait minutes
+    on a now-idle queue."""
+
+    def test_estimate_decays_toward_the_seed_while_idle(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(capacity=4, clock=clock, default_service_s=0.05)
+        for _ in range(10):
+            queue.record_service_time(30.0)  # a pathologically slow burst
+        congested = queue.service_time_estimate()
+        assert congested > 10.0
+        clock.advance(AdmissionQueue.IDLE_DECAY_HALF_LIFE_S)
+        halfway = queue.service_time_estimate()
+        assert halfway == pytest.approx((congested + 0.05) / 2, rel=1e-6)
+        clock.advance(20 * AdmissionQueue.IDLE_DECAY_HALF_LIFE_S)
+        assert queue.service_time_estimate() == pytest.approx(0.05, abs=1e-3)
+
+    def test_retry_hint_recalibrates_after_an_idle_stretch(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(capacity=2, clock=clock, default_service_s=0.05)
+        for _ in range(10):
+            queue.record_service_time(30.0)
+        queue.offer("a")
+        queue.offer("b")
+        with pytest.raises(Overloaded) as excinfo:
+            queue.offer("c")
+        assert excinfo.value.retry_after > 10.0  # honest while congested
+        clock.advance(60 * 60.0)  # a quiet hour
+        with pytest.raises(Overloaded) as excinfo:
+            queue.offer("c")
+        # Bound: backlog × (fully decayed seed estimate), with headroom
+        # for float dust — nowhere near the stale minutes-long quote.
+        assert excinfo.value.retry_after <= 2 * 0.05 * 1.01
+
+    def test_decay_does_not_fire_mid_burst(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(capacity=4, clock=clock, default_service_s=0.05)
+        for _ in range(10):
+            queue.record_service_time(2.0)  # back-to-back: no idle gaps
+        # Undecayed EWMA after ten 2.0s observations from a 0.05s seed.
+        expected = 0.05
+        for _ in range(10):
+            expected = 0.2 * 2.0 + 0.8 * expected
+        assert queue.service_time_estimate() == pytest.approx(expected, rel=1e-6)

@@ -111,3 +111,49 @@ class TestServeCommand:
         code = cli.main(["serve", path])
         assert code == 1
         assert "program" in capsys.readouterr().err
+
+
+class TestShardedServe:
+    def test_shards_flag_routes_through_worker_processes(self, workload_file):
+        path = workload_file(
+            {
+                "defaults": {"seed": 1},
+                "requests": [
+                    {
+                        "program": PATH,
+                        "facts": {"edge": [[1, 2], [2, 3]]},
+                        "repeat": 4,
+                    }
+                ],
+            }
+        )
+        code, output = _run(
+            ["serve", path, "--shards", "2", "--workers", "1", "--stats"]
+        )
+        assert code == 0
+        assert output.count(": ok") == 4
+        assert "4/4 requests ok or degraded" in output
+        # The stats JSON carries the front door's shard table.
+        assert '"shards"' in output
+        assert '"state": "stopped"' in output
+
+    def test_sharded_serve_recovers_a_previous_crash(self, workload_file, tmp_path):
+        # Seed a shard WAL with an unfinished run, exactly as a killed
+        # worker process leaves it, then serve with --durable-dir.
+        from repro.durable import CheckpointStore
+
+        wal = tmp_path / "wal"
+        store = CheckpointStore.for_shard(str(wal), 0)
+        from repro.serve import QueryRequest
+
+        request = QueryRequest(PATH, {"edge": [(1, 2), (2, 3)]}, seed=5)
+        store.journal_request("41", request.to_payload())
+        store.close()
+        path = workload_file(
+            [{"program": PATH, "facts": {"edge": [[1, 2]]}, "seed": 1}]
+        )
+        code, output = _run(
+            ["serve", path, "--shards", "2", "--durable-dir", str(wal)]
+        )
+        assert code == 0
+        assert "shards recovered 1 unfinished run(s)" in output

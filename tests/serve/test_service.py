@@ -20,6 +20,7 @@ from repro.serve import (
     DEGRADED,
     OK,
     FAILED,
+    SHED,
     QueryRequest,
     QueryService,
     ServiceClosed,
@@ -297,3 +298,49 @@ class TestIntrospection:
         for ticket in tickets:
             assert ticket.done
             assert ticket.response(timeout=0.1).status == OK
+
+
+class TestShutdownResponses:
+    """Regression: ``close(wait=False)`` (or a timed-out drain) used to
+    join the workers and return with the admitted backlog still queued —
+    every caller blocked in ``Ticket.response`` hung forever.  Queued
+    tickets must instead resolve with the typed shutdown response."""
+
+    def test_close_without_wait_resolves_queued_tickets(self):
+        svc = QueryService(workers=1)
+        # A backlog far deeper than one worker clears instantly.
+        tickets = [
+            svc.submit(QueryRequest(program=SORTING, facts=SORT_FACTS, seed=i))
+            for i in range(16)
+        ]
+        svc.close(wait=False)
+        statuses = set()
+        for ticket in tickets:
+            response = ticket.response(timeout=5)  # must not hang
+            statuses.add(response.status)
+            if response.status == SHED:
+                assert isinstance(response.error, ServiceClosed)
+                assert "closed" in str(response.error)
+        # The worker may have finished a prefix, but the queued tail got
+        # the shutdown response rather than stranding its callers.
+        assert SHED in statuses
+        assert statuses <= {OK, SHED}
+
+    def test_shutdown_shed_requests_do_not_resurrect_on_recovery(self, tmp_path):
+        from repro.durable import CheckpointStore
+
+        store = CheckpointStore(str(tmp_path))
+        svc = QueryService(workers=1, store=store)
+        for i in range(8):
+            svc.submit(QueryRequest(program=SORTING, facts=SORT_FACTS, seed=i))
+        svc.close(wait=False)
+        store.close()
+        # The caller was told "not run" — a restart must not re-run it
+        # behind their back.
+        fresh_store = CheckpointStore(str(tmp_path))
+        fresh = QueryService(workers=1, store=fresh_store)
+        try:
+            assert fresh.recover() == {}
+        finally:
+            fresh.close()
+            fresh_store.close()

@@ -1,0 +1,210 @@
+"""Shard building blocks: routing, the wire codec, and one shard's
+worker loop driven end-to-end through a real spawned process.
+
+The supervisor-level properties (crash detection, restart, WAL replay,
+failover) live in ``test_supervisor.py``; the full acceptance soak lives
+in ``test_sharded_soak.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import solve_program
+from repro.errors import BudgetExceeded
+from repro.serve import (
+    DEGRADED,
+    FAILED,
+    OK,
+    SHED,
+    QueryRequest,
+    QueryResponse,
+    ShardConfig,
+    ShardedQueryService,
+    ShardError,
+    failover_order,
+    route,
+)
+from repro.serve.errors import CircuitOpen, Overloaded
+from repro.serve.shard import (
+    _decode_database,
+    _decode_error,
+    _encode_database,
+    _encode_error,
+    decode_response,
+    encode_response,
+)
+from repro.storage.io import dumps_facts
+
+SORTING = """
+sp(nil, nil, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+SORT_FACTS = {"p": [(f"v{i}", (37 * i) % 101) for i in range(10)]}
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+
+class TestRouting:
+    def test_route_is_stable_and_in_range(self):
+        for shards in (1, 2, 3, 7):
+            for klass in ("rql:deadbeef", "basic:cafe0000", "custom"):
+                first = route(klass, shards)
+                assert 0 <= first < shards
+                assert route(klass, shards) == first
+
+    def test_route_spreads_classes(self):
+        # sha256 placement should not dump every class on one shard.
+        owners = {route(f"rql:{i:08x}", 4) for i in range(64)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_failover_order_is_a_permutation_starting_at_the_owner(self):
+        order = failover_order("rql:deadbeef", 5)
+        assert sorted(order) == [0, 1, 2, 3, 4]
+        assert order[0] == route("rql:deadbeef", 5)
+        # Ring order: each next entry is the successor mod shards.
+        for a, b in zip(order, order[1:]):
+            assert b == (a + 1) % 5
+
+    def test_route_rejects_nonpositive_shard_counts(self):
+        with pytest.raises(ValueError):
+            route("k", 0)
+
+
+class TestWireCodec:
+    def test_database_round_trip_preserves_every_fact(self):
+        db = solve_program(
+            SORTING, {k: list(v) for k, v in SORT_FACTS.items()}, seed=3
+        )
+        decoded = _decode_database(_encode_database(db))
+        assert dumps_facts(decoded) == dumps_facts(db)
+
+    def test_ok_response_round_trip(self):
+        db = solve_program(PATH, {"edge": [(1, 2), (2, 3)]}, seed=0)
+        response = QueryResponse(
+            request_id=7,
+            status=OK,
+            database=db,
+            attempts=2,
+            retries=1,
+            latency_s=0.25,
+            queue_s=0.03,
+        )
+        wire = encode_response(response)
+        back = decode_response(7, wire)
+        assert back.request_id == 7
+        assert back.status == OK
+        assert back.attempts == 2 and back.retries == 1
+        assert back.latency_s == pytest.approx(0.25)
+        assert back.queue_s == pytest.approx(0.03)
+        assert dumps_facts(back.database) == dumps_facts(db)
+
+    def test_failed_response_reconstructs_a_typed_error(self):
+        response = QueryResponse(
+            request_id=1,
+            status=FAILED,
+            error=BudgetExceeded("wall clock exhausted"),
+        )
+        back = decode_response(1, encode_response(response))
+        assert back.status == FAILED
+        assert isinstance(back.error, BudgetExceeded)
+        assert "wall clock" in str(back.error)
+
+    def test_shed_response_keeps_the_retry_hint(self):
+        response = QueryResponse(
+            request_id=2,
+            status=SHED,
+            error=Overloaded("queue full", retry_after=1.5),
+        )
+        back = decode_response(2, encode_response(response))
+        assert isinstance(back.error, Overloaded)
+        assert back.error.retry_after == pytest.approx(1.5)
+
+    def test_circuit_open_survives_the_pipe(self):
+        decoded = _decode_error(
+            _encode_error(CircuitOpen("k", retry_after=0.4))
+        )
+        assert isinstance(decoded, CircuitOpen)
+        assert decoded.retry_after == pytest.approx(0.4)
+
+    def test_unknown_error_type_degrades_to_shard_error(self):
+        decoded = _decode_error(
+            {"type": "NoSuchError", "message": "boom", "retry_after": 0.0}
+        )
+        assert isinstance(decoded, ShardError)
+        assert "NoSuchError" in str(decoded)
+        assert "boom" in str(decoded)
+
+
+class TestShardConfig:
+    def test_defaults_are_frozen(self):
+        config = ShardConfig()
+        assert config.workers == 1
+        assert config.durable_root is None
+        with pytest.raises(Exception):
+            config.workers = 2  # type: ignore[misc]
+
+
+class TestOneShardEndToEnd:
+    def test_requests_route_to_real_processes_and_come_back(self):
+        service = ShardedQueryService(shards=2, heartbeat_interval=0.03)
+        try:
+            expected = {
+                seed: dumps_facts(
+                    solve_program(
+                        SORTING,
+                        {k: list(v) for k, v in SORT_FACTS.items()},
+                        seed=seed,
+                    )
+                )
+                for seed in range(4)
+            }
+            tickets = [
+                (seed, service.submit(QueryRequest(SORTING, SORT_FACTS, seed=seed)))
+                for seed in range(4)
+            ]
+            for seed, ticket in tickets:
+                response = ticket.response(timeout=60)
+                assert response.status == OK
+                assert dumps_facts(response.database) == expected[seed]
+            stats = service.stats()
+            assert stats["counters"]["ok"] == 4
+            assert stats["pending"] == 0
+        finally:
+            service.close()
+        assert all(s["state"] == "stopped" for s in service.stats()["shards"].values())
+
+    def test_evaluate_degraded_result_crosses_the_pipe(self):
+        service = ShardedQueryService(
+            shards=1,
+            heartbeat_interval=0.03,
+            default_budget_wall_clock=None,
+        )
+        try:
+            from repro.robust.governor import Budget
+
+            response = service.evaluate(
+                QueryRequest(
+                    "nat(0). nat(Y) <- nat(X), Y = X + 1.",
+                    {},
+                    seed=0,
+                    budget=Budget(max_facts=64),
+                ),
+                timeout=60,
+            )
+            assert response.status == DEGRADED
+            # The checkpoint crossed the pipe and is resumable locally.
+            assert response.checkpoint is not None
+        finally:
+            service.close()
+
+    def test_close_is_idempotent_and_context_manager_works(self):
+        with ShardedQueryService(shards=1, heartbeat_interval=0.03) as service:
+            assert service.evaluate(
+                QueryRequest(PATH, {"edge": [(1, 2)]}), timeout=60
+            ).status == OK
+        service.close()  # second close is a no-op
