@@ -77,6 +77,12 @@ EXTREMA_SIZES = [24, 48, 96]
 #: the shortest-path sweep (mean post_s / pushdown_s across sizes ≥ 1.0);
 #: in practice the gap is an order of magnitude at the largest size.
 EXTREMA_SPEEDUP_FLOOR = 1.0
+INCREMENTAL_SIZES = [40, 80, 160]
+#: CI gate: maintaining the view through an update stream must never
+#: lose to re-running ``solve_program`` after every batch (mean
+#: recompute_s / incremental_s across sizes ≥ 1.0); the gap widens with
+#: the model size since a localized delta costs O(affected), not O(model).
+INCREMENTAL_SPEEDUP_FLOOR = 1.0
 #: Batch size and shard count for the cross-process scaling sweep.
 SHARDED_SCALING_REQUESTS = 64
 SHARDED_SCALING_SHARDS = 4
@@ -465,6 +471,86 @@ def _extrema_rows(
     return rows
 
 
+def _incremental_rows(
+    sizes: Sequence[int], repeats: int = 3, updates: int = 10
+) -> List[Dict[str, Any]]:
+    """Best-of-*repeats* timings for an update stream applied through a
+    :class:`~repro.incremental.MaterializedView` (counting + DRed
+    maintenance) vs re-running ``solve_program`` from scratch after every
+    batch.  The stream churns the tail of a transitive-closure chain —
+    extend, retract, re-extend — so each delta is localized while the
+    model stays O(n²).  The final models are checked identical before the
+    row is recorded."""
+    import time
+
+    from repro.incremental import MaterializedView, UpdateBatch, UpdateOp
+
+    tc_text = """
+    path(X, Y) <- edge(X, Y).
+    path(X, Y) <- path(X, Z), edge(Z, Y).
+    """
+
+    rows: List[Dict[str, Any]] = []
+    for size in sizes:
+        base = _chain(size)
+        stream = []
+        for i in range(updates):
+            tail = (size + i // 2, size + i // 2 + 1)
+            stream.append(("+" if i % 2 == 0 else "-", tail))
+
+        def incremental_once():
+            view = MaterializedView(tc_text, engine="seminaive", seed=0)
+            view.apply(
+                UpdateBatch.of(
+                    [UpdateOp("+", "edge", e) for e in base], batch_id="init"
+                )
+            )
+            start = time.perf_counter()
+            for j, (op, edge) in enumerate(stream):
+                view.apply(
+                    UpdateBatch.of([UpdateOp(op, "edge", edge)], batch_id=f"u{j}")
+                )
+            return time.perf_counter() - start, view
+
+        def scratch_once():
+            edges = list(base)
+            db = None
+            start = time.perf_counter()
+            for op, edge in stream:
+                if op == "+":
+                    edges.append(edge)
+                else:
+                    edges.remove(edge)
+                db = solve_program(
+                    tc_text, facts={"edge": list(edges)}, seed=0, engine="seminaive"
+                )
+            return time.perf_counter() - start, db
+
+        # Pin correctness once per size before anything is gated on speed.
+        _, view = incremental_once()
+        _, oracle = scratch_once()
+        if view.db.as_dict() != oracle.as_dict():
+            raise AssertionError(
+                f"incremental sweep: maintained view diverged at size {size}"
+            )
+        best_inc = best_scratch = float("inf")
+        for _ in range(repeats):
+            seconds, _ = incremental_once()
+            best_inc = min(best_inc, seconds)
+            seconds, _ = scratch_once()
+            best_scratch = min(best_scratch, seconds)
+        rows.append(
+            {
+                "size": size,
+                "updates": updates,
+                "recompute_s": round(best_scratch, 6),
+                "incremental_s": round(best_inc, 6),
+                "speedup": round(best_scratch / max(best_inc, 1e-9), 3),
+            }
+        )
+    return rows
+
+
 def _sharded_scaling_rows(
     requests: int = SHARDED_SCALING_REQUESTS,
     shards: int = SHARDED_SCALING_SHARDS,
@@ -549,6 +635,7 @@ def run_regression(
     durable_rows = _durable_overhead_rows(DURABLE_SIZES, repeats=max(repeats, 15))
     join_rows = _join_order_rows(JOIN_SIZES, repeats=max(repeats, 9))
     extrema_rows = _extrema_rows(EXTREMA_SIZES, repeats=max(repeats, 5))
+    incremental_rows = _incremental_rows(INCREMENTAL_SIZES, repeats=repeats)
     scaling = _sharded_scaling_rows(repeats=repeats)
     return {
         "meta": {
@@ -669,6 +756,24 @@ def run_regression(
                     min(row["speedup"] for row in extrema_rows), 3
                 ),
             },
+            "incremental_maintenance": {
+                "description": "a tail-churn update stream on the "
+                "transitive-closure chain applied through a "
+                "MaterializedView (counting for non-recursive strata, "
+                "DRed over delta plans for recursive cliques) vs "
+                "re-running solve_program from scratch after every "
+                "batch; speedup = recompute_s / incremental_s, final "
+                "models checked identical before timing",
+                "rows": incremental_rows,
+                "mean_speedup": round(
+                    sum(row["speedup"] for row in incremental_rows)
+                    / len(incremental_rows),
+                    3,
+                ),
+                "min_speedup": round(
+                    min(row["speedup"] for row in incremental_rows), 3
+                ),
+            },
             "sharded_scaling": {
                 "description": "one batch of sorting requests over "
                 f"{4 * SHARDED_SCALING_SHARDS} program classes served "
@@ -762,6 +867,17 @@ def check_against_baseline(
                 "extrema sweep regressed: pushdown averages "
                 f"{mean_speedup:.3f}x the post policy on the shortest-path "
                 f"sweep (floor {EXTREMA_SPEEDUP_FLOOR:.2f}x)"
+            )
+    # `.get` guard: baselines written before the incremental sweep
+    # existed simply skip this gate.
+    incremental_block = report["sweeps"].get("incremental_maintenance")
+    if incremental_block is not None:
+        mean_speedup = incremental_block.get("mean_speedup", 1.0)
+        if mean_speedup < INCREMENTAL_SPEEDUP_FLOOR:
+            failures.append(
+                "incremental sweep regressed: view maintenance averages "
+                f"{mean_speedup:.3f}x the from-scratch recompute on the "
+                f"update-stream sweep (floor {INCREMENTAL_SPEEDUP_FLOOR:.2f}x)"
             )
     # `.get` guard twice over: old baselines lack the block entirely, and
     # core-starved machines record it as skipped (no "speedup" key) — the
@@ -883,6 +999,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"extrema speedup: min {extrema['min_speedup']:.3f}x  "
             f"mean {extrema['mean_speedup']:.3f}x"
         )
+        incremental = report["sweeps"]["incremental_maintenance"]
+        for row in incremental["rows"]:
+            print(
+                f"  inc n={row['size']:>4}  recompute {row['recompute_s']:.4f}s  "
+                f"incremental {row['incremental_s']:.4f}s  speedup {row['speedup']:.2f}x"
+            )
+        print(
+            f"incremental speedup: min {incremental['min_speedup']:.3f}x  "
+            f"mean {incremental['mean_speedup']:.3f}x"
+        )
         scaling = report["sweeps"]["sharded_scaling"]
         if "speedup" in scaling:
             print(
@@ -898,8 +1024,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 1
         print(
             "OK: plan-cache speedup, governor overhead, service overhead, "
-            "durable overhead, join-order speedup, extrema speedup and "
-            "sharded scaling within tolerance"
+            "durable overhead, join-order speedup, extrema speedup, "
+            "incremental speedup and sharded scaling within tolerance"
         )
         return 0
     out.write_text(json.dumps(report, indent=2) + "\n")

@@ -32,6 +32,14 @@ streamed into a write-ahead store — every 0.5 s by default, or every
 most one cadence interval of work.  The
 ``recover`` subcommand lists and resumes whatever a dead process left
 behind: ``python -m repro recover DIR --resume``.
+
+The ``apply`` subcommand maintains a *live materialized view* instead of
+solving from scratch: ``python -m repro apply program.dl --facts
+g=edges.csv --update '+g(a, b, 3)' --update '-g(c, d, 9)'`` applies the
+update batch incrementally (counting / delete-rederive / checkpoint
+resume — see ``docs/incremental.md``) and prints the repair summary and
+the maintained model; with ``--durable-dir`` the view is journaled and
+survives crashes.
 """
 
 from __future__ import annotations
@@ -479,6 +487,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         from repro.durable.cli import recover_main
 
         return recover_main(list(argv[1:]), out=out)
+    if argv and argv[0] == "apply":
+        from repro.incremental.cli import apply_main
+
+        return apply_main(list(argv[1:]), out=out)
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)

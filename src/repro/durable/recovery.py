@@ -36,7 +36,13 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from repro.errors import RecoveryError, WalCorruptionError
 from repro.durable.wal import scan_segment
 
-__all__ = ["RecoveryManager", "RecoveredState", "PendingRun", "segment_index"]
+__all__ = [
+    "RecoveryManager",
+    "RecoveredState",
+    "PendingRun",
+    "ViewLog",
+    "segment_index",
+]
 
 _SEGMENT_RE = re.compile(r"wal-(\d{8})\.log\Z")
 
@@ -71,6 +77,55 @@ class PendingRun:
 
 
 @dataclass
+class ViewLog:
+    """The journalled state of one materialized view (``update`` records).
+
+    A view's log is a *base* payload — the program text, configuration
+    and the full EDB as of sequence number ``base["seq"]`` — plus the
+    *batch* payloads appended since.  A newer base supersedes every batch
+    with ``seq <= base["seq"]`` (snapshotting is just journalling a fresh
+    base); recovery rebuilds the view by loading the base and re-applying
+    :meth:`replay_batches` in sequence order.  Update records never enter
+    :attr:`RecoveredState.pending`, so the query service's request
+    resubmission path is unaffected by live views.
+
+    Attributes:
+        rid: the view id.
+        base: the newest ``{"type": "base", "seq": n, ...}`` payload, or
+            ``None`` when only batches were journalled (a writer bug —
+            the store always journals the base first).
+        batches: ``{"type": "batch", "seq": n, ...}`` payloads by seq.
+    """
+
+    rid: str
+    base: Optional[Dict[str, Any]] = None
+    batches: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+
+    def fold(self, data: Dict[str, Any]) -> bool:
+        """Fold one ``update`` record payload into the log; returns
+        ``False`` for payload shapes this build does not understand
+        (counted as unknown records, same as unknown kinds)."""
+        rtype = data.get("type")
+        if rtype == "base":
+            self.base = data
+            floor = data.get("seq", -1)
+            self.batches = {s: b for s, b in self.batches.items() if s > floor}
+            return True
+        if rtype == "batch" and isinstance(data.get("seq"), int):
+            self.batches[data["seq"]] = data
+            return True
+        return False
+
+    def replay_batches(self) -> List[Dict[str, Any]]:
+        """The batch payloads not yet covered by the base, in seq order."""
+        floor = self.base.get("seq", -1) if self.base is not None else -1
+        return [self.batches[s] for s in sorted(self.batches) if s > floor]
+
+    def copy(self) -> "ViewLog":
+        return ViewLog(self.rid, self.base, dict(self.batches))
+
+
+@dataclass
 class RecoveredState:
     """Everything a scan of the log reconstructs.
 
@@ -85,10 +140,13 @@ class RecoveredState:
         torn_tail: ``(path, good_length, damage)`` of a torn final
             segment, or ``None`` when the log ended cleanly.
         unknown_records: records whose ``kind`` this build ignores.
+        updates: materialized-view logs by view id (``update`` records;
+            see :class:`ViewLog`).
     """
 
     pending: Dict[str, PendingRun] = field(default_factory=dict)
     done: Set[str] = field(default_factory=set)
+    updates: Dict[str, ViewLog] = field(default_factory=dict)
     segments: List[str] = field(default_factory=list)
     next_segment_index: int = 1
     records: int = 0
@@ -168,8 +226,14 @@ class RecoveryManager:
             run.checkpoint_payload = record.get("data")
             run.checkpoints_seen += 1
             state.done.discard(rid)
+        elif kind == "update":
+            log = state.updates.setdefault(rid, ViewLog(rid))
+            if not log.fold(record.get("data") or {}):
+                state.unknown_records += 1
+            state.done.discard(rid)
         elif kind == "done":
             state.pending.pop(rid, None)
+            state.updates.pop(rid, None)
             state.done.add(rid)
         else:
             state.unknown_records += 1

@@ -11,7 +11,11 @@ framed by :mod:`repro.durable.wal`:
   process knows *where* the run was (the newest valid one per run id
   wins);
 * ``done`` — the run completed (or its outcome was delivered); recovery
-  ignores the id and compaction drops its records.
+  ignores the id and compaction drops its records;
+* ``update`` — one materialized-view journal entry (a ``base`` snapshot
+  of program + EDB, or a mutation ``batch``), folded into a per-view
+  :class:`~repro.durable.recovery.ViewLog`; update records never enter
+  the pending-run set, so request recovery is unaffected by live views.
 
 Durability discipline:
 
@@ -43,7 +47,7 @@ import os
 import threading
 from typing import Any, Dict, Optional
 
-from repro.durable.recovery import PendingRun, RecoveredState, RecoveryManager
+from repro.durable.recovery import PendingRun, RecoveredState, RecoveryManager, ViewLog
 from repro.durable.wal import (
     append_record,
     fsync_dir,
@@ -115,6 +119,9 @@ class CheckpointStore:
                     fsync_handle(handle)
                 self.metrics.inc("durable/torn_tails")
         self._pending: Dict[str, PendingRun] = dict(self.recovered.pending)
+        self._updates: Dict[str, ViewLog] = {
+            rid: log.copy() for rid, log in self.recovered.updates.items()
+        }
         self._done = set(self.recovered.done)
         self._segment_index = self.recovered.next_segment_index
         self._handle: Any = None
@@ -200,14 +207,56 @@ class CheckpointStore:
             self._done.discard(rid)
             self.metrics.inc("durable/checkpoints")
 
+    def journal_update(self, rid: str, payload: Dict[str, Any]) -> None:
+        """Journal one materialized-view record under view id *rid*.
+
+        *payload* is either a ``{"type": "base", "seq": n, ...}`` snapshot
+        (program + full EDB as of seq *n* — supersedes every batch with
+        ``seq <= n``) or a ``{"type": "batch", "seq": n, ...}`` mutation
+        batch.  The append is fsynced per the store policy; callers that
+        need the write-ahead guarantee under ``fsync != "always"`` should
+        follow with :meth:`sync` before applying the batch in memory.
+
+        Raises:
+            ValueError: on a payload shape the view log cannot fold.
+        """
+        with self._lock:
+            log = self._updates.get(rid)
+            if log is None:
+                log = ViewLog(rid)
+            probe = log.copy()
+            if not probe.fold(payload):
+                raise ValueError(
+                    f"unknown update payload for view {rid!r}: "
+                    f"type={payload.get('type')!r} seq={payload.get('seq')!r}"
+                )
+            self._append({"kind": "update", "rid": rid, "data": payload})
+            self._updates[rid] = probe
+            self._done.discard(rid)
+            self.metrics.inc("durable/updates")
+
+    def view_log(self, rid: str) -> Optional[ViewLog]:
+        """The journalled :class:`~repro.durable.recovery.ViewLog` for
+        view *rid* (a snapshot copy), or ``None``."""
+        with self._lock:
+            log = self._updates.get(rid)
+            return log.copy() if log is not None else None
+
+    def view_logs(self) -> Dict[str, ViewLog]:
+        """Every journalled view log by id (snapshot copies)."""
+        with self._lock:
+            return {rid: log.copy() for rid, log in self._updates.items()}
+
     def mark_done(self, rid: str) -> None:
         """Record that *rid* needs no recovery (finished, or its outcome
-        was delivered).  Idempotent; unknown ids are fine."""
+        was delivered).  Idempotent; unknown ids are fine.  For a view id
+        this drops the view's journalled log."""
         with self._lock:
             if rid in self._done:
                 return
             self._append({"kind": "done", "rid": rid})
             self._pending.pop(rid, None)
+            self._updates.pop(rid, None)
             self._done.add(rid)
 
     def sync(self) -> None:
@@ -321,6 +370,20 @@ class CheckpointStore:
                             }
                         ),
                     )
+            # Live views survive compaction too: the newest base plus the
+            # batches it does not cover, in replay order.
+            for rid in sorted(self._updates):
+                log = self._updates[rid]
+                if log.base is not None:
+                    written += append_record(
+                        handle,
+                        _encode({"kind": "update", "rid": rid, "data": log.base}),
+                    )
+                for batch in log.replay_batches():
+                    written += append_record(
+                        handle,
+                        _encode({"kind": "update", "rid": rid, "data": batch}),
+                    )
             fsync_handle(handle)
         replace_file(tmp, final)
         for path in old_paths:
@@ -345,6 +408,7 @@ class CheckpointStore:
         return {
             "root": self.root,
             "pending": len(self._pending),
+            "views": len(self._updates),
             "segment": os.path.basename(self._segment_path(self._segment_index)),
             "counters": counters,
         }

@@ -23,6 +23,7 @@ __all__ = [
     "WalCorruptionError",
     "RecoveryError",
     "StoreLocked",
+    "UpdateError",
 ]
 
 
@@ -131,6 +132,14 @@ class StoreLocked(DurabilityError):
     appending to one log interleave frames and corrupt it; the sharded
     service gives each worker process sole ownership of its shard
     directory, and this error is the enforcement."""
+
+
+class UpdateError(ReproError):
+    """An EDB update batch was rejected before any state changed:
+    mutating an IDB predicate, deleting a fact asserted by the program
+    text, an arity mismatch, or an unparsable operation.  Raised by
+    :mod:`repro.incremental` validation — a rejected batch leaves the
+    materialized view untouched."""
 
 
 class Cancelled(EvaluationError):

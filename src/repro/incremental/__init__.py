@@ -1,0 +1,33 @@
+"""Incremental view maintenance over live fact streams.
+
+Every query in the repo so far re-solves its program from scratch; this
+package keeps a solved model *live* under EDB mutations:
+
+* :class:`~repro.incremental.update.UpdateBatch` — a validated
+  transaction of ``+fact`` / ``-fact`` operations;
+* :class:`~repro.incremental.view.MaterializedView` — IDB state
+  maintained in place: counting for non-recursive strata, DRed
+  (delete-rederive) over the delta-specialized plan cache for recursive
+  cliques, per-group best-table repair for premappable extrema, and
+  targeted invalidation with checkpoint-suffix resume for choice/stage
+  cliques;
+* :class:`~repro.incremental.live.LiveView` — a view journaled to a
+  :class:`~repro.durable.store.CheckpointStore` (WAL ``update`` records)
+  so a crash at any point recovers to the from-scratch oracle model with
+  zero lost and zero double-applied updates.
+
+See ``docs/incremental.md`` for the maintenance rules and the
+crash-consistency argument.
+"""
+
+from repro.incremental.live import LiveView
+from repro.incremental.update import UpdateBatch, UpdateOp
+from repro.incremental.view import ApplyResult, MaterializedView
+
+__all__ = [
+    "ApplyResult",
+    "LiveView",
+    "MaterializedView",
+    "UpdateBatch",
+    "UpdateOp",
+]

@@ -1,0 +1,290 @@
+"""The ``repro apply`` subcommand: maintain a live view under updates.
+
+::
+
+    python -m repro apply program.dl --facts g=edges.csv \
+        --update '+g(a, b, 3)' --update '-g(c, d, 9)'
+    python -m repro apply program.dl --durable-dir state/ --updates-file ops.txt
+
+Instead of solving the program from scratch, ``apply`` builds (or, with
+``--durable-dir``, reopens) the materialized view of ``(program, engine,
+seed)`` and applies one :class:`~repro.incremental.update.UpdateBatch` —
+the ``--facts`` rows as inserts plus every ``--update`` /
+``--updates-file`` op — then prints a one-line repair summary and the
+maintained model.  With no ops at all the command is a pure read.
+
+The batch id defaults to a content hash of the ops, so re-running the
+identical command against a durable view is recognized and skipped
+(exactly-once); pass ``--batch-id`` to override.  See
+``docs/incremental.md`` for the maintenance rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.compiler import ENGINES
+from repro.datalog.plans import (
+    DEFAULT_EXTREMA,
+    DEFAULT_ORDER,
+    EXTREMA_POLICIES,
+    ORDER_POLICIES,
+)
+from repro.errors import ReproError
+from repro.incremental.update import UpdateBatch, UpdateOp
+
+__all__ = ["apply_main", "build_apply_parser"]
+
+
+def build_apply_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro apply",
+        description=(
+            "Apply an update batch to the live materialized view of a "
+            "program (incremental maintenance instead of re-solving; see "
+            "docs/incremental.md)."
+        ),
+    )
+    parser.add_argument("program", help="path to the program file")
+    parser.add_argument(
+        "--facts",
+        action="append",
+        default=[],
+        metavar="PRED=FILE.csv",
+        help="insert a predicate's facts from a headerless CSV (repeatable)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="rql",
+        help="evaluation engine (default: rql)",
+    )
+    parser.add_argument(
+        "--order",
+        choices=ORDER_POLICIES,
+        default=DEFAULT_ORDER,
+        help="join-order policy (default: greedy)",
+    )
+    parser.add_argument(
+        "--extrema",
+        choices=EXTREMA_POLICIES,
+        default=DEFAULT_EXTREMA,
+        help="recursive extrema policy (default: pushdown)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="rng seed for γ draws (default: 0)"
+    )
+    parser.add_argument(
+        "--update",
+        action="append",
+        default=[],
+        metavar="OP",
+        help=(
+            "one update op, '+pred(a, 1)' to insert or '-pred(a, 1)' to "
+            "delete (repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--updates-file",
+        metavar="FILE",
+        help=(
+            "read update ops from FILE, one per line ('#' comments and "
+            "blank lines ignored)"
+        ),
+    )
+    parser.add_argument(
+        "--query",
+        metavar="ATOM",
+        help="print only facts matching this atom, e.g. 'prm(X, Y, C, I)'",
+    )
+    parser.add_argument(
+        "--durable-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "journal the view into a crash-safe checkpoint store at DIR; "
+            "later invocations reopen it and a killed apply recovers to "
+            "exactly the journaled state"
+        ),
+    )
+    parser.add_argument(
+        "--view-id",
+        metavar="ID",
+        default=None,
+        help=(
+            "durable view id (default: derived from the program hash, "
+            "engine and seed; requires --durable-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--batch-id",
+        metavar="ID",
+        default=None,
+        help="override the batch id (default: content hash of the ops)",
+    )
+    parser.add_argument(
+        "--summary-json",
+        action="store_true",
+        help="print the repair summary as JSON instead of one line",
+    )
+    parser.add_argument(
+        "--no-facts",
+        action="store_true",
+        help="suppress the model printout (summary only)",
+    )
+    return parser
+
+
+def _parse_cell(cell: str) -> Any:
+    cell = cell.strip()
+    for caster in (int, float):
+        try:
+            return caster(cell)
+        except ValueError:
+            continue
+    return cell
+
+
+def _insert_ops(specs: Sequence[str]) -> List[UpdateOp]:
+    ops: List[UpdateOp] = []
+    for spec in specs:
+        if "=" not in spec:
+            raise ReproError(f"--facts expects PRED=FILE.csv, got {spec!r}")
+        name, _, path = spec.partition("=")
+        with open(path, newline="") as handle:
+            for row in csv.reader(handle):
+                if row:
+                    ops.append(
+                        UpdateOp("+", name, tuple(_parse_cell(cell) for cell in row))
+                    )
+    return ops
+
+
+def _file_ops(path: str) -> List[UpdateOp]:
+    ops: List[UpdateOp] = []
+    for line in Path(path).read_text().splitlines():
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        ops.append(UpdateOp.parse(text))
+    return ops
+
+
+def _summary_line(result) -> str:
+    return (
+        f"% batch {result.batch_id}: "
+        f"+{result.edb_added} -{result.edb_removed} edb; "
+        f"units touched {result.units_touched}, skipped {result.units_skipped}, "
+        f"recomputed {result.units_recomputed}, "
+        f"fast-path {result.fast_path_resumes}; "
+        f"invalidated {result.invalidated}, rederived {result.rederived}, "
+        f"promoted {result.ledger_promotions} "
+        f"({result.seconds * 1000:.1f} ms)"
+    )
+
+
+def apply_main(argv: Sequence[str] | None = None, out=None) -> int:
+    """The ``repro apply`` subcommand; returns a process exit code."""
+    from repro.cli import _print_facts
+    from repro.errors import UpdateError
+    from repro.incremental.live import LiveView
+    from repro.incremental.view import MaterializedView
+
+    out = out if out is not None else sys.stdout
+    args = build_apply_parser().parse_args(argv)
+    if args.view_id and not args.durable_dir:
+        print("error: --view-id requires --durable-dir", file=sys.stderr)
+        return 1
+    try:
+        source = Path(args.program).read_text()
+        ops = _insert_ops(args.facts)
+        ops.extend(UpdateOp.parse(text) for text in args.update)
+        if args.updates_file:
+            ops.extend(_file_ops(args.updates_file))
+        batch_id = args.batch_id
+        if batch_id is None:
+            payload = json.dumps(
+                [str(op) for op in ops], sort_keys=True, separators=(",", ":")
+            )
+            digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            batch_id = f"cli-{digest[:12]}"
+        batch = UpdateBatch.of(ops, batch_id=batch_id)
+
+        store = None
+        try:
+            if args.durable_dir:
+                from repro.durable import CheckpointStore
+
+                store = CheckpointStore(args.durable_dir)
+                digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+                rid = args.view_id or f"view-{digest[:12]}-{args.engine}-{args.seed}"
+                live = LiveView.open(
+                    store,
+                    rid,
+                    source=source,
+                    engine=args.engine,
+                    seed=args.seed,
+                    order=args.order,
+                    extrema=args.extrema,
+                )
+                view: Any = live
+                program = live.view.program
+            else:
+                view = MaterializedView(
+                    source,
+                    engine=args.engine,
+                    seed=args.seed,
+                    order=args.order,
+                    extrema=args.extrema,
+                )
+                program = view.program
+            result = view.apply(batch) if len(batch) else None
+            if result is not None:
+                if args.summary_json:
+                    print(
+                        json.dumps(
+                            {
+                                "batch_id": result.batch_id,
+                                "edb_added": result.edb_added,
+                                "edb_removed": result.edb_removed,
+                                "units_touched": result.units_touched,
+                                "units_skipped": result.units_skipped,
+                                "units_recomputed": result.units_recomputed,
+                                "fast_path_resumes": result.fast_path_resumes,
+                                "invalidated": result.invalidated,
+                                "rederived": result.rederived,
+                                "ledger_promotions": result.ledger_promotions,
+                                "seconds": result.seconds,
+                            },
+                            indent=2,
+                        ),
+                        file=out,
+                    )
+                else:
+                    print(_summary_line(result), file=out)
+            elif len(batch):
+                print(
+                    f"% batch {batch.batch_id}: already applied (skipped)", file=out
+                )
+            if not args.no_facts:
+                _print_facts(view.db, program, args.query, out)
+            return 0
+        finally:
+            if store is not None:
+                store.close()
+    except UpdateError as exc:
+        print(f"error: bad update: {exc}", file=sys.stderr)
+        return 2
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(apply_main())

@@ -1,0 +1,27 @@
+"""Fault-injection hook slot for the incremental maintenance layer.
+
+Kept in a leaf module so :mod:`repro.robust.faults` can patch it without
+importing the view machinery (and vice versa).  The sites — fired at the
+**top** of each repair phase, before any derived-state mutation — are
+:data:`repro.robust.faults.INCREMENTAL_SITES`:
+
+* ``incremental.count`` — start of a counting-unit apply;
+* ``incremental.rederive`` — start of a DRed delete/rederive pass;
+* ``incremental.repair`` — start of an extrema or choice-clique repair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["fire"]
+
+_FAULT_HOOK: Optional[Any] = None
+
+
+def fire(site: str) -> None:
+    """Visit *site* when an injector is installed (one is-``None`` check
+    otherwise)."""
+    hook = _FAULT_HOOK
+    if hook is not None:
+        hook(site)

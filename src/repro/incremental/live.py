@@ -1,0 +1,221 @@
+"""A :class:`MaterializedView` journaled to a durable checkpoint store.
+
+:class:`LiveView` wraps the in-memory view with write-ahead logging:
+every update batch is journaled (and fsynced) *before* it is applied,
+so a crash at any point — including mid-repair — recovers to exactly
+the model the from-scratch oracle produces over the surviving EDB:
+
+* **base record** — the program text, engine configuration and the full
+  EDB as of a sequence number.  Written when the view is first created
+  and by :meth:`snapshot` (which makes every older batch record dead
+  weight for the next compaction).
+* **batch record** — one journaled :class:`UpdateBatch` with the next
+  sequence number.
+
+Recovery (:meth:`open` on a store whose log already holds the view id)
+rebuilds the view by solving the base EDB from scratch, then re-applies
+the uncovered batch records *through the normal apply path* — so by
+induction the recovered model is the oracle model.  Batch ids of the
+journaled records form a dedupe set: a client that crashes after
+journaling but before seeing the acknowledgment can resubmit the same
+batch and it is recognized and skipped (exactly-once effect).
+
+A repair that raises mid-apply leaves the in-memory derived state
+inconsistent; :meth:`apply` then reopens the view from the journal
+before re-raising, so the durable log — not the wreckage — is always
+the source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.durable.store import CheckpointStore
+from repro.errors import RecoveryError
+from repro.incremental.update import UpdateBatch
+from repro.incremental.view import ApplyResult, MaterializedView
+from repro.obs.tracer import Tracer
+
+__all__ = ["LiveView"]
+
+PredicateKey = Tuple[str, int]
+
+
+class LiveView:
+    """A durable live view over one ``(program, engine, seed)`` triple.
+
+    Use :meth:`open` rather than the constructor: it journals the base
+    record for a fresh view and replays the log for an existing one.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        rid: str,
+        view: MaterializedView,
+        seq: int,
+        applied_ids: Set[str],
+    ):
+        self.store = store
+        self.rid = rid
+        self.view = view
+        self._seq = seq
+        self._applied_ids = applied_ids
+
+    # -- construction / recovery -------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        store: CheckpointStore,
+        rid: str,
+        source: Optional[str] = None,
+        engine: str = "rql",
+        seed: int = 0,
+        order: Optional[str] = None,
+        extrema: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> "LiveView":
+        """Open view *rid* on *store*, creating it when the log has no
+        record of it (then *source* is required) and recovering it from
+        the journal otherwise (then *source*, when given, must not
+        disagree with the journaled program).
+        """
+        from repro.datalog.plans import DEFAULT_EXTREMA, DEFAULT_ORDER
+
+        log = store.view_log(rid)
+        if log is None or log.base is None:
+            if source is None:
+                raise RecoveryError(
+                    f"view {rid!r} is not in the journal and no program "
+                    "was supplied to create it"
+                )
+            view = MaterializedView(
+                source,
+                engine=engine,
+                seed=seed,
+                order=order if order is not None else DEFAULT_ORDER,
+                extrema=extrema if extrema is not None else DEFAULT_EXTREMA,
+                tracer=tracer,
+            )
+            live = cls(store, rid, view, seq=0, applied_ids=set())
+            store.journal_update(rid, live._base_payload(source))
+            store.sync()
+            return live
+        base = log.base
+        if source is not None and source.strip() != str(base["program"]).strip():
+            raise RecoveryError(
+                f"view {rid!r} was journaled for a different program"
+            )
+        view = MaterializedView(
+            str(base["program"]),
+            engine=str(base.get("engine", engine)),
+            seed=int(base.get("seed", seed)),
+            order=str(base.get("order", order or DEFAULT_ORDER)),
+            extrema=str(base.get("extrema", extrema or DEFAULT_EXTREMA)),
+            tracer=tracer,
+        )
+        cls._load_edb(view, base)
+        view.rebuild()
+        seq = int(base.get("seq", 0))
+        applied: Set[str] = set()
+        for payload in log.replay_batches():
+            batch = UpdateBatch.from_ops_payload(
+                payload.get("ops", ()), batch_id=str(payload.get("batch_id", ""))
+            )
+            view.apply(batch)
+            seq = int(payload["seq"])
+            if batch.batch_id:
+                applied.add(batch.batch_id)
+        return cls(store, rid, view, seq=seq, applied_ids=applied)
+
+    @staticmethod
+    def _load_edb(view: MaterializedView, base: Dict[str, Any]) -> None:
+        """Overwrite *view*'s extensional relations with the base
+        record's EDB (the program's own ground facts are part of it)."""
+        from repro.robust.checkpoint import decode_value
+
+        for key in list(view.db.as_dict()):
+            if key not in view._idb:
+                view.db.relation(key[0], key[1]).clear()
+        for name, arity, rows in base.get("edb", ()):
+            relation = view.db.relation(str(name), int(arity))
+            for row in rows:
+                relation.add(tuple(decode_value(v) for v in row))
+
+    def _base_payload(self, source: str) -> Dict[str, Any]:
+        from repro.robust.checkpoint import encode_value
+
+        edb: List[List[Any]] = []
+        for (name, arity), facts in sorted(self.view.edb_facts().items()):
+            edb.append(
+                [name, arity, [[encode_value(v) for v in fact] for fact in facts]]
+            )
+        return {
+            "type": "base",
+            "seq": self._seq,
+            "program": source,
+            "engine": self.view.engine,
+            "seed": self.view.seed,
+            "order": self.view.order,
+            "extrema": self.view.extrema,
+            "edb": edb,
+        }
+
+    # -- the write path ----------------------------------------------------------
+
+    @property
+    def db(self):
+        return self.view.db
+
+    def apply(self, batch: UpdateBatch) -> Optional[ApplyResult]:
+        """Journal *batch*, fsync, then apply it to the in-memory view.
+
+        Returns ``None`` when the batch's id was already journaled (a
+        crash-retry resubmission — the effect is already durable).  On a
+        repair error the view is reopened from the journal and the error
+        re-raised: the batch *is* journaled at that point, so recovery
+        (and the reopened view) still applies it.
+        """
+        if batch.batch_id and batch.batch_id in self._applied_ids:
+            return None
+        self.view.validate(batch)  # reject bad batches before journaling
+        seq = self._seq + 1
+        self.store.journal_update(
+            self.rid,
+            {
+                "type": "batch",
+                "seq": seq,
+                "batch_id": batch.batch_id,
+                "ops": batch.ops_payload(),
+            },
+        )
+        self.store.sync()
+        self._seq = seq
+        if batch.batch_id:
+            self._applied_ids.add(batch.batch_id)
+        try:
+            return self.view.apply(batch)
+        except Exception:
+            self._reopen()
+            raise
+
+    def _reopen(self) -> None:
+        recovered = LiveView.open(self.store, self.rid, tracer=self.view.tracer)
+        self.view = recovered.view
+        self._seq = recovered._seq
+        self._applied_ids |= recovered._applied_ids
+
+    def snapshot(self) -> None:
+        """Journal a fresh base covering every applied batch, making the
+        older records compactable."""
+        log = self.store.view_log(self.rid)
+        source = str(log.base["program"]) if log is not None and log.base else ""
+        self.store.journal_update(self.rid, self._base_payload(source))
+        self.store.sync()
+
+    def close(self, discard: bool = False) -> None:
+        """Optionally drop the journaled log (``discard=True``) — the
+        view stops being recoverable — and detach from the store."""
+        if discard:
+            self.store.mark_done(self.rid)

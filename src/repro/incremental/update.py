@@ -1,0 +1,139 @@
+"""Update batches: validated EDB transactions.
+
+An :class:`UpdateBatch` is an ordered list of ``+fact`` / ``-fact``
+operations applied atomically to a
+:class:`~repro.incremental.view.MaterializedView`.  Validation happens
+*before* any mutation — a rejected batch (IDB predicate, program-text
+fact deletion, arity mismatch) raises
+:class:`~repro.errors.UpdateError` and leaves the view untouched.
+
+Semantics are set-based and therefore idempotent under replay: inserting
+a present fact and deleting an absent one are no-ops, which is what
+makes WAL batch replay after a crash safe to repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from repro.errors import UpdateError
+
+__all__ = ["UpdateOp", "UpdateBatch"]
+
+Fact = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One mutation: insert (``op="+"``) or delete (``op="-"``) one
+    ground fact of predicate *pred*."""
+
+    op: str
+    pred: str
+    args: Fact
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-"):
+            raise UpdateError(f"unknown update op {self.op!r}; expected '+' or '-'")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.pred, len(self.args))
+
+    @classmethod
+    def parse(cls, text: str) -> "UpdateOp":
+        """Parse ``+pred(a, b, 1)`` / ``-pred(a, b, 1)`` using the
+        regular datalog term syntax; every argument must be ground."""
+        from repro.datalog.parser import parse_query
+        from repro.datalog.unify import ground_term
+        from repro.errors import EvaluationError, ParseError
+
+        stripped = text.strip()
+        if not stripped or stripped[0] not in "+-":
+            raise UpdateError(
+                f"cannot parse update {text!r}: expected '+pred(...)' or "
+                "'-pred(...)'"
+            )
+        op, atom_text = stripped[0], stripped[1:].strip()
+        try:
+            atom = parse_query(atom_text)
+            args = tuple(ground_term(arg, {}) for arg in atom.args)
+        except (ParseError, EvaluationError) as exc:
+            raise UpdateError(f"cannot parse update {text!r}: {exc}") from None
+        return cls(op, atom.pred, args)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(_format_value(v) for v in self.args)
+        return f"{self.op}{self.pred}({rendered})"
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """An ordered transaction of :class:`UpdateOp`\\ s.
+
+    Attributes:
+        ops: the operations, applied in order (later ops win: a delete
+            after an insert of the same fact nets to a delete).
+        batch_id: optional caller-chosen identity used for exactly-once
+            dedupe across crash-recovery resubmission (the query service
+            derives it from the request id).
+    """
+
+    ops: Tuple[UpdateOp, ...] = ()
+    batch_id: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ops", tuple(self.ops))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    @classmethod
+    def of(cls, ops: Iterable[Any], batch_id: str = "") -> "UpdateBatch":
+        """Build a batch from :class:`UpdateOp`\\ s and/or op strings."""
+        parsed: List[UpdateOp] = []
+        for op in ops:
+            parsed.append(op if isinstance(op, UpdateOp) else UpdateOp.parse(str(op)))
+        return cls(tuple(parsed), batch_id)
+
+    # -- JSON codec (WAL records, service payloads) -----------------------------
+
+    def ops_payload(self) -> List[List[Any]]:
+        """The ops as JSON-ready ``[op, pred, [args...]]`` triples."""
+        from repro.robust.checkpoint import encode_value
+
+        return [
+            [op.op, op.pred, [encode_value(v) for v in op.args]] for op in self.ops
+        ]
+
+    @classmethod
+    def from_ops_payload(
+        cls, payload: Sequence[Sequence[Any]], batch_id: str = ""
+    ) -> "UpdateBatch":
+        from repro.robust.checkpoint import decode_value
+
+        ops = []
+        for entry in payload:
+            try:
+                op, pred, args = entry
+            except (TypeError, ValueError):
+                raise UpdateError(f"malformed update payload entry {entry!r}") from None
+            ops.append(UpdateOp(str(op), str(pred), tuple(decode_value(v) for v in args)))
+        return cls(tuple(ops), batch_id)
+
+    def __str__(self) -> str:
+        return "; ".join(str(op) for op in self.ops)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, tuple):
+        inner = ", ".join(_format_value(v) for v in value[1:])
+        return f"{value[0]}({inner})" if len(value) > 1 else str(value[0])
+    return repr(value)

@@ -58,9 +58,11 @@ __all__ = [
     "FaultInjector",
     "inject",
     "install",
+    "installed",
     "SITES",
     "CRASH_SITES",
     "SHARD_SITES",
+    "INCREMENTAL_SITES",
     "MODES",
     "PROCESS_MODES",
 ]
@@ -81,6 +83,20 @@ CRASH_SITES = (
 SHARD_SITES = (
     "shard.loop",
     "shard.ack",
+)
+
+#: The incremental-maintenance repair sites (visited by
+#: :mod:`repro.incremental` at the top of each repair phase, before any
+#: derived-state mutation): ``incremental.count`` at the start of a
+#: counting-unit apply, ``incremental.rederive`` at the start of a DRed
+#: delete/rederive pass, ``incremental.repair`` at the start of an
+#: extrema or choice-clique repair.  Valid in a :class:`FaultPlan` but
+#: kept out of :data:`SITES` so the original chaos matrix is unchanged;
+#: the incremental chaos suite iterates these explicitly.
+INCREMENTAL_SITES = (
+    "incremental.count",
+    "incremental.rederive",
+    "incremental.repair",
 )
 
 #: The in-process injection sites (the chaos matrix iterates these; the
@@ -174,10 +190,10 @@ class FaultPlan:
     repeat: bool = False
 
     def __post_init__(self) -> None:
-        if self.site not in SITES + SHARD_SITES:
+        if self.site not in SITES + SHARD_SITES + INCREMENTAL_SITES:
             raise ValueError(
                 f"unknown fault site {self.site!r}; expected one of "
-                f"{SITES + SHARD_SITES}"
+                f"{SITES + SHARD_SITES + INCREMENTAL_SITES}"
             )
         if self.mode not in MODES + PROCESS_MODES:
             raise ValueError(
@@ -304,6 +320,7 @@ def _hook_targets() -> List[Tuple[Any, str]]:
     from repro.core import clique_eval
     from repro.core.engine_base import BaseEngine
     from repro.durable import wal
+    from repro.incremental import hooks as incremental_hooks
 
     return [
         (Relation, "_fault_hook"),
@@ -311,6 +328,7 @@ def _hook_targets() -> List[Tuple[Any, str]]:
         (BaseEngine, "_fault_hook"),
         (clique_eval, "_FAULT_HOOK"),
         (wal, "_CRASH_HOOK"),
+        (incremental_hooks, "_FAULT_HOOK"),
         (sys.modules[__name__], "_SHARD_HOOK"),
     ]
 
@@ -327,6 +345,33 @@ def install(injector: Optional[FaultInjector]) -> Optional[FaultInjector]:
     for holder, attr in _hook_targets():
         setattr(holder, attr, injector)
     return injector
+
+
+@contextmanager
+def installed(injector: Optional[FaultInjector]) -> Iterator[Optional[FaultInjector]]:
+    """Context-managed :func:`install`: patch *injector* into every hook
+    slot and restore the previous slot values on exit, even when the
+    block raises.
+
+    Unlike :func:`inject` this takes no re-entrancy lock and arms no
+    crash countdown — it is the paired-uninstall form of :func:`install`
+    for callers (shard harnesses, soak drivers) that were using the
+    process-lifetime installer inside a test process and leaking hooks
+    across tests.  ``installed(None)`` is a no-op passthrough.
+    """
+    if injector is None:
+        yield None
+        return
+    saved: List[Tuple[Any, str, Any]] = [
+        (holder, attr, getattr(holder, attr)) for holder, attr in _hook_targets()
+    ]
+    for holder, attr in _hook_targets():
+        setattr(holder, attr, injector)
+    try:
+        yield injector
+    finally:
+        for holder, attr, value in saved:
+            setattr(holder, attr, value)
 
 
 @contextmanager

@@ -17,6 +17,10 @@ object with optional ``defaults`` (merged under each request) and a
 ``timeout`` / ``max_steps`` / ``max_facts``   per-request budget
 ``klass``           circuit-breaker class override
 ``repeat``          submit this request N times (default 1)
+``updates``         list of ``"+pred(a, 1)"`` / ``"-pred(a, 1)"`` update op
+                    strings — targets the live materialized view of the
+                    program instead of a from-scratch run (requires
+                    ``--live``; an empty list is a pure read of the view)
 
 All requests are submitted concurrently (admission control applies: a
 full queue sheds with a typed ``Overloaded``), then awaited; one summary
@@ -108,6 +112,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "are recovered and resubmitted (see docs/durability.md)"
         ),
     )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "allow workload entries with an 'updates' key: such requests "
+            "mutate the live materialized view of their program instead "
+            "of solving from scratch (see docs/incremental.md)"
+        ),
+    )
     return parser
 
 
@@ -133,7 +146,12 @@ def _load_fact_spec(spec: Any, base: Path) -> List[Tuple[Any, ...]]:
     return [tuple(row) for row in spec]
 
 
-def _build_request(entry: Dict[str, Any], base: Path) -> QueryRequest:
+def _build_request(entry: Dict[str, Any], base: Path, live: bool = False) -> QueryRequest:
+    if "updates" in entry and not live:
+        raise ReproError(
+            "workload entry has an 'updates' key but the service was not "
+            "started with --live; pass --live to enable live-view updates"
+        )
     if "program_file" in entry:
         program = (base / entry["program_file"]).read_text()
     elif "program" in entry:
@@ -163,6 +181,11 @@ def _build_request(entry: Dict[str, Any], base: Path) -> QueryRequest:
         budget=budget,
         deadline=entry.get("deadline"),
         klass=entry.get("klass"),
+        updates=(
+            [str(op) for op in entry["updates"]]
+            if entry.get("updates") is not None
+            else None
+        ),
     )
 
 
@@ -191,7 +214,7 @@ def serve_main(argv: Sequence[str] | None = None, out=None) -> int:
     try:
         entries = _load_workload(args.workload)
         base = Path(args.workload).resolve().parent
-        requests = [_build_request(entry, base) for entry in entries]
+        requests = [_build_request(entry, base, live=args.live) for entry in entries]
     except (ReproError, OSError, json.JSONDecodeError, TypeError) as exc:
         print(f"error: cannot load workload: {exc}", file=sys.stderr)
         return 1

@@ -66,6 +66,16 @@ class QueryRequest:
         resume_from: a :class:`~repro.robust.checkpoint.Checkpoint` from
             an earlier degraded response; the service restores it (with
             the fingerprint check) and continues instead of starting over.
+        updates: when not ``None``, this request targets the *live
+            materialized view* of ``(program, engine, seed)`` instead of
+            a from-scratch run: each entry is an update op string
+            (``"+pred(a, 1)"`` / ``"-pred(a, 1)"``), applied — together
+            with any ``facts``, treated as inserts — as one atomic
+            :class:`~repro.incremental.update.UpdateBatch`, and the
+            response database is the maintained model.  An empty list is
+            a pure read of the view.  The batch id is derived from the
+            request id, so crash-recovery resubmission applies each
+            batch exactly once.
     """
 
     program: str
@@ -76,6 +86,7 @@ class QueryRequest:
     deadline: Optional[float] = None
     klass: Optional[str] = None
     resume_from: Optional[Any] = None
+    updates: Optional[list] = None
 
     def breaker_class(self) -> str:
         """The circuit-breaker key this request falls under."""
@@ -115,6 +126,7 @@ class QueryRequest:
             "resume_from": (
                 _to_payload(self.resume_from) if self.resume_from is not None else None
             ),
+            "updates": list(self.updates) if self.updates is not None else None,
         }
 
     @classmethod
@@ -137,6 +149,9 @@ class QueryRequest:
             klass=payload.get("klass"),
             resume_from=(
                 _from_payload(resume_from) if resume_from is not None else None
+            ),
+            updates=(
+                list(payload["updates"]) if payload.get("updates") is not None else None
             ),
         )
 

@@ -65,6 +65,19 @@ from repro.serve.request import (
 __all__ = ["QueryService", "Ticket"]
 
 
+class _LiveEntry:
+    """One live materialized view plus its coordination state: a lock
+    serializing applies, and the batch ids already applied in this
+    process (the durable journal extends the set across restarts)."""
+
+    __slots__ = ("lock", "view", "applied")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.view: Any = None
+        self.applied: set = set()
+
+
 class Ticket:
     """The caller's handle on one submitted request.
 
@@ -175,6 +188,10 @@ class QueryService:
         self.queue = AdmissionQueue(queue_capacity, clock=clock)
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._breakers_lock = threading.Lock()
+        # Live materialized views, keyed (engine, program sha256, seed);
+        # see QueryRequest.updates.
+        self._views: Dict[Any, _LiveEntry] = {}
+        self._views_lock = threading.Lock()
         self._id_lock = threading.Lock()
         self._next_id = store.next_numeric_rid() if store is not None else 0
         self._inflight = 0
@@ -429,6 +446,16 @@ class QueryService:
                 max_facts=budget.max_facts,
                 max_memory_mb=budget.max_memory_mb,
             )
+        if request.updates is not None:
+            with tracer.span(
+                "request",
+                phase="serve",
+                request_id=ticket.request_id,
+                engine=request.engine,
+                klass=request.breaker_class(),
+                live=True,
+            ):
+                return self._apply_updates(request, ticket, tracer)
         writer = None
         if self.store is not None:
             from repro.durable.policy import DurableWriter
@@ -466,6 +493,83 @@ class QueryService:
                 )
                 db = _as_database({k: list(v) for k, v in request.facts.items()})
             return engine.run(db)
+
+    def _apply_updates(self, request: QueryRequest, ticket: Ticket, tracer: Tracer) -> Any:
+        """Serve a live-view request: apply its update batch to the
+        ``(engine, program, seed)`` view — creating (or, on a durable
+        store, recovering) the view on first touch — and return a copy
+        of the maintained model.
+
+        Applies are serialized per view; the batch id is derived from
+        the request id, so in-service retries and crash-recovery
+        resubmission are exactly-once.  A repair that dies mid-way
+        rebuilds the view from its EDB (durable views reopen from the
+        journal) before the error propagates, so the next request sees
+        consistent state.
+        """
+        import hashlib
+
+        from repro.incremental import LiveView, MaterializedView, UpdateBatch, UpdateOp
+
+        digest = hashlib.sha256(request.program.encode("utf-8")).hexdigest()
+        seed = request.seed if request.seed is not None else 0
+        key = (request.engine, digest, seed)
+        with self._views_lock:
+            entry = self._views.get(key)
+            if entry is None:
+                entry = _LiveEntry()
+                self._views[key] = entry
+        with entry.lock:
+            if entry.view is None:
+                if self.store is not None:
+                    entry.view = LiveView.open(
+                        self.store,
+                        f"view-{digest[:12]}-{request.engine}-{seed}",
+                        source=request.program,
+                        engine=request.engine,
+                        seed=seed,
+                    )
+                    entry.applied |= entry.view._applied_ids
+                else:
+                    entry.view = MaterializedView(
+                        request.program, engine=request.engine, seed=seed
+                    )
+            ops = [
+                UpdateOp("+", name, tuple(row))
+                for name, rows in sorted(request.facts.items())
+                for row in rows
+            ]
+            ops.extend(UpdateOp.parse(str(text)) for text in request.updates)
+            batch = UpdateBatch.of(ops, batch_id=f"req-{ticket.request_id}")
+            result = None
+            if ops and batch.batch_id not in entry.applied:
+                try:
+                    result = entry.view.apply(batch)
+                except BaseException:
+                    # LiveView reopens itself from the journal; the plain
+                    # view rebuilds from its (already mutated) EDB.
+                    rebuild = getattr(entry.view, "rebuild", None)
+                    if rebuild is not None:
+                        rebuild()
+                    raise
+                entry.applied.add(batch.batch_id)
+            self.metrics.inc("live_batches")
+            if result is not None:
+                registry = tracer.registry
+                registry.inc("incremental/batches")
+                registry.inc("incremental/facts_invalidated", result.invalidated)
+                registry.inc("incremental/facts_rederived", result.rederived)
+                registry.inc("incremental/units_recomputed", result.units_recomputed)
+                registry.inc("incremental/fast_path_resumes", result.fast_path_resumes)
+                tracer.event(
+                    "live-apply",
+                    batch_id=batch.batch_id,
+                    ops=len(batch),
+                    invalidated=result.invalidated,
+                    rederived=result.rederived,
+                    fast_path=result.fast_path_resumes,
+                )
+            return entry.view.db.copy()
 
     # -- recovery ---------------------------------------------------------------
 

@@ -233,6 +233,11 @@ def decode_response(rid: int, payload: Dict[str, Any]) -> QueryResponse:
     )
 
 
+#: Injectable clock for the worker's latency stamps — tests replace this
+#: with a fake to make shard-side timings deterministic.
+_now = time.monotonic
+
+
 def _rejection_response(exc: BaseException, started: float) -> Dict[str, Any]:
     """The wire response for a request the inner service rejected at the
     door (overload, open breaker, closed) — shed, typed, never lost."""
@@ -242,7 +247,7 @@ def _rejection_response(exc: BaseException, started: float) -> Dict[str, Any]:
         "error": _encode_error(exc),
         "attempts": 0,
         "retries": 0,
-        "latency_s": time.monotonic() - started,
+        "latency_s": _now() - started,
         "queue_s": 0.0,
         "metrics": {},
     }
@@ -309,7 +314,7 @@ def shard_worker_main(shard_id: int, conn: Any, config: ShardConfig) -> None:
                 kind = message[0]
                 if kind == "submit":
                     rid, payload = message[1], message[2]
-                    started = time.monotonic()
+                    started = _now()
                     request = QueryRequest.from_payload(payload)
                     try:
                         pending[rid] = service.submit(request, request_id=rid)

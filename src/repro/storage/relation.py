@@ -44,6 +44,12 @@ class Relation:
         self._facts: Set[Fact] = set()
         # positions-tuple -> {key-values-tuple -> set of facts}
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Any, ...], Set[Fact]]] = {}
+        # Derivation-support counts for counting-based incremental view
+        # maintenance (repro.incremental).  Only facts tracked through
+        # add_support/drop_support appear here; plain add/discard leave
+        # the map untouched except that discard/clear drop the entry so
+        # the invariant "support keys are facts" always holds.
+        self._support: Dict[Fact, int] = {}
         # Optional MetricsRegistry; bound by Database.bind_metrics when an
         # engine runs with tracing enabled, None (and costless) otherwise.
         self.metrics: Any = None
@@ -103,6 +109,7 @@ class Relation:
         if fact not in self._facts:
             return False
         self._facts.remove(fact)
+        self._support.pop(fact, None)
         for positions, index in self._indexes.items():
             key = tuple(fact[p] for p in positions)
             bucket = index.get(key)
@@ -115,6 +122,62 @@ class Relation:
     def clear(self) -> None:
         self._facts.clear()
         self._indexes.clear()
+        self._support.clear()
+
+    # -- derivation-support counts (incremental maintenance) -------------------
+
+    def support(self, fact: Fact) -> int:
+        """The recorded derivation count for *fact* (0 if untracked)."""
+        return self._support.get(fact, 0)
+
+    def supported_facts(self) -> Dict[Fact, int]:
+        """A snapshot of the support-count map."""
+        return dict(self._support)
+
+    def add_support(self, fact: Fact, count: int = 1) -> bool:
+        """Add *count* derivations of *fact*; return ``True`` iff the fact
+        became present (its count rose from zero).
+
+        Raises:
+            ValueError: on non-positive *count* or arity mismatch.
+        """
+        if count < 1:
+            raise ValueError(f"support count must be >= 1, got {count}")
+        if fact in self._support:
+            self._support[fact] += count
+            return False
+        self.add(fact)
+        self._support[fact] = count
+        return True
+
+    def set_support(self, fact: Fact, count: int) -> None:
+        """Force *fact*'s derivation count to exactly *count*.
+
+        A non-positive count removes the fact entirely; a positive one
+        inserts it if absent.  Used by counting maintenance to reconcile
+        a full recount against the stored model.
+        """
+        if count < 1:
+            self.discard(fact)
+            return
+        self.add(fact)
+        self._support[fact] = count
+
+    def drop_support(self, fact: Fact, count: int = 1) -> bool:
+        """Remove *count* derivations of *fact*; return ``True`` iff the
+        fact became absent (its count reached zero and it was removed).
+
+        Dropping support for an untracked fact, or more support than is
+        recorded, clamps at zero and removes the fact — counting
+        maintenance treats over-deletion as "no derivations remain".
+        """
+        if count < 1:
+            raise ValueError(f"support count must be >= 1, got {count}")
+        remaining = self._support.get(fact, 0) - count
+        if remaining > 0:
+            self._support[fact] = remaining
+            return False
+        return self.discard(fact)
 
     # -- queries ---------------------------------------------------------------
 
@@ -172,6 +235,7 @@ class Relation:
         """An independent copy (indices are not copied; they rebuild lazily)."""
         clone = Relation(self.name, self.arity)
         clone._facts = set(self._facts)
+        clone._support = dict(self._support)
         return clone
 
     def check_invariants(self) -> bool:
@@ -201,6 +265,17 @@ class Relation:
                 raise AssertionError(
                     f"{self.name}/{self.arity}: index {positions} covers "
                     f"{len(covered)} facts, relation holds {len(self._facts)}"
+                )
+        for fact, count in self._support.items():
+            if fact not in self._facts:
+                raise AssertionError(
+                    f"{self.name}/{self.arity}: support map tracks absent "
+                    f"fact {fact!r}"
+                )
+            if count < 1:
+                raise AssertionError(
+                    f"{self.name}/{self.arity}: fact {fact!r} has "
+                    f"non-positive support {count}"
                 )
         return True
 

@@ -1,10 +1,37 @@
-"""Shared fixtures: the paper's running examples as reusable data."""
+"""Shared fixtures: the paper's running examples as reusable data,
+plus a process-hygiene guard for the fault-injection hook slots."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.programs import texts
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_hook_leaks():
+    """Fail the test that leaks a fault-injection hook.
+
+    Every injection surface (relations, heaps, engines, the WAL, the
+    incremental repair phases, shard workers) shares the hook slots in
+    :func:`repro.robust.faults._hook_targets`.  A test that installs an
+    injector with :func:`~repro.robust.faults.install` (process-lifetime,
+    no restore) instead of :func:`~repro.robust.faults.inject` /
+    :func:`~repro.robust.faults.installed` poisons every later test in
+    the process; this guard pins the blame on the leaker."""
+    from repro.robust import faults
+
+    yield
+    leaked = [
+        f"{getattr(holder, '__name__', type(holder).__name__)}.{attr}"
+        for holder, attr in faults._hook_targets()
+        if getattr(holder, attr) is not None
+    ]
+    assert not leaked, (
+        f"fault hooks leaked by this test: {', '.join(leaked)}; use "
+        "faults.inject(...) or faults.installed(...) instead of "
+        "faults.install(...)"
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,80 @@
+"""Shared machinery for the incremental-maintenance suite.
+
+The one invariant every test here leans on: after any sequence of
+applied batches, the maintained view equals the from-scratch oracle —
+``solve_program`` over the view's *current* extensional facts with the
+same engine and seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Tuple
+
+from repro.core.compiler import solve_program
+from repro.incremental import MaterializedView, UpdateBatch, UpdateOp
+
+
+def oracle_db(view) -> "object":
+    """The from-scratch model over the view's current EDB."""
+    facts = {}
+    for (name, _arity), rows in view.edb_facts().items():
+        facts.setdefault(name, []).extend(rows)
+    return solve_program(
+        view.program,
+        facts=facts,
+        seed=view.seed,
+        engine=view.engine,
+        order=view.order,
+        extrema=view.extrema,
+    )
+
+
+def assert_matches_oracle(view, context="") -> None:
+    got = view.db.as_dict()
+    want = oracle_db(view).as_dict()
+    assert got == want, (
+        f"view diverged from the from-scratch oracle {context}\n"
+        f"  extra:   { {k: sorted(v - want.get(k, frozenset()), key=repr) for k, v in got.items() if v - want.get(k, frozenset())} }\n"
+        f"  missing: { {k: sorted(v - got.get(k, frozenset()), key=repr) for k, v in want.items() if v - got.get(k, frozenset())} }"
+    )
+
+
+def random_op(rng: random.Random, view, pred: str, make_fact) -> UpdateOp:
+    """Delete a present fact with probability ~0.45, else insert a fresh
+    (or colliding — set semantics) one."""
+    arity = len(make_fact(rng))
+    present = sorted(set(view.db.facts(pred, arity)), key=repr)
+    deletable = [f for f in present if f not in view._ground.get((pred, arity), ())]
+    if deletable and rng.random() < 0.45:
+        return UpdateOp("-", pred, rng.choice(deletable))
+    return UpdateOp("+", pred, make_fact(rng))
+
+
+def drive_stream(
+    source: str,
+    engine: str,
+    seed: int,
+    stream_seed: int,
+    pred: str,
+    make_fact,
+    initial: Iterable[Tuple],
+    steps: int = 14,
+    batch_size: int = 1,
+    check_every: int = 1,
+) -> "MaterializedView":
+    """Build a view, seed it with *initial* facts, then drive a seeded
+    random insert/delete stream, differentially checking against the
+    oracle every *check_every* steps (and always at the end)."""
+    view = MaterializedView(source, engine=engine, seed=seed)
+    init_ops: List[UpdateOp] = [UpdateOp("+", pred, tuple(f)) for f in initial]
+    if init_ops:
+        view.apply(UpdateBatch.of(init_ops, batch_id="init"))
+        assert_matches_oracle(view, "after the initial load")
+    rng = random.Random(stream_seed)
+    for step in range(steps):
+        ops = [random_op(rng, view, pred, make_fact) for _ in range(batch_size)]
+        view.apply(UpdateBatch.of(ops, batch_id=f"s{step}"))
+        if step % check_every == 0 or step == steps - 1:
+            assert_matches_oracle(view, f"at step {step} ({ops})")
+    return view

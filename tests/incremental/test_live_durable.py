@@ -1,0 +1,128 @@
+"""LiveView durability mechanics: reopen, snapshot compaction, dedupe,
+and the guard rails around the journaled program text.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durable import CheckpointStore
+from repro.errors import RecoveryError
+from repro.incremental import LiveView, UpdateBatch, UpdateOp
+
+from .conftest import assert_matches_oracle
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+OTHER = """
+link(X, Y) :- edge(X, Y).
+"""
+
+
+def _batch(i, op, fact):
+    return UpdateBatch.of([UpdateOp(op, "edge", fact)], batch_id=f"b{i}")
+
+
+class TestReopen:
+    def test_reopen_replays_base_and_batches(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        live = LiveView.open(store, "v", source=PATH, seed=3)
+        live.apply(_batch(0, "+", ("a", "b")))
+        live.apply(_batch(1, "+", ("b", "c")))
+        live.apply(_batch(2, "-", ("a", "b")))
+        expected = live.db.as_dict()
+        store.close()
+
+        store = CheckpointStore(tmp_path)
+        recovered = LiveView.open(store, "v")
+        assert recovered.db.as_dict() == expected
+        assert recovered.view.seed == 3
+        assert recovered._applied_ids == {"b0", "b1", "b2"}
+        assert_matches_oracle(recovered.view, "after reopen")
+        store.close()
+
+    def test_missing_view_without_source_is_a_recovery_error(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(RecoveryError, match="no program"):
+            LiveView.open(store, "ghost")
+        store.close()
+
+    def test_program_mismatch_is_a_recovery_error(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        LiveView.open(store, "v", source=PATH, seed=0)
+        store.close()
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(RecoveryError, match="different program"):
+            LiveView.open(store, "v", source=OTHER, seed=0)
+        store.close()
+
+    def test_matching_source_on_reopen_is_fine(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        live = LiveView.open(store, "v", source=PATH, seed=0)
+        live.apply(_batch(0, "+", ("a", "b")))
+        store.close()
+        store = CheckpointStore(tmp_path)
+        recovered = LiveView.open(store, "v", source=PATH, seed=0)
+        assert ("a", "b") in set(recovered.db.facts("edge", 2))
+        store.close()
+
+
+class TestDedupe:
+    def test_resubmitted_batch_returns_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        live = LiveView.open(store, "v", source=PATH, seed=0)
+        assert live.apply(_batch(0, "+", ("a", "b"))) is not None
+        assert live.apply(_batch(0, "+", ("a", "b"))) is None
+        # The dup was not journaled twice and not applied twice.
+        assert len(set(live.db.facts("edge", 2))) == 1
+        store.close()
+
+    def test_dedupe_survives_reopen(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        live = LiveView.open(store, "v", source=PATH, seed=0)
+        live.apply(_batch(0, "+", ("a", "b")))
+        store.close()
+        store = CheckpointStore(tmp_path)
+        recovered = LiveView.open(store, "v")
+        assert recovered.apply(_batch(0, "+", ("x", "y"))) is None
+        assert ("x", "y") not in set(recovered.db.facts("edge", 2))
+        store.close()
+
+
+class TestSnapshotAndCompaction:
+    def test_snapshot_then_compact_preserves_the_view(self, tmp_path):
+        store = CheckpointStore(tmp_path, segment_bytes=512)
+        live = LiveView.open(store, "v", source=PATH, seed=0)
+        for i in range(12):
+            live.apply(_batch(i, "+", (f"n{i}", f"n{i + 1}")))
+        expected = live.db.as_dict()
+        live.snapshot()
+        removed = store.compact()
+        assert removed >= 1, "snapshot should make old segments compactable"
+        store.close()
+
+        store = CheckpointStore(tmp_path)
+        recovered = LiveView.open(store, "v")
+        assert recovered.db.as_dict() == expected
+        # Snapshot folds the history; applied ids are superseded by the
+        # base but fresh batches keep flowing.
+        recovered.apply(_batch(99, "-", ("n0", "n1")))
+        assert_matches_oracle(recovered.view, "after compaction + a delete")
+        store.close()
+
+
+class TestClose:
+    def test_close_discard_drops_the_journal(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        live = LiveView.open(store, "v", source=PATH, seed=0)
+        live.apply(_batch(0, "+", ("a", "b")))
+        live.close(discard=True)
+        assert store.view_log("v") is None
+        store.close()
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(RecoveryError):
+            LiveView.open(store, "v")
+        store.close()

@@ -1,0 +1,172 @@
+"""The serving layer's live-update path: ``QueryRequest.updates`` routed
+through a maintained view instead of a from-scratch evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import solve_program
+from repro.durable import CheckpointStore
+from repro.errors import UpdateError
+from repro.serve import OK, FAILED, QueryRequest, QueryService
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+SORTING = """
+sp(nil, 0, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+
+@pytest.fixture()
+def service():
+    svc = QueryService(workers=2, reset_timeout=60.0)
+    yield svc
+    svc.close()
+
+
+def _oracle(program, facts, seed=0, engine="rql"):
+    return solve_program(
+        program, {k: list(v) for k, v in facts.items()}, seed=seed, engine=engine
+    ).as_dict()
+
+
+class TestLiveRequests:
+    def test_insert_batches_accumulate_in_the_view(self, service):
+        first = service.evaluate(
+            QueryRequest(program=PATH, facts={"edge": [("a", "b")]}, updates=[]),
+            timeout=30,
+        )
+        assert first.status == OK
+        second = service.evaluate(
+            QueryRequest(program=PATH, updates=['+ edge(b, c)']),
+            timeout=30,
+        )
+        assert second.status == OK
+        want = _oracle(PATH, {"edge": [("a", "b"), ("b", "c")]})
+        assert second.database.as_dict() == want
+
+    def test_deletes_repair_the_view(self, service):
+        service.evaluate(
+            QueryRequest(
+                program=PATH,
+                facts={"edge": [("a", "b"), ("b", "c"), ("c", "d")]},
+                updates=[],
+            ),
+            timeout=30,
+        )
+        response = service.evaluate(
+            QueryRequest(program=PATH, updates=['- edge(b, c)']),
+            timeout=30,
+        )
+        assert response.status == OK
+        want = _oracle(PATH, {"edge": [("a", "b"), ("c", "d")]})
+        assert response.database.as_dict() == want
+
+    def test_empty_updates_is_a_pure_read(self, service):
+        service.evaluate(
+            QueryRequest(program=PATH, facts={"edge": [("a", "b")]}, updates=[]),
+            timeout=30,
+        )
+        read = service.evaluate(
+            QueryRequest(program=PATH, updates=[]), timeout=30
+        )
+        assert read.status == OK
+        assert read.database.as_dict() == _oracle(PATH, {"edge": [("a", "b")]})
+
+    def test_views_are_keyed_by_engine_program_seed(self, service):
+        service.evaluate(
+            QueryRequest(program=PATH, facts={"edge": [("a", "b")]}, updates=[]),
+            timeout=30,
+        )
+        other = service.evaluate(
+            QueryRequest(
+                program=PATH, facts={"edge": [("x", "y")]}, updates=[], seed=7
+            ),
+            timeout=30,
+        )
+        assert other.status == OK
+        # Seed 7's view never saw seed 0's facts.
+        assert other.database.as_dict() == _oracle(PATH, {"edge": [("x", "y")]})
+
+    def test_choice_program_stays_live(self, service):
+        items = [(f"i{k}", c) for k, c in enumerate([5, 3, 8, 1, 9, 2, 7])]
+        service.evaluate(
+            QueryRequest(program=SORTING, facts={"p": items}, updates=[], seed=3),
+            timeout=30,
+        )
+        response = service.evaluate(
+            QueryRequest(program=SORTING, updates=['- p(i3, 1)'], seed=3),
+            timeout=30,
+        )
+        assert response.status == OK
+        survivors = [it for it in items if it != ("i3", 1)]
+        assert response.database.as_dict() == _oracle(
+            SORTING, {"p": survivors}, seed=3
+        )
+
+    def test_bad_update_fails_without_poisoning_the_view(self, service):
+        service.evaluate(
+            QueryRequest(program=PATH, facts={"edge": [("a", "b")]}, updates=[]),
+            timeout=30,
+        )
+        with pytest.raises(UpdateError):
+            service.evaluate(
+                QueryRequest(program=PATH, updates=['+ path(x, y)']),
+                timeout=30,
+            )
+        ticket = service.submit(
+            QueryRequest(program=PATH, updates=['+ path(x, y)'])
+        )
+        assert ticket.response(timeout=30).status == FAILED
+        # The view is still healthy and unchanged.
+        read = service.evaluate(QueryRequest(program=PATH, updates=[]), timeout=30)
+        assert read.database.as_dict() == _oracle(PATH, {"edge": [("a", "b")]})
+
+    def test_live_batches_metric_counts_applies(self, service):
+        service.evaluate(
+            QueryRequest(program=PATH, facts={"edge": [("a", "b")]}, updates=[]),
+            timeout=30,
+        )
+        service.evaluate(
+            QueryRequest(program=PATH, updates=['+ edge(b, c)']), timeout=30
+        )
+        assert service.metrics.counter("live_batches") >= 2
+
+
+class TestDurableLiveRequests:
+    def test_views_survive_a_service_restart(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        svc = QueryService(workers=2, reset_timeout=60.0, store=store)
+        try:
+            svc.evaluate(
+                QueryRequest(
+                    program=PATH, facts={"edge": [("a", "b")]}, updates=[]
+                ),
+                timeout=30,
+            )
+            svc.evaluate(
+                QueryRequest(program=PATH, updates=['+ edge(b, c)']),
+                timeout=30,
+            )
+        finally:
+            svc.close()
+        store.close()
+
+        store = CheckpointStore(tmp_path)
+        svc = QueryService(workers=2, reset_timeout=60.0, store=store)
+        try:
+            read = svc.evaluate(
+                QueryRequest(program=PATH, updates=[]), timeout=30
+            )
+            assert read.status == OK
+            assert read.database.as_dict() == _oracle(
+                PATH, {"edge": [("a", "b"), ("b", "c")]}
+            )
+        finally:
+            svc.close()
+        store.close()

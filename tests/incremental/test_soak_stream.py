@@ -1,0 +1,110 @@
+"""Long-stream soak: hundreds of random insert/delete batches against a
+maintained view, differentially checked against the from-scratch oracle.
+
+The default sizing keeps the suite fast; the nightly job widens it via
+``REPRO_STREAM_OPS`` (total operations per stream), the same env-knob
+pattern as ``REPRO_CRASH_POINTS`` / ``REPRO_CHAOS_SEEDS``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.incremental import MaterializedView, UpdateBatch, UpdateOp
+
+from .conftest import assert_matches_oracle, random_op
+
+#: Operations per soak stream; nightly exports e.g. REPRO_STREAM_OPS=600.
+STREAM_OPS = int(os.environ.get("REPRO_STREAM_OPS", "120"))
+#: Full oracle comparisons are O(model); amortize them over the stream.
+CHECK_EVERY = max(1, STREAM_OPS // 24)
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+SORTING = """
+sp(nil, 0, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+DIST = """
+dist(S, 0) <- source(S).
+dist(Y, D) <- dist(X, DX), g(X, Y, C), D = DX + C, least(D, Y).
+"""
+
+NODES = [f"n{i}" for i in range(12)]
+
+
+def _soak(view, pred, make_fact, stream_seed, batch_size=2):
+    rng = random.Random(stream_seed)
+    steps = max(1, STREAM_OPS // batch_size)
+    for step in range(steps):
+        ops = [random_op(rng, view, pred, make_fact) for _ in range(batch_size)]
+        view.apply(UpdateBatch.of(ops, batch_id=f"soak-{step}"))
+        if step % CHECK_EVERY == 0:
+            assert_matches_oracle(view, f"at step {step}")
+    assert_matches_oracle(view, f"after {steps} batches of {batch_size}")
+
+
+class TestSoakStreams:
+    @pytest.mark.parametrize("engine,seed", [("rql", 0), ("naive", 1)])
+    def test_recursive_reachability_stream(self, engine, seed):
+        view = MaterializedView(PATH, engine=engine, seed=seed)
+        view.apply(
+            UpdateBatch.of(
+                [UpdateOp("+", "edge", ("n0", "n1")), UpdateOp("+", "edge", ("n1", "n2"))],
+                batch_id="init",
+            )
+        )
+        _soak(
+            view,
+            "edge",
+            lambda rng: (rng.choice(NODES), rng.choice(NODES)),
+            stream_seed=100 + seed,
+        )
+
+    @pytest.mark.parametrize("engine,seed", [("rql", 3), ("basic", 4)])
+    def test_choice_clique_stream(self, engine, seed):
+        view = MaterializedView(SORTING, engine=engine, seed=seed)
+        view.apply(
+            UpdateBatch.of(
+                [UpdateOp("+", "p", (f"i{k}", (37 * k) % 53)) for k in range(10)],
+                batch_id="init",
+            )
+        )
+        _soak(
+            view,
+            "p",
+            lambda rng: (f"i{rng.randrange(40)}", rng.randrange(1, 60)),
+            stream_seed=200 + seed,
+            batch_size=1,
+        )
+
+    @pytest.mark.parametrize("engine,seed", [("rql", 7), ("choice", 8)])
+    def test_premappable_extrema_stream(self, engine, seed):
+        view = MaterializedView(DIST, engine=engine, seed=seed)
+        view.apply(
+            UpdateBatch.of(
+                [
+                    UpdateOp("+", "source", ("n0",)),
+                    UpdateOp("+", "g", ("n0", "n1", 3)),
+                    UpdateOp("+", "g", ("n1", "n2", 2)),
+                ],
+                batch_id="init",
+            )
+        )
+        _soak(
+            view,
+            "g",
+            lambda rng: (
+                rng.choice(NODES[:8]),
+                rng.choice(NODES[:8]),
+                rng.randrange(1, 12),
+            ),
+            stream_seed=300 + seed,
+        )

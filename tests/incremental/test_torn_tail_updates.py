@@ -1,0 +1,152 @@
+"""Torn-tail semantics for the WAL's ``update`` record kind.
+
+A kill mid-append can leave a partial update record at the end of the
+final segment.  That is a *torn tail* — expected damage — and the store
+must truncate it on reopen, not raise :class:`WalCorruptionError`.  The
+batch whose record was torn was never acknowledged, so losing it is
+correct; everything journaled before it must survive intact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durable import CheckpointStore
+from repro.incremental import LiveView, UpdateBatch, UpdateOp
+from repro.robust.faults import (
+    FaultInjector,
+    FaultPlan,
+    SimulatedCrash,
+    TornWrite,
+    inject,
+)
+
+from .conftest import assert_matches_oracle
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+
+def _live(tmp_path):
+    store = CheckpointStore(tmp_path / "store")
+    live = LiveView.open(store, "v", source=PATH, seed=0)
+    live.apply(
+        UpdateBatch.of(
+            [UpdateOp("+", "edge", ("a", "b")), UpdateOp("+", "edge", ("b", "c"))],
+            batch_id="init",
+        )
+    )
+    return store, live
+
+
+class TestTornUpdateRecord:
+    def test_torn_tail_truncated_batch_lost_cleanly(self, tmp_path):
+        store, live = _live(tmp_path)
+        injector = FaultInjector(
+            plans=[FaultPlan(site="wal.write", mode="torn", nth=1)]
+        )
+        with pytest.raises(TornWrite):
+            with inject(injector):
+                live.apply(
+                    UpdateBatch.of(
+                        [UpdateOp("+", "edge", ("c", "d"))], batch_id="torn"
+                    )
+                )
+        # Never acked, never applied in memory.
+        assert "torn" not in live._applied_ids
+        assert ("c", "d") not in set(live.db.facts("edge", 2))
+        store.close()
+
+        # Reopen: the partial record is truncated, not a corruption
+        # error; the earlier batch survives; the view is consistent at
+        # the pre-batch state.
+        store = CheckpointStore(tmp_path / "store")
+        assert store.recovered.torn_tail is not None
+        assert store.metrics.counter("durable/torn_tails") == 1
+        recovered = LiveView.open(store, "v")
+        assert "init" in recovered._applied_ids
+        assert "torn" not in recovered._applied_ids
+        assert ("c", "d") not in set(recovered.db.facts("edge", 2))
+        assert_matches_oracle(recovered.view, "after torn-tail truncation")
+        store.close()
+
+    def test_lost_batch_is_resubmittable_after_truncation(self, tmp_path):
+        store, live = _live(tmp_path)
+        with pytest.raises(TornWrite):
+            with inject(
+                FaultInjector(plans=[FaultPlan(site="wal.write", mode="torn")])
+            ):
+                live.apply(
+                    UpdateBatch.of(
+                        [UpdateOp("+", "edge", ("c", "d"))], batch_id="b1"
+                    )
+                )
+        store.close()
+
+        store = CheckpointStore(tmp_path / "store")
+        recovered = LiveView.open(store, "v")
+        # The id was never journaled, so the resubmission is a real
+        # apply, not a dedupe skip — exactly-once from the client's view.
+        result = recovered.apply(
+            UpdateBatch.of([UpdateOp("+", "edge", ("c", "d"))], batch_id="b1")
+        )
+        assert result is not None
+        assert ("c", "d") in set(recovered.db.facts("edge", 2))
+        assert_matches_oracle(recovered.view, "after resubmitting the lost batch")
+        store.close()
+
+
+class TestCrashAroundFsync:
+    def test_crash_before_write_loses_the_batch(self, tmp_path):
+        store, live = _live(tmp_path)
+        injector = FaultInjector(
+            plans=[FaultPlan(site="wal.write", mode="crash", nth=1)]
+        )
+        with pytest.raises(SimulatedCrash):
+            with inject(injector):
+                live.apply(
+                    UpdateBatch.of(
+                        [UpdateOp("+", "edge", ("c", "d"))], batch_id="b1"
+                    )
+                )
+        store.close()
+
+        store = CheckpointStore(tmp_path / "store")
+        # Nothing was written at all: clean log, batch absent.
+        assert store.recovered.torn_tail is None
+        recovered = LiveView.open(store, "v")
+        assert "b1" not in recovered._applied_ids
+        assert_matches_oracle(recovered.view, "after a pre-write crash")
+        store.close()
+
+    def test_crash_between_write_and_fsync_keeps_the_batch(self, tmp_path):
+        store, live = _live(tmp_path)
+        injector = FaultInjector(
+            plans=[FaultPlan(site="wal.fsync", mode="crash", nth=1)]
+        )
+        with pytest.raises(SimulatedCrash):
+            with inject(injector):
+                live.apply(
+                    UpdateBatch.of(
+                        [UpdateOp("+", "edge", ("c", "d"))], batch_id="b1"
+                    )
+                )
+        store.close()
+
+        # The record hit the file before the crash (the fsync was only a
+        # durability barrier, and the same-process file write is visible
+        # on reopen): the batch replays exactly once.
+        store = CheckpointStore(tmp_path / "store")
+        recovered = LiveView.open(store, "v")
+        assert "b1" in recovered._applied_ids
+        assert ("c", "d") in set(recovered.db.facts("edge", 2))
+        assert_matches_oracle(recovered.view, "after a pre-fsync crash")
+        assert (
+            recovered.apply(
+                UpdateBatch.of([UpdateOp("+", "edge", ("c", "d"))], batch_id="b1")
+            )
+            is None
+        ), "the journaled batch must dedupe, not double-apply"
+        store.close()

@@ -1,0 +1,339 @@
+"""The differential battery: incremental maintenance ≡ from-scratch.
+
+Every test drives a seeded random insert/delete stream through a
+:class:`MaterializedView` and checks, step by step, that the maintained
+model equals ``solve_program`` over the view's current extensional facts
+with the same engine and seed.  The parametrization spans all five
+engines and every unit kind — plain recursion (DRed + counting),
+choice/stage cliques (Prim, sorting), premappable recursive extrema
+(shortest distances), non-recursive extrema, and negation — for 50+
+distinct streams in total.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.incremental import MaterializedView, UpdateBatch, UpdateOp
+
+from .conftest import assert_matches_oracle, drive_stream
+
+PATH = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+PRIM = """
+prm(nil, S, 0, 0) <- source(S).
+prm(X, Y, C, I) <- next(I), new_g(X, Y, C, J), J < I, least(C, I), choice(Y, X).
+new_g(X, Y, C, J) <- prm(_, X, _, J), g(X, Y, C).
+"""
+
+SORTING = """
+sp(nil, 0, 0).
+sp(X, C, I) <- next(I), p(X, C), least(C, I).
+"""
+
+DIST = """
+dist(S, 0) <- source(S).
+dist(Y, D) <- dist(X, DX), g(X, Y, C), D = DX + C, least(D, Y).
+"""
+
+BEST_OFFER = """
+best(X, C) <- offer(X, C), least(C, X).
+pick(X) <- best(X, C), C < 100.
+"""
+
+UNREACHABLE = """
+reach(X) <- source(X).
+reach(Y) <- reach(X), edge(X, Y).
+unreach(X) <- node(X), not reach(X).
+"""
+
+NODES = ["a", "b", "c", "d", "e", "f"]
+
+
+def _edge2(rng: random.Random):
+    return (rng.choice(NODES), rng.choice(NODES))
+
+
+def _edge3(rng: random.Random):
+    x, y = rng.sample(NODES, 2)
+    return (x, y, rng.randint(1, 9))
+
+
+def _item(rng: random.Random):
+    return (f"i{rng.randint(0, 40)}", rng.randint(1, 50))
+
+
+def _offer(rng: random.Random):
+    return (rng.choice(["x", "y", "z"]), rng.randint(1, 300))
+
+
+class TestPlainRecursion:
+    """DRed over the delta-specialized plan cache, all five engines."""
+
+    @pytest.mark.parametrize("engine", ["rql", "basic", "choice", "naive", "seminaive"])
+    @pytest.mark.parametrize("stream_seed", [1, 2, 3, 4])
+    def test_path_stream(self, engine, stream_seed):
+        drive_stream(
+            PATH,
+            engine,
+            seed=0,
+            stream_seed=stream_seed,
+            pred="edge",
+            make_fact=_edge2,
+            initial=[("a", "b"), ("b", "c"), ("c", "d"), ("a", "c"), ("d", "a")],
+        )
+
+    def test_batched_ops_including_cross_terms(self):
+        # Multi-op batches force the non-simple counting/DRed paths
+        # (several changed facts in one rule instantiation).
+        drive_stream(
+            PATH,
+            "rql",
+            seed=0,
+            stream_seed=9,
+            pred="edge",
+            make_fact=_edge2,
+            initial=[("a", "b"), ("b", "c")],
+            steps=10,
+            batch_size=4,
+        )
+
+
+class TestChoiceCliques:
+    """Targeted invalidation of choice/stage cliques (Prim's MST)."""
+
+    # The choice engine rejects ``next`` goals outright, identically in
+    # the view and the oracle — covered by the plain-choice program in
+    # TestChoiceOnly below.
+    @pytest.mark.parametrize("engine", ["rql", "basic"])
+    @pytest.mark.parametrize("stream_seed", [5, 6, 7])
+    def test_prim_stream(self, engine, stream_seed):
+        view = MaterializedView(PRIM, engine=engine, seed=3)
+        edges = [("a", "b", 3), ("b", "c", 1), ("a", "c", 5), ("c", "d", 2)]
+        ops = [UpdateOp("+", "g", e) for e in edges]
+        ops += [UpdateOp("+", "g", (y, x, c)) for (x, y, c) in edges]
+        ops.append(UpdateOp("+", "source", ("a",)))
+        view.apply(UpdateBatch.of(ops, batch_id="init"))
+        assert_matches_oracle(view, "after the initial load")
+        rng = random.Random(stream_seed)
+        for step in range(12):
+            present = sorted(set(view.db.facts("g", 3)))
+            if present and rng.random() < 0.4:
+                op = UpdateOp("-", "g", rng.choice(present))
+            else:
+                op = UpdateOp("+", "g", _edge3(rng))
+            view.apply(UpdateBatch.of([op], batch_id=f"s{step}"))
+            assert_matches_oracle(view, f"at step {step} ({op})")
+
+    @pytest.mark.parametrize("engine", ["rql", "basic", "choice"])
+    @pytest.mark.parametrize("stream_seed", [51, 52])
+    def test_assignment_stream(self, engine, stream_seed):
+        """A pure choice clique (no stages) runs on the choice engine too."""
+        view = MaterializedView(
+            "a_st(St, Crs) <- takes(St, Crs), choice(Crs, St), choice(St, Crs).",
+            engine=engine,
+            seed=1,
+        )
+        rng = random.Random(stream_seed)
+        students = [f"s{i}" for i in range(5)]
+        courses = [f"c{j}" for j in range(3)]
+        view.apply(
+            UpdateBatch.of(
+                [
+                    UpdateOp("+", "takes", (s, c))
+                    for s in students
+                    for c in courses
+                    if rng.random() < 0.6
+                ],
+                batch_id="init",
+            )
+        )
+        assert_matches_oracle(view, "after the initial load")
+        for step in range(10):
+            present = sorted(set(view.db.facts("takes", 2)))
+            if present and rng.random() < 0.45:
+                op = UpdateOp("-", "takes", rng.choice(present))
+            else:
+                op = UpdateOp(
+                    "+", "takes", (rng.choice(students), rng.choice(courses))
+                )
+            view.apply(UpdateBatch.of([op], batch_id=f"s{step}"))
+            assert_matches_oracle(view, f"at step {step} ({op})")
+
+    @pytest.mark.parametrize("stream_seed", [11, 12])
+    def test_sorting_stream(self, stream_seed):
+        drive_stream(
+            SORTING,
+            "rql",
+            seed=0,
+            stream_seed=stream_seed,
+            pred="p",
+            make_fact=_item,
+            initial=[(f"i{k}", c) for k, c in enumerate([5, 3, 8, 1, 9, 2, 7])],
+        )
+
+    def test_untouched_clique_is_skipped(self):
+        view = MaterializedView(SORTING, engine="rql", seed=0)
+        view.apply(
+            UpdateBatch.of(
+                [UpdateOp("+", "p", ("a", 2)), UpdateOp("+", "p", ("b", 1))],
+                batch_id="init",
+            )
+        )
+        # An op that nets to nothing touches no unit at all.
+        result = view.apply(
+            UpdateBatch.of([UpdateOp("+", "p", ("a", 2))], batch_id="dup")
+        )
+        assert result.units_touched == 0
+        assert result.units_recomputed == 0
+        assert_matches_oracle(view)
+
+
+class TestExtrema:
+    """Premappable recursive extrema repaired via the runner-up ledger."""
+
+    @pytest.mark.parametrize("engine", ["rql", "basic", "choice"])
+    @pytest.mark.parametrize("stream_seed", [21, 22, 23])
+    def test_shortest_distance_stream(self, engine, stream_seed):
+        view = MaterializedView(DIST, engine=engine, seed=0)
+        edges = [("a", "b", 3), ("b", "c", 1), ("a", "c", 5), ("c", "d", 2), ("a", "d", 9)]
+        view.apply(
+            UpdateBatch.of(
+                [UpdateOp("+", "g", e) for e in edges]
+                + [UpdateOp("+", "source", ("a",))],
+                batch_id="init",
+            )
+        )
+        assert_matches_oracle(view, "after the initial load")
+        rng = random.Random(stream_seed)
+        for step in range(16):
+            present = sorted(set(view.db.facts("g", 3)))
+            if present and rng.random() < 0.45:
+                op = UpdateOp("-", "g", rng.choice(present))
+            else:
+                op = UpdateOp("+", "g", _edge3(rng))
+            view.apply(UpdateBatch.of([op], batch_id=f"s{step}"))
+            assert_matches_oracle(view, f"at step {step} ({op})")
+
+    def test_deleted_best_repairs_from_runner_up(self):
+        view = MaterializedView(DIST, engine="rql", seed=0)
+        view.apply(
+            UpdateBatch.of(
+                [
+                    UpdateOp("+", "source", ("a",)),
+                    UpdateOp("+", "g", ("a", "b", 2)),
+                    UpdateOp("+", "g", ("a", "b", 7)),
+                ],
+                batch_id="init",
+            )
+        )
+        assert set(view.db.facts("dist", 2)) == {("a", 0), ("b", 2)}
+        # Killing the best leaves the runner-up derivation; the repair
+        # promotes it without a from-scratch recompute.
+        result = view.apply(
+            UpdateBatch.of([UpdateOp("-", "g", ("a", "b", 2))], batch_id="kill")
+        )
+        assert set(view.db.facts("dist", 2)) == {("a", 0), ("b", 7)}
+        assert result.units_recomputed == 0
+        assert_matches_oracle(view)
+
+    @pytest.mark.parametrize("engine", ["rql", "basic"])
+    @pytest.mark.parametrize("stream_seed", [31, 32])
+    def test_nonrecursive_extrema_stream(self, engine, stream_seed):
+        drive_stream(
+            BEST_OFFER,
+            engine,
+            seed=0,
+            stream_seed=stream_seed,
+            pred="offer",
+            make_fact=_offer,
+            initial=[("x", 5), ("x", 9), ("y", 200)],
+        )
+
+
+class TestNegation:
+    """A changed input under negation forces the sound full-recompute."""
+
+    @pytest.mark.parametrize("engine", ["rql", "naive", "seminaive"])
+    @pytest.mark.parametrize("stream_seed", [41, 42])
+    def test_unreachable_stream(self, engine, stream_seed):
+        view = MaterializedView(UNREACHABLE, engine=engine, seed=0)
+        view.apply(
+            UpdateBatch.of(
+                [UpdateOp("+", "node", (n,)) for n in NODES]
+                + [UpdateOp("+", "source", ("a",)), UpdateOp("+", "edge", ("a", "b"))],
+                batch_id="init",
+            )
+        )
+        assert_matches_oracle(view, "after the initial load")
+        rng = random.Random(stream_seed)
+        for step in range(12):
+            present = sorted(set(view.db.facts("edge", 2)))
+            if present and rng.random() < 0.45:
+                op = UpdateOp("-", "edge", rng.choice(present))
+            else:
+                op = UpdateOp("+", "edge", _edge2(rng))
+            view.apply(UpdateBatch.of([op], batch_id=f"s{step}"))
+            assert_matches_oracle(view, f"at step {step} ({op})")
+
+
+class TestValidation:
+    """Bad batches are rejected before any mutation."""
+
+    def test_idb_update_rejected(self):
+        view = MaterializedView(PATH, engine="rql", seed=0)
+        view.apply(UpdateBatch.of([UpdateOp("+", "edge", ("a", "b"))], batch_id="i"))
+        before = view.db.as_dict()
+        with pytest.raises(UpdateError, match="derived"):
+            view.apply(
+                UpdateBatch.of([UpdateOp("+", "path", ("a", "z"))], batch_id="bad")
+            )
+        assert view.db.as_dict() == before
+
+    def test_arity_mismatch_rejected(self):
+        view = MaterializedView(PATH, engine="rql", seed=0)
+        with pytest.raises(UpdateError, match="arity"):
+            view.apply(
+                UpdateBatch.of([UpdateOp("+", "edge", ("a", "b", "c"))], batch_id="bad")
+            )
+
+    def test_program_text_facts_are_permanent(self):
+        view = MaterializedView(
+            "e(a, b). p(X, Y) :- e(X, Y).", engine="rql", seed=0
+        )
+        with pytest.raises(UpdateError, match="program text"):
+            view.apply(UpdateBatch.of([UpdateOp("-", "e", ("a", "b"))], batch_id="bad"))
+
+    def test_rejected_batch_is_atomic(self):
+        view = MaterializedView(PATH, engine="rql", seed=0)
+        view.apply(UpdateBatch.of([UpdateOp("+", "edge", ("a", "b"))], batch_id="i"))
+        before = view.db.as_dict()
+        # The first op alone would be fine; the second poisons the batch.
+        with pytest.raises(UpdateError):
+            view.apply(
+                UpdateBatch.of(
+                    [
+                        UpdateOp("+", "edge", ("b", "c")),
+                        UpdateOp("+", "path", ("x", "y")),
+                    ],
+                    batch_id="bad",
+                )
+            )
+        assert view.db.as_dict() == before
+
+
+class TestMetrics:
+    def test_apply_populates_the_incremental_registry(self):
+        view = MaterializedView(PATH, engine="rql", seed=0)
+        view.apply(UpdateBatch.of([UpdateOp("+", "edge", ("a", "b"))], batch_id="i"))
+        view.apply(UpdateBatch.of([UpdateOp("-", "edge", ("a", "b"))], batch_id="d"))
+        registry = view.tracer.registry
+        assert registry.counter("incremental/batches") == 2
+        series = registry.snapshot().get("series", {})
+        assert series.get("incremental/apply_seconds", {}).get("count") == 2

@@ -1,0 +1,92 @@
+"""Hook-slot lifecycle for the fault injectors.
+
+The process has one set of class/module-level hook slots
+(:func:`repro.robust.faults._hook_targets`); every installer must leave
+them exactly as it found them or unrelated tests inherit live fault
+plans.  ``tests/conftest.py`` enforces the no-leak invariant after every
+test — these tests pin down the installer semantics themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.robust import faults
+from repro.robust.faults import (
+    INCREMENTAL_SITES,
+    SITES,
+    FaultInjectionError,
+    FaultInjector,
+    FaultPlan,
+    inject,
+    installed,
+)
+
+
+def _slots():
+    return [getattr(holder, attr) for holder, attr in faults._hook_targets()]
+
+
+class TestInstalledContextManager:
+    def test_patches_every_slot_and_restores_on_exit(self):
+        injector = FaultInjector()
+        assert all(slot is None for slot in _slots())
+        with installed(injector) as active:
+            assert active is injector
+            assert all(slot is injector for slot in _slots())
+        assert all(slot is None for slot in _slots())
+
+    def test_restores_even_when_the_block_raises(self):
+        injector = FaultInjector()
+        with pytest.raises(RuntimeError):
+            with installed(injector):
+                raise RuntimeError("boom")
+        assert all(slot is None for slot in _slots())
+
+    def test_none_is_a_passthrough(self):
+        with installed(None) as active:
+            assert active is None
+            assert all(slot is None for slot in _slots())
+
+    def test_restores_previous_values_not_none(self):
+        outer = FaultInjector()
+        inner = FaultInjector()
+        with installed(outer):
+            with installed(inner):
+                assert all(slot is inner for slot in _slots())
+            assert all(slot is outer for slot in _slots())
+        assert all(slot is None for slot in _slots())
+
+
+class TestInjectExclusivity:
+    def test_nested_inject_is_rejected(self):
+        with inject(FaultInjector()):
+            with pytest.raises(FaultInjectionError):
+                with inject(FaultInjector()):
+                    pass  # pragma: no cover
+        assert all(slot is None for slot in _slots())
+
+    def test_inject_restores_after_an_exception(self):
+        with pytest.raises(ValueError):
+            with inject(FaultInjector()):
+                raise ValueError("boom")
+        assert all(slot is None for slot in _slots())
+
+
+class TestSiteVocabulary:
+    def test_incremental_sites_are_plan_valid(self):
+        for site in INCREMENTAL_SITES:
+            FaultPlan(site=site, mode="error")  # must not raise
+
+    def test_incremental_sites_are_not_crash_sites(self):
+        # The crash countdown sweeps CRASH_SITES only; the incremental
+        # hooks are a separate vocabulary.
+        assert not set(INCREMENTAL_SITES) & set(faults.CRASH_SITES)
+
+    def test_unknown_site_is_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(site="no.such.site", mode="error")
+
+    def test_sites_listing_is_the_plan_universe(self):
+        for site in SITES:
+            FaultPlan(site=site, mode="error")

@@ -140,6 +140,34 @@ class TestWireCodec:
         assert "boom" in str(decoded)
 
 
+class TestInjectableClock:
+    """The worker's latency stamps come from the module-level ``_now``
+    hook, so tests can pin shard-side timings instead of sleeping."""
+
+    def test_rejection_latency_uses_the_injected_clock(self, monkeypatch):
+        from repro.serve import shard
+
+        ticks = iter([10.0, 10.25])
+        monkeypatch.setattr(shard, "_now", lambda: next(ticks))
+        started = shard._now()
+        wire = shard._rejection_response(
+            Overloaded("queue full", retry_after=1.5), started
+        )
+        assert wire["status"] == SHED
+        assert wire["latency_s"] == pytest.approx(0.25)
+        assert wire["queue_s"] == 0.0
+
+    def test_non_rejection_errors_stamp_failed(self, monkeypatch):
+        from repro.serve import shard
+
+        monkeypatch.setattr(shard, "_now", lambda: 5.0)
+        wire = shard._rejection_response(BudgetExceeded("deadline"), 4.0)
+        assert wire["status"] == FAILED
+        assert wire["latency_s"] == pytest.approx(1.0)
+        decoded = _decode_error(wire["error"])
+        assert isinstance(decoded, BudgetExceeded)
+
+
 class TestShardConfig:
     def test_defaults_are_frozen(self):
         config = ShardConfig()

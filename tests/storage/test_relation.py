@@ -187,3 +187,55 @@ class TestFullScanSnapshot:
         assert rel.first((), ()) is None
         rel.add((0,))
         assert rel.first((), ()) == (0,)
+
+
+class TestSupportCounts:
+    """Derivation-support bookkeeping used by counting maintenance."""
+
+    def test_add_support_inserts_on_first_derivation(self):
+        rel = Relation("p", 1)
+        assert rel.add_support(("x",)) is True
+        assert rel.add_support(("x",), 2) is False
+        assert rel.support(("x",)) == 3
+        assert ("x",) in rel
+
+    def test_drop_support_removes_at_zero(self):
+        rel = Relation("p", 1)
+        rel.add_support(("x",), 2)
+        assert rel.drop_support(("x",)) is False
+        assert rel.drop_support(("x",)) is True
+        assert ("x",) not in rel
+        assert rel.support(("x",)) == 0
+
+    def test_drop_support_clamps_over_deletion(self):
+        rel = Relation("p", 1)
+        rel.add_support(("x",))
+        assert rel.drop_support(("x",), 10) is True
+        assert ("x",) not in rel
+
+    def test_set_support_forces_an_exact_count(self):
+        rel = Relation("p", 1)
+        rel.set_support(("x",), 3)
+        assert ("x",) in rel
+        assert rel.support(("x",)) == 3
+        rel.set_support(("x",), 1)
+        assert rel.support(("x",)) == 1
+
+    def test_set_support_nonpositive_removes_the_fact(self):
+        rel = Relation("p", 1)
+        rel.set_support(("x",), 2)
+        rel.set_support(("x",), 0)
+        assert ("x",) not in rel
+        assert rel.support(("x",)) == 0
+        # Removing an absent fact is a no-op, not an error.
+        rel.set_support(("y",), -1)
+        assert ("y",) not in rel
+
+    def test_plain_discard_clears_the_count(self):
+        rel = Relation("p", 1)
+        rel.add_support(("x",), 4)
+        rel.discard(("x",))
+        assert rel.support(("x",)) == 0
+        # Re-adding starts a fresh count, not a resurrected one.
+        assert rel.add_support(("x",)) is True
+        assert rel.support(("x",)) == 1
