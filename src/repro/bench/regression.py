@@ -91,6 +91,16 @@ SHARDED_SCALING_SHARDS = 4
 #: measured (and only gated) on machines with enough cores to express
 #: the parallelism — a 1-core container records the sweep as skipped.
 SHARDED_SCALING_FLOOR = 1.5
+#: Batch size and shard count for the replication-overhead sweep.
+REPLICATION_REQUESTS = 32
+REPLICATION_SHARDS = 2
+#: CI gate: running every shard as a primary + warm hot standby (WAL
+#: shipping over the pipe, replay in the standby process) must cost
+#: < 10% over the same durable sharded service with ``replicas=0``.
+#: Shipping happens post-fsync off the response path, so the tax is the
+#: pipe relay plus the standby processes competing for cores — hence the
+#: sweep needs enough cores to park the standbys on (skipped otherwise).
+REPLICATION_OVERHEAD_CEILING = 1.10
 
 #: Wide multi-join rules (4-6 goals per body) over skewed relation sizes.
 #: The written body order leads every rule with a big relation and leaves
@@ -615,6 +625,82 @@ def _sharded_scaling_rows(
     }
 
 
+def _replication_overhead_rows(
+    requests: int = REPLICATION_REQUESTS,
+    shards: int = REPLICATION_SHARDS,
+    repeats: int = 3,
+) -> Any:
+    """Wall time for one *requests*-sized batch through a durable
+    sharded service with ``replicas=0`` vs ``replicas=1``; returns
+    ``None`` on machines without a core per worker process (2 primaries
+    + 2 standbys), where the sweep would measure scheduling pressure
+    rather than the shipping tax.
+
+    The replicated run is timed only after every standby reports warm,
+    so the batch pays steady-state shipping — not one-off anti-entropy.
+    """
+    import os as _os
+    import tempfile
+    import time
+
+    if (_os.cpu_count() or 1) < 2 * shards:
+        return None
+
+    from repro.serve import QueryRequest, ShardedQueryService
+
+    payload = random_costed_relation(24, seed=0)
+
+    def batch_seconds(replicas: int) -> float:
+        with tempfile.TemporaryDirectory(prefix="bench-repl-") as root:
+            service = ShardedQueryService(
+                shards=shards,
+                replicas=replicas,
+                durable_dir=root,
+                queue_capacity=requests + 8,
+                heartbeat_interval=0.05,
+            )
+            try:
+                if replicas:
+                    deadline = time.monotonic() + 120
+                    while time.monotonic() < deadline:
+                        if all(
+                            s["standby_state"] == "warm"
+                            for s in service.stats()["shards"].values()
+                        ):
+                            break
+                        time.sleep(0.02)
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    tickets = [
+                        service.submit(
+                            QueryRequest(
+                                texts.SORTING,
+                                {"p": payload},
+                                seed=i % 8,
+                                klass=f"bench-{i % (4 * shards)}",
+                            )
+                        )
+                        for i in range(requests)
+                    ]
+                    for ticket in tickets:
+                        ticket.response(timeout=300)
+                    best = min(best, time.perf_counter() - start)
+                return best
+            finally:
+                service.close()
+
+    plain_s = batch_seconds(0)
+    replicated_s = batch_seconds(1)
+    return {
+        "requests": requests,
+        "shards": shards,
+        "plain_s": round(plain_s, 6),
+        "replicated_s": round(replicated_s, 6),
+        "overhead": round(replicated_s / max(plain_s, 1e-9), 3),
+    }
+
+
 def run_regression(
     tc_sizes: Sequence[int] = TC_SIZES,
     sort_sizes: Sequence[int] = SORT_SIZES,
@@ -637,6 +723,7 @@ def run_regression(
     extrema_rows = _extrema_rows(EXTREMA_SIZES, repeats=max(repeats, 5))
     incremental_rows = _incremental_rows(INCREMENTAL_SIZES, repeats=repeats)
     scaling = _sharded_scaling_rows(repeats=repeats)
+    replication = _replication_overhead_rows(repeats=repeats)
     return {
         "meta": {
             "python": platform.python_version(),
@@ -787,6 +874,19 @@ def run_regression(
                     else {"skipped": "not enough cores for the shard count"}
                 ),
             },
+            "replication_overhead": {
+                "description": "the same durable sharded batch with "
+                "replicas=0 vs replicas=1 (every shard a primary + warm "
+                "hot standby; WAL records shipped post-fsync over the "
+                "pipe and replayed by the standby process); overhead = "
+                "replicated_s / plain_s.  Recorded as skipped (and not "
+                "gated) on machines without a core per worker process",
+                **(
+                    replication
+                    if replication is not None
+                    else {"skipped": "not enough cores for primary+standby pairs"}
+                ),
+            },
         },
     }
 
@@ -891,6 +991,17 @@ def check_against_baseline(
                 f"{scaling_block['shards']} worker processes serve the "
                 f"batch only {speedup:.3f}x faster than one "
                 f"(floor {SHARDED_SCALING_FLOOR:.2f}x)"
+            )
+    # Same double `.get` guard as sharded_scaling: old baselines lack
+    # the block, core-starved machines record it skipped.
+    repl_block = report["sweeps"].get("replication_overhead")
+    if repl_block is not None and "overhead" in repl_block:
+        overhead = repl_block["overhead"]
+        if overhead > REPLICATION_OVERHEAD_CEILING:
+            failures.append(
+                "replication overhead regressed: hot standbys cost "
+                f"{overhead:.3f}x the unreplicated durable batch "
+                f"(ceiling {REPLICATION_OVERHEAD_CEILING:.2f}x)"
             )
     return failures
 
@@ -1018,6 +1129,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         else:
             print(f"sharded scaling: skipped ({scaling['skipped']})")
+        replication = report["sweeps"]["replication_overhead"]
+        if "overhead" in replication:
+            print(
+                f"replication overhead: plain {replication['plain_s']:.4f}s  "
+                f"replicated {replication['replicated_s']:.4f}s  "
+                f"overhead {replication['overhead']:.2f}x"
+            )
+        else:
+            print(f"replication overhead: skipped ({replication['skipped']})")
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}")
@@ -1025,7 +1145,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             "OK: plan-cache speedup, governor overhead, service overhead, "
             "durable overhead, join-order speedup, extrema speedup, "
-            "incremental speedup and sharded scaling within tolerance"
+            "incremental speedup, sharded scaling and replication "
+            "overhead within tolerance"
         )
         return 0
     out.write_text(json.dumps(report, indent=2) + "\n")

@@ -13,6 +13,9 @@ The package splits into four small layers:
 * :mod:`repro.durable.policy` — :class:`DurabilityPolicy` (cadence) and
   :class:`DurableWriter` (the governor-tick hook that captures and
   appends checkpoints).
+* :mod:`repro.durable.replication` — shard replication mechanism:
+  segment manifests and verified fetches (anti-entropy), the standby's
+  :class:`ReplicaWal`, and the promotion fence file.
 """
 
 from repro.durable.policy import (
@@ -22,6 +25,15 @@ from repro.durable.policy import (
     DurableWriter,
 )
 from repro.durable.recovery import PendingRun, RecoveredState, RecoveryManager
+from repro.durable.replication import (
+    ReplicaWal,
+    SyncPlan,
+    build_manifest,
+    fence_path,
+    read_fence_token,
+    read_segment,
+    write_fence_token,
+)
 from repro.durable.store import FSYNC_POLICIES, CheckpointStore
 from repro.durable.wal import SegmentScan, scan_segment
 
@@ -32,6 +44,13 @@ __all__ = [
     "RecoveryManager",
     "RecoveredState",
     "PendingRun",
+    "ReplicaWal",
+    "SyncPlan",
+    "build_manifest",
+    "fence_path",
+    "read_fence_token",
+    "read_segment",
+    "write_fence_token",
     "SegmentScan",
     "scan_segment",
     "FSYNC_POLICIES",

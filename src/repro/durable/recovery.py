@@ -142,6 +142,8 @@ class RecoveredState:
         unknown_records: records whose ``kind`` this build ignores.
         updates: materialized-view logs by view id (``update`` records;
             see :class:`ViewLog`).
+        fence_token: the largest promotion fencing token stamped into
+            the log (``fence`` records), ``0`` when never promoted.
     """
 
     pending: Dict[str, PendingRun] = field(default_factory=dict)
@@ -153,6 +155,7 @@ class RecoveredState:
     bytes_scanned: int = 0
     torn_tail: Optional[Tuple[str, int, str]] = None
     unknown_records: int = 0
+    fence_token: int = 0
 
 
 class RecoveryManager:
@@ -235,6 +238,15 @@ class RecoveryManager:
             state.pending.pop(rid, None)
             state.updates.pop(rid, None)
             state.done.add(rid)
+        elif kind == "fence":
+            # A promotion stamp.  Tokens are monotonic; the largest one
+            # wins regardless of where in the log it appears (compaction
+            # rewrites it into the fresh segment).
+            token = (record.get("data") or {}).get("token")
+            if isinstance(token, int):
+                state.fence_token = max(state.fence_token, token)
+            else:
+                state.unknown_records += 1
         else:
             state.unknown_records += 1
 

@@ -15,7 +15,11 @@ framed by :mod:`repro.durable.wal`:
 * ``update`` — one materialized-view journal entry (a ``base`` snapshot
   of program + EDB, or a mutation ``batch``), folded into a per-view
   :class:`~repro.durable.recovery.ViewLog`; update records never enter
-  the pending-run set, so request recovery is unaffected by live views.
+  the pending-run set, so request recovery is unaffected by live views;
+* ``fence`` — a replica-promotion stamp (:meth:`write_fence`): the
+  monotonic fencing token the shard is now serving under.  Compaction
+  rewrites the newest token into the fresh segment so it survives
+  forever; recovery folds it into ``recovered.fence_token``.
 
 Durability discipline:
 
@@ -45,7 +49,7 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.durable.recovery import PendingRun, RecoveredState, RecoveryManager, ViewLog
 from repro.durable.wal import (
@@ -123,6 +127,15 @@ class CheckpointStore:
             rid: log.copy() for rid, log in self.recovered.updates.items()
         }
         self._done = set(self.recovered.done)
+        self._fence_token = self.recovered.fence_token
+        #: Replication ship hooks (:mod:`repro.durable.replication`).
+        #: ``on_append(segment_index, record_bytes)`` fires under the
+        #: store lock after each append (post-fsync under ``"always"``);
+        #: ``on_compact(segment_index, segment_bytes)`` fires after a
+        #: compaction lands, with the full compacted segment.  Hooks must
+        #: not block: ship them into a queue, not down a pipe.
+        self.on_append: Optional[Callable[[int, bytes], None]] = None
+        self.on_compact: Optional[Callable[[int, bytes], None]] = None
         self._segment_index = self.recovered.next_segment_index
         self._handle: Any = None
         self._segment_size = 0
@@ -266,6 +279,31 @@ class CheckpointStore:
                 fsync_handle(self._handle)
                 self.metrics.inc("durable/fsyncs")
 
+    @property
+    def fence_token(self) -> int:
+        """The newest promotion fencing token stamped into this log
+        (``0`` when the shard was never promoted)."""
+        with self._lock:
+            return self._fence_token
+
+    def write_fence(self, token: int) -> None:
+        """Stamp fencing *token* into the log as a ``fence`` record and
+        force it to disk, whatever the fsync policy — a promotion is not
+        done until its token is durable.  Tokens are monotonic: a token
+        no newer than the one already stamped is a supervisor bug.
+        """
+        with self._lock:
+            if token <= self._fence_token:
+                raise ValueError(
+                    f"fence token {token} is not newer than the stamped "
+                    f"token {self._fence_token} in {self.root}"
+                )
+            self._append({"kind": "fence", "rid": "shard", "data": {"token": token}})
+            if self.fsync != "always" and self._handle is not None:
+                fsync_handle(self._handle)
+                self.metrics.inc("durable/fsyncs")
+            self._fence_token = token
+
     # -- the read side ----------------------------------------------------------
 
     def pending(self) -> Dict[str, PendingRun]:
@@ -352,6 +390,19 @@ class CheckpointStore:
         tmp = final + ".tmp"
         written = 0
         with open(tmp, "wb") as handle:
+            # The fencing token outlives every run: losing it in a
+            # compaction would let a zombie ex-primary publish again.
+            if self._fence_token:
+                written += append_record(
+                    handle,
+                    _encode(
+                        {
+                            "kind": "fence",
+                            "rid": "shard",
+                            "data": {"token": self._fence_token},
+                        }
+                    ),
+                )
             for rid in sorted(self._pending):
                 run = self._pending[rid]
                 if run.request is not None:
@@ -389,6 +440,9 @@ class CheckpointStore:
         for path in old_paths:
             os.unlink(path)
         fsync_dir(self.root)
+        if self.on_compact is not None:
+            with open(final, "rb") as compacted:
+                self.on_compact(index, compacted.read())
         # ``done`` markers for compacted-away runs are gone with the old
         # segments; the ids are gone too, so nothing resurrects.
         self._done.clear()
@@ -426,7 +480,18 @@ class CheckpointStore:
                 self._handle.close()
                 self._handle = None
             if self._lock_handle is not None:
-                self._lock_handle.close()  # closing the fd drops the flock
+                # Release explicitly, then close.  Closing the fd drops
+                # the flock too on every platform we run on, but the
+                # explicit unlock makes the handoff deterministic: the
+                # moment close() returns, a promotion or supervised
+                # restart in this same process can re-acquire the shard.
+                import fcntl
+
+                try:
+                    fcntl.flock(self._lock_handle.fileno(), fcntl.LOCK_UN)
+                except OSError:
+                    pass
+                self._lock_handle.close()
                 self._lock_handle = None
 
     def __enter__(self) -> "CheckpointStore":
@@ -450,13 +515,18 @@ class CheckpointStore:
     def _append(self, record: Dict[str, Any]) -> None:
         if self._closed:
             raise ValueError(f"checkpoint store {self.root} is closed")
-        written = append_record(self._handle, _encode(record))
+        payload = _encode(record)
+        written = append_record(self._handle, payload)
         self._segment_size += written
         self.metrics.inc("durable/records")
         self.metrics.inc("durable/bytes_written", written)
         if self.fsync == "always":
             fsync_handle(self._handle)
             self.metrics.inc("durable/fsyncs")
+        if self.on_append is not None:
+            # Ship after the fsync: under "always" the standby can never
+            # hold a record the primary's disk does not.
+            self.on_append(self._segment_index, payload)
         if self._segment_size >= self.segment_bytes:
             self._rotate()
 

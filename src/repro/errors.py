@@ -23,6 +23,7 @@ __all__ = [
     "WalCorruptionError",
     "RecoveryError",
     "StoreLocked",
+    "StoreFenced",
     "UpdateError",
 ]
 
@@ -132,6 +133,27 @@ class StoreLocked(DurabilityError):
     appending to one log interleave frames and corrupt it; the sharded
     service gives each worker process sole ownership of its shard
     directory, and this error is the enforcement."""
+
+
+class StoreFenced(DurabilityError):
+    """Raised when a worker discovers its shard has been promoted away
+    from under it: the shard's fence token on disk is newer than the one
+    this worker was spawned with.  A promotion stamps a monotonic fencing
+    token (as a ``fence`` WAL record in the promoted replica's log and in
+    the shard's fence file), so a zombie ex-primary that wakes up after a
+    hang sees the newer token and refuses to publish anything — neither
+    responses nor further WAL appends — instead of split-braining the
+    shard.
+
+    Attributes:
+        token: the newer fence token found on disk.
+        held: the stale token the fenced worker was serving under.
+    """
+
+    def __init__(self, message: str, token: int = 0, held: int = 0):
+        super().__init__(message)
+        self.token = token
+        self.held = held
 
 
 class UpdateError(ReproError):

@@ -62,6 +62,7 @@ __all__ = [
     "SITES",
     "CRASH_SITES",
     "SHARD_SITES",
+    "REPL_SITES",
     "INCREMENTAL_SITES",
     "MODES",
     "PROCESS_MODES",
@@ -83,6 +84,20 @@ CRASH_SITES = (
 SHARD_SITES = (
     "shard.loop",
     "shard.ack",
+)
+
+#: The replication sites (visited inside primary/standby shard worker
+#: processes, :mod:`repro.serve.shard`): ``repl.ship`` right before the
+#: primary hands a durable record to the ship queue (an ``exit`` plan
+#: there is die-after-fsync-before-ship — the promoted standby must
+#: re-execute the unshipped tail), ``repl.ack`` right before the standby
+#: applies one shipped record to its :class:`~repro.durable.replication.ReplicaWal`,
+#: ``repl.promote`` at the top of a standby's promotion (before it
+#: stamps the fence token or opens the store for writing).
+REPL_SITES = (
+    "repl.ship",
+    "repl.ack",
+    "repl.promote",
 )
 
 #: The incremental-maintenance repair sites (visited by
@@ -190,10 +205,10 @@ class FaultPlan:
     repeat: bool = False
 
     def __post_init__(self) -> None:
-        if self.site not in SITES + SHARD_SITES + INCREMENTAL_SITES:
+        if self.site not in SITES + SHARD_SITES + REPL_SITES + INCREMENTAL_SITES:
             raise ValueError(
                 f"unknown fault site {self.site!r}; expected one of "
-                f"{SITES + SHARD_SITES + INCREMENTAL_SITES}"
+                f"{SITES + SHARD_SITES + REPL_SITES + INCREMENTAL_SITES}"
             )
         if self.mode not in MODES + PROCESS_MODES:
             raise ValueError(

@@ -71,6 +71,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --shards and --durable-dir: run N hot standbys per "
+            "shard (only N=1 is supported); the supervisor promotes a "
+            "warm standby under a fencing token instead of parking a "
+            "crash-looping shard as failed (default: 0 = unreplicated)"
+        ),
+    )
+    parser.add_argument(
         "--queue-capacity",
         type=int,
         default=64,
@@ -226,6 +238,13 @@ def serve_main(argv: Sequence[str] | None = None, out=None) -> int:
     if args.shards > 0:
         from repro.serve.supervisor import ShardedQueryService
 
+        if args.replicas and not args.durable_dir:
+            print(
+                "error: --replicas requires --durable-dir (the standby "
+                "replays the primary's shipped WAL)",
+                file=sys.stderr,
+            )
+            return 1
         # Shard workers own (and recover) their private WAL directories
         # under --durable-dir themselves.
         service: Any = ShardedQueryService(
@@ -234,8 +253,16 @@ def serve_main(argv: Sequence[str] | None = None, out=None) -> int:
             queue_capacity=args.queue_capacity,
             seed=args.seed,
             durable_dir=args.durable_dir or None,
+            replicas=args.replicas,
         )
     else:
+        if args.replicas:
+            print(
+                "error: --replicas requires --shards (replication pairs "
+                "shard worker processes)",
+                file=sys.stderr,
+            )
+            return 1
         if args.durable_dir:
             from repro.durable import CheckpointStore
 

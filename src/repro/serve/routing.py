@@ -22,7 +22,26 @@ from __future__ import annotations
 import hashlib
 from typing import List
 
-__all__ = ["route", "failover_order"]
+__all__ = ["route", "failover_order", "wal_slot", "WAL_SLOTS"]
+
+#: The replica slot suffixes of one logical shard: the ``"a"`` slot is
+#: the bare ``shard-<k>`` directory (PR 8's layout, so an unreplicated
+#: deployment upgrades in place), the ``"b"`` slot is ``shard-<k>-b``.
+#: Which slot holds the *primary* changes over time — every promotion
+#: swaps the roles — but the pair is fixed, so recovery and the rid
+#: counter always know where to look.
+WAL_SLOTS = ("a", "b")
+
+
+def wal_slot(shard_id: int, slot: str) -> str:
+    """The WAL directory name of replica *slot* of logical shard
+    *shard_id*: ``shard-<k>`` for slot ``"a"``, ``shard-<k>-b`` for slot
+    ``"b"``.  A pure function, like :func:`route`, so every process
+    derives the same layout."""
+    if slot not in WAL_SLOTS:
+        raise ValueError(f"unknown WAL slot {slot!r}; expected one of {WAL_SLOTS}")
+    base = f"shard-{shard_id}"
+    return base if slot == "a" else f"{base}-b"
 
 
 def route(klass: str, shards: int) -> int:

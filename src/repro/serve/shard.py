@@ -19,6 +19,11 @@ Parent → child::
     ("cancel", rid)            cooperative cancellation
     ("ping", seq)              heartbeat probe
     ("close",)                 drain and exit cleanly
+    ("manifest",)              primary: build the WAL segment manifest
+    ("fetch", index, length)   primary: read a pinned segment prefix
+    ("ship", seq, index, payload)      standby: apply one live record
+    ("ship-compact", seq, index, data) standby: mirror a compaction
+    ("promote", token)         standby: become the primary under *token*
 
 Child → parent::
 
@@ -29,9 +34,25 @@ Child → parent::
                                any in-flight rid *not* in this list,
                                because a request that died in the pipe
                                was never journalled anywhere
-    ("pong", seq, depth, inflight)
+    ("pong", seq, depth, inflight)     (standby: seq, applied_seq, state)
     ("response", rid, payload) terminal outcome for rid
     ("bye",)                   clean-close acknowledgement
+    ("sync-request",)          standby: start anti-entropy (wants the
+                               primary's manifest)
+    ("manifest", entries)      primary: the segment manifest
+    ("segment", index, data)   primary: one pinned segment prefix
+    ("ship", ...), ("ship-compact", ...)   primary: the live ship stream
+                               (relayed by the supervisor to the standby)
+    ("standby-state", state, diverged)     standby went warm; *diverged*
+                               reports whether local bytes had to be
+                               discarded (surfaced as ``repl-diverged``)
+    ("fenced", token, held)    the worker found a newer fence token on
+                               disk and is refusing to publish
+
+Either direction may wrap consecutive messages as ``("batch", [msgs])``
+— one pipe write (one syscall, one pickle) per poll-loop pass instead of
+one per message; both ends unwrap transparently.  ``ShardConfig.pipe_batch``
+turns it off for A/B measurement.
 
 Zero-loss argument, end to end: the front door keeps every submitted
 ``(rid, payload)`` until the owning shard's ``response`` arrives.  Inside
@@ -60,7 +81,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreFenced
 from repro.robust import faults
 from repro.robust.faults import FaultInjector, FaultPlan, install
 from repro.serve.errors import (
@@ -104,6 +125,23 @@ class ShardConfig:
             child at startup (chaos tests; empty in production).
         crash_after: shared crash-point countdown, as in
             :func:`repro.robust.faults.inject`.
+        role: ``"primary"`` serves requests; ``"standby"`` replays the
+            primary's shipped WAL and serves nothing until promoted.
+        wal_name: the WAL slot directory name under ``durable_root``
+            (:func:`repro.serve.routing.wal_slot`); ``None`` keeps PR 8's
+            ``shard-<k>`` default.
+        replicate: primary only — install the ship hooks and stream
+            every durable record up the pipe for relay to the standby.
+        fence_token: the fencing token this worker serves under (``0``
+            when the shard was never promoted); a promoted standby gets
+            the new token here and stamps it durably before serving.
+        fence_file: the shard's fence-file path
+            (:func:`repro.durable.replication.fence_path`); a worker that
+            finds a *newer* token there refuses to publish and reports
+            ``("fenced", ...)`` instead — the zombie half of fencing.
+        pipe_batch: coalesce pipe messages into per-pass batches (on by
+            default; the throughput micro-bench flips it for its
+            control run).
     """
 
     workers: int = 1
@@ -115,6 +153,12 @@ class ShardConfig:
     default_budget_wall_clock: Optional[float] = None
     fault_plans: Tuple[FaultPlan, ...] = ()
     crash_after: Optional[int] = None
+    role: str = "primary"
+    wal_name: Optional[str] = None
+    replicate: bool = False
+    fence_token: int = 0
+    fence_file: Optional[str] = None
+    pipe_batch: bool = True
 
 
 # -- the wire codec -------------------------------------------------------------
@@ -262,25 +306,141 @@ def _visit(site: str) -> None:
         hook(site)
 
 
+class _Outgoing:
+    """The worker's per-pass send buffer: messages accumulate during one
+    poll-loop pass and leave as a single ``("batch", [...])`` pipe write
+    (or individually, with batching off / a single message)."""
+
+    def __init__(self, conn: Any, batch: bool):
+        self.conn = conn
+        self.batch = batch
+        self.buffer: List[Tuple[Any, ...]] = []
+
+    def send(self, message: Tuple[Any, ...]) -> None:
+        self.buffer.append(message)
+
+    def flush(self) -> None:
+        if not self.buffer:
+            return
+        if self.batch and len(self.buffer) > 1:
+            self.conn.send(("batch", self.buffer))
+            self.buffer = []
+        else:
+            for message in self.buffer:
+                self.conn.send(message)
+            self.buffer = []
+
+
+def _drain_inbox(conn: Any, timeout: float) -> List[Tuple[Any, ...]]:
+    """Every message waiting on *conn* (waiting up to *timeout* for the
+    first), with ``("batch", ...)`` envelopes unwrapped."""
+    messages: List[Tuple[Any, ...]] = []
+    while conn.poll(timeout if not messages else 0.0):
+        message = conn.recv()
+        if message and message[0] == "batch":
+            messages.extend(message[1])
+        else:
+            messages.append(message)
+    return messages
+
+
 def shard_worker_main(shard_id: int, conn: Any, config: ShardConfig) -> None:
     """The child process entry point: run one shard until told to close
-    (or until the parent disappears, or an injected fault kills us)."""
+    (or until the parent disappears, or an injected fault kills us).
+
+    A ``"standby"`` worker replays the ship stream until promoted; on
+    promotion it reopens its replica log as the real store and falls into
+    the primary loop — same process, same pipe, new role.
+    """
     if config.fault_plans or config.crash_after is not None:
         injector = FaultInjector(list(config.fault_plans))
         injector.crash_after = config.crash_after
         install(injector)
+    try:
+        if config.role == "standby":
+            token = _standby_main(shard_id, conn, config)
+            if token is None:
+                return
+            import dataclasses
 
+            config = dataclasses.replace(
+                config, role="primary", fence_token=token
+            )
+        _primary_main(shard_id, conn, config)
+    except StoreFenced:
+        # Promoted away from under us: the ``("fenced", ...)`` report has
+        # already crossed the pipe, and the typed error is this worker's
+        # own stop signal — exiting without publishing IS the refusal.
+        pass
+    except (EOFError, BrokenPipeError, OSError):
+        # The parent is gone; there is nobody to serve.  Durable state is
+        # on disk — a future front door recovers it.
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _wal_root(shard_id: int, config: ShardConfig) -> str:
+    return os.path.join(
+        config.durable_root, config.wal_name or f"shard-{shard_id}"
+    )
+
+
+def _primary_main(shard_id: int, conn: Any, config: ShardConfig) -> None:
     from repro.durable import CheckpointStore, DurabilityPolicy
+    from repro.durable.replication import (
+        build_manifest,
+        read_fence_token,
+        read_segment,
+    )
     from repro.robust.governor import Budget
     from repro.serve.service import QueryService, Ticket
 
+    held = config.fence_token
+    if config.fence_file is not None:
+        disk = read_fence_token(config.fence_file)
+        if disk > held:
+            conn.send(("fenced", disk, held))
+            raise StoreFenced(
+                f"shard {shard_id} fenced before startup",
+                token=disk,
+                held=held,
+            )
+
     store = None
     durability = None
+    ship_queue: Optional["queue.Queue[Tuple[Any, ...]]"] = None
     if config.durable_root is not None:
-        store = CheckpointStore.for_shard(
-            config.durable_root, shard_id, fsync=config.fsync
+        store = CheckpointStore(
+            _wal_root(shard_id, config), fsync=config.fsync, exclusive=True
         )
         durability = DurabilityPolicy(every_seconds=config.every_seconds)
+        held = max(held, store.fence_token)
+        if config.fence_token > store.fence_token:
+            # A promoted standby stamps its token durably before serving
+            # a single request — the promotion is not real until this is.
+            store.write_fence(config.fence_token)
+        if config.replicate:
+            ship_queue = queue.Queue()
+            seq_box = [0]
+
+            # Both hooks fire under the store lock (post-fsync), so the
+            # counter needs no lock of its own and the ship stream is
+            # totally ordered with the log.
+            def _on_append(index: int, payload: bytes) -> None:
+                _visit("repl.ship")
+                seq_box[0] += 1
+                ship_queue.put(("ship", seq_box[0], index, payload))
+
+            def _on_compact(index: int, data: bytes) -> None:
+                seq_box[0] += 1
+                ship_queue.put(("ship-compact", seq_box[0], index, data))
+
+            store.on_append = _on_append
+            store.on_compact = _on_compact
     default_budget = (
         Budget(wall_clock=config.default_budget_wall_clock)
         if config.default_budget_wall_clock is not None
@@ -302,15 +462,32 @@ def shard_worker_main(shard_id: int, conn: Any, config: ShardConfig) -> None:
             if rid.isdigit():
                 pending[int(rid)] = ticket
                 recovered.append(int(rid))
+    out = _Outgoing(conn, config.pipe_batch)
     conn.send(("ready", shard_id, os.getpid()))
     conn.send(("recovered", sorted(recovered)))
 
+    def _drain_ships() -> None:
+        if ship_queue is None:
+            return
+        while True:
+            try:
+                out.send(ship_queue.get_nowait())
+            except queue.Empty:
+                return
+
+    def _fenced_now() -> int:
+        """The newer token on disk, or 0 while we still own the shard."""
+        if config.fence_file is None:
+            return 0
+        disk = read_fence_token(config.fence_file)
+        return disk if disk > held else 0
+
     closing = False
+    fence_checked = _now()
     try:
         while True:
             _visit("shard.loop")
-            while conn.poll(0.0 if pending else 0.01):
-                message = conn.recv()
+            for message in _drain_inbox(conn, 0.0 if pending else 0.01):
                 kind = message[0]
                 if kind == "submit":
                     rid, payload = message[1], message[2]
@@ -319,7 +496,7 @@ def shard_worker_main(shard_id: int, conn: Any, config: ShardConfig) -> None:
                     try:
                         pending[rid] = service.submit(request, request_id=rid)
                     except ReproError as exc:
-                        conn.send(
+                        out.send(
                             ("response", rid, _rejection_response(exc, started))
                         )
                 elif kind == "cancel":
@@ -327,44 +504,144 @@ def shard_worker_main(shard_id: int, conn: Any, config: ShardConfig) -> None:
                     if ticket is not None:
                         ticket.cancel()
                 elif kind == "ping":
-                    conn.send(
+                    out.send(
                         ("pong", message[1], service.queue.depth(), len(pending))
+                    )
+                elif kind == "manifest" and store is not None:
+                    # Under the store lock nothing can append, so the
+                    # manifest pins an exact prefix and every record
+                    # shipped after this message is exactly the suffix.
+                    with store._lock:
+                        _drain_ships()
+                        out.send(("manifest", build_manifest(store.root)))
+                elif kind == "fetch" and store is not None:
+                    index, length = message[1], message[2]
+                    out.send(
+                        ("segment", index, read_segment(store.root, index, length))
                     )
                 elif kind == "close":
                     closing = True
                     break
-            for rid in list(pending):
-                ticket = pending[rid]
-                if not ticket.done:
-                    continue
-                response = ticket.response(0)
+            done_rids = [rid for rid in pending if pending[rid].done]
+            if done_rids or _now() - fence_checked >= 0.05:
+                # Fencing: always re-checked before publishing a
+                # response, and periodically while idle.
+                fence_checked = _now()
+                newer = _fenced_now()
+                if newer:
+                    service.close(wait=False, timeout=0.5)
+                    out.buffer = []  # publish nothing, not even pongs
+                    out.send(("fenced", newer, held))
+                    out.flush()
+                    raise StoreFenced(
+                        f"shard {shard_id} fenced while serving",
+                        token=newer,
+                        held=held,
+                    )
+            for rid in done_rids:
+                response = pending[rid].response(0)
                 _visit("shard.ack")
-                conn.send(("response", rid, encode_response(response)))
+                out.send(("response", rid, encode_response(response)))
                 del pending[rid]
+            _drain_ships()
+            out.flush()
             if closing:
                 # Drain: in-flight requests finish, queued-but-unstarted
                 # ones get the typed shutdown response from close().
                 service.close(wait=True)
                 for rid, ticket in list(pending.items()):
                     if ticket.done:
-                        conn.send(
+                        out.send(
                             ("response", rid, encode_response(ticket.response(0)))
                         )
-                conn.send(("bye",))
+                _drain_ships()
+                out.send(("bye",))
+                out.flush()
                 break
-    except (EOFError, BrokenPipeError, OSError):
-        # The parent is gone; there is nobody to serve.  Durable state is
-        # on disk — a future front door recovers it.
-        pass
     finally:
         if not closing:
             service.close(wait=False, timeout=1.0)
         if store is not None:
             store.close()
-        try:
-            conn.close()
-        except OSError:
-            pass
+
+
+def _standby_main(shard_id: int, conn: Any, config: ShardConfig) -> Optional[int]:
+    """The standby loop: anti-entropy sync, then continuous replay of
+    the ship stream.  Returns the fencing token on promotion (the caller
+    re-enters as a primary) or ``None`` on clean close."""
+    from repro.durable.replication import ReplicaWal
+
+    replica = ReplicaWal(_wal_root(shard_id, config), fsync=config.fsync)
+    out = _Outgoing(conn, config.pipe_batch)
+    conn.send(("ready", shard_id, os.getpid()))
+    conn.send(("sync-request",))
+
+    state = "syncing"
+    awaiting: Dict[int, Dict[str, Any]] = {}
+    buffered: List[Tuple[Any, ...]] = []
+    applied_seq = 0
+    diverged = False
+    seen_manifest = False
+
+    def _apply(message: Tuple[Any, ...]) -> None:
+        _visit("repl.ack")
+        if message[0] == "ship":
+            replica.append(message[2], message[3])
+        else:
+            replica.apply_compact(message[2], message[3])
+
+    def _go_warm() -> None:
+        nonlocal state, applied_seq, buffered
+        state = "warm"
+        for message in buffered:
+            _apply(message)
+            applied_seq = message[1]
+        buffered = []
+        out.send(("standby-state", "warm", diverged))
+
+    try:
+        while True:
+            _visit("shard.loop")
+            for message in _drain_inbox(conn, 0.02):
+                kind = message[0]
+                if kind == "manifest":
+                    seen_manifest = True
+                    plan = replica.plan_sync(message[1])
+                    diverged = plan.diverged
+                    for index in plan.delete:
+                        replica.delete_segment(index)
+                    for entry in plan.fetch:
+                        awaiting[entry["index"]] = entry
+                        out.send(("fetch", entry["index"], entry["length"]))
+                    if not awaiting:
+                        _go_warm()
+                elif kind == "segment":
+                    entry = awaiting.pop(message[1], None)
+                    if entry is not None:
+                        replica.write_segment(entry, message[2])
+                    if seen_manifest and not awaiting and state == "syncing":
+                        _go_warm()
+                elif kind in ("ship", "ship-compact"):
+                    if state == "syncing":
+                        buffered.append(message)
+                    else:
+                        _apply(message)
+                        applied_seq = message[1]
+                elif kind == "ping":
+                    out.send(("pong", message[1], applied_seq, state))
+                elif kind == "promote":
+                    _visit("repl.promote")
+                    replica.sync()
+                    replica.close()
+                    out.flush()
+                    return message[1]
+                elif kind == "close":
+                    out.send(("bye",))
+                    out.flush()
+                    return None
+            out.flush()
+    finally:
+        replica.close()
 
 
 # -- the parent-side handle -----------------------------------------------------
@@ -398,39 +675,61 @@ class ShardHandle:
     #: pending registry; mirrored here for cheap reassignment).
     generation: int = 0
     _outbox: Any = field(default=None, repr=False, compare=False)
+    _inbox: List[Tuple[Any, ...]] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     def spawn(self) -> None:
         """Start (or restart) the worker process on a fresh pipe."""
         parent_end, child_end = self.ctx.Pipe(duplex=True)
+        suffix = "-standby" if self.config.role == "standby" else ""
         self.process = self.ctx.Process(
             target=shard_worker_main,
             args=(self.shard_id, child_end, self.config),
-            name=f"repro-shard-{self.shard_id}",
+            name=f"repro-shard-{self.shard_id}{suffix}",
             daemon=True,
         )
         self.process.start()
         child_end.close()
         self.conn = parent_end
         self.generation += 1
+        self._inbox = []
         # A fresh outbox per generation: the old sender thread stays
         # married to the old pipe and dies with it (its blocked write
         # raises once the dead worker's end closes).
         self._outbox = queue.Queue()
         threading.Thread(
             target=self._send_loop,
-            args=(parent_end, self._outbox),
-            name=f"repro-shard-{self.shard_id}-send",
+            args=(parent_end, self._outbox, self.config.pipe_batch),
+            name=f"repro-shard-{self.shard_id}{suffix}-send",
             daemon=True,
         ).start()
 
     @staticmethod
-    def _send_loop(conn: Any, outbox: Any) -> None:
-        while True:
+    def _send_loop(conn: Any, outbox: Any, batch: bool) -> None:
+        exhausted = False
+        while not exhausted:
             message = outbox.get()
             if message is None:
                 return
+            messages = [message]
+            if batch:
+                # Greedy drain: everything already enqueued (a bulk
+                # resend, a burst of submits) leaves as one pipe write.
+                while True:
+                    try:
+                        extra = outbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    if extra is None:
+                        exhausted = True
+                        break
+                    messages.append(extra)
             try:
-                conn.send(message)
+                if len(messages) > 1:
+                    conn.send(("batch", messages))
+                else:
+                    conn.send(messages[0])
             except (BrokenPipeError, ValueError, OSError):
                 return
 
@@ -445,6 +744,8 @@ class ShardHandle:
         return True
 
     def poll(self) -> bool:
+        if self._inbox:
+            return True
         if self.conn is None:
             return False
         try:
@@ -453,10 +754,16 @@ class ShardHandle:
             return False
 
     def recv(self) -> Optional[Tuple[Any, ...]]:
+        if self._inbox:
+            return self._inbox.pop(0)
         try:
-            return self.conn.recv()
+            message = self.conn.recv()
         except (EOFError, BrokenPipeError, OSError):
             return None
+        if message and message[0] == "batch":
+            self._inbox = list(message[1])
+            return self._inbox.pop(0) if self._inbox else None
+        return message
 
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()

@@ -29,6 +29,10 @@ crash-looping shard backs off instead of burning CPU on spawn loops.  A
 shard that exhausts ``max_restarts`` consecutive restarts is FAILED: its
 in-flight requests re-route to a live shard when ``failover`` is on,
 else complete with a typed :class:`~repro.serve.errors.ShardDown`.
+With ``replicas=1`` a warm standby is promoted at that transition
+instead, and a standby that is *not yet* warm earns the primary
+``promotion_grace`` further restarts (the standby syncs through the
+primary, so only a restart can ever warm it) before FAILED truly lands.
 
 Restart recovery is the zero-loss half (full argument in
 :mod:`repro.serve.shard`): a restarted worker reopens the same WAL
@@ -38,15 +42,37 @@ durable checkpoint, and reports the replayed rids; the supervisor then
 requests that died unjournalled in the pipe or were retired as done
 before their response crossed.
 
+With ``replicas=1`` every logical shard is a **primary + hot standby**
+pair (``docs/serving.md`` § Replicated shards).  The primary ships each
+durable WAL record up its pipe as it fsyncs it; the supervisor relays
+the stream to the standby, which replays it into the shard's *other*
+WAL slot (:func:`~repro.serve.routing.wal_slot`).  A fresh standby
+catches up by **anti-entropy**: it asks for the primary's segment
+manifest, fetches only missing/mismatched segments (verified against
+the manifest CRCs), and reports whether any local bytes had to be
+discarded (``repl-diverged``).  When the crash-loop detector would park
+a shard as FAILED, a *warm* standby is instead **promoted** under a
+monotonic fencing token — published to the shard's fence file first,
+then stamped durably into the promoted WAL before a single request is
+served — and the retained-not-recovered requests are resent exactly as
+after a restart; a syncing or diverged standby is never promoted.  The
+zombie ex-primary is fenced twice over: its pipe is closed (its sends
+fail) and any later publish attempt sees the newer fence token on disk
+and refuses (:class:`~repro.errors.StoreFenced` semantics, reported as
+``("fenced", ...)``).
+
 Shard-lifecycle trace events (``shard-spawn``, ``shard-ready``,
 ``shard-recovered``, ``shard-suspect``, ``shard-crash``,
-``shard-restart``, ``shard-failed``, ``shard-stable``, ``shard-stopped``)
-are emitted through the service's tracer when tracing is on; process
-topology counters live under the ``shard/`` metrics namespace.
+``shard-restart``, ``shard-failed``, ``shard-stable``, ``shard-stopped``,
+and with replication ``standby-spawn``, ``standby-warm``,
+``standby-promote``, ``repl-diverged``, ``shard-fenced``) are emitted
+through the service's tracer when tracing is on; process topology
+counters live under the ``shard/`` metrics namespace.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import threading
@@ -54,6 +80,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.durable.replication import (
+    fence_path,
+    read_fence_token,
+    write_fence_token,
+)
 from repro.obs.tracer import Tracer
 from repro.robust.breaker import CircuitBreaker
 from repro.robust.faults import FaultPlan
@@ -65,7 +96,7 @@ from repro.serve.request import (
     QueryRequest,
     QueryResponse,
 )
-from repro.serve.routing import failover_order
+from repro.serve.routing import WAL_SLOTS, failover_order, wal_slot
 from repro.serve.service import Ticket
 from repro.serve.shard import ShardConfig, ShardHandle, decode_response
 
@@ -100,7 +131,8 @@ class _Pending:
 
 @dataclass
 class _ShardState:
-    """Supervisor-side bookkeeping for one shard."""
+    """Supervisor-side bookkeeping for one logical shard (the primary
+    handle plus, under ``replicas=1``, its hot-standby handle)."""
 
     handle: ShardHandle
     breaker: CircuitBreaker
@@ -115,6 +147,25 @@ class _ShardState:
     stable: bool = False
     last_depth: int = 0
     last_inflight: int = 0
+    #: Which WAL slot the *primary* currently serves from ("a"/"b");
+    #: every promotion swaps it.
+    slot: str = "a"
+    #: The newest fencing token this shard has been promoted under.
+    fence_token: int = 0
+    standby: Optional[ShardHandle] = None
+    #: "none" / "starting" / "syncing" / "warm" / "down"
+    standby_state: str = "none"
+    standby_pid: Optional[int] = None
+    #: Ships are relayed only after the manifest reply crossed — the
+    #: manifest's position in the primary's stream is the exact boundary
+    #: between records it covers and records the standby must apply live.
+    standby_attached: bool = False
+    standby_ping_seq: int = 0
+    standby_missed: int = 0
+    standby_restart_due: float = 0.0
+    standby_diverged: bool = False
+    shipped_seq: int = 0
+    standby_applied: int = 0
 
 
 class _RemoteTicket(Ticket):
@@ -143,6 +194,11 @@ class ShardedQueryService:
             (``<durable_dir>/shard-<k>``); ``None`` serves non-durably
             (restarts re-run in-flight work from the retained payloads
             instead of checkpoints).
+        replicas: ``1`` gives every shard a hot standby in its other WAL
+            slot, fed by live WAL shipping, promoted under a fencing
+            token when the primary exhausts its restart budget (requires
+            ``durable_dir``); ``0`` (default) is PR 8's single-worker
+            shard.
         fsync / every_seconds: each shard store's fsync policy and
             checkpoint cadence.
         heartbeat_interval: supervisor tick (ping cadence), seconds.
@@ -151,6 +207,14 @@ class ShardedQueryService:
         restart_backoff / max_backoff: exponential restart delay bounds.
         max_restarts: consecutive restarts (without a stable interval)
             before the shard is FAILED.
+        promotion_grace: replicated shards only — extra consecutive
+            restarts granted *past* ``max_restarts`` while the standby
+            is not yet warm.  The primary is the standby's anti-entropy
+            source, so parking the shard the instant its budget runs
+            out would discard a replica that is seconds from
+            promotable and can never warm without it; the supervisor
+            restarts instead and promotes on a later crash.  Only when
+            the grace is spent too is the shard FAILED.
         stable_after: seconds a restarted shard must stay up before its
             breaker records success and the restart counter resets.
         failover: route around dead shards (new submissions) and re-route
@@ -163,8 +227,15 @@ class ShardedQueryService:
         fault_plans / crash_after: fault injection installed inside every
             spawned worker (chaos tests; see
             :data:`repro.robust.faults.SHARD_SITES`).
+        standby_fault_plans: when not ``None``, standbys install these
+            plans instead of ``fault_plans`` — pass ``()`` to scope chaos
+            to primaries (a ``wal.fsync`` exit plan would otherwise kill
+            every standby at its first applied record too, and there
+            would never be a warm standby to promote).
         start_timeout: how long the constructor blocks for the fleet to
             come up (:meth:`wait_ready`); ``0`` returns immediately.
+        pipe_batch: coalesce pipe messages into per-pass batches on both
+            pipe ends (default on; the throughput micro-bench flips it).
     """
 
     def __init__(
@@ -174,6 +245,7 @@ class ShardedQueryService:
         queue_capacity: int = 64,
         seed: int = 0,
         durable_dir: Optional[str] = None,
+        replicas: int = 0,
         fsync: str = "always",
         every_seconds: float = 0.05,
         heartbeat_interval: float = 0.05,
@@ -181,6 +253,7 @@ class ShardedQueryService:
         restart_backoff: float = 0.2,
         max_backoff: float = 5.0,
         max_restarts: int = 5,
+        promotion_grace: int = 4,
         stable_after: float = 1.0,
         failover: bool = True,
         failure_threshold: int = 3,
@@ -188,21 +261,33 @@ class ShardedQueryService:
         default_budget_wall_clock: Optional[float] = None,
         trace: bool = False,
         fault_plans: Tuple[FaultPlan, ...] = (),
+        standby_fault_plans: Optional[Tuple[FaultPlan, ...]] = None,
         crash_after: Optional[int] = None,
         start_timeout: float = 30.0,
         clock: Any = time.monotonic,
+        pipe_batch: bool = True,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if replicas not in (0, 1):
+            raise ValueError("replicas must be 0 or 1 (one hot standby)")
+        if replicas and not durable_dir:
+            raise ValueError(
+                "replicas=1 needs durable_dir: the standby replays the "
+                "primary's shipped WAL, and there is no WAL without one"
+            )
         self.shards = shards
+        self.replicas = replicas
         self.durable_dir = os.fspath(durable_dir) if durable_dir else None
         self.heartbeat_interval = heartbeat_interval
         self.miss_limit = miss_limit
         self.restart_backoff = restart_backoff
         self.max_backoff = max_backoff
         self.max_restarts = max_restarts
+        self.promotion_grace = promotion_grace
         self.stable_after = stable_after
         self.failover = failover
+        self.standby_fault_plans = standby_fault_plans
         self.clock = clock
         self.metrics = ServiceMetrics(namespace="shard")
         self.tracer = Tracer(enabled=trace)
@@ -214,6 +299,7 @@ class ShardedQueryService:
         self._next_id = self._seed_rid_counter()
         self._shards: List[_ShardState] = []
         for k in range(shards):
+            slot, token = self._startup_slot(k)
             config = ShardConfig(
                 workers=workers_per_shard,
                 queue_capacity=queue_capacity,
@@ -224,6 +310,7 @@ class ShardedQueryService:
                 default_budget_wall_clock=default_budget_wall_clock,
                 fault_plans=tuple(fault_plans),
                 crash_after=crash_after,
+                pipe_batch=pipe_batch,
             )
             handle = ShardHandle(shard_id=k, config=config, ctx=self._ctx)
             breaker = CircuitBreaker(
@@ -231,9 +318,15 @@ class ShardedQueryService:
                 reset_timeout=reset_timeout,
                 clock=clock,
             )
-            self._shards.append(_ShardState(handle=handle, breaker=breaker))
+            self._shards.append(
+                _ShardState(
+                    handle=handle, breaker=breaker, slot=slot, fence_token=token
+                )
+            )
         for state in self._shards:
             self._spawn(state)
+            if self.replicas:
+                self._spawn_standby(state)
         self.supervisor = Supervisor(self)
         self.supervisor.start()
         if start_timeout:
@@ -342,6 +435,8 @@ class ShardedQueryService:
         for state in self._shards:
             if state.handle.alive():
                 state.handle.send(("close",))
+            if state.standby is not None and state.standby.alive():
+                state.standby.send(("close",))
         for state in self._shards:
             if state.handle.process is not None:
                 state.handle.process.join(
@@ -350,6 +445,9 @@ class ShardedQueryService:
         self.supervisor.stop()
         for state in self._shards:
             state.handle.kill()
+            if state.standby is not None:
+                state.standby.kill()
+                state.standby_state = "none"
             state.state = STOPPED
         self._closed = True
         with self._pending_lock:
@@ -397,7 +495,9 @@ class ShardedQueryService:
         }
 
     def stats(self) -> Dict[str, Any]:
-        """The ``shard/`` counters plus a per-shard topology snapshot."""
+        """The ``shard/`` counters plus a per-shard topology snapshot
+        (with ``replicas=1``: the serving slot, fencing token, standby
+        state, and the replication lag in records)."""
         stats = self.metrics.stats()
         stats["shards"] = {
             s.handle.shard_id: {
@@ -408,6 +508,12 @@ class ShardedQueryService:
                 "breaker": s.breaker.state,
                 "depth": s.last_depth,
                 "inflight": s.last_inflight,
+                "slot": s.slot,
+                "fence_token": s.fence_token,
+                "standby_state": s.standby_state,
+                "replication_lag_records": max(
+                    0, s.shipped_seq - s.standby_applied
+                ),
             }
             for s in self._shards
         }
@@ -418,15 +524,28 @@ class ShardedQueryService:
 
     def _seed_rid_counter(self) -> int:
         """Start the global rid counter past every id any shard WAL has
-        ever journalled, so restarted front doors never reuse one."""
+        ever journalled — both replica slots of every shard, because a
+        stale ex-primary slot can hold ids the promoted log does not."""
         if self.durable_dir is None:
             return 0
-        from repro.durable import CheckpointStore
         from repro.durable.recovery import RecoveryManager
 
         ceiling = -1
-        for _sid, root in CheckpointStore.shard_roots(self.durable_dir).items():
-            recovered = RecoveryManager(root).recover()
+        try:
+            names = os.listdir(self.durable_dir)
+        except FileNotFoundError:
+            names = []
+        for name in sorted(names):
+            root = os.path.join(self.durable_dir, name)
+            if not name.startswith("shard-") or not os.path.isdir(root):
+                continue
+            try:
+                recovered = RecoveryManager(root).recover()
+            except Exception:
+                # A corrupt stale slot is anti-entropy's problem (it gets
+                # rebuilt from the primary), not a reason to refuse to
+                # start the front door.
+                continue
             for rid in list(recovered.pending) + list(recovered.done):
                 try:
                     ceiling = max(ceiling, int(rid))
@@ -434,18 +553,98 @@ class ShardedQueryService:
                     continue
         return ceiling + 1
 
+    def _startup_slot(self, shard_id: int) -> Tuple[str, int]:
+        """Which WAL slot last served as shard *shard_id*'s primary, and
+        under which fencing token: the slot holding the newest durable
+        ``fence`` stamp wins (slot "a" on a fresh directory or a tie —
+        an unreplicated PR 8 layout restarts unchanged)."""
+        if self.durable_dir is None:
+            return "a", 0
+        from repro.durable.recovery import RecoveryManager
+
+        slot, token = "a", 0
+        for candidate in WAL_SLOTS:
+            root = os.path.join(self.durable_dir, wal_slot(shard_id, candidate))
+            if not os.path.isdir(root):
+                continue
+            try:
+                stamped = RecoveryManager(root).recover().fence_token
+            except Exception:
+                continue  # a corrupt slot never gets to be the primary
+            if stamped > token:
+                slot, token = candidate, stamped
+        token = max(token, read_fence_token(fence_path(self.durable_dir, shard_id)))
+        return slot, token
+
+    def _primary_config(self, state: _ShardState) -> ShardConfig:
+        shard_id = state.handle.shard_id
+        if self.durable_dir is None:
+            return dataclasses.replace(state.handle.config, role="primary")
+        return dataclasses.replace(
+            state.handle.config,
+            role="primary",
+            wal_name=wal_slot(shard_id, state.slot),
+            replicate=self.replicas > 0,
+            fence_token=state.fence_token,
+            fence_file=fence_path(self.durable_dir, shard_id),
+        )
+
     def _spawn(self, state: _ShardState) -> None:
+        # Refresh the spawn config every time: the serving slot and the
+        # fence token move on promotion, and the worker must open the
+        # right WAL under the right token.
+        state.handle.config = self._primary_config(state)
         state.handle.spawn()
         state.state = STARTING
         state.pid = state.handle.process.pid
         state.missed_pongs = 0
         state.stable = False
+        state.shipped_seq = 0
+        state.standby_attached = False
         self.metrics.inc("spawns")
         self.tracer.event(
             "shard-spawn",
             shard=state.handle.shard_id,
             pid=state.pid,
             generation=state.handle.generation,
+            slot=state.slot,
+        )
+
+    def _spawn_standby(self, state: _ShardState) -> None:
+        """Start (or restart) the shard's standby in the *other* WAL
+        slot; it catches up via anti-entropy before going warm."""
+        shard_id = state.handle.shard_id
+        other = WAL_SLOTS[1] if state.slot == WAL_SLOTS[0] else WAL_SLOTS[0]
+        # ``replicate`` stays armed (from _primary_config): the standby
+        # loop ignores it, but the in-process promotion flip reuses this
+        # config — a promoted primary must ship to *its* fresh standby.
+        config = dataclasses.replace(
+            self._primary_config(state),
+            role="standby",
+            wal_name=wal_slot(shard_id, other),
+        )
+        if self.standby_fault_plans is not None:
+            config = dataclasses.replace(
+                config, fault_plans=tuple(self.standby_fault_plans)
+            )
+        if state.standby is None:
+            state.standby = ShardHandle(
+                shard_id=shard_id, config=config, ctx=self._ctx
+            )
+        else:
+            state.standby.config = config
+        state.standby.spawn()
+        state.standby_state = "starting"
+        state.standby_attached = False
+        state.standby_applied = 0
+        state.standby_missed = 0
+        state.standby_diverged = False
+        self.metrics.inc("standby_spawns")
+        self.tracer.event(
+            "standby-spawn",
+            shard=shard_id,
+            pid=state.standby.process.pid,
+            slot=other,
         )
 
 
@@ -478,6 +677,11 @@ class Supervisor(threading.Thread):
     # -- one shard, one tick ----------------------------------------------------
 
     def _tick(self, state: _ShardState) -> None:
+        self._tick_primary(state)
+        if self.service.replicas:
+            self._tick_standby(state)
+
+    def _tick_primary(self, state: _ShardState) -> None:
         service = self.service
         now = service.clock()
         self._drain(state)
@@ -537,17 +741,167 @@ class Supervisor(threading.Thread):
                 self._reconcile(state, set(message[1]))
             elif kind == "pong":
                 state.missed_pongs = 0
-                state.last_depth = message[2]
-                state.last_inflight = message[3]
+                if isinstance(message[3], int):  # a standby's last pong
+                    state.last_depth = message[2]  # ends up here right
+                    state.last_inflight = message[3]  # after promotion
                 if state.state == SUSPECT:
                     state.state = UP
             elif kind == "response":
                 self._complete(message[1], message[2])
+            elif kind in ("ship", "ship-compact"):
+                state.shipped_seq = message[1]
+                service.metrics.inc("repl_shipped")
+                if state.standby is not None and state.standby_attached:
+                    state.standby.send(message)
+            elif kind == "manifest":
+                # The manifest's place in the primary's stream is the
+                # exact covered/uncovered boundary: everything shipped
+                # after it is the suffix the standby must apply live.
+                if state.standby is not None:
+                    state.standby.send(message)
+                    state.standby_attached = True
+            elif kind == "segment":
+                if state.standby is not None:
+                    state.standby.send(message)
+            elif kind == "fenced":
+                service.metrics.inc("fenced")
+                service.tracer.event(
+                    "shard-fenced",
+                    shard=state.handle.shard_id,
+                    token=message[1],
+                    held=message[2],
+                )
             elif kind == "bye":
                 state.state = STOPPED
                 service.tracer.event(
                     "shard-stopped", shard=state.handle.shard_id
                 )
+
+    # -- the standby ------------------------------------------------------------
+
+    def _tick_standby(self, state: _ShardState) -> None:
+        service = self.service
+        if service._closing or state.state in (STOPPED, FAILED_STATE):
+            return
+        now = service.clock()
+        if state.standby is None or state.standby.process is None:
+            self.service._spawn_standby(state)
+            return
+        self._drain_standby(state)
+        if not state.standby.alive():
+            if state.standby_state != "down":
+                state.standby_state = "down"
+                state.standby_attached = False
+                state.standby.kill()  # reap + retire the sender thread
+                state.standby_restart_due = now + service.restart_backoff
+                service.tracer.event(
+                    "standby-down", shard=state.handle.shard_id
+                )
+            elif now >= state.standby_restart_due:
+                service._spawn_standby(state)
+            return
+        if state.standby_state in ("syncing", "warm"):
+            state.standby_ping_seq += 1
+            state.standby_missed += 1
+            state.standby.send(("ping", state.standby_ping_seq))
+            if state.standby_missed >= service.miss_limit:
+                # A hung standby is as useless as a hung primary.
+                state.standby.kill()
+                state.standby_state = "down"
+                state.standby_attached = False
+                state.standby_restart_due = now + service.restart_backoff
+                service.tracer.event(
+                    "standby-down",
+                    shard=state.handle.shard_id,
+                    reason="hung",
+                )
+
+    def _drain_standby(self, state: _ShardState) -> None:
+        service = self.service
+        standby = state.standby
+        while standby.poll():
+            message = standby.recv()
+            if message is None:
+                return
+            kind = message[0]
+            if kind == "ready":
+                state.standby_pid = message[2]
+            elif kind == "sync-request":
+                state.standby_state = "syncing"
+                state.handle.send(("manifest",))
+            elif kind == "fetch":
+                state.handle.send(message)
+            elif kind == "standby-state":
+                state.standby_state = message[1]
+                state.standby_diverged = bool(message[2])
+                if message[2]:
+                    service.metrics.inc("repl_diverged")
+                    service.tracer.event(
+                        "repl-diverged", shard=state.handle.shard_id
+                    )
+                service.tracer.event(
+                    "standby-warm",
+                    shard=state.handle.shard_id,
+                    diverged=bool(message[2]),
+                )
+            elif kind == "pong":
+                state.standby_missed = 0
+                state.standby_applied = message[2]
+                if message[3] in ("syncing", "warm"):
+                    state.standby_state = message[3]
+                service.metrics.gauge(
+                    f"replication_lag_records_{state.handle.shard_id}",
+                    max(0, state.shipped_seq - state.standby_applied),
+                )
+
+    def _promote(self, state: _ShardState) -> bool:
+        """Promote the shard's standby to primary under a fresh fencing
+        token; ``False`` when there is nothing safe to promote (no
+        standby, dead, or still syncing — a replica that has not proven
+        itself byte-identical to the manifest is never promoted)."""
+        service = self.service
+        standby = state.standby
+        if (
+            not service.replicas
+            or standby is None
+            or not standby.alive()
+            or state.standby_state != "warm"
+        ):
+            return False
+        shard_id = state.handle.shard_id
+        token = state.fence_token + 1
+        # Fence first, promote second: the token is on disk before the
+        # new primary serves, so the zombie's next publish check loses
+        # even if it somehow outruns its closed pipe.
+        write_fence_token(fence_path(service.durable_dir, shard_id), token)
+        state.handle.kill()
+        old_slot = state.slot
+        state.slot = WAL_SLOTS[1] if old_slot == WAL_SLOTS[0] else WAL_SLOTS[0]
+        state.fence_token = token
+        standby.send(("promote", token))
+        standby.config = service._primary_config(state)
+        state.handle = standby
+        state.pid = state.standby_pid
+        state.standby = None
+        state.standby_state = "none"
+        state.standby_attached = False
+        state.standby_pid = None
+        state.shipped_seq = 0
+        state.standby_applied = 0
+        state.state = STARTING
+        state.missed_pongs = 0
+        state.restarts = 0
+        state.stable = False
+        service.metrics.inc("promotions")
+        service.tracer.event(
+            "standby-promote",
+            shard=shard_id,
+            token=token,
+            slot=state.slot,
+        )
+        # A fresh standby rebuilds the dead primary's slot via
+        # anti-entropy on the next tick (_tick_standby sees None).
+        return True
 
     def _reconcile(self, state: _ShardState, recovered: set) -> None:
         """The restarted shard told us which rids its WAL replay is
@@ -612,8 +966,30 @@ class Supervisor(threading.Thread):
                 pass
             state.handle.conn = None
         if state.restarts > service.max_restarts:
-            self._fail(state)
-            return
+            # The crash-loop detector would park the shard — promotion
+            # is exactly this transition done better: a warm standby
+            # takes over the shard instead of the shard going dark.
+            if self._promote(state):
+                return
+            if (
+                not service.replicas
+                or state.restarts
+                > service.max_restarts + service.promotion_grace
+            ):
+                self._fail(state)
+                return
+            # The standby exists but is not warm (dead, starting, or
+            # mid-sync) — and it syncs *through* the primary, so
+            # failing the shard now would strand a replica that is
+            # seconds from promotable.  Defer: restart the primary
+            # (re-arming anti-entropy) and promote on a later crash.
+            service.metrics.inc("promote_deferred")
+            service.tracer.event(
+                "promote-deferred",
+                shard=state.handle.shard_id,
+                standby=state.standby_state,
+                restarts=state.restarts,
+            )
         backoff = min(
             service.restart_backoff * (2 ** (state.restarts - 1)),
             service.max_backoff,
@@ -630,6 +1006,14 @@ class Supervisor(threading.Thread):
             attempt=state.restarts,
         )
         self.service._spawn(state)
+        if self.service.replicas and state.standby is not None:
+            # The restarted primary may recover fsynced records that were
+            # never shipped; a stale standby would silently lag behind a
+            # log it half-mirrors.  Rebuild it via anti-entropy instead.
+            state.standby.kill()
+            state.standby_state = "down"
+            state.standby_attached = False
+            state.standby_restart_due = self.service.clock()
 
     def _fail(self, state: _ShardState) -> None:
         """Restart budget exhausted: the shard stays dead.  Its in-flight
@@ -637,6 +1021,9 @@ class Supervisor(threading.Thread):
         typed ShardDown."""
         service = self.service
         state.state = FAILED_STATE
+        if state.standby is not None:
+            state.standby.kill()
+            state.standby_state = "none"
         service.metrics.inc("failed_shards")
         service.tracer.event(
             "shard-failed",

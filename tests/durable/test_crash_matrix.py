@@ -210,6 +210,132 @@ class _EngineStub:
         self.program = program
 
 
+class TestPromotionWindow:
+    """The replication crash windows, deterministically in-process: a
+    primary ships every durable record to a :class:`ReplicaWal` as it
+    fsyncs, dies at a chosen boundary, and the replica is *promoted* —
+    closed, reopened as an exclusive store under a fence token, and
+    resumed.  The promoted model must be byte-identical to the
+    uninterrupted oracle whichever window the crash landed in:
+
+    * **ship-before-fsync** (``wal.fsync`` crash): the record never hit
+      the primary's platter, so the hook never fired and the replica
+      holds an exact durable prefix;
+    * **ship-after-fsync** (die inside the ship path): the record is on
+      the primary's disk but not the replica's — the promoted replica
+      re-executes from its newest shipped checkpoint, and the stale
+      primary slot is *diverged*, detected, never trusted;
+    * **mid-compact** (``wal.replace`` crash): the compacted segment
+      never shipped; the replica's pre-compaction stream replays to the
+      same state, because compaction changes bytes, not meaning.
+
+    The cross-process version of the same windows (live pipes, SIGKILL,
+    a real supervisor promoting) is ``tests/serve/test_replication.py``.
+    """
+
+    @staticmethod
+    def _replicated(tmp_path, stop_ship_after=None):
+        from repro.durable import CheckpointStore, ReplicaWal
+
+        store = CheckpointStore(tmp_path / "primary")
+        # fsync="never" keeps the replica's own I/O out of the injected
+        # fault-site visit counts: every wal.fsync visit is the primary's.
+        replica = ReplicaWal(str(tmp_path / "replica"), fsync="never")
+        shipped = [0]
+
+        def on_append(index, payload):
+            if stop_ship_after is not None and shipped[0] >= stop_ship_after:
+                raise SimulatedCrash(
+                    f"simulated crash in the ship path after fsync "
+                    f"(record {shipped[0] + 1})"
+                )
+            replica.append(index, payload)
+            shipped[0] += 1
+
+        store.on_append = on_append
+        store.on_compact = replica.apply_compact
+        return store, replica
+
+    @staticmethod
+    def _run_to_crash(store, injector=None, crash_after=None):
+        writer = DurableWriter(store, "victim", DurabilityPolicy(every_steps=1))
+        governor = RunGovernor(durability=writer)
+        compiled = compile_program(SORTING)
+        with pytest.raises(SimulatedCrash):
+            with inject(injector, crash_after=crash_after):
+                compiled.run(
+                    {k: list(v) for k, v in SORT_FACTS.items()},
+                    seed=0,
+                    governor=governor,
+                )
+        store._handle.close()  # the dead primary closes nothing itself
+
+    @staticmethod
+    def _promote_and_compare(replica, token=1):
+        """Close the replica log, reopen it as the exclusive store a
+        promoted worker would, stamp the fence token, and finish the
+        victim run — from its newest shipped checkpoint when one
+        shipped, else from scratch (the front door's resend path)."""
+        from repro.durable import CheckpointStore
+
+        replica.close()
+        promoted = CheckpointStore(replica.root, exclusive=True)
+        promoted.write_fence(token)
+        run = promoted.pending().get("victim")
+        if run is not None and run.checkpoint_payload is not None:
+            db = promoted.resume("victim", compile_program(SORTING).program)
+        else:
+            db = compile_program(SORTING).run(
+                {k: list(v) for k, v in SORT_FACTS.items()}, seed=0
+            )
+            promoted.mark_done("victim")
+        assert dumps_facts(db) == _baseline(SORTING, SORT_FACTS)
+        return promoted
+
+    @pytest.mark.parametrize("nth", [2, 5, 9])
+    def test_ship_before_fsync_promotes_an_exact_prefix(self, tmp_path, nth):
+        store, replica = self._replicated(tmp_path)
+        self._run_to_crash(
+            store, FaultInjector([FaultPlan("wal.fsync", mode="crash", nth=nth)])
+        )
+        promoted = self._promote_and_compare(replica)
+        assert promoted.fence_token == 1
+        promoted.close()
+
+    @pytest.mark.parametrize("shipped", [2, 6])
+    def test_ship_after_fsync_leaves_a_diverged_stale_slot(self, tmp_path, shipped):
+        from repro.durable import ReplicaWal, build_manifest
+
+        store, replica = self._replicated(tmp_path, stop_ship_after=shipped)
+        self._run_to_crash(store)
+        promoted = self._promote_and_compare(replica)
+        # The stale primary slot holds the fsynced-but-unshipped tail:
+        # provably not a prefix of the promoted log — anti-entropy must
+        # classify it diverged, never silently trust it.
+        manifest = build_manifest(promoted.root)
+        stale = ReplicaWal(str(tmp_path / "primary"))
+        assert stale.plan_sync(manifest).diverged
+        stale.close()
+        promoted.close()
+
+    def test_crash_mid_compact_promotes_the_unshipped_stream(self, tmp_path):
+        store, replica = self._replicated(tmp_path)
+        writer = DurableWriter(store, "victim", DurabilityPolicy(every_steps=1))
+        governor = RunGovernor(durability=writer)
+        compile_program(SORTING).run(
+            {k: list(v) for k, v in SORT_FACTS.items()}, seed=0, governor=governor
+        )
+        injector = FaultInjector([FaultPlan("wal.replace", mode="crash", nth=1)])
+        with pytest.raises(SimulatedCrash):
+            with inject(injector):
+                store.compact()
+        store._handle = None
+        # The on_compact hook never fired: the replica still holds the
+        # pre-compaction stream, which replays to the same state.
+        promoted = self._promote_and_compare(replica)
+        promoted.close()
+
+
 class TestRestartDuringCompaction:
     """The sharded service's restart loop can SIGKILL a worker at *any*
     point inside ``compact()`` — not just the final ``os.replace``.  Each

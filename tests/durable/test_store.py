@@ -362,3 +362,86 @@ class TestExclusiveOwnership:
 
     def test_shard_roots_of_a_missing_root_is_empty(self, tmp_path):
         assert CheckpointStore.shard_roots(str(tmp_path / "nope")) == {}
+
+    def test_close_reopen_close_reopen_in_one_process(self, tmp_path):
+        """Regression: close() must release the flock deterministically
+        (explicit LOCK_UN, not just handle close), so the same process
+        can cycle ownership — exactly what a promotion does when it
+        closes the replica log and reopens the directory exclusively."""
+        for _ in range(3):
+            store = CheckpointStore(str(tmp_path), exclusive=True)
+            store.journal_request("r", {})
+            store.close()
+        final = CheckpointStore(str(tmp_path), exclusive=True)
+        assert sorted(final.pending()) == ["r"]
+        final.close()
+
+    def test_replica_to_exclusive_store_handoff(self, tmp_path):
+        from repro.durable import ReplicaWal
+
+        replica = ReplicaWal(str(tmp_path))
+        replica.close()
+        store = CheckpointStore(str(tmp_path), exclusive=True)
+        store.close()
+        # And back: the released exclusive store frees the replica path.
+        again = ReplicaWal(str(tmp_path))
+        again.close()
+
+
+class TestFencing:
+    """The ``fence`` WAL record: monotonic promotion tokens that survive
+    reopen and compaction."""
+
+    def test_write_fence_round_trips_through_recovery(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.fence_token == 0
+        store.write_fence(3)
+        assert store.fence_token == 3
+        store.close()
+        reopened = CheckpointStore(tmp_path)
+        assert reopened.fence_token == 3
+        assert reopened.recovered.fence_token == 3
+        reopened.close()
+
+    def test_fence_tokens_are_monotonic(self, tmp_path):
+        with CheckpointStore(tmp_path) as store:
+            store.write_fence(2)
+            with pytest.raises(ValueError):
+                store.write_fence(2)
+            with pytest.raises(ValueError):
+                store.write_fence(1)
+            store.write_fence(5)
+            assert store.fence_token == 5
+
+    def test_fence_is_durable_under_lazy_fsync_policies(self, tmp_path):
+        store = CheckpointStore(tmp_path, fsync="never")
+        fsyncs = store.metrics.counter("durable/fsyncs")
+        store.write_fence(1)
+        # write_fence forces the sync whatever the policy: a promotion
+        # is not real until its token is on the platter.
+        assert store.metrics.counter("durable/fsyncs") > fsyncs
+        store.close()
+
+    def test_fence_survives_compaction(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.journal_request("r", {"program": SORTING})
+        store.write_fence(4)
+        store.mark_done("r")
+        store.compact()
+        store.close()
+        reopened = CheckpointStore(tmp_path)
+        assert reopened.fence_token == 4
+        reopened.close()
+
+    def test_malformed_fence_record_counts_as_unknown(self, tmp_path):
+        from repro.durable.wal import frame
+
+        store = CheckpointStore(tmp_path)
+        store.close()
+        segment = RecoveryManager(tmp_path).segments()[-1]
+        with open(segment, "ab") as handle:
+            handle.write(frame(b'{"kind":"fence","rid":"shard","data":{}}'))
+        reopened = CheckpointStore(tmp_path)
+        assert reopened.fence_token == 0
+        assert reopened.recovered.unknown_records == 1
+        reopened.close()

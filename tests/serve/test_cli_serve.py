@@ -157,3 +157,41 @@ class TestShardedServe:
         )
         assert code == 0
         assert "shards recovered 1 unfinished run(s)" in output
+
+    def test_replicas_flag_serves_with_hot_standbys(self, workload_file, tmp_path):
+        path = workload_file(
+            {
+                "defaults": {"seed": 1},
+                "requests": [
+                    {"program": PATH, "facts": {"edge": [[1, 2], [2, 3]]}}
+                ],
+            }
+        )
+        code, output = _run(
+            [
+                "serve",
+                path,
+                "--shards",
+                "1",
+                "--replicas",
+                "1",
+                "--durable-dir",
+                str(tmp_path / "wal"),
+                "--stats",
+            ]
+        )
+        assert code == 0
+        assert "1/1 requests ok or degraded" in output
+        assert '"standby_state"' in output
+
+    def test_replicas_without_shards_exits_1(self, workload_file, capsys):
+        path = workload_file([{"program": PATH, "facts": {"edge": [[1, 2]]}}])
+        code = cli.main(["serve", path, "--replicas", "1"])
+        assert code == 1
+        assert "--replicas requires --shards" in capsys.readouterr().err
+
+    def test_replicas_without_durable_dir_exits_1(self, workload_file, capsys):
+        path = workload_file([{"program": PATH, "facts": {"edge": [[1, 2]]}}])
+        code = cli.main(["serve", path, "--shards", "1", "--replicas", "1"])
+        assert code == 1
+        assert "--replicas requires --durable-dir" in capsys.readouterr().err

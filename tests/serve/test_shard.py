@@ -8,6 +8,8 @@ in ``test_sharded_soak.py``.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.core.compiler import solve_program
@@ -236,3 +238,56 @@ class TestOneShardEndToEnd:
                 QueryRequest(PATH, {"edge": [(1, 2)]}), timeout=60
             ).status == OK
         service.close()  # second close is a no-op
+
+
+class TestPipeBatching:
+    """The ``("batch", [...])`` envelope coalesces a poll-loop pass into
+    one pipe write.  Correctness of the unwrap is exercised by every
+    other test in this directory (batching is the default); this class
+    pins the *throughput* claim — batching must not lose to the
+    one-send-per-message control — and that the flag actually reaches
+    the worker."""
+
+    N_REQUESTS = 80
+
+    @classmethod
+    def _pipelined_elapsed(cls, pipe_batch: bool) -> float:
+        service = ShardedQueryService(
+            shards=1,
+            queue_capacity=cls.N_REQUESTS + 16,
+            heartbeat_interval=0.03,
+            pipe_batch=pipe_batch,
+        )
+        try:
+            # Warm-up pays the spawn/import cost outside the timed window.
+            assert (
+                service.evaluate(QueryRequest(SORTING, SORT_FACTS), timeout=60).status
+                == OK
+            )
+            start = time.perf_counter()
+            tickets = [
+                service.submit(QueryRequest(SORTING, SORT_FACTS, seed=i % 5))
+                for i in range(cls.N_REQUESTS)
+            ]
+            for ticket in tickets:
+                assert ticket.response(timeout=120).status == OK
+            return time.perf_counter() - start
+        finally:
+            service.close()
+
+    def test_batching_does_not_regress_pipelined_throughput(self):
+        unbatched = self._pipelined_elapsed(False)
+        batched = self._pipelined_elapsed(True)
+        # Generous bound for noisy CI: batching must be in the same
+        # league, not provably faster on every machine.
+        assert batched <= unbatched * 1.75 + 0.25, (batched, unbatched)
+
+    def test_pipe_batch_flag_reaches_the_worker_config(self):
+        for flag in (True, False):
+            service = ShardedQueryService(
+                shards=1, heartbeat_interval=0.03, pipe_batch=flag
+            )
+            try:
+                assert service._shards[0].handle.config.pipe_batch is flag
+            finally:
+                service.close()
